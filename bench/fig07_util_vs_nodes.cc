@@ -1,0 +1,44 @@
+// Fig. 7: average resource utilization of used nodes for placing 15 VNFs
+// as the available node count scales 6 -> 30 (fixed total demand).  Paper
+// result: FFD and NAH decay as nodes are added; BFDSU stays stable.
+#include <cstdio>
+
+#include "harness.h"
+#include "nfv/common/cli.h"
+#include "nfv/common/table.h"
+
+int main(int argc, char** argv) {
+  nfv::CliParser cli("bench_fig07_util_vs_nodes",
+                     "Avg utilization for 15 VNFs vs. available nodes");
+  const auto& runs = cli.add_int("runs", 'r', "Monte-Carlo repetitions", 100);
+  const auto& seed = cli.add_int("seed", 's', "base RNG seed", 42);
+  const auto& csv = cli.add_flag("csv", 'c', "emit CSV instead of Markdown");
+  if (!cli.parse(argc, argv)) return 1;
+
+  nfv::bench::print_banner(
+      "Fig. 7 — utilization vs. available nodes (15 VNFs)",
+      "Demand pinned to what ~10 nodes carry (load 0.60 at 10 nodes); adding\n"
+      "nodes only tempts spreading algorithms into lower per-node fill.");
+
+  nfv::Table table({"nodes", "BFDSU", "FFD", "NAH"});
+  table.set_precision(4);
+  for (const std::size_t nodes : {10u, 14u, 18u, 22u, 26u, 30u}) {
+    nfv::bench::PlacementScenario s;
+    s.nodes = nodes;
+    s.vnfs = 15;
+    s.requests = 200;
+    // Fixed absolute demand: 0.60 of a 10-node network's expected capacity,
+    // expressed as a shrinking load factor as nodes grow.
+    s.load_factor = 0.60 * 10.0 / static_cast<double>(nodes);
+    s.runs = static_cast<std::uint32_t>(runs);
+    s.base_seed = static_cast<std::uint64_t>(seed);
+    const auto bfdsu = nfv::bench::run_placement(s, "BFDSU");
+    const auto ffd = nfv::bench::run_placement(s, "FFD");
+    const auto nah = nfv::bench::run_placement(s, "NAH");
+    table.add_row({static_cast<long long>(nodes), bfdsu.avg_utilization,
+                   ffd.avg_utilization, nah.avg_utilization});
+  }
+  std::fputs(csv ? table.csv().c_str() : table.markdown().c_str(), stdout);
+  std::puts("\npaper shape: FFD/NAH decay with node count; BFDSU stable");
+  return 0;
+}

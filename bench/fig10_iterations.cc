@@ -1,0 +1,47 @@
+// Fig. 10: execution cost, measured in algorithm iterations, for placing
+// 15 VNFs as the request count grows.  Paper result: FFD constant at 1,
+// BFDSU ≈ 11, NAH ≈ 32 (≈3× BFDSU) and growing with requests.
+//
+// Iteration semantics (see DESIGN.md): FFD = single deterministic pass;
+// BFDSU = multi-start passes incl. "go back to Begin" restarts; NAH =
+// per-chain node scans + spill rounds (it keeps no used/spare state, so
+// every distinct chain costs a scan).
+#include <cstdio>
+
+#include "harness.h"
+#include "nfv/common/cli.h"
+#include "nfv/common/table.h"
+
+int main(int argc, char** argv) {
+  nfv::CliParser cli("bench_fig10_iterations",
+                     "Iterations to place 15 VNFs vs. request count");
+  const auto& runs = cli.add_int("runs", 'r', "Monte-Carlo repetitions", 100);
+  const auto& seed = cli.add_int("seed", 's', "base RNG seed", 42);
+  const auto& csv = cli.add_flag("csv", 'c', "emit CSV instead of Markdown");
+  if (!cli.parse(argc, argv)) return 1;
+
+  nfv::bench::print_banner(
+      "Fig. 10 — iterations (15 VNFs, 10 nodes)",
+      "Execution cost of finding a feasible placement; see DESIGN.md for\n"
+      "the per-algorithm iteration semantics.");
+
+  nfv::Table table({"requests", "BFDSU", "FFD", "NAH", "NAH/BFDSU"});
+  table.set_precision(2);
+  for (const std::uint32_t requests : {30u, 100u, 200u, 400u, 700u, 1000u}) {
+    nfv::bench::PlacementScenario s;
+    s.nodes = 10;
+    s.vnfs = 15;
+    s.requests = requests;
+    s.runs = static_cast<std::uint32_t>(runs);
+    s.base_seed = static_cast<std::uint64_t>(seed);
+    const auto bfdsu = nfv::bench::run_placement(s, "BFDSU");
+    const auto ffd = nfv::bench::run_placement(s, "FFD");
+    const auto nah = nfv::bench::run_placement(s, "NAH");
+    table.add_row({static_cast<long long>(requests), bfdsu.iterations,
+                   ffd.iterations, nah.iterations,
+                   nah.iterations / bfdsu.iterations});
+  }
+  std::fputs(csv ? table.csv().c_str() : table.markdown().c_str(), stdout);
+  std::puts("\npaper shape: FFD = 1 << BFDSU (~11) << NAH (~32, ~3x BFDSU)");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig. 15: average job rejection rate under a low packet loss rate
+// (P = 0.997), RCKK vs CGA.  Paper result: RCKK holds ≈0 rejection while
+// CGA rejects substantially.
+//
+// Protocol note (see EXPERIMENTS.md): μ is scaled per run with only 2%
+// headroom over perfect balance, which isolates *balance quality* — the
+// quantity admission control punishes — from run-level load variance.
+// With that protocol RCKK's rejection is ~0 and CGA's is material, as in
+// the paper; our CGA gap narrows with n (the paper's widens), which we
+// attribute to their CGA implementation degrading at scale.
+#include <cstdio>
+
+#include "harness.h"
+#include "nfv/common/cli.h"
+#include "nfv/common/table.h"
+
+int main(int argc, char** argv) {
+  nfv::CliParser cli("bench_fig15_rejection_low_loss",
+                     "Job rejection rate vs. requests, P=0.997");
+  const auto& runs = cli.add_int("runs", 'r', "runs per point", 1000);
+  const auto& seed = cli.add_int("seed", 's', "base RNG seed", 7);
+  const auto& csv = cli.add_flag("csv", 'c', "emit CSV instead of Markdown");
+  if (!cli.parse(argc, argv)) return 1;
+
+  nfv::bench::print_banner(
+      "Fig. 15 — job rejection rate (P = 0.997)",
+      "m = 5 instances, μ = 1.02·Σλ/m (2% headroom over perfect balance);\n"
+      "admission drops requests that would push an instance to ρ >= 0.999.");
+
+  nfv::Table table({"requests", "rej RCKK %", "rej CGA %"});
+  table.set_precision(2);
+  double rckk_sum = 0.0;
+  double cga_sum = 0.0;
+  int points = 0;
+  for (const std::size_t requests : {20u, 40u, 60u, 80u, 100u}) {
+    nfv::bench::SchedulingScenario s;
+    s.requests = requests;
+    s.instances = 5;
+    s.delivery_prob = 0.997;
+    s.headroom = 1.02;
+    s.runs = static_cast<std::uint32_t>(runs);
+    s.base_seed = static_cast<std::uint64_t>(seed);
+    const auto rckk = nfv::bench::run_scheduling(s, "RCKK");
+    const auto cga = nfv::bench::run_scheduling(s, "CGA-online");
+    rckk_sum += rckk.rejection_rate;
+    cga_sum += cga.rejection_rate;
+    ++points;
+    table.add_row({static_cast<long long>(requests),
+                   100.0 * rckk.rejection_rate, 100.0 * cga.rejection_rate});
+  }
+  std::fputs(csv ? table.csv().c_str() : table.markdown().c_str(), stdout);
+  std::printf(
+      "\naverages: RCKK %.2f%%, CGA %.2f%% "
+      "(paper shape: RCKK ~0, CGA substantially higher)\n",
+      100.0 * rckk_sum / points, 100.0 * cga_sum / points);
+  return 0;
+}

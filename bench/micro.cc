@@ -1,0 +1,104 @@
+// Google-benchmark microbenchmarks: raw algorithm throughput and simulator
+// event rate, for regression tracking (not a paper figure).
+#include <benchmark/benchmark.h>
+
+#include "nfv/common/rng.h"
+#include "nfv/placement/algorithm.h"
+#include "nfv/scheduling/algorithm.h"
+#include "nfv/sim/des.h"
+#include "nfv/topology/builders.h"
+#include "nfv/workload/generator.h"
+
+namespace {
+
+nfv::placement::PlacementProblem placement_instance(std::uint32_t vnfs,
+                                                    std::size_t nodes,
+                                                    std::uint64_t seed) {
+  nfv::Rng rng(seed);
+  nfv::placement::PlacementProblem p;
+  for (std::size_t v = 0; v < nodes; ++v) {
+    p.capacities.push_back(rng.uniform(1000.0, 5000.0));
+  }
+  const double per_vnf =
+      0.55 * p.total_capacity() / static_cast<double>(vnfs);
+  for (std::uint32_t f = 0; f < vnfs; ++f) {
+    p.demands.push_back(rng.uniform(0.5, 1.5) * per_vnf);
+  }
+  std::vector<std::uint32_t> chain(vnfs);
+  for (std::uint32_t f = 0; f < vnfs; ++f) chain[f] = f;
+  p.chains.push_back(chain);
+  return p;
+}
+
+void BM_Placement(benchmark::State& state, const char* name) {
+  const auto algo = nfv::placement::make_placement_algorithm(name);
+  const auto problem = placement_instance(
+      static_cast<std::uint32_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)), 42);
+  nfv::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo->place(problem, rng));
+  }
+}
+
+nfv::sched::SchedulingProblem scheduling_instance(std::size_t n,
+                                                  std::uint32_t m,
+                                                  std::uint64_t seed) {
+  nfv::Rng rng(seed);
+  nfv::sched::SchedulingProblem p;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    p.arrival_rates.push_back(rng.uniform(1.0, 100.0));
+    total += p.arrival_rates.back();
+  }
+  p.instance_count = m;
+  p.delivery_prob = 0.98;
+  p.service_rate = 1.2 * total / m;
+  return p;
+}
+
+void BM_Scheduling(benchmark::State& state, const char* name) {
+  const auto algo = nfv::sched::make_scheduling_algorithm(name);
+  const auto problem = scheduling_instance(
+      static_cast<std::size_t>(state.range(0)), 5, 42);
+  nfv::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo->schedule(problem, rng));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_SimulatorEventRate(benchmark::State& state) {
+  nfv::sim::SimNetwork net;
+  net.stations = {nfv::sim::Station{200.0}, nfv::sim::Station{180.0}};
+  nfv::sim::Flow flow;
+  flow.rate = 100.0;
+  flow.delivery_prob = 0.98;
+  flow.path = {0, 1};
+  net.flows.push_back(flow);
+  std::uint64_t events = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    nfv::sim::SimConfig cfg;
+    cfg.duration = 20.0;
+    cfg.warmup = 1.0;
+    cfg.seed = ++seed;
+    const auto r = nfv::sim::simulate(net, cfg);
+    events += r.events_processed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Placement, bfdsu, "BFDSU")->Arg(6)->Arg(15)->Arg(30);
+BENCHMARK_CAPTURE(BM_Placement, ffd, "FFD")->Arg(6)->Arg(15)->Arg(30);
+BENCHMARK_CAPTURE(BM_Placement, nah, "NAH")->Arg(6)->Arg(15)->Arg(30);
+BENCHMARK_CAPTURE(BM_Scheduling, rckk, "RCKK")
+    ->Arg(15)->Arg(50)->Arg(250)->Arg(1000)->Complexity();
+BENCHMARK_CAPTURE(BM_Scheduling, cga, "CGA")
+    ->Arg(15)->Arg(50)->Arg(250)->Arg(1000)->Complexity();
+BENCHMARK_CAPTURE(BM_Scheduling, lpt, "LPT")->Arg(50)->Arg(1000);
+BENCHMARK(BM_SimulatorEventRate);
+
+BENCHMARK_MAIN();

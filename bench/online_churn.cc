@@ -1,0 +1,140 @@
+// Online churn bench (extension): requests arrive and depart over time at
+// one VNF with m instances.  Compares rebalancing policies on the latency
+// the Jackson model assigns to the live loads, and on migration cost:
+//   * never      — online least-loaded inserts only,
+//   * threshold  — OnlineScheduler's bounded auto-rebalance,
+//   * oracle     — full RCKK re-solve after every event (migration-blind
+//                  upper bound on balance quality).
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+#include "nfv/common/cli.h"
+#include "nfv/common/stats.h"
+#include "nfv/common/table.h"
+#include "nfv/scheduling/algorithm.h"
+#include "nfv/scheduling/metrics.h"
+#include "nfv/scheduling/online.h"
+
+namespace {
+
+struct PolicyOutcome {
+  double mean_response = 0.0;   // time-averaged avg W across events
+  double p99_imbalance = 0.0;   // relative imbalance tail
+  double migrations_per_event = 0.0;
+};
+
+double avg_response_for_loads(const std::vector<double>& loads, double mu,
+                              double delivery_prob) {
+  const double effective_capacity = delivery_prob * mu;
+  double sum = 0.0;
+  for (const double l : loads) {
+    // Saturated instances contribute the admission-capped worst case.
+    const double slack = std::max(effective_capacity - l,
+                                  0.001 * effective_capacity);
+    sum += 1.0 / slack;
+  }
+  return sum / static_cast<double>(loads.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nfv::CliParser cli("bench_online_churn",
+                     "Rebalance policies under request churn");
+  const auto& events = cli.add_int("events", 'e', "churn events per run", 4000);
+  const auto& runs = cli.add_int("runs", 'r', "Monte-Carlo repetitions", 20);
+  const auto& seed = cli.add_int("seed", 's', "base RNG seed", 5);
+  if (!cli.parse(argc, argv)) return 1;
+
+  nfv::bench::print_banner(
+      "Online churn — rebalance policy comparison",
+      "m = 5 instances, target population ~60 flows (λ ~ U[1,100] pps),\n"
+      "μ fixed for ~25% headroom at target; every event is an arrival or\n"
+      "departure; W evaluated on the live loads after each event.");
+
+  const std::uint32_t m = 5;
+  const double mu = 1.25 * 60.0 * 50.5 / m;  // headroom at target population
+  const double delivery_prob = 0.98;
+
+  const char* policy_names[] = {"never", "threshold", "oracle RCKK"};
+  nfv::Table table({"policy", "mean W", "p99 rel. imbalance",
+                    "migrations/event"});
+  table.set_precision(5);
+  for (int policy = 0; policy < 3; ++policy) {
+    nfv::OnlineStats response;
+    nfv::SampleSet imbalance;
+    nfv::OnlineStats migrations;
+    for (std::uint32_t run = 0; run < static_cast<std::uint32_t>(runs);
+         ++run) {
+      nfv::Rng rng(static_cast<std::uint64_t>(seed) + run);
+      nfv::sched::OnlineScheduler::Options opts;
+      opts.auto_rebalance = policy == 1;
+      opts.rebalance_threshold = 0.2;
+      opts.migration_budget = 3;
+      nfv::sched::OnlineScheduler scheduler(m, opts);
+      const nfv::sched::RckkScheduling rckk;
+      std::vector<std::pair<nfv::RequestId, double>> live;
+      std::uint64_t oracle_migrations = 0;
+      for (std::uint32_t step = 0;
+           step < static_cast<std::uint32_t>(events); ++step) {
+        const bool arrive =
+            live.size() < 20 || (live.size() < 120 && rng.chance(0.5));
+        if (arrive) {
+          const nfv::RequestId id{step};
+          const double rate = rng.uniform(1.0, 100.0);
+          scheduler.add(id, rate);
+          live.emplace_back(id, rate);
+        } else {
+          const auto victim = rng.below(live.size());
+          scheduler.remove(live[victim].first);
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+        }
+        if (live.empty()) continue;
+        std::vector<double> loads;
+        if (policy == 2) {
+          // Oracle: re-solve from scratch with RCKK.
+          nfv::sched::SchedulingProblem p;
+          for (const auto& [id, rate] : live) p.arrival_rates.push_back(rate);
+          p.instance_count = m;
+          p.service_rate = mu;
+          p.delivery_prob = delivery_prob;
+          nfv::Rng solver_rng(1);
+          const auto schedule = rckk.schedule(p, solver_rng);
+          loads.assign(m, 0.0);
+          for (std::size_t i = 0; i < live.size(); ++i) {
+            loads[schedule.instance_of[i]] += live[i].second;
+          }
+          // Count as migrations every request whose instance changed vs.
+          // the previous oracle solve — approximated as full reshuffle
+          // cost (worst case for the oracle).
+          oracle_migrations += live.size();
+        } else {
+          loads = scheduler.loads();
+        }
+        response.add(avg_response_for_loads(loads, mu, delivery_prob));
+        const auto [lo, hi] = std::minmax_element(loads.begin(), loads.end());
+        double total = 0.0;
+        for (const double l : loads) total += l;
+        imbalance.add(total > 0.0
+                          ? (*hi - *lo) / (total / static_cast<double>(m))
+                          : 0.0);
+      }
+      const double per_event =
+          policy == 2
+              ? static_cast<double>(oracle_migrations) /
+                    static_cast<double>(events)
+              : static_cast<double>(scheduler.total_migrations()) /
+                    static_cast<double>(events);
+      migrations.add(per_event);
+    }
+    table.add_row({std::string(policy_names[policy]), response.mean(),
+                   imbalance.p99(), migrations.mean()});
+  }
+  std::fputs(table.markdown().c_str(), stdout);
+  std::puts(
+      "\nexpected: threshold rebalancing buys most of the oracle's W at a\n"
+      "tiny fraction of its migration cost; never-rebalance drifts into\n"
+      "imbalance tails after long departure streaks.");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// In-text tail statistics (Sec. V-C): the 99th-percentile of per-run
+// average response across 1000 runs, requests 10 -> 200, m = 5, P = 0.98.
+// Paper result: RCKK cuts the p99 by 44.5% (small n) down to 5.2% (large
+// n); at n = 50 the p99 is 1.23 (RCKK) vs 1.60 (CGA), a 23.2% cut.
+#include <cstdio>
+
+#include "harness.h"
+#include "nfv/common/cli.h"
+#include "nfv/common/table.h"
+
+int main(int argc, char** argv) {
+  nfv::CliParser cli("bench_tail_latency",
+                     "99th-percentile response across runs, m=5, P=0.98");
+  const auto& runs = cli.add_int("runs", 'r', "runs per point", 1000);
+  const auto& seed = cli.add_int("seed", 's', "base RNG seed", 7);
+  const auto& csv = cli.add_flag("csv", 'c', "emit CSV instead of Markdown");
+  if (!cli.parse(argc, argv)) return 1;
+
+  nfv::bench::print_banner(
+      "Tail latency — p99 of per-run avg W over 1000 runs",
+      "m = 5, P = 0.98, μ = 1.2·Σλ/m; tail = 99th percentile across the\n"
+      "Monte-Carlo runs (the paper's 'tail statistics').");
+
+  nfv::Table table(
+      {"requests", "p99 RCKK", "p99 CGA", "p99 cut %", "mean RCKK",
+       "mean CGA"});
+  table.set_precision(5);
+  for (const std::size_t requests : {10u, 25u, 50u, 100u, 200u}) {
+    nfv::bench::SchedulingScenario s;
+    s.requests = requests;
+    s.instances = 5;
+    s.delivery_prob = 0.98;
+    s.runs = static_cast<std::uint32_t>(runs);
+    s.base_seed = static_cast<std::uint64_t>(seed);
+    const auto rckk = nfv::bench::run_scheduling(s, "RCKK");
+    const auto cga = nfv::bench::run_scheduling(s, "CGA-online");
+    table.add_row({static_cast<long long>(requests), rckk.p99_response,
+                   cga.p99_response,
+                   nfv::bench::enhancement_percent(cga.p99_response,
+                                                   rckk.p99_response),
+                   rckk.avg_response, cga.avg_response});
+  }
+  std::fputs(csv ? table.csv().c_str() : table.markdown().c_str(), stdout);
+  std::puts(
+      "\npaper shape: p99 cut 44.5% -> 5.2% as requests grow "
+      "(23.2% at n=50)");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Error handling for the nfv libraries.
+//
+// Library invariants are checked with NFV_REQUIRE (throws std::invalid_argument
+// for precondition violations, which callers can trigger with bad input) and
+// NFV_CHECK (throws nfv::InternalError for broken internal invariants).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nfv {
+
+/// Thrown when an internal invariant is violated; indicates a library bug.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a model is infeasible (e.g. total VNF demand exceeds total
+/// node capacity, or an instance would be unstable at any assignment).
+class InfeasibleError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* cond, const char* file,
+                                            int line) {
+  throw std::invalid_argument(std::string("precondition failed: ") + cond +
+                              " at " + file + ":" + std::to_string(line));
+}
+[[noreturn]] inline void throw_internal(const char* cond, const char* file,
+                                        int line) {
+  throw InternalError(std::string("invariant failed: ") + cond + " at " +
+                      file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace nfv
+
+/// Precondition on caller-supplied input; throws std::invalid_argument.
+#define NFV_REQUIRE(cond)                                         \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::nfv::detail::throw_precondition(#cond, __FILE__, __LINE__); \
+    }                                                             \
+  } while (false)
+
+/// Internal invariant; throws nfv::InternalError.
+#define NFV_CHECK(cond)                                        \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::nfv::detail::throw_internal(#cond, __FILE__, __LINE__); \
+    }                                                          \
+  } while (false)

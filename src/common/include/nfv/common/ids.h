@@ -1,0 +1,69 @@
+// Strong identifier types for the NFV domain.
+//
+// Raw integers for node / VNF / request / instance identifiers are easy to
+// swap by accident (see the z_{r,k}^f indexing in the paper, which mixes
+// three index spaces).  Each domain entity therefore gets its own opaque
+// integer wrapper; conversion back to the underlying value is explicit.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <ostream>
+
+namespace nfv {
+
+/// CRTP-free strong-typedef over an integer.  `Tag` makes distinct
+/// instantiations incompatible with each other.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type value) : value_(value) {}
+
+  /// Underlying integer, for indexing into dense per-entity arrays.
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  /// Convenience alias of value() usable directly as a container index.
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  underlying_type value_ = 0;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, StrongId<Tag> id) {
+  return os << id.value();
+}
+
+struct NodeIdTag {};
+struct VnfIdTag {};
+struct RequestIdTag {};
+struct LinkIdTag {};
+
+/// Identifier of a compute node v ∈ V.
+using NodeId = StrongId<NodeIdTag>;
+/// Identifier of a VNF f ∈ F (a replica counts as a new VNF, Eq. 2).
+using VnfId = StrongId<VnfIdTag>;
+/// Identifier of a request r ∈ R.
+using RequestId = StrongId<RequestIdTag>;
+/// Identifier of a link e ∈ E.
+using LinkId = StrongId<LinkIdTag>;
+
+/// Index of a service instance k ∈ [0, M_f) within one VNF.  Kept as a plain
+/// integer because it is only meaningful relative to a VnfId.
+using InstanceIndex = std::uint32_t;
+
+}  // namespace nfv
+
+template <typename Tag>
+struct std::hash<nfv::StrongId<Tag>> {
+  std::size_t operator()(nfv::StrongId<Tag> id) const noexcept {
+    return std::hash<typename nfv::StrongId<Tag>::underlying_type>{}(id.value());
+  }
+};

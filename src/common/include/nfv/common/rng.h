@@ -1,0 +1,129 @@
+// Deterministic pseudo-random number generation and the distributions used
+// throughout the simulator.
+//
+// Every stochastic component takes an explicit Rng (or a seed) — there is no
+// global RNG state, so any experiment is reproducible from its seed and runs
+// can be fanned out as seed + run_index.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nfv/common/error.h"
+
+namespace nfv {
+
+/// SplitMix64: used to seed the main generator and as a cheap standalone
+/// stream (Steele et al., "Fast splittable pseudorandom number generators").
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() { return next(); }
+
+  static constexpr std::uint64_t(min)() { return 0; }
+  static constexpr std::uint64_t(max)() { return ~0ULL; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the library's main generator.
+/// Satisfies UniformRandomBitGenerator, so it also works with <random>.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state from a SplitMix64 stream, as recommended
+  /// by the xoshiro authors.
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : state_) w = sm.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr std::uint64_t(min)() { return 0; }
+  static constexpr std::uint64_t(max)() { return ~0ULL; }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Rejection-free Lemire reduction.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponentially distributed sample with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// PTRS rejection for large).
+  std::uint64_t poisson(double mean);
+
+  /// Lognormal sample: exp(N(mu_log, sigma_log)).
+  double lognormal(double mu_log, double sigma_log);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Samples an index in [0, weights.size()) with probability proportional
+  /// to weights[i].  Weights must be non-negative with a positive sum.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+  /// Derives an independent child stream; stream i of a given parent is
+  /// stable across runs.
+  Rng fork(std::uint64_t stream) {
+    return Rng(next() ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace nfv

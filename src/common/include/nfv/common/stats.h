@@ -1,0 +1,75 @@
+// Online and batch statistics used by the benchmark harness and the
+// discrete-event simulator.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace nfv {
+
+/// Welford online accumulator for mean / variance / extrema.
+/// Numerically stable for long simulator runs.
+class OnlineStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Merges another accumulator (parallel reduction, Chan et al.).
+  void merge(const OnlineStats& other);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Collects raw samples for quantile queries; use when the sample count is
+/// bounded (per-run metrics), not for per-packet streams.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  /// Linear-interpolated quantile, q in [0, 1]. Sorts a copy on demand and
+  /// caches the sorted order until the next add().
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] double min() const { return quantile(0.0); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
+
+  [[nodiscard]] std::span<const double> samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // lazily rebuilt cache
+};
+
+/// Linear-interpolated quantile of an unsorted sample span (copies + sorts).
+[[nodiscard]] double quantile(std::span<const double> samples, double q);
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> samples);
+
+/// Half-width of the normal-approximation 95% confidence interval of the
+/// sample mean; 0 for fewer than two samples.
+[[nodiscard]] double ci95_halfwidth(const OnlineStats& stats);
+
+}  // namespace nfv

@@ -1,0 +1,56 @@
+// Result-table rendering for the benchmark harness: GitHub-flavoured
+// Markdown (human inspection) and CSV (plotting pipelines).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace nfv {
+
+/// A table cell: text, integer, or floating point (printed with the table's
+/// precision).
+using Cell = std::variant<std::string, long long, double>;
+
+/// Column-oriented table builder.
+///
+///   Table t({"requests", "BFDSU", "FFD"});
+///   t.add_row({30LL, 0.917, 0.686});
+///   std::cout << t.markdown();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  Table(std::initializer_list<std::string_view> headers);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<Cell> row);
+
+  /// Digits after the decimal point for double cells (default 4).
+  void set_precision(int digits);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+  [[nodiscard]] const Cell& at(std::size_t row, std::size_t col) const;
+
+  /// GitHub-flavoured Markdown with aligned columns.
+  [[nodiscard]] std::string markdown() const;
+
+  /// RFC-4180-style CSV (quotes cells containing commas/quotes/newlines).
+  [[nodiscard]] std::string csv() const;
+
+  /// Writes markdown() to the stream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  [[nodiscard]] std::string format_cell(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace nfv

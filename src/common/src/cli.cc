@@ -1,0 +1,177 @@
+#include "nfv/common/cli.h"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "nfv/common/error.h"
+
+namespace nfv {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+CliParser::~CliParser() = default;
+
+CliParser::Flag& CliParser::add(std::string name, char short_name,
+                                std::string help, Kind kind) {
+  NFV_REQUIRE(!name.empty());
+  NFV_REQUIRE(find(name) == nullptr);
+  NFV_REQUIRE(short_name == '\0' || find_short(short_name) == nullptr);
+  auto flag = std::make_unique<Flag>();
+  flag->name = std::move(name);
+  flag->short_name = short_name;
+  flag->help = std::move(help);
+  flag->kind = kind;
+  flags_.push_back(std::move(flag));
+  return *flags_.back();
+}
+
+const std::int64_t& CliParser::add_int(std::string name, char short_name,
+                                       std::string help,
+                                       std::int64_t default_value) {
+  Flag& f = add(std::move(name), short_name, std::move(help), Kind::kInt);
+  f.int_value = default_value;
+  return f.int_value;
+}
+
+const double& CliParser::add_double(std::string name, char short_name,
+                                    std::string help, double default_value) {
+  Flag& f = add(std::move(name), short_name, std::move(help), Kind::kDouble);
+  f.double_value = default_value;
+  return f.double_value;
+}
+
+const std::string& CliParser::add_string(std::string name, char short_name,
+                                         std::string help,
+                                         std::string default_value) {
+  Flag& f = add(std::move(name), short_name, std::move(help), Kind::kString);
+  f.string_value = std::move(default_value);
+  return f.string_value;
+}
+
+const bool& CliParser::add_flag(std::string name, char short_name,
+                                std::string help) {
+  Flag& f = add(std::move(name), short_name, std::move(help), Kind::kBool);
+  return f.bool_value;
+}
+
+CliParser::Flag* CliParser::find(std::string_view name) {
+  for (const auto& f : flags_) {
+    if (f->name == name) return f.get();
+  }
+  return nullptr;
+}
+
+CliParser::Flag* CliParser::find_short(char short_name) {
+  for (const auto& f : flags_) {
+    if (f->short_name == short_name) return f.get();
+  }
+  return nullptr;
+}
+
+bool CliParser::apply_value(Flag& flag, std::string_view value) {
+  switch (flag.kind) {
+    case Kind::kInt: {
+      auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(),
+                                       flag.int_value);
+      return ec == std::errc{} && ptr == value.data() + value.size();
+    }
+    case Kind::kDouble: {
+      // from_chars for double is not universally available; use strtod on a
+      // NUL-terminated copy.
+      std::string copy(value);
+      char* end = nullptr;
+      flag.double_value = std::strtod(copy.c_str(), &end);
+      return end == copy.c_str() + copy.size() && !copy.empty();
+    }
+    case Kind::kString:
+      flag.string_value = std::string(value);
+      return true;
+    case Kind::kBool:
+      return false;  // switches take no value
+  }
+  return false;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    Flag* flag = nullptr;
+    std::string_view inline_value;
+    bool has_inline = false;
+    if (arg.starts_with("--")) {
+      std::string_view body = arg.substr(2);
+      if (const auto eq = body.find('='); eq != std::string_view::npos) {
+        inline_value = body.substr(eq + 1);
+        has_inline = true;
+        body = body.substr(0, eq);
+      }
+      flag = find(body);
+    } else if (arg.size() == 2 && arg[0] == '-') {
+      flag = find_short(arg[1]);
+    }
+    if (flag == nullptr) {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n%s", program_.c_str(),
+                   std::string(arg).c_str(), usage().c_str());
+      return false;
+    }
+    if (flag->kind == Kind::kBool) {
+      if (has_inline) {
+        std::fprintf(stderr, "%s: switch --%s takes no value\n",
+                     program_.c_str(), flag->name.c_str());
+        return false;
+      }
+      flag->bool_value = true;
+      continue;
+    }
+    std::string_view value;
+    if (has_inline) {
+      value = inline_value;
+    } else {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --%s expects a value\n", program_.c_str(),
+                     flag->name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!apply_value(*flag, value)) {
+      std::fprintf(stderr, "%s: bad value '%s' for --%s\n", program_.c_str(),
+                   std::string(value).c_str(), flag->name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& f : flags_) {
+    os << "  --" << f->name;
+    if (f->short_name != '\0') os << ", -" << f->short_name;
+    switch (f->kind) {
+      case Kind::kInt:
+        os << " <int>     (default " << f->int_value << ")";
+        break;
+      case Kind::kDouble:
+        os << " <float>   (default " << f->double_value << ")";
+        break;
+      case Kind::kString:
+        os << " <string>  (default \"" << f->string_value << "\")";
+        break;
+      case Kind::kBool:
+        break;
+    }
+    os << "\n      " << f->help << "\n";
+  }
+  os << "  --help, -h\n      Show this message.\n";
+  return os.str();
+}
+
+}  // namespace nfv

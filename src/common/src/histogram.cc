@@ -1,0 +1,75 @@
+#include "nfv/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "nfv/common/error.h"
+
+namespace nfv {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  NFV_REQUIRE(hi > lo);
+  NFV_REQUIRE(buckets > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto i = static_cast<std::size_t>((x - lo_) / bucket_width_);
+    i = std::min(i, counts_.size() - 1);  // guard FP edge at hi_
+    ++counts_[i];
+  }
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  NFV_REQUIRE(i < counts_.size());
+  return lo_ + bucket_width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  NFV_REQUIRE(i < counts_.size());
+  return lo_ + bucket_width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::quantile(double q) const {
+  NFV_REQUIRE(total_ > 0);
+  NFV_REQUIRE(q >= 0.0 && q <= 1.0);
+  const auto target = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::size_t cumulative = underflow_;
+  if (cumulative >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) {
+      return bucket_lo(i) + bucket_width_ / 2.0;
+    }
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (const std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[128];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = counts_[i] * width / peak;
+    std::snprintf(line, sizeof line, "[%10.4f, %10.4f) %8zu ",
+                  bucket_lo(i), bucket_hi(i), counts_[i]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (underflow_ > 0) out += "underflow: " + std::to_string(underflow_) + "\n";
+  if (overflow_ > 0) out += "overflow:  " + std::to_string(overflow_) + "\n";
+  return out;
+}
+
+}  // namespace nfv

@@ -1,0 +1,111 @@
+#include "nfv/common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace nfv {
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  NFV_REQUIRE(n > 0);
+  // Lemire's multiply-shift with rejection to remove modulo bias.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  NFV_REQUIRE(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::exponential(double rate) {
+  NFV_REQUIRE(rate > 0.0);
+  // -log(1 - U) avoids log(0) since uniform() < 1.
+  return -std::log1p(-uniform()) / rate;
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::lognormal(double mu_log, double sigma_log) {
+  NFV_REQUIRE(sigma_log >= 0.0);
+  return std::exp(mu_log + sigma_log * normal());
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  NFV_REQUIRE(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until the product drops below e^-mean.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double product = uniform();
+    while (product > limit) {
+      ++k;
+      product *= uniform();
+    }
+    return k;
+  }
+  // PTRS transformed-rejection (Hörmann 1993) for large means.
+  const double b = 0.931 + 2.53 * std::sqrt(mean);
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double v_r = 0.9277 - 3.6224 / (b - 2.0);
+  for (;;) {
+    const double u = uniform() - 0.5;
+    const double v = uniform();
+    const double us = 0.5 - std::abs(u);
+    const double k = std::floor((2.0 * a / us + b) * u + mean + 0.43);
+    if (us >= 0.07 && v <= v_r) return static_cast<std::uint64_t>(k);
+    if (k < 0.0 || (us < 0.013 && v > us)) continue;
+    const double log_mean = std::log(mean);
+    if (std::log(v * inv_alpha / (a / (us * us) + b)) <=
+        k * log_mean - mean - std::lgamma(k + 1.0)) {
+      return static_cast<std::uint64_t>(k);
+    }
+  }
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  NFV_REQUIRE(!weights.empty());
+  double total = 0.0;
+  for (const double w : weights) {
+    NFV_REQUIRE(w >= 0.0);
+    total += w;
+  }
+  NFV_REQUIRE(total > 0.0);
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  // Floating-point slack: fall back to the last positive-weight entry.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace nfv

@@ -1,0 +1,89 @@
+#include "nfv/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nfv/common/error.h"
+
+namespace nfv {
+
+void OnlineStats::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::mean() const { return nfv::mean(samples_); }
+
+double SampleSet::stddev() const {
+  OnlineStats s;
+  for (const double x : samples_) s.add(x);
+  return s.stddev();
+}
+
+double SampleSet::quantile(double q) const {
+  NFV_REQUIRE(!samples_.empty());
+  NFV_REQUIRE(q >= 0.0 && q <= 1.0);
+  if (sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+double quantile(std::span<const double> samples, double q) {
+  NFV_REQUIRE(!samples.empty());
+  NFV_REQUIRE(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double mean(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : samples) sum += x;
+  return sum / static_cast<double>(samples.size());
+}
+
+double ci95_halfwidth(const OnlineStats& stats) {
+  if (stats.count() < 2) return 0.0;
+  return 1.96 * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+}
+
+}  // namespace nfv

@@ -1,0 +1,112 @@
+#include "nfv/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "nfv/common/error.h"
+
+namespace nfv {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  NFV_REQUIRE(!headers_.empty());
+}
+
+Table::Table(std::initializer_list<std::string_view> headers) {
+  NFV_REQUIRE(headers.size() > 0);
+  headers_.reserve(headers.size());
+  for (const auto h : headers) headers_.emplace_back(h);
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  NFV_REQUIRE(row.size() == headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::set_precision(int digits) {
+  NFV_REQUIRE(digits >= 0 && digits <= 17);
+  precision_ = digits;
+}
+
+const Cell& Table::at(std::size_t row, std::size_t col) const {
+  NFV_REQUIRE(row < rows_.size() && col < headers_.size());
+  return rows_[row][col];
+}
+
+std::string Table::format_cell(const Cell& cell) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<long long>(&cell)) return std::to_string(*i);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision_,
+                std::get<double>(cell));
+  return buf;
+}
+
+std::string Table::markdown() const {
+  std::vector<std::size_t> width(headers_.size());
+  std::vector<std::vector<std::string>> cells(rows_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    cells[r].reserve(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      cells[r].push_back(format_cell(rows_[r][c]));
+      width[c] = std::max(width[c], cells[r][c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(width[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ' << std::string(width[c], '-') << " |";
+  }
+  os << '\n';
+  for (const auto& row : cells) emit_row(row);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << ',';
+    os << csv_escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << csv_escape(format_cell(row[c]));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.markdown();
+}
+
+}  // namespace nfv

@@ -1,0 +1,45 @@
+// Energy accounting — the paper's operator-cost motivation made
+// quantitative ("using fewer computing nodes is beneficial for saving
+// operation cost", Sec. III-C; energy characterization per Xu et al.
+// [28]).  Servers draw a large idle floor plus a roughly linear dynamic
+// component in CPU utilization; a node with no VNFs can be powered off
+// entirely.  This model turns a placement into watts, so consolidation
+// quality reads directly as energy savings.
+#pragma once
+
+#include <vector>
+
+#include "nfv/core/joint_optimizer.h"
+
+namespace nfv::core {
+
+/// Linear server power model: off = 0; on = idle + (peak − idle)·util.
+struct PowerModel {
+  double idle_watts = 150.0;  ///< typical 2-socket server floor
+  double peak_watts = 400.0;  ///< at 100% CPU
+
+  [[nodiscard]] double node_power(double utilization) const;
+};
+
+/// Energy view of a feasible placement.
+struct EnergyReport {
+  double total_watts = 0.0;       ///< Σ over powered nodes
+  double idle_floor_watts = 0.0;  ///< Σ idle_watts over powered nodes
+  double dynamic_watts = 0.0;     ///< utilization-proportional part
+  std::size_t nodes_powered = 0;
+  /// Watts if every node in the cluster stayed powered at its current
+  /// load (the no-consolidation baseline).
+  double all_on_watts = 0.0;
+  /// all_on − total: what switching idle nodes off saves.
+  [[nodiscard]] double savings_watts() const {
+    return all_on_watts - total_watts;
+  }
+};
+
+/// Evaluates the energy of a joint result's placement.  Utilization per
+/// node is CPU load over capacity (the paper's bottleneck resource).
+[[nodiscard]] EnergyReport evaluate_energy(const SystemModel& model,
+                                           const JointResult& result,
+                                           const PowerModel& power = {});
+
+}  // namespace nfv::core

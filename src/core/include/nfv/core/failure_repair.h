@@ -1,0 +1,34 @@
+// Node-failure repair — operational resilience on top of the paper's
+// static pipeline.  When a compute node dies, every VNF it hosted (with
+// all of its co-located service instances) must be re-placed on the
+// surviving nodes without disturbing the rest of the placement; request
+// schedules are untouched because instances follow their VNF.
+#pragma once
+
+#include <vector>
+
+#include "nfv/common/ids.h"
+#include "nfv/core/joint_optimizer.h"
+
+namespace nfv::core {
+
+/// Outcome of a repair attempt.
+struct RepairResult {
+  bool feasible = false;           ///< all displaced VNFs were re-placed
+  placement::Placement placement;  ///< repaired assignment (valid iff feasible)
+  std::vector<VnfId> displaced;    ///< VNFs that lived on the failed node
+  std::size_t nodes_in_service_before = 0;
+  std::size_t nodes_in_service_after = 0;
+};
+
+/// Re-places the VNFs of `failed` onto the surviving nodes using the
+/// BFDSU policy on the residual capacities (used-nodes-first, weighted
+/// tight fit).  The failed node is excluded permanently; VNFs on other
+/// nodes keep their assignment.  Returns feasible == false when the
+/// surviving capacity cannot absorb the displaced load (callers can then
+/// escalate, e.g. by re-running the full pipeline or splitting replicas).
+[[nodiscard]] RepairResult repair_after_node_failure(
+    const SystemModel& model, const JointResult& result, NodeId failed,
+    Rng& rng);
+
+}  // namespace nfv::core

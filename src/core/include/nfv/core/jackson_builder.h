@@ -1,0 +1,31 @@
+// Analytic counterpart of sim_builder: maps a joint solution onto an open
+// Jackson network (Sec. III-B) whose stations are the service instances.
+//
+// Each admitted request contributes its external Poisson rate at the first
+// instance of its chain; per-station routing probabilities are the
+// flow-mix shares of the deterministic chain transitions, and the NACK
+// loss feedback routes (1−P)/1 of the final-hop traffic back to the chain
+// head.  Solving the traffic equations reproduces the Λ_k = Σ λ_r/P_r
+// loads of Eq. 7 and yields the closed-form W and sojourn predictions the
+// optimizer's evaluator uses — now derived from first principles rather
+// than assumed.
+#pragma once
+
+#include "nfv/core/joint_optimizer.h"
+#include "nfv/core/sim_builder.h"
+#include "nfv/queueing/jackson.h"
+
+namespace nfv::core {
+
+/// The Jackson view of a feasible JointResult.
+struct JacksonBuildOutput {
+  queueing::OpenJacksonNetwork network;
+  InstanceIndexMap index_map;  ///< (VNF, instance) -> station index
+};
+
+/// Builds the network from admitted requests only (rejected requests
+/// carry no traffic).  Throws if result.feasible is false.
+[[nodiscard]] JacksonBuildOutput build_jackson_network(
+    const SystemModel& model, const JointResult& result);
+
+}  // namespace nfv::core

@@ -1,0 +1,48 @@
+// Link-locality refinement — the optimization the paper's Fig. 1
+// motivates but its pipeline only reaches indirectly: after BFDSU fixes a
+// placement, chains can still straddle nodes unnecessarily.  This local
+// search moves single VNFs between nodes (capacity-respecting) to shrink
+// the Eq. 16 link term Σ_r (Σ_v η_v^r − 1)·L directly, converting
+// inter-server chains into intra-server ones.
+//
+// Moving a VNF never changes the response term W (that depends only on
+// the schedules), so any accepted move is a strict Eq. 16 improvement.
+#pragma once
+
+#include <cstdint>
+
+#include "nfv/core/joint_optimizer.h"
+
+namespace nfv::core {
+
+/// Search controls.
+struct RefineConfig {
+  /// Upper bound on accepted moves (the search also stops at a local
+  /// optimum).
+  std::uint32_t max_moves = 1000;
+  /// Permit moves onto currently empty nodes.  Off by default: opening a
+  /// node regresses Objective 1 (Eq. 14), and co-location never needs it.
+  bool allow_new_nodes = false;
+};
+
+/// Outcome of a refinement pass.
+struct RefineResult {
+  placement::Placement placement;   ///< refined assignment
+  double initial_link_cost = 0.0;   ///< Σ_admitted (η−1), in units of L
+  double final_link_cost = 0.0;
+  std::uint32_t moves_applied = 0;
+
+  [[nodiscard]] double improvement() const {
+    return initial_link_cost - final_link_cost;
+  }
+};
+
+/// Greedy first-improvement local search over single-VNF moves.  The
+/// returned placement keeps result's schedules valid (scheduling is
+/// per-VNF and placement-independent).  Throws if result.feasible is
+/// false.
+[[nodiscard]] RefineResult refine_link_locality(const SystemModel& model,
+                                                const JointResult& result,
+                                                const RefineConfig& config = {});
+
+}  // namespace nfv::core

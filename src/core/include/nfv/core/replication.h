@@ -1,0 +1,50 @@
+// VNF replication (Sec. III-A of the paper): all service instances of a
+// VNF are co-located, and "if all the service instances still cannot cope
+// with all the requests, we can then place some replicas of the VNF on
+// different nodes, and regard each replica as a new VNF."
+//
+// This module implements that escape hatch: any VNF whose total footprint
+// D_f·M_f exceeds a per-node budget is split into the smallest number of
+// replicas that fit, its instances divided across them, and its requests
+// re-pointed (balanced by effective rate) so every chain references a
+// concrete replica.
+#pragma once
+
+#include <vector>
+
+#include "nfv/common/ids.h"
+#include "nfv/workload/vnf.h"
+
+namespace nfv::core {
+
+/// Result of a replication pass.
+struct ReplicationPlan {
+  /// The rewritten workload: replica VNFs appended with dense ids, chains
+  /// re-pointed.  Identical to the input when changed == false.
+  workload::Workload workload;
+  /// Per original VNF: the ids implementing it (size 1 = not split; the
+  /// first entry is always the original id).
+  std::vector<std::vector<VnfId>> replicas_of;
+  bool changed = false;
+
+  /// Total number of replica VNFs added.
+  [[nodiscard]] std::size_t added() const {
+    return workload.vnfs.size() - replicas_of.size();
+  }
+};
+
+/// Splits every VNF whose footprint exceeds `max_footprint`.
+///
+/// Guarantees on the returned workload:
+///  * every VNF footprint ≤ max_footprint (throws InfeasibleError if even
+///    a single instance of some VNF exceeds it);
+///  * each original instance ends up in exactly one replica (ΣM preserved);
+///  * every request that used VNF f now uses exactly one replica of f, in
+///    the same chain position;
+///  * each replica serves ≥ 1 request and M_replica ≤ |R_replica| (Eq. 3
+///    preserved) — instance counts are rebalanced to the request split;
+///  * per-replica effective load per instance is balanced LPT-style.
+[[nodiscard]] ReplicationPlan split_oversized(const workload::Workload& w,
+                                              double max_footprint);
+
+}  // namespace nfv::core

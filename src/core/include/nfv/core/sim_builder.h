@@ -1,0 +1,35 @@
+// Bridges a joint placement/scheduling solution to the packet-level
+// discrete-event simulator: every service instance becomes a station,
+// every admitted request becomes a flow whose path visits its assigned
+// instance at each chain VNF, with inter-node hops charged the topology's
+// shortest-path latency.
+#pragma once
+
+#include "nfv/core/joint_optimizer.h"
+#include "nfv/sim/des.h"
+
+namespace nfv::core {
+
+/// Mapping between (VNF, instance) pairs and flattened station indices.
+struct InstanceIndexMap {
+  std::vector<std::uint32_t> base;  ///< per VNF: first station index
+
+  [[nodiscard]] std::uint32_t station(VnfId f, InstanceIndex k) const {
+    return base[f.index()] + k;
+  }
+};
+
+/// Builds the simulator input from a feasible JointResult.  Rejected
+/// requests are excluded (admission already dropped them).  Throws if
+/// `result.feasible` is false.
+struct SimBuildOutput {
+  sim::SimNetwork network;
+  InstanceIndexMap index_map;
+  /// Flow index -> request id (admitted requests only).
+  std::vector<RequestId> flow_request;
+};
+
+[[nodiscard]] SimBuildOutput build_sim_network(const SystemModel& model,
+                                               const JointResult& result);
+
+}  // namespace nfv::core

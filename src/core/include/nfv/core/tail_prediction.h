@@ -1,0 +1,42 @@
+// Per-request latency *tail* prediction — beyond the paper, which reports
+// only means.  Under the Jackson assumptions a request's single chain
+// traversal is hypoexponential over its instances' slacks ν_k = μ − Λ_k;
+// with packet loss the delivered latency is a geometric compound of
+// traversals (one per NACK round).
+//
+// For P = 1 the quantiles are exact closed forms.  For P < 1 the compound
+// is evaluated by seeded sampling from the analytic distribution (stage
+// exponentials + geometric round count) — still a model computation, not
+// a packet simulation: queue-state correlation across rounds is ignored
+// exactly as the open-Jackson product form ignores it.
+#pragma once
+
+#include "nfv/core/joint_optimizer.h"
+
+namespace nfv::core {
+
+/// Predicted end-to-end latency distribution of one admitted request
+/// (response + its fixed link latency).
+struct TailPrediction {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  /// True when the quantiles are closed-form (P = 1); false when they
+  /// come from analytic-model sampling (P < 1).
+  bool exact = false;
+};
+
+/// Controls for the P < 1 sampling path.
+struct TailPredictionConfig {
+  std::uint32_t samples = 50'000;
+  std::uint64_t seed = 1;
+};
+
+/// Predicts the latency distribution of `request` under `result`.
+/// Throws if the result is infeasible or the request was rejected.
+[[nodiscard]] TailPrediction predict_request_tail(
+    const SystemModel& model, const JointResult& result, RequestId request,
+    const TailPredictionConfig& config = {});
+
+}  // namespace nfv::core

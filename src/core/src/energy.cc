@@ -1,0 +1,40 @@
+#include "nfv/core/energy.h"
+
+#include <algorithm>
+
+#include "nfv/common/error.h"
+
+namespace nfv::core {
+
+double PowerModel::node_power(double utilization) const {
+  NFV_REQUIRE(utilization >= 0.0 && utilization <= 1.0 + 1e-9);
+  return idle_watts + (peak_watts - idle_watts) * utilization;
+}
+
+EnergyReport evaluate_energy(const SystemModel& model,
+                             const JointResult& result,
+                             const PowerModel& power) {
+  NFV_REQUIRE(result.feasible);
+  NFV_REQUIRE(power.idle_watts >= 0.0);
+  NFV_REQUIRE(power.peak_watts >= power.idle_watts);
+  std::vector<double> load(model.topology.compute_count(), 0.0);
+  for (std::size_t f = 0; f < model.workload.vnfs.size(); ++f) {
+    load[result.placement.assignment[f]->index()] +=
+        model.workload.vnfs[f].total_demand();
+  }
+  EnergyReport report;
+  for (const NodeId v : model.topology.nodes()) {
+    const double utilization =
+        std::min(1.0, load[v.index()] / model.topology.capacity(v));
+    const double watts = power.node_power(utilization);
+    report.all_on_watts += watts;
+    if (load[v.index()] <= 0.0) continue;  // powered off
+    ++report.nodes_powered;
+    report.total_watts += watts;
+    report.idle_floor_watts += power.idle_watts;
+    report.dynamic_watts += watts - power.idle_watts;
+  }
+  return report;
+}
+
+}  // namespace nfv::core

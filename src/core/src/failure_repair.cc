@@ -1,0 +1,89 @@
+#include "nfv/core/failure_repair.h"
+
+#include <algorithm>
+#include <set>
+
+#include "nfv/common/error.h"
+
+namespace nfv::core {
+
+RepairResult repair_after_node_failure(const SystemModel& model,
+                                       const JointResult& result,
+                                       NodeId failed, Rng& rng) {
+  NFV_REQUIRE(result.feasible);
+  NFV_REQUIRE(failed.index() < model.topology.compute_count());
+
+  RepairResult out;
+  out.placement = result.placement;
+
+  // Residual capacity of survivors under the current assignment.
+  std::vector<double> residual;
+  residual.reserve(model.topology.compute_count());
+  for (const NodeId v : model.topology.nodes()) {
+    residual.push_back(model.topology.capacity(v));
+  }
+  std::vector<bool> used(model.topology.compute_count(), false);
+  for (std::size_t f = 0; f < model.workload.vnfs.size(); ++f) {
+    const NodeId host = *result.placement.assignment[f];
+    if (host == failed) {
+      out.displaced.push_back(model.workload.vnfs[f].id);
+    } else {
+      residual[host.index()] -= model.workload.vnfs[f].total_demand();
+      used[host.index()] = true;
+    }
+  }
+  {
+    std::set<NodeId> before;
+    for (const auto& a : result.placement.assignment) before.insert(*a);
+    out.nodes_in_service_before = before.size();
+  }
+  if (out.displaced.empty()) {
+    out.feasible = true;
+    out.nodes_in_service_after = out.nodes_in_service_before;
+    return out;
+  }
+
+  // BFDSU policy on the residuals: displaced VNFs by decreasing demand;
+  // candidates are surviving used nodes first, spares second; weighted
+  // tight-fit draw.
+  std::vector<VnfId> order = out.displaced;
+  std::stable_sort(order.begin(), order.end(), [&](VnfId a, VnfId b) {
+    return model.workload.vnfs[a.index()].total_demand() >
+           model.workload.vnfs[b.index()].total_demand();
+  });
+  std::vector<std::uint32_t> candidates;
+  std::vector<double> weights;
+  for (const VnfId f : order) {
+    const double demand = model.workload.vnfs[f.index()].total_demand();
+    candidates.clear();
+    for (std::uint32_t v = 0; v < model.topology.compute_count(); ++v) {
+      if (v == failed.index()) continue;
+      if (used[v] && residual[v] >= demand - 1e-9) candidates.push_back(v);
+    }
+    if (candidates.empty()) {
+      for (std::uint32_t v = 0; v < model.topology.compute_count(); ++v) {
+        if (v == failed.index() || used[v]) continue;
+        if (residual[v] >= demand - 1e-9) candidates.push_back(v);
+      }
+    }
+    if (candidates.empty()) {
+      out.placement = result.placement;  // leave the input untouched
+      return out;                        // feasible stays false
+    }
+    weights.clear();
+    for (const std::uint32_t v : candidates) {
+      weights.push_back(1.0 / (1.0 + residual[v] - demand));
+    }
+    const std::uint32_t chosen = candidates[rng.weighted_index(weights)];
+    residual[chosen] -= demand;
+    used[chosen] = true;
+    out.placement.assignment[f.index()] = NodeId{chosen};
+  }
+  out.feasible = true;
+  std::set<NodeId> after;
+  for (const auto& a : out.placement.assignment) after.insert(*a);
+  out.nodes_in_service_after = after.size();
+  return out;
+}
+
+}  // namespace nfv::core

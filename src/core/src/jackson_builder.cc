@@ -1,0 +1,96 @@
+#include "nfv/core/jackson_builder.h"
+
+#include <vector>
+
+#include "nfv/common/error.h"
+
+namespace nfv::core {
+
+JacksonBuildOutput build_jackson_network(const SystemModel& model,
+                                         const JointResult& result) {
+  NFV_REQUIRE(result.feasible);
+
+  // Station index space (same layout as the simulator's).
+  InstanceIndexMap index_map;
+  index_map.base.resize(model.workload.vnfs.size());
+  std::vector<double> service_rates;
+  for (std::size_t f = 0; f < model.workload.vnfs.size(); ++f) {
+    index_map.base[f] = static_cast<std::uint32_t>(service_rates.size());
+    const workload::Vnf& vnf = model.workload.vnfs[f];
+    service_rates.insert(service_rates.end(), vnf.instance_count,
+                         vnf.service_rate);
+  }
+  const std::size_t stations = service_rates.size();
+
+  // Request id -> per-VNF problem position.
+  std::vector<std::vector<std::uint32_t>> position(
+      model.workload.vnfs.size(),
+      std::vector<std::uint32_t>(model.workload.requests.size(), 0));
+  for (std::size_t f = 0; f < result.contexts.size(); ++f) {
+    for (std::size_t pos = 0; pos < result.contexts[f].members.size(); ++pos) {
+      position[f][result.contexts[f].members[pos].index()] =
+          static_cast<std::uint32_t>(pos);
+    }
+  }
+
+  // Accumulate flow-conserving transition rates.  Every hop of request r
+  // carries its effective steady-state rate λ_r/P_r (retransmissions
+  // traverse the whole chain); the final hop splits into exit (λ_r) and
+  // feedback to the chain head (λ_r(1−P)/P).
+  std::vector<double> external(stations, 0.0);
+  std::vector<double> throughput(stations, 0.0);
+  struct Transition {
+    std::uint32_t from;
+    std::uint32_t to;
+    double rate;
+  };
+  std::vector<Transition> transitions;
+  for (const auto& request : model.workload.requests) {
+    const RequestOutcome& outcome = result.requests[request.id.index()];
+    if (!outcome.admitted) continue;
+    const double effective = request.effective_rate();
+    std::uint32_t previous = 0;
+    std::uint32_t head = 0;
+    for (std::size_t hop = 0; hop < request.chain.size(); ++hop) {
+      const VnfId f = request.chain[hop];
+      const std::uint32_t pos = position[f.index()][request.id.index()];
+      const InstanceIndex k = result.schedules[f.index()].instance_of[pos];
+      const std::uint32_t station = index_map.station(f, k);
+      throughput[station] += effective;
+      if (hop == 0) {
+        external[station] += request.arrival_rate;
+        head = station;
+      } else {
+        transitions.push_back({previous, station, effective});
+      }
+      previous = station;
+    }
+    const double feedback =
+        effective * (1.0 - request.delivery_prob);  // λ(1−P)/P
+    if (feedback > 0.0) {
+      transitions.push_back({previous, head, feedback});
+    }
+  }
+
+  queueing::OpenJacksonNetwork network(std::move(service_rates));
+  for (std::uint32_t s = 0; s < stations; ++s) {
+    if (external[s] > 0.0) network.set_external_rate(s, external[s]);
+  }
+  // Merge duplicate (from, to) pairs before normalizing to probabilities.
+  std::vector<std::vector<double>> merged(stations);
+  for (auto& row : merged) row.assign(stations, 0.0);
+  for (const Transition& t : transitions) {
+    merged[t.from][t.to] += t.rate;
+  }
+  for (std::uint32_t s = 0; s < stations; ++s) {
+    if (throughput[s] <= 0.0) continue;
+    for (std::uint32_t t = 0; t < stations; ++t) {
+      if (merged[s][t] > 0.0) {
+        network.set_routing(s, t, merged[s][t] / throughput[s]);
+      }
+    }
+  }
+  return JacksonBuildOutput{std::move(network), std::move(index_map)};
+}
+
+}  // namespace nfv::core

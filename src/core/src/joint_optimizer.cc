@@ -1,0 +1,171 @@
+#include "nfv/core/joint_optimizer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "nfv/common/error.h"
+
+namespace nfv::core {
+
+void SystemModel::validate() const {
+  NFV_REQUIRE(topology.frozen());
+  NFV_REQUIRE(!workload.vnfs.empty());
+  NFV_REQUIRE(!workload.requests.empty());
+  for (std::size_t i = 0; i < workload.vnfs.size(); ++i) {
+    NFV_REQUIRE(workload.vnfs[i].id.index() == i);  // dense ids
+  }
+  for (const auto& r : workload.requests) {
+    NFV_REQUIRE(!r.chain.empty());
+    for (const VnfId f : r.chain) {
+      NFV_REQUIRE(f.index() < workload.vnfs.size());
+    }
+  }
+}
+
+std::vector<VnfSchedulingContext> make_scheduling_contexts(
+    const workload::Workload& workload) {
+  std::vector<VnfSchedulingContext> contexts(workload.vnfs.size());
+  for (std::size_t f = 0; f < workload.vnfs.size(); ++f) {
+    VnfSchedulingContext& ctx = contexts[f];
+    const workload::Vnf& vnf = workload.vnfs[f];
+    ctx.problem.instance_count = vnf.instance_count;
+    ctx.problem.service_rate = vnf.service_rate;
+    bool have_p = false;
+    for (const auto& r : workload.requests) {
+      if (!r.uses(vnf.id)) continue;
+      ctx.problem.arrival_rates.push_back(r.arrival_rate);
+      ctx.members.push_back(r.id);
+      if (!have_p) {
+        ctx.problem.delivery_prob = r.delivery_prob;
+        have_p = true;
+      } else {
+        NFV_REQUIRE(r.delivery_prob == ctx.problem.delivery_prob);
+      }
+    }
+    ctx.problem.validate();
+  }
+  return contexts;
+}
+
+JointOptimizer::JointOptimizer(JointConfig config)
+    : config_(std::move(config)) {
+  NFV_REQUIRE(config_.rho_max > 0.0 && config_.rho_max <= 1.0);
+  if (config_.link_latency) NFV_REQUIRE(*config_.link_latency >= 0.0);
+}
+
+JointResult JointOptimizer::run(const SystemModel& model,
+                                std::uint64_t seed) const {
+  model.validate();
+  const auto placer =
+      placement::make_placement_algorithm(config_.placement_algorithm);
+  NFV_REQUIRE(placer != nullptr);
+  const auto scheduler =
+      sched::make_scheduling_algorithm(config_.scheduling_algorithm);
+  NFV_REQUIRE(scheduler != nullptr);
+
+  JointResult result;
+  Rng rng(seed);
+
+  // Phase 1: placement (Algorithm 1 or a baseline).
+  const placement::PlacementProblem pp =
+      placement::make_problem(model.topology, model.workload);
+  result.placement = placer->place(pp, rng);
+  result.placement_metrics = placement::evaluate(pp, result.placement);
+  if (!result.placement.feasible) return result;  // feasible stays false
+
+  // Phase 2: per-VNF request scheduling + admission control.
+  result.contexts = make_scheduling_contexts(model.workload);
+  result.schedules.reserve(result.contexts.size());
+  result.admissions.reserve(result.contexts.size());
+  for (const VnfSchedulingContext& ctx : result.contexts) {
+    Rng child = rng.fork(result.schedules.size());
+    sched::Schedule s = scheduler->schedule(ctx.problem, child);
+    result.admissions.push_back(
+        sched::apply_admission(ctx.problem, s, config_.rho_max));
+    result.schedules.push_back(std::move(s));
+  }
+
+  // Eq. 16 evaluation.  A request is admitted iff every VNF on its chain
+  // admitted it; response latency sums the post-admission W(f, k) of its
+  // assigned instances; link latency charges L per extra node traversed.
+  const double link_l =
+      config_.link_latency.value_or(model.topology.mean_link_latency());
+
+  // Request id -> (per-VNF position) lookups.
+  const std::size_t vnf_count = model.workload.vnfs.size();
+  std::vector<std::vector<std::uint32_t>> position(
+      vnf_count,
+      std::vector<std::uint32_t>(model.workload.requests.size(), 0));
+  for (std::size_t f = 0; f < vnf_count; ++f) {
+    for (std::size_t pos = 0; pos < result.contexts[f].members.size(); ++pos) {
+      position[f][result.contexts[f].members[pos].index()] =
+          static_cast<std::uint32_t>(pos);
+    }
+  }
+
+  result.requests.resize(model.workload.requests.size());
+  std::size_t admitted_count = 0;
+  double total = 0.0;
+  for (const auto& r : model.workload.requests) {
+    RequestOutcome& out = result.requests[r.id.index()];
+    out.admitted = true;
+    std::set<NodeId> nodes;
+    double response = 0.0;
+    for (const VnfId f : r.chain) {
+      const std::uint32_t pos = position[f.index()][r.id.index()];
+      const auto& admission = result.admissions[f.index()];
+      if (!admission.admitted[pos]) {
+        out.admitted = false;
+        break;
+      }
+      const std::uint32_t k = result.schedules[f.index()].instance_of[pos];
+      const auto& m = admission.admitted_metrics;
+      const double mu_eff = result.contexts[f.index()].problem.delivery_prob *
+                            result.contexts[f.index()].problem.service_rate;
+      const double load = m.instance_load[k];
+      NFV_CHECK(load < mu_eff);  // admission guarantees stability
+      response += 1.0 / (mu_eff - load);  // W(f, k), Eq. 12
+      nodes.insert(*result.placement.assignment[f.index()]);
+    }
+    if (!out.admitted) {
+      out.response_latency = 0.0;
+      out.link_latency = 0.0;
+      out.nodes_traversed = 0;
+      continue;
+    }
+    out.response_latency = response;
+    out.nodes_traversed = static_cast<std::uint32_t>(nodes.size());
+    out.link_latency =
+        static_cast<double>(out.nodes_traversed - 1) * link_l;
+    total += out.total_latency();
+    ++admitted_count;
+  }
+  result.total_latency = total;
+  result.avg_total_latency =
+      admitted_count > 0 ? total / static_cast<double>(admitted_count) : 0.0;
+  result.job_rejection_rate =
+      1.0 - static_cast<double>(admitted_count) /
+                static_cast<double>(model.workload.requests.size());
+
+  // Mean W over all service instances (post-admission loads).
+  double response_sum = 0.0;
+  std::size_t instance_count = 0;
+  for (std::size_t f = 0; f < vnf_count; ++f) {
+    const auto& m = result.admissions[f].admitted_metrics;
+    const double mu_eff = result.contexts[f].problem.delivery_prob *
+                          result.contexts[f].problem.service_rate;
+    for (const double load : m.instance_load) {
+      NFV_CHECK(load < mu_eff);
+      response_sum += 1.0 / (mu_eff - load);
+      ++instance_count;
+    }
+  }
+  result.avg_response =
+      instance_count > 0
+          ? response_sum / static_cast<double>(instance_count)
+          : 0.0;
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace nfv::core

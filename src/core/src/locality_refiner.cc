@@ -1,0 +1,89 @@
+#include "nfv/core/locality_refiner.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "nfv/common/error.h"
+
+namespace nfv::core {
+
+namespace {
+
+/// Σ over admitted requests of (distinct nodes in chain − 1); the Eq. 16
+/// link term divided by L.
+double link_cost(const SystemModel& model, const JointResult& result,
+                 const std::vector<std::optional<NodeId>>& assignment) {
+  double cost = 0.0;
+  for (const auto& request : model.workload.requests) {
+    if (!result.requests[request.id.index()].admitted) continue;
+    std::set<NodeId> nodes;
+    for (const VnfId f : request.chain) {
+      nodes.insert(*assignment[f.index()]);
+    }
+    cost += static_cast<double>(nodes.size() - 1);
+  }
+  return cost;
+}
+
+}  // namespace
+
+RefineResult refine_link_locality(const SystemModel& model,
+                                  const JointResult& result,
+                                  const RefineConfig& config) {
+  NFV_REQUIRE(result.feasible);
+  NFV_REQUIRE(config.max_moves > 0);
+
+  RefineResult out;
+  out.placement = result.placement;
+  auto& assignment = out.placement.assignment;
+
+  // Residual capacity per node under the current assignment.
+  std::vector<double> residual;
+  residual.reserve(model.topology.compute_count());
+  for (const NodeId v : model.topology.nodes()) {
+    residual.push_back(model.topology.capacity(v));
+  }
+  std::vector<double> footprint(model.workload.vnfs.size());
+  for (std::size_t f = 0; f < model.workload.vnfs.size(); ++f) {
+    footprint[f] = model.workload.vnfs[f].total_demand();
+    residual[assignment[f]->index()] -= footprint[f];
+  }
+  std::vector<bool> used(model.topology.compute_count(), false);
+  for (const auto& a : assignment) used[a->index()] = true;
+
+  out.initial_link_cost = link_cost(model, result, assignment);
+  double current = out.initial_link_cost;
+
+  bool improved = true;
+  while (improved && out.moves_applied < config.max_moves) {
+    improved = false;
+    for (std::uint32_t f = 0;
+         f < model.workload.vnfs.size() && out.moves_applied < config.max_moves;
+         ++f) {
+      const NodeId from = *assignment[f];
+      for (std::uint32_t v = 0; v < model.topology.compute_count(); ++v) {
+        const NodeId to{v};
+        if (to == from) continue;
+        if (!config.allow_new_nodes && !used[v]) continue;
+        if (residual[v] < footprint[f] - 1e-9) continue;
+        assignment[f] = to;
+        const double candidate = link_cost(model, result, assignment);
+        if (candidate < current - 1e-12) {
+          residual[from.index()] += footprint[f];
+          residual[v] -= footprint[f];
+          used[v] = true;
+          current = candidate;
+          ++out.moves_applied;
+          improved = true;
+          break;  // restart the node scan for this VNF's new neighborhood
+        }
+        assignment[f] = from;  // revert
+      }
+    }
+  }
+  out.final_link_cost = current;
+  return out;
+}
+
+}  // namespace nfv::core

@@ -1,0 +1,143 @@
+#include "nfv/core/replication.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "nfv/common/error.h"
+
+namespace nfv::core {
+
+namespace {
+
+/// Splits `instances` into `parts` nearly equal positive chunks.
+std::vector<std::uint32_t> split_instances(std::uint32_t instances,
+                                           std::uint32_t parts) {
+  std::vector<std::uint32_t> out(parts, instances / parts);
+  for (std::uint32_t i = 0; i < instances % parts; ++i) ++out[i];
+  return out;
+}
+
+}  // namespace
+
+ReplicationPlan split_oversized(const workload::Workload& w,
+                                double max_footprint) {
+  NFV_REQUIRE(max_footprint > 0.0);
+  ReplicationPlan plan;
+  plan.workload = w;
+  plan.replicas_of.resize(w.vnfs.size());
+
+  // Request membership per VNF, needed both for sizing and for re-pointing.
+  std::vector<std::vector<std::uint32_t>> users(w.vnfs.size());
+  for (std::uint32_t r = 0; r < w.requests.size(); ++r) {
+    for (const VnfId f : w.requests[r].chain) {
+      users[f.index()].push_back(r);
+    }
+  }
+
+  for (std::uint32_t f = 0; f < w.vnfs.size(); ++f) {
+    const workload::Vnf& vnf = w.vnfs[f];
+    plan.replicas_of[f] = {vnf.id};
+    if (vnf.total_demand() <= max_footprint) continue;
+    if (vnf.demand_per_instance > max_footprint) {
+      throw InfeasibleError("VNF " + vnf.name +
+                            ": a single instance (demand " +
+                            std::to_string(vnf.demand_per_instance) +
+                            ") exceeds the replication budget " +
+                            std::to_string(max_footprint));
+    }
+    plan.changed = true;
+
+    // Smallest replica count whose per-replica footprint fits.
+    auto replica_count = static_cast<std::uint32_t>(
+        std::ceil(vnf.total_demand() / max_footprint));
+    while (static_cast<double>((vnf.instance_count + replica_count - 1) /
+                               replica_count) *
+               vnf.demand_per_instance >
+           max_footprint) {
+      ++replica_count;
+    }
+    NFV_CHECK(replica_count <= vnf.instance_count);
+    const std::vector<std::uint32_t> instance_split =
+        split_instances(vnf.instance_count, replica_count);
+
+    // Materialize replica VNFs: index 0 rewrites the original in place,
+    // the rest are appended with fresh dense ids.
+    std::vector<std::uint32_t> replica_vnf_index(replica_count);
+    replica_vnf_index[0] = f;
+    plan.workload.vnfs[f].instance_count = instance_split[0];
+    plan.workload.vnfs[f].name = vnf.name + "/r0";
+    for (std::uint32_t k = 1; k < replica_count; ++k) {
+      workload::Vnf replica = vnf;
+      replica.id = VnfId{static_cast<std::uint32_t>(plan.workload.vnfs.size())};
+      replica.instance_count = instance_split[k];
+      replica.name = vnf.name + "/r" + std::to_string(k);
+      replica_vnf_index[k] =
+          static_cast<std::uint32_t>(plan.workload.vnfs.size());
+      plan.replicas_of[f].push_back(replica.id);
+      plan.workload.vnfs.push_back(std::move(replica));
+    }
+
+    // Distribute the requests over the replicas: descending effective
+    // rate; first satisfy each replica's Eq. 3 minimum (M_k requests),
+    // then balance by load per instance.
+    std::vector<std::uint32_t> order = users[f];
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return w.requests[a].effective_rate() >
+                              w.requests[b].effective_rate();
+                     });
+    NFV_REQUIRE(order.size() >= vnf.instance_count);  // Eq. 3 on the input
+    std::vector<double> load(replica_count, 0.0);
+    std::vector<std::uint32_t> assigned_count(replica_count, 0);
+    std::vector<std::uint32_t> replica_of_request(w.requests.size(), 0);
+    for (const std::uint32_t r : order) {
+      std::uint32_t chosen = replica_count;
+      // Phase A: replicas still below their instance-count minimum take
+      // priority (largest deficit first, then lightest weighted load).
+      std::uint32_t best_deficit = 0;
+      for (std::uint32_t k = 0; k < replica_count; ++k) {
+        const std::uint32_t deficit =
+            assigned_count[k] < instance_split[k]
+                ? instance_split[k] - assigned_count[k]
+                : 0;
+        if (deficit == 0) continue;
+        if (chosen == replica_count || deficit > best_deficit ||
+            (deficit == best_deficit &&
+             load[k] / instance_split[k] <
+                 load[chosen] / instance_split[chosen])) {
+          chosen = k;
+          best_deficit = deficit;
+        }
+      }
+      // Phase B: weighted LPT once every minimum is satisfied.
+      if (chosen == replica_count) {
+        chosen = 0;
+        for (std::uint32_t k = 1; k < replica_count; ++k) {
+          if (load[k] / instance_split[k] <
+              load[chosen] / instance_split[chosen]) {
+            chosen = k;
+          }
+        }
+      }
+      load[chosen] += w.requests[r].effective_rate();
+      ++assigned_count[chosen];
+      replica_of_request[r] = chosen;
+    }
+    for (std::uint32_t k = 0; k < replica_count; ++k) {
+      NFV_CHECK(assigned_count[k] >= instance_split[k]);
+    }
+
+    // Re-point the chains.
+    for (const std::uint32_t r : users[f]) {
+      for (VnfId& hop : plan.workload.requests[r].chain) {
+        if (hop == vnf.id) {
+          hop = VnfId{replica_vnf_index[replica_of_request[r]]};
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace nfv::core

@@ -1,0 +1,45 @@
+// Simulated-annealing placement — a metaheuristic upper-reference for the
+// constructive heuristics.  BFDSU answers "how well can a cheap randomized
+// pass do?"; annealing answers "how much is left on the table with a real
+// search budget?".
+//
+// Objective: maximize Σ_v (load_v / A_v)² — the classical bin-packing
+// potential.  It is Schur-convex in the per-node fill levels, so pushing
+// load from an emptier node onto a fuller one always increases it; maxima
+// polarize nodes into full-or-empty, which simultaneously minimizes the
+// nodes in service (Eq. 14) and maximizes the utilization of the used
+// ones (Eq. 13).
+#pragma once
+
+#include <cstdint>
+
+#include "nfv/placement/algorithm.h"
+
+namespace nfv::placement {
+
+/// Metropolis search over single-VNF moves and pairwise swaps, geometric
+/// cooling, seeded from FFD.
+class AnnealingPlacement final : public PlacementAlgorithm {
+ public:
+  struct Options {
+    std::uint32_t iterations = 20'000;
+    double initial_temperature = 0.05;  ///< in objective units (fills²)
+    double cooling = 0.9995;            ///< per-iteration multiplier
+    /// Probability of proposing a swap instead of a single move.
+    double swap_probability = 0.3;
+  };
+
+  AnnealingPlacement() = default;
+  explicit AnnealingPlacement(Options options);
+
+  [[nodiscard]] Placement place(const PlacementProblem& problem,
+                                Rng& rng) const override;
+  [[nodiscard]] std::string_view name() const override { return "SA"; }
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  Options options_{};
+};
+
+}  // namespace nfv::placement

@@ -1,0 +1,32 @@
+// Placement quality metrics — the quantities plotted in Figs. 5-10.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nfv/placement/problem.h"
+
+namespace nfv::placement {
+
+/// Metrics of a feasible placement.
+struct PlacementMetrics {
+  /// Σ_v y_v — nodes hosting at least one VNF (Eq. 14, Fig. 8).
+  std::size_t nodes_in_service = 0;
+  /// Objective 1 (Eq. 13): mean over used nodes of load_v / A_v (Figs. 5-7).
+  double avg_utilization_of_used = 0.0;
+  /// Σ_{v used} A_v — total capacity claimed by used nodes (Fig. 9).
+  double resource_occupation = 0.0;
+  /// Σ_f D_f·M_f placed (== problem.total_demand() when feasible).
+  double total_load = 0.0;
+  /// Per-node load (indexed by node), for inspection.
+  std::vector<double> node_load;
+};
+
+/// Evaluates a placement against its problem.  Unplaced VNFs contribute no
+/// load; callers should check Placement::feasible first for headline
+/// numbers.  Throws on out-of-range assignments or capacity violations
+/// beyond FP tolerance.
+[[nodiscard]] PlacementMetrics evaluate(const PlacementProblem& problem,
+                                        const Placement& placement);
+
+}  // namespace nfv::placement

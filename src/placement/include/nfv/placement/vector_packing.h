@@ -1,0 +1,86 @@
+// Multi-resource placement — the generalization the paper scopes out in
+// Sec. III-A ("CPU is usually defined as the bottleneck resource, while
+// other hardware resources are ... modeled as additional constraints").
+// Here the additional constraints become first-class: every node and VNF
+// carries a small resource vector (CPU, memory, bandwidth) and a
+// placement must fit in every dimension (vector bin packing).
+//
+// The algorithms mirror the scalar ones through the standard
+// dominant-share reduction (Grandl et al., "Multi-resource packing for
+// cluster schedulers"): items order by their largest normalized demand,
+// and fit quality is measured on the dominant residual dimension.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nfv/common/ids.h"
+#include "nfv/common/rng.h"
+
+namespace nfv::placement {
+
+/// Resource dimensions tracked by the vector model.
+enum class Resource : std::uint8_t { kCpu = 0, kMemory = 1, kBandwidth = 2 };
+inline constexpr std::size_t kResourceCount = 3;
+
+using ResourceVector = std::array<double, kResourceCount>;
+
+/// A vector bin-packing instance.
+struct VectorPlacementProblem {
+  std::vector<ResourceVector> capacities;  ///< per node, all entries > 0
+  std::vector<ResourceVector> demands;     ///< per VNF footprint, >= 0, some > 0
+
+  [[nodiscard]] std::size_t node_count() const { return capacities.size(); }
+  [[nodiscard]] std::size_t vnf_count() const { return demands.size(); }
+  void validate() const;
+
+  /// Demand of VNF f normalized by node v's capacity, per dimension.
+  [[nodiscard]] ResourceVector normalized_demand(std::uint32_t f,
+                                                 std::uint32_t v) const;
+
+  /// Dominant share of VNF f against the average node capacity — the
+  /// sort key for "decreasing" orders.
+  [[nodiscard]] double dominant_share(std::uint32_t f) const;
+};
+
+/// Assignment result (same shape as the scalar Placement).
+struct VectorPlacement {
+  std::vector<std::optional<NodeId>> assignment;
+  bool feasible = false;
+  std::uint64_t iterations = 0;
+};
+
+/// Per-dimension utilization metrics.
+struct VectorMetrics {
+  std::size_t nodes_in_service = 0;
+  /// Mean over used nodes of the per-node dominant (max-dimension)
+  /// utilization.
+  double avg_dominant_utilization = 0.0;
+  /// Mean utilization per dimension over used nodes.
+  ResourceVector avg_utilization{};
+};
+
+/// First Fit Decreasing by dominant share.
+[[nodiscard]] VectorPlacement vector_ffd(const VectorPlacementProblem& p);
+
+/// Best Fit Decreasing: tightest dominant residual after placing.
+[[nodiscard]] VectorPlacement vector_bfd(const VectorPlacementProblem& p);
+
+/// BFDSU lifted to vectors: used-nodes-first candidate set and a weighted
+/// random draw with weight 1/(1 + dominant residual slack), multi-start
+/// with the same stall/max-pass policy as the scalar algorithm.
+struct VectorBfdsuOptions {
+  std::uint32_t stall_limit = 10;
+  std::uint32_t max_passes = 60;
+};
+[[nodiscard]] VectorPlacement vector_bfdsu(const VectorPlacementProblem& p,
+                                           Rng& rng,
+                                           VectorBfdsuOptions options = {});
+
+/// Evaluates a placement; throws on any per-dimension capacity violation.
+[[nodiscard]] VectorMetrics evaluate(const VectorPlacementProblem& p,
+                                     const VectorPlacement& placement);
+
+}  // namespace nfv::placement

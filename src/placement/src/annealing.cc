@@ -1,0 +1,105 @@
+#include "nfv/placement/annealing.h"
+
+#include <cmath>
+#include <vector>
+
+#include "nfv/placement/metrics.h"
+#include "fit_util.h"
+
+namespace nfv::placement {
+
+AnnealingPlacement::AnnealingPlacement(Options options) : options_(options) {
+  NFV_REQUIRE(options_.iterations >= 1);
+  NFV_REQUIRE(options_.initial_temperature > 0.0);
+  NFV_REQUIRE(options_.cooling > 0.0 && options_.cooling <= 1.0);
+  NFV_REQUIRE(options_.swap_probability >= 0.0 &&
+              options_.swap_probability <= 1.0);
+}
+
+Placement AnnealingPlacement::place(const PlacementProblem& problem,
+                                    Rng& rng) const {
+  problem.validate();
+  // Seed with FFD; if even that fails, report infeasible (annealing could
+  // repair some instances, but a repair loop without a feasibility proof
+  // is not worth the complexity at these scales).
+  Placement current = FfdPlacement{}.place(problem, rng);
+  if (!current.feasible) return current;
+
+  const std::size_t n = problem.node_count();
+  std::vector<double> load(n, 0.0);
+  for (std::uint32_t f = 0; f < problem.vnf_count(); ++f) {
+    load[current.assignment[f]->index()] += problem.demands[f];
+  }
+  auto fill2 = [&](std::uint32_t v, double l) {
+    const double fill = l / problem.capacities[v];
+    return fill * fill;
+  };
+  double objective = 0.0;
+  for (std::uint32_t v = 0; v < n; ++v) objective += fill2(v, load[v]);
+
+  Placement best = current;
+  double best_objective = objective;
+  double temperature = options_.initial_temperature;
+
+  for (std::uint32_t iter = 0; iter < options_.iterations; ++iter) {
+    temperature *= options_.cooling;
+    const bool swap_move =
+        problem.vnf_count() >= 2 && rng.chance(options_.swap_probability);
+    if (!swap_move) {
+      // Move one VNF to another node with room.
+      const auto f = static_cast<std::uint32_t>(
+          rng.below(problem.vnf_count()));
+      const std::uint32_t from = current.assignment[f]->value();
+      const auto to = static_cast<std::uint32_t>(rng.below(n));
+      if (to == from) continue;
+      const double demand = problem.demands[f];
+      if (!detail::fits(problem.capacities[to] - load[to], demand)) continue;
+      const double delta = fill2(from, load[from] - demand) +
+                           fill2(to, load[to] + demand) -
+                           fill2(from, load[from]) - fill2(to, load[to]);
+      if (delta < 0.0 && !rng.chance(std::exp(delta / temperature))) {
+        continue;
+      }
+      load[from] -= demand;
+      load[to] += demand;
+      current.assignment[f] = NodeId{to};
+      objective += delta;
+    } else {
+      // Swap the hosts of two VNFs.
+      const auto f1 = static_cast<std::uint32_t>(
+          rng.below(problem.vnf_count()));
+      const auto f2 = static_cast<std::uint32_t>(
+          rng.below(problem.vnf_count()));
+      const std::uint32_t v1 = current.assignment[f1]->value();
+      const std::uint32_t v2 = current.assignment[f2]->value();
+      if (f1 == f2 || v1 == v2) continue;
+      const double d1 = problem.demands[f1];
+      const double d2 = problem.demands[f2];
+      const double new_load1 = load[v1] - d1 + d2;
+      const double new_load2 = load[v2] - d2 + d1;
+      if (new_load1 > problem.capacities[v1] + 1e-9 ||
+          new_load2 > problem.capacities[v2] + 1e-9) {
+        continue;
+      }
+      const double delta = fill2(v1, new_load1) + fill2(v2, new_load2) -
+                           fill2(v1, load[v1]) - fill2(v2, load[v2]);
+      if (delta < 0.0 && !rng.chance(std::exp(delta / temperature))) {
+        continue;
+      }
+      load[v1] = new_load1;
+      load[v2] = new_load2;
+      current.assignment[f1] = NodeId{v2};
+      current.assignment[f2] = NodeId{v1};
+      objective += delta;
+    }
+    if (objective > best_objective) {
+      best_objective = objective;
+      best = current;
+    }
+  }
+  best.feasible = true;
+  best.iterations = options_.iterations;
+  return best;
+}
+
+}  // namespace nfv::placement

@@ -1,0 +1,105 @@
+// BFDSU — Algorithm 1 of the paper ("Best Fit Decreasing using Smallest
+// Used nodes with the largest probability").
+#include <algorithm>
+#include <vector>
+
+#include "nfv/placement/algorithm.h"
+#include "nfv/placement/metrics.h"
+#include "fit_util.h"
+
+namespace nfv::placement {
+
+BfdsuPlacement::BfdsuPlacement(Options options) : options_(options) {
+  NFV_REQUIRE(options_.stall_limit >= 1);
+  NFV_REQUIRE(options_.max_passes >= 1);
+}
+
+Placement BfdsuPlacement::single_pass(const PlacementProblem& problem,
+                                      Rng& rng) const {
+  Placement result;
+  result.assignment.resize(problem.vnf_count());
+  std::vector<double> residual = problem.capacities;
+  std::vector<bool> used(problem.node_count(), false);
+
+  // Scratch reused across VNFs: candidate node set V_rst(f) and weights.
+  std::vector<std::uint32_t> candidates;
+  std::vector<double> weights;
+
+  for (const std::uint32_t f : detail::demand_order_desc(problem)) {
+    const double demand = problem.demands[f];
+
+    // Lines 4-8: search Used_list first, fall back to Spare_list.
+    candidates.clear();
+    for (std::uint32_t v = 0; v < problem.node_count(); ++v) {
+      if (used[v] && detail::fits(residual[v], demand)) {
+        candidates.push_back(v);
+      }
+    }
+    if (candidates.empty()) {
+      for (std::uint32_t v = 0; v < problem.node_count(); ++v) {
+        if (!used[v] && detail::fits(residual[v], demand)) {
+          candidates.push_back(v);
+        }
+      }
+    }
+    if (candidates.empty()) return result;  // line 9: go back to Begin
+
+    // Lines 12-16: weight each candidate by the reciprocal of its slack
+    // after placing f; the +1 keeps the weight finite on exact fits.
+    std::sort(candidates.begin(), candidates.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return residual[a] < residual[b];
+              });
+    weights.clear();
+    weights.reserve(candidates.size());
+    for (const std::uint32_t v : candidates) {
+      weights.push_back(1.0 / (1.0 + residual[v] - demand));
+    }
+    const std::uint32_t chosen = candidates[rng.weighted_index(weights)];
+    detail::assign(result, residual, f, chosen, demand);
+    used[chosen] = true;
+  }
+  result.feasible = true;
+  return result;
+}
+
+Placement BfdsuPlacement::place(const PlacementProblem& problem,
+                                Rng& rng) const {
+  problem.validate();
+  // Multi-start: keep the pass using the fewest nodes (ties broken by
+  // higher mean utilization of used nodes); stop after stall_limit passes
+  // without improvement.  Infeasible passes are the paper's "go back to
+  // Begin" restarts and count toward iterations but not toward stalls
+  // until a feasible placement exists.
+  Placement best;
+  double best_util = -1.0;
+  std::size_t best_nodes = problem.node_count() + 1;
+  std::uint32_t stall = 0;
+  std::uint64_t passes = 0;
+  while (passes < options_.max_passes && stall < options_.stall_limit) {
+    ++passes;
+    Placement candidate = single_pass(problem, rng);
+    if (!candidate.feasible) {
+      if (best.feasible) ++stall;
+      continue;
+    }
+    const PlacementMetrics m = evaluate(problem, candidate);
+    if (m.nodes_in_service < best_nodes ||
+        (m.nodes_in_service == best_nodes &&
+         m.avg_utilization_of_used > best_util)) {
+      best = std::move(candidate);
+      best_nodes = m.nodes_in_service;
+      best_util = m.avg_utilization_of_used;
+      stall = 0;
+    } else {
+      ++stall;
+    }
+  }
+  best.iterations = passes;
+  if (!best.feasible) {
+    best.assignment.assign(problem.vnf_count(), std::nullopt);
+  }
+  return best;
+}
+
+}  // namespace nfv::placement

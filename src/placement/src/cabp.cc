@@ -1,0 +1,158 @@
+#include "nfv/placement/cabp.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "nfv/placement/metrics.h"
+#include "fit_util.h"
+
+namespace nfv::placement {
+
+CabpPlacement::CabpPlacement(Options options) : options_(options) {
+  NFV_REQUIRE(options_.stall_limit >= 1);
+  NFV_REQUIRE(options_.max_passes >= 1);
+  NFV_REQUIRE(options_.affinity_bias >= 0.0);
+}
+
+namespace {
+
+/// Weight of chain c (1.0 when the problem carries no weights).
+double chain_weight(const PlacementProblem& p, std::size_t c) {
+  return p.chain_weights.empty() ? 1.0 : p.chain_weights[c];
+}
+
+/// Chain-spread proxy of an assignment: Σ_c w_c · (distinct nodes − 1) —
+/// the placement-level stand-in for the Eq. 16 link term.
+double chain_spread(const PlacementProblem& p,
+                    const std::vector<std::optional<NodeId>>& assignment) {
+  double spread = 0.0;
+  for (std::size_t c = 0; c < p.chains.size(); ++c) {
+    std::set<NodeId> nodes;
+    for (const std::uint32_t f : p.chains[c]) {
+      if (assignment[f].has_value()) nodes.insert(*assignment[f]);
+    }
+    if (nodes.size() > 1) {
+      spread += chain_weight(p, c) * static_cast<double>(nodes.size() - 1);
+    }
+  }
+  return spread;
+}
+
+}  // namespace
+
+Placement CabpPlacement::single_pass(const PlacementProblem& problem,
+                                     Rng& rng) const {
+  Placement result;
+  result.assignment.resize(problem.vnf_count());
+  std::vector<double> residual = problem.capacities;
+  std::vector<bool> used(problem.node_count(), false);
+
+  // chains_of[f]: indices of chains containing VNF f, for the affinity
+  // lookup during placement.
+  std::vector<std::vector<std::uint32_t>> chains_of(problem.vnf_count());
+  for (std::uint32_t c = 0; c < problem.chains.size(); ++c) {
+    for (const std::uint32_t f : problem.chains[c]) {
+      chains_of[f].push_back(c);
+    }
+  }
+
+  // A(v, f): weighted fraction of f's already-placed chain neighbours
+  // hosted by v, averaged over the chains containing f.
+  auto affinity = [&](std::uint32_t v, std::uint32_t f) {
+    double score = 0.0;
+    double total_weight = 0.0;
+    for (const std::uint32_t c : chains_of[f]) {
+      const auto& chain = problem.chains[c];
+      if (chain.size() < 2) continue;
+      const double w = chain_weight(problem, c);
+      std::uint32_t placed_here = 0;
+      for (const std::uint32_t g : chain) {
+        if (g != f && result.assignment[g].has_value() &&
+            result.assignment[g]->index() == v) {
+          ++placed_here;
+        }
+      }
+      score += w * static_cast<double>(placed_here) /
+               static_cast<double>(chain.size() - 1);
+      total_weight += w;
+    }
+    return total_weight > 0.0 ? score / total_weight : 0.0;
+  };
+
+  std::vector<std::uint32_t> candidates;
+  std::vector<double> weights;
+  for (const std::uint32_t f : detail::demand_order_desc(problem)) {
+    const double demand = problem.demands[f];
+    candidates.clear();
+    for (std::uint32_t v = 0; v < problem.node_count(); ++v) {
+      if (used[v] && detail::fits(residual[v], demand)) {
+        candidates.push_back(v);
+      }
+    }
+    if (candidates.empty()) {
+      for (std::uint32_t v = 0; v < problem.node_count(); ++v) {
+        if (!used[v] && detail::fits(residual[v], demand)) {
+          candidates.push_back(v);
+        }
+      }
+    }
+    if (candidates.empty()) return result;
+    weights.clear();
+    for (const std::uint32_t v : candidates) {
+      const double tightness = 1.0 / (1.0 + residual[v] - demand);
+      weights.push_back(tightness *
+                        (1.0 + options_.affinity_bias * affinity(v, f)));
+    }
+    const std::uint32_t chosen = candidates[rng.weighted_index(weights)];
+    detail::assign(result, residual, f, chosen, demand);
+    used[chosen] = true;
+  }
+  result.feasible = true;
+  return result;
+}
+
+Placement CabpPlacement::place(const PlacementProblem& problem,
+                               Rng& rng) const {
+  problem.validate();
+  Placement best;
+  std::size_t best_nodes = problem.node_count() + 1;
+  double best_spread = 0.0;
+  double best_util = -1.0;
+  std::uint32_t stall = 0;
+  std::uint64_t passes = 0;
+  while (passes < options_.max_passes && stall < options_.stall_limit) {
+    ++passes;
+    Placement candidate = single_pass(problem, rng);
+    if (!candidate.feasible) {
+      if (best.feasible) ++stall;
+      continue;
+    }
+    const PlacementMetrics m = evaluate(problem, candidate);
+    const double spread = chain_spread(problem, candidate.assignment);
+    // Lexicographic: fewest nodes, then least chain spread, then highest
+    // utilization.
+    const bool better =
+        m.nodes_in_service < best_nodes ||
+        (m.nodes_in_service == best_nodes &&
+         (spread < best_spread - 1e-12 ||
+          (spread <= best_spread + 1e-12 &&
+           m.avg_utilization_of_used > best_util)));
+    if (better) {
+      best = std::move(candidate);
+      best_nodes = m.nodes_in_service;
+      best_spread = spread;
+      best_util = m.avg_utilization_of_used;
+      stall = 0;
+    } else {
+      ++stall;
+    }
+  }
+  best.iterations = passes;
+  if (!best.feasible) {
+    best.assignment.assign(problem.vnf_count(), std::nullopt);
+  }
+  return best;
+}
+
+}  // namespace nfv::placement

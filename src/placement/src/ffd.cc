@@ -1,0 +1,28 @@
+#include "nfv/placement/algorithm.h"
+#include "fit_util.h"
+
+namespace nfv::placement {
+
+Placement FfdPlacement::place(const PlacementProblem& problem,
+                              Rng& /*rng*/) const {
+  problem.validate();
+  Placement result;
+  result.assignment.resize(problem.vnf_count());
+  result.iterations = 1;  // single deterministic pass (Fig. 10 baseline)
+  std::vector<double> residual = problem.capacities;
+  for (const std::uint32_t f : detail::demand_order_desc(problem)) {
+    bool placed = false;
+    for (std::uint32_t v = 0; v < problem.node_count(); ++v) {
+      if (detail::fits(residual[v], problem.demands[f])) {
+        detail::assign(result, residual, f, v, problem.demands[f]);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return result;  // feasible stays false
+  }
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace nfv::placement

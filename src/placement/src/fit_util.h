@@ -1,0 +1,38 @@
+// Internal helpers shared by the fit-family placement algorithms.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "nfv/placement/problem.h"
+
+namespace nfv::placement::detail {
+
+/// VNF indices sorted by descending demand (stable for determinism).
+inline std::vector<std::uint32_t> demand_order_desc(
+    const PlacementProblem& problem) {
+  std::vector<std::uint32_t> order(problem.vnf_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return problem.demands[a] > problem.demands[b];
+                   });
+  return order;
+}
+
+/// Commits VNF f to node v in an in-progress placement.
+inline void assign(Placement& placement, std::vector<double>& residual,
+                   std::uint32_t f, std::uint32_t v, double demand) {
+  placement.assignment[f] = NodeId{v};
+  residual[v] -= demand;
+}
+
+/// True when a node can still hold `demand` (with an epsilon for the FP
+/// accumulation of repeated subtractions).
+inline bool fits(double residual, double demand) {
+  return residual >= demand - 1e-9;
+}
+
+}  // namespace nfv::placement::detail

@@ -1,0 +1,34 @@
+#include "nfv/placement/metrics.h"
+
+#include "nfv/common/error.h"
+
+namespace nfv::placement {
+
+PlacementMetrics evaluate(const PlacementProblem& problem,
+                          const Placement& placement) {
+  NFV_REQUIRE(placement.assignment.size() == problem.vnf_count());
+  PlacementMetrics m;
+  m.node_load.assign(problem.node_count(), 0.0);
+  for (std::uint32_t f = 0; f < problem.vnf_count(); ++f) {
+    const auto& node = placement.assignment[f];
+    if (!node.has_value()) continue;
+    NFV_REQUIRE(node->index() < problem.node_count());
+    m.node_load[node->index()] += problem.demands[f];
+    m.total_load += problem.demands[f];
+  }
+  double utilization_sum = 0.0;
+  for (std::size_t v = 0; v < problem.node_count(); ++v) {
+    if (m.node_load[v] <= 0.0) continue;
+    NFV_REQUIRE(m.node_load[v] <= problem.capacities[v] + 1e-6);
+    ++m.nodes_in_service;
+    m.resource_occupation += problem.capacities[v];
+    utilization_sum += m.node_load[v] / problem.capacities[v];
+  }
+  if (m.nodes_in_service > 0) {
+    m.avg_utilization_of_used =
+        utilization_sum / static_cast<double>(m.nodes_in_service);
+  }
+  return m;
+}
+
+}  // namespace nfv::placement

@@ -1,0 +1,90 @@
+// Node Assignment Heuristic (Xia et al. [12]) as summarized in Sec. V-B of
+// the paper: chain-by-chain, anchor the most demanding VNF at the node with
+// the largest remaining capacity, co-locate the rest of the chain there if
+// possible, spill leftovers to the next largest node.  NAH keeps no
+// used/spare bookkeeping, so it tends to spread VNFs across many
+// lightly-loaded nodes (worst-fit behaviour), which is exactly what
+// Figs. 5-9 penalize.
+#include <algorithm>
+
+#include "nfv/placement/algorithm.h"
+#include "fit_util.h"
+
+namespace nfv::placement {
+
+Placement NahPlacement::place(const PlacementProblem& problem,
+                              Rng& /*rng*/) const {
+  problem.validate();
+  Placement result;
+  result.assignment.resize(problem.vnf_count());
+  std::vector<double> residual = problem.capacities;
+  std::vector<bool> placed(problem.vnf_count(), false);
+
+  auto largest_node_fitting = [&](double demand) -> std::uint32_t {
+    std::uint32_t chosen = static_cast<std::uint32_t>(problem.node_count());
+    for (std::uint32_t v = 0; v < problem.node_count(); ++v) {
+      if (!detail::fits(residual[v], demand)) continue;
+      if (chosen == problem.node_count() || residual[v] > residual[chosen]) {
+        chosen = v;
+      }
+    }
+    return chosen;
+  };
+
+  auto place_chain = [&](const std::vector<std::uint32_t>& chain) -> bool {
+    // NAH keeps no used/spare state, so every chain costs at least one
+    // node-scan round (Fig. 10's cost unit) even when all of its members
+    // were already placed by earlier chains.
+    ++result.iterations;
+    // Unplaced members, most demanding first.
+    std::vector<std::uint32_t> pending;
+    for (const std::uint32_t f : chain) {
+      if (!placed[f]) pending.push_back(f);
+    }
+    if (pending.empty()) return true;
+    std::stable_sort(pending.begin(), pending.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return problem.demands[a] > problem.demands[b];
+                     });
+    bool first_round = true;
+    while (!pending.empty()) {
+      // Spill rounds re-scan the node list — each costs another iteration
+      // (the first selection reuses the per-chain scan counted above).
+      if (!first_round) ++result.iterations;
+      first_round = false;
+      const std::uint32_t anchor = largest_node_fitting(
+          problem.demands[pending.front()]);
+      if (anchor == problem.node_count()) return false;
+      // Greedily co-locate as many pending chain members as fit.
+      std::vector<std::uint32_t> leftovers;
+      for (const std::uint32_t f : pending) {
+        if (detail::fits(residual[anchor], problem.demands[f])) {
+          detail::assign(result, residual, f, anchor, problem.demands[f]);
+          placed[f] = true;
+        } else {
+          leftovers.push_back(f);
+        }
+      }
+      pending = std::move(leftovers);
+    }
+    return true;
+  };
+
+  for (const auto& chain : problem.chains) {
+    if (!place_chain(chain)) return result;
+  }
+  // VNFs used by no chain (possible in hand-built problems): place each at
+  // the largest-capacity node, same policy.
+  for (std::uint32_t f = 0; f < problem.vnf_count(); ++f) {
+    if (placed[f]) continue;
+    ++result.iterations;
+    const std::uint32_t v = largest_node_fitting(problem.demands[f]);
+    if (v == problem.node_count()) return result;
+    detail::assign(result, residual, f, v, problem.demands[f]);
+    placed[f] = true;
+  }
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace nfv::placement

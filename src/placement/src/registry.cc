@@ -1,0 +1,27 @@
+#include "nfv/placement/algorithm.h"
+#include "nfv/placement/annealing.h"
+#include "nfv/placement/cabp.h"
+
+namespace nfv::placement {
+
+std::unique_ptr<PlacementAlgorithm> make_placement_algorithm(
+    std::string_view name) {
+  if (name == "BFDSU") return std::make_unique<BfdsuPlacement>();
+  if (name == "FFD") return std::make_unique<FfdPlacement>();
+  if (name == "NAH") return std::make_unique<NahPlacement>();
+  if (name == "BFD") return std::make_unique<BfdPlacement>();
+  if (name == "WFD") return std::make_unique<WfdPlacement>();
+  if (name == "FF") return std::make_unique<FirstFitPlacement>();
+  if (name == "NFD") return std::make_unique<NfdPlacement>();
+  if (name == "CABP") return std::make_unique<CabpPlacement>();
+  if (name == "SA") return std::make_unique<AnnealingPlacement>();
+  if (name == "Exact") return std::make_unique<ExactPlacement>();
+  return nullptr;
+}
+
+std::vector<std::string> placement_algorithm_names() {
+  return {"BFDSU", "CABP", "SA", "FFD", "NAH", "BFD", "WFD", "FF", "NFD",
+          "Exact"};
+}
+
+}  // namespace nfv::placement

@@ -1,0 +1,253 @@
+#include "nfv/placement/vector_packing.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "nfv/common/error.h"
+
+namespace nfv::placement {
+
+namespace {
+
+/// True iff demand fits residual in every dimension (FP tolerance).
+bool fits(const ResourceVector& residual, const ResourceVector& demand) {
+  for (std::size_t d = 0; d < kResourceCount; ++d) {
+    if (residual[d] < demand[d] - 1e-9) return false;
+  }
+  return true;
+}
+
+void subtract(ResourceVector& residual, const ResourceVector& demand) {
+  for (std::size_t d = 0; d < kResourceCount; ++d) residual[d] -= demand[d];
+}
+
+/// Dominant residual fraction of a node after hypothetically placing the
+/// demand: max over dimensions of residual'/capacity — the vector
+/// analogue of the scalar RST(v).
+double dominant_slack(const ResourceVector& residual,
+                      const ResourceVector& capacity,
+                      const ResourceVector& demand) {
+  double slack = 0.0;
+  for (std::size_t d = 0; d < kResourceCount; ++d) {
+    slack = std::max(slack, (residual[d] - demand[d]) / capacity[d]);
+  }
+  return slack;
+}
+
+std::vector<std::uint32_t> dominant_order_desc(
+    const VectorPlacementProblem& p) {
+  std::vector<std::uint32_t> order(p.vnf_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return p.dominant_share(a) > p.dominant_share(b);
+                   });
+  return order;
+}
+
+}  // namespace
+
+void VectorPlacementProblem::validate() const {
+  NFV_REQUIRE(!capacities.empty());
+  NFV_REQUIRE(!demands.empty());
+  for (const auto& c : capacities) {
+    for (const double x : c) NFV_REQUIRE(x > 0.0);
+  }
+  for (const auto& demand : demands) {
+    double total = 0.0;
+    for (const double x : demand) {
+      NFV_REQUIRE(x >= 0.0);
+      total += x;
+    }
+    NFV_REQUIRE(total > 0.0);
+  }
+}
+
+ResourceVector VectorPlacementProblem::normalized_demand(
+    std::uint32_t f, std::uint32_t v) const {
+  NFV_REQUIRE(f < vnf_count() && v < node_count());
+  ResourceVector out{};
+  for (std::size_t d = 0; d < kResourceCount; ++d) {
+    out[d] = demands[f][d] / capacities[v][d];
+  }
+  return out;
+}
+
+double VectorPlacementProblem::dominant_share(std::uint32_t f) const {
+  NFV_REQUIRE(f < vnf_count());
+  ResourceVector mean_capacity{};
+  for (const auto& c : capacities) {
+    for (std::size_t d = 0; d < kResourceCount; ++d) mean_capacity[d] += c[d];
+  }
+  double share = 0.0;
+  for (std::size_t d = 0; d < kResourceCount; ++d) {
+    mean_capacity[d] /= static_cast<double>(node_count());
+    share = std::max(share, demands[f][d] / mean_capacity[d]);
+  }
+  return share;
+}
+
+VectorPlacement vector_ffd(const VectorPlacementProblem& p) {
+  p.validate();
+  VectorPlacement result;
+  result.assignment.resize(p.vnf_count());
+  result.iterations = 1;
+  std::vector<ResourceVector> residual = p.capacities;
+  for (const std::uint32_t f : dominant_order_desc(p)) {
+    bool placed = false;
+    for (std::uint32_t v = 0; v < p.node_count(); ++v) {
+      if (fits(residual[v], p.demands[f])) {
+        subtract(residual[v], p.demands[f]);
+        result.assignment[f] = NodeId{v};
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return result;
+  }
+  result.feasible = true;
+  return result;
+}
+
+VectorPlacement vector_bfd(const VectorPlacementProblem& p) {
+  p.validate();
+  VectorPlacement result;
+  result.assignment.resize(p.vnf_count());
+  result.iterations = 1;
+  std::vector<ResourceVector> residual = p.capacities;
+  for (const std::uint32_t f : dominant_order_desc(p)) {
+    auto chosen = static_cast<std::uint32_t>(p.node_count());
+    double chosen_slack = 0.0;
+    for (std::uint32_t v = 0; v < p.node_count(); ++v) {
+      if (!fits(residual[v], p.demands[f])) continue;
+      const double slack =
+          dominant_slack(residual[v], p.capacities[v], p.demands[f]);
+      if (chosen == p.node_count() || slack < chosen_slack) {
+        chosen = v;
+        chosen_slack = slack;
+      }
+    }
+    if (chosen == p.node_count()) return result;
+    subtract(residual[chosen], p.demands[f]);
+    result.assignment[f] = NodeId{chosen};
+  }
+  result.feasible = true;
+  return result;
+}
+
+namespace {
+
+VectorPlacement vector_bfdsu_pass(const VectorPlacementProblem& p, Rng& rng) {
+  VectorPlacement result;
+  result.assignment.resize(p.vnf_count());
+  std::vector<ResourceVector> residual = p.capacities;
+  std::vector<bool> used(p.node_count(), false);
+  std::vector<std::uint32_t> candidates;
+  std::vector<double> weights;
+  for (const std::uint32_t f : dominant_order_desc(p)) {
+    candidates.clear();
+    for (std::uint32_t v = 0; v < p.node_count(); ++v) {
+      if (used[v] && fits(residual[v], p.demands[f])) candidates.push_back(v);
+    }
+    if (candidates.empty()) {
+      for (std::uint32_t v = 0; v < p.node_count(); ++v) {
+        if (!used[v] && fits(residual[v], p.demands[f])) {
+          candidates.push_back(v);
+        }
+      }
+    }
+    if (candidates.empty()) return result;
+    weights.clear();
+    for (const std::uint32_t v : candidates) {
+      weights.push_back(
+          1.0 /
+          (1.0 + dominant_slack(residual[v], p.capacities[v], p.demands[f])));
+    }
+    const std::uint32_t chosen = candidates[rng.weighted_index(weights)];
+    subtract(residual[chosen], p.demands[f]);
+    used[chosen] = true;
+    result.assignment[f] = NodeId{chosen};
+  }
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace
+
+VectorPlacement vector_bfdsu(const VectorPlacementProblem& p, Rng& rng,
+                             VectorBfdsuOptions options) {
+  p.validate();
+  NFV_REQUIRE(options.stall_limit >= 1);
+  NFV_REQUIRE(options.max_passes >= 1);
+  VectorPlacement best;
+  std::size_t best_nodes = p.node_count() + 1;
+  double best_util = -1.0;
+  std::uint32_t stall = 0;
+  std::uint64_t passes = 0;
+  while (passes < options.max_passes && stall < options.stall_limit) {
+    ++passes;
+    VectorPlacement candidate = vector_bfdsu_pass(p, rng);
+    if (!candidate.feasible) {
+      if (best.feasible) ++stall;
+      continue;
+    }
+    const VectorMetrics m = evaluate(p, candidate);
+    if (m.nodes_in_service < best_nodes ||
+        (m.nodes_in_service == best_nodes &&
+         m.avg_dominant_utilization > best_util)) {
+      best = std::move(candidate);
+      best_nodes = m.nodes_in_service;
+      best_util = m.avg_dominant_utilization;
+      stall = 0;
+    } else {
+      ++stall;
+    }
+  }
+  best.iterations = passes;
+  if (!best.feasible) {
+    best.assignment.assign(p.vnf_count(), std::nullopt);
+  }
+  return best;
+}
+
+VectorMetrics evaluate(const VectorPlacementProblem& p,
+                       const VectorPlacement& placement) {
+  NFV_REQUIRE(placement.assignment.size() == p.vnf_count());
+  std::vector<ResourceVector> load(p.node_count(), ResourceVector{});
+  for (std::uint32_t f = 0; f < p.vnf_count(); ++f) {
+    const auto& node = placement.assignment[f];
+    if (!node.has_value()) continue;
+    NFV_REQUIRE(node->index() < p.node_count());
+    for (std::size_t d = 0; d < kResourceCount; ++d) {
+      load[node->index()][d] += p.demands[f][d];
+    }
+  }
+  VectorMetrics m;
+  double dominant_sum = 0.0;
+  ResourceVector per_dim_sum{};
+  for (std::uint32_t v = 0; v < p.node_count(); ++v) {
+    double total_load = 0.0;
+    double dominant = 0.0;
+    for (std::size_t d = 0; d < kResourceCount; ++d) {
+      NFV_REQUIRE(load[v][d] <= p.capacities[v][d] + 1e-6);
+      total_load += load[v][d];
+      dominant = std::max(dominant, load[v][d] / p.capacities[v][d]);
+    }
+    if (total_load <= 0.0) continue;
+    ++m.nodes_in_service;
+    dominant_sum += dominant;
+    for (std::size_t d = 0; d < kResourceCount; ++d) {
+      per_dim_sum[d] += load[v][d] / p.capacities[v][d];
+    }
+  }
+  if (m.nodes_in_service > 0) {
+    const auto n = static_cast<double>(m.nodes_in_service);
+    m.avg_dominant_utilization = dominant_sum / n;
+    for (std::size_t d = 0; d < kResourceCount; ++d) {
+      m.avg_utilization[d] = per_dim_sum[d] / n;
+    }
+  }
+  return m;
+}
+
+}  // namespace nfv::placement

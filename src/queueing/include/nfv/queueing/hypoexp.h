@@ -1,0 +1,52 @@
+// Hypoexponential sojourn distributions — analytic *tail* predictions for
+// chains.
+//
+// A packet that traverses a chain of independent M/M/1 stations (rates
+// ν_i = μ_i − Λ_i) experiences a total sojourn distributed as the sum of
+// independent exponentials — a hypoexponential.  The paper only reports
+// mean latencies; this class adds the full CDF and quantiles, so the
+// library can predict p99 end-to-end latency analytically and validate it
+// against the packet-level simulator.
+#pragma once
+
+#include <vector>
+
+#include "nfv/common/error.h"
+
+namespace nfv::queueing {
+
+/// Sum of independent Exp(ν_i) variables.  Rates must be positive; equal
+/// rates are handled by an internal relative jitter of 1e-9 (the closed
+/// form has removable singularities at coincident rates; the jitter's
+/// effect on probabilities is far below the simulator's statistical
+/// noise).
+class Hypoexponential {
+ public:
+  explicit Hypoexponential(std::vector<double> rates);
+
+  [[nodiscard]] std::size_t stage_count() const { return rates_.size(); }
+
+  /// Σ 1/ν_i.
+  [[nodiscard]] double mean() const;
+  /// Σ 1/ν_i².
+  [[nodiscard]] double variance() const;
+
+  /// P(T ≤ t); 0 for t ≤ 0.
+  [[nodiscard]] double cdf(double t) const;
+
+  /// Smallest t with cdf(t) ≥ q, by bisection; q ∈ [0, 1).
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  std::vector<double> rates_;    // de-duplicated by jitter, ascending
+  std::vector<double> weights_;  // partial-fraction coefficients
+};
+
+/// Convenience: the sojourn distribution of a chain of M/M/1 stations with
+/// the given service rates and per-station equivalent arrival rates
+/// (every station must be stable).
+[[nodiscard]] Hypoexponential chain_sojourn(
+    const std::vector<double>& service_rates,
+    const std::vector<double>& arrival_rates);
+
+}  // namespace nfv::queueing

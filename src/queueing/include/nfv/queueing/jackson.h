@@ -1,0 +1,84 @@
+// Open Jackson network solver (Sec. III-B).
+//
+// Stations are M/M/1 service instances; packets arrive externally as
+// Poisson streams and move between stations according to a routing matrix.
+// Kleinrock's independence approximation lets merged flows at a station be
+// treated as Poisson with the summed rate, so the stationary distribution
+// factorizes (Jackson's theorem) once the traffic equations
+//     λ_i = λ0_i + Σ_j λ_j P_{ji}
+// are solved.  The solver uses dense Gaussian elimination on (I - Pᵀ),
+// which is exact and cheap at the network sizes in the paper (≤ thousands
+// of instances).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nfv/common/error.h"
+
+namespace nfv::queueing {
+
+/// Per-station solution of an open Jackson network.
+struct StationMetrics {
+  double arrival_rate = 0.0;   ///< solved equivalent total rate λ_i
+  double utilization = 0.0;    ///< ρ_i = λ_i/μ_i
+  double mean_in_system = 0.0; ///< N_i = ρ/(1-ρ)
+  double mean_response = 0.0;  ///< W_i = 1/(μ_i-λ_i)
+  bool stable = false;         ///< ρ_i < 1
+};
+
+/// Whole-network solution.
+struct NetworkSolution {
+  std::vector<StationMetrics> stations;
+  bool stable = false;          ///< all stations stable
+  double total_external_rate = 0.0;
+  /// Network mean sojourn time by Little's law: Σ N_i / Σ λ0_i.
+  /// Only meaningful when stable.
+  double mean_sojourn = 0.0;
+};
+
+/// An open Jackson network under construction.
+class OpenJacksonNetwork {
+ public:
+  /// Creates a network of `stations` M/M/1 stations with the given service
+  /// rates (all > 0).
+  explicit OpenJacksonNetwork(std::vector<double> service_rates);
+
+  [[nodiscard]] std::size_t station_count() const {
+    return service_rates_.size();
+  }
+
+  /// Sets the external Poisson arrival rate λ0_i at a station.
+  void set_external_rate(std::size_t station, double rate);
+
+  /// Sets the routing probability P_{from,to}: after service at `from`, a
+  /// packet moves to `to` with this probability (remaining mass exits the
+  /// network).  Row sums must stay ≤ 1.
+  void set_routing(std::size_t from, std::size_t to, double probability);
+
+  /// Solves the traffic equations and evaluates per-station M/M/1 metrics.
+  /// Throws InfeasibleError if (I - Pᵀ) is singular (routing keeps packets
+  /// forever, i.e. the network is not open).
+  [[nodiscard]] NetworkSolution solve() const;
+
+  [[nodiscard]] double service_rate(std::size_t station) const;
+  [[nodiscard]] double external_rate(std::size_t station) const;
+  [[nodiscard]] double routing(std::size_t from, std::size_t to) const;
+
+ private:
+  std::vector<double> service_rates_;
+  std::vector<double> external_rates_;
+  std::vector<double> routing_;  // row-major [from * n + to]
+};
+
+/// Builds the paper's Fig. 3 scenario as a Jackson network: a chain of
+/// stations with service rates `service_rates`, external Poisson rate
+/// `external_rate` into the first station, and NACK feedback — after the
+/// last station a packet is lost/retransmitted with probability
+/// (1 - delivery_prob), re-entering station 0.  The solved per-station rate
+/// equals external_rate / delivery_prob (Burke).
+[[nodiscard]] OpenJacksonNetwork make_chain_with_loss(
+    const std::vector<double>& service_rates, double external_rate,
+    double delivery_prob);
+
+}  // namespace nfv::queueing

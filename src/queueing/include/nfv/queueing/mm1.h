@@ -1,0 +1,97 @@
+// M/M/1 closed forms (Sec. III-B of the paper).
+//
+// Every service instance is a single-server FCFS queue with Poisson
+// arrivals of aggregate rate Λ and exponential service with rate μ:
+//   ρ     = Λ/μ                      (Eq. 9)
+//   π(n)  = (1-ρ) ρ^n                (Eq. 8)
+//   N     = ρ/(1-ρ)                  (Eq. 10, mean number in system)
+//   W     = N/λ_throughput           (Eq. 11, via Little)
+//         = 1/(μ-Λ)                  (response = queueing + service)
+// With a packet-delivery probability P and NACK retransmission feedback,
+// Burke's theorem gives an equivalent arrival rate Λ = λ0/P, hence the
+// paper's W = 1/(Pμ - λ0) form (Eq. 12).
+#pragma once
+
+#include <cmath>
+
+#include "nfv/common/error.h"
+
+namespace nfv::queueing {
+
+/// Server utilization ρ = Λ/μ.
+[[nodiscard]] inline double mm1_utilization(double arrival_rate,
+                                            double service_rate) {
+  NFV_REQUIRE(service_rate > 0.0);
+  NFV_REQUIRE(arrival_rate >= 0.0);
+  return arrival_rate / service_rate;
+}
+
+/// True iff the queue is stable (ρ < 1).
+[[nodiscard]] inline bool mm1_stable(double arrival_rate,
+                                     double service_rate) {
+  return mm1_utilization(arrival_rate, service_rate) < 1.0;
+}
+
+/// Stationary probability of n packets in the system, π(n) = (1-ρ)ρ^n.
+[[nodiscard]] inline double mm1_state_probability(double arrival_rate,
+                                                  double service_rate,
+                                                  unsigned n) {
+  const double rho = mm1_utilization(arrival_rate, service_rate);
+  NFV_REQUIRE(rho < 1.0);
+  return (1.0 - rho) * std::pow(rho, static_cast<double>(n));
+}
+
+/// Mean number in system N = ρ/(1-ρ) (Eq. 10).
+[[nodiscard]] inline double mm1_mean_in_system(double arrival_rate,
+                                               double service_rate) {
+  const double rho = mm1_utilization(arrival_rate, service_rate);
+  NFV_REQUIRE(rho < 1.0);
+  return rho / (1.0 - rho);
+}
+
+/// Mean response time (wait + service) W = 1/(μ-Λ).
+[[nodiscard]] inline double mm1_mean_response(double arrival_rate,
+                                              double service_rate) {
+  NFV_REQUIRE(mm1_stable(arrival_rate, service_rate));
+  return 1.0 / (service_rate - arrival_rate);
+}
+
+/// Mean waiting time (excluding service) W_q = ρ/(μ-Λ).
+[[nodiscard]] inline double mm1_mean_wait(double arrival_rate,
+                                          double service_rate) {
+  return mm1_utilization(arrival_rate, service_rate) *
+         mm1_mean_response(arrival_rate, service_rate);
+}
+
+/// q-quantile of the (exponential) response-time distribution:
+/// T ~ Exp(μ-Λ), so T_q = -ln(1-q)/(μ-Λ).
+[[nodiscard]] inline double mm1_response_quantile(double arrival_rate,
+                                                  double service_rate,
+                                                  double q) {
+  NFV_REQUIRE(q >= 0.0 && q < 1.0);
+  return -std::log1p(-q) * mm1_mean_response(arrival_rate, service_rate);
+}
+
+/// Burke-corrected equivalent arrival rate with loss feedback: a stream of
+/// external rate λ0 whose packets are retransmitted until delivered
+/// (success probability P per attempt) presents rate λ0/P in steady state.
+[[nodiscard]] inline double effective_arrival_rate(double external_rate,
+                                                   double delivery_prob) {
+  NFV_REQUIRE(external_rate >= 0.0);
+  NFV_REQUIRE(delivery_prob > 0.0 && delivery_prob <= 1.0);
+  return external_rate / delivery_prob;
+}
+
+/// The paper's per-instance response form W = 1/(Pμ - λ0) (Eq. 12):
+/// equivalent to mm1_mean_response(λ0/P, μ)/... scaled — precisely,
+/// 1/(Pμ-λ0) = (1/P)·1/(μ-λ0/P).
+[[nodiscard]] inline double instance_response_with_loss(double external_rate,
+                                                        double service_rate,
+                                                        double delivery_prob) {
+  NFV_REQUIRE(delivery_prob > 0.0 && delivery_prob <= 1.0);
+  const double denom = delivery_prob * service_rate - external_rate;
+  NFV_REQUIRE(denom > 0.0);
+  return 1.0 / denom;
+}
+
+}  // namespace nfv::queueing

@@ -1,0 +1,108 @@
+// M/M/1/K — the finite-buffer refinement of the paper's per-instance
+// model.  The paper treats congestion through the delivery probability P
+// and an admission-control rejection rate; with a finite buffer of K
+// packets the loss becomes endogenous: arrivals that find the buffer full
+// are dropped with the blocking probability π(K).  These closed forms let
+// users trade the two views off and give the DES a validation target.
+#pragma once
+
+#include <cmath>
+
+#include "nfv/common/error.h"
+
+namespace nfv::queueing {
+
+/// Stationary probability that an M/M/1/K system holds n packets
+/// (0 ≤ n ≤ K).  Valid for any ρ ≥ 0 (the finite chain is always ergodic).
+[[nodiscard]] inline double mm1k_state_probability(double arrival_rate,
+                                                   double service_rate,
+                                                   unsigned buffer,
+                                                   unsigned n) {
+  NFV_REQUIRE(service_rate > 0.0);
+  NFV_REQUIRE(arrival_rate >= 0.0);
+  NFV_REQUIRE(n <= buffer);
+  const double rho = arrival_rate / service_rate;
+  if (rho == 1.0) return 1.0 / static_cast<double>(buffer + 1);
+  if (rho > 1.0) {
+    // Overflow-safe form for ρ > 1 (ρ^{K+1} can exceed double range):
+    // π(n) = ((ρ−1)/ρ) · ρ^{n−K} / (1 − ρ^{−(K+1)}).
+    const double inv = 1.0 / rho;
+    const double num = (rho - 1.0) / rho *
+                       std::pow(inv, static_cast<double>(buffer - n));
+    const double den = 1.0 - std::pow(inv, static_cast<double>(buffer + 1));
+    return num / den;
+  }
+  const double num = (1.0 - rho) * std::pow(rho, static_cast<double>(n));
+  const double den = 1.0 - std::pow(rho, static_cast<double>(buffer + 1));
+  return num / den;
+}
+
+/// Blocking probability: the PASTA fraction of arrivals dropped because
+/// the system already holds K packets.
+[[nodiscard]] inline double mm1k_blocking_probability(double arrival_rate,
+                                                      double service_rate,
+                                                      unsigned buffer) {
+  return mm1k_state_probability(arrival_rate, service_rate, buffer, buffer);
+}
+
+/// Mean number of packets in the system.
+[[nodiscard]] inline double mm1k_mean_in_system(double arrival_rate,
+                                                double service_rate,
+                                                unsigned buffer) {
+  NFV_REQUIRE(service_rate > 0.0);
+  NFV_REQUIRE(arrival_rate >= 0.0);
+  const double rho = arrival_rate / service_rate;
+  const auto k = static_cast<double>(buffer);
+  if (rho == 1.0) return k / 2.0;
+  if (rho > 1.0) {
+    // Overflow-safe: (K+1)·ρ^{K+1}/(1−ρ^{K+1}) = (K+1)/(ρ^{−(K+1)}−1).
+    const double inv_pow = std::pow(1.0 / rho, k + 1.0);
+    return rho / (1.0 - rho) - (k + 1.0) / (inv_pow - 1.0);
+  }
+  const double rk1 = std::pow(rho, k + 1.0);
+  return rho / (1.0 - rho) - (k + 1.0) * rk1 / (1.0 - rk1);
+}
+
+/// Effective (carried) arrival rate λ·(1 − π(K)).
+[[nodiscard]] inline double mm1k_throughput(double arrival_rate,
+                                            double service_rate,
+                                            unsigned buffer) {
+  return arrival_rate *
+         (1.0 - mm1k_blocking_probability(arrival_rate, service_rate, buffer));
+}
+
+/// Mean response time of *accepted* packets, by Little's law over the
+/// carried load: W = N / (λ·(1 − π(K))).  Requires a positive carried rate.
+[[nodiscard]] inline double mm1k_mean_response(double arrival_rate,
+                                               double service_rate,
+                                               unsigned buffer) {
+  const double carried = mm1k_throughput(arrival_rate, service_rate, buffer);
+  NFV_REQUIRE(carried > 0.0);
+  return mm1k_mean_in_system(arrival_rate, service_rate, buffer) / carried;
+}
+
+/// Smallest buffer K whose blocking probability is ≤ `target` for the
+/// given load; caps the search at `max_buffer` and returns it if even that
+/// cannot reach the target (ρ ≥ 1 can never go below 1−1/ρ).
+[[nodiscard]] inline unsigned mm1k_buffer_for_blocking(double arrival_rate,
+                                                       double service_rate,
+                                                       double target,
+                                                       unsigned max_buffer = 1u << 20) {
+  NFV_REQUIRE(target > 0.0 && target < 1.0);
+  unsigned lo = 1;
+  unsigned hi = max_buffer;
+  if (mm1k_blocking_probability(arrival_rate, service_rate, hi) > target) {
+    return max_buffer;
+  }
+  while (lo < hi) {
+    const unsigned mid = lo + (hi - lo) / 2;
+    if (mm1k_blocking_probability(arrival_rate, service_rate, mid) <= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace nfv::queueing

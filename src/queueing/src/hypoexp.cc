@@ -1,0 +1,92 @@
+#include "nfv/queueing/hypoexp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nfv::queueing {
+
+Hypoexponential::Hypoexponential(std::vector<double> rates)
+    : rates_(std::move(rates)) {
+  NFV_REQUIRE(!rates_.empty());
+  for (const double r : rates_) NFV_REQUIRE(r > 0.0);
+  std::sort(rates_.begin(), rates_.end());
+  // Separate coincident rates with a tiny relative jitter so the distinct-
+  // rate partial-fraction form applies.
+  for (std::size_t i = 1; i < rates_.size(); ++i) {
+    if (rates_[i] <= rates_[i - 1] * (1.0 + 1e-9)) {
+      rates_[i] = rates_[i - 1] * (1.0 + 1e-9) + 1e-300;
+    }
+  }
+  // w_i = Π_{j≠i} ν_j / (ν_j − ν_i);  F(t) = 1 − Σ w_i e^{−ν_i t}.
+  weights_.resize(rates_.size());
+  for (std::size_t i = 0; i < rates_.size(); ++i) {
+    double w = 1.0;
+    for (std::size_t j = 0; j < rates_.size(); ++j) {
+      if (j == i) continue;
+      w *= rates_[j] / (rates_[j] - rates_[i]);
+    }
+    weights_[i] = w;
+  }
+}
+
+double Hypoexponential::mean() const {
+  double total = 0.0;
+  for (const double r : rates_) total += 1.0 / r;
+  return total;
+}
+
+double Hypoexponential::variance() const {
+  double total = 0.0;
+  for (const double r : rates_) total += 1.0 / (r * r);
+  return total;
+}
+
+double Hypoexponential::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  double survival = 0.0;
+  for (std::size_t i = 0; i < rates_.size(); ++i) {
+    survival += weights_[i] * std::exp(-rates_[i] * t);
+  }
+  // Alternating weights can leave tiny negative / >1 residue; clamp.
+  return std::clamp(1.0 - survival, 0.0, 1.0);
+}
+
+double Hypoexponential::quantile(double q) const {
+  NFV_REQUIRE(q >= 0.0 && q < 1.0);
+  if (q == 0.0) return 0.0;
+  // Bracket: the mean plus enough slowest-stage e-foldings.
+  double lo = 0.0;
+  double hi = mean();
+  const double slowest = rates_.front();
+  while (cdf(hi) < q) {
+    hi += std::max(1.0 / slowest, hi);
+    NFV_CHECK(hi < 1e30);
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-12 * hi) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+Hypoexponential chain_sojourn(const std::vector<double>& service_rates,
+                              const std::vector<double>& arrival_rates) {
+  NFV_REQUIRE(service_rates.size() == arrival_rates.size());
+  NFV_REQUIRE(!service_rates.empty());
+  std::vector<double> nu;
+  nu.reserve(service_rates.size());
+  for (std::size_t i = 0; i < service_rates.size(); ++i) {
+    NFV_REQUIRE(arrival_rates[i] >= 0.0);
+    const double slack = service_rates[i] - arrival_rates[i];
+    NFV_REQUIRE(slack > 0.0);  // every station stable
+    nu.push_back(slack);
+  }
+  return Hypoexponential(std::move(nu));
+}
+
+}  // namespace nfv::queueing

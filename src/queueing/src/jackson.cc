@@ -1,0 +1,144 @@
+#include "nfv/queueing/jackson.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nfv/queueing/mm1.h"
+
+namespace nfv::queueing {
+
+OpenJacksonNetwork::OpenJacksonNetwork(std::vector<double> service_rates)
+    : service_rates_(std::move(service_rates)),
+      external_rates_(service_rates_.size(), 0.0),
+      routing_(service_rates_.size() * service_rates_.size(), 0.0) {
+  NFV_REQUIRE(!service_rates_.empty());
+  for (const double mu : service_rates_) NFV_REQUIRE(mu > 0.0);
+}
+
+void OpenJacksonNetwork::set_external_rate(std::size_t station, double rate) {
+  NFV_REQUIRE(station < station_count());
+  NFV_REQUIRE(rate >= 0.0);
+  external_rates_[station] = rate;
+}
+
+void OpenJacksonNetwork::set_routing(std::size_t from, std::size_t to,
+                                     double probability) {
+  NFV_REQUIRE(from < station_count() && to < station_count());
+  NFV_REQUIRE(probability >= 0.0 && probability <= 1.0);
+  routing_[from * station_count() + to] = probability;
+  double row_sum = 0.0;
+  for (std::size_t j = 0; j < station_count(); ++j) {
+    row_sum += routing_[from * station_count() + j];
+  }
+  NFV_REQUIRE(row_sum <= 1.0 + 1e-12);
+}
+
+double OpenJacksonNetwork::service_rate(std::size_t station) const {
+  NFV_REQUIRE(station < station_count());
+  return service_rates_[station];
+}
+
+double OpenJacksonNetwork::external_rate(std::size_t station) const {
+  NFV_REQUIRE(station < station_count());
+  return external_rates_[station];
+}
+
+double OpenJacksonNetwork::routing(std::size_t from, std::size_t to) const {
+  NFV_REQUIRE(from < station_count() && to < station_count());
+  return routing_[from * station_count() + to];
+}
+
+NetworkSolution OpenJacksonNetwork::solve() const {
+  const std::size_t n = station_count();
+  // Traffic equations: λ = λ0 + Pᵀ λ  ⇔  (I - Pᵀ) λ = λ0.
+  // Dense Gaussian elimination with partial pivoting.
+  std::vector<double> a(n * n, 0.0);
+  std::vector<double> b = external_rates_;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double pji = routing_[j * n + i];  // Pᵀ(i,j)
+      a[i * n + j] = (i == j ? 1.0 : 0.0) - pji;
+    }
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col])) {
+        pivot = row;
+      }
+    }
+    if (std::abs(a[pivot * n + col]) < 1e-12) {
+      throw InfeasibleError(
+          "Jackson traffic equations singular: routing is not open "
+          "(packets never leave the network)");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a[col * n + j], a[pivot * n + j]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) {
+        a[row * n + j] -= factor * a[col * n + j];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> lambda(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      acc -= a[i * n + j] * lambda[j];
+    }
+    lambda[i] = acc / a[i * n + i];
+    // Numerical slack can leave a tiny negative rate where the true value
+    // is 0; clamp it rather than propagate the noise.
+    if (lambda[i] < 0.0 && lambda[i] > -1e-9) lambda[i] = 0.0;
+    NFV_CHECK(lambda[i] >= 0.0);
+  }
+
+  NetworkSolution sol;
+  sol.stations.resize(n);
+  sol.stable = true;
+  double total_n = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    StationMetrics& m = sol.stations[i];
+    m.arrival_rate = lambda[i];
+    m.utilization = lambda[i] / service_rates_[i];
+    m.stable = m.utilization < 1.0;
+    if (m.stable) {
+      m.mean_in_system = m.utilization / (1.0 - m.utilization);
+      m.mean_response = 1.0 / (service_rates_[i] - lambda[i]);
+      total_n += m.mean_in_system;
+    } else {
+      sol.stable = false;
+    }
+    sol.total_external_rate += external_rates_[i];
+  }
+  if (sol.stable && sol.total_external_rate > 0.0) {
+    sol.mean_sojourn = total_n / sol.total_external_rate;
+  }
+  return sol;
+}
+
+OpenJacksonNetwork make_chain_with_loss(
+    const std::vector<double>& service_rates, double external_rate,
+    double delivery_prob) {
+  NFV_REQUIRE(!service_rates.empty());
+  NFV_REQUIRE(external_rate >= 0.0);
+  NFV_REQUIRE(delivery_prob > 0.0 && delivery_prob <= 1.0);
+  OpenJacksonNetwork net(service_rates);
+  net.set_external_rate(0, external_rate);
+  for (std::size_t i = 0; i + 1 < service_rates.size(); ++i) {
+    net.set_routing(i, i + 1, 1.0);
+  }
+  if (delivery_prob < 1.0) {
+    net.set_routing(service_rates.size() - 1, 0, 1.0 - delivery_prob);
+  }
+  return net;
+}
+
+}  // namespace nfv::queueing

@@ -1,0 +1,65 @@
+// Scheduling quality metrics (Eq. 11/12/15) and the admission-control
+// model behind the job rejection rate of Figs. 15-16.
+//
+// Supports both the paper's uniform-P special case (Eq. 12) and the
+// general per-request P_r form: instance k's equivalent arrival rate is
+// Λ_k = Σ λ_r/P_r z_{r,k} (Eq. 7), its utilization ρ_k = Λ_k/μ (Eq. 9),
+// and its response follows Eq. 11, W = (ρ/(1−ρ)) / Σ λ_r z_{r,k} — which
+// reduces to 1/(P·μ − Σλ) when P_r ≡ P.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nfv/scheduling/problem.h"
+
+namespace nfv::sched {
+
+/// Analytic metrics of one VNF's schedule under the Jackson model.
+struct ScheduleMetrics {
+  /// Σ λ_r z_{r,k} per instance (raw external rates).
+  std::vector<double> instance_load;
+  /// Λ_k = Σ λ_r/P_r z_{r,k} per instance (Eq. 7) — what stability and
+  /// utilization are judged on.
+  std::vector<double> instance_effective_load;
+  double max_load = 0.0;   ///< on raw loads
+  double min_load = 0.0;
+  /// max_load − min_load (raw): the number-partitioning objective.
+  double imbalance = 0.0;
+  /// True iff every instance satisfies ρ_k = Λ_k/μ < 1 (Eq. 9).
+  bool stable = false;
+  /// Objective 2 (Eq. 15): (1/m) Σ_k W(f,k).  +inf when unstable.
+  double avg_response = 0.0;
+  /// Largest per-instance W; +inf when unstable.
+  double max_response = 0.0;
+  /// Throughput-weighted mean response — what a random *packet* sees:
+  /// Σ_k (λ_k/Σλ)·W_k.  +inf when unstable.
+  double packet_weighted_response = 0.0;
+  /// Per-instance utilizations ρ_k = Λ_k/μ ∈ [0, ∞).
+  std::vector<double> utilization;
+};
+
+/// Evaluates a schedule.  `schedule` must be valid for `problem`.
+[[nodiscard]] ScheduleMetrics evaluate(const SchedulingProblem& problem,
+                                       const Schedule& schedule);
+
+/// Admission control (Sec. I / Figs. 15-16): requests are admitted in
+/// arrival (index) order; a request is rejected when its instance's
+/// equivalent rate would reach rho_max · μ (ρ_k ≥ rho_max).
+struct AdmissionResult {
+  std::vector<bool> admitted;      ///< per request
+  std::size_t rejected_count = 0;
+  double rejection_rate = 0.0;     ///< rejected / total
+  /// Metrics over the admitted subset only (always stable by construction
+  /// when rho_max < 1).
+  ScheduleMetrics admitted_metrics;
+};
+
+[[nodiscard]] AdmissionResult apply_admission(const SchedulingProblem& problem,
+                                              const Schedule& schedule,
+                                              double rho_max = 0.999);
+
+/// The paper's enhancement ratio (W_base − W_ours) / W_base.
+[[nodiscard]] double enhancement_ratio(double baseline, double ours);
+
+}  // namespace nfv::sched

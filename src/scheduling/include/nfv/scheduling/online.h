@@ -1,0 +1,96 @@
+// Online request scheduling — the dynamic regime the paper defers to
+// future work (Sec. IV-A discusses dynamic scaling but fixes assignments
+// per batch).  Requests arrive and depart over time; the scheduler keeps
+// per-instance loads balanced with a bounded number of migrations, since
+// moving a flow between service instances costs state transfer in a real
+// NFV dataplane (cf. OpenNF [5]).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "nfv/common/error.h"
+#include "nfv/common/ids.h"
+
+namespace nfv::sched {
+
+/// Maintains the assignment of a dynamic request population onto the
+/// m service instances of one VNF.
+///
+/// Inserts go to the least-loaded instance (online greedy); departures
+/// free their load; rebalance() migrates requests from hot to cold
+/// instances under a migration budget.  With auto_rebalance enabled, a
+/// rebalance pass triggers whenever the relative imbalance exceeds the
+/// threshold after a mutation.
+class OnlineScheduler {
+ public:
+  struct Options {
+    /// Trigger threshold: (max_load − min_load) / mean_load.
+    double rebalance_threshold = 0.25;
+    /// Max migrations per automatic rebalance pass.
+    std::uint32_t migration_budget = 4;
+    /// Rebalance automatically after add/remove when the threshold trips.
+    bool auto_rebalance = true;
+  };
+
+  struct RebalanceResult {
+    std::uint32_t migrations = 0;
+    double imbalance_before = 0.0;
+    double imbalance_after = 0.0;
+  };
+
+  explicit OnlineScheduler(std::uint32_t instance_count)
+      : OnlineScheduler(instance_count, Options{}) {}
+  OnlineScheduler(std::uint32_t instance_count, Options options);
+
+  /// Admits a request; returns its instance.  Throws if the id is already
+  /// present or the rate is not positive.
+  InstanceIndex add(RequestId id, double rate);
+
+  /// Removes a request.  Throws if unknown.
+  void remove(RequestId id);
+
+  /// Instance currently serving `id`, or nullopt.
+  [[nodiscard]] std::optional<InstanceIndex> instance_of(RequestId id) const;
+
+  /// Current per-instance raw loads (Σ λ).
+  [[nodiscard]] const std::vector<double>& loads() const { return loads_; }
+
+  [[nodiscard]] std::size_t request_count() const { return requests_.size(); }
+  [[nodiscard]] std::uint32_t instance_count() const {
+    return static_cast<std::uint32_t>(loads_.size());
+  }
+
+  /// (max − min) / mean over instances; 0 when idle.
+  [[nodiscard]] double relative_imbalance() const;
+
+  /// One bounded rebalance pass: repeatedly moves the best single request
+  /// from the most- to the least-loaded instance while that strictly
+  /// shrinks the max-min gap.  Returns what happened.
+  RebalanceResult rebalance(std::uint32_t max_migrations);
+
+  /// Total migrations performed since construction (manual + automatic).
+  [[nodiscard]] std::uint64_t total_migrations() const {
+    return total_migrations_;
+  }
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  struct Entry {
+    double rate = 0.0;
+    InstanceIndex instance = 0;
+  };
+
+  [[nodiscard]] InstanceIndex least_loaded() const;
+  void maybe_auto_rebalance();
+
+  Options options_;
+  std::vector<double> loads_;
+  std::unordered_map<RequestId, Entry> requests_;
+  std::uint64_t total_migrations_ = 0;
+};
+
+}  // namespace nfv::sched

@@ -1,0 +1,70 @@
+// The request scheduling problem of Sec. IV-B: assign each of the n
+// requests using VNF f to exactly one of its m = M_f service instances
+// (Eq. 5) so that the per-instance aggregate arrival rates are balanced,
+// minimizing the average M/M/1 response W(f,k) = 1/(P·μ_f − Σ λ_r z_{r,k})
+// (Eq. 12/15).  This is m-way number partitioning.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nfv/common/error.h"
+#include "nfv/workload/vnf.h"
+
+namespace nfv::sched {
+
+/// One VNF's scheduling instance.
+struct SchedulingProblem {
+  std::vector<double> arrival_rates;  ///< raw λ_r of the requests in R_f
+  double delivery_prob = 1.0;         ///< uniform P (Eq. 12's special case)
+  /// Optional per-request P_r (Eq. 7's general form).  Either empty —
+  /// every request uses `delivery_prob` — or one entry per request in
+  /// (0, 1].  Algorithms balance the *effective* rates λ_r / P_r.
+  std::vector<double> delivery_probs;
+  double service_rate = 0.0;          ///< μ_f per instance
+  std::uint32_t instance_count = 1;   ///< m = M_f
+
+  [[nodiscard]] std::size_t request_count() const {
+    return arrival_rates.size();
+  }
+
+  /// Delivery probability of request r (per-request when provided).
+  [[nodiscard]] double prob(std::size_t r) const {
+    return delivery_probs.empty() ? delivery_prob : delivery_probs[r];
+  }
+
+  /// Mean delivery probability — the P̄ used for idle-instance latency.
+  [[nodiscard]] double mean_prob() const;
+
+  /// Effective per-request rate λ_r / P_r (Burke feedback, Eq. 7).
+  [[nodiscard]] double effective_rate(std::size_t r) const {
+    return arrival_rates[r] / prob(r);
+  }
+
+  /// Σ λ_r / P_r — the total load the m instances must absorb.
+  [[nodiscard]] double total_effective_rate() const;
+
+  /// True iff a perfectly balanced assignment would be stable
+  /// (total/m < μ).  A necessary condition for any zero-rejection schedule.
+  [[nodiscard]] bool balanced_stable() const;
+
+  void validate() const;
+};
+
+/// Builds the scheduling problem for VNF f from a workload (R_f member
+/// rates in request-id order).
+[[nodiscard]] SchedulingProblem make_problem(const workload::Workload& w,
+                                             VnfId f);
+
+/// An assignment z: instance index per request position (same order as
+/// SchedulingProblem::arrival_rates).
+struct Schedule {
+  std::vector<std::uint32_t> instance_of;
+  /// Search effort expended (tree nodes for CGA/CKK, combine steps for
+  /// KK-family, n for greedy) — comparability metric.
+  std::uint64_t work = 0;
+
+  void validate(const SchedulingProblem& problem) const;
+};
+
+}  // namespace nfv::sched

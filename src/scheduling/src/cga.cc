@@ -1,0 +1,122 @@
+// Complete Greedy Algorithm (Korf 2009) for m-way partitioning, anytime
+// under a node budget.  The search orders requests by descending rate and,
+// at each depth, tries instances by ascending current load — so the first
+// descent is exactly LPT, and further budget refines it.  Duplicate-load
+// instances are branch-pruned (assigning to either is symmetric), and a
+// branch is cut when its max load already reaches the incumbent's.
+#include <algorithm>
+#include <numeric>
+
+#include "nfv/scheduling/algorithm.h"
+
+namespace nfv::sched {
+
+CgaScheduling::CgaScheduling(Options options) : options_(options) {}
+
+namespace {
+
+struct CgaSearch {
+  const SchedulingProblem* problem = nullptr;
+  std::vector<std::uint32_t> order;        // requests by descending rate
+  std::vector<double> suffix_sum;          // remaining rate from depth d
+  std::vector<double> load;                // per-instance current load
+  std::vector<std::uint32_t> assignment;   // per depth: chosen instance
+  std::vector<std::uint32_t> best;         // per depth
+  double best_max = 0.0;
+  std::uint64_t nodes = 0;
+  std::uint64_t budget = 0;
+  bool exhausted = false;                  // budget hit
+
+  [[nodiscard]] double current_max() const {
+    return *std::max_element(load.begin(), load.end());
+  }
+
+  void dfs(std::size_t depth) {
+    if (exhausted) return;
+    if (depth == order.size()) {
+      const double mx = current_max();
+      if (best.empty() || mx < best_max) {
+        best = assignment;
+        best_max = mx;
+      }
+      return;
+    }
+    if (++nodes > budget && !best.empty()) {
+      exhausted = true;
+      return;
+    }
+    // Perfect-balance lower bound: even ideal spreading of the remaining
+    // rate cannot beat the incumbent -> prune.
+    if (!best.empty()) {
+      const double total_remaining = suffix_sum[depth];
+      const double lb = std::max(
+          current_max(),
+          (std::accumulate(load.begin(), load.end(), 0.0) + total_remaining) /
+              static_cast<double>(load.size()));
+      if (lb >= best_max) return;
+    }
+    const double rate = problem->effective_rate(order[depth]);
+    // Instances by ascending load; equal loads are symmetric, try one.
+    std::vector<std::uint32_t> ks(load.size());
+    std::iota(ks.begin(), ks.end(), 0);
+    std::stable_sort(ks.begin(), ks.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return load[a] < load[b];
+    });
+    double last_load = -1.0;
+    for (const std::uint32_t k : ks) {
+      if (load[k] == last_load) continue;
+      last_load = load[k];
+      if (!best.empty() && load[k] + rate >= best_max) break;  // sorted: done
+      load[k] += rate;
+      assignment[depth] = k;
+      dfs(depth + 1);
+      load[k] -= rate;
+      if (exhausted) return;
+    }
+  }
+};
+
+}  // namespace
+
+Schedule CgaScheduling::schedule(const SchedulingProblem& problem,
+                                 Rng& /*rng*/) const {
+  problem.validate();
+  Schedule out;
+  if (problem.instance_count == 1) {
+    out.instance_of.assign(problem.request_count(), 0);
+    out.work = problem.request_count();
+    return out;
+  }
+  CgaSearch search;
+  search.problem = &problem;
+  search.order.resize(problem.request_count());
+  std::iota(search.order.begin(), search.order.end(), 0);
+  if (options_.sort_decreasing) {
+    std::stable_sort(search.order.begin(), search.order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return problem.effective_rate(a) >
+                              problem.effective_rate(b);
+                     });
+  }
+  search.suffix_sum.assign(problem.request_count() + 1, 0.0);
+  for (std::size_t d = problem.request_count(); d-- > 0;) {
+    search.suffix_sum[d] =
+        search.suffix_sum[d + 1] + problem.effective_rate(search.order[d]);
+  }
+  search.load.assign(problem.instance_count, 0.0);
+  search.assignment.resize(problem.request_count());
+  search.budget = options_.node_budget == 0
+                      ? problem.request_count()  // first descent only
+                      : options_.node_budget;
+  search.dfs(0);
+
+  out.instance_of.resize(problem.request_count());
+  for (std::size_t d = 0; d < search.order.size(); ++d) {
+    out.instance_of[search.order[d]] = search.best[d];
+  }
+  out.work = search.nodes;
+  out.validate(problem);
+  return out;
+}
+
+}  // namespace nfv::sched

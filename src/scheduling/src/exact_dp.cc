@@ -1,0 +1,75 @@
+// Exact 2-way partitioning by subset-sum dynamic programming over scaled
+// integer rates — a ground-truth oracle for validating CKK and measuring
+// heuristic optimality gaps on two-instance problems.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "nfv/scheduling/algorithm.h"
+
+namespace nfv::sched {
+
+TwoWayDpScheduling::TwoWayDpScheduling(Options options) : options_(options) {
+  NFV_REQUIRE(options_.resolution > 0);
+}
+
+Schedule TwoWayDpScheduling::schedule(const SchedulingProblem& problem,
+                                      Rng& /*rng*/) const {
+  problem.validate();
+  NFV_REQUIRE(problem.instance_count == 2);
+
+  // Scale rates to integers: value = round(rate / quantum), where the
+  // quantum keeps the DP table within `resolution` cells.
+  const double total = problem.total_effective_rate();
+  const double quantum =
+      std::max(total / static_cast<double>(options_.resolution), 1e-12);
+  std::vector<std::uint32_t> scaled;
+  scaled.reserve(problem.request_count());
+  std::uint64_t scaled_total = 0;
+  for (std::size_t r = 0; r < problem.request_count(); ++r) {
+    const auto v = static_cast<std::uint32_t>(
+        std::llround(problem.effective_rate(r) / quantum));
+    scaled.push_back(v);
+    scaled_total += v;
+  }
+  const auto half = static_cast<std::size_t>(scaled_total / 2);
+
+  // reachable[s] = true if some subset sums to s; parent choice is
+  // reconstructed from per-item snapshots of the frontier.
+  std::vector<char> reachable(half + 1, 0);
+  reachable[0] = 1;
+  // took[i][s] = item i was used to reach s first.
+  std::vector<std::vector<std::uint32_t>> took_at(
+      scaled.size());  // for each item: list of sums it newly reached
+  for (std::size_t i = 0; i < scaled.size(); ++i) {
+    const std::uint32_t v = scaled[i];
+    if (v == 0 || v > half) continue;
+    for (std::size_t s = half; s >= v; --s) {
+      if (!reachable[s] && reachable[s - v]) {
+        reachable[s] = 1;
+        took_at[i].push_back(static_cast<std::uint32_t>(s));
+      }
+    }
+  }
+  std::size_t best = half;
+  while (best > 0 && !reachable[best]) --best;
+
+  // Reconstruct: walk items backwards; item i is in the subset iff it was
+  // the one that first reached the current sum.
+  Schedule out;
+  out.instance_of.assign(problem.request_count(), 1);
+  std::size_t remaining = best;
+  for (std::size_t i = scaled.size(); i-- > 0 && remaining > 0;) {
+    const auto& sums = took_at[i];
+    if (std::find(sums.begin(), sums.end(),
+                  static_cast<std::uint32_t>(remaining)) != sums.end()) {
+      out.instance_of[i] = 0;
+      remaining -= scaled[i];
+    }
+  }
+  out.work = scaled.size() * (half + 1);
+  out.validate(problem);
+  return out;
+}
+
+}  // namespace nfv::sched

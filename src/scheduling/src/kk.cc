@@ -1,0 +1,33 @@
+// Forward multi-way Karmarkar-Karp: identical to RCKK except positions are
+// combined largest-with-largest.  Ablation for the paper's reverse-order
+// design choice (Sec. IV-C: "we attempt to combine two normalized
+// partitions in reverse order").
+#include "nfv/scheduling/algorithm.h"
+#include "kk_util.h"
+
+namespace nfv::sched {
+
+Schedule KkForwardScheduling::schedule(const SchedulingProblem& problem,
+                                       Rng& /*rng*/) const {
+  problem.validate();
+  Schedule out;
+  if (problem.instance_count == 1) {
+    out.instance_of.assign(problem.request_count(), 0);
+    out.work = problem.request_count();
+    return out;
+  }
+  auto list = detail::initial_partitions(problem);
+  while (list.size() > 1) {
+    detail::Partition a = std::move(list[0]);
+    detail::Partition b = std::move(list[1]);
+    list.erase(list.begin(), list.begin() + 2);
+    detail::insert_sorted(list, detail::combine_forward(a, b));
+    ++out.work;
+  }
+  out.instance_of = detail::to_assignment(list.front(),
+                                          problem.request_count());
+  out.validate(problem);
+  return out;
+}
+
+}  // namespace nfv::sched

@@ -1,0 +1,123 @@
+// Internal machinery shared by the Karmarkar-Karp family (RCKK, forward KK,
+// CKK): partitions carrying per-position request sets, kept sorted by
+// leading value.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "nfv/scheduling/problem.h"
+
+namespace nfv::sched::detail {
+
+/// A partition in the sense of Algorithm 2: m position values (sorted
+/// descending) and, per position, the set of request indices whose rates
+/// sum to that value.
+struct Partition {
+  std::vector<double> values;                        // size m, descending
+  std::vector<std::vector<std::uint32_t>> sets;      // size m
+
+  /// Leading (largest) value — the sort key of the Partition_list.
+  [[nodiscard]] double head() const { return values.front(); }
+};
+
+/// Builds the initial Partition_list: one partition (λ_r/P_r, 0, ..., 0)
+/// per request, sorted descending by effective rate (line 1 of Algorithm 2;
+/// with uniform P this is the paper's λ_r ordering).
+[[nodiscard]] inline std::vector<Partition> initial_partitions(
+    const SchedulingProblem& problem) {
+  const std::uint32_t m = problem.instance_count;
+  std::vector<std::uint32_t> order(problem.request_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return problem.effective_rate(a) >
+                            problem.effective_rate(b);
+                   });
+  std::vector<Partition> list;
+  list.reserve(order.size());
+  for (const std::uint32_t r : order) {
+    Partition p;
+    p.values.assign(m, 0.0);
+    p.sets.resize(m);
+    p.values[0] = problem.effective_rate(r);
+    p.sets[0].push_back(r);
+    list.push_back(std::move(p));
+  }
+  return list;
+}
+
+/// Combines partitions a and b position-wise: position i of the result is
+/// a_i + b_{perm(i)} (sets merged accordingly), then re-sorted descending
+/// and normalized by subtracting the last value (lines 3-5).  `perm(i)`
+/// = m-1-i for the paper's reverse combine; the identity for forward KK.
+template <typename Perm>
+[[nodiscard]] Partition combine(const Partition& a, const Partition& b,
+                                Perm perm) {
+  const std::size_t m = a.values.size();
+  Partition merged;
+  merged.values.resize(m);
+  merged.sets.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t j = perm(i);
+    merged.values[i] = a.values[i] + b.values[j];
+    merged.sets[i] = a.sets[i];
+    merged.sets[i].insert(merged.sets[i].end(), b.sets[j].begin(),
+                          b.sets[j].end());
+  }
+  // Re-sort positions by value descending, keeping sets attached.
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return merged.values[x] > merged.values[y];
+  });
+  Partition out;
+  out.values.resize(m);
+  out.sets.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    out.values[i] = merged.values[order[i]];
+    out.sets[i] = std::move(merged.sets[order[i]]);
+  }
+  // Normalize: subtract the smallest value from every position.  The
+  // offsets discarded here are equal across positions, so the *relative*
+  // balance — all any later combine needs — is preserved.
+  const double base = out.values.back();
+  for (double& v : out.values) v -= base;
+  return out;
+}
+
+[[nodiscard]] inline Partition combine_reverse(const Partition& a,
+                                               const Partition& b) {
+  const std::size_t m = a.values.size();
+  return combine(a, b, [m](std::size_t i) { return m - 1 - i; });
+}
+
+[[nodiscard]] inline Partition combine_forward(const Partition& a,
+                                               const Partition& b) {
+  return combine(a, b, [](std::size_t i) { return i; });
+}
+
+/// Inserts into a descending-by-head list, keeping it sorted (line 6).
+inline void insert_sorted(std::vector<Partition>& list, Partition p) {
+  const auto pos = std::upper_bound(
+      list.begin(), list.end(), p,
+      [](const Partition& x, const Partition& y) { return x.head() > y.head(); });
+  list.insert(pos, std::move(p));
+}
+
+/// Converts the surviving partition's sets to a per-request instance map
+/// (lines 8-10).
+[[nodiscard]] inline std::vector<std::uint32_t> to_assignment(
+    const Partition& final_partition, std::size_t request_count) {
+  std::vector<std::uint32_t> instance_of(request_count, 0);
+  for (std::uint32_t k = 0; k < final_partition.sets.size(); ++k) {
+    for (const std::uint32_t r : final_partition.sets[k]) {
+      instance_of[r] = k;
+    }
+  }
+  return instance_of;
+}
+
+}  // namespace nfv::sched::detail

@@ -1,0 +1,34 @@
+// Longest Processing Time greedy — requests by descending rate, each to the
+// least-loaded instance.  Also the first descent of CGA.
+#include <algorithm>
+#include <numeric>
+
+#include "nfv/scheduling/algorithm.h"
+
+namespace nfv::sched {
+
+Schedule LptScheduling::schedule(const SchedulingProblem& problem,
+                                 Rng& /*rng*/) const {
+  problem.validate();
+  Schedule out;
+  out.instance_of.resize(problem.request_count());
+  out.work = problem.request_count();
+  std::vector<std::uint32_t> order(problem.request_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return problem.effective_rate(a) >
+                            problem.effective_rate(b);
+                   });
+  std::vector<double> load(problem.instance_count, 0.0);
+  for (const std::uint32_t r : order) {
+    const auto k = static_cast<std::uint32_t>(std::distance(
+        load.begin(), std::min_element(load.begin(), load.end())));
+    out.instance_of[r] = k;
+    load[k] += problem.effective_rate(r);
+  }
+  out.validate(problem);
+  return out;
+}
+
+}  // namespace nfv::sched

@@ -1,0 +1,107 @@
+#include "nfv/scheduling/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace nfv::sched {
+
+namespace {
+
+/// Builds the full metric set from per-instance raw and effective loads.
+ScheduleMetrics metrics_from_loads(const SchedulingProblem& problem,
+                                   std::vector<double> raw,
+                                   std::vector<double> effective) {
+  ScheduleMetrics m;
+  m.instance_load = std::move(raw);
+  m.instance_effective_load = std::move(effective);
+  m.max_load =
+      *std::max_element(m.instance_load.begin(), m.instance_load.end());
+  m.min_load =
+      *std::min_element(m.instance_load.begin(), m.instance_load.end());
+  m.imbalance = m.max_load - m.min_load;
+  const double mu = problem.service_rate;
+  const double idle_response = 1.0 / (problem.mean_prob() * mu);
+  m.stable = true;
+  m.utilization.reserve(m.instance_load.size());
+  double response_sum = 0.0;
+  double weighted_sum = 0.0;
+  double raw_total = 0.0;
+  m.max_response = 0.0;
+  for (std::size_t k = 0; k < m.instance_load.size(); ++k) {
+    const double lambda_raw = m.instance_load[k];
+    const double lambda_eff = m.instance_effective_load[k];
+    const double rho = lambda_eff / mu;
+    m.utilization.push_back(rho);
+    raw_total += lambda_raw;
+    if (rho >= 1.0) {
+      m.stable = false;
+      continue;
+    }
+    // Eq. 11: W = N/(Σλ z) with N = ρ/(1−ρ); idle instances contribute
+    // the service-only latency 1/(P̄μ) (Eq. 12 at zero load).
+    const double w = lambda_raw > 0.0
+                         ? (rho / (1.0 - rho)) / lambda_raw
+                         : idle_response;
+    response_sum += w;
+    weighted_sum += w * lambda_raw;
+    m.max_response = std::max(m.max_response, w);
+  }
+  if (m.stable) {
+    m.avg_response =
+        response_sum / static_cast<double>(m.instance_load.size());
+    m.packet_weighted_response =
+        raw_total > 0.0 ? weighted_sum / raw_total : idle_response;
+  } else {
+    m.avg_response = std::numeric_limits<double>::infinity();
+    m.max_response = std::numeric_limits<double>::infinity();
+    m.packet_weighted_response = std::numeric_limits<double>::infinity();
+  }
+  return m;
+}
+
+}  // namespace
+
+ScheduleMetrics evaluate(const SchedulingProblem& problem,
+                         const Schedule& schedule) {
+  schedule.validate(problem);
+  std::vector<double> raw(problem.instance_count, 0.0);
+  std::vector<double> effective(problem.instance_count, 0.0);
+  for (std::size_t r = 0; r < problem.request_count(); ++r) {
+    raw[schedule.instance_of[r]] += problem.arrival_rates[r];
+    effective[schedule.instance_of[r]] += problem.effective_rate(r);
+  }
+  return metrics_from_loads(problem, std::move(raw), std::move(effective));
+}
+
+AdmissionResult apply_admission(const SchedulingProblem& problem,
+                                const Schedule& schedule, double rho_max) {
+  schedule.validate(problem);
+  NFV_REQUIRE(rho_max > 0.0 && rho_max <= 1.0);
+  AdmissionResult out;
+  out.admitted.assign(problem.request_count(), false);
+  const double limit = rho_max * problem.service_rate;  // on Λ_k
+  std::vector<double> raw(problem.instance_count, 0.0);
+  std::vector<double> effective(problem.instance_count, 0.0);
+  for (std::size_t r = 0; r < problem.request_count(); ++r) {
+    const std::uint32_t k = schedule.instance_of[r];
+    if (effective[k] + problem.effective_rate(r) < limit) {
+      raw[k] += problem.arrival_rates[r];
+      effective[k] += problem.effective_rate(r);
+      out.admitted[r] = true;
+    } else {
+      ++out.rejected_count;
+    }
+  }
+  out.rejection_rate = static_cast<double>(out.rejected_count) /
+                       static_cast<double>(problem.request_count());
+  out.admitted_metrics =
+      metrics_from_loads(problem, std::move(raw), std::move(effective));
+  return out;
+}
+
+double enhancement_ratio(double baseline, double ours) {
+  NFV_REQUIRE(baseline > 0.0);
+  return (baseline - ours) / baseline;
+}
+
+}  // namespace nfv::sched

@@ -1,0 +1,104 @@
+#include "nfv/scheduling/online.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace nfv::sched {
+
+OnlineScheduler::OnlineScheduler(std::uint32_t instance_count,
+                                 Options options)
+    : options_(options), loads_(instance_count, 0.0) {
+  NFV_REQUIRE(instance_count >= 1);
+  NFV_REQUIRE(options_.rebalance_threshold >= 0.0);
+}
+
+InstanceIndex OnlineScheduler::least_loaded() const {
+  return static_cast<InstanceIndex>(std::distance(
+      loads_.begin(), std::min_element(loads_.begin(), loads_.end())));
+}
+
+InstanceIndex OnlineScheduler::add(RequestId id, double rate) {
+  NFV_REQUIRE(rate > 0.0);
+  NFV_REQUIRE(!requests_.contains(id));
+  const InstanceIndex k = least_loaded();
+  loads_[k] += rate;
+  requests_.emplace(id, Entry{rate, k});
+  maybe_auto_rebalance();
+  return requests_.at(id).instance;  // may have moved during rebalance
+}
+
+void OnlineScheduler::remove(RequestId id) {
+  const auto it = requests_.find(id);
+  NFV_REQUIRE(it != requests_.end());
+  loads_[it->second.instance] -= it->second.rate;
+  // Guard FP drift toward exactly-empty instances.
+  if (loads_[it->second.instance] < 1e-12) {
+    loads_[it->second.instance] = 0.0;
+  }
+  requests_.erase(it);
+  maybe_auto_rebalance();
+}
+
+std::optional<InstanceIndex> OnlineScheduler::instance_of(
+    RequestId id) const {
+  const auto it = requests_.find(id);
+  if (it == requests_.end()) return std::nullopt;
+  return it->second.instance;
+}
+
+double OnlineScheduler::relative_imbalance() const {
+  const auto [lo, hi] = std::minmax_element(loads_.begin(), loads_.end());
+  const double total =
+      std::accumulate(loads_.begin(), loads_.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  const double mean = total / static_cast<double>(loads_.size());
+  return (*hi - *lo) / mean;
+}
+
+OnlineScheduler::RebalanceResult OnlineScheduler::rebalance(
+    std::uint32_t max_migrations) {
+  RebalanceResult result;
+  result.imbalance_before = relative_imbalance();
+  while (result.migrations < max_migrations) {
+    const auto hot = static_cast<InstanceIndex>(std::distance(
+        loads_.begin(), std::max_element(loads_.begin(), loads_.end())));
+    const auto cold = least_loaded();
+    const double gap = loads_[hot] - loads_[cold];
+    if (gap <= 0.0) break;
+    // Best single move: the request on `hot` whose rate is closest to
+    // gap/2 (shrinks the pairwise gap the most without overshooting into
+    // a larger reversed gap).
+    RequestId best{};
+    double best_rate = 0.0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (const auto& [id, entry] : requests_) {
+      if (entry.instance != hot) continue;
+      if (entry.rate >= gap) continue;  // would overshoot
+      const double score = std::abs(entry.rate - gap / 2.0);
+      if (score < best_score) {
+        best_score = score;
+        best = id;
+        best_rate = entry.rate;
+      }
+    }
+    if (best_rate == 0.0) break;  // no improving single move exists
+    loads_[hot] -= best_rate;
+    loads_[cold] += best_rate;
+    requests_.at(best).instance = cold;
+    ++result.migrations;
+    ++total_migrations_;
+  }
+  result.imbalance_after = relative_imbalance();
+  return result;
+}
+
+void OnlineScheduler::maybe_auto_rebalance() {
+  if (!options_.auto_rebalance) return;
+  if (relative_imbalance() > options_.rebalance_threshold) {
+    (void)rebalance(options_.migration_budget);
+  }
+}
+
+}  // namespace nfv::sched

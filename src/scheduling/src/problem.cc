@@ -1,0 +1,67 @@
+#include "nfv/scheduling/problem.h"
+
+namespace nfv::sched {
+
+double SchedulingProblem::mean_prob() const {
+  if (delivery_probs.empty()) return delivery_prob;
+  double total = 0.0;
+  for (const double p : delivery_probs) total += p;
+  return total / static_cast<double>(delivery_probs.size());
+}
+
+double SchedulingProblem::total_effective_rate() const {
+  double total = 0.0;
+  for (std::size_t r = 0; r < arrival_rates.size(); ++r) {
+    total += effective_rate(r);
+  }
+  return total;
+}
+
+bool SchedulingProblem::balanced_stable() const {
+  return total_effective_rate() / static_cast<double>(instance_count) <
+         service_rate;
+}
+
+void SchedulingProblem::validate() const {
+  NFV_REQUIRE(!arrival_rates.empty());
+  for (const double r : arrival_rates) NFV_REQUIRE(r > 0.0);
+  NFV_REQUIRE(delivery_prob > 0.0 && delivery_prob <= 1.0);
+  NFV_REQUIRE(delivery_probs.empty() ||
+              delivery_probs.size() == arrival_rates.size());
+  for (const double p : delivery_probs) {
+    NFV_REQUIRE(p > 0.0 && p <= 1.0);
+  }
+  NFV_REQUIRE(service_rate > 0.0);
+  NFV_REQUIRE(instance_count >= 1);
+}
+
+SchedulingProblem make_problem(const workload::Workload& w, VnfId f) {
+  NFV_REQUIRE(f.index() < w.vnfs.size());
+  const workload::Vnf& vnf = w.vnfs[f.index()];
+  SchedulingProblem p;
+  p.instance_count = vnf.instance_count;
+  p.service_rate = vnf.service_rate;
+  bool uniform = true;
+  for (const auto& r : w.requests) {
+    if (!r.uses(f)) continue;
+    p.arrival_rates.push_back(r.arrival_rate);
+    p.delivery_probs.push_back(r.delivery_prob);
+    if (r.delivery_prob != p.delivery_probs.front()) uniform = false;
+  }
+  if (uniform && !p.delivery_probs.empty()) {
+    // Collapse to the Eq. 12 special case.
+    p.delivery_prob = p.delivery_probs.front();
+    p.delivery_probs.clear();
+  }
+  p.validate();
+  return p;
+}
+
+void Schedule::validate(const SchedulingProblem& problem) const {
+  NFV_REQUIRE(instance_of.size() == problem.request_count());
+  for (const std::uint32_t k : instance_of) {
+    NFV_REQUIRE(k < problem.instance_count);
+  }
+}
+
+}  // namespace nfv::sched

@@ -1,0 +1,33 @@
+// RCKK — Algorithm 2 of the paper, verbatim: reverse-order m-way
+// Karmarkar-Karp differencing with request-set tracking.
+#include "nfv/scheduling/algorithm.h"
+#include "kk_util.h"
+
+namespace nfv::sched {
+
+Schedule RckkScheduling::schedule(const SchedulingProblem& problem,
+                                  Rng& /*rng*/) const {
+  problem.validate();
+  Schedule out;
+  if (problem.instance_count == 1) {
+    out.instance_of.assign(problem.request_count(), 0);
+    out.work = problem.request_count();
+    return out;
+  }
+  auto list = detail::initial_partitions(problem);
+  while (list.size() > 1) {
+    // Lines 2-6: combine the two partitions with the largest leading
+    // values in reverse order, normalize, reinsert.
+    detail::Partition a = std::move(list[0]);
+    detail::Partition b = std::move(list[1]);
+    list.erase(list.begin(), list.begin() + 2);
+    detail::insert_sorted(list, detail::combine_reverse(a, b));
+    ++out.work;
+  }
+  out.instance_of = detail::to_assignment(list.front(),
+                                          problem.request_count());
+  out.validate(problem);
+  return out;
+}
+
+}  // namespace nfv::sched

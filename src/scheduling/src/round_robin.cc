@@ -1,0 +1,30 @@
+// Round-robin over descending rates — the weakest sane baseline.
+#include <algorithm>
+#include <numeric>
+
+#include "nfv/scheduling/algorithm.h"
+
+namespace nfv::sched {
+
+Schedule RoundRobinScheduling::schedule(const SchedulingProblem& problem,
+                                        Rng& /*rng*/) const {
+  problem.validate();
+  Schedule out;
+  out.instance_of.resize(problem.request_count());
+  out.work = problem.request_count();
+  std::vector<std::uint32_t> order(problem.request_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return problem.effective_rate(a) >
+                            problem.effective_rate(b);
+                   });
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    out.instance_of[order[i]] =
+        static_cast<std::uint32_t>(i % problem.instance_count);
+  }
+  out.validate(problem);
+  return out;
+}
+
+}  // namespace nfv::sched

@@ -1,0 +1,41 @@
+// Plain-text topology interchange, in the spirit of the SNDlib instances
+// the paper's topologies derive from.  Format (one declaration per line,
+// '#' starts a comment):
+//
+//   node <label> compute <capacity>
+//   node <label> switch
+//   link <label-a> <label-b> <latency>
+//
+// Compute nodes receive dense NodeIds in file order.  load_topology()
+// freezes the result, so the file must describe a connected graph.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nfv/topology/topology.h"
+
+namespace nfv::topo {
+
+/// Thrown on malformed input; the message carries the 1-based line number.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a topology from a stream.  Throws ParseError on syntax errors,
+/// duplicate or unknown labels, and InfeasibleError if disconnected.
+[[nodiscard]] Topology load_topology(std::istream& in);
+
+/// Parses a topology from a string.
+[[nodiscard]] Topology load_topology_string(const std::string& text);
+
+/// Serializes a topology to the same format (stable ordering: compute
+/// nodes, then switches, then links).  Unlabelled vertices receive
+/// synthetic names ("n0", "s3").
+void save_topology(const Topology& topology, std::ostream& out);
+
+/// Serializes to a string.
+[[nodiscard]] std::string save_topology_string(const Topology& topology);
+
+}  // namespace nfv::topo

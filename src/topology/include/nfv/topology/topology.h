@@ -1,0 +1,121 @@
+// Datacenter network model G = (V, E) from Sec. III-A of the paper.
+//
+// V is the set of compute nodes; switches interconnect them but are not
+// placement targets ("switch nodes ... are not included in set V").  The
+// paper assumes sufficient switch/link capacity, so the only topological
+// quantity its objective uses is the per-hop latency L between compute
+// nodes (Eq. 16).  We still model the full graph so that hop distances,
+// path latencies and richer cost models are available to extensions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nfv/common/error.h"
+#include "nfv/common/ids.h"
+
+namespace nfv::topo {
+
+/// Kind of vertex in the datacenter graph.
+enum class VertexKind : std::uint8_t {
+  kCompute,  ///< placement target, member of V
+  kSwitch,   ///< interconnect only
+};
+
+/// A vertex of the graph; compute vertices carry a CPU-bounded capacity A_v
+/// (Sec. III-A: CPU is the bottleneck resource; 1 unit = 64-B packets at
+/// 10 kpps).
+struct Vertex {
+  VertexKind kind = VertexKind::kCompute;
+  double capacity = 0.0;  ///< A_v in capacity units; 0 for switches
+  std::string label;      ///< human-readable name for reports
+};
+
+/// An undirected link with a latency equal to the propagation plus
+/// transmission delay it contributes (the paper's per-hop constant L is the
+/// sum over one inter-node hop).
+struct Link {
+  std::uint32_t a = 0;  ///< vertex index
+  std::uint32_t b = 0;  ///< vertex index
+  double latency = 0.0;  ///< seconds (or any consistent time unit)
+};
+
+/// Immutable-after-build datacenter graph with BFS-based hop metrics
+/// between compute nodes.
+class Topology {
+ public:
+  /// Builder-style construction: add vertices and links, then freeze().
+  Topology() = default;
+
+  /// Adds a compute node with capacity A_v; returns its NodeId (dense,
+  /// starting at 0, independent of switch indices).
+  NodeId add_compute(double capacity, std::string label = {});
+
+  /// Adds a switch vertex; returns its raw vertex index.
+  std::uint32_t add_switch(std::string label = {});
+
+  /// Connects two vertices (by raw vertex index) with the given latency.
+  LinkId connect(std::uint32_t a, std::uint32_t b, double latency);
+
+  /// Convenience: connect two compute nodes.
+  LinkId connect_nodes(NodeId a, NodeId b, double latency);
+
+  /// Validates connectivity and precomputes compute-to-compute hop counts
+  /// and shortest path latencies.  Throws InfeasibleError if the graph is
+  /// disconnected.  Must be called before the query methods below.
+  void freeze();
+
+  [[nodiscard]] bool frozen() const { return frozen_; }
+  [[nodiscard]] std::size_t compute_count() const { return compute_ids_.size(); }
+  [[nodiscard]] std::size_t switch_count() const;
+  [[nodiscard]] std::size_t vertex_count() const { return vertices_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  /// Capacity A_v of a compute node.
+  [[nodiscard]] double capacity(NodeId v) const;
+
+  /// Raw vertex index of a compute node.
+  [[nodiscard]] std::uint32_t vertex_of(NodeId v) const;
+
+  /// Label of a compute node (may be empty).
+  [[nodiscard]] const std::string& label(NodeId v) const;
+
+  /// All compute node ids, dense [0, compute_count()).
+  [[nodiscard]] std::span<const NodeId> nodes() const { return compute_ids_; }
+
+  /// Total capacity over all compute nodes.
+  [[nodiscard]] double total_capacity() const;
+
+  /// Number of links on the shortest path between two compute nodes
+  /// (0 when a == b).  Requires freeze().
+  [[nodiscard]] std::uint32_t hop_distance(NodeId a, NodeId b) const;
+
+  /// Sum of link latencies along the minimum-latency path between two
+  /// compute nodes (Dijkstra over link latencies).  Requires freeze().
+  [[nodiscard]] double path_latency(NodeId a, NodeId b) const;
+
+  /// Mean of link latencies — a natural value for the paper's constant L
+  /// when all links are homogeneous.
+  [[nodiscard]] double mean_link_latency() const;
+
+  [[nodiscard]] const Vertex& vertex(std::uint32_t index) const;
+  [[nodiscard]] const Link& link(LinkId id) const;
+
+ private:
+  void require_frozen() const { NFV_REQUIRE(frozen_); }
+
+  std::vector<Vertex> vertices_;
+  std::vector<Link> links_;
+  std::vector<std::vector<std::uint32_t>> adjacency_;  // vertex -> link ids
+  std::vector<NodeId> compute_ids_;
+  std::vector<std::uint32_t> compute_vertex_;  // NodeId -> vertex index
+  // Dense compute_count x compute_count matrices, row-major.
+  std::vector<std::uint32_t> hop_matrix_;
+  std::vector<double> latency_matrix_;
+  bool frozen_ = false;
+};
+
+}  // namespace nfv::topo

@@ -1,0 +1,144 @@
+#include "nfv/topology/io.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace nfv::topo {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw ParseError("topology parse error at line " + std::to_string(line) +
+                   ": " + message);
+}
+
+double parse_double(std::size_t line, const std::string& token,
+                    const char* what) {
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || token.empty()) {
+    fail(line, std::string("bad ") + what + " '" + token + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Topology load_topology(std::istream& in) {
+  Topology topology;
+  std::unordered_map<std::string, std::uint32_t> vertex_of;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;  // blank / comment-only line
+    if (keyword == "node") {
+      std::string label;
+      std::string kind;
+      if (!(tokens >> label >> kind)) {
+        fail(line_number, "expected 'node <label> compute|switch ...'");
+      }
+      if (vertex_of.contains(label)) {
+        fail(line_number, "duplicate node label '" + label + "'");
+      }
+      if (kind == "compute") {
+        std::string capacity_token;
+        if (!(tokens >> capacity_token)) {
+          fail(line_number, "compute node needs a capacity");
+        }
+        const double capacity =
+            parse_double(line_number, capacity_token, "capacity");
+        if (capacity <= 0.0) fail(line_number, "capacity must be positive");
+        const NodeId id = topology.add_compute(capacity, label);
+        vertex_of[label] = topology.vertex_of(id);
+      } else if (kind == "switch") {
+        vertex_of[label] = topology.add_switch(label);
+      } else {
+        fail(line_number, "unknown node kind '" + kind + "'");
+      }
+    } else if (keyword == "link") {
+      std::string a;
+      std::string b;
+      std::string latency_token;
+      if (!(tokens >> a >> b >> latency_token)) {
+        fail(line_number, "expected 'link <a> <b> <latency>'");
+      }
+      const auto ia = vertex_of.find(a);
+      if (ia == vertex_of.end()) {
+        fail(line_number, "unknown node '" + a + "'");
+      }
+      const auto ib = vertex_of.find(b);
+      if (ib == vertex_of.end()) {
+        fail(line_number, "unknown node '" + b + "'");
+      }
+      const double latency =
+          parse_double(line_number, latency_token, "latency");
+      if (latency < 0.0) fail(line_number, "latency must be non-negative");
+      if (ia->second == ib->second) fail(line_number, "self-loop link");
+      topology.connect(ia->second, ib->second, latency);
+    } else {
+      fail(line_number, "unknown keyword '" + keyword + "'");
+    }
+    std::string extra;
+    if (tokens >> extra) {
+      fail(line_number, "trailing token '" + extra + "'");
+    }
+  }
+  if (topology.compute_count() == 0) {
+    throw ParseError("topology has no compute nodes");
+  }
+  topology.freeze();
+  return topology;
+}
+
+Topology load_topology_string(const std::string& text) {
+  std::istringstream in(text);
+  return load_topology(in);
+}
+
+void save_topology(const Topology& topology, std::ostream& out) {
+  // Stable synthetic names for unlabelled vertices.
+  std::vector<std::string> name(topology.vertex_count());
+  std::size_t switch_index = 0;
+  for (std::uint32_t v = 0; v < topology.vertex_count(); ++v) {
+    const Vertex& vertex = topology.vertex(v);
+    if (!vertex.label.empty()) {
+      name[v] = vertex.label;
+    } else if (vertex.kind == VertexKind::kSwitch) {
+      name[v] = "s" + std::to_string(switch_index);
+    }
+    if (vertex.kind == VertexKind::kSwitch) ++switch_index;
+  }
+  for (const NodeId id : topology.nodes()) {
+    const std::uint32_t v = topology.vertex_of(id);
+    if (name[v].empty()) name[v] = "n" + std::to_string(id.value());
+    out << "node " << name[v] << " compute " << topology.capacity(id) << '\n';
+  }
+  for (std::uint32_t v = 0; v < topology.vertex_count(); ++v) {
+    if (topology.vertex(v).kind == VertexKind::kSwitch) {
+      out << "node " << name[v] << " switch\n";
+    }
+  }
+  for (std::uint32_t l = 0; l < topology.link_count(); ++l) {
+    const Link& link = topology.link(LinkId{l});
+    out << "link " << name[link.a] << ' ' << name[link.b] << ' '
+        << link.latency << '\n';
+  }
+}
+
+std::string save_topology_string(const Topology& topology) {
+  std::ostringstream out;
+  save_topology(topology, out);
+  return out.str();
+}
+
+}  // namespace nfv::topo

@@ -1,0 +1,169 @@
+#include "nfv/topology/topology.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace nfv::topo {
+
+NodeId Topology::add_compute(double capacity, std::string label) {
+  NFV_REQUIRE(!frozen_);
+  NFV_REQUIRE(capacity > 0.0);
+  const auto vertex_index = static_cast<std::uint32_t>(vertices_.size());
+  vertices_.push_back(Vertex{VertexKind::kCompute, capacity, std::move(label)});
+  adjacency_.emplace_back();
+  const NodeId id{static_cast<std::uint32_t>(compute_ids_.size())};
+  compute_ids_.push_back(id);
+  compute_vertex_.push_back(vertex_index);
+  return id;
+}
+
+std::uint32_t Topology::add_switch(std::string label) {
+  NFV_REQUIRE(!frozen_);
+  const auto vertex_index = static_cast<std::uint32_t>(vertices_.size());
+  vertices_.push_back(Vertex{VertexKind::kSwitch, 0.0, std::move(label)});
+  adjacency_.emplace_back();
+  return vertex_index;
+}
+
+LinkId Topology::connect(std::uint32_t a, std::uint32_t b, double latency) {
+  NFV_REQUIRE(!frozen_);
+  NFV_REQUIRE(a < vertices_.size() && b < vertices_.size());
+  NFV_REQUIRE(a != b);
+  NFV_REQUIRE(latency >= 0.0);
+  const auto link_index = static_cast<std::uint32_t>(links_.size());
+  links_.push_back(Link{a, b, latency});
+  adjacency_[a].push_back(link_index);
+  adjacency_[b].push_back(link_index);
+  return LinkId{link_index};
+}
+
+LinkId Topology::connect_nodes(NodeId a, NodeId b, double latency) {
+  NFV_REQUIRE(a.index() < compute_vertex_.size());
+  NFV_REQUIRE(b.index() < compute_vertex_.size());
+  return connect(compute_vertex_[a.index()], compute_vertex_[b.index()],
+                 latency);
+}
+
+std::size_t Topology::switch_count() const {
+  return vertices_.size() - compute_ids_.size();
+}
+
+double Topology::capacity(NodeId v) const {
+  NFV_REQUIRE(v.index() < compute_vertex_.size());
+  return vertices_[compute_vertex_[v.index()]].capacity;
+}
+
+std::uint32_t Topology::vertex_of(NodeId v) const {
+  NFV_REQUIRE(v.index() < compute_vertex_.size());
+  return compute_vertex_[v.index()];
+}
+
+const std::string& Topology::label(NodeId v) const {
+  NFV_REQUIRE(v.index() < compute_vertex_.size());
+  return vertices_[compute_vertex_[v.index()]].label;
+}
+
+double Topology::total_capacity() const {
+  double total = 0.0;
+  for (const auto v : compute_ids_) total += capacity(v);
+  return total;
+}
+
+const Vertex& Topology::vertex(std::uint32_t index) const {
+  NFV_REQUIRE(index < vertices_.size());
+  return vertices_[index];
+}
+
+const Link& Topology::link(LinkId id) const {
+  NFV_REQUIRE(id.index() < links_.size());
+  return links_[id.index()];
+}
+
+void Topology::freeze() {
+  NFV_REQUIRE(!frozen_);
+  NFV_REQUIRE(!compute_ids_.empty());
+  const std::size_t n = compute_ids_.size();
+  hop_matrix_.assign(n * n, std::numeric_limits<std::uint32_t>::max());
+  latency_matrix_.assign(n * n, std::numeric_limits<double>::infinity());
+
+  // One BFS (hops) + one Dijkstra (latency) per compute node.  Sizes here
+  // are tens of nodes, so the O(|V|·|E| log |V|) total is negligible.
+  std::vector<std::uint32_t> hop(vertices_.size());
+  std::vector<double> dist(vertices_.size());
+  for (std::size_t src = 0; src < n; ++src) {
+    const std::uint32_t origin = compute_vertex_[src];
+
+    std::fill(hop.begin(), hop.end(), std::numeric_limits<std::uint32_t>::max());
+    hop[origin] = 0;
+    std::queue<std::uint32_t> bfs;
+    bfs.push(origin);
+    while (!bfs.empty()) {
+      const std::uint32_t u = bfs.front();
+      bfs.pop();
+      for (const std::uint32_t link_index : adjacency_[u]) {
+        const Link& l = links_[link_index];
+        const std::uint32_t w = (l.a == u) ? l.b : l.a;
+        if (hop[w] == std::numeric_limits<std::uint32_t>::max()) {
+          hop[w] = hop[u] + 1;
+          bfs.push(w);
+        }
+      }
+    }
+
+    std::fill(dist.begin(), dist.end(), std::numeric_limits<double>::infinity());
+    dist[origin] = 0.0;
+    using Item = std::pair<double, std::uint32_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    pq.emplace(0.0, origin);
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u]) continue;
+      for (const std::uint32_t link_index : adjacency_[u]) {
+        const Link& l = links_[link_index];
+        const std::uint32_t w = (l.a == u) ? l.b : l.a;
+        const double nd = d + l.latency;
+        if (nd < dist[w]) {
+          dist[w] = nd;
+          pq.emplace(nd, w);
+        }
+      }
+    }
+
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      const std::uint32_t target = compute_vertex_[dst];
+      if (hop[target] == std::numeric_limits<std::uint32_t>::max()) {
+        throw InfeasibleError("topology is disconnected: compute node " +
+                              std::to_string(dst) +
+                              " unreachable from node " + std::to_string(src));
+      }
+      hop_matrix_[src * n + dst] = hop[target];
+      latency_matrix_[src * n + dst] = dist[target];
+    }
+  }
+  frozen_ = true;
+}
+
+std::uint32_t Topology::hop_distance(NodeId a, NodeId b) const {
+  require_frozen();
+  NFV_REQUIRE(a.index() < compute_ids_.size());
+  NFV_REQUIRE(b.index() < compute_ids_.size());
+  return hop_matrix_[a.index() * compute_ids_.size() + b.index()];
+}
+
+double Topology::path_latency(NodeId a, NodeId b) const {
+  require_frozen();
+  NFV_REQUIRE(a.index() < compute_ids_.size());
+  NFV_REQUIRE(b.index() < compute_ids_.size());
+  return latency_matrix_[a.index() * compute_ids_.size() + b.index()];
+}
+
+double Topology::mean_link_latency() const {
+  if (links_.empty()) return 0.0;
+  double total = 0.0;
+  for (const Link& l : links_) total += l.latency;
+  return total / static_cast<double>(links_.size());
+}
+
+}  // namespace nfv::topo

@@ -1,0 +1,49 @@
+// Catalog of commonly deployed VNF types.
+//
+// Sec. V-A.1 scales the VNF count from 6 to 30 "traced by" the Li & Chen
+// survey (IEEE Access 2015), which classifies 30+ VNFs into nine
+// categories.  This catalog reproduces that taxonomy with per-type resource
+// profiles in the paper's capacity units (1 unit = 64-B packets @ 10 kpps;
+// one CPU core ≈ 150 units).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace nfv::workload {
+
+/// The nine VNF categories of the Li & Chen survey.
+enum class VnfCategory : std::uint8_t {
+  kSecurity,          ///< FW, IDS, IPS, DPI...
+  kGateway,           ///< NAT, IPv6 gateway, tunnel endpoints
+  kLoadBalancing,     ///< L4/L7 load balancers
+  kWanOptimization,   ///< WAN accelerators, dedup, compression
+  kMonitoring,        ///< flow monitors, probes, taps
+  kTrafficShaping,    ///< QoS, policers, rate limiters
+  kProxyCache,        ///< HTTP proxies, CDN caches
+  kMobileCore,        ///< EPC/IMS functions (vMME, vSGW...)
+  kRouting,           ///< vRouter, BRAS, BGP speakers
+};
+
+[[nodiscard]] std::string_view to_string(VnfCategory c);
+
+/// Static description of one VNF type: typical per-instance CPU demand and
+/// service rate ranges used when synthesizing workloads.
+struct VnfType {
+  std::string_view name;
+  VnfCategory category;
+  double demand_min;  ///< per-instance demand, capacity units
+  double demand_max;
+  double service_rate_min;  ///< packets/s per instance
+  double service_rate_max;
+};
+
+/// The full 30-type catalog (immutable, statically allocated).
+[[nodiscard]] std::span<const VnfType> vnf_catalog();
+
+/// The six "commonly-deployed" types the paper names explicitly: NAT, FW,
+/// IDS, LB, WAN Optimizer, Flow Monitor — returned as catalog indices.
+[[nodiscard]] std::span<const std::uint32_t> core_six_indices();
+
+}  // namespace nfv::workload

@@ -1,0 +1,74 @@
+// Synthetic workload generation matching the simulation setup of Sec. V-A:
+//  * 6–30 VNFs drawn from the catalog (core six always included),
+//  * 30–1000 requests, chain length ≤ 6,
+//  * Poisson externals with λ ∈ [1, 100] pps,
+//  * delivery probability P ∈ [0.98, 1],
+//  * M_f derived from demand (1–200 requests per instance, Eq. 3),
+//  * μ_f either from the catalog or scaled to offered load
+//    ("we scale μ_f with the number of requests", Sec. V-C).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "nfv/common/rng.h"
+#include "nfv/workload/vnf.h"
+
+namespace nfv::workload {
+
+/// How service rates μ_f are assigned.
+enum class ServiceRatePolicy : std::uint8_t {
+  /// Draw from the catalog's per-type range.
+  kCatalog,
+  /// μ_f = headroom · (Σ_{r ∈ R_f} λ_r / P_r) / M_f so that ρ ≈ 1/headroom
+  /// at perfect balance — the paper's Figs. 11–14 protocol.
+  kScaledToLoad,
+};
+
+/// Knobs for WorkloadGenerator; defaults reproduce the paper's ranges.
+struct WorkloadConfig {
+  std::uint32_t vnf_count = 15;        ///< |F| ∈ [6, 30] in the paper
+  std::uint32_t request_count = 200;   ///< |R| ∈ [30, 1000]
+  std::uint32_t max_chain_length = 6;  ///< "at most 6 VNFs"
+  std::uint32_t min_chain_length = 1;
+  /// Number of distinct service-chain templates requests draw from.
+  /// 0 = every request gets an independently random chain; a positive
+  /// value reproduces the trace-driven regime where a datacenter offers a
+  /// bounded set of service types (paper Sec. V-A.1).
+  std::uint32_t chain_template_count = 0;
+  double arrival_rate_min = 1.0;       ///< λ low bound, pps
+  double arrival_rate_max = 100.0;     ///< λ high bound, pps
+  double delivery_prob = 0.98;         ///< P, uniform across requests
+  /// Target number of requests sharing one service instance; M_f =
+  /// clamp(ceil(|R_f| / requests_per_instance), 1, |R_f|)  (Eq. 3).
+  std::uint32_t requests_per_instance = 10;
+  ServiceRatePolicy service_rate_policy = ServiceRatePolicy::kScaledToLoad;
+  /// Capacity headroom when service_rate_policy == kScaledToLoad.
+  double service_headroom = 1.25;
+  /// Optional fixed per-instance demand (overrides catalog ranges) — used by
+  /// placement benches that want dimensionally simple pieces.
+  std::optional<double> fixed_demand_per_instance;
+};
+
+/// Deterministic (seeded) generator of Workload instances.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig config);
+
+  /// Generates a workload; all randomness comes from `rng`.
+  ///
+  /// Guarantees:
+  ///  * every VNF is used by ≥ 1 request (unused VNFs are re-rolled into
+  ///    chains), so Eq. 3 can hold with M_f ≥ 1;
+  ///  * chains contain distinct VNFs in a fixed canonical order
+  ///    (category-ordered, the usual middlebox traversal order);
+  ///  * M_f ≤ |R_f| (Eq. 3) and μ_f > 0.
+  [[nodiscard]] Workload generate(Rng& rng) const;
+
+  [[nodiscard]] const WorkloadConfig& config() const { return config_; }
+
+ private:
+  WorkloadConfig config_;
+};
+
+}  // namespace nfv::workload

@@ -1,0 +1,37 @@
+// Plain-text workload interchange, matching the topology format's style
+// ('#' comments, one declaration per line):
+//
+//   vnf <name> <catalog-index> <demand-per-instance> <instances> <mu>
+//   request <lambda> <delivery-prob> <vnf-index> [<vnf-index> ...]
+//
+// VNFs and requests receive dense ids in file order; request chains
+// reference VNFs by file position.  Lets users pin down exact scenarios
+// (e.g. measured traces) instead of regenerating them from seeds.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "nfv/workload/vnf.h"
+
+namespace nfv::workload {
+
+/// Thrown on malformed input; the message carries the 1-based line number.
+class WorkloadParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a workload.  Throws WorkloadParseError on syntax errors, chain
+/// references out of range, or violated invariants (Eq. 3: M_f ≤ |R_f|
+/// is NOT enforced here — generators may be loaded partially — but
+/// non-positive rates/demands are rejected).
+[[nodiscard]] Workload load_workload(std::istream& in);
+[[nodiscard]] Workload load_workload_string(const std::string& text);
+
+/// Serializes in the same format (VNFs first, then requests).
+void save_workload(const Workload& w, std::ostream& out);
+[[nodiscard]] std::string save_workload_string(const Workload& w);
+
+}  // namespace nfv::workload

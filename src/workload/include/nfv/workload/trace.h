@@ -1,0 +1,63 @@
+// Trace-style arrival-rate sampling.
+//
+// The paper drives its simulations with datacenter measurements (Benson et
+// al., IMC'10): flow inter-arrival times are heavy-tailed, and per-request
+// mean rates span [1, 100] pps.  We have no access to the raw traces, so
+// this module provides (a) a lognormal inter-arrival sampler matching the
+// published heavy-tail shape, and (b) an empirical-CDF sampler so users can
+// plug in their own measured distribution.  Both reduce, for the
+// algorithms, to the per-request λ_r the paper's model consumes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nfv/common/rng.h"
+
+namespace nfv::workload {
+
+/// Heavy-tailed flow model: inter-arrival times are lognormal; a request's
+/// mean rate λ_r is the reciprocal of its mean inter-arrival, clamped to the
+/// configured range.
+class LognormalTraceSampler {
+ public:
+  struct Params {
+    double median_interarrival = 0.04;  ///< seconds (≈25 pps median)
+    double sigma_log = 1.0;             ///< log-space spread (heavy tail)
+    double rate_min = 1.0;              ///< λ clamp low, pps
+    double rate_max = 100.0;            ///< λ clamp high, pps
+  };
+
+  explicit LognormalTraceSampler(Params params);
+
+  /// Samples one request's mean arrival rate λ_r.
+  [[nodiscard]] double sample_rate(Rng& rng) const;
+
+  /// Samples one packet inter-arrival time for the given mean rate —
+  /// exponential, per the paper's Poisson externals assumption.
+  [[nodiscard]] double sample_interarrival(double rate, Rng& rng) const;
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+/// Inverse-CDF sampler over a user-supplied empirical rate distribution.
+class EmpiricalRateSampler {
+ public:
+  /// `observed_rates` are measured per-flow rates; must be non-empty with
+  /// positive entries.  Values are copied and sorted.
+  explicit EmpiricalRateSampler(std::span<const double> observed_rates);
+
+  /// Samples a rate by inverse transform with linear interpolation between
+  /// order statistics.
+  [[nodiscard]] double sample_rate(Rng& rng) const;
+
+  [[nodiscard]] std::size_t support_size() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace nfv::workload

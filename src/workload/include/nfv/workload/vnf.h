@@ -1,0 +1,75 @@
+// VNF and request value types (Table I / Table II of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nfv/common/ids.h"
+
+namespace nfv::workload {
+
+/// A Virtual Network Function f ∈ F as the placement/scheduling problems see
+/// it.  All M_f service instances of a VNF are co-located on one node
+/// (Eq. 2); a replica on another node is modelled as a distinct Vnf.
+struct Vnf {
+  VnfId id{};
+  std::string name;             ///< e.g. "FW-3" — catalog name + replica tag
+  std::uint32_t catalog_index = 0;  ///< index into VnfCatalog
+  double demand_per_instance = 0.0;  ///< D_f in capacity units
+  std::uint32_t instance_count = 1;  ///< M_f ≥ 1
+  double service_rate = 0.0;    ///< μ_f packets/s per instance (exponential)
+
+  /// Total footprint D_f · M_f — the bin-packing "piece size" of Theorem 1.
+  [[nodiscard]] double total_demand() const {
+    return demand_per_instance * static_cast<double>(instance_count);
+  }
+};
+
+/// A request r ∈ R: a Poisson packet stream of rate λ_r that must traverse
+/// an ordered chain of VNFs, delivered correctly with probability P_r.
+struct Request {
+  RequestId id{};
+  std::vector<VnfId> chain;     ///< ordered; U_r^f = 1 iff f appears here
+  double arrival_rate = 0.0;    ///< λ_r > 0, packets/s
+  double delivery_prob = 1.0;   ///< P_r ∈ (0, 1]
+
+  /// Burke-corrected effective rate λ_r / P_r that the instances see once
+  /// NACK retransmissions are folded in (Eq. 7).
+  [[nodiscard]] double effective_rate() const {
+    return arrival_rate / delivery_prob;
+  }
+
+  /// U_r^f from Table II.
+  [[nodiscard]] bool uses(VnfId f) const {
+    for (const VnfId g : chain) {
+      if (g == f) return true;
+    }
+    return false;
+  }
+};
+
+/// A complete problem instance: the VNFs to place and the requests to
+/// schedule.  Node capacities live in topo::Topology.
+struct Workload {
+  std::vector<Vnf> vnfs;
+  std::vector<Request> requests;
+
+  /// Σ_f D_f · M_f — must not exceed total node capacity for feasibility.
+  [[nodiscard]] double total_demand() const {
+    double total = 0.0;
+    for (const Vnf& f : vnfs) total += f.total_demand();
+    return total;
+  }
+
+  /// Requests using VNF f (the set R_f of Algorithm 2).
+  [[nodiscard]] std::vector<RequestId> requests_using(VnfId f) const {
+    std::vector<RequestId> out;
+    for (const Request& r : requests) {
+      if (r.uses(f)) out.push_back(r.id);
+    }
+    return out;
+  }
+};
+
+}  // namespace nfv::workload

@@ -1,0 +1,78 @@
+#include "nfv/workload/catalog.h"
+
+#include <array>
+
+namespace nfv::workload {
+
+std::string_view to_string(VnfCategory c) {
+  switch (c) {
+    case VnfCategory::kSecurity: return "security";
+    case VnfCategory::kGateway: return "gateway";
+    case VnfCategory::kLoadBalancing: return "load-balancing";
+    case VnfCategory::kWanOptimization: return "wan-optimization";
+    case VnfCategory::kMonitoring: return "monitoring";
+    case VnfCategory::kTrafficShaping: return "traffic-shaping";
+    case VnfCategory::kProxyCache: return "proxy-cache";
+    case VnfCategory::kMobileCore: return "mobile-core";
+    case VnfCategory::kRouting: return "routing";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Demand ranges reflect relative CPU weight: DPI/IDS-class functions are the
+// heaviest, stateless forwarding the lightest.  Service rates span the
+// 10 kpps–1.5 Mpps range of Sec. V-A.2.
+constexpr std::array<VnfType, 30> kCatalog{{
+    // The paper's core six come first (see core_six_indices()).
+    {"NAT", VnfCategory::kGateway, 20, 80, 3.0e5, 1.5e6},
+    {"FW", VnfCategory::kSecurity, 30, 120, 2.0e5, 1.0e6},
+    {"IDS", VnfCategory::kSecurity, 80, 300, 5.0e4, 3.0e5},
+    {"LB", VnfCategory::kLoadBalancing, 20, 100, 3.0e5, 1.2e6},
+    {"WANOpt", VnfCategory::kWanOptimization, 60, 250, 8.0e4, 4.0e5},
+    {"FlowMonitor", VnfCategory::kMonitoring, 15, 60, 4.0e5, 1.5e6},
+    // Security.
+    {"IPS", VnfCategory::kSecurity, 90, 320, 5.0e4, 2.5e5},
+    {"DPI", VnfCategory::kSecurity, 100, 350, 4.0e4, 2.0e5},
+    {"AntiDDoS", VnfCategory::kSecurity, 70, 260, 1.0e5, 5.0e5},
+    {"VPNGateway", VnfCategory::kSecurity, 50, 200, 1.0e5, 6.0e5},
+    // Gateways.
+    {"IPv6Gateway", VnfCategory::kGateway, 25, 90, 2.5e5, 1.2e6},
+    {"GTPTunnel", VnfCategory::kGateway, 30, 110, 2.0e5, 9.0e5},
+    {"CarrierNAT", VnfCategory::kGateway, 40, 150, 1.5e5, 8.0e5},
+    // Load balancing.
+    {"L7LB", VnfCategory::kLoadBalancing, 50, 180, 1.0e5, 5.0e5},
+    {"GSLB", VnfCategory::kLoadBalancing, 25, 90, 2.5e5, 1.0e6},
+    // WAN optimization.
+    {"Dedup", VnfCategory::kWanOptimization, 80, 280, 6.0e4, 3.0e5},
+    {"Compression", VnfCategory::kWanOptimization, 60, 220, 8.0e4, 4.0e5},
+    // Monitoring.
+    {"NetFlowProbe", VnfCategory::kMonitoring, 15, 55, 4.0e5, 1.5e6},
+    {"SLAMonitor", VnfCategory::kMonitoring, 10, 45, 5.0e5, 1.5e6},
+    {"PacketCapture", VnfCategory::kMonitoring, 30, 120, 2.0e5, 8.0e5},
+    // Traffic shaping.
+    {"QoSShaper", VnfCategory::kTrafficShaping, 20, 80, 3.0e5, 1.2e6},
+    {"RateLimiter", VnfCategory::kTrafficShaping, 15, 60, 4.0e5, 1.5e6},
+    {"Policer", VnfCategory::kTrafficShaping, 15, 60, 4.0e5, 1.5e6},
+    // Proxy / cache.
+    {"HTTPProxy", VnfCategory::kProxyCache, 45, 170, 1.2e5, 6.0e5},
+    {"CDNCache", VnfCategory::kProxyCache, 55, 210, 1.0e5, 5.0e5},
+    // Mobile core.
+    {"vMME", VnfCategory::kMobileCore, 40, 160, 1.5e5, 7.0e5},
+    {"vSGW", VnfCategory::kMobileCore, 45, 170, 1.5e5, 7.0e5},
+    {"vPGW", VnfCategory::kMobileCore, 45, 170, 1.5e5, 7.0e5},
+    // Routing.
+    {"vRouter", VnfCategory::kRouting, 25, 100, 3.0e5, 1.5e6},
+    {"vBRAS", VnfCategory::kRouting, 55, 200, 1.0e5, 5.0e5},
+}};
+
+constexpr std::array<std::uint32_t, 6> kCoreSix{0, 1, 2, 3, 4, 5};
+
+}  // namespace
+
+std::span<const VnfType> vnf_catalog() { return kCatalog; }
+
+std::span<const std::uint32_t> core_six_indices() { return kCoreSix; }
+
+}  // namespace nfv::workload

@@ -1,0 +1,154 @@
+#include "nfv/workload/io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace nfv::workload {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw WorkloadParseError("workload parse error at line " +
+                           std::to_string(line) + ": " + message);
+}
+
+double parse_double(std::size_t line, const std::string& token,
+                    const char* what) {
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (token.empty() || end != token.c_str() + token.size()) {
+    fail(line, std::string("bad ") + what + " '" + token + "'");
+  }
+  return value;
+}
+
+std::uint32_t parse_u32(std::size_t line, const std::string& token,
+                        const char* what) {
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(token.c_str(), &end, 10);
+  if (token.empty() || end != token.c_str() + token.size() ||
+      value > 0xffffffffUL) {
+    fail(line, std::string("bad ") + what + " '" + token + "'");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace
+
+Workload load_workload(std::istream& in) {
+  Workload w;
+  std::string line;
+  std::size_t line_number = 0;
+  bool seen_request = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;
+    if (keyword == "vnf") {
+      if (seen_request) fail(line_number, "vnf declared after requests");
+      std::string name;
+      std::string catalog;
+      std::string demand;
+      std::string instances;
+      std::string mu;
+      if (!(tokens >> name >> catalog >> demand >> instances >> mu)) {
+        fail(line_number,
+             "expected 'vnf <name> <catalog> <demand> <instances> <mu>'");
+      }
+      Vnf f;
+      f.id = VnfId{static_cast<std::uint32_t>(w.vnfs.size())};
+      f.name = name;
+      f.catalog_index = parse_u32(line_number, catalog, "catalog index");
+      f.demand_per_instance = parse_double(line_number, demand, "demand");
+      f.instance_count = parse_u32(line_number, instances, "instance count");
+      f.service_rate = parse_double(line_number, mu, "service rate");
+      if (f.demand_per_instance <= 0.0) {
+        fail(line_number, "demand must be positive");
+      }
+      if (f.instance_count == 0) {
+        fail(line_number, "instance count must be positive");
+      }
+      if (f.service_rate <= 0.0) {
+        fail(line_number, "service rate must be positive");
+      }
+      w.vnfs.push_back(std::move(f));
+    } else if (keyword == "request") {
+      seen_request = true;
+      std::string lambda;
+      std::string prob;
+      if (!(tokens >> lambda >> prob)) {
+        fail(line_number,
+             "expected 'request <lambda> <P> <vnf-index> ...'");
+      }
+      Request r;
+      r.id = RequestId{static_cast<std::uint32_t>(w.requests.size())};
+      r.arrival_rate = parse_double(line_number, lambda, "arrival rate");
+      r.delivery_prob = parse_double(line_number, prob, "delivery prob");
+      if (r.arrival_rate <= 0.0) {
+        fail(line_number, "arrival rate must be positive");
+      }
+      if (r.delivery_prob <= 0.0 || r.delivery_prob > 1.0) {
+        fail(line_number, "delivery probability must be in (0, 1]");
+      }
+      std::string index_token;
+      while (tokens >> index_token) {
+        const std::uint32_t f =
+            parse_u32(line_number, index_token, "vnf index");
+        if (f >= w.vnfs.size()) {
+          fail(line_number,
+               "vnf index " + index_token + " out of range (have " +
+                   std::to_string(w.vnfs.size()) + " vnfs)");
+        }
+        for (const VnfId existing : r.chain) {
+          if (existing.value() == f) {
+            fail(line_number, "duplicate vnf " + index_token + " in chain");
+          }
+        }
+        r.chain.emplace_back(f);
+      }
+      if (r.chain.empty()) fail(line_number, "request has an empty chain");
+      w.requests.push_back(std::move(r));
+    } else {
+      fail(line_number, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (w.vnfs.empty()) throw WorkloadParseError("workload has no vnfs");
+  if (w.requests.empty()) {
+    throw WorkloadParseError("workload has no requests");
+  }
+  return w;
+}
+
+Workload load_workload_string(const std::string& text) {
+  std::istringstream in(text);
+  return load_workload(in);
+}
+
+void save_workload(const Workload& w, std::ostream& out) {
+  for (const Vnf& f : w.vnfs) {
+    out << "vnf " << f.name << ' ' << f.catalog_index << ' '
+        << f.demand_per_instance << ' ' << f.instance_count << ' '
+        << f.service_rate << '\n';
+  }
+  for (const Request& r : w.requests) {
+    out << "request " << r.arrival_rate << ' ' << r.delivery_prob;
+    for (const VnfId f : r.chain) out << ' ' << f.value();
+    out << '\n';
+  }
+}
+
+std::string save_workload_string(const Workload& w) {
+  std::ostringstream out;
+  // Full round-trip precision for rates sampled from continuous
+  // distributions.
+  out.precision(17);
+  save_workload(w, out);
+  return out.str();
+}
+
+}  // namespace nfv::workload

@@ -1,0 +1,47 @@
+#include "nfv/workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nfv/common/error.h"
+
+namespace nfv::workload {
+
+LognormalTraceSampler::LognormalTraceSampler(Params params) : params_(params) {
+  NFV_REQUIRE(params_.median_interarrival > 0.0);
+  NFV_REQUIRE(params_.sigma_log >= 0.0);
+  NFV_REQUIRE(params_.rate_min > 0.0);
+  NFV_REQUIRE(params_.rate_max >= params_.rate_min);
+}
+
+double LognormalTraceSampler::sample_rate(Rng& rng) const {
+  const double interarrival =
+      rng.lognormal(std::log(params_.median_interarrival), params_.sigma_log);
+  return std::clamp(1.0 / interarrival, params_.rate_min, params_.rate_max);
+}
+
+double LognormalTraceSampler::sample_interarrival(double rate,
+                                                  Rng& rng) const {
+  NFV_REQUIRE(rate > 0.0);
+  return rng.exponential(rate);
+}
+
+EmpiricalRateSampler::EmpiricalRateSampler(
+    std::span<const double> observed_rates)
+    : sorted_(observed_rates.begin(), observed_rates.end()) {
+  NFV_REQUIRE(!sorted_.empty());
+  for (const double r : sorted_) NFV_REQUIRE(r > 0.0);
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalRateSampler::sample_rate(Rng& rng) const {
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos =
+      rng.uniform() * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+}  // namespace nfv::workload

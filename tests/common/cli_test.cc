@@ -1,0 +1,104 @@
+#include "nfv/common/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace nfv {
+namespace {
+
+TEST(CliParser, DefaultsSurviveEmptyArgv) {
+  CliParser cli("prog", "test");
+  const auto& runs = cli.add_int("runs", 'r', "repetitions", 100);
+  const auto& p = cli.add_double("loss", 'p', "delivery prob", 0.98);
+  const auto& name = cli.add_string("algo", 'a', "algorithm", "BFDSU");
+  const auto& verbose = cli.add_flag("verbose", 'v', "chatty");
+  const std::array argv{"prog"};
+  ASSERT_TRUE(cli.parse(1, argv.data()));
+  EXPECT_EQ(runs, 100);
+  EXPECT_DOUBLE_EQ(p, 0.98);
+  EXPECT_EQ(name, "BFDSU");
+  EXPECT_FALSE(verbose);
+}
+
+TEST(CliParser, ParsesLongForms) {
+  CliParser cli("prog", "test");
+  const auto& runs = cli.add_int("runs", 'r', "reps", 1);
+  const auto& p = cli.add_double("loss", '\0', "prob", 1.0);
+  const std::array argv{"prog", "--runs", "250", "--loss=0.984"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(runs, 250);
+  EXPECT_DOUBLE_EQ(p, 0.984);
+}
+
+TEST(CliParser, ParsesShortForms) {
+  CliParser cli("prog", "test");
+  const auto& runs = cli.add_int("runs", 'r', "reps", 1);
+  const auto& verbose = cli.add_flag("verbose", 'v', "chatty");
+  const std::array argv{"prog", "-r", "9", "-v"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(runs, 9);
+  EXPECT_TRUE(verbose);
+}
+
+TEST(CliParser, RejectsUnknownFlag) {
+  CliParser cli("prog", "test");
+  const std::array argv{"prog", "--bogus", "1"};
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(CliParser, RejectsMissingValue) {
+  CliParser cli("prog", "test");
+  (void)cli.add_int("runs", 'r', "reps", 1);
+  const std::array argv{"prog", "--runs"};
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(CliParser, RejectsNonNumericValue) {
+  CliParser cli("prog", "test");
+  (void)cli.add_int("runs", 'r', "reps", 1);
+  const std::array argv{"prog", "--runs", "abc"};
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(CliParser, RejectsValueOnSwitch) {
+  CliParser cli("prog", "test");
+  (void)cli.add_flag("verbose", 'v', "chatty");
+  const std::array argv{"prog", "--verbose=1"};
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(CliParser, HelpReturnsFalse) {
+  CliParser cli("prog", "test");
+  const std::array argv{"prog", "--help"};
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(CliParser, UsageListsFlags) {
+  CliParser cli("prog", "does things");
+  (void)cli.add_int("runs", 'r', "number of repetitions", 5);
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--runs"), std::string::npos);
+  EXPECT_NE(usage.find("number of repetitions"), std::string::npos);
+  EXPECT_NE(usage.find("default 5"), std::string::npos);
+}
+
+TEST(CliParser, DuplicateNamesAreRejected) {
+  CliParser cli("prog", "test");
+  (void)cli.add_int("runs", 'r', "reps", 1);
+  EXPECT_THROW((void)cli.add_int("runs", 'x', "dup", 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)cli.add_int("other", 'r', "dup short", 2),
+               std::invalid_argument);
+}
+
+TEST(CliParser, NegativeNumbersParse) {
+  CliParser cli("prog", "test");
+  const auto& v = cli.add_int("offset", 'o', "signed", 0);
+  const std::array argv{"prog", "--offset", "-42"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(v, -42);
+}
+
+}  // namespace
+}  // namespace nfv

@@ -1,0 +1,68 @@
+#include "nfv/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace nfv {
+namespace {
+
+TEST(Histogram, BucketEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bucket_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+}
+
+TEST(Histogram, CountsFallIntoCorrectBuckets) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(1.99);  // bucket 0
+  h.add(2.0);   // bucket 1
+  h.add(9.99);  // bucket 4
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, UnderflowAndOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge is exclusive -> overflow
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, QuantileApproximatesMidpoints) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+}
+
+TEST(Histogram, QuantileRequiresData) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW((void)h.quantile(0.5), std::invalid_argument);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(3.0);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("[    0.0000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nfv

@@ -1,0 +1,53 @@
+#include "nfv/common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+#include <unordered_set>
+
+namespace nfv {
+namespace {
+
+TEST(StrongId, ValueRoundTrips) {
+  const NodeId v{42};
+  EXPECT_EQ(v.value(), 42u);
+  EXPECT_EQ(v.index(), 42u);
+}
+
+TEST(StrongId, DefaultIsZero) {
+  const VnfId f;
+  EXPECT_EQ(f.value(), 0u);
+}
+
+TEST(StrongId, ComparisonIsTotal) {
+  EXPECT_EQ(NodeId{1}, NodeId{1});
+  EXPECT_NE(NodeId{1}, NodeId{2});
+  EXPECT_LT(NodeId{1}, NodeId{2});
+  EXPECT_GE(NodeId{5}, NodeId{5});
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, VnfId>);
+  static_assert(!std::is_same_v<RequestId, VnfId>);
+  static_assert(!std::is_convertible_v<NodeId, VnfId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, NodeId>);  // explicit
+}
+
+TEST(StrongId, HashWorksInUnorderedContainers) {
+  std::unordered_set<RequestId> set;
+  set.insert(RequestId{1});
+  set.insert(RequestId{2});
+  set.insert(RequestId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(RequestId{2}));
+}
+
+TEST(StrongId, StreamsItsValue) {
+  std::ostringstream os;
+  os << LinkId{7};
+  EXPECT_EQ(os.str(), "7");
+}
+
+}  // namespace
+}  // namespace nfv

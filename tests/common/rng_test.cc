@@ -1,0 +1,218 @@
+#include "nfv/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "nfv/common/stats.h"
+
+namespace nfv {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DistinctSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, IsDeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  OnlineStats s;
+  for (int i = 0; i < 200'000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform(5.0, 9.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(13);
+  std::array<int, 7> counts{};
+  for (int i = 0; i < 70'000; ++i) ++counts[rng.below(7)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 9'000);
+    EXPECT_LT(c, 11'000);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(17);
+  EXPECT_THROW((void)rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(19);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(23);
+  OnlineStats s;
+  const double rate = 4.0;
+  for (int i = 0; i < 200'000; ++i) s.add(rng.exponential(rate));
+  EXPECT_NEAR(s.mean(), 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(29);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GT(rng.exponential(0.5), 0.0);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(29);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(31);
+  OnlineStats s;
+  for (int i = 0; i < 100'000; ++i) {
+    s.add(static_cast<double>(rng.poisson(3.5)));
+  }
+  EXPECT_NEAR(s.mean(), 3.5, 0.05);
+  EXPECT_NEAR(s.variance(), 3.5, 0.15);
+}
+
+TEST(Rng, PoissonLargeMeanUsesRejectionPath) {
+  Rng rng(37);
+  OnlineStats s;
+  for (int i = 0; i < 50'000; ++i) {
+    s.add(static_cast<double>(rng.poisson(120.0)));
+  }
+  EXPECT_NEAR(s.mean(), 120.0, 0.5);
+  EXPECT_NEAR(s.variance(), 120.0, 5.0);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(41);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(43);
+  OnlineStats s;
+  for (int i = 0; i < 200'000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(47);
+  std::vector<double> samples;
+  samples.reserve(100'000);
+  for (int i = 0; i < 100'000; ++i) {
+    samples.push_back(rng.lognormal(std::log(2.0), 0.8));
+  }
+  EXPECT_NEAR(quantile(samples, 0.5), 2.0, 0.05);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng rng(53);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100'000.0, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(59);
+  const std::array<double, 3> weights{1.0, 2.0, 7.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 100'000; ++i) {
+    ++counts[rng.weighted_index(weights)];
+  }
+  EXPECT_NEAR(counts[0] / 100'000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 100'000.0, 0.2, 0.015);
+  EXPECT_NEAR(counts[2] / 100'000.0, 0.7, 0.015);
+}
+
+TEST(Rng, WeightedIndexSkipsZeroWeights) {
+  Rng rng(61);
+  const std::array<double, 3> weights{0.0, 1.0, 0.0};
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_EQ(rng.weighted_index(weights), 1u);
+  }
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+  Rng rng(67);
+  const std::array<double, 2> negative{1.0, -0.5};
+  EXPECT_THROW((void)rng.weighted_index(negative), std::invalid_argument);
+  const std::array<double, 2> zeros{0.0, 0.0};
+  EXPECT_THROW((void)rng.weighted_index(zeros), std::invalid_argument);
+  EXPECT_THROW((void)rng.weighted_index(std::span<const double>{}),
+               std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(71);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(Rng, ForkStreamsAreIndependentAndStable) {
+  Rng parent1(99);
+  Rng parent2(99);
+  Rng child_a1 = parent1.fork(0);
+  Rng child_a2 = parent2.fork(0);
+  // Same parent state + same stream -> identical child.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child_a1.next(), child_a2.next());
+  Rng parent3(99);
+  Rng child_b = parent3.fork(1);
+  Rng parent4(99);
+  Rng child_a = parent4.fork(0);
+  EXPECT_NE(child_a.next(), child_b.next());
+}
+
+}  // namespace
+}  // namespace nfv

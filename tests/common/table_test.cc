@@ -1,0 +1,87 @@
+#include "nfv/common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace nfv {
+namespace {
+
+TEST(Table, MarkdownBasicShape) {
+  Table t({"algo", "util"});
+  t.add_row({std::string("BFDSU"), 0.9176});
+  t.add_row({std::string("FFD"), 0.6863});
+  const std::string md = t.markdown();
+  EXPECT_NE(md.find("| algo"), std::string::npos);
+  EXPECT_NE(md.find("BFDSU"), std::string::npos);
+  EXPECT_NE(md.find("0.9176"), std::string::npos);
+  // Header + separator + 2 rows = 4 lines.
+  EXPECT_EQ(std::count(md.begin(), md.end(), '\n'), 4);
+}
+
+TEST(Table, ColumnsAreAligned) {
+  Table t({"x", "longheader"});
+  t.add_row({1LL, 2LL});
+  const std::string md = t.markdown();
+  std::istringstream in(md);
+  std::string header;
+  std::string sep;
+  std::string row;
+  std::getline(in, header);
+  std::getline(in, sep);
+  std::getline(in, row);
+  EXPECT_EQ(header.size(), sep.size());
+  EXPECT_EQ(header.size(), row.size());
+}
+
+TEST(Table, PrecisionControlsDoubles) {
+  Table t({"v"});
+  t.set_precision(2);
+  t.add_row({3.14159});
+  EXPECT_NE(t.markdown().find("3.14"), std::string::npos);
+  EXPECT_EQ(t.markdown().find("3.142"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"name", "note"});
+  t.add_row({std::string("a,b"), std::string("he said \"hi\"")});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvRowStructure) {
+  Table t({"a", "b"});
+  t.add_row({1LL, 2LL});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1LL}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({1LL, 2LL, 3LL}), std::invalid_argument);
+}
+
+TEST(Table, AtAccessor) {
+  Table t({"a"});
+  t.add_row({7LL});
+  EXPECT_EQ(std::get<long long>(t.at(0, 0)), 7);
+  EXPECT_THROW((void)t.at(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)t.at(0, 1), std::invalid_argument);
+}
+
+TEST(Table, StreamOperatorPrintsMarkdown) {
+  Table t({"a"});
+  t.add_row({1LL});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.markdown());
+}
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nfv

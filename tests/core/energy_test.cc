@@ -1,0 +1,90 @@
+#include "nfv/core/energy.h"
+
+#include <gtest/gtest.h>
+
+#include "nfv/topology/builders.h"
+#include "nfv/workload/generator.h"
+
+namespace nfv::core {
+namespace {
+
+TEST(PowerModel, LinearInterpolation) {
+  const PowerModel p{100.0, 300.0};
+  EXPECT_DOUBLE_EQ(p.node_power(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(p.node_power(0.5), 200.0);
+  EXPECT_DOUBLE_EQ(p.node_power(1.0), 300.0);
+  EXPECT_THROW((void)p.node_power(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)p.node_power(1.5), std::invalid_argument);
+}
+
+SystemModel make_model(std::uint64_t seed) {
+  Rng rng(seed);
+  SystemModel model;
+  model.topology = topo::make_star(8, topo::CapacitySpec{2000.0, 2000.0},
+                                   topo::LinkSpec{1e-4}, rng);
+  workload::WorkloadConfig cfg;
+  cfg.vnf_count = 10;
+  cfg.request_count = 60;
+  cfg.fixed_demand_per_instance = 50.0;
+  model.workload = workload::WorkloadGenerator(cfg).generate(rng);
+  return model;
+}
+
+TEST(Energy, AccountingAddsUp) {
+  const SystemModel model = make_model(1);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 1);
+  ASSERT_TRUE(result.feasible);
+  const EnergyReport report = evaluate_energy(model, result);
+  EXPECT_EQ(report.nodes_powered, result.placement_metrics.nodes_in_service);
+  EXPECT_NEAR(report.total_watts,
+              report.idle_floor_watts + report.dynamic_watts, 1e-9);
+  EXPECT_GE(report.savings_watts(), 0.0);
+  // 8 nodes, all-on floor is at least 8 × idle.
+  EXPECT_GE(report.all_on_watts, 8 * 150.0);
+}
+
+TEST(Energy, ConsolidationSavesEnergy) {
+  const SystemModel model = make_model(2);
+  JointConfig consolidate;  // BFDSU
+  JointConfig spread;
+  spread.placement_algorithm = "WFD";
+  const JointResult a = JointOptimizer(consolidate).run(model, 1);
+  const JointResult b = JointOptimizer(spread).run(model, 1);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  const EnergyReport ea = evaluate_energy(model, a);
+  const EnergyReport eb = evaluate_energy(model, b);
+  // Same total load -> similar dynamic power, but consolidation powers
+  // fewer idle floors.
+  EXPECT_LT(ea.nodes_powered, eb.nodes_powered);
+  EXPECT_LT(ea.total_watts, eb.total_watts);
+  EXPECT_NEAR(ea.dynamic_watts, eb.dynamic_watts,
+              0.25 * eb.dynamic_watts);
+}
+
+TEST(Energy, CustomPowerModel) {
+  const SystemModel model = make_model(3);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 1);
+  ASSERT_TRUE(result.feasible);
+  const PowerModel zero_idle{0.0, 200.0};
+  const EnergyReport report = evaluate_energy(model, result, zero_idle);
+  EXPECT_DOUBLE_EQ(report.idle_floor_watts, 0.0);
+  EXPECT_NEAR(report.total_watts, report.dynamic_watts, 1e-9);
+  // With no idle floor, powering off saves nothing at fixed load.
+  EXPECT_NEAR(report.savings_watts(), 0.0, 1e-9);
+}
+
+TEST(Energy, ValidatesInput) {
+  const SystemModel model = make_model(4);
+  JointResult infeasible;
+  EXPECT_THROW((void)evaluate_energy(model, infeasible),
+               std::invalid_argument);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 1);
+  ASSERT_TRUE(result.feasible);
+  PowerModel bad;
+  bad.peak_watts = 10.0;  // below idle
+  EXPECT_THROW((void)evaluate_energy(model, result, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nfv::core

@@ -1,0 +1,147 @@
+#include "nfv/core/failure_repair.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "nfv/placement/metrics.h"
+#include "nfv/topology/builders.h"
+#include "nfv/workload/generator.h"
+
+namespace nfv::core {
+namespace {
+
+SystemModel make_model(std::uint64_t seed, double cap_min, double cap_max,
+                       double demand) {
+  Rng rng(seed);
+  SystemModel model;
+  model.topology = topo::make_star(8, topo::CapacitySpec{cap_min, cap_max},
+                                   topo::LinkSpec{1e-4}, rng);
+  workload::WorkloadConfig cfg;
+  cfg.vnf_count = 12;
+  cfg.request_count = 80;
+  cfg.fixed_demand_per_instance = demand;
+  model.workload = workload::WorkloadGenerator(cfg).generate(rng);
+  return model;
+}
+
+NodeId busiest_node(const SystemModel& model, const JointResult& result) {
+  std::vector<int> count(model.topology.compute_count(), 0);
+  for (const auto& a : result.placement.assignment) ++count[a->index()];
+  return NodeId{static_cast<std::uint32_t>(std::distance(
+      count.begin(), std::max_element(count.begin(), count.end())))};
+}
+
+TEST(FailureRepair, RelocatesDisplacedVnfsOffTheFailedNode) {
+  const SystemModel model = make_model(1, 1500.0, 2500.0, 30.0);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 1);
+  ASSERT_TRUE(result.feasible);
+  const NodeId failed = busiest_node(model, result);
+  Rng rng(2);
+  const RepairResult repair =
+      repair_after_node_failure(model, result, failed, rng);
+  ASSERT_TRUE(repair.feasible);
+  EXPECT_FALSE(repair.displaced.empty());
+  for (std::size_t f = 0; f < model.workload.vnfs.size(); ++f) {
+    EXPECT_NE(*repair.placement.assignment[f], failed);
+  }
+}
+
+TEST(FailureRepair, SurvivorsKeepTheirAssignment) {
+  const SystemModel model = make_model(2, 1500.0, 2500.0, 30.0);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 1);
+  ASSERT_TRUE(result.feasible);
+  const NodeId failed = busiest_node(model, result);
+  Rng rng(3);
+  const RepairResult repair =
+      repair_after_node_failure(model, result, failed, rng);
+  ASSERT_TRUE(repair.feasible);
+  std::set<VnfId> displaced(repair.displaced.begin(), repair.displaced.end());
+  for (std::size_t f = 0; f < model.workload.vnfs.size(); ++f) {
+    if (!displaced.contains(model.workload.vnfs[f].id)) {
+      EXPECT_EQ(*repair.placement.assignment[f],
+                *result.placement.assignment[f]);
+    }
+  }
+}
+
+TEST(FailureRepair, RepairedPlacementRespectsCapacities) {
+  const SystemModel model = make_model(3, 1500.0, 2500.0, 30.0);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 1);
+  ASSERT_TRUE(result.feasible);
+  const NodeId failed = busiest_node(model, result);
+  Rng rng(4);
+  const RepairResult repair =
+      repair_after_node_failure(model, result, failed, rng);
+  ASSERT_TRUE(repair.feasible);
+  const auto problem = placement::make_problem(model.topology, model.workload);
+  EXPECT_NO_THROW((void)placement::evaluate(problem, repair.placement));
+}
+
+TEST(FailureRepair, FailingAnIdleNodeIsANoOp) {
+  const SystemModel model = make_model(4, 5000.0, 5000.0, 20.0);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 1);
+  ASSERT_TRUE(result.feasible);
+  // With huge nodes BFDSU consolidates; find an unused node.
+  std::set<NodeId> used;
+  for (const auto& a : result.placement.assignment) used.insert(*a);
+  ASSERT_LT(used.size(), model.topology.compute_count());
+  NodeId idle{};
+  for (const NodeId v : model.topology.nodes()) {
+    if (!used.contains(v)) {
+      idle = v;
+      break;
+    }
+  }
+  Rng rng(5);
+  const RepairResult repair =
+      repair_after_node_failure(model, result, idle, rng);
+  EXPECT_TRUE(repair.feasible);
+  EXPECT_TRUE(repair.displaced.empty());
+  EXPECT_EQ(repair.nodes_in_service_after, repair.nodes_in_service_before);
+}
+
+TEST(FailureRepair, ReportsInfeasibilityWhenSurvivorsCannotAbsorb) {
+  // Nodes sized so the workload barely fits across ALL of them: losing
+  // the busiest node cannot be absorbed.
+  Rng rng(6);
+  SystemModel model;
+  model.topology = topo::make_star(3, topo::CapacitySpec{500.0, 500.0},
+                                   topo::LinkSpec{1e-4}, rng);
+  workload::WorkloadConfig cfg;
+  cfg.vnf_count = 6;
+  cfg.request_count = 30;
+  cfg.requests_per_instance = 100;        // M_f == 1 for every VNF
+  cfg.fixed_demand_per_instance = 230.0;  // total 1380 of 1500 capacity
+  model.workload = workload::WorkloadGenerator(cfg).generate(rng);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 1);
+  ASSERT_TRUE(result.feasible);
+  const NodeId failed = busiest_node(model, result);
+  Rng repair_rng(7);
+  const RepairResult repair =
+      repair_after_node_failure(model, result, failed, repair_rng);
+  EXPECT_FALSE(repair.feasible);
+  // Input placement is returned untouched on failure.
+  for (std::size_t f = 0; f < model.workload.vnfs.size(); ++f) {
+    EXPECT_EQ(*repair.placement.assignment[f],
+              *result.placement.assignment[f]);
+  }
+}
+
+TEST(FailureRepair, ValidatesInput) {
+  const SystemModel model = make_model(7, 1500.0, 2500.0, 30.0);
+  JointResult infeasible;
+  Rng rng(1);
+  EXPECT_THROW((void)repair_after_node_failure(model, infeasible, NodeId{0},
+                                               rng),
+               std::invalid_argument);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 1);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_THROW((void)repair_after_node_failure(model, result, NodeId{99},
+                                               rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nfv::core

@@ -1,0 +1,168 @@
+// Cross-module integration: the full paper pipeline (generate → place →
+// schedule → admit → evaluate → simulate) and the headline comparative
+// claims at small scale.
+#include <gtest/gtest.h>
+
+#include "nfv/core/joint_optimizer.h"
+#include "nfv/core/sim_builder.h"
+#include "nfv/sim/des.h"
+#include "nfv/topology/builders.h"
+#include "nfv/workload/generator.h"
+
+namespace nfv::core {
+namespace {
+
+SystemModel make_model(std::uint64_t seed, std::size_t nodes,
+                       std::uint32_t vnfs, std::uint32_t requests) {
+  Rng rng(seed);
+  SystemModel model;
+  model.topology = topo::make_star(nodes, topo::CapacitySpec{2000.0, 5000.0},
+                                   topo::LinkSpec{1e-4}, rng);
+  workload::WorkloadConfig cfg;
+  cfg.vnf_count = vnfs;
+  cfg.request_count = requests;
+  model.workload = workload::WorkloadGenerator(cfg).generate(rng);
+  return model;
+}
+
+JointConfig pipeline(const std::string& placer, const std::string& scheduler) {
+  JointConfig cfg;
+  cfg.placement_algorithm = placer;
+  cfg.scheduling_algorithm = scheduler;
+  return cfg;
+}
+
+TEST(Integration, PaperPipelineBeatsBaselineOnUtilization) {
+  // BFDSU vs FFD/NAH on average utilization of used nodes, averaged over
+  // seeds (Figs. 5-7 at small scale).
+  double bfdsu = 0.0;
+  double ffd = 0.0;
+  double nah = 0.0;
+  int counted = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const SystemModel model = make_model(seed, 10, 15, 100);
+    const JointResult a =
+        JointOptimizer(pipeline("BFDSU", "RCKK")).run(model, seed);
+    const JointResult b =
+        JointOptimizer(pipeline("FFD", "RCKK")).run(model, seed);
+    const JointResult c =
+        JointOptimizer(pipeline("NAH", "RCKK")).run(model, seed);
+    if (!a.feasible || !b.feasible || !c.feasible) continue;
+    bfdsu += a.placement_metrics.avg_utilization_of_used;
+    ffd += b.placement_metrics.avg_utilization_of_used;
+    nah += c.placement_metrics.avg_utilization_of_used;
+    ++counted;
+  }
+  ASSERT_GE(counted, 5);
+  EXPECT_GT(bfdsu, ffd);
+  EXPECT_GT(bfdsu, nah);
+}
+
+TEST(Integration, RckkBeatsCgaOnResponseWithinPipeline) {
+  double rckk = 0.0;
+  double cga = 0.0;
+  int counted = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const SystemModel model = make_model(seed + 50, 10, 12, 80);
+    const JointResult a =
+        JointOptimizer(pipeline("BFDSU", "RCKK")).run(model, seed);
+    const JointResult b =
+        JointOptimizer(pipeline("BFDSU", "CGA")).run(model, seed);
+    if (!a.feasible || !b.feasible) continue;
+    rckk += a.avg_response;
+    cga += b.avg_response;
+    ++counted;
+  }
+  ASSERT_GE(counted, 5);
+  EXPECT_LE(rckk, cga * 1.001);
+}
+
+TEST(Integration, AnalyticResponseAgreesWithSimulation) {
+  // The Eq. 12 prediction for each instance must match the DES measurement
+  // of that station within statistical tolerance.
+  const SystemModel model = make_model(123, 8, 8, 60);
+  const JointResult result =
+      JointOptimizer(pipeline("BFDSU", "RCKK")).run(model, 1);
+  ASSERT_TRUE(result.feasible);
+  const SimBuildOutput out = build_sim_network(model, result);
+  sim::SimConfig cfg;
+  cfg.duration = 300.0;
+  cfg.warmup = 30.0;
+  cfg.seed = 9;
+  const sim::SimResult sim_result = sim::simulate(out.network, cfg);
+
+  // Compare aggregate mean station response: analytic (per-visit, with the
+  // inflated rate λ/P) vs measured, weighted by visit counts.
+  double analytic_weighted = 0.0;
+  double measured_weighted = 0.0;
+  double weight = 0.0;
+  for (std::size_t f = 0; f < model.workload.vnfs.size(); ++f) {
+    const auto& ctx = result.contexts[f];
+    const auto& admission = result.admissions[f];
+    const double mu = ctx.problem.service_rate;
+    for (std::uint32_t k = 0; k < ctx.problem.instance_count; ++k) {
+      const std::uint32_t station = out.index_map.base[f] + k;
+      const auto& sr = sim_result.stations[station];
+      if (sr.visits < 200) continue;  // too noisy
+      const double eff_rate =
+          admission.admitted_metrics.instance_load[k] /
+          ctx.problem.delivery_prob;
+      const double analytic = 1.0 / (mu - eff_rate);
+      const double w = static_cast<double>(sr.visits);
+      analytic_weighted += analytic * w;
+      measured_weighted += sr.response.mean() * w;
+      weight += w;
+    }
+  }
+  ASSERT_GT(weight, 0.0);
+  const double analytic_mean = analytic_weighted / weight;
+  const double measured_mean = measured_weighted / weight;
+  EXPECT_NEAR(measured_mean, analytic_mean, 0.25 * analytic_mean);
+}
+
+TEST(Integration, JointObjectiveOrderingHoldsOnAverage) {
+  // Eq. 16 comparison: the paper pipeline (BFDSU+RCKK) vs FFD+CGA and
+  // NAH+CGA on average total latency, averaged across seeds.
+  double ours = 0.0;
+  double ffd_cga = 0.0;
+  double nah_cga = 0.0;
+  int counted = 0;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const SystemModel model = make_model(seed + 900, 12, 15, 120);
+    const JointResult a =
+        JointOptimizer(pipeline("BFDSU", "RCKK")).run(model, seed);
+    const JointResult b =
+        JointOptimizer(pipeline("FFD", "CGA")).run(model, seed);
+    const JointResult c =
+        JointOptimizer(pipeline("NAH", "CGA")).run(model, seed);
+    if (!a.feasible || !b.feasible || !c.feasible) continue;
+    ours += a.avg_total_latency;
+    ffd_cga += b.avg_total_latency;
+    nah_cga += c.avg_total_latency;
+    ++counted;
+  }
+  ASSERT_GE(counted, 6);
+  EXPECT_LT(ours, ffd_cga);
+  EXPECT_LT(ours, nah_cga);
+}
+
+TEST(Integration, ScaleSweepStaysFeasible) {
+  // The paper's full ranges at the corners: 4-50 nodes, 6-30 VNFs,
+  // 30-1000 requests.
+  const struct {
+    std::size_t nodes;
+    std::uint32_t vnfs;
+    std::uint32_t requests;
+  } corners[] = {{4, 6, 30}, {20, 30, 300}, {50, 30, 1000}};
+  for (const auto& c : corners) {
+    const SystemModel model = make_model(7, c.nodes, c.vnfs, c.requests);
+    const JointResult result =
+        JointOptimizer(pipeline("BFDSU", "RCKK")).run(model, 3);
+    EXPECT_TRUE(result.feasible)
+        << c.nodes << " nodes, " << c.vnfs << " vnfs, " << c.requests;
+    EXPECT_LT(result.job_rejection_rate, 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace nfv::core

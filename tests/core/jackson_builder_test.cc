@@ -1,0 +1,121 @@
+#include "nfv/core/jackson_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "nfv/topology/builders.h"
+#include "nfv/workload/generator.h"
+
+namespace nfv::core {
+namespace {
+
+SystemModel make_model(std::uint64_t seed, double delivery_prob = 0.98) {
+  Rng rng(seed);
+  SystemModel model;
+  model.topology = topo::make_star(6, topo::CapacitySpec{3000.0, 5000.0},
+                                   topo::LinkSpec{1e-4}, rng);
+  workload::WorkloadConfig cfg;
+  cfg.vnf_count = 8;
+  cfg.request_count = 50;
+  cfg.delivery_prob = delivery_prob;
+  model.workload = workload::WorkloadGenerator(cfg).generate(rng);
+  return model;
+}
+
+TEST(JacksonBuilder, StationRatesMatchAdmittedEffectiveLoads) {
+  const SystemModel model = make_model(1);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 5);
+  ASSERT_TRUE(result.feasible);
+  const JacksonBuildOutput out = build_jackson_network(model, result);
+  const queueing::NetworkSolution sol = out.network.solve();
+
+  // Recompute expected per-station effective rates from the outcome-level
+  // admissions (a request carries λ/P through every chain hop).
+  std::vector<double> expected(out.network.station_count(), 0.0);
+  std::vector<std::vector<std::uint32_t>> position(
+      model.workload.vnfs.size(),
+      std::vector<std::uint32_t>(model.workload.requests.size(), 0));
+  for (std::size_t f = 0; f < result.contexts.size(); ++f) {
+    for (std::size_t pos = 0; pos < result.contexts[f].members.size(); ++pos) {
+      position[f][result.contexts[f].members[pos].index()] =
+          static_cast<std::uint32_t>(pos);
+    }
+  }
+  for (const auto& request : model.workload.requests) {
+    if (!result.requests[request.id.index()].admitted) continue;
+    for (const VnfId f : request.chain) {
+      const std::uint32_t pos = position[f.index()][request.id.index()];
+      const auto k = result.schedules[f.index()].instance_of[pos];
+      expected[out.index_map.station(f, k)] += request.effective_rate();
+    }
+  }
+  for (std::size_t s = 0; s < expected.size(); ++s) {
+    EXPECT_NEAR(sol.stations[s].arrival_rate, expected[s], 1e-6)
+        << "station " << s;
+  }
+}
+
+TEST(JacksonBuilder, SolvedNetworkIsStable) {
+  const SystemModel model = make_model(2);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 3);
+  ASSERT_TRUE(result.feasible);
+  const JacksonBuildOutput out = build_jackson_network(model, result);
+  const queueing::NetworkSolution sol = out.network.solve();
+  EXPECT_TRUE(sol.stable);
+  EXPECT_GT(sol.mean_sojourn, 0.0);
+}
+
+TEST(JacksonBuilder, LosslessWorkloadHasNoFeedbackRouting) {
+  const SystemModel model = make_model(3, 1.0);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 3);
+  ASSERT_TRUE(result.feasible);
+  const JacksonBuildOutput out = build_jackson_network(model, result);
+  // With P = 1 every row routes strictly forward: total feedback mass into
+  // chain heads equals zero, so external rates alone determine loads and
+  // λ_station = Σ raw λ.
+  const queueing::NetworkSolution sol = out.network.solve();
+  double total_external = 0.0;
+  for (std::size_t s = 0; s < out.network.station_count(); ++s) {
+    total_external += out.network.external_rate(s);
+  }
+  double total_admitted = 0.0;
+  for (const auto& request : model.workload.requests) {
+    if (result.requests[request.id.index()].admitted) {
+      total_admitted += request.arrival_rate;
+    }
+  }
+  EXPECT_NEAR(total_external, total_admitted, 1e-9);
+  EXPECT_TRUE(sol.stable);
+}
+
+TEST(JacksonBuilder, SojournTracksEvaluatorResponseOrder) {
+  // The network-wide mean sojourn should be of the same magnitude as the
+  // evaluator's mean per-request response (they weight instances
+  // differently, so exact equality is not expected).
+  const SystemModel model = make_model(4);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 9);
+  ASSERT_TRUE(result.feasible);
+  const JacksonBuildOutput out = build_jackson_network(model, result);
+  const queueing::NetworkSolution sol = out.network.solve();
+  double mean_response = 0.0;
+  std::size_t admitted = 0;
+  for (const auto& r : result.requests) {
+    if (r.admitted) {
+      mean_response += r.response_latency;
+      ++admitted;
+    }
+  }
+  ASSERT_GT(admitted, 0u);
+  mean_response /= static_cast<double>(admitted);
+  EXPECT_GT(sol.mean_sojourn, 0.3 * mean_response);
+  EXPECT_LT(sol.mean_sojourn, 3.0 * mean_response);
+}
+
+TEST(JacksonBuilder, RejectsInfeasibleResult) {
+  const SystemModel model = make_model(5);
+  JointResult result;
+  EXPECT_THROW((void)build_jackson_network(model, result),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nfv::core

@@ -1,0 +1,129 @@
+#include "nfv/core/locality_refiner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nfv/placement/metrics.h"
+#include "nfv/topology/builders.h"
+#include "nfv/workload/generator.h"
+
+namespace nfv::core {
+namespace {
+
+SystemModel spread_model(std::uint64_t seed) {
+  Rng rng(seed);
+  SystemModel model;
+  // Roomy nodes so there is always somewhere to consolidate into.
+  model.topology = topo::make_star(8, topo::CapacitySpec{2000.0, 3000.0},
+                                   topo::LinkSpec{1e-3}, rng);
+  workload::WorkloadConfig cfg;
+  cfg.vnf_count = 12;
+  cfg.request_count = 80;
+  cfg.fixed_demand_per_instance = 60.0;
+  cfg.chain_template_count = 8;
+  model.workload = workload::WorkloadGenerator(cfg).generate(rng);
+  return model;
+}
+
+JointResult spread_result(const SystemModel& model, std::uint64_t seed) {
+  // WFD scatters VNFs across nodes — maximal room for locality gains.
+  JointConfig cfg;
+  cfg.placement_algorithm = "WFD";
+  return JointOptimizer(cfg).run(model, seed);
+}
+
+double recomputed_link_cost(const SystemModel& model,
+                            const JointResult& result,
+                            const placement::Placement& placement) {
+  double cost = 0.0;
+  for (const auto& request : model.workload.requests) {
+    if (!result.requests[request.id.index()].admitted) continue;
+    std::set<NodeId> nodes;
+    for (const VnfId f : request.chain) {
+      nodes.insert(*placement.assignment[f.index()]);
+    }
+    cost += static_cast<double>(nodes.size() - 1);
+  }
+  return cost;
+}
+
+TEST(LocalityRefiner, ReducesLinkCostOnSpreadPlacements) {
+  const SystemModel model = spread_model(1);
+  const JointResult result = spread_result(model, 1);
+  ASSERT_TRUE(result.feasible);
+  const RefineResult refined = refine_link_locality(model, result);
+  EXPECT_GT(refined.initial_link_cost, 0.0);
+  EXPECT_LT(refined.final_link_cost, refined.initial_link_cost);
+  EXPECT_GT(refined.moves_applied, 0u);
+}
+
+TEST(LocalityRefiner, ReportedCostsMatchRecomputation) {
+  const SystemModel model = spread_model(2);
+  const JointResult result = spread_result(model, 2);
+  ASSERT_TRUE(result.feasible);
+  const RefineResult refined = refine_link_locality(model, result);
+  EXPECT_NEAR(refined.initial_link_cost,
+              recomputed_link_cost(model, result, result.placement), 1e-12);
+  EXPECT_NEAR(refined.final_link_cost,
+              recomputed_link_cost(model, result, refined.placement), 1e-12);
+}
+
+TEST(LocalityRefiner, RespectsCapacities) {
+  const SystemModel model = spread_model(3);
+  const JointResult result = spread_result(model, 3);
+  ASSERT_TRUE(result.feasible);
+  const RefineResult refined = refine_link_locality(model, result);
+  const placement::PlacementProblem problem =
+      placement::make_problem(model.topology, model.workload);
+  // evaluate() throws on any capacity violation.
+  EXPECT_NO_THROW((void)placement::evaluate(problem, refined.placement));
+}
+
+TEST(LocalityRefiner, NeverOpensNewNodesByDefault) {
+  const SystemModel model = spread_model(4);
+  const JointResult result = spread_result(model, 4);
+  ASSERT_TRUE(result.feasible);
+  std::set<NodeId> before;
+  for (const auto& a : result.placement.assignment) before.insert(*a);
+  const RefineResult refined = refine_link_locality(model, result);
+  for (const auto& a : refined.placement.assignment) {
+    EXPECT_TRUE(before.contains(*a)) << "opened node " << a->value();
+  }
+}
+
+TEST(LocalityRefiner, MoveCapIsHonored) {
+  const SystemModel model = spread_model(5);
+  const JointResult result = spread_result(model, 5);
+  ASSERT_TRUE(result.feasible);
+  RefineConfig cfg;
+  cfg.max_moves = 1;
+  const RefineResult refined = refine_link_locality(model, result, cfg);
+  EXPECT_LE(refined.moves_applied, 1u);
+}
+
+TEST(LocalityRefiner, ConsolidatedPlacementIsAFixedPoint) {
+  // BFDSU on roomy nodes usually lands everything on few nodes already;
+  // refining must never increase the cost.
+  const SystemModel model = spread_model(6);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 6);
+  ASSERT_TRUE(result.feasible);
+  const RefineResult refined = refine_link_locality(model, result);
+  EXPECT_LE(refined.final_link_cost, refined.initial_link_cost);
+}
+
+TEST(LocalityRefiner, ValidatesInput) {
+  const SystemModel model = spread_model(7);
+  JointResult infeasible;
+  EXPECT_THROW((void)refine_link_locality(model, infeasible),
+               std::invalid_argument);
+  const JointResult result = spread_result(model, 7);
+  ASSERT_TRUE(result.feasible);
+  RefineConfig bad;
+  bad.max_moves = 0;
+  EXPECT_THROW((void)refine_link_locality(model, result, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nfv::core

@@ -1,0 +1,177 @@
+#include "nfv/core/replication.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "nfv/core/joint_optimizer.h"
+#include "nfv/topology/builders.h"
+#include "nfv/workload/generator.h"
+
+namespace nfv::core {
+namespace {
+
+workload::Workload hand_workload(std::uint32_t instances, double demand,
+                                 std::uint32_t requests) {
+  workload::Workload w;
+  workload::Vnf f;
+  f.id = VnfId{0};
+  f.name = "FW";
+  f.instance_count = instances;
+  f.demand_per_instance = demand;
+  f.service_rate = 1000.0;
+  w.vnfs.push_back(f);
+  Rng rng(1);
+  for (std::uint32_t r = 0; r < requests; ++r) {
+    workload::Request req;
+    req.id = RequestId{r};
+    req.chain = {VnfId{0}};
+    req.arrival_rate = rng.uniform(1.0, 100.0);
+    req.delivery_prob = 0.98;
+    w.requests.push_back(std::move(req));
+  }
+  return w;
+}
+
+TEST(Replication, NoOpWhenEverythingFits) {
+  const auto w = hand_workload(4, 10.0, 20);  // footprint 40
+  const ReplicationPlan plan = split_oversized(w, 100.0);
+  EXPECT_FALSE(plan.changed);
+  EXPECT_EQ(plan.added(), 0u);
+  EXPECT_EQ(plan.workload.vnfs.size(), 1u);
+  EXPECT_EQ(plan.replicas_of[0], std::vector<VnfId>{VnfId{0}});
+}
+
+TEST(Replication, SplitsOversizedVnf) {
+  const auto w = hand_workload(10, 10.0, 40);  // footprint 100
+  const ReplicationPlan plan = split_oversized(w, 35.0);
+  ASSERT_TRUE(plan.changed);
+  // ceil(100/35) = 3 replicas would need ceil(10/3) = 4 instances on one
+  // of them (footprint 40 > 35), so integrality forces 4 replicas with
+  // splits {3,3,2,2}.
+  EXPECT_EQ(plan.workload.vnfs.size(), 4u);
+  EXPECT_EQ(plan.replicas_of[0].size(), 4u);
+  std::uint32_t total_instances = 0;
+  for (const auto& vnf : plan.workload.vnfs) {
+    EXPECT_LE(vnf.total_demand(), 35.0);
+    total_instances += vnf.instance_count;
+    EXPECT_DOUBLE_EQ(vnf.service_rate, 1000.0);
+    EXPECT_DOUBLE_EQ(vnf.demand_per_instance, 10.0);
+  }
+  EXPECT_EQ(total_instances, 10u);  // ΣM preserved
+}
+
+TEST(Replication, RequestsPartitionAcrossReplicas) {
+  const auto w = hand_workload(10, 10.0, 40);
+  const ReplicationPlan plan = split_oversized(w, 35.0);
+  std::vector<std::uint32_t> users(plan.workload.vnfs.size(), 0);
+  for (const auto& r : plan.workload.requests) {
+    ASSERT_EQ(r.chain.size(), 1u);  // same chain shape
+    ++users[r.chain[0].index()];
+  }
+  for (std::size_t f = 0; f < plan.workload.vnfs.size(); ++f) {
+    // Eq. 3 holds per replica.
+    EXPECT_GE(users[f], plan.workload.vnfs[f].instance_count);
+  }
+  std::uint32_t total = 0;
+  for (const auto u : users) total += u;
+  EXPECT_EQ(total, 40u);  // every request kept exactly one copy
+}
+
+TEST(Replication, BalancesLoadPerInstance) {
+  const auto w = hand_workload(10, 10.0, 200);
+  const ReplicationPlan plan = split_oversized(w, 35.0);
+  std::vector<double> load_per_instance(plan.workload.vnfs.size(), 0.0);
+  for (const auto& r : plan.workload.requests) {
+    load_per_instance[r.chain[0].index()] += r.effective_rate();
+  }
+  for (std::size_t f = 0; f < plan.workload.vnfs.size(); ++f) {
+    load_per_instance[f] /= plan.workload.vnfs[f].instance_count;
+  }
+  const auto [lo, hi] =
+      std::minmax_element(load_per_instance.begin(), load_per_instance.end());
+  EXPECT_LT((*hi - *lo) / *hi, 0.15);  // within 15% of each other
+}
+
+TEST(Replication, ChainPositionsArePreserved) {
+  workload::Workload w = hand_workload(10, 10.0, 40);
+  workload::Vnf other;
+  other.id = VnfId{1};
+  other.name = "NAT";
+  other.instance_count = 1;
+  other.demand_per_instance = 5.0;
+  other.service_rate = 500.0;
+  w.vnfs.push_back(other);
+  for (auto& r : w.requests) {
+    r.chain = {VnfId{1}, VnfId{0}};  // NAT then FW
+  }
+  const ReplicationPlan plan = split_oversized(w, 35.0);
+  for (const auto& r : plan.workload.requests) {
+    ASSERT_EQ(r.chain.size(), 2u);
+    EXPECT_EQ(r.chain[0], VnfId{1});  // NAT untouched, still first
+    EXPECT_NE(r.chain[1], VnfId{1});  // second hop is some FW replica
+  }
+}
+
+TEST(Replication, ThrowsWhenSingleInstanceCannotFit) {
+  const auto w = hand_workload(2, 50.0, 10);
+  EXPECT_THROW((void)split_oversized(w, 40.0), InfeasibleError);
+}
+
+TEST(Replication, RejectsNonPositiveBudget) {
+  const auto w = hand_workload(2, 5.0, 10);
+  EXPECT_THROW((void)split_oversized(w, 0.0), std::invalid_argument);
+}
+
+TEST(Replication, MakesInfeasiblePlacementsFeasible) {
+  // One VNF whose footprint (400) exceeds every node (capacity 150), on a
+  // 4-node cluster: unplaceable as-is, placeable after splitting.
+  Rng rng(3);
+  SystemModel model;
+  model.topology = topo::make_star(4, topo::CapacitySpec{150.0, 150.0},
+                                   topo::LinkSpec{1e-4}, rng);
+  model.workload = hand_workload(40, 10.0, 120);
+  const JointOptimizer optimizer{JointConfig{}};
+  EXPECT_FALSE(optimizer.run(model, 1).feasible);
+
+  const ReplicationPlan plan = split_oversized(model.workload, 0.9 * 150.0);
+  ASSERT_TRUE(plan.changed);
+  SystemModel replicated;
+  replicated.topology = std::move(model.topology);
+  replicated.workload = plan.workload;
+  const JointResult result = optimizer.run(replicated, 1);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_LT(result.job_rejection_rate, 0.05);
+}
+
+TEST(Replication, GeneratedWorkloadsRoundTripThroughPipeline) {
+  // Random generated workloads with a tight budget still produce valid,
+  // schedulable workloads after splitting.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    workload::WorkloadConfig cfg;
+    cfg.vnf_count = 10;
+    cfg.request_count = 120;
+    cfg.requests_per_instance = 4;  // many instances -> big footprints
+    workload::Workload w = workload::WorkloadGenerator(cfg).generate(rng);
+    double max_footprint = 0.0;
+    for (const auto& f : w.vnfs) {
+      max_footprint = std::max(max_footprint, f.total_demand());
+    }
+    const double budget = max_footprint / 2.5;
+    double max_piece = 0.0;
+    for (const auto& f : w.vnfs) {
+      max_piece = std::max(max_piece, f.demand_per_instance);
+    }
+    if (max_piece > budget) continue;  // cannot split this seed fairly
+    const ReplicationPlan plan = split_oversized(w, budget);
+    for (const auto& f : plan.workload.vnfs) {
+      EXPECT_LE(f.total_demand(), budget + 1e-9);
+      EXPECT_GE(plan.workload.requests_using(f.id).size(),
+                f.instance_count);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nfv::core

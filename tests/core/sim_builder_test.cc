@@ -1,0 +1,118 @@
+#include "nfv/core/sim_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "nfv/topology/builders.h"
+#include "nfv/workload/generator.h"
+
+namespace nfv::core {
+namespace {
+
+SystemModel make_model(std::uint64_t seed) {
+  Rng rng(seed);
+  SystemModel model;
+  model.topology = topo::make_star(6, topo::CapacitySpec{3000.0, 5000.0},
+                                   topo::LinkSpec{1e-3}, rng);
+  workload::WorkloadConfig cfg;
+  cfg.vnf_count = 8;
+  cfg.request_count = 40;
+  model.workload = workload::WorkloadGenerator(cfg).generate(rng);
+  return model;
+}
+
+TEST(SimBuilder, StationCountMatchesTotalInstances) {
+  const SystemModel model = make_model(1);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 5);
+  ASSERT_TRUE(result.feasible);
+  const SimBuildOutput out = build_sim_network(model, result);
+  std::size_t expected = 0;
+  for (const auto& f : model.workload.vnfs) expected += f.instance_count;
+  EXPECT_EQ(out.network.stations.size(), expected);
+}
+
+TEST(SimBuilder, FlowsCoverExactlyAdmittedRequests) {
+  const SystemModel model = make_model(2);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 5);
+  ASSERT_TRUE(result.feasible);
+  const SimBuildOutput out = build_sim_network(model, result);
+  std::size_t admitted = 0;
+  for (const auto& r : result.requests) admitted += r.admitted ? 1 : 0;
+  EXPECT_EQ(out.network.flows.size(), admitted);
+  EXPECT_EQ(out.flow_request.size(), admitted);
+  for (const RequestId id : out.flow_request) {
+    EXPECT_TRUE(result.requests[id.index()].admitted);
+  }
+}
+
+TEST(SimBuilder, PathsFollowChainsAndAssignments) {
+  const SystemModel model = make_model(3);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 5);
+  ASSERT_TRUE(result.feasible);
+  const SimBuildOutput out = build_sim_network(model, result);
+  for (std::size_t i = 0; i < out.network.flows.size(); ++i) {
+    const auto& flow = out.network.flows[i];
+    const auto& request =
+        model.workload.requests[out.flow_request[i].index()];
+    ASSERT_EQ(flow.path.size(), request.chain.size());
+    EXPECT_DOUBLE_EQ(flow.rate, request.arrival_rate);
+    EXPECT_DOUBLE_EQ(flow.delivery_prob, request.delivery_prob);
+    // Each path entry must be an instance of the corresponding chain VNF.
+    for (std::size_t hop = 0; hop < flow.path.size(); ++hop) {
+      const VnfId f = request.chain[hop];
+      const std::uint32_t base = out.index_map.base[f.index()];
+      const std::uint32_t count =
+          model.workload.vnfs[f.index()].instance_count;
+      EXPECT_GE(flow.path[hop], base);
+      EXPECT_LT(flow.path[hop], base + count);
+    }
+  }
+}
+
+TEST(SimBuilder, HopLatencyZeroWithinNodePositiveAcross) {
+  const SystemModel model = make_model(4);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 5);
+  ASSERT_TRUE(result.feasible);
+  const SimBuildOutput out = build_sim_network(model, result);
+  for (std::size_t i = 0; i < out.network.flows.size(); ++i) {
+    const auto& flow = out.network.flows[i];
+    const auto& request =
+        model.workload.requests[out.flow_request[i].index()];
+    EXPECT_DOUBLE_EQ(flow.hop_latency[0], 0.0);  // source co-located
+    for (std::size_t hop = 1; hop < request.chain.size(); ++hop) {
+      const NodeId prev =
+          *result.placement.assignment[request.chain[hop - 1].index()];
+      const NodeId cur =
+          *result.placement.assignment[request.chain[hop].index()];
+      if (prev == cur) {
+        EXPECT_DOUBLE_EQ(flow.hop_latency[hop], 0.0);
+      } else {
+        EXPECT_GT(flow.hop_latency[hop], 0.0);
+      }
+    }
+  }
+}
+
+TEST(SimBuilder, BuiltNetworkActuallySimulates) {
+  const SystemModel model = make_model(5);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 5);
+  ASSERT_TRUE(result.feasible);
+  const SimBuildOutput out = build_sim_network(model, result);
+  sim::SimConfig cfg;
+  cfg.duration = 5.0;
+  cfg.warmup = 0.5;
+  cfg.seed = 1;
+  const sim::SimResult r = sim::simulate(out.network, cfg);
+  std::uint64_t delivered = 0;
+  for (const auto& flow : r.flows) delivered += flow.delivered;
+  EXPECT_GT(delivered, 0u);
+}
+
+TEST(SimBuilder, RejectsInfeasibleResult) {
+  const SystemModel model = make_model(6);
+  JointResult result;  // feasible == false
+  EXPECT_THROW((void)build_sim_network(model, result),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nfv::core

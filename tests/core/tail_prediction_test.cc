@@ -1,0 +1,137 @@
+#include "nfv/core/tail_prediction.h"
+
+#include <gtest/gtest.h>
+
+#include "nfv/core/sim_builder.h"
+#include "nfv/sim/des.h"
+#include "nfv/topology/builders.h"
+#include "nfv/workload/generator.h"
+
+namespace nfv::core {
+namespace {
+
+SystemModel make_model(std::uint64_t seed, double delivery_prob) {
+  Rng rng(seed);
+  SystemModel model;
+  model.topology = topo::make_star(6, topo::CapacitySpec{3000.0, 5000.0},
+                                   topo::LinkSpec{1e-4}, rng);
+  workload::WorkloadConfig cfg;
+  cfg.vnf_count = 6;
+  cfg.request_count = 40;
+  cfg.delivery_prob = delivery_prob;
+  model.workload = workload::WorkloadGenerator(cfg).generate(rng);
+  return model;
+}
+
+RequestId first_admitted(const JointResult& result) {
+  for (std::size_t r = 0; r < result.requests.size(); ++r) {
+    if (result.requests[r].admitted) {
+      return RequestId{static_cast<std::uint32_t>(r)};
+    }
+  }
+  return RequestId{0};
+}
+
+TEST(TailPrediction, LosslessQuantilesAreOrderedAndExact) {
+  const SystemModel model = make_model(1, 1.0);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 5);
+  ASSERT_TRUE(result.feasible);
+  const auto p =
+      predict_request_tail(model, result, first_admitted(result));
+  EXPECT_TRUE(p.exact);
+  EXPECT_GT(p.p50, 0.0);
+  EXPECT_LT(p.p50, p.p95);
+  EXPECT_LT(p.p95, p.p99);
+  EXPECT_GT(p.mean, 0.0);
+}
+
+TEST(TailPrediction, LosslessMeanMatchesEq16Outcome) {
+  const SystemModel model = make_model(2, 1.0);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 5);
+  ASSERT_TRUE(result.feasible);
+  const RequestId id = first_admitted(result);
+  const auto p = predict_request_tail(model, result, id);
+  // With P = 1, Λ_k is the raw admitted load and the hypoexponential mean
+  // Σ 1/(μ−Λ) equals the evaluator's response; the link term matches too.
+  EXPECT_NEAR(p.mean, result.requests[id.index()].total_latency(),
+              1e-9);
+}
+
+TEST(TailPrediction, LossyPredictionIsSampledAndHeavier) {
+  const SystemModel model = make_model(3, 0.9);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 5);
+  ASSERT_TRUE(result.feasible);
+  const RequestId id = first_admitted(result);
+  const auto p = predict_request_tail(model, result, id);
+  EXPECT_FALSE(p.exact);
+  EXPECT_GT(p.p99, p.p50);
+  EXPECT_GT(p.mean, 0.0);
+  // ~1/0.9 rounds on average: the compound mean clearly exceeds the
+  // single-traversal response recorded by the evaluator.
+  EXPECT_GT(p.mean,
+            result.requests[id.index()].response_latency);
+}
+
+TEST(TailPrediction, SamplingIsDeterministicForSeed) {
+  const SystemModel model = make_model(4, 0.95);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 5);
+  ASSERT_TRUE(result.feasible);
+  const RequestId id = first_admitted(result);
+  TailPredictionConfig cfg;
+  cfg.seed = 77;
+  const auto a = predict_request_tail(model, result, id, cfg);
+  const auto b = predict_request_tail(model, result, id, cfg);
+  EXPECT_DOUBLE_EQ(a.p99, b.p99);
+  cfg.seed = 78;
+  const auto c = predict_request_tail(model, result, id, cfg);
+  EXPECT_NE(a.p99, c.p99);
+}
+
+TEST(TailPrediction, MatchesPacketLevelSimulation) {
+  // The end-to-end check: analytic-model p50/p99 vs the DES, lossless.
+  const SystemModel model = make_model(5, 1.0);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 5);
+  ASSERT_TRUE(result.feasible);
+  const auto build = build_sim_network(model, result);
+  sim::SimConfig cfg;
+  cfg.duration = 600.0;
+  cfg.warmup = 60.0;
+  cfg.seed = 11;
+  cfg.keep_samples = true;
+  const auto sim_result = sim::simulate(build.network, cfg);
+  // Pick the flow with the most deliveries for statistical weight.
+  std::size_t best_flow = 0;
+  for (std::size_t i = 1; i < sim_result.flows.size(); ++i) {
+    if (sim_result.flows[i].delivered >
+        sim_result.flows[best_flow].delivered) {
+      best_flow = i;
+    }
+  }
+  ASSERT_GT(sim_result.flows[best_flow].delivered, 5000u);
+  const RequestId id = build.flow_request[best_flow];
+  const auto p = predict_request_tail(model, result, id);
+  const auto& samples = sim_result.flows[best_flow].samples;
+  EXPECT_NEAR(samples.median(), p.p50, 0.15 * p.p50);
+  EXPECT_NEAR(samples.p99(), p.p99, 0.2 * p.p99);
+}
+
+TEST(TailPrediction, ValidatesInput) {
+  const SystemModel model = make_model(6, 1.0);
+  JointResult infeasible;
+  EXPECT_THROW(
+      (void)predict_request_tail(model, infeasible, RequestId{0}),
+      std::invalid_argument);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 5);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_THROW(
+      (void)predict_request_tail(model, result, RequestId{999}),
+      std::invalid_argument);
+  TailPredictionConfig bad;
+  bad.samples = 10;
+  EXPECT_THROW((void)predict_request_tail(model, result,
+                                          first_admitted(result), bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nfv::core

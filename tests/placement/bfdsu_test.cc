@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "nfv/placement/algorithm.h"
+#include "nfv/placement/metrics.h"
+
+namespace nfv::placement {
+namespace {
+
+PlacementProblem uniform_problem(std::vector<double> demands,
+                                 std::size_t nodes, double capacity) {
+  PlacementProblem p;
+  p.capacities.assign(nodes, capacity);
+  p.demands = std::move(demands);
+  return p;
+}
+
+TEST(Bfdsu, SolvesTrivialInstance) {
+  Rng rng(1);
+  const auto p = uniform_problem({7, 5, 4, 3, 1}, 5, 10.0);
+  const Placement result = BfdsuPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  const PlacementMetrics m = evaluate(p, result);
+  EXPECT_EQ(m.nodes_in_service, 2u);  // optimum: {7,3},{5,4,1}
+}
+
+TEST(Bfdsu, RespectsCapacities) {
+  Rng rng(2);
+  PlacementProblem p;
+  p.capacities = {100.0, 50.0, 30.0, 200.0};
+  p.demands = {90.0, 45.0, 28.0, 60.0, 60.0, 20.0};
+  const Placement result = BfdsuPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  // evaluate() throws if any node is over capacity.
+  EXPECT_NO_THROW((void)evaluate(p, result));
+}
+
+TEST(Bfdsu, ReportsInfeasibilityAfterRestarts) {
+  Rng rng(3);
+  const auto p = uniform_problem({6, 6, 6}, 2, 10.0);
+  const Placement result = BfdsuPlacement{}.place(p, rng);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_GE(result.iterations, BfdsuPlacement{}.options().max_passes);
+}
+
+TEST(Bfdsu, IterationsAreBoundedByOptions) {
+  Rng rng(4);
+  const auto p = uniform_problem({5, 5, 5, 5}, 4, 10.0);
+  BfdsuPlacement::Options opt;
+  opt.stall_limit = 3;
+  opt.max_passes = 7;
+  const Placement result = BfdsuPlacement(opt).place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LE(result.iterations, 7u);
+  EXPECT_GE(result.iterations, 1u);
+}
+
+TEST(Bfdsu, MultiStartNeverWorseThanSinglePassOnUsedNodes) {
+  // Statistical check across seeds: the multi-start incumbent's node count
+  // must be <= any single pass's, because it keeps the best.
+  const auto p = uniform_problem(
+      {33, 30, 28, 25, 22, 20, 18, 15, 12, 10, 8, 5}, 10, 60.0);
+  BfdsuPlacement::Options one;
+  one.stall_limit = 1;
+  one.max_passes = 1;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng_multi(seed);
+    Rng rng_single(seed);
+    const Placement multi = BfdsuPlacement{}.place(p, rng_multi);
+    const Placement single = BfdsuPlacement(one).place(p, rng_single);
+    ASSERT_TRUE(multi.feasible);
+    if (!single.feasible) continue;
+    EXPECT_LE(evaluate(p, multi).nodes_in_service,
+              evaluate(p, single).nodes_in_service)
+        << "seed " << seed;
+  }
+}
+
+TEST(Bfdsu, PrefersUsedNodesOverSpares) {
+  // Node 0 can hold everything; a fresh spare must not be opened.
+  Rng rng(5);
+  PlacementProblem p;
+  p.capacities = {100.0, 100.0, 100.0};
+  p.demands = {30.0, 30.0, 30.0};
+  const Placement result = BfdsuPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(evaluate(p, result).nodes_in_service, 1u);
+}
+
+TEST(Bfdsu, TightFitWinsInExpectation) {
+  // Two candidate spare nodes: capacity 50 (slack 0 after the item) vs
+  // capacity 500 (slack 450).  Weight ratio is 451:1, so across seeds the
+  // tight node must be chosen almost always.
+  PlacementProblem p;
+  p.capacities = {500.0, 50.0};
+  p.demands = {50.0};
+  int tight = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed);
+    BfdsuPlacement::Options one;
+    one.stall_limit = 1;
+    one.max_passes = 1;
+    const Placement result = BfdsuPlacement(one).place(p, rng);
+    ASSERT_TRUE(result.feasible);
+    if (*result.assignment[0] == NodeId{1}) ++tight;
+  }
+  EXPECT_GT(tight, 190);
+}
+
+TEST(Bfdsu, DeterministicGivenSeed) {
+  const auto p = uniform_problem({9, 8, 7, 6, 5, 4, 3, 2}, 6, 15.0);
+  Rng r1(77);
+  Rng r2(77);
+  const Placement a = BfdsuPlacement{}.place(p, r1);
+  const Placement b = BfdsuPlacement{}.place(p, r2);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  EXPECT_EQ(a.iterations, b.iterations);
+  for (std::size_t f = 0; f < p.vnf_count(); ++f) {
+    EXPECT_EQ(*a.assignment[f], *b.assignment[f]);
+  }
+}
+
+TEST(Bfdsu, OptionsValidation) {
+  BfdsuPlacement::Options bad;
+  bad.stall_limit = 0;
+  EXPECT_THROW(BfdsuPlacement{bad}, std::invalid_argument);
+  bad = BfdsuPlacement::Options{};
+  bad.max_passes = 0;
+  EXPECT_THROW(BfdsuPlacement{bad}, std::invalid_argument);
+}
+
+TEST(Bfdsu, HandlesHeterogeneousCapacitiesNearExactFit) {
+  // Stress: total demand == total capacity; only one packing exists.
+  Rng rng(6);
+  PlacementProblem p;
+  p.capacities = {10.0, 20.0, 30.0};
+  p.demands = {30.0, 20.0, 10.0};
+  const Placement result = BfdsuPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(*result.assignment[0], NodeId{2});
+  EXPECT_EQ(*result.assignment[1], NodeId{1});
+  EXPECT_EQ(*result.assignment[2], NodeId{0});
+  EXPECT_DOUBLE_EQ(evaluate(p, result).avg_utilization_of_used, 1.0);
+}
+
+}  // namespace
+}  // namespace nfv::placement

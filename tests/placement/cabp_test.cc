@@ -1,0 +1,172 @@
+#include "nfv/placement/cabp.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "nfv/placement/metrics.h"
+
+namespace nfv::placement {
+namespace {
+
+double spread(const PlacementProblem& p, const Placement& placement) {
+  double total = 0.0;
+  for (std::size_t c = 0; c < p.chains.size(); ++c) {
+    std::set<NodeId> nodes;
+    for (const std::uint32_t f : p.chains[c]) {
+      nodes.insert(*placement.assignment[f]);
+    }
+    const double w = p.chain_weights.empty() ? 1.0 : p.chain_weights[c];
+    total += w * static_cast<double>(nodes.size() - 1);
+  }
+  return total;
+}
+
+TEST(Cabp, SolvesBasicInstances) {
+  PlacementProblem p;
+  p.capacities = {10.0, 10.0, 10.0};
+  p.demands = {7, 5, 4, 3, 1};
+  p.chains = {{0, 1}, {2, 3, 4}};
+  Rng rng(1);
+  const Placement result = CabpPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NO_THROW((void)evaluate(p, result));
+  for (const auto& a : result.assignment) EXPECT_TRUE(a.has_value());
+}
+
+TEST(Cabp, CoLocatesChainsWhenCapacityAllows) {
+  // Two chains, each fits on one node; affinity should put each chain
+  // together instead of interleaving.
+  PlacementProblem p;
+  p.capacities = {100.0, 100.0};
+  p.demands = {40, 40, 40, 40};
+  p.chains = {{0, 1}, {2, 3}};
+  int co_located = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    Rng rng(seed);
+    const Placement result = CabpPlacement{}.place(p, rng);
+    ASSERT_TRUE(result.feasible);
+    if (spread(p, result) == 0.0) ++co_located;
+  }
+  EXPECT_GE(co_located, 28);  // affinity makes splits rare
+}
+
+TEST(Cabp, ReducesChainSpreadVersusBfdsu) {
+  // Statistical comparison on tight instances where consolidation alone
+  // leaves chain fragments scattered.
+  Rng gen(3);
+  double cabp_spread = 0.0;
+  double bfdsu_spread = 0.0;
+  int counted = 0;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    PlacementProblem p;
+    for (int v = 0; v < 8; ++v) {
+      p.capacities.push_back(gen.uniform(800.0, 1200.0));
+    }
+    for (int f = 0; f < 16; ++f) {
+      p.demands.push_back(gen.uniform(150.0, 450.0));
+    }
+    // Four 4-VNF chains.
+    p.chains = {{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}, {12, 13, 14, 15}};
+    p.chain_weights = {4.0, 3.0, 2.0, 1.0};
+    Rng r1(seed);
+    Rng r2(seed);
+    const Placement a = CabpPlacement{}.place(p, r1);
+    const Placement b = BfdsuPlacement{}.place(p, r2);
+    if (!a.feasible || !b.feasible) continue;
+    cabp_spread += spread(p, a);
+    bfdsu_spread += spread(p, b);
+    ++counted;
+  }
+  ASSERT_GT(counted, 15);
+  EXPECT_LT(cabp_spread, bfdsu_spread);
+}
+
+TEST(Cabp, ConsolidationStaysCompetitiveWithBfdsu) {
+  Rng gen(4);
+  double cabp_nodes = 0.0;
+  double bfdsu_nodes = 0.0;
+  int counted = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    PlacementProblem p;
+    for (int v = 0; v < 10; ++v) {
+      p.capacities.push_back(gen.uniform(1000.0, 5000.0));
+    }
+    for (int f = 0; f < 15; ++f) {
+      p.demands.push_back(gen.uniform(300.0, 1500.0));
+    }
+    std::vector<std::uint32_t> all(15);
+    std::iota(all.begin(), all.end(), 0);
+    p.chains = {all};
+    Rng r1(seed);
+    Rng r2(seed);
+    const Placement a = CabpPlacement{}.place(p, r1);
+    const Placement b = BfdsuPlacement{}.place(p, r2);
+    if (!a.feasible || !b.feasible) continue;
+    cabp_nodes += static_cast<double>(evaluate(p, a).nodes_in_service);
+    bfdsu_nodes += static_cast<double>(evaluate(p, b).nodes_in_service);
+    ++counted;
+  }
+  ASSERT_GT(counted, 12);
+  // Same primary objective: within one node of BFDSU on average.
+  EXPECT_LE(cabp_nodes, bfdsu_nodes + static_cast<double>(counted));
+}
+
+TEST(Cabp, ZeroBiasDegeneratesToBfdsuBehaviour) {
+  // With affinity_bias = 0 the weight formula reduces to BFDSU's; given
+  // the same seed the passes draw identical nodes.
+  PlacementProblem p;
+  p.capacities = {50.0, 70.0, 90.0};
+  p.demands = {30, 25, 20, 15, 10};
+  p.chains = {{0, 1, 2, 3, 4}};
+  CabpPlacement::Options opts;
+  opts.affinity_bias = 0.0;
+  Rng r1(9);
+  Rng r2(9);
+  const Placement cabp = CabpPlacement(opts).place(p, r1);
+  const Placement bfdsu = BfdsuPlacement{}.place(p, r2);
+  ASSERT_TRUE(cabp.feasible && bfdsu.feasible);
+  EXPECT_EQ(evaluate(p, cabp).nodes_in_service,
+            evaluate(p, bfdsu).nodes_in_service);
+}
+
+TEST(Cabp, RegistryExposesIt) {
+  const auto algo = make_placement_algorithm("CABP");
+  ASSERT_NE(algo, nullptr);
+  EXPECT_EQ(algo->name(), "CABP");
+}
+
+TEST(Cabp, ReportsInfeasibility) {
+  PlacementProblem p;
+  p.capacities = {10.0};
+  p.demands = {6, 6};
+  p.chains = {{0, 1}};
+  Rng rng(1);
+  EXPECT_FALSE(CabpPlacement{}.place(p, rng).feasible);
+}
+
+TEST(Cabp, OptionsValidation) {
+  CabpPlacement::Options bad;
+  bad.stall_limit = 0;
+  EXPECT_THROW(CabpPlacement{bad}, std::invalid_argument);
+  bad = CabpPlacement::Options{};
+  bad.affinity_bias = -1.0;
+  EXPECT_THROW(CabpPlacement{bad}, std::invalid_argument);
+}
+
+TEST(PlacementProblem, ChainWeightsValidated) {
+  PlacementProblem p;
+  p.capacities = {10.0};
+  p.demands = {5.0};
+  p.chains = {{0}};
+  p.chain_weights = {1.0, 2.0};  // size mismatch
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.chain_weights = {0.0};  // non-positive
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.chain_weights = {3.0};
+  EXPECT_NO_THROW(p.validate());
+}
+
+}  // namespace
+}  // namespace nfv::placement

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "nfv/placement/algorithm.h"
+#include "nfv/placement/metrics.h"
+
+namespace nfv::placement {
+namespace {
+
+PlacementProblem uniform_problem(std::vector<double> demands,
+                                 std::size_t nodes, double capacity) {
+  PlacementProblem p;
+  p.capacities.assign(nodes, capacity);
+  p.demands = std::move(demands);
+  return p;
+}
+
+std::size_t used_nodes(const PlacementProblem& p, const Placement& result) {
+  return evaluate(p, result).nodes_in_service;
+}
+
+TEST(Exact, FindsKnownOptimum) {
+  Rng rng(1);
+  // {6,5,5,4,3,3,2,2} into capacity 10: total 30 -> optimum 3 bins
+  // ({6,4},{5,5},{3,3,2,2}).
+  const auto p = uniform_problem({6, 5, 5, 4, 3, 3, 2, 2}, 8, 10.0);
+  const Placement result = ExactPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(used_nodes(p, result), 3u);
+}
+
+TEST(Exact, BeatsFfdOnAdversarialInstance) {
+  Rng rng(2);
+  // FFD-pessimal family: FFD uses 3 bins where optimum is 2.
+  const auto p = uniform_problem({4, 4, 3, 3, 2, 2}, 6, 9.0);
+  const Placement ffd = FfdPlacement{}.place(p, rng);
+  const Placement exact = ExactPlacement{}.place(p, rng);
+  ASSERT_TRUE(ffd.feasible && exact.feasible);
+  EXPECT_EQ(used_nodes(p, exact), 2u);  // {4,3,2} + {4,3,2}
+  EXPECT_GT(used_nodes(p, ffd), used_nodes(p, exact));
+}
+
+TEST(Exact, HandlesHeterogeneousCapacities) {
+  Rng rng(3);
+  PlacementProblem p;
+  p.capacities = {30.0, 20.0, 10.0, 10.0};
+  p.demands = {25.0, 15.0, 10.0, 5.0};
+  const Placement result = ExactPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  // 25+5 -> 30, 15 -> 20, 10 -> 10: 3 nodes is optimal (total 55 > 30+20).
+  EXPECT_EQ(used_nodes(p, result), 3u);
+}
+
+TEST(Exact, DetectsInfeasibility) {
+  Rng rng(4);
+  const auto p = uniform_problem({6, 6, 6}, 2, 10.0);
+  const Placement result = ExactPlacement{}.place(p, rng);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(Exact, SingleItem) {
+  Rng rng(5);
+  const auto p = uniform_problem({5}, 3, 10.0);
+  const Placement result = ExactPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(used_nodes(p, result), 1u);
+}
+
+TEST(Exact, NeverWorseThanHeuristicsOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    Rng rng(seed);
+    std::vector<double> demands;
+    for (int i = 0; i < 10; ++i) demands.push_back(rng.uniform(1.0, 10.0));
+    PlacementProblem p;
+    p.capacities.assign(8, 15.0);
+    p.demands = std::move(demands);
+    const Placement exact = ExactPlacement{}.place(p, rng);
+    ASSERT_TRUE(exact.feasible) << seed;
+    for (const auto* name : {"FFD", "BFD", "NAH", "BFDSU"}) {
+      const auto algo = make_placement_algorithm(name);
+      const Placement h = algo->place(p, rng);
+      if (!h.feasible) continue;
+      EXPECT_LE(used_nodes(p, exact), used_nodes(p, h))
+          << name << " beat Exact at seed " << seed;
+    }
+  }
+}
+
+TEST(Exact, Theorem2BoundHoldsForBfdsu) {
+  // SUM(V)/OPT(V) <= 2 on random small instances (Theorem 2).
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    Rng rng(seed);
+    std::vector<double> demands;
+    for (int i = 0; i < 9; ++i) demands.push_back(rng.uniform(1.0, 8.0));
+    PlacementProblem p;
+    p.capacities.assign(9, 10.0);
+    p.demands = std::move(demands);
+    const Placement opt = ExactPlacement{}.place(p, rng);
+    const Placement bfdsu = BfdsuPlacement{}.place(p, rng);
+    ASSERT_TRUE(opt.feasible && bfdsu.feasible) << seed;
+    EXPECT_LE(used_nodes(p, bfdsu), 2 * used_nodes(p, opt))
+        << "Theorem 2 violated at seed " << seed;
+  }
+}
+
+TEST(Exact, ExpansionBudgetValidation) {
+  EXPECT_THROW(ExactPlacement{0}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nfv::placement

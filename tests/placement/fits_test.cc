@@ -1,0 +1,141 @@
+// Unit tests of the deterministic fit family: FFD, FF, NFD, BFD, WFD.
+#include <gtest/gtest.h>
+
+#include "nfv/placement/algorithm.h"
+#include "nfv/placement/metrics.h"
+
+namespace nfv::placement {
+namespace {
+
+PlacementProblem uniform_problem(std::vector<double> demands,
+                                 std::size_t nodes, double capacity) {
+  PlacementProblem p;
+  p.capacities.assign(nodes, capacity);
+  p.demands = std::move(demands);
+  return p;
+}
+
+TEST(Ffd, ClassicInstance) {
+  // Demands {7,5,4,3,1} into capacity-10 bins: FFD -> {7,3},{5,4,1}: 2 bins.
+  Rng rng(1);
+  const auto p = uniform_problem({7, 5, 4, 3, 1}, 5, 10.0);
+  const Placement result = FfdPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  const PlacementMetrics m = evaluate(p, result);
+  EXPECT_EQ(m.nodes_in_service, 2u);
+  EXPECT_DOUBLE_EQ(m.avg_utilization_of_used, 1.0);
+  EXPECT_EQ(result.iterations, 1u);
+}
+
+TEST(Ffd, InfeasibleReportsFailure) {
+  Rng rng(2);
+  const auto p = uniform_problem({6, 6, 6}, 1, 10.0);
+  const Placement result = FfdPlacement{}.place(p, rng);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(Ffd, PrefersLowIndexNodes) {
+  Rng rng(3);
+  const auto p = uniform_problem({2, 2}, 3, 10.0);
+  const Placement result = FfdPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(*result.assignment[0], NodeId{0});
+  EXPECT_EQ(*result.assignment[1], NodeId{0});
+}
+
+TEST(FirstFit, OrderSensitivity) {
+  // Unsorted FF packs {4, 7, 5} into capacity 10: {4,5},{7} = 2 bins but
+  // with 4 placed first; FFD would start with 7.
+  Rng rng(4);
+  const auto p = uniform_problem({4, 7, 5}, 3, 10.0);
+  const Placement ff = FirstFitPlacement{}.place(p, rng);
+  ASSERT_TRUE(ff.feasible);
+  EXPECT_EQ(*ff.assignment[0], NodeId{0});  // 4 first
+  EXPECT_EQ(*ff.assignment[1], NodeId{1});  // 7 doesn't fit with 4
+  EXPECT_EQ(*ff.assignment[2], NodeId{0});  // 5 joins the 4
+}
+
+TEST(Nfd, NeverReturnsToClosedNode) {
+  // Sorted: {6,5,4,3}. NFD: node0 gets 6, 5 doesn't fit -> node1 {5,4},
+  // 3 doesn't fit node1 (cap 10, 5+4+3=12) -> node2 {3}.
+  Rng rng(5);
+  const auto p = uniform_problem({6, 5, 4, 3}, 4, 10.0);
+  const Placement result = NfdPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  const PlacementMetrics m = evaluate(p, result);
+  EXPECT_EQ(m.nodes_in_service, 3u);  // FFD would use 2 ({6,4},{5,3,...})
+}
+
+TEST(Bfd, PicksTightestNode) {
+  PlacementProblem p;
+  p.capacities = {10.0, 6.0};
+  p.demands = {5.0};
+  Rng rng(6);
+  const Placement result = BfdPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(*result.assignment[0], NodeId{1});  // 6 is tighter than 10
+}
+
+TEST(Wfd, PicksLoosestNode) {
+  PlacementProblem p;
+  p.capacities = {10.0, 6.0};
+  p.demands = {5.0};
+  Rng rng(7);
+  const Placement result = WfdPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(*result.assignment[0], NodeId{0});
+}
+
+TEST(Wfd, SpreadsLoad) {
+  // Two equal nodes, two equal items: WFD puts one on each.
+  Rng rng(8);
+  const auto p = uniform_problem({4, 4}, 2, 10.0);
+  const Placement result = WfdPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NE(*result.assignment[0], *result.assignment[1]);
+}
+
+TEST(Bfd, ConsolidatesLoad) {
+  Rng rng(9);
+  const auto p = uniform_problem({4, 4}, 2, 10.0);
+  const Placement result = BfdPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(*result.assignment[0], *result.assignment[1]);
+}
+
+TEST(FitFamily, ExactFitLeavesZeroResidual) {
+  Rng rng(10);
+  const auto p = uniform_problem({10, 10}, 2, 10.0);
+  for (const auto* name : {"FFD", "BFD", "WFD", "FF", "NFD"}) {
+    const auto algo = make_placement_algorithm(name);
+    ASSERT_NE(algo, nullptr) << name;
+    const Placement result = algo->place(p, rng);
+    ASSERT_TRUE(result.feasible) << name;
+    const PlacementMetrics m = evaluate(p, result);
+    EXPECT_EQ(m.nodes_in_service, 2u) << name;
+    EXPECT_DOUBLE_EQ(m.avg_utilization_of_used, 1.0) << name;
+  }
+}
+
+TEST(FitFamily, SingleItemSingleNode) {
+  Rng rng(11);
+  const auto p = uniform_problem({3}, 1, 10.0);
+  for (const auto* name : {"FFD", "BFD", "WFD", "FF", "NFD"}) {
+    const auto algo = make_placement_algorithm(name);
+    const Placement result = algo->place(p, rng);
+    ASSERT_TRUE(result.feasible) << name;
+    EXPECT_EQ(*result.assignment[0], NodeId{0}) << name;
+  }
+}
+
+TEST(Registry, KnowsAllNamesAndRejectsUnknown) {
+  for (const auto& name : placement_algorithm_names()) {
+    const auto algo = make_placement_algorithm(name);
+    ASSERT_NE(algo, nullptr) << name;
+    EXPECT_EQ(algo->name(), name);
+  }
+  EXPECT_EQ(make_placement_algorithm("NoSuchAlgo"), nullptr);
+}
+
+}  // namespace
+}  // namespace nfv::placement

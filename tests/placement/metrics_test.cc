@@ -1,0 +1,86 @@
+#include "nfv/placement/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace nfv::placement {
+namespace {
+
+TEST(Metrics, ComputesAllQuantities) {
+  PlacementProblem p;
+  p.capacities = {10.0, 20.0, 30.0};
+  p.demands = {5.0, 10.0};
+  Placement placement;
+  placement.assignment = {NodeId{0}, NodeId{1}};
+  placement.feasible = true;
+  const PlacementMetrics m = evaluate(p, placement);
+  EXPECT_EQ(m.nodes_in_service, 2u);
+  // node0: 5/10 = 0.5; node1: 10/20 = 0.5 -> avg 0.5.
+  EXPECT_DOUBLE_EQ(m.avg_utilization_of_used, 0.5);
+  EXPECT_DOUBLE_EQ(m.resource_occupation, 30.0);
+  EXPECT_DOUBLE_EQ(m.total_load, 15.0);
+  EXPECT_DOUBLE_EQ(m.node_load[0], 5.0);
+  EXPECT_DOUBLE_EQ(m.node_load[1], 10.0);
+  EXPECT_DOUBLE_EQ(m.node_load[2], 0.0);
+}
+
+TEST(Metrics, UnplacedVnfsContributeNothing) {
+  PlacementProblem p;
+  p.capacities = {10.0};
+  p.demands = {5.0, 3.0};
+  Placement placement;
+  placement.assignment = {NodeId{0}, std::nullopt};
+  const PlacementMetrics m = evaluate(p, placement);
+  EXPECT_EQ(m.nodes_in_service, 1u);
+  EXPECT_DOUBLE_EQ(m.total_load, 5.0);
+}
+
+TEST(Metrics, EmptyPlacementHasNoUsedNodes) {
+  PlacementProblem p;
+  p.capacities = {10.0};
+  p.demands = {5.0};
+  Placement placement;
+  placement.assignment = {std::nullopt};
+  const PlacementMetrics m = evaluate(p, placement);
+  EXPECT_EQ(m.nodes_in_service, 0u);
+  EXPECT_DOUBLE_EQ(m.avg_utilization_of_used, 0.0);
+  EXPECT_DOUBLE_EQ(m.resource_occupation, 0.0);
+}
+
+TEST(Metrics, DetectsCapacityViolation) {
+  PlacementProblem p;
+  p.capacities = {10.0};
+  p.demands = {6.0, 6.0};
+  Placement placement;
+  placement.assignment = {NodeId{0}, NodeId{0}};  // 12 > 10
+  EXPECT_THROW((void)evaluate(p, placement), std::invalid_argument);
+}
+
+TEST(Metrics, DetectsOutOfRangeNode) {
+  PlacementProblem p;
+  p.capacities = {10.0};
+  p.demands = {5.0};
+  Placement placement;
+  placement.assignment = {NodeId{3}};
+  EXPECT_THROW((void)evaluate(p, placement), std::invalid_argument);
+}
+
+TEST(Metrics, RejectsSizeMismatch) {
+  PlacementProblem p;
+  p.capacities = {10.0};
+  p.demands = {5.0};
+  Placement placement;  // empty assignment
+  EXPECT_THROW((void)evaluate(p, placement), std::invalid_argument);
+}
+
+TEST(Metrics, FullNodeHasUnitUtilization) {
+  PlacementProblem p;
+  p.capacities = {10.0};
+  p.demands = {10.0};
+  Placement placement;
+  placement.assignment = {NodeId{0}};
+  const PlacementMetrics m = evaluate(p, placement);
+  EXPECT_DOUBLE_EQ(m.avg_utilization_of_used, 1.0);
+}
+
+}  // namespace
+}  // namespace nfv::placement

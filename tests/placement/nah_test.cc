@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "nfv/placement/algorithm.h"
+#include "nfv/placement/metrics.h"
+
+namespace nfv::placement {
+namespace {
+
+TEST(Nah, AnchorsAtLargestRemainingNode) {
+  PlacementProblem p;
+  p.capacities = {50.0, 200.0};
+  p.demands = {40.0};
+  p.chains = {{0}};
+  Rng rng(1);
+  const Placement result = NahPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(*result.assignment[0], NodeId{1});  // worst-fit anchor
+}
+
+TEST(Nah, CoLocatesChainMembersWhenTheyFit) {
+  PlacementProblem p;
+  p.capacities = {100.0, 100.0};
+  p.demands = {40.0, 30.0, 20.0};
+  p.chains = {{0, 1, 2}};
+  Rng rng(2);
+  const Placement result = NahPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(*result.assignment[0], *result.assignment[1]);
+  EXPECT_EQ(*result.assignment[1], *result.assignment[2]);
+  EXPECT_EQ(result.iterations, 1u);  // one node-selection round
+}
+
+TEST(Nah, SpillsToNextLargestNode) {
+  PlacementProblem p;
+  p.capacities = {60.0, 50.0};
+  p.demands = {40.0, 30.0};
+  p.chains = {{0, 1}};
+  Rng rng(3);
+  const Placement result = NahPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  // 40 anchors at node0 (largest); 30 doesn't fit (60-40=20) -> node1.
+  EXPECT_EQ(*result.assignment[0], NodeId{0});
+  EXPECT_EQ(*result.assignment[1], NodeId{1});
+  EXPECT_EQ(result.iterations, 2u);  // anchor round + spill round
+}
+
+TEST(Nah, EveryChainCostsAScanEvenWhenAlreadyPlaced) {
+  PlacementProblem p;
+  p.capacities = {100.0, 100.0};
+  p.demands = {40.0, 30.0};
+  p.chains = {{0, 1}, {1, 0}, {0}};  // later chains share placed VNFs
+  Rng rng(4);
+  const Placement result = NahPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  // NAH keeps no state: three chains -> three scans (only the first one
+  // actually places anything).
+  EXPECT_EQ(result.iterations, 3u);
+}
+
+TEST(Nah, PlacesChainlessVnfs) {
+  PlacementProblem p;
+  p.capacities = {100.0};
+  p.demands = {10.0, 20.0};
+  p.chains = {{0}};  // VNF 1 appears in no chain
+  Rng rng(5);
+  const Placement result = NahPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.assignment[1].has_value());
+}
+
+TEST(Nah, ReportsInfeasibility) {
+  PlacementProblem p;
+  p.capacities = {10.0};
+  p.demands = {6.0, 6.0};
+  p.chains = {{0, 1}};
+  Rng rng(6);
+  const Placement result = NahPlacement{}.place(p, rng);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(Nah, SpreadsMoreThanBfdAcrossEqualNodes) {
+  // The signature behaviour Figs. 5-9 exploit: NAH opens more nodes than a
+  // consolidation policy on the same instance.
+  PlacementProblem p;
+  p.capacities = {100.0, 100.0, 100.0, 100.0};
+  p.demands = {30.0, 30.0, 30.0, 30.0};
+  p.chains = {{0}, {1}, {2}, {3}};  // four independent chains
+  Rng rng(7);
+  const Placement nah = NahPlacement{}.place(p, rng);
+  const Placement bfd = BfdPlacement{}.place(p, rng);
+  ASSERT_TRUE(nah.feasible && bfd.feasible);
+  EXPECT_GT(evaluate(p, nah).nodes_in_service,
+            evaluate(p, bfd).nodes_in_service);
+}
+
+TEST(Nah, MostDemandingChainMemberAnchorsFirst) {
+  PlacementProblem p;
+  p.capacities = {100.0, 90.0};
+  p.demands = {20.0, 80.0};  // chain lists the light VNF first
+  p.chains = {{0, 1}};
+  Rng rng(8);
+  const Placement result = NahPlacement{}.place(p, rng);
+  ASSERT_TRUE(result.feasible);
+  // 80 anchors at node0; 20 fits alongside (100-80=20).
+  EXPECT_EQ(*result.assignment[1], NodeId{0});
+  EXPECT_EQ(*result.assignment[0], NodeId{0});
+}
+
+}  // namespace
+}  // namespace nfv::placement

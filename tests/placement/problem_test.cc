@@ -1,0 +1,105 @@
+#include "nfv/placement/problem.h"
+
+#include <gtest/gtest.h>
+
+#include "nfv/topology/builders.h"
+#include "nfv/workload/generator.h"
+
+namespace nfv::placement {
+namespace {
+
+TEST(PlacementProblem, Totals) {
+  PlacementProblem p;
+  p.capacities = {10.0, 20.0};
+  p.demands = {5.0, 7.0};
+  EXPECT_DOUBLE_EQ(p.total_capacity(), 30.0);
+  EXPECT_DOUBLE_EQ(p.total_demand(), 12.0);
+  EXPECT_FALSE(p.obviously_infeasible());
+}
+
+TEST(PlacementProblem, InfeasibleWhenDemandExceedsTotal) {
+  PlacementProblem p;
+  p.capacities = {10.0};
+  p.demands = {6.0, 6.0};
+  EXPECT_TRUE(p.obviously_infeasible());
+}
+
+TEST(PlacementProblem, InfeasibleWhenOnePieceTooBig) {
+  PlacementProblem p;
+  p.capacities = {10.0, 10.0};
+  p.demands = {11.0};
+  EXPECT_TRUE(p.obviously_infeasible());
+}
+
+TEST(PlacementProblem, ValidateRejectsBadData) {
+  PlacementProblem p;
+  EXPECT_THROW(p.validate(), std::invalid_argument);  // empty
+  p.capacities = {10.0};
+  p.demands = {0.0};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.demands = {5.0};
+  p.chains = {{3}};  // out of range VNF index
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(MakeProblem, BuildsFromTopologyAndWorkload) {
+  Rng rng(1);
+  const auto topology =
+      topo::make_star(5, topo::CapacitySpec{2000.0, 2000.0},
+                      topo::LinkSpec{}, rng);
+  workload::WorkloadConfig cfg;
+  cfg.vnf_count = 8;
+  cfg.request_count = 40;
+  const workload::Workload w = workload::WorkloadGenerator(cfg).generate(rng);
+  const PlacementProblem p = make_problem(topology, w);
+  EXPECT_EQ(p.node_count(), 5u);
+  EXPECT_EQ(p.vnf_count(), 8u);
+  for (std::size_t f = 0; f < 8; ++f) {
+    EXPECT_DOUBLE_EQ(p.demands[f], w.vnfs[f].total_demand());
+  }
+  EXPECT_FALSE(p.chains.empty());
+  EXPECT_LE(p.chains.size(), w.requests.size());
+}
+
+TEST(MakeProblem, ChainsAreDeduplicatedAndFrequencyOrdered) {
+  Rng rng(2);
+  const auto topology =
+      topo::make_star(3, topo::CapacitySpec{5000.0, 5000.0},
+                      topo::LinkSpec{}, rng);
+  workload::Workload w;
+  workload::Vnf f0;
+  f0.id = VnfId{0};
+  f0.demand_per_instance = 10.0;
+  f0.service_rate = 100.0;
+  workload::Vnf f1 = f0;
+  f1.id = VnfId{1};
+  w.vnfs = {f0, f1};
+  auto add_request = [&w](std::vector<VnfId> chain) {
+    workload::Request r;
+    r.id = RequestId{static_cast<std::uint32_t>(w.requests.size())};
+    r.chain = std::move(chain);
+    r.arrival_rate = 1.0;
+    w.requests.push_back(std::move(r));
+  };
+  add_request({VnfId{0}});
+  add_request({VnfId{0}, VnfId{1}});
+  add_request({VnfId{0}, VnfId{1}});
+  add_request({VnfId{0}, VnfId{1}});
+  const PlacementProblem p = make_problem(topology, w);
+  ASSERT_EQ(p.chains.size(), 2u);
+  // The {0,1} chain occurs three times -> listed first.
+  EXPECT_EQ(p.chains[0], (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(p.chains[1], (std::vector<std::uint32_t>{0}));
+}
+
+TEST(Placement, PlacesAccessor) {
+  Placement p;
+  p.assignment = {NodeId{2}, std::nullopt};
+  EXPECT_TRUE(p.places(VnfId{0}, NodeId{2}));
+  EXPECT_FALSE(p.places(VnfId{0}, NodeId{1}));
+  EXPECT_FALSE(p.places(VnfId{1}, NodeId{0}));
+  EXPECT_FALSE(p.places(VnfId{9}, NodeId{0}));  // out of range -> false
+}
+
+}  // namespace
+}  // namespace nfv::placement

@@ -1,0 +1,165 @@
+#include "nfv/placement/vector_packing.h"
+
+#include <gtest/gtest.h>
+
+namespace nfv::placement {
+namespace {
+
+VectorPlacementProblem uniform_nodes(std::size_t nodes, ResourceVector cap) {
+  VectorPlacementProblem p;
+  p.capacities.assign(nodes, cap);
+  return p;
+}
+
+TEST(VectorPacking, ValidateRejectsBadData) {
+  VectorPlacementProblem p;
+  EXPECT_THROW(p.validate(), std::invalid_argument);  // empty
+  p = uniform_nodes(1, {10, 10, 10});
+  p.demands.push_back({0, 0, 0});  // all-zero demand
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.demands[0] = {1, -1, 0};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.demands[0] = {1, 0, 0};
+  p.capacities[0][1] = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(VectorPacking, DominantShareIsMaxDimension) {
+  auto p = uniform_nodes(2, {100, 200, 400});
+  p.demands.push_back({10, 100, 40});  // shares {0.1, 0.5, 0.1}
+  EXPECT_DOUBLE_EQ(p.dominant_share(0), 0.5);
+}
+
+TEST(VectorPacking, FfdRespectsEveryDimension) {
+  auto p = uniform_nodes(2, {10, 10, 10});
+  // Two CPU-light but memory-heavy items cannot share one node.
+  p.demands.push_back({1, 8, 1});
+  p.demands.push_back({1, 8, 1});
+  const VectorPlacement result = vector_ffd(p);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NE(*result.assignment[0], *result.assignment[1]);
+}
+
+TEST(VectorPacking, ComplementaryDemandsPackTogether) {
+  auto p = uniform_nodes(2, {10, 10, 10});
+  // CPU-heavy and memory-heavy items are complementary.
+  p.demands.push_back({8, 1, 1});
+  p.demands.push_back({1, 8, 1});
+  const VectorPlacement result = vector_bfd(p);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(*result.assignment[0], *result.assignment[1]);
+  const VectorMetrics m = evaluate(p, result);
+  EXPECT_EQ(m.nodes_in_service, 1u);
+  EXPECT_NEAR(m.avg_utilization[0], 0.9, 1e-12);
+  EXPECT_NEAR(m.avg_utilization[1], 0.9, 1e-12);
+  EXPECT_NEAR(m.avg_dominant_utilization, 0.9, 1e-12);
+}
+
+TEST(VectorPacking, InfeasibleInstanceReported) {
+  auto p = uniform_nodes(1, {10, 10, 10});
+  p.demands.push_back({6, 1, 1});
+  p.demands.push_back({6, 1, 1});  // CPU dimension overflows
+  EXPECT_FALSE(vector_ffd(p).feasible);
+  EXPECT_FALSE(vector_bfd(p).feasible);
+  Rng rng(1);
+  EXPECT_FALSE(vector_bfdsu(p, rng).feasible);
+}
+
+TEST(VectorPacking, EvaluateDetectsViolations) {
+  auto p = uniform_nodes(1, {10, 10, 10});
+  p.demands.push_back({6, 1, 1});
+  p.demands.push_back({6, 1, 1});
+  VectorPlacement bad;
+  bad.assignment = {NodeId{0}, NodeId{0}};
+  EXPECT_THROW((void)evaluate(p, bad), std::invalid_argument);
+}
+
+TEST(VectorPacking, BfdsuFeasibleSolutionsAreValid) {
+  Rng gen(5);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto p = uniform_nodes(8, {100, 100, 100});
+    for (int f = 0; f < 14; ++f) {
+      p.demands.push_back({gen.uniform(5.0, 45.0), gen.uniform(5.0, 45.0),
+                           gen.uniform(5.0, 45.0)});
+    }
+    Rng rng(seed);
+    const VectorPlacement result = vector_bfdsu(p, rng);
+    if (!result.feasible) continue;
+    for (const auto& a : result.assignment) {
+      EXPECT_TRUE(a.has_value());
+    }
+    EXPECT_NO_THROW((void)evaluate(p, result));
+  }
+}
+
+TEST(VectorPacking, BfdsuConsolidatesAtLeastAsWellAsFfdOnAverage) {
+  Rng gen(9);
+  double bfdsu_nodes = 0.0;
+  double ffd_nodes = 0.0;
+  int counted = 0;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    VectorPlacementProblem p;
+    for (int v = 0; v < 10; ++v) {
+      p.capacities.push_back({gen.uniform(50.0, 150.0),
+                              gen.uniform(50.0, 150.0),
+                              gen.uniform(50.0, 150.0)});
+    }
+    for (int f = 0; f < 15; ++f) {
+      p.demands.push_back({gen.uniform(5.0, 40.0), gen.uniform(5.0, 40.0),
+                           gen.uniform(5.0, 40.0)});
+    }
+    Rng rng(seed);
+    const VectorPlacement a = vector_bfdsu(p, rng);
+    const VectorPlacement b = vector_ffd(p);
+    if (!a.feasible || !b.feasible) continue;
+    bfdsu_nodes += static_cast<double>(evaluate(p, a).nodes_in_service);
+    ffd_nodes += static_cast<double>(evaluate(p, b).nodes_in_service);
+    ++counted;
+  }
+  ASSERT_GT(counted, 8);
+  EXPECT_LE(bfdsu_nodes, ffd_nodes);
+}
+
+TEST(VectorPacking, ScalarProblemsReduceToScalarBehaviour) {
+  // Zero memory/bandwidth demand: vector FFD == scalar FFD on the CPU
+  // dimension ({7,5,4,3,1} into capacity-10 bins -> 2 bins).
+  auto p = uniform_nodes(5, {10, 10, 10});
+  for (const double d : {7.0, 5.0, 4.0, 3.0, 1.0}) {
+    p.demands.push_back({d, 0, 0});
+  }
+  const VectorPlacement result = vector_ffd(p);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(evaluate(p, result).nodes_in_service, 2u);
+}
+
+TEST(VectorPacking, BfdsuDeterministicGivenSeed) {
+  auto p = uniform_nodes(6, {50, 50, 50});
+  Rng gen(3);
+  for (int f = 0; f < 10; ++f) {
+    p.demands.push_back({gen.uniform(5.0, 25.0), gen.uniform(5.0, 25.0),
+                         gen.uniform(5.0, 25.0)});
+  }
+  Rng r1(11);
+  Rng r2(11);
+  const VectorPlacement a = vector_bfdsu(p, r1);
+  const VectorPlacement b = vector_bfdsu(p, r2);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  for (std::size_t f = 0; f < p.vnf_count(); ++f) {
+    EXPECT_EQ(*a.assignment[f], *b.assignment[f]);
+  }
+}
+
+TEST(VectorPacking, OptionsValidation) {
+  auto p = uniform_nodes(2, {10, 10, 10});
+  p.demands.push_back({5, 5, 5});
+  Rng rng(1);
+  VectorBfdsuOptions bad;
+  bad.stall_limit = 0;
+  EXPECT_THROW((void)vector_bfdsu(p, rng, bad), std::invalid_argument);
+  bad = VectorBfdsuOptions{};
+  bad.max_passes = 0;
+  EXPECT_THROW((void)vector_bfdsu(p, rng, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nfv::placement

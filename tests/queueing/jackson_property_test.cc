@@ -1,0 +1,118 @@
+// Property tests for the Jackson solver: the direct (Gaussian
+// elimination) solution must agree with an independent fixed-point
+// iteration of the traffic equations on random open networks, and the
+// per-station metrics must satisfy Little's law.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nfv/common/rng.h"
+#include "nfv/queueing/jackson.h"
+
+namespace nfv::queueing {
+namespace {
+
+struct NetworkShape {
+  std::size_t stations;
+  double max_row_sum;  // routing substochasticity (openness margin)
+};
+
+class JacksonPropertyTest : public ::testing::TestWithParam<NetworkShape> {};
+
+OpenJacksonNetwork random_network(const NetworkShape& shape, Rng& rng,
+                                  std::vector<double>* external,
+                                  std::vector<std::vector<double>>* routing) {
+  std::vector<double> mu(shape.stations);
+  for (auto& m : mu) m = rng.uniform(50.0, 200.0);
+  OpenJacksonNetwork net(mu);
+  external->assign(shape.stations, 0.0);
+  routing->assign(shape.stations, std::vector<double>(shape.stations, 0.0));
+  for (std::size_t i = 0; i < shape.stations; ++i) {
+    if (rng.chance(0.7)) {
+      (*external)[i] = rng.uniform(0.5, 5.0);
+      net.set_external_rate(i, (*external)[i]);
+    }
+    // Random substochastic row: spread max_row_sum across a few targets.
+    double budget = rng.uniform(0.0, shape.max_row_sum);
+    const std::size_t fanout = 1 + rng.below(3);
+    for (std::size_t k = 0; k < fanout && budget > 1e-3; ++k) {
+      const auto j = static_cast<std::size_t>(rng.below(shape.stations));
+      if (j == i) continue;
+      const double p = budget * rng.uniform(0.3, 1.0);
+      (*routing)[i][j] += p;
+      budget -= p;
+    }
+    for (std::size_t j = 0; j < shape.stations; ++j) {
+      if ((*routing)[i][j] > 0.0) net.set_routing(i, j, (*routing)[i][j]);
+    }
+  }
+  return net;
+}
+
+TEST_P(JacksonPropertyTest, DirectSolveMatchesFixedPointIteration) {
+  const NetworkShape shape = GetParam();
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed * 31 + 1);
+    std::vector<double> external;
+    std::vector<std::vector<double>> routing;
+    const OpenJacksonNetwork net =
+        random_network(shape, rng, &external, &routing);
+    const NetworkSolution direct = net.solve();
+
+    // Independent fixed point: λ ← λ0 + Pᵀ λ (converges because routing
+    // is strictly substochastic).
+    std::vector<double> lambda = external;
+    for (int iter = 0; iter < 20000; ++iter) {
+      std::vector<double> next = external;
+      for (std::size_t j = 0; j < shape.stations; ++j) {
+        for (std::size_t i = 0; i < shape.stations; ++i) {
+          next[i] += routing[j][i] * lambda[j];
+        }
+      }
+      double delta = 0.0;
+      for (std::size_t i = 0; i < shape.stations; ++i) {
+        delta = std::max(delta, std::abs(next[i] - lambda[i]));
+      }
+      lambda = std::move(next);
+      if (delta < 1e-13) break;
+    }
+    for (std::size_t i = 0; i < shape.stations; ++i) {
+      EXPECT_NEAR(direct.stations[i].arrival_rate, lambda[i], 1e-8)
+          << "station " << i << " seed " << seed;
+    }
+  }
+}
+
+TEST_P(JacksonPropertyTest, StableStationsSatisfyLittlesLaw) {
+  const NetworkShape shape = GetParam();
+  for (std::uint64_t seed = 100; seed < 106; ++seed) {
+    Rng rng(seed);
+    std::vector<double> external;
+    std::vector<std::vector<double>> routing;
+    const OpenJacksonNetwork net =
+        random_network(shape, rng, &external, &routing);
+    const NetworkSolution sol = net.solve();
+    for (std::size_t i = 0; i < shape.stations; ++i) {
+      const auto& m = sol.stations[i];
+      if (!m.stable || m.arrival_rate <= 0.0) continue;
+      EXPECT_NEAR(m.mean_in_system, m.arrival_rate * m.mean_response, 1e-9)
+          << "station " << i;
+      EXPECT_GT(m.mean_response, 1.0 / net.service_rate(i) - 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, JacksonPropertyTest,
+    ::testing::Values(NetworkShape{2, 0.5}, NetworkShape{5, 0.6},
+                      NetworkShape{10, 0.8}, NetworkShape{25, 0.9},
+                      NetworkShape{50, 0.7}),
+    [](const ::testing::TestParamInfo<NetworkShape>& param_info) {
+      return "s" + std::to_string(param_info.param.stations) + "_rows" +
+             std::to_string(
+                 static_cast<int>(param_info.param.max_row_sum * 100));
+    });
+
+}  // namespace
+}  // namespace nfv::queueing

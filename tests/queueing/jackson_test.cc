@@ -1,0 +1,141 @@
+#include "nfv/queueing/jackson.h"
+
+#include <gtest/gtest.h>
+
+#include "nfv/queueing/mm1.h"
+
+namespace nfv::queueing {
+namespace {
+
+TEST(Jackson, SingleStationReducesToMm1) {
+  OpenJacksonNetwork net({10.0});
+  net.set_external_rate(0, 4.0);
+  const NetworkSolution sol = net.solve();
+  ASSERT_EQ(sol.stations.size(), 1u);
+  EXPECT_TRUE(sol.stable);
+  EXPECT_NEAR(sol.stations[0].arrival_rate, 4.0, 1e-12);
+  EXPECT_NEAR(sol.stations[0].mean_response, mm1_mean_response(4.0, 10.0),
+              1e-12);
+  EXPECT_NEAR(sol.mean_sojourn, mm1_mean_response(4.0, 10.0), 1e-12);
+}
+
+TEST(Jackson, TandemChainSojournSumsStations) {
+  OpenJacksonNetwork net({10.0, 8.0});
+  net.set_external_rate(0, 4.0);
+  net.set_routing(0, 1, 1.0);
+  const NetworkSolution sol = net.solve();
+  EXPECT_TRUE(sol.stable);
+  EXPECT_NEAR(sol.stations[0].arrival_rate, 4.0, 1e-12);
+  EXPECT_NEAR(sol.stations[1].arrival_rate, 4.0, 1e-12);
+  EXPECT_NEAR(sol.mean_sojourn,
+              mm1_mean_response(4.0, 10.0) + mm1_mean_response(4.0, 8.0),
+              1e-12);
+}
+
+TEST(Jackson, Fig3FeedbackLoopGivesLambdaOverP) {
+  // The paper's Fig. 3: two VNFs, loss probability (1-P) feeding back to
+  // station 0.  Steady-state per-station rate must be λ0/P.
+  const double lambda0 = 10.0;
+  const double p = 0.9;
+  auto net = make_chain_with_loss({50.0, 40.0}, lambda0, p);
+  const NetworkSolution sol = net.solve();
+  EXPECT_TRUE(sol.stable);
+  EXPECT_NEAR(sol.stations[0].arrival_rate, lambda0 / p, 1e-9);
+  EXPECT_NEAR(sol.stations[1].arrival_rate, lambda0 / p, 1e-9);
+}
+
+TEST(Jackson, Fig3ResponseMatchesPaperClosedForm) {
+  // E[T_i] = 1/(P·mu_i − λ0) per the paper's Sec. III-B derivation; the
+  // Jackson solve must agree after the 1/P visit-count correction:
+  // E[T] = (1/P)·Σ 1/(mu_i − λ0/P) = Σ 1/(P·mu_i − λ0).
+  const double lambda0 = 10.0;
+  const double p = 0.9;
+  const double mu1 = 50.0;
+  const double mu2 = 40.0;
+  auto net = make_chain_with_loss({mu1, mu2}, lambda0, p);
+  const NetworkSolution sol = net.solve();
+  const double expected =
+      1.0 / (p * mu1 - lambda0) + 1.0 / (p * mu2 - lambda0);
+  EXPECT_NEAR(sol.mean_sojourn, expected, 1e-9);
+}
+
+TEST(Jackson, LosslessChainNeedsNoFeedbackEntry) {
+  auto net = make_chain_with_loss({50.0}, 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(net.routing(0, 0), 0.0);
+  const NetworkSolution sol = net.solve();
+  EXPECT_NEAR(sol.stations[0].arrival_rate, 10.0, 1e-12);
+}
+
+TEST(Jackson, MergingFlowsSumsRates) {
+  // Two external streams joining at a shared downstream station
+  // (Kleinrock merge): Λ_2 = λ_a + λ_b.
+  OpenJacksonNetwork net({20.0, 20.0, 50.0});
+  net.set_external_rate(0, 5.0);
+  net.set_external_rate(1, 7.0);
+  net.set_routing(0, 2, 1.0);
+  net.set_routing(1, 2, 1.0);
+  const NetworkSolution sol = net.solve();
+  EXPECT_NEAR(sol.stations[2].arrival_rate, 12.0, 1e-12);
+}
+
+TEST(Jackson, ProbabilisticSplitDividesTraffic) {
+  OpenJacksonNetwork net({100.0, 30.0, 30.0});
+  net.set_external_rate(0, 10.0);
+  net.set_routing(0, 1, 0.3);
+  net.set_routing(0, 2, 0.7);
+  const NetworkSolution sol = net.solve();
+  EXPECT_NEAR(sol.stations[1].arrival_rate, 3.0, 1e-12);
+  EXPECT_NEAR(sol.stations[2].arrival_rate, 7.0, 1e-12);
+}
+
+TEST(Jackson, UnstableStationFlagsNetwork) {
+  OpenJacksonNetwork net({10.0, 3.0});
+  net.set_external_rate(0, 5.0);
+  net.set_routing(0, 1, 1.0);
+  const NetworkSolution sol = net.solve();
+  EXPECT_TRUE(sol.stations[0].stable);
+  EXPECT_FALSE(sol.stations[1].stable);
+  EXPECT_FALSE(sol.stable);
+}
+
+TEST(Jackson, ClosedRoutingThrows) {
+  OpenJacksonNetwork net({10.0, 10.0});
+  net.set_external_rate(0, 1.0);
+  net.set_routing(0, 1, 1.0);
+  net.set_routing(1, 0, 1.0);  // nothing ever leaves
+  EXPECT_THROW((void)net.solve(), InfeasibleError);
+}
+
+TEST(Jackson, RowSumAboveOneRejected) {
+  OpenJacksonNetwork net({10.0, 10.0});
+  net.set_routing(0, 1, 0.7);
+  EXPECT_THROW(net.set_routing(0, 0, 0.5), std::invalid_argument);
+}
+
+TEST(Jackson, HighFeedbackStillSolvable) {
+  // 50% loss: per-station rate doubles.
+  auto net = make_chain_with_loss({100.0}, 10.0, 0.5);
+  const NetworkSolution sol = net.solve();
+  EXPECT_NEAR(sol.stations[0].arrival_rate, 20.0, 1e-9);
+}
+
+TEST(Jackson, AccessorsValidateIndices) {
+  OpenJacksonNetwork net({10.0});
+  EXPECT_THROW((void)net.service_rate(1), std::invalid_argument);
+  EXPECT_THROW(net.set_external_rate(1, 1.0), std::invalid_argument);
+  EXPECT_THROW(net.set_routing(0, 1, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)net.external_rate(2), std::invalid_argument);
+}
+
+TEST(Jackson, ZeroExternalRateNetworkIsIdle) {
+  OpenJacksonNetwork net({10.0, 10.0});
+  net.set_routing(0, 1, 0.5);
+  const NetworkSolution sol = net.solve();
+  EXPECT_TRUE(sol.stable);
+  EXPECT_DOUBLE_EQ(sol.stations[0].arrival_rate, 0.0);
+  EXPECT_DOUBLE_EQ(sol.stations[1].arrival_rate, 0.0);
+  EXPECT_DOUBLE_EQ(sol.mean_sojourn, 0.0);
+}
+
+}  // namespace
+}  // namespace nfv::queueing

@@ -1,0 +1,119 @@
+#include "nfv/queueing/mm1.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nfv::queueing {
+namespace {
+
+TEST(Mm1, UtilizationIsRatio) {
+  EXPECT_DOUBLE_EQ(mm1_utilization(3.0, 4.0), 0.75);
+  EXPECT_DOUBLE_EQ(mm1_utilization(0.0, 4.0), 0.0);
+}
+
+TEST(Mm1, StabilityBoundary) {
+  EXPECT_TRUE(mm1_stable(3.999, 4.0));
+  EXPECT_FALSE(mm1_stable(4.0, 4.0));
+  EXPECT_FALSE(mm1_stable(5.0, 4.0));
+}
+
+TEST(Mm1, StateProbabilitiesSumToOne) {
+  double sum = 0.0;
+  for (unsigned n = 0; n < 200; ++n) {
+    sum += mm1_state_probability(2.0, 4.0, n);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Mm1, StateProbabilityGeometric) {
+  // rho = 0.5: pi(0)=0.5, pi(1)=0.25, pi(2)=0.125.
+  EXPECT_DOUBLE_EQ(mm1_state_probability(2.0, 4.0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(mm1_state_probability(2.0, 4.0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(mm1_state_probability(2.0, 4.0, 2), 0.125);
+}
+
+TEST(Mm1, MeanInSystemClosedForm) {
+  // rho=0.5 -> N=1; rho=0.9 -> N=9.
+  EXPECT_NEAR(mm1_mean_in_system(2.0, 4.0), 1.0, 1e-12);
+  EXPECT_NEAR(mm1_mean_in_system(9.0, 10.0), 9.0, 1e-9);
+}
+
+TEST(Mm1, MeanResponseClosedForm) {
+  EXPECT_DOUBLE_EQ(mm1_mean_response(2.0, 4.0), 0.5);
+  // Little's law consistency: N = lambda * W.
+  const double lambda = 7.0;
+  const double mu = 10.0;
+  EXPECT_NEAR(mm1_mean_in_system(lambda, mu),
+              lambda * mm1_mean_response(lambda, mu), 1e-12);
+}
+
+TEST(Mm1, WaitExcludesService) {
+  const double lambda = 3.0;
+  const double mu = 5.0;
+  EXPECT_NEAR(mm1_mean_wait(lambda, mu) + 1.0 / mu,
+              mm1_mean_response(lambda, mu), 1e-12);
+}
+
+TEST(Mm1, ResponseGrowsNearSaturation) {
+  // The "growth in delay ... near system capacity" the paper cites.
+  EXPECT_LT(mm1_mean_response(1.0, 10.0), mm1_mean_response(9.0, 10.0));
+  EXPECT_GT(mm1_mean_response(9.9, 10.0), 10.0 * mm1_mean_response(1.0, 10.0));
+}
+
+TEST(Mm1, ResponseQuantileIsExponential) {
+  const double lambda = 2.0;
+  const double mu = 4.0;
+  const double w = mm1_mean_response(lambda, mu);
+  EXPECT_NEAR(mm1_response_quantile(lambda, mu, 0.5), w * std::log(2.0),
+              1e-12);
+  EXPECT_NEAR(mm1_response_quantile(lambda, mu, 0.99),
+              w * (-std::log(0.01)), 1e-9);
+  EXPECT_DOUBLE_EQ(mm1_response_quantile(lambda, mu, 0.0), 0.0);
+}
+
+TEST(Mm1, UnstableQueueThrows) {
+  EXPECT_THROW((void)mm1_mean_in_system(4.0, 4.0), std::invalid_argument);
+  EXPECT_THROW((void)mm1_mean_response(5.0, 4.0), std::invalid_argument);
+  EXPECT_THROW((void)mm1_state_probability(4.0, 4.0, 0),
+               std::invalid_argument);
+}
+
+TEST(Mm1, InvalidRatesThrow) {
+  EXPECT_THROW((void)mm1_utilization(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)mm1_utilization(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Burke, EffectiveRateInflatesByLoss) {
+  EXPECT_DOUBLE_EQ(effective_arrival_rate(98.0, 0.98), 100.0);
+  EXPECT_DOUBLE_EQ(effective_arrival_rate(10.0, 1.0), 10.0);
+  EXPECT_THROW((void)effective_arrival_rate(1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)effective_arrival_rate(1.0, 1.5),
+               std::invalid_argument);
+}
+
+TEST(Eq12, MatchesBurkeCorrectedMm1) {
+  // 1/(P·mu − λ0) must equal (1/P)·W_mm1(λ0/P, mu).
+  const double lambda0 = 40.0;
+  const double mu = 100.0;
+  const double p = 0.98;
+  const double lhs = instance_response_with_loss(lambda0, mu, p);
+  const double rhs = (1.0 / p) * mm1_mean_response(lambda0 / p, mu);
+  EXPECT_NEAR(lhs, rhs, 1e-12);
+}
+
+TEST(Eq12, LossIncreasesResponse) {
+  const double w_lossless = instance_response_with_loss(40.0, 100.0, 1.0);
+  const double w_lossy = instance_response_with_loss(40.0, 100.0, 0.98);
+  EXPECT_GT(w_lossy, w_lossless);
+}
+
+TEST(Eq12, SaturatedInstanceThrows) {
+  // P·mu = 98 <= λ0 = 98.
+  EXPECT_THROW((void)instance_response_with_loss(98.0, 100.0, 0.98),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nfv::queueing

@@ -1,0 +1,115 @@
+#include "nfv/queueing/mm1k.h"
+
+#include <gtest/gtest.h>
+
+#include "nfv/queueing/mm1.h"
+
+namespace nfv::queueing {
+namespace {
+
+TEST(Mm1k, StateProbabilitiesSumToOne) {
+  const unsigned k = 10;
+  double sum = 0.0;
+  for (unsigned n = 0; n <= k; ++n) {
+    sum += mm1k_state_probability(3.0, 5.0, k, n);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Mm1k, CriticalLoadIsUniform) {
+  // ρ = 1: the truncated chain is uniform over {0..K}.
+  const unsigned k = 7;
+  for (unsigned n = 0; n <= k; ++n) {
+    EXPECT_NEAR(mm1k_state_probability(4.0, 4.0, k, n), 1.0 / 8.0, 1e-12);
+  }
+  EXPECT_NEAR(mm1k_mean_in_system(4.0, 4.0, k), 3.5, 1e-12);
+}
+
+TEST(Mm1k, ConvergesToMm1ForLargeBuffers) {
+  const double lambda = 3.0;
+  const double mu = 5.0;
+  EXPECT_NEAR(mm1k_mean_in_system(lambda, mu, 500),
+              mm1_mean_in_system(lambda, mu), 1e-9);
+  EXPECT_NEAR(mm1k_blocking_probability(lambda, mu, 500), 0.0, 1e-9);
+  EXPECT_NEAR(mm1k_mean_response(lambda, mu, 500),
+              mm1_mean_response(lambda, mu), 1e-9);
+}
+
+TEST(Mm1k, BufferOneIsErlangLoss) {
+  // K = 1: blocking = ρ/(1+ρ) (Erlang-B with one server).
+  const double rho = 0.6;
+  EXPECT_NEAR(mm1k_blocking_probability(rho * 10.0, 10.0, 1),
+              rho / (1.0 + rho), 1e-12);
+}
+
+TEST(Mm1k, BlockingIncreasesWithLoad) {
+  EXPECT_LT(mm1k_blocking_probability(2.0, 10.0, 5),
+            mm1k_blocking_probability(8.0, 10.0, 5));
+  EXPECT_LT(mm1k_blocking_probability(8.0, 10.0, 5),
+            mm1k_blocking_probability(12.0, 10.0, 5));
+}
+
+TEST(Mm1k, BlockingDecreasesWithBuffer) {
+  EXPECT_GT(mm1k_blocking_probability(8.0, 10.0, 2),
+            mm1k_blocking_probability(8.0, 10.0, 8));
+}
+
+TEST(Mm1k, OverloadBlockingApproachesOneMinusInverseRho) {
+  // ρ > 1: π(K) -> 1 − 1/ρ as K grows (the stable excess is shed).
+  EXPECT_NEAR(mm1k_blocking_probability(20.0, 10.0, 200), 0.5, 1e-9);
+}
+
+TEST(Mm1k, ThroughputNeverExceedsServiceRate) {
+  for (const double lambda : {1.0, 5.0, 9.0, 15.0, 30.0}) {
+    const double carried = mm1k_throughput(lambda, 10.0, 12);
+    EXPECT_LE(carried, 10.0 + 1e-9);
+    EXPECT_LE(carried, lambda + 1e-9);
+    EXPECT_GT(carried, 0.0);
+  }
+}
+
+TEST(Mm1k, ResponseIsFiniteEvenInOverload) {
+  // The buffer bounds the wait: W <= (K)/μ + service.
+  const double w = mm1k_mean_response(50.0, 10.0, 10);
+  EXPECT_GT(w, 0.0);
+  EXPECT_LE(w, 11.0 / 10.0);
+}
+
+TEST(Mm1k, LittlesLawConsistency) {
+  const double lambda = 7.0;
+  const double mu = 10.0;
+  const unsigned k = 6;
+  const double n = mm1k_mean_in_system(lambda, mu, k);
+  const double carried = mm1k_throughput(lambda, mu, k);
+  EXPECT_NEAR(mm1k_mean_response(lambda, mu, k), n / carried, 1e-12);
+}
+
+TEST(Mm1k, BufferSizingFindsMinimalK) {
+  const double lambda = 8.0;
+  const double mu = 10.0;
+  const double target = 0.01;
+  const unsigned k = mm1k_buffer_for_blocking(lambda, mu, target);
+  EXPECT_LE(mm1k_blocking_probability(lambda, mu, k), target);
+  if (k > 1) {
+    EXPECT_GT(mm1k_blocking_probability(lambda, mu, k - 1), target);
+  }
+}
+
+TEST(Mm1k, BufferSizingCapsInOverload) {
+  // ρ = 2 can never block less than 50%.
+  EXPECT_EQ(mm1k_buffer_for_blocking(20.0, 10.0, 0.01, 1024), 1024u);
+}
+
+TEST(Mm1k, RejectsBadArguments) {
+  EXPECT_THROW((void)mm1k_state_probability(1.0, 0.0, 5, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)mm1k_state_probability(1.0, 2.0, 5, 6),
+               std::invalid_argument);
+  EXPECT_THROW((void)mm1k_buffer_for_blocking(1.0, 2.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)mm1k_buffer_for_blocking(1.0, 2.0, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nfv::queueing

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "nfv/scheduling/algorithm.h"
+#include "nfv/scheduling/metrics.h"
+
+namespace nfv::sched {
+namespace {
+
+SchedulingProblem problem_with(std::vector<double> rates, std::uint32_t m,
+                               double mu = 1000.0, double p = 1.0) {
+  SchedulingProblem out;
+  out.arrival_rates = std::move(rates);
+  out.instance_count = m;
+  out.service_rate = mu;
+  out.delivery_prob = p;
+  return out;
+}
+
+TEST(Cga, ZeroBudgetEqualsLpt) {
+  Rng rng(1);
+  std::vector<double> rates;
+  for (int i = 0; i < 25; ++i) rates.push_back(rng.uniform(1.0, 100.0));
+  const auto p = problem_with(rates, 5);
+  CgaScheduling::Options first_descent;
+  first_descent.node_budget = 0;
+  const Schedule cga = CgaScheduling(first_descent).schedule(p, rng);
+  const Schedule lpt = LptScheduling{}.schedule(p, rng);
+  EXPECT_EQ(cga.instance_of, lpt.instance_of);
+}
+
+TEST(Cga, BudgetImprovesOnLpt) {
+  // On the classic {8,7,6,5,4} 2-way instance LPT reaches max 17; complete
+  // search reaches the 15/15 optimum.
+  Rng rng(2);
+  const auto p = problem_with({8, 7, 6, 5, 4}, 2);
+  const ScheduleMetrics lpt = evaluate(p, LptScheduling{}.schedule(p, rng));
+  CgaScheduling::Options searching;
+  searching.node_budget = 100'000;
+  const ScheduleMetrics cga =
+      evaluate(p, CgaScheduling(searching).schedule(p, rng));
+  EXPECT_DOUBLE_EQ(lpt.max_load, 17.0);
+  EXPECT_DOUBLE_EQ(cga.max_load, 15.0);
+}
+
+TEST(Cga, DefaultBudgetIsFirstDescent) {
+  Rng rng(2);
+  const auto p = problem_with({8, 7, 6, 5, 4}, 2);
+  const Schedule cga = CgaScheduling{}.schedule(p, rng);
+  const Schedule lpt = LptScheduling{}.schedule(p, rng);
+  EXPECT_EQ(cga.instance_of, lpt.instance_of);
+}
+
+TEST(Cga, SearchNeverWorseThanLpt) {
+  Rng rng(3);
+  CgaScheduling::Options searching;
+  searching.node_budget = 20'000;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> rates;
+    for (int i = 0; i < 15; ++i) rates.push_back(rng.uniform(1.0, 100.0));
+    const auto p = problem_with(rates, 4);
+    const ScheduleMetrics lpt = evaluate(p, LptScheduling{}.schedule(p, rng));
+    const ScheduleMetrics cga =
+        evaluate(p, CgaScheduling(searching).schedule(p, rng));
+    EXPECT_LE(cga.max_load, lpt.max_load + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Cga, SolvesSmallInstancesOptimally) {
+  // Exhaustible sizes: CGA must find the optimal makespan (verified by
+  // brute force here).
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> rates;
+    for (int i = 0; i < 8; ++i) {
+      rates.push_back(std::floor(rng.uniform(1.0, 20.0)));
+    }
+    const auto p = problem_with(rates, 3);
+    CgaScheduling::Options big;
+    big.node_budget = 10'000'000;
+    const ScheduleMetrics cga =
+        evaluate(p, CgaScheduling(big).schedule(p, rng));
+    // Brute force 3^8 assignments.
+    double best = 1e18;
+    for (int mask = 0; mask < 6561; ++mask) {
+      double load[3] = {0, 0, 0};
+      int code = mask;
+      for (int i = 0; i < 8; ++i) {
+        load[code % 3] += rates[static_cast<std::size_t>(i)];
+        code /= 3;
+      }
+      best = std::min(best, std::max({load[0], load[1], load[2]}));
+    }
+    EXPECT_NEAR(cga.max_load, best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Cga, SingleInstanceShortCircuit) {
+  Rng rng(5);
+  const auto p = problem_with({3, 2, 1}, 1);
+  const Schedule s = CgaScheduling{}.schedule(p, rng);
+  for (const auto k : s.instance_of) EXPECT_EQ(k, 0u);
+}
+
+TEST(Cga, WorkReflectsBudgetCap) {
+  Rng rng(6);
+  std::vector<double> rates;
+  for (int i = 0; i < 40; ++i) rates.push_back(rng.uniform(1.0, 100.0));
+  const auto p = problem_with(rates, 5);
+  CgaScheduling::Options tiny;
+  tiny.node_budget = 100;
+  const Schedule s = CgaScheduling(tiny).schedule(p, rng);
+  // Budget + the in-flight descent: work stays within a small multiple.
+  EXPECT_LE(s.work, 200u);
+  s.validate(p);
+}
+
+TEST(Cga, ScalesPoorlyRelativeToRckk) {
+  // The paper's rationale for RCKK (Sec. IV-B): CGA burns its whole budget
+  // on larger instances while RCKK does n-1 combines.
+  Rng rng(7);
+  std::vector<double> rates;
+  for (int i = 0; i < 100; ++i) rates.push_back(rng.uniform(1.0, 100.0));
+  const auto p = problem_with(rates, 5);
+  CgaScheduling::Options searching;
+  searching.node_budget = 10'000;
+  const Schedule cga = CgaScheduling(searching).schedule(p, rng);
+  const Schedule rckk = RckkScheduling{}.schedule(p, rng);
+  EXPECT_EQ(rckk.work, 99u);
+  EXPECT_GE(cga.work, searching.node_budget);
+}
+
+}  // namespace
+}  // namespace nfv::sched

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "nfv/scheduling/algorithm.h"
+#include "nfv/scheduling/metrics.h"
+
+namespace nfv::sched {
+namespace {
+
+SchedulingProblem two_way(std::vector<double> rates) {
+  SchedulingProblem p;
+  p.arrival_rates = std::move(rates);
+  p.instance_count = 2;
+  p.service_rate = 1e6;
+  p.delivery_prob = 1.0;
+  return p;
+}
+
+TEST(TwoWayDp, FindsPerfectPartition) {
+  Rng rng(1);
+  // {8,7,6,5,4}: perfect 15/15 exists.
+  const auto p = two_way({8, 7, 6, 5, 4});
+  const ScheduleMetrics m = evaluate(p, TwoWayDpScheduling{}.schedule(p, rng));
+  EXPECT_NEAR(m.imbalance, 0.0, 1e-3);
+}
+
+TEST(TwoWayDp, OddTotalLeavesUnitGap) {
+  Rng rng(2);
+  const auto p = two_way({3, 3, 3});  // best split 6/3
+  const ScheduleMetrics m = evaluate(p, TwoWayDpScheduling{}.schedule(p, rng));
+  EXPECT_NEAR(m.imbalance, 3.0, 1e-3);
+}
+
+TEST(TwoWayDp, MatchesBruteForceOnRandomIntegers) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> rates;
+    for (int i = 0; i < 12; ++i) {
+      rates.push_back(static_cast<double>(rng.uniform_int(1, 50)));
+    }
+    const auto p = two_way(rates);
+    Rng r2(1);
+    const ScheduleMetrics dp =
+        evaluate(p, TwoWayDpScheduling{}.schedule(p, r2));
+    // Brute force over 2^12 subsets.
+    double total = 0.0;
+    for (const double r : rates) total += r;
+    double best = total;
+    for (int mask = 0; mask < (1 << 12); ++mask) {
+      double s = 0.0;
+      for (int i = 0; i < 12; ++i) {
+        if (mask & (1 << i)) s += rates[static_cast<std::size_t>(i)];
+      }
+      best = std::min(best, std::abs(total - 2.0 * s));
+    }
+    EXPECT_NEAR(dp.imbalance, best, 1e-3) << "trial " << trial;
+  }
+}
+
+TEST(TwoWayDp, CkkIsOptimalOnTwoWayInstances) {
+  // CKK with enough budget must match the DP oracle.
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> rates;
+    for (int i = 0; i < 10; ++i) {
+      rates.push_back(static_cast<double>(rng.uniform_int(1, 40)));
+    }
+    const auto p = two_way(rates);
+    Rng r1(1);
+    Rng r2(1);
+    CkkScheduling::Options big;
+    big.node_budget = 1'000'000;
+    const double ckk =
+        evaluate(p, CkkScheduling(big).schedule(p, r1)).imbalance;
+    const double dp =
+        evaluate(p, TwoWayDpScheduling{}.schedule(p, r2)).imbalance;
+    EXPECT_NEAR(ckk, dp, 1e-3) << "trial " << trial;
+  }
+}
+
+TEST(TwoWayDp, RckkGapIsBoundedByOracle) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> rates;
+    for (int i = 0; i < 30; ++i) rates.push_back(rng.uniform(1.0, 100.0));
+    const auto p = two_way(rates);
+    Rng r1(1);
+    Rng r2(1);
+    const double rckk =
+        evaluate(p, RckkScheduling{}.schedule(p, r1)).imbalance;
+    const double dp =
+        evaluate(p, TwoWayDpScheduling{}.schedule(p, r2)).imbalance;
+    // The DP is optimal on quantized rates; in continuous terms it can be
+    // off by up to one quantum per request.
+    double total = 0.0;
+    for (const double r : rates) total += r;
+    const double quantization_slack =
+        static_cast<double>(rates.size()) * total / 1'000'000.0;
+    EXPECT_GE(rckk, dp - quantization_slack)
+        << "oracle beaten?! trial " << trial;
+  }
+}
+
+TEST(TwoWayDp, SingleRequest) {
+  Rng rng(6);
+  const auto p = two_way({42.0});
+  const Schedule s = TwoWayDpScheduling{}.schedule(p, rng);
+  // One request on one instance; imbalance is the request itself.
+  const ScheduleMetrics m = evaluate(p, s);
+  EXPECT_NEAR(m.imbalance, 42.0, 1e-3);
+}
+
+TEST(TwoWayDp, RejectsNonTwoWayProblems) {
+  Rng rng(7);
+  SchedulingProblem p = two_way({1, 2, 3});
+  p.instance_count = 3;
+  EXPECT_THROW((void)TwoWayDpScheduling{}.schedule(p, rng),
+               std::invalid_argument);
+}
+
+TEST(TwoWayDp, OptionsValidation) {
+  TwoWayDpScheduling::Options bad;
+  bad.resolution = 0;
+  EXPECT_THROW(TwoWayDpScheduling{bad}, std::invalid_argument);
+}
+
+TEST(TwoWayDp, RegistryExposesDp2) {
+  const auto algo = make_scheduling_algorithm("DP2");
+  ASSERT_NE(algo, nullptr);
+  EXPECT_EQ(algo->name(), "DP2");
+}
+
+}  // namespace
+}  // namespace nfv::sched

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "nfv/scheduling/algorithm.h"
+#include "nfv/scheduling/metrics.h"
+
+namespace nfv::sched {
+namespace {
+
+SchedulingProblem problem_with(std::vector<double> rates, std::uint32_t m,
+                               double mu = 1000.0, double p = 1.0) {
+  SchedulingProblem out;
+  out.arrival_rates = std::move(rates);
+  out.instance_count = m;
+  out.service_rate = mu;
+  out.delivery_prob = p;
+  return out;
+}
+
+TEST(Lpt, ClassicInstance) {
+  // {8,7,6,5,4} on 2 machines: LPT -> {8,5,4}=17? No: 8->A,7->B,6->B(13)?
+  // LPT assigns to least loaded: 8->A(8), 7->B(7), 6->B(13)? B=7 < A=8 so
+  // 6->B(13), 5->A(13), 4->either(17/13) -> max 17. Optimum is 15.
+  Rng rng(1);
+  const auto p = problem_with({8, 7, 6, 5, 4}, 2);
+  const Schedule s = LptScheduling{}.schedule(p, rng);
+  const ScheduleMetrics m = evaluate(p, s);
+  EXPECT_DOUBLE_EQ(m.max_load, 17.0);
+  EXPECT_DOUBLE_EQ(m.min_load, 13.0);
+}
+
+TEST(Lpt, BalancesEqualRates) {
+  Rng rng(2);
+  const auto p = problem_with(std::vector<double>(12, 5.0), 4);
+  const Schedule s = LptScheduling{}.schedule(p, rng);
+  const ScheduleMetrics m = evaluate(p, s);
+  EXPECT_DOUBLE_EQ(m.imbalance, 0.0);
+  EXPECT_DOUBLE_EQ(m.max_load, 15.0);
+}
+
+TEST(Lpt, SingleInstanceGetsEverything) {
+  Rng rng(3);
+  const auto p = problem_with({1, 2, 3}, 1);
+  const Schedule s = LptScheduling{}.schedule(p, rng);
+  for (const auto k : s.instance_of) EXPECT_EQ(k, 0u);
+}
+
+TEST(Lpt, MoreInstancesThanRequests) {
+  Rng rng(4);
+  const auto p = problem_with({5, 3}, 4);
+  const Schedule s = LptScheduling{}.schedule(p, rng);
+  const ScheduleMetrics m = evaluate(p, s);
+  // Each request alone on an instance; two instances idle.
+  EXPECT_DOUBLE_EQ(m.max_load, 5.0);
+  EXPECT_DOUBLE_EQ(m.min_load, 0.0);
+}
+
+TEST(RoundRobin, CyclesInstancesInRateOrder) {
+  Rng rng(5);
+  const auto p = problem_with({40, 30, 20, 10}, 2);
+  const Schedule s = RoundRobinScheduling{}.schedule(p, rng);
+  // Descending order: 40->0, 30->1, 20->0, 10->1.
+  EXPECT_EQ(s.instance_of[0], 0u);
+  EXPECT_EQ(s.instance_of[1], 1u);
+  EXPECT_EQ(s.instance_of[2], 0u);
+  EXPECT_EQ(s.instance_of[3], 1u);
+  const ScheduleMetrics m = evaluate(p, s);
+  EXPECT_DOUBLE_EQ(m.max_load, 60.0);
+  EXPECT_DOUBLE_EQ(m.min_load, 40.0);
+}
+
+TEST(RoundRobin, LptUsuallyBeatsIt) {
+  Rng rng(6);
+  int lpt_wins = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> rates;
+    for (int i = 0; i < 20; ++i) rates.push_back(rng.uniform(1.0, 100.0));
+    const auto p = problem_with(rates, 4);
+    const ScheduleMetrics lpt =
+        evaluate(p, LptScheduling{}.schedule(p, rng));
+    const ScheduleMetrics rr =
+        evaluate(p, RoundRobinScheduling{}.schedule(p, rng));
+    if (lpt.imbalance <= rr.imbalance) ++lpt_wins;
+  }
+  EXPECT_GE(lpt_wins, 25);
+}
+
+TEST(Greedy, WorkCountsRequests) {
+  Rng rng(7);
+  const auto p = problem_with({1, 2, 3, 4}, 2);
+  EXPECT_EQ(LptScheduling{}.schedule(p, rng).work, 4u);
+  EXPECT_EQ(RoundRobinScheduling{}.schedule(p, rng).work, 4u);
+}
+
+}  // namespace
+}  // namespace nfv::sched

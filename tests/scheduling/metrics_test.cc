@@ -1,0 +1,88 @@
+#include "nfv/scheduling/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nfv::sched {
+namespace {
+
+SchedulingProblem problem_with(std::vector<double> rates, std::uint32_t m,
+                               double mu, double p) {
+  SchedulingProblem out;
+  out.arrival_rates = std::move(rates);
+  out.instance_count = m;
+  out.service_rate = mu;
+  out.delivery_prob = p;
+  return out;
+}
+
+TEST(ScheduleMetrics, LoadsAndImbalance) {
+  const auto p = problem_with({10, 20, 30}, 2, 100.0, 1.0);
+  Schedule s;
+  s.instance_of = {0, 0, 1};
+  const ScheduleMetrics m = evaluate(p, s);
+  EXPECT_DOUBLE_EQ(m.instance_load[0], 30.0);
+  EXPECT_DOUBLE_EQ(m.instance_load[1], 30.0);
+  EXPECT_DOUBLE_EQ(m.imbalance, 0.0);
+  EXPECT_TRUE(m.stable);
+}
+
+TEST(ScheduleMetrics, ResponseMatchesEq12) {
+  // W(f,k) = 1/(P·mu − load): with P=0.98, mu=100, loads {30, 50}.
+  const auto p = problem_with({30, 50}, 2, 100.0, 0.98);
+  Schedule s;
+  s.instance_of = {0, 1};
+  const ScheduleMetrics m = evaluate(p, s);
+  const double w0 = 1.0 / (0.98 * 100.0 - 30.0);
+  const double w1 = 1.0 / (0.98 * 100.0 - 50.0);
+  EXPECT_NEAR(m.avg_response, (w0 + w1) / 2.0, 1e-12);
+  EXPECT_NEAR(m.max_response, w1, 1e-12);
+}
+
+TEST(ScheduleMetrics, UtilizationIsLoadOverEffectiveCapacity) {
+  const auto p = problem_with({49}, 1, 100.0, 0.98);
+  Schedule s;
+  s.instance_of = {0};
+  const ScheduleMetrics m = evaluate(p, s);
+  EXPECT_NEAR(m.utilization[0], 0.5, 1e-12);  // 49/(0.98*100)
+}
+
+TEST(ScheduleMetrics, UnstableInstanceYieldsInfiniteResponse) {
+  const auto p = problem_with({99, 1}, 2, 100.0, 0.98);  // Pμ = 98 < 99
+  Schedule s;
+  s.instance_of = {0, 1};
+  const ScheduleMetrics m = evaluate(p, s);
+  EXPECT_FALSE(m.stable);
+  EXPECT_TRUE(std::isinf(m.avg_response));
+  EXPECT_TRUE(std::isinf(m.max_response));
+}
+
+TEST(ScheduleMetrics, EmptyInstanceCountsServiceOnlyLatency) {
+  const auto p = problem_with({10}, 2, 100.0, 1.0);
+  Schedule s;
+  s.instance_of = {0};
+  const ScheduleMetrics m = evaluate(p, s);
+  // Instance 1 idles: W = 1/(Pμ) = 0.01 enters the Eq. 15 average.
+  EXPECT_NEAR(m.avg_response, (1.0 / 90.0 + 1.0 / 100.0) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.min_load, 0.0);
+}
+
+TEST(EnhancementRatio, MatchesPaperDefinition) {
+  EXPECT_NEAR(enhancement_ratio(1.60, 1.23), 0.23125, 1e-12);
+  EXPECT_DOUBLE_EQ(enhancement_ratio(2.0, 2.0), 0.0);
+  EXPECT_LT(enhancement_ratio(1.0, 1.5), 0.0);  // regression shows negative
+  EXPECT_THROW((void)enhancement_ratio(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(ScheduleMetrics, LossMakesResponseWorse) {
+  const auto lossless = problem_with({50}, 1, 100.0, 1.0);
+  const auto lossy = problem_with({50}, 1, 100.0, 0.98);
+  Schedule s;
+  s.instance_of = {0};
+  EXPECT_GT(evaluate(lossy, s).avg_response,
+            evaluate(lossless, s).avg_response);
+}
+
+}  // namespace
+}  // namespace nfv::sched

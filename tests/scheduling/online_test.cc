@@ -1,0 +1,165 @@
+#include "nfv/scheduling/online.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "nfv/common/rng.h"
+
+namespace nfv::sched {
+namespace {
+
+OnlineScheduler::Options manual() {
+  OnlineScheduler::Options o;
+  o.auto_rebalance = false;
+  return o;
+}
+
+TEST(OnlineScheduler, InsertsGoToLeastLoaded) {
+  OnlineScheduler s(3, manual());
+  EXPECT_EQ(s.add(RequestId{0}, 10.0), 0u);
+  EXPECT_EQ(s.add(RequestId{1}, 5.0), 1u);
+  EXPECT_EQ(s.add(RequestId{2}, 5.0), 2u);
+  // Loads now {10, 5, 5}: next goes to instance 1 (first minimum).
+  EXPECT_EQ(s.add(RequestId{3}, 1.0), 1u);
+  EXPECT_DOUBLE_EQ(s.loads()[0], 10.0);
+  EXPECT_DOUBLE_EQ(s.loads()[1], 6.0);
+  EXPECT_DOUBLE_EQ(s.loads()[2], 5.0);
+}
+
+TEST(OnlineScheduler, RemoveFreesLoad) {
+  OnlineScheduler s(2, manual());
+  s.add(RequestId{0}, 7.0);
+  s.add(RequestId{1}, 3.0);
+  s.remove(RequestId{0});
+  EXPECT_DOUBLE_EQ(s.loads()[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.loads()[1], 3.0);
+  EXPECT_EQ(s.request_count(), 1u);
+  EXPECT_FALSE(s.instance_of(RequestId{0}).has_value());
+  EXPECT_EQ(*s.instance_of(RequestId{1}), 1u);
+}
+
+TEST(OnlineScheduler, LoadConservationUnderChurn) {
+  OnlineScheduler s(4, manual());
+  Rng rng(1);
+  std::vector<std::pair<RequestId, double>> live;
+  double expected_total = 0.0;
+  for (std::uint32_t step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.chance(0.6)) {
+      const RequestId id{step};
+      const double rate = rng.uniform(1.0, 100.0);
+      s.add(id, rate);
+      live.emplace_back(id, rate);
+      expected_total += rate;
+    } else {
+      const auto victim = rng.below(live.size());
+      s.remove(live[victim].first);
+      expected_total -= live[victim].second;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    const double total =
+        std::accumulate(s.loads().begin(), s.loads().end(), 0.0);
+    ASSERT_NEAR(total, expected_total, 1e-6);
+    ASSERT_EQ(s.request_count(), live.size());
+  }
+}
+
+TEST(OnlineScheduler, RejectsDuplicatesAndUnknowns) {
+  OnlineScheduler s(2, manual());
+  s.add(RequestId{1}, 5.0);
+  EXPECT_THROW((void)s.add(RequestId{1}, 3.0), std::invalid_argument);
+  EXPECT_THROW(s.remove(RequestId{9}), std::invalid_argument);
+  EXPECT_THROW((void)s.add(RequestId{2}, 0.0), std::invalid_argument);
+}
+
+TEST(OnlineScheduler, RebalanceReducesImbalance) {
+  OnlineScheduler s(2, manual());
+  // Stack one instance by bulk-removing from the other.
+  s.add(RequestId{0}, 50.0);  // -> 0
+  s.add(RequestId{1}, 10.0);  // -> 1
+  s.add(RequestId{2}, 10.0);  // -> 1
+  s.add(RequestId{3}, 10.0);  // -> 1
+  s.remove(RequestId{1});
+  s.remove(RequestId{2});
+  s.remove(RequestId{3});     // loads {50, 0}
+  const auto result = s.rebalance(10);
+  EXPECT_EQ(result.migrations, 0u);  // single 50-request cannot move (>= gap)
+  s.add(RequestId{4}, 20.0);         // -> 1; loads {50, 20}
+  s.add(RequestId{5}, 12.0);         // -> 1; loads {50, 32}
+  const auto second = s.rebalance(10);
+  EXPECT_LE(second.imbalance_after, second.imbalance_before);
+}
+
+TEST(OnlineScheduler, RebalanceBudgetHonored) {
+  OnlineScheduler s(2, manual());
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    s.add(RequestId{i}, 10.0);
+  }
+  // Force imbalance by removing everything from instance 1.
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    if (*s.instance_of(RequestId{i}) == 1u) s.remove(RequestId{i});
+  }
+  const auto result = s.rebalance(2);
+  EXPECT_LE(result.migrations, 2u);
+  EXPECT_EQ(s.total_migrations(), result.migrations);
+}
+
+TEST(OnlineScheduler, AutoRebalanceKeepsImbalanceBounded) {
+  OnlineScheduler::Options opts;
+  opts.auto_rebalance = true;
+  opts.rebalance_threshold = 0.3;
+  opts.migration_budget = 4;
+  OnlineScheduler s(5, opts);
+  Rng rng(7);
+  std::vector<std::pair<RequestId, double>> live;
+  for (std::uint32_t step = 0; step < 3000; ++step) {
+    if (live.size() < 30 || rng.chance(0.5)) {
+      const RequestId id{step};
+      const double rate = rng.uniform(1.0, 100.0);
+      s.add(id, rate);
+      live.emplace_back(id, rate);
+    } else {
+      const auto victim = rng.below(live.size());
+      s.remove(live[victim].first);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    if (live.size() >= 30) {
+      // A single migration pass cannot always reach the threshold, but it
+      // must keep the system within a small factor of it.
+      ASSERT_LT(s.relative_imbalance(), 1.0) << "step " << step;
+    }
+  }
+  EXPECT_GT(s.total_migrations(), 0u);
+}
+
+TEST(OnlineScheduler, NoRebalanceWhenBalanced) {
+  OnlineScheduler s(2, manual());
+  s.add(RequestId{0}, 10.0);
+  s.add(RequestId{1}, 10.0);
+  const auto result = s.rebalance(10);
+  EXPECT_EQ(result.migrations, 0u);
+  EXPECT_DOUBLE_EQ(result.imbalance_before, 0.0);
+}
+
+TEST(OnlineScheduler, SingleInstanceDegenerate) {
+  OnlineScheduler s(1, manual());
+  EXPECT_EQ(s.add(RequestId{0}, 5.0), 0u);
+  EXPECT_DOUBLE_EQ(s.relative_imbalance(), 0.0);
+  EXPECT_EQ(s.rebalance(5).migrations, 0u);
+}
+
+TEST(OnlineScheduler, EmptyIsIdle) {
+  OnlineScheduler s(3, manual());
+  EXPECT_DOUBLE_EQ(s.relative_imbalance(), 0.0);
+  EXPECT_EQ(s.request_count(), 0u);
+}
+
+TEST(OnlineScheduler, ValidatesConstruction) {
+  EXPECT_THROW(OnlineScheduler(0), std::invalid_argument);
+  OnlineScheduler::Options bad;
+  bad.rebalance_threshold = -0.1;
+  EXPECT_THROW(OnlineScheduler(2, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nfv::sched

@@ -1,0 +1,137 @@
+#include "nfv/scheduling/problem.h"
+
+#include <gtest/gtest.h>
+
+namespace nfv::sched {
+namespace {
+
+SchedulingProblem basic_problem() {
+  SchedulingProblem p;
+  p.arrival_rates = {10.0, 20.0, 30.0};
+  p.delivery_prob = 0.98;
+  p.service_rate = 100.0;
+  p.instance_count = 2;
+  return p;
+}
+
+TEST(SchedulingProblem, EffectiveRatesApplyBurkeCorrection) {
+  const SchedulingProblem p = basic_problem();
+  EXPECT_NEAR(p.effective_rate(0), 10.0 / 0.98, 1e-12);
+  EXPECT_NEAR(p.total_effective_rate(), 60.0 / 0.98, 1e-12);
+}
+
+TEST(SchedulingProblem, BalancedStability) {
+  SchedulingProblem p = basic_problem();
+  // 60/0.98/2 = 30.6 < 100 -> stable.
+  EXPECT_TRUE(p.balanced_stable());
+  p.service_rate = 30.0;  // 30.6 > 30 -> unstable even when balanced
+  EXPECT_FALSE(p.balanced_stable());
+}
+
+TEST(SchedulingProblem, ValidateRejectsBadData) {
+  SchedulingProblem p = basic_problem();
+  p.arrival_rates.clear();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = basic_problem();
+  p.arrival_rates[1] = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = basic_problem();
+  p.delivery_prob = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = basic_problem();
+  p.delivery_prob = 1.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = basic_problem();
+  p.service_rate = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = basic_problem();
+  p.instance_count = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(MakeProblem, ExtractsRequestsUsingVnf) {
+  workload::Workload w;
+  workload::Vnf f;
+  f.id = VnfId{0};
+  f.instance_count = 3;
+  f.service_rate = 500.0;
+  w.vnfs.push_back(f);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    workload::Request r;
+    r.id = RequestId{i};
+    r.arrival_rate = 10.0 * (i + 1);
+    r.delivery_prob = 0.98;
+    if (i != 2) r.chain = {VnfId{0}};  // request 2 skips the VNF
+    else r.chain = {};
+    w.requests.push_back(std::move(r));
+  }
+  w.requests[2].chain = {};  // keep chain empty
+  // make_problem only needs chains for membership; give request 2 none.
+  w.requests[2].chain.clear();
+  const SchedulingProblem p = make_problem(w, VnfId{0});
+  ASSERT_EQ(p.request_count(), 3u);
+  EXPECT_DOUBLE_EQ(p.arrival_rates[0], 10.0);
+  EXPECT_DOUBLE_EQ(p.arrival_rates[1], 20.0);
+  EXPECT_DOUBLE_EQ(p.arrival_rates[2], 40.0);
+  EXPECT_EQ(p.instance_count, 3u);
+  EXPECT_DOUBLE_EQ(p.service_rate, 500.0);
+  EXPECT_DOUBLE_EQ(p.delivery_prob, 0.98);
+}
+
+TEST(MakeProblem, SupportsMixedDeliveryProbability) {
+  workload::Workload w;
+  workload::Vnf f;
+  f.id = VnfId{0};
+  f.instance_count = 1;
+  f.service_rate = 500.0;
+  w.vnfs.push_back(f);
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    workload::Request r;
+    r.id = RequestId{i};
+    r.arrival_rate = 10.0;
+    r.delivery_prob = i == 0 ? 0.98 : 0.99;
+    r.chain = {VnfId{0}};
+    w.requests.push_back(std::move(r));
+  }
+  const SchedulingProblem p = make_problem(w, VnfId{0});
+  ASSERT_EQ(p.delivery_probs.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.prob(0), 0.98);
+  EXPECT_DOUBLE_EQ(p.prob(1), 0.99);
+  EXPECT_NEAR(p.effective_rate(0), 10.0 / 0.98, 1e-12);
+  EXPECT_NEAR(p.effective_rate(1), 10.0 / 0.99, 1e-12);
+  EXPECT_NEAR(p.mean_prob(), 0.985, 1e-12);
+}
+
+TEST(MakeProblem, UniformProbabilityCollapsesToSpecialCase) {
+  workload::Workload w;
+  workload::Vnf f;
+  f.id = VnfId{0};
+  f.instance_count = 1;
+  f.service_rate = 500.0;
+  w.vnfs.push_back(f);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    workload::Request r;
+    r.id = RequestId{i};
+    r.arrival_rate = 10.0;
+    r.delivery_prob = 0.98;
+    r.chain = {VnfId{0}};
+    w.requests.push_back(std::move(r));
+  }
+  const SchedulingProblem p = make_problem(w, VnfId{0});
+  EXPECT_TRUE(p.delivery_probs.empty());
+  EXPECT_DOUBLE_EQ(p.delivery_prob, 0.98);
+}
+
+TEST(Schedule, ValidateChecksShapeAndRange) {
+  const SchedulingProblem p = basic_problem();
+  Schedule s;
+  s.instance_of = {0, 1};  // wrong size
+  EXPECT_THROW(s.validate(p), std::invalid_argument);
+  s.instance_of = {0, 1, 2};  // instance 2 out of range (m=2)
+  EXPECT_THROW(s.validate(p), std::invalid_argument);
+  s.instance_of = {0, 1, 1};
+  EXPECT_NO_THROW(s.validate(p));
+}
+
+}  // namespace
+}  // namespace nfv::sched

@@ -1,0 +1,189 @@
+// Structural tests of the discrete-event engine (determinism, accounting,
+// input validation).  Statistical agreement with queueing theory lives in
+// des_validation_test.cc.
+#include "nfv/sim/des.h"
+
+#include <gtest/gtest.h>
+
+namespace nfv::sim {
+namespace {
+
+SimNetwork tandem_network() {
+  SimNetwork net;
+  net.stations = {Station{50.0}, Station{40.0}};
+  Flow f;
+  f.rate = 10.0;
+  f.delivery_prob = 1.0;
+  f.path = {0, 1};
+  net.flows.push_back(f);
+  return net;
+}
+
+TEST(Des, DeterministicForSameSeed) {
+  const SimNetwork net = tandem_network();
+  SimConfig cfg;
+  cfg.duration = 50.0;
+  cfg.warmup = 5.0;
+  cfg.seed = 42;
+  const SimResult a = simulate(net, cfg);
+  const SimResult b = simulate(net, cfg);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.flows[0].delivered, b.flows[0].delivered);
+  EXPECT_DOUBLE_EQ(a.flows[0].end_to_end.mean(), b.flows[0].end_to_end.mean());
+  EXPECT_DOUBLE_EQ(a.stations[0].utilization, b.stations[0].utilization);
+}
+
+TEST(Des, DifferentSeedsDiffer) {
+  const SimNetwork net = tandem_network();
+  SimConfig cfg;
+  cfg.duration = 50.0;
+  cfg.warmup = 5.0;
+  cfg.seed = 1;
+  const SimResult a = simulate(net, cfg);
+  cfg.seed = 2;
+  const SimResult b = simulate(net, cfg);
+  EXPECT_NE(a.flows[0].delivered, b.flows[0].delivered);
+}
+
+TEST(Des, GeneratedCountTracksRate) {
+  const SimNetwork net = tandem_network();
+  SimConfig cfg;
+  cfg.duration = 210.0;
+  cfg.warmup = 10.0;
+  cfg.seed = 3;
+  const SimResult r = simulate(net, cfg);
+  // 10 pps over a 200 s window ≈ 2000 packets (±5σ ≈ ±225).
+  EXPECT_GT(r.flows[0].generated, 1800u);
+  EXPECT_LT(r.flows[0].generated, 2250u);
+}
+
+TEST(Des, LosslessFlowDeliversApproximatelyAllGenerated) {
+  const SimNetwork net = tandem_network();
+  SimConfig cfg;
+  cfg.duration = 100.0;
+  cfg.warmup = 0.0;
+  cfg.seed = 4;
+  const SimResult r = simulate(net, cfg);
+  EXPECT_EQ(r.flows[0].retransmissions, 0u);
+  // All but the in-flight tail is delivered.
+  EXPECT_GE(r.flows[0].delivered + 20, r.flows[0].generated);
+}
+
+TEST(Des, LossyFlowRetransmits) {
+  SimNetwork net = tandem_network();
+  net.flows[0].delivery_prob = 0.5;
+  SimConfig cfg;
+  cfg.duration = 100.0;
+  cfg.warmup = 5.0;
+  cfg.seed = 5;
+  const SimResult r = simulate(net, cfg);
+  // With P = 0.5 each packet needs ~2 attempts.
+  EXPECT_GT(r.flows[0].retransmissions, r.flows[0].delivered / 2);
+}
+
+TEST(Des, HopLatencyDelaysDelivery) {
+  SimNetwork base = tandem_network();
+  SimConfig cfg;
+  cfg.duration = 100.0;
+  cfg.warmup = 5.0;
+  cfg.seed = 6;
+  const SimResult fast = simulate(base, cfg);
+  SimNetwork slow = tandem_network();
+  slow.flows[0].hop_latency = {0.0, 0.05, 0.05};  // 0.1 s of wire time
+  const SimResult delayed = simulate(slow, cfg);
+  EXPECT_NEAR(delayed.flows[0].end_to_end.mean(),
+              fast.flows[0].end_to_end.mean() + 0.1, 0.02);
+}
+
+TEST(Des, KeepSamplesEnablesQuantiles) {
+  const SimNetwork net = tandem_network();
+  SimConfig cfg;
+  cfg.duration = 60.0;
+  cfg.warmup = 5.0;
+  cfg.seed = 7;
+  cfg.keep_samples = true;
+  const SimResult r = simulate(net, cfg);
+  ASSERT_GT(r.flows[0].samples.count(), 0u);
+  EXPECT_EQ(r.flows[0].samples.count(), r.flows[0].delivered);
+  EXPECT_GE(r.flows[0].samples.p99(), r.flows[0].samples.median());
+}
+
+TEST(Des, MaxEventsTruncates) {
+  const SimNetwork net = tandem_network();
+  SimConfig cfg;
+  cfg.duration = 1000.0;
+  cfg.warmup = 0.0;
+  cfg.seed = 8;
+  cfg.max_events = 500;
+  const SimResult r = simulate(net, cfg);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.events_processed, 500u);
+}
+
+TEST(Des, StationVisitAccountingMatchesFlows) {
+  const SimNetwork net = tandem_network();
+  SimConfig cfg;
+  cfg.duration = 100.0;
+  cfg.warmup = 10.0;
+  cfg.seed = 9;
+  const SimResult r = simulate(net, cfg);
+  // Both stations see every packet once (tandem, lossless): visit counts
+  // differ only by in-flight packets.
+  const auto v0 = r.stations[0].visits;
+  const auto v1 = r.stations[1].visits;
+  EXPECT_NEAR(static_cast<double>(v0), static_cast<double>(v1),
+              20.0);
+  EXPECT_GT(r.stations[0].response.count(), 0u);
+}
+
+TEST(Des, ValidationRejectsBadNetworks) {
+  SimConfig cfg;
+  SimNetwork empty;
+  EXPECT_THROW((void)simulate(empty, cfg), std::invalid_argument);
+
+  SimNetwork no_flows;
+  no_flows.stations = {Station{10.0}};
+  EXPECT_THROW((void)simulate(no_flows, cfg), std::invalid_argument);
+
+  SimNetwork bad_path = tandem_network();
+  bad_path.flows[0].path = {0, 7};
+  EXPECT_THROW((void)simulate(bad_path, cfg), std::invalid_argument);
+
+  SimNetwork bad_hop = tandem_network();
+  bad_hop.flows[0].hop_latency = {0.0};  // must be path+1
+  EXPECT_THROW((void)simulate(bad_hop, cfg), std::invalid_argument);
+
+  SimNetwork bad_rate = tandem_network();
+  bad_rate.flows[0].rate = 0.0;
+  EXPECT_THROW((void)simulate(bad_rate, cfg), std::invalid_argument);
+
+  SimNetwork bad_p = tandem_network();
+  bad_p.flows[0].delivery_prob = 0.0;
+  EXPECT_THROW((void)simulate(bad_p, cfg), std::invalid_argument);
+}
+
+TEST(Des, RejectsBadConfig) {
+  const SimNetwork net = tandem_network();
+  SimConfig cfg;
+  cfg.duration = 5.0;
+  cfg.warmup = 5.0;  // no measurement window
+  EXPECT_THROW((void)simulate(net, cfg), std::invalid_argument);
+  cfg.warmup = -1.0;
+  EXPECT_THROW((void)simulate(net, cfg), std::invalid_argument);
+}
+
+TEST(Des, NackDelayIncreasesEndToEnd) {
+  SimNetwork net = tandem_network();
+  net.flows[0].delivery_prob = 0.5;
+  SimConfig cfg;
+  cfg.duration = 200.0;
+  cfg.warmup = 10.0;
+  cfg.seed = 10;
+  const double base = simulate(net, cfg).flows[0].end_to_end.mean();
+  cfg.nack_delay = 0.2;
+  const double delayed = simulate(net, cfg).flows[0].end_to_end.mean();
+  EXPECT_GT(delayed, base + 0.05);
+}
+
+}  // namespace
+}  // namespace nfv::sim

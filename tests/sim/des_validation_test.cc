@@ -1,0 +1,157 @@
+// Statistical validation of the simulator against queueing theory — the
+// cross-check that makes the paper's analytic model trustworthy in this
+// repo.  Tolerances are generous enough for CI stability but tight enough
+// to catch systematic modelling errors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nfv/queueing/jackson.h"
+#include "nfv/queueing/mm1.h"
+#include "nfv/sim/des.h"
+
+namespace nfv::sim {
+namespace {
+
+SimConfig long_run(std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.duration = 2000.0;
+  cfg.warmup = 100.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class Mm1ValidationTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(Mm1ValidationTest, ResponseAndUtilizationMatchClosedForms) {
+  const auto [lambda, mu] = GetParam();
+  // Near saturation the sojourn variance blows up (~1/(1-ρ)^2), so the
+  // high-load point gets a longer run and a wider band.
+  const double rho = lambda / mu;
+  SimConfig cfg = long_run(1234);
+  if (rho >= 0.85) {
+    cfg.duration = 20'000.0;
+    cfg.warmup = 2'000.0;
+  }
+  const SimResult r = simulate_mm1(lambda, mu, cfg);
+  const double w_expected = queueing::mm1_mean_response(lambda, mu);
+  const double rho_expected = queueing::mm1_utilization(lambda, mu);
+  const double band = rho >= 0.85 ? 0.15 : 0.12;
+  EXPECT_NEAR(r.stations[0].response.mean(), w_expected, band * w_expected);
+  EXPECT_NEAR(r.stations[0].utilization, rho_expected, 0.05);
+  EXPECT_NEAR(r.stations[0].arrival_rate, lambda, 0.05 * lambda);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LoadSweep, Mm1ValidationTest,
+    ::testing::Values(std::make_pair(2.0, 10.0),   // rho 0.2
+                      std::make_pair(5.0, 10.0),   // rho 0.5
+                      std::make_pair(8.0, 10.0),   // rho 0.8
+                      std::make_pair(9.0, 10.0)),  // rho 0.9
+    [](const ::testing::TestParamInfo<std::pair<double, double>>& param_info) {
+      return "rho" + std::to_string(static_cast<int>(
+                         100.0 * param_info.param.first / param_info.param.second));
+    });
+
+TEST(DesValidation, Mm1ResponseIsExponentialInTheTail) {
+  // For M/M/1 the sojourn is Exp(mu - lambda): p99/mean = -ln(0.01) ≈ 4.6.
+  SimConfig cfg = long_run(77);
+  cfg.keep_samples = true;
+  const SimResult r = simulate_mm1(5.0, 10.0, cfg);
+  const double ratio =
+      r.flows[0].samples.p99() / r.flows[0].samples.mean();
+  EXPECT_NEAR(ratio, -std::log(0.01), 0.6);
+}
+
+TEST(DesValidation, TandemChainMatchesJackson) {
+  SimNetwork net;
+  net.stations = {Station{10.0}, Station{8.0}};
+  Flow f;
+  f.rate = 4.0;
+  f.delivery_prob = 1.0;
+  f.path = {0, 1};
+  net.flows.push_back(f);
+  const SimResult r = simulate(net, long_run(555));
+  const double expected = queueing::mm1_mean_response(4.0, 10.0) +
+                          queueing::mm1_mean_response(4.0, 8.0);
+  EXPECT_NEAR(r.flows[0].end_to_end.mean(), expected, 0.12 * expected);
+}
+
+TEST(DesValidation, LossFeedbackReproducesBurkeRateInflation) {
+  // Fig. 3 scenario: P = 0.8 -> per-station offered rate = λ/P = 5.
+  SimNetwork net;
+  net.stations = {Station{20.0}};
+  Flow f;
+  f.rate = 4.0;
+  f.delivery_prob = 0.8;
+  f.path = {0};
+  net.flows.push_back(f);
+  const SimResult r = simulate(net, long_run(888));
+  EXPECT_NEAR(r.stations[0].arrival_rate, 4.0 / 0.8, 0.25);
+  EXPECT_NEAR(r.stations[0].utilization,
+              queueing::mm1_utilization(5.0, 20.0), 0.03);
+}
+
+TEST(DesValidation, LossyChainSojournMatchesPaperClosedForm) {
+  // End-to-end *per delivery attempt cycle* analytics: with instantaneous
+  // NACKs the mean number of full-chain traversals per delivered packet is
+  // 1/P, each costing Σ 1/(μ_i − λ/P); the paper's Σ 1/(Pμ_i − λ) equals
+  // that product.
+  const double lambda = 4.0;
+  const double p = 0.8;
+  SimNetwork net;
+  net.stations = {Station{15.0}, Station{12.0}};
+  Flow f;
+  f.rate = lambda;
+  f.delivery_prob = p;
+  f.path = {0, 1};
+  net.flows.push_back(f);
+  const SimResult r = simulate(net, long_run(999));
+  const double expected =
+      1.0 / (p * 15.0 - lambda) + 1.0 / (p * 12.0 - lambda);
+  EXPECT_NEAR(r.flows[0].end_to_end.mean(), expected, 0.15 * expected);
+}
+
+TEST(DesValidation, MergedFlowsLoadSharedStation) {
+  // Two flows share a downstream station: its utilization must reflect the
+  // summed rate (Kleinrock merge).
+  SimNetwork net;
+  net.stations = {Station{30.0}, Station{30.0}, Station{40.0}};
+  for (const double rate : {5.0, 7.0}) {
+    Flow f;
+    f.rate = rate;
+    f.delivery_prob = 1.0;
+    f.path = {rate == 5.0 ? 0u : 1u, 2u};
+    net.flows.push_back(f);
+  }
+  const SimResult r = simulate(net, long_run(111));
+  EXPECT_NEAR(r.stations[2].utilization, 12.0 / 40.0, 0.03);
+  const double w_expected = queueing::mm1_mean_response(12.0, 40.0);
+  EXPECT_NEAR(r.stations[2].response.mean(), w_expected, 0.15 * w_expected);
+}
+
+TEST(DesValidation, LittlesLawHoldsPerStation) {
+  // Little's law from three independent measurements: the time-averaged
+  // occupancy (area integration) must equal arrival rate × mean response,
+  // and both must match the M/M/1 closed form ρ/(1−ρ).
+  const SimResult r = simulate_mm1(6.0, 10.0, long_run(222));
+  const double little_n =
+      r.stations[0].arrival_rate * r.stations[0].response.mean();
+  const double area_n = r.stations[0].mean_in_system;
+  EXPECT_NEAR(area_n, little_n, 0.05 * little_n);
+  EXPECT_NEAR(area_n, queueing::mm1_mean_in_system(6.0, 10.0),
+              0.2 * queueing::mm1_mean_in_system(6.0, 10.0));
+}
+
+TEST(DesValidation, OccupancyAreaMatchesClosedFormAcrossLoads) {
+  for (const double lambda : {2.0, 5.0, 8.0}) {
+    const SimResult r = simulate_mm1(lambda, 10.0, long_run(333));
+    const double expected = queueing::mm1_mean_in_system(lambda, 10.0);
+    EXPECT_NEAR(r.stations[0].mean_in_system, expected, 0.15 * expected)
+        << "lambda " << lambda;
+  }
+}
+
+}  // namespace
+}  // namespace nfv::sim

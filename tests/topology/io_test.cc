@@ -1,0 +1,103 @@
+#include "nfv/topology/io.h"
+
+#include <gtest/gtest.h>
+
+#include "nfv/topology/builders.h"
+
+namespace nfv::topo {
+namespace {
+
+constexpr const char* kSample = R"(# two hosts behind a ToR switch
+node h0 compute 1000
+node h1 compute 2500   # newer server
+node tor switch
+link h0 tor 0.0001
+link h1 tor 0.0001
+)";
+
+TEST(TopologyIo, ParsesSample) {
+  const Topology t = load_topology_string(kSample);
+  EXPECT_EQ(t.compute_count(), 2u);
+  EXPECT_EQ(t.switch_count(), 1u);
+  EXPECT_EQ(t.link_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.capacity(NodeId{0}), 1000.0);
+  EXPECT_DOUBLE_EQ(t.capacity(NodeId{1}), 2500.0);
+  EXPECT_EQ(t.label(NodeId{0}), "h0");
+  EXPECT_NEAR(t.path_latency(NodeId{0}, NodeId{1}), 0.0002, 1e-12);
+}
+
+TEST(TopologyIo, RoundTripsThroughSave) {
+  const Topology original = load_topology_string(kSample);
+  const std::string text = save_topology_string(original);
+  const Topology reparsed = load_topology_string(text);
+  EXPECT_EQ(reparsed.compute_count(), original.compute_count());
+  EXPECT_EQ(reparsed.switch_count(), original.switch_count());
+  EXPECT_EQ(reparsed.link_count(), original.link_count());
+  for (const NodeId v : original.nodes()) {
+    EXPECT_DOUBLE_EQ(reparsed.capacity(v), original.capacity(v));
+    EXPECT_EQ(reparsed.label(v), original.label(v));
+  }
+  EXPECT_DOUBLE_EQ(reparsed.path_latency(NodeId{0}, NodeId{1}),
+                   original.path_latency(NodeId{0}, NodeId{1}));
+}
+
+TEST(TopologyIo, RoundTripsBuilderTopologies) {
+  Rng rng(5);
+  const Topology original = make_leaf_spine(
+      2, 3, 2, CapacitySpec{1000.0, 5000.0}, LinkSpec{1e-4}, rng);
+  const Topology reparsed =
+      load_topology_string(save_topology_string(original));
+  ASSERT_EQ(reparsed.compute_count(), original.compute_count());
+  for (const NodeId a : original.nodes()) {
+    for (const NodeId b : original.nodes()) {
+      EXPECT_EQ(reparsed.hop_distance(a, b), original.hop_distance(a, b));
+      EXPECT_NEAR(reparsed.path_latency(a, b), original.path_latency(a, b),
+                  1e-12);
+    }
+  }
+}
+
+TEST(TopologyIo, ReportsLineNumbersOnErrors) {
+  try {
+    (void)load_topology_string("node a compute 10\nnode a compute 20\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
+}
+
+TEST(TopologyIo, RejectsMalformedInput) {
+  EXPECT_THROW((void)load_topology_string("frobnicate a b\n"), ParseError);
+  EXPECT_THROW((void)load_topology_string("node x compute\n"), ParseError);
+  EXPECT_THROW((void)load_topology_string("node x compute -5\n"), ParseError);
+  EXPECT_THROW((void)load_topology_string("node x compute abc\n"), ParseError);
+  EXPECT_THROW((void)load_topology_string("node x gizmo\n"), ParseError);
+  EXPECT_THROW((void)load_topology_string(
+                   "node a compute 10\nlink a missing 0.1\n"),
+               ParseError);
+  EXPECT_THROW((void)load_topology_string(
+                   "node a compute 10\nlink a a 0.1\n"),
+               ParseError);
+  EXPECT_THROW((void)load_topology_string(
+                   "node a compute 10 extra\n"),
+               ParseError);
+  EXPECT_THROW((void)load_topology_string("# only comments\n"), ParseError);
+}
+
+TEST(TopologyIo, DisconnectedFileThrowsInfeasible) {
+  EXPECT_THROW((void)load_topology_string(
+                   "node a compute 10\nnode b compute 10\n"),
+               InfeasibleError);
+}
+
+TEST(TopologyIo, CommentsAndBlankLinesAreIgnored) {
+  const Topology t = load_topology_string(
+      "\n# header\n\nnode a compute 10\nnode b compute 20\n"
+      "link a b 0.5 # inline\n\n");
+  EXPECT_EQ(t.compute_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.path_latency(NodeId{0}, NodeId{1}), 0.5);
+}
+
+}  // namespace
+}  // namespace nfv::topo

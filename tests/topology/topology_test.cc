@@ -1,0 +1,126 @@
+#include "nfv/topology/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace nfv::topo {
+namespace {
+
+Topology two_nodes_one_switch() {
+  Topology t;
+  const NodeId a = t.add_compute(100.0, "a");
+  const NodeId b = t.add_compute(200.0, "b");
+  const std::uint32_t sw = t.add_switch("sw");
+  t.connect(t.vertex_of(a), sw, 0.5);
+  t.connect(t.vertex_of(b), sw, 0.5);
+  t.freeze();
+  return t;
+}
+
+TEST(Topology, CountsAndCapacities) {
+  const Topology t = two_nodes_one_switch();
+  EXPECT_EQ(t.compute_count(), 2u);
+  EXPECT_EQ(t.switch_count(), 1u);
+  EXPECT_EQ(t.vertex_count(), 3u);
+  EXPECT_EQ(t.link_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.capacity(NodeId{0}), 100.0);
+  EXPECT_DOUBLE_EQ(t.capacity(NodeId{1}), 200.0);
+  EXPECT_DOUBLE_EQ(t.total_capacity(), 300.0);
+  EXPECT_EQ(t.label(NodeId{0}), "a");
+}
+
+TEST(Topology, HopDistanceThroughSwitch) {
+  const Topology t = two_nodes_one_switch();
+  EXPECT_EQ(t.hop_distance(NodeId{0}, NodeId{0}), 0u);
+  EXPECT_EQ(t.hop_distance(NodeId{0}, NodeId{1}), 2u);
+  EXPECT_EQ(t.hop_distance(NodeId{1}, NodeId{0}), 2u);
+}
+
+TEST(Topology, PathLatencySumsLinkLatencies) {
+  const Topology t = two_nodes_one_switch();
+  EXPECT_DOUBLE_EQ(t.path_latency(NodeId{0}, NodeId{1}), 1.0);
+  EXPECT_DOUBLE_EQ(t.path_latency(NodeId{0}, NodeId{0}), 0.0);
+}
+
+TEST(Topology, DijkstraPrefersLowLatencyOverFewHops) {
+  Topology t;
+  const NodeId a = t.add_compute(1.0);
+  const NodeId b = t.add_compute(1.0);
+  // Direct expensive link vs. two cheap links through a switch.
+  t.connect_nodes(a, b, 10.0);
+  const std::uint32_t sw = t.add_switch();
+  t.connect(t.vertex_of(a), sw, 1.0);
+  t.connect(t.vertex_of(b), sw, 1.0);
+  t.freeze();
+  EXPECT_DOUBLE_EQ(t.path_latency(a, b), 2.0);
+  EXPECT_EQ(t.hop_distance(a, b), 1u);  // BFS still counts the direct hop
+}
+
+TEST(Topology, DisconnectedGraphThrowsOnFreeze) {
+  Topology t;
+  (void)t.add_compute(1.0);
+  (void)t.add_compute(1.0);
+  EXPECT_THROW(t.freeze(), InfeasibleError);
+}
+
+TEST(Topology, QueriesRequireFreeze) {
+  Topology t;
+  const NodeId a = t.add_compute(1.0);
+  const NodeId b = t.add_compute(1.0);
+  t.connect_nodes(a, b, 1.0);
+  EXPECT_THROW((void)t.hop_distance(a, b), std::invalid_argument);
+  t.freeze();
+  EXPECT_NO_THROW((void)t.hop_distance(a, b));
+}
+
+TEST(Topology, MutationAfterFreezeIsRejected) {
+  Topology t;
+  const NodeId a = t.add_compute(1.0);
+  const NodeId b = t.add_compute(1.0);
+  t.connect_nodes(a, b, 1.0);
+  t.freeze();
+  EXPECT_THROW((void)t.add_compute(1.0), std::invalid_argument);
+  EXPECT_THROW((void)t.add_switch(), std::invalid_argument);
+  EXPECT_THROW((void)t.connect_nodes(a, b, 1.0), std::invalid_argument);
+  EXPECT_THROW(t.freeze(), std::invalid_argument);
+}
+
+TEST(Topology, RejectsInvalidInputs) {
+  Topology t;
+  EXPECT_THROW((void)t.add_compute(0.0), std::invalid_argument);
+  EXPECT_THROW((void)t.add_compute(-5.0), std::invalid_argument);
+  const NodeId a = t.add_compute(1.0);
+  EXPECT_THROW((void)t.connect(t.vertex_of(a), t.vertex_of(a), 1.0),
+               std::invalid_argument);  // self loop
+  EXPECT_THROW((void)t.connect(0, 99, 1.0), std::invalid_argument);
+  const NodeId b = t.add_compute(1.0);
+  EXPECT_THROW((void)t.connect_nodes(a, b, -1.0), std::invalid_argument);
+}
+
+TEST(Topology, MeanLinkLatency) {
+  Topology t;
+  const NodeId a = t.add_compute(1.0);
+  const NodeId b = t.add_compute(1.0);
+  const NodeId c = t.add_compute(1.0);
+  t.connect_nodes(a, b, 1.0);
+  t.connect_nodes(b, c, 3.0);
+  t.freeze();
+  EXPECT_DOUBLE_EQ(t.mean_link_latency(), 2.0);
+}
+
+TEST(Topology, NodesSpanIsDense) {
+  const Topology t = two_nodes_one_switch();
+  const auto nodes = t.nodes();
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0], NodeId{0});
+  EXPECT_EQ(nodes[1], NodeId{1});
+}
+
+TEST(Topology, LinkAccessor) {
+  const Topology t = two_nodes_one_switch();
+  const Link& l = t.link(LinkId{0});
+  EXPECT_DOUBLE_EQ(l.latency, 0.5);
+  EXPECT_THROW((void)t.link(LinkId{99}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nfv::topo

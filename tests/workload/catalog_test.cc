@@ -1,0 +1,58 @@
+#include "nfv/workload/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace nfv::workload {
+namespace {
+
+TEST(Catalog, HasThirtyTypes) {
+  EXPECT_EQ(vnf_catalog().size(), 30u);
+}
+
+TEST(Catalog, CoversAllNineCategories) {
+  std::set<VnfCategory> seen;
+  for (const VnfType& t : vnf_catalog()) seen.insert(t.category);
+  EXPECT_EQ(seen.size(), 9u);
+}
+
+TEST(Catalog, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const VnfType& t : vnf_catalog()) {
+    EXPECT_TRUE(names.insert(std::string(t.name)).second)
+        << "duplicate name " << t.name;
+  }
+}
+
+TEST(Catalog, RangesAreWellFormed) {
+  for (const VnfType& t : vnf_catalog()) {
+    EXPECT_GT(t.demand_min, 0.0) << t.name;
+    EXPECT_GE(t.demand_max, t.demand_min) << t.name;
+    EXPECT_GT(t.service_rate_min, 0.0) << t.name;
+    EXPECT_GE(t.service_rate_max, t.service_rate_min) << t.name;
+  }
+}
+
+TEST(Catalog, CoreSixArePaperVnfs) {
+  const auto core = core_six_indices();
+  ASSERT_EQ(core.size(), 6u);
+  const auto catalog = vnf_catalog();
+  EXPECT_EQ(catalog[core[0]].name, "NAT");
+  EXPECT_EQ(catalog[core[1]].name, "FW");
+  EXPECT_EQ(catalog[core[2]].name, "IDS");
+  EXPECT_EQ(catalog[core[3]].name, "LB");
+  EXPECT_EQ(catalog[core[4]].name, "WANOpt");
+  EXPECT_EQ(catalog[core[5]].name, "FlowMonitor");
+}
+
+TEST(Catalog, CategoryNamesAreNonEmpty) {
+  for (const VnfType& t : vnf_catalog()) {
+    EXPECT_FALSE(to_string(t.category).empty());
+    EXPECT_NE(to_string(t.category), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace nfv::workload

@@ -1,0 +1,198 @@
+#include "nfv/workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "nfv/workload/catalog.h"
+
+namespace nfv::workload {
+namespace {
+
+WorkloadConfig small_config() {
+  WorkloadConfig cfg;
+  cfg.vnf_count = 10;
+  cfg.request_count = 50;
+  return cfg;
+}
+
+TEST(WorkloadGenerator, IsDeterministicForSameSeed) {
+  const WorkloadGenerator gen(small_config());
+  Rng r1(42);
+  Rng r2(42);
+  const Workload a = gen.generate(r1);
+  const Workload b = gen.generate(r2);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].chain, b.requests[i].chain);
+    EXPECT_DOUBLE_EQ(a.requests[i].arrival_rate, b.requests[i].arrival_rate);
+  }
+  ASSERT_EQ(a.vnfs.size(), b.vnfs.size());
+  for (std::size_t i = 0; i < a.vnfs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.vnfs[i].service_rate, b.vnfs[i].service_rate);
+  }
+}
+
+TEST(WorkloadGenerator, RespectsCounts) {
+  const WorkloadGenerator gen(small_config());
+  Rng rng(1);
+  const Workload w = gen.generate(rng);
+  EXPECT_EQ(w.vnfs.size(), 10u);
+  EXPECT_EQ(w.requests.size(), 50u);
+}
+
+TEST(WorkloadGenerator, ChainsAreBoundedAndDistinct) {
+  WorkloadConfig cfg = small_config();
+  cfg.max_chain_length = 6;
+  const WorkloadGenerator gen(cfg);
+  Rng rng(2);
+  const Workload w = gen.generate(rng);
+  for (const Request& r : w.requests) {
+    EXPECT_GE(r.chain.size(), 1u);
+    EXPECT_LE(r.chain.size(), 6u);
+    std::set<VnfId> unique(r.chain.begin(), r.chain.end());
+    EXPECT_EQ(unique.size(), r.chain.size()) << "chain has duplicates";
+  }
+}
+
+TEST(WorkloadGenerator, ArrivalRatesWithinPaperRange) {
+  const WorkloadGenerator gen(small_config());
+  Rng rng(3);
+  const Workload w = gen.generate(rng);
+  for (const Request& r : w.requests) {
+    EXPECT_GE(r.arrival_rate, 1.0);
+    EXPECT_LE(r.arrival_rate, 100.0);
+  }
+}
+
+TEST(WorkloadGenerator, EveryVnfIsUsed) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    WorkloadConfig cfg;
+    cfg.vnf_count = 30;
+    cfg.request_count = 30;  // tight: forces the re-roll path
+    const WorkloadGenerator gen(cfg);
+    Rng rng(seed);
+    const Workload w = gen.generate(rng);
+    for (const Vnf& f : w.vnfs) {
+      EXPECT_FALSE(w.requests_using(f.id).empty())
+          << "VNF " << f.name << " unused at seed " << seed;
+    }
+  }
+}
+
+TEST(WorkloadGenerator, InstanceCountSatisfiesEq3) {
+  const WorkloadGenerator gen(small_config());
+  Rng rng(4);
+  const Workload w = gen.generate(rng);
+  for (const Vnf& f : w.vnfs) {
+    const auto users = w.requests_using(f.id).size();
+    EXPECT_GE(f.instance_count, 1u);
+    EXPECT_LE(f.instance_count, users) << "Eq. 3 violated for " << f.name;
+  }
+}
+
+TEST(WorkloadGenerator, ScaledServiceRateGivesHeadroom) {
+  WorkloadConfig cfg = small_config();
+  cfg.service_rate_policy = ServiceRatePolicy::kScaledToLoad;
+  cfg.service_headroom = 1.25;
+  const WorkloadGenerator gen(cfg);
+  Rng rng(5);
+  const Workload w = gen.generate(rng);
+  for (const Vnf& f : w.vnfs) {
+    double offered = 0.0;
+    for (const auto& r : w.requests) {
+      if (r.uses(f.id)) offered += r.effective_rate();
+    }
+    const double capacity =
+        f.service_rate * static_cast<double>(f.instance_count);
+    EXPECT_NEAR(capacity / offered, 1.25, 1e-9);
+  }
+}
+
+TEST(WorkloadGenerator, CatalogPolicyDrawsFromTypeRange) {
+  WorkloadConfig cfg = small_config();
+  cfg.service_rate_policy = ServiceRatePolicy::kCatalog;
+  const WorkloadGenerator gen(cfg);
+  Rng rng(6);
+  const Workload w = gen.generate(rng);
+  const auto catalog = vnf_catalog();
+  for (const Vnf& f : w.vnfs) {
+    const VnfType& type = catalog[f.catalog_index];
+    EXPECT_GE(f.service_rate, type.service_rate_min);
+    EXPECT_LE(f.service_rate, type.service_rate_max);
+    EXPECT_GE(f.demand_per_instance, type.demand_min);
+    EXPECT_LE(f.demand_per_instance, type.demand_max);
+  }
+}
+
+TEST(WorkloadGenerator, FixedDemandOverride) {
+  WorkloadConfig cfg = small_config();
+  cfg.fixed_demand_per_instance = 42.0;
+  const WorkloadGenerator gen(cfg);
+  Rng rng(7);
+  const Workload w = gen.generate(rng);
+  for (const Vnf& f : w.vnfs) {
+    EXPECT_DOUBLE_EQ(f.demand_per_instance, 42.0);
+  }
+}
+
+TEST(WorkloadGenerator, CoreSixAlwaysPresentWhenRoomAllows) {
+  WorkloadConfig cfg = small_config();
+  cfg.vnf_count = 6;
+  const WorkloadGenerator gen(cfg);
+  Rng rng(8);
+  const Workload w = gen.generate(rng);
+  std::set<std::uint32_t> types;
+  for (const Vnf& f : w.vnfs) types.insert(f.catalog_index);
+  for (const std::uint32_t idx : core_six_indices()) {
+    EXPECT_TRUE(types.contains(idx));
+  }
+}
+
+TEST(WorkloadGenerator, RejectsBadConfig) {
+  WorkloadConfig cfg;
+  cfg.vnf_count = 0;
+  EXPECT_THROW(WorkloadGenerator{cfg}, std::invalid_argument);
+  cfg = WorkloadConfig{};
+  cfg.delivery_prob = 0.0;
+  EXPECT_THROW(WorkloadGenerator{cfg}, std::invalid_argument);
+  cfg = WorkloadConfig{};
+  cfg.delivery_prob = 1.5;
+  EXPECT_THROW(WorkloadGenerator{cfg}, std::invalid_argument);
+  cfg = WorkloadConfig{};
+  cfg.service_headroom = 1.0;
+  EXPECT_THROW(WorkloadGenerator{cfg}, std::invalid_argument);
+  cfg = WorkloadConfig{};
+  cfg.min_chain_length = 5;
+  cfg.max_chain_length = 3;
+  EXPECT_THROW(WorkloadGenerator{cfg}, std::invalid_argument);
+}
+
+TEST(Workload, TotalDemandSumsVnfFootprints) {
+  Workload w;
+  Vnf f1;
+  f1.id = VnfId{0};
+  f1.demand_per_instance = 10.0;
+  f1.instance_count = 3;
+  Vnf f2;
+  f2.id = VnfId{1};
+  f2.demand_per_instance = 5.0;
+  f2.instance_count = 2;
+  w.vnfs = {f1, f2};
+  EXPECT_DOUBLE_EQ(w.total_demand(), 40.0);
+}
+
+TEST(Request, UsesAndEffectiveRate) {
+  Request r;
+  r.chain = {VnfId{2}, VnfId{5}};
+  r.arrival_rate = 50.0;
+  r.delivery_prob = 0.98;
+  EXPECT_TRUE(r.uses(VnfId{2}));
+  EXPECT_TRUE(r.uses(VnfId{5}));
+  EXPECT_FALSE(r.uses(VnfId{3}));
+  EXPECT_NEAR(r.effective_rate(), 50.0 / 0.98, 1e-12);
+}
+
+}  // namespace
+}  // namespace nfv::workload

@@ -1,0 +1,109 @@
+#include "nfv/workload/io.h"
+
+#include <gtest/gtest.h>
+
+#include "nfv/workload/generator.h"
+
+namespace nfv::workload {
+namespace {
+
+constexpr const char* kSample = R"(# small scenario
+vnf NAT 0 20 2 1000
+vnf FW 1 35.5 1 800
+request 10 0.98 0 1
+request 25.25 0.98 1   # FW only
+)";
+
+TEST(WorkloadIo, ParsesSample) {
+  const Workload w = load_workload_string(kSample);
+  ASSERT_EQ(w.vnfs.size(), 2u);
+  ASSERT_EQ(w.requests.size(), 2u);
+  EXPECT_EQ(w.vnfs[0].name, "NAT");
+  EXPECT_EQ(w.vnfs[0].instance_count, 2u);
+  EXPECT_DOUBLE_EQ(w.vnfs[1].demand_per_instance, 35.5);
+  EXPECT_DOUBLE_EQ(w.vnfs[1].service_rate, 800.0);
+  EXPECT_EQ(w.requests[0].chain.size(), 2u);
+  EXPECT_EQ(w.requests[1].chain.size(), 1u);
+  EXPECT_EQ(w.requests[1].chain[0], VnfId{1});
+  EXPECT_DOUBLE_EQ(w.requests[1].arrival_rate, 25.25);
+}
+
+TEST(WorkloadIo, RoundTripsGeneratedWorkloads) {
+  WorkloadConfig cfg;
+  cfg.vnf_count = 10;
+  cfg.request_count = 40;
+  Rng rng(3);
+  const Workload original = WorkloadGenerator(cfg).generate(rng);
+  const Workload reparsed =
+      load_workload_string(save_workload_string(original));
+  ASSERT_EQ(reparsed.vnfs.size(), original.vnfs.size());
+  ASSERT_EQ(reparsed.requests.size(), original.requests.size());
+  for (std::size_t f = 0; f < original.vnfs.size(); ++f) {
+    EXPECT_EQ(reparsed.vnfs[f].name, original.vnfs[f].name);
+    EXPECT_EQ(reparsed.vnfs[f].catalog_index, original.vnfs[f].catalog_index);
+    EXPECT_EQ(reparsed.vnfs[f].instance_count,
+              original.vnfs[f].instance_count);
+    EXPECT_DOUBLE_EQ(reparsed.vnfs[f].demand_per_instance,
+                     original.vnfs[f].demand_per_instance);
+    EXPECT_DOUBLE_EQ(reparsed.vnfs[f].service_rate,
+                     original.vnfs[f].service_rate);
+  }
+  for (std::size_t r = 0; r < original.requests.size(); ++r) {
+    EXPECT_EQ(reparsed.requests[r].chain, original.requests[r].chain);
+    EXPECT_DOUBLE_EQ(reparsed.requests[r].arrival_rate,
+                     original.requests[r].arrival_rate);
+    EXPECT_DOUBLE_EQ(reparsed.requests[r].delivery_prob,
+                     original.requests[r].delivery_prob);
+  }
+  EXPECT_DOUBLE_EQ(reparsed.total_demand(), original.total_demand());
+}
+
+TEST(WorkloadIo, ErrorsCarryLineNumbers) {
+  try {
+    (void)load_workload_string("vnf A 0 10 1 100\nrequest 5 0.98 7\n");
+    FAIL() << "expected WorkloadParseError";
+  } catch (const WorkloadParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
+}
+
+TEST(WorkloadIo, RejectsMalformedInput) {
+  EXPECT_THROW((void)load_workload_string("frob x\n"), WorkloadParseError);
+  EXPECT_THROW((void)load_workload_string("vnf A 0 10 1\n"),
+               WorkloadParseError);  // missing mu
+  EXPECT_THROW((void)load_workload_string("vnf A 0 -10 1 100\n"),
+               WorkloadParseError);
+  EXPECT_THROW((void)load_workload_string("vnf A 0 10 0 100\n"),
+               WorkloadParseError);
+  EXPECT_THROW((void)load_workload_string(
+                   "vnf A 0 10 1 100\nrequest 0 0.98 0\n"),
+               WorkloadParseError);  // zero rate
+  EXPECT_THROW((void)load_workload_string(
+                   "vnf A 0 10 1 100\nrequest 5 1.5 0\n"),
+               WorkloadParseError);  // bad P
+  EXPECT_THROW((void)load_workload_string(
+                   "vnf A 0 10 1 100\nrequest 5 0.98\n"),
+               WorkloadParseError);  // empty chain
+  EXPECT_THROW((void)load_workload_string(
+                   "vnf A 0 10 1 100\nrequest 5 0.98 0 0\n"),
+               WorkloadParseError);  // duplicate chain member
+  EXPECT_THROW((void)load_workload_string(
+                   "vnf A 0 10 1 100\nrequest 5 0.98 0\nvnf B 0 5 1 50\n"),
+               WorkloadParseError);  // vnf after request
+  EXPECT_THROW((void)load_workload_string("# nothing\n"), WorkloadParseError);
+  EXPECT_THROW((void)load_workload_string("vnf A 0 10 1 100\n"),
+               WorkloadParseError);  // no requests
+}
+
+TEST(WorkloadIo, CommentsAndBlankLinesIgnored) {
+  const Workload w = load_workload_string(
+      "\n# header\nvnf A 3 10 1 100\n\nrequest 5 1 0 # tail comment\n");
+  EXPECT_EQ(w.vnfs.size(), 1u);
+  EXPECT_EQ(w.vnfs[0].catalog_index, 3u);
+  EXPECT_EQ(w.requests.size(), 1u);
+  EXPECT_DOUBLE_EQ(w.requests[0].delivery_prob, 1.0);
+}
+
+}  // namespace
+}  // namespace nfv::workload

@@ -1,0 +1,91 @@
+// Chain-template pool behaviour of the workload generator (the
+// trace-driven bounded-service-type regime).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "nfv/workload/generator.h"
+
+namespace nfv::workload {
+namespace {
+
+std::set<std::vector<VnfId>> distinct_chains(const Workload& w) {
+  std::set<std::vector<VnfId>> chains;
+  for (const auto& r : w.requests) chains.insert(r.chain);
+  return chains;
+}
+
+TEST(ChainTemplates, BoundTheDistinctChainCount) {
+  WorkloadConfig cfg;
+  cfg.vnf_count = 20;
+  cfg.request_count = 500;
+  cfg.chain_template_count = 8;
+  Rng rng(1);
+  const Workload w = WorkloadGenerator(cfg).generate(rng);
+  // The fix-up step can append unused VNFs to one request's chain, adding
+  // at most a handful of extra variants.
+  EXPECT_LE(distinct_chains(w).size(), 8u + cfg.vnf_count);
+  EXPECT_GE(distinct_chains(w).size(), 2u);
+}
+
+TEST(ChainTemplates, ZeroMeansUnbounded) {
+  WorkloadConfig cfg;
+  cfg.vnf_count = 20;
+  cfg.request_count = 500;
+  cfg.chain_template_count = 0;
+  Rng rng(2);
+  const Workload w = WorkloadGenerator(cfg).generate(rng);
+  // Independent random chains: far more variety than any small pool.
+  EXPECT_GT(distinct_chains(w).size(), 100u);
+}
+
+TEST(ChainTemplates, RequestsOnlyDrawFromThePool) {
+  WorkloadConfig cfg;
+  cfg.vnf_count = 10;
+  cfg.request_count = 60;
+  cfg.chain_template_count = 4;
+  Rng rng(3);
+  const Workload w = WorkloadGenerator(cfg).generate(rng);
+  // Count chains used by >= 2 requests: with 60 requests over <= 4+ chains
+  // the bulk must repeat.
+  std::map<std::vector<VnfId>, int> counts;
+  for (const auto& r : w.requests) ++counts[r.chain];
+  int repeated_requests = 0;
+  for (const auto& [chain, count] : counts) {
+    if (count >= 2) repeated_requests += count;
+  }
+  EXPECT_GT(repeated_requests, 50);
+}
+
+TEST(ChainTemplates, EveryVnfStillUsed) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    WorkloadConfig cfg;
+    cfg.vnf_count = 25;
+    cfg.request_count = 40;
+    cfg.chain_template_count = 5;  // pool can't cover 25 VNFs by itself
+    Rng rng(seed);
+    const Workload w = WorkloadGenerator(cfg).generate(rng);
+    for (const auto& f : w.vnfs) {
+      EXPECT_FALSE(w.requests_using(f.id).empty())
+          << f.name << " unused at seed " << seed;
+    }
+  }
+}
+
+TEST(ChainTemplates, DeterministicGivenSeed) {
+  WorkloadConfig cfg;
+  cfg.vnf_count = 12;
+  cfg.request_count = 80;
+  cfg.chain_template_count = 6;
+  Rng r1(9);
+  Rng r2(9);
+  const Workload a = WorkloadGenerator(cfg).generate(r1);
+  const Workload b = WorkloadGenerator(cfg).generate(r2);
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].chain, b.requests[i].chain);
+  }
+}
+
+}  // namespace
+}  // namespace nfv::workload

@@ -1,0 +1,110 @@
+#include "nfv/workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nfv/common/stats.h"
+
+namespace nfv::workload {
+namespace {
+
+TEST(LognormalTraceSampler, RatesStayInClampRange) {
+  LognormalTraceSampler sampler({0.04, 1.0, 1.0, 100.0});
+  Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const double r = sampler.sample_rate(rng);
+    EXPECT_GE(r, 1.0);
+    EXPECT_LE(r, 100.0);
+  }
+}
+
+TEST(LognormalTraceSampler, MedianRateMatchesMedianInterarrival) {
+  // Median inter-arrival 0.04 s -> median rate 25 pps (clamp not binding
+  // at the median).
+  LognormalTraceSampler sampler({0.04, 0.5, 1.0, 100.0});
+  Rng rng(2);
+  std::vector<double> rates;
+  rates.reserve(50'000);
+  for (int i = 0; i < 50'000; ++i) rates.push_back(sampler.sample_rate(rng));
+  EXPECT_NEAR(quantile(rates, 0.5), 25.0, 1.0);
+}
+
+TEST(LognormalTraceSampler, HeavyTailSpreadsRates) {
+  LognormalTraceSampler sampler({0.04, 1.5, 1.0, 100.0});
+  Rng rng(3);
+  int at_min = 0;
+  int at_max = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double r = sampler.sample_rate(rng);
+    at_min += r == 1.0 ? 1 : 0;
+    at_max += r == 100.0 ? 1 : 0;
+  }
+  EXPECT_GT(at_min, 0);  // tail reaches both clamps
+  EXPECT_GT(at_max, 0);
+}
+
+TEST(LognormalTraceSampler, InterarrivalIsExponentialWithGivenRate) {
+  LognormalTraceSampler sampler({0.04, 1.0, 1.0, 100.0});
+  Rng rng(4);
+  OnlineStats s;
+  for (int i = 0; i < 100'000; ++i) {
+    s.add(sampler.sample_interarrival(20.0, rng));
+  }
+  EXPECT_NEAR(s.mean(), 1.0 / 20.0, 0.001);
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(s.stddev(), 1.0 / 20.0, 0.002);
+}
+
+TEST(LognormalTraceSampler, RejectsBadParams) {
+  EXPECT_THROW(LognormalTraceSampler({0.0, 1.0, 1.0, 100.0}),
+               std::invalid_argument);
+  EXPECT_THROW(LognormalTraceSampler({0.04, -1.0, 1.0, 100.0}),
+               std::invalid_argument);
+  EXPECT_THROW(LognormalTraceSampler({0.04, 1.0, 0.0, 100.0}),
+               std::invalid_argument);
+  EXPECT_THROW(LognormalTraceSampler({0.04, 1.0, 10.0, 5.0}),
+               std::invalid_argument);
+}
+
+TEST(EmpiricalRateSampler, SingleObservationIsConstant) {
+  const std::vector<double> obs{42.0};
+  EmpiricalRateSampler sampler(obs);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(sampler.sample_rate(rng), 42.0);
+  }
+}
+
+TEST(EmpiricalRateSampler, SamplesWithinObservedRange) {
+  const std::vector<double> obs{5.0, 1.0, 9.0, 3.0};
+  EmpiricalRateSampler sampler(obs);
+  Rng rng(6);
+  for (int i = 0; i < 10'000; ++i) {
+    const double r = sampler.sample_rate(rng);
+    EXPECT_GE(r, 1.0);
+    EXPECT_LE(r, 9.0);
+  }
+}
+
+TEST(EmpiricalRateSampler, ReproducesUniformQuantiles) {
+  std::vector<double> obs;
+  for (int i = 1; i <= 1000; ++i) obs.push_back(static_cast<double>(i));
+  EmpiricalRateSampler sampler(obs);
+  Rng rng(7);
+  std::vector<double> samples;
+  samples.reserve(100'000);
+  for (int i = 0; i < 100'000; ++i) samples.push_back(sampler.sample_rate(rng));
+  EXPECT_NEAR(quantile(samples, 0.5), 500.0, 10.0);
+  EXPECT_NEAR(quantile(samples, 0.9), 900.0, 10.0);
+}
+
+TEST(EmpiricalRateSampler, RejectsBadInput) {
+  EXPECT_THROW(EmpiricalRateSampler(std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW(EmpiricalRateSampler(std::vector<double>{1.0, 0.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nfv::workload

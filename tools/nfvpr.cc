@@ -1,0 +1,359 @@
+// nfvpr — command-line front-end for the library.
+//
+//   nfvpr generate-topology --kind star --nodes 10 > dc.topo
+//   nfvpr generate-workload --vnfs 12 --requests 100 > peak.wl
+//   nfvpr place    --topology dc.topo --workload peak.wl --algorithm BFDSU
+//   nfvpr schedule --workload peak.wl --vnf 0 --algorithm RCKK
+//   nfvpr pipeline --topology dc.topo --workload peak.wl
+//   nfvpr simulate --topology dc.topo --workload peak.wl --duration 60
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "nfv/common/cli.h"
+#include "nfv/common/table.h"
+#include "nfv/core/joint_optimizer.h"
+#include "nfv/core/sim_builder.h"
+#include "nfv/core/tail_prediction.h"
+#include "nfv/placement/algorithm.h"
+#include "nfv/placement/metrics.h"
+#include "nfv/scheduling/algorithm.h"
+#include "nfv/scheduling/metrics.h"
+#include "nfv/sim/des.h"
+#include "nfv/topology/builders.h"
+#include "nfv/topology/io.h"
+#include "nfv/workload/generator.h"
+#include "nfv/workload/io.h"
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "nfvpr — NFV chain placement & request scheduling toolkit\n"
+      "\n"
+      "subcommands:\n"
+      "  generate-topology  emit a topology file (star/leafspine/fattree/random)\n"
+      "  generate-workload  emit a workload file from the VNF catalog\n"
+      "  place              run a placement algorithm, print the assignment\n"
+      "  schedule           run a scheduler for one VNF, print instance loads\n"
+      "  pipeline           run the full two-phase optimization (Eq. 16)\n"
+      "  tail               per-request latency tail predictions (p50/p95/p99)\n"
+      "  simulate           optimize, then replay packet-level and compare\n"
+      "\n"
+      "run 'nfvpr <subcommand> --help' for flags.\n",
+      stderr);
+  return 2;
+}
+
+nfv::topo::Topology read_topology(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open topology file " + path);
+  return nfv::topo::load_topology(in);
+}
+
+nfv::workload::Workload read_workload(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open workload file " + path);
+  return nfv::workload::load_workload(in);
+}
+
+int cmd_generate_topology(int argc, const char* const* argv) {
+  nfv::CliParser cli("nfvpr generate-topology", "emit a topology file");
+  const auto& kind =
+      cli.add_string("kind", 'k', "star|leafspine|fattree|random", "star");
+  const auto& nodes = cli.add_int("nodes", 'n', "compute nodes (star/random)", 10);
+  const auto& cap_min = cli.add_double("cap-min", '\0', "min capacity", 1000.0);
+  const auto& cap_max = cli.add_double("cap-max", '\0', "max capacity", 5000.0);
+  const auto& latency = cli.add_double("latency", 'l', "per-link latency", 1e-4);
+  const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
+  const auto& fat_k = cli.add_int("fat-k", '\0', "fat-tree arity (even)", 4);
+  if (!cli.parse(argc, argv)) return 1;
+  nfv::Rng rng(static_cast<std::uint64_t>(seed));
+  const nfv::topo::CapacitySpec cap{cap_min, cap_max};
+  const nfv::topo::LinkSpec link{latency};
+  nfv::topo::Topology t;
+  if (kind == "star") {
+    t = nfv::topo::make_star(static_cast<std::size_t>(nodes), cap, link, rng);
+  } else if (kind == "leafspine") {
+    t = nfv::topo::make_leaf_spine(2, 4,
+                                   std::max<std::size_t>(1,
+                                       static_cast<std::size_t>(nodes) / 4),
+                                   cap, link, rng);
+  } else if (kind == "fattree") {
+    t = nfv::topo::make_fat_tree(static_cast<std::size_t>(fat_k), cap, link,
+                                 rng);
+  } else if (kind == "random") {
+    t = nfv::topo::make_random_connected(static_cast<std::size_t>(nodes), 3.0,
+                                         cap, link, rng);
+  } else {
+    std::fprintf(stderr, "unknown kind '%s'\n", kind.c_str());
+    return 1;
+  }
+  nfv::topo::save_topology(t, std::cout);
+  return 0;
+}
+
+int cmd_generate_workload(int argc, const char* const* argv) {
+  nfv::CliParser cli("nfvpr generate-workload", "emit a workload file");
+  const auto& vnfs = cli.add_int("vnfs", 'f', "VNF count", 12);
+  const auto& requests = cli.add_int("requests", 'n', "request count", 100);
+  const auto& templates =
+      cli.add_int("templates", 't', "chain templates (0 = unlimited)", 0);
+  const auto& delivery =
+      cli.add_double("delivery-prob", 'p', "P per request", 0.98);
+  const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
+  if (!cli.parse(argc, argv)) return 1;
+  nfv::workload::WorkloadConfig cfg;
+  cfg.vnf_count = static_cast<std::uint32_t>(vnfs);
+  cfg.request_count = static_cast<std::uint32_t>(requests);
+  cfg.chain_template_count = static_cast<std::uint32_t>(templates);
+  cfg.delivery_prob = delivery;
+  nfv::Rng rng(static_cast<std::uint64_t>(seed));
+  const auto w = nfv::workload::WorkloadGenerator(cfg).generate(rng);
+  nfv::workload::save_workload(w, std::cout);
+  return 0;
+}
+
+int cmd_place(int argc, const char* const* argv) {
+  nfv::CliParser cli("nfvpr place", "run a placement algorithm");
+  const auto& topology_file = cli.add_string("topology", 't', "topology file", "");
+  const auto& workload_file = cli.add_string("workload", 'w', "workload file", "");
+  const auto& algorithm =
+      cli.add_string("algorithm", 'a', "BFDSU|CABP|FFD|NAH|BFD|WFD|FF|NFD|Exact",
+                     "BFDSU");
+  const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
+  if (!cli.parse(argc, argv)) return 1;
+  const auto topology = read_topology(topology_file);
+  const auto workload = read_workload(workload_file);
+  const auto problem = nfv::placement::make_problem(topology, workload);
+  const auto algo = nfv::placement::make_placement_algorithm(algorithm);
+  if (!algo) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
+    return 1;
+  }
+  nfv::Rng rng(static_cast<std::uint64_t>(seed));
+  const auto placement = algo->place(problem, rng);
+  if (!placement.feasible) {
+    std::puts("INFEASIBLE — not every VNF fits");
+    return 3;
+  }
+  const auto metrics = nfv::placement::evaluate(problem, placement);
+  nfv::Table table({"vnf", "node", "footprint"});
+  table.set_precision(1);
+  for (std::size_t f = 0; f < workload.vnfs.size(); ++f) {
+    table.add_row({workload.vnfs[f].name,
+                   topology.label(*placement.assignment[f]),
+                   workload.vnfs[f].total_demand()});
+  }
+  std::fputs(table.markdown().c_str(), stdout);
+  std::printf(
+      "\nnodes in service %zu / %zu, avg utilization %.1f%%, occupation "
+      "%.0f, iterations %llu\n",
+      metrics.nodes_in_service, topology.compute_count(),
+      100.0 * metrics.avg_utilization_of_used, metrics.resource_occupation,
+      static_cast<unsigned long long>(placement.iterations));
+  return 0;
+}
+
+int cmd_schedule(int argc, const char* const* argv) {
+  nfv::CliParser cli("nfvpr schedule", "schedule one VNF's requests");
+  const auto& workload_file = cli.add_string("workload", 'w', "workload file", "");
+  const auto& vnf = cli.add_int("vnf", 'f', "VNF index", 0);
+  const auto& algorithm = cli.add_string(
+      "algorithm", 'a', "RCKK|CGA|CGA-online|LPT|RR|KK-fwd|CKK|DP2", "RCKK");
+  const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
+  if (!cli.parse(argc, argv)) return 1;
+  const auto workload = read_workload(workload_file);
+  if (static_cast<std::size_t>(vnf) >= workload.vnfs.size()) {
+    std::fprintf(stderr, "vnf index out of range (have %zu)\n",
+                 workload.vnfs.size());
+    return 1;
+  }
+  const auto problem = nfv::sched::make_problem(
+      workload, nfv::VnfId{static_cast<std::uint32_t>(vnf)});
+  const auto algo = nfv::sched::make_scheduling_algorithm(algorithm);
+  if (!algo) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
+    return 1;
+  }
+  nfv::Rng rng(static_cast<std::uint64_t>(seed));
+  const auto schedule = algo->schedule(problem, rng);
+  const auto metrics = nfv::sched::evaluate(problem, schedule);
+  const auto admission = nfv::sched::apply_admission(problem, schedule);
+  nfv::Table table({"instance", "requests", "load pps", "rho", "W"});
+  table.set_precision(4);
+  std::vector<long long> counts(problem.instance_count, 0);
+  for (const auto k : schedule.instance_of) ++counts[k];
+  for (std::uint32_t k = 0; k < problem.instance_count; ++k) {
+    const double rho = metrics.utilization[k];
+    table.add_row({static_cast<long long>(k), counts[k],
+                   metrics.instance_load[k], rho,
+                   rho < 1.0 ? (rho > 0.0
+                                    ? (rho / (1.0 - rho)) /
+                                          metrics.instance_load[k]
+                                    : 1.0 / (problem.mean_prob() *
+                                             problem.service_rate))
+                             : -1.0});
+  }
+  std::fputs(table.markdown().c_str(), stdout);
+  std::printf("\navg W %.5f, imbalance %.2f, rejection %.2f%%, work %llu\n",
+              metrics.avg_response, metrics.imbalance,
+              100.0 * admission.rejection_rate,
+              static_cast<unsigned long long>(schedule.work));
+  return metrics.stable ? 0 : 3;
+}
+
+int cmd_pipeline(int argc, const char* const* argv) {
+  nfv::CliParser cli("nfvpr pipeline", "full two-phase optimization");
+  const auto& topology_file = cli.add_string("topology", 't', "topology file", "");
+  const auto& workload_file = cli.add_string("workload", 'w', "workload file", "");
+  const auto& placer = cli.add_string("placement", 'p', "placement algorithm",
+                                      "BFDSU");
+  const auto& scheduler =
+      cli.add_string("scheduling", 'q', "scheduling algorithm", "RCKK");
+  const auto& link = cli.add_double("link-latency", 'l',
+                                    "L of Eq. 16 (default: topology mean)",
+                                    -1.0);
+  const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
+  if (!cli.parse(argc, argv)) return 1;
+  nfv::core::SystemModel model;
+  model.topology = read_topology(topology_file);
+  model.workload = read_workload(workload_file);
+  nfv::core::JointConfig cfg;
+  cfg.placement_algorithm = placer;
+  cfg.scheduling_algorithm = scheduler;
+  if (link >= 0.0) cfg.link_latency = link;
+  const auto result = nfv::core::JointOptimizer(cfg).run(
+      model, static_cast<std::uint64_t>(seed));
+  if (!result.feasible) {
+    std::puts("INFEASIBLE — placement failed");
+    return 3;
+  }
+  std::printf("nodes in service      : %zu / %zu\n",
+              result.placement_metrics.nodes_in_service,
+              model.topology.compute_count());
+  std::printf("avg node utilization  : %.1f%%\n",
+              100.0 * result.placement_metrics.avg_utilization_of_used);
+  std::printf("avg instance response : %.5f\n", result.avg_response);
+  std::printf("avg request latency   : %.5f (Eq. 16)\n",
+              result.avg_total_latency);
+  std::printf("job rejection rate    : %.2f%%\n",
+              100.0 * result.job_rejection_rate);
+  return 0;
+}
+
+int cmd_tail(int argc, const char* const* argv) {
+  nfv::CliParser cli("nfvpr tail", "per-request latency tail predictions");
+  const auto& topology_file = cli.add_string("topology", 't', "topology file", "");
+  const auto& workload_file = cli.add_string("workload", 'w', "workload file", "");
+  const auto& top = cli.add_int("top", 'n', "show the N busiest requests", 10);
+  const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
+  if (!cli.parse(argc, argv)) return 1;
+  nfv::core::SystemModel model;
+  model.topology = read_topology(topology_file);
+  model.workload = read_workload(workload_file);
+  const auto result = nfv::core::JointOptimizer{nfv::core::JointConfig{}}.run(
+      model, static_cast<std::uint64_t>(seed));
+  if (!result.feasible) {
+    std::puts("INFEASIBLE — placement failed");
+    return 3;
+  }
+  std::vector<std::size_t> order;
+  for (std::size_t r = 0; r < result.requests.size(); ++r) {
+    if (result.requests[r].admitted) order.push_back(r);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return model.workload.requests[a].arrival_rate >
+           model.workload.requests[b].arrival_rate;
+  });
+  nfv::Table table({"request", "rate pps", "chain len", "mean", "p50",
+                    "p95", "p99", "method"});
+  table.set_precision(5);
+  for (std::size_t i = 0;
+       i < order.size() && i < static_cast<std::size_t>(top); ++i) {
+    const auto id = nfv::RequestId{static_cast<std::uint32_t>(order[i])};
+    const auto p = nfv::core::predict_request_tail(model, result, id);
+    table.add_row({static_cast<long long>(id.value()),
+                   model.workload.requests[id.index()].arrival_rate,
+                   static_cast<long long>(
+                       model.workload.requests[id.index()].chain.size()),
+                   p.mean, p.p50, p.p95, p.p99,
+                   std::string(p.exact ? "closed form" : "sampled")});
+  }
+  std::fputs(table.markdown().c_str(), stdout);
+  return 0;
+}
+
+int cmd_simulate(int argc, const char* const* argv) {
+  nfv::CliParser cli("nfvpr simulate", "optimize then replay packet-level");
+  const auto& topology_file = cli.add_string("topology", 't', "topology file", "");
+  const auto& workload_file = cli.add_string("workload", 'w', "workload file", "");
+  const auto& duration = cli.add_double("duration", 'd', "simulated seconds", 60.0);
+  const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
+  if (!cli.parse(argc, argv)) return 1;
+  nfv::core::SystemModel model;
+  model.topology = read_topology(topology_file);
+  model.workload = read_workload(workload_file);
+  const auto result = nfv::core::JointOptimizer{nfv::core::JointConfig{}}.run(
+      model, static_cast<std::uint64_t>(seed));
+  if (!result.feasible) {
+    std::puts("INFEASIBLE — placement failed");
+    return 3;
+  }
+  const auto build = nfv::core::build_sim_network(model, result);
+  nfv::sim::SimConfig sim_cfg;
+  sim_cfg.duration = duration;
+  sim_cfg.warmup = duration * 0.1;
+  sim_cfg.seed = static_cast<std::uint64_t>(seed) + 1;
+  const auto sim = nfv::sim::simulate(build.network, sim_cfg);
+  double predicted = 0.0;
+  double measured = 0.0;
+  double weight = 0.0;
+  for (std::size_t i = 0; i < sim.flows.size(); ++i) {
+    if (sim.flows[i].delivered == 0) continue;
+    const auto id = build.flow_request[i];
+    const auto w = static_cast<double>(sim.flows[i].delivered);
+    predicted += result.requests[id.index()].total_latency() * w;
+    measured += sim.flows[i].end_to_end.mean() * w;
+    weight += w;
+  }
+  std::printf("events processed  : %llu\n",
+              static_cast<unsigned long long>(sim.events_processed));
+  std::printf("predicted latency : %.5f (Eq. 16 analytic)\n",
+              predicted / weight);
+  std::printf("measured latency  : %.5f (packet-level DES)\n",
+              measured / weight);
+  std::printf("difference        : %.1f%%\n",
+              100.0 * (measured - predicted) / predicted);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string subcommand = argv[1];
+  // Shift argv so each subcommand parser sees its own flags.
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  try {
+    if (subcommand == "generate-topology") {
+      return cmd_generate_topology(sub_argc, sub_argv);
+    }
+    if (subcommand == "generate-workload") {
+      return cmd_generate_workload(sub_argc, sub_argv);
+    }
+    if (subcommand == "place") return cmd_place(sub_argc, sub_argv);
+    if (subcommand == "schedule") return cmd_schedule(sub_argc, sub_argv);
+    if (subcommand == "pipeline") return cmd_pipeline(sub_argc, sub_argv);
+    if (subcommand == "tail") return cmd_tail(sub_argc, sub_argv);
+    if (subcommand == "simulate") return cmd_simulate(sub_argc, sub_argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nfvpr %s: %s\n", subcommand.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}
