@@ -1,0 +1,174 @@
+// Chaos resilience bench (robustness extension): subject the resilience
+// controller to seeded failure storms and measure how the escalation
+// ladder (local repair → replica split → full re-run → degradation)
+// absorbs node churn.
+//
+// Reported per storm ensemble:
+//   * how often each ladder rung resolved an event,
+//   * availability (served fraction of the offered λ) mean / worst case,
+//   * modelled time-to-recover per failure,
+//   * a determinism check: the same seed must reproduce the exact same
+//     RecoveryReport stream, field for field.
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "harness.h"
+#include "nfv/common/cli.h"
+#include "nfv/common/stats.h"
+#include "nfv/common/table.h"
+#include "nfv/core/resilience.h"
+#include "nfv/topology/builders.h"
+#include "nfv/workload/generator.h"
+
+namespace {
+
+nfv::core::SystemModel make_model(std::size_t nodes, std::uint32_t vnfs,
+                                  std::uint32_t requests, double demand,
+                                  std::uint64_t seed) {
+  nfv::Rng rng(seed);
+  nfv::core::SystemModel model;
+  model.topology = nfv::topo::make_star(
+      nodes, nfv::topo::CapacitySpec{1000.0, 1800.0},
+      nfv::topo::LinkSpec{2e-4}, rng);
+  nfv::workload::WorkloadConfig wcfg;
+  wcfg.vnf_count = vnfs;
+  wcfg.request_count = requests;
+  wcfg.fixed_demand_per_instance = demand;
+  wcfg.chain_template_count = 10;
+  model.workload = nfv::workload::WorkloadGenerator(wcfg).generate(rng);
+  return model;
+}
+
+bool same_reports(const std::vector<nfv::core::RecoveryReport>& a,
+                  const std::vector<nfv::core::RecoveryReport>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a[i];
+    const auto& y = b[i];
+    if (x.time != y.time || x.node != y.node || x.node_up != y.node_up ||
+        x.attempted != y.attempted || x.resolution != y.resolution ||
+        x.recovered != y.recovered || x.vnfs_displaced != y.vnfs_displaced ||
+        x.vnfs_migrated != y.vnfs_migrated ||
+        x.replicas_added != y.replicas_added ||
+        x.requests_shed != y.requests_shed ||
+        x.requests_restored != y.requests_restored ||
+        x.time_to_recover != y.time_to_recover ||
+        x.availability != y.availability) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nfv::CliParser cli("bench_chaos_resilience",
+                     "Escalation ladder under seeded failure storms");
+  const auto& nodes = cli.add_int("nodes", 'n', "compute nodes", 8);
+  const auto& vnfs = cli.add_int("vnfs", 'f', "VNF count", 12);
+  const auto& requests = cli.add_int("requests", 'r', "request count", 80);
+  const auto& demand =
+      cli.add_double("demand", 'D', "demand per service instance", 150.0);
+  const auto& events = cli.add_int("events", 'e', "churn events per storm", 40);
+  const auto& storms = cli.add_int("storms", 'm', "independent storms", 10);
+  const auto& max_down =
+      cli.add_int("max-down", 'd', "max concurrently down nodes", 6);
+  const auto& interval =
+      cli.add_double("interval", 'i', "mean inter-event seconds", 5.0);
+  const auto& seed = cli.add_int("seed", 's', "base RNG seed", 21);
+  if (!cli.parse(argc, argv)) return 1;
+
+  nfv::bench::print_banner(
+      "Chaos resilience — escalation ladder under node churn",
+      "Seeded failure storms over a star fabric; every DOWN/UP event runs\n"
+      "the ladder local repair -> replica split -> full re-run -> shed, and\n"
+      "the controller reports migrations, sheds and modelled recovery time.\n"
+      "Same seed => byte-identical RecoveryReport stream.");
+
+  const auto model = make_model(static_cast<std::size_t>(nodes),
+                                static_cast<std::uint32_t>(vnfs),
+                                static_cast<std::uint32_t>(requests), demand,
+                                static_cast<std::uint64_t>(seed));
+
+  std::map<nfv::core::RecoveryAction, std::size_t> resolved;
+  std::size_t unrecovered = 0;
+  std::size_t failures = 0;
+  std::size_t recoveries = 0;
+  nfv::OnlineStats availability;
+  double worst_availability = 1.0;
+  nfv::OnlineStats time_to_recover;
+  nfv::OnlineStats migrations_per_failure;
+  std::size_t total_shed = 0;
+  std::size_t total_restored = 0;
+
+  bool deterministic = true;
+  for (std::uint32_t storm = 0; storm < static_cast<std::uint32_t>(storms);
+       ++storm) {
+    const std::uint64_t storm_seed = static_cast<std::uint64_t>(seed) + storm;
+    nfv::Rng storm_rng(storm_seed);
+    const auto churn = nfv::core::make_failure_storm(
+        static_cast<std::size_t>(nodes), static_cast<std::size_t>(events),
+        storm_rng, interval, static_cast<std::size_t>(max_down));
+
+    nfv::core::ResilienceController controller(model, {}, storm_seed);
+    const auto reports = controller.replay(churn);
+
+    // Replay the identical storm on a fresh controller: the report
+    // streams must match exactly.
+    nfv::core::ResilienceController twin(model, {}, storm_seed);
+    deterministic = deterministic && same_reports(reports, twin.replay(churn));
+
+    for (const auto& report : reports) {
+      availability.add(report.availability);
+      worst_availability = std::min(worst_availability, report.availability);
+      if (!report.recovered) ++unrecovered;
+      ++resolved[report.resolution];
+      if (report.node_up) {
+        ++recoveries;
+        total_restored += report.requests_restored;
+      } else {
+        ++failures;
+        time_to_recover.add(report.time_to_recover);
+        migrations_per_failure.add(static_cast<double>(report.vnfs_migrated));
+        total_shed += report.requests_shed;
+      }
+    }
+  }
+
+  const auto total_events =
+      static_cast<double>(storms) * static_cast<double>(events);
+  nfv::Table table({"resolution", "events", "share"});
+  table.set_precision(3);
+  for (const auto& [action, count] : resolved) {
+    table.add_row({std::string(nfv::core::to_string(action)),
+                   static_cast<long long>(count),
+                   static_cast<double>(count) / total_events});
+  }
+  std::fputs(table.markdown().c_str(), stdout);
+
+  std::printf(
+      "\nstorms %d x %d events (%zu failures, %zu recoveries), "
+      "max %d nodes down\n",
+      static_cast<int>(storms), static_cast<int>(events), failures,
+      recoveries, static_cast<int>(max_down));
+  std::printf("availability          : mean %.4f, worst %.4f\n",
+              availability.mean(), worst_availability);
+  std::printf("time-to-recover       : mean %.2f s per failure\n",
+              time_to_recover.mean());
+  std::printf("migrations            : mean %.2f per failure\n",
+              migrations_per_failure.mean());
+  std::printf("requests shed/restored: %zu / %zu\n", total_shed,
+              total_restored);
+  std::printf("unrecovered events    : %zu\n", unrecovered);
+  std::printf("deterministic replay  : %s\n", deterministic ? "yes" : "NO");
+
+  std::puts(
+      "\nexpected: single-node failures resolve by local repair; deep\n"
+      "storms (several nodes down) escalate to re-runs and shedding, and\n"
+      "recoveries re-admit the shed requests.  Availability dips track\n"
+      "max-down depth; the replay check must print 'yes'.");
+  return deterministic ? 0 : 1;
+}

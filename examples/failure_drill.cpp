@@ -1,26 +1,58 @@
 // Failure drill: build a scenario (optionally from topology/workload
-// files), optimize it, kill the busiest server, repair the placement on
-// the survivors, and compare service quality before and after.
+// files), hand it to the ResilienceController, and walk it through a
+// scripted outage — kill the busiest server, then a second one, then
+// bring both back — printing the RecoveryReport for every step.
 //
 //   $ ./failure_drill [seed]
 //   $ ./failure_drill --topology dc.topo --workload peak.wl
+//
+// For stochastic storms instead of a scripted drill, see
+// `nfvpr chaos` and bench/chaos_resilience.cc.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
-#include <set>
+#include <string>
+#include <vector>
 
 #include "nfv/common/cli.h"
-#include "nfv/core/failure_repair.h"
-#include "nfv/core/joint_optimizer.h"
-#include "nfv/core/locality_refiner.h"
+#include "nfv/core/resilience.h"
 #include "nfv/topology/builders.h"
 #include "nfv/topology/io.h"
 #include "nfv/workload/generator.h"
 #include "nfv/workload/io.h"
 
+namespace {
+
+void print_report(const nfv::core::ResilienceController& controller,
+                  const nfv::topo::Topology& topology,
+                  const nfv::core::RecoveryReport& report) {
+  std::string ladder;
+  for (const auto rung : report.attempted) {
+    if (!ladder.empty()) ladder += " -> ";
+    ladder += nfv::core::to_string(rung);
+  }
+  if (ladder.empty()) ladder = "(nothing to do)";
+  std::printf("t=%.1f %s %s\n", report.time,
+              topology.label(report.node).c_str(),
+              report.node_up ? "UP" : "DOWN");
+  std::printf("  ladder     : %s => %s%s\n", ladder.c_str(),
+              std::string(nfv::core::to_string(report.resolution)).c_str(),
+              report.recovered ? "" : " (NOT recovered)");
+  std::printf("  moved      : %zu displaced, %zu migrated, %zu replicas\n",
+              report.vnfs_displaced, report.vnfs_migrated,
+              report.replicas_added);
+  std::printf("  requests   : %zu shed, %zu restored (%zu shed in total)\n",
+              report.requests_shed, report.requests_restored,
+              controller.shed_count());
+  std::printf("  recovery   : %.2f s modelled, availability %.4f\n\n",
+              report.time_to_recover, report.availability);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   nfv::CliParser cli("failure_drill",
-                     "Kill the busiest server and repair the placement");
+                     "Scripted node-failure drill for the resilience ladder");
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 13);
   const auto& topology_file =
       cli.add_string("topology", 't', "topology file (see nfv/topology/io.h)",
@@ -55,60 +87,54 @@ int main(int argc, char** argv) {
     nfv::workload::WorkloadConfig wcfg;
     wcfg.vnf_count = 14;
     wcfg.request_count = 100;
-    wcfg.fixed_demand_per_instance = 70.0;
+    wcfg.fixed_demand_per_instance = 240.0;
     wcfg.chain_template_count = 10;
     model.workload = nfv::workload::WorkloadGenerator(wcfg).generate(rng);
   }
 
-  const nfv::core::JointOptimizer optimizer{nfv::core::JointConfig{}};
-  const auto before =
-      optimizer.run(model, static_cast<std::uint64_t>(seed));
-  if (!before.feasible) {
+  nfv::core::ResilienceController controller(
+      model, {}, static_cast<std::uint64_t>(seed));
+  if (!controller.deployment().feasible) {
     std::puts("initial placement infeasible — adjust capacity or workload");
     return 1;
   }
-  std::printf("before failure: %zu servers on, avg request latency %.4f s, "
-              "rejection %.2f%%\n",
-              before.placement_metrics.nodes_in_service,
-              before.avg_total_latency,
-              100.0 * before.job_rejection_rate);
-
-  // Kill the server hosting the most VNFs.
-  std::vector<int> vnf_count(model.topology.compute_count(), 0);
-  for (const auto& a : before.placement.assignment) ++vnf_count[a->index()];
-  const nfv::NodeId failed{static_cast<std::uint32_t>(std::distance(
-      vnf_count.begin(),
-      std::max_element(vnf_count.begin(), vnf_count.end())))};
-  std::printf("\nfailing %s (%d VNFs hosted)\n",
-              model.topology.label(failed).c_str(),
-              vnf_count[failed.index()]);
-
-  nfv::Rng repair_rng(static_cast<std::uint64_t>(seed) + 1);
-  const auto repair = nfv::core::repair_after_node_failure(
-      model, before, failed, repair_rng);
-  if (!repair.feasible) {
-    std::puts("survivors cannot absorb the displaced VNFs — escalate to a\n"
-              "full re-run (JointOptimizer) or replica splitting\n"
-              "(core/replication.h)");
-    return 1;
-  }
-  std::printf("repair moved %zu VNFs; servers in service %zu -> %zu\n",
-              repair.displaced.size(), repair.nodes_in_service_before,
-              repair.nodes_in_service_after);
-
-  // Quantify the post-repair chain locality and recover what we can.
-  nfv::core::JointResult after = before;
-  after.placement = repair.placement;
-  const auto refined = nfv::core::refine_link_locality(model, after);
   std::printf(
-      "post-repair link cost %.0f hops -> %.0f after locality refinement "
-      "(%u moves)\n",
-      refined.initial_link_cost, refined.final_link_cost,
-      refined.moves_applied);
+      "deployed: %zu VNFs, %zu requests, %zu servers in service, "
+      "availability %.4f\n\n",
+      model.workload.vnfs.size(), model.workload.requests.size(),
+      controller.deployment().placement_metrics.nodes_in_service,
+      controller.served_fraction());
 
-  // Re-run the full pipeline on the degraded topology for comparison.
-  // (Simplest faithful model of "what would a from-scratch rebuild buy":
-  // remove the failed node's capacity by re-placing on survivors only.)
-  std::puts("\ndrill complete — see core/failure_repair.h for the API.");
-  return 0;
+  // Kill the server hosting the most VNFs, then the busiest survivor —
+  // the second failure lands on a fabric that already lost capacity, so
+  // the ladder typically has to climb past a plain local repair.
+  std::vector<nfv::NodeId> killed;
+  double t = 10.0;
+  for (int round = 0; round < 2; ++round) {
+    std::vector<int> vnf_count(model.topology.compute_count(), 0);
+    const auto& deployed = controller.deployment();
+    for (const auto& host : deployed.placement.assignment) {
+      ++vnf_count[host->index()];
+    }
+    for (const auto id : killed) vnf_count[id.index()] = -1;
+    const nfv::NodeId victim{static_cast<std::uint32_t>(std::distance(
+        vnf_count.begin(),
+        std::max_element(vnf_count.begin(), vnf_count.end())))};
+    killed.push_back(victim);
+    print_report(controller, model.topology,
+                 controller.on_event({t, victim, false}));
+    t += 10.0;
+  }
+
+  // Bring the nodes back in reverse order: the controller re-runs the
+  // pipeline on the restored capacity and re-admits shed requests.
+  for (auto it = killed.rbegin(); it != killed.rend(); ++it) {
+    print_report(controller, model.topology,
+                 controller.on_event({t, *it, true}));
+    t += 10.0;
+  }
+
+  std::printf("drill complete — final availability %.4f, %zu shed\n",
+              controller.served_fraction(), controller.shed_count());
+  return controller.served_fraction() > 0.999 ? 0 : 1;
 }

@@ -1,0 +1,190 @@
+// Resilience control loop — turns the repo's robustness fragments (node
+// repair, VNF replication, the full pipeline, admission control) into one
+// escalation ladder that survives node churn.
+//
+// The controller owns a deployed placement/schedule and consumes a stream
+// of node DOWN/UP events.  On a failure it climbs the ladder until the
+// deployment is feasible and stable again:
+//
+//   1. local repair     — re-place only the displaced VNFs on the survivors
+//                         (repair_after_node_failure; schedules untouched),
+//   2. replica split    — split VNFs whose footprint no longer fits any
+//                         surviving node (core/replication.h), then re-run,
+//   3. full re-run      — two-phase pipeline from scratch on the degraded
+//                         topology,
+//   4. degradation      — shed the lowest-rate requests (and shrink
+//                         instance counts to the surviving demand) until
+//                         the pipeline fits and every instance is stable,
+//                         i.e. Λ_k < ρ_max·P·μ_f.
+//
+// On a recovery the controller re-admits shed requests by re-running the
+// pipeline on the restored capacity.  Every event yields a RecoveryReport
+// (actions taken, migrations, sheds, modelled time-to-recover), and the
+// whole trajectory is deterministic given the construction seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "nfv/common/ids.h"
+#include "nfv/common/rng.h"
+#include "nfv/core/joint_optimizer.h"
+
+namespace nfv::core {
+
+/// One node availability transition consumed by the controller.
+struct ChurnEvent {
+  double time = 0.0;  ///< simulated seconds, non-decreasing across a stream
+  NodeId node{};
+  bool up = false;    ///< true = recovery, false = failure
+};
+
+/// Rung of the escalation ladder (also used to label the resolution).
+enum class RecoveryAction : std::uint8_t {
+  kNone = 0,      ///< no action needed (e.g. the failed node was idle)
+  kLocalRepair,   ///< BFDSU patch of the displaced VNFs only
+  kReplicaSplit,  ///< split oversized VNFs, then pipeline re-run
+  kFullRerun,     ///< full two-phase pipeline re-run
+  kDegrade,       ///< shed lowest-rate requests until stable
+};
+
+[[nodiscard]] std::string_view to_string(RecoveryAction action);
+
+/// What one churn event cost and how it was absorbed.
+struct RecoveryReport {
+  double time = 0.0;
+  NodeId node{};
+  bool node_up = false;
+  /// Ladder rungs actually attempted, in order.
+  std::vector<RecoveryAction> attempted;
+  /// The rung that restored the deployment (kNone when nothing was needed
+  /// or when even degradation could not recover — see `recovered`).
+  RecoveryAction resolution = RecoveryAction::kNone;
+  /// True iff the deployment is feasible and stable after the event.
+  bool recovered = false;
+  std::size_t vnfs_displaced = 0;   ///< hosted by the failed node
+  std::size_t vnfs_migrated = 0;    ///< assignments that changed host
+  std::size_t replicas_added = 0;   ///< new replica VNFs (rung 2)
+  std::size_t requests_shed = 0;    ///< newly shed by this event (rung 4)
+  std::size_t requests_restored = 0;///< re-admitted on recovery
+  /// Modelled recovery latency in simulated seconds (migration / replica /
+  /// re-run costs from ResilienceConfig).
+  double time_to_recover = 0.0;
+  /// Served fraction of the offered arrival rate after the event (sheds
+  /// and admission rejections both count against it).
+  double availability = 0.0;
+};
+
+/// Ladder knobs and modelled action costs.
+struct ResilienceConfig {
+  /// Algorithms + ρ_max used for every pipeline (re-)run.
+  JointConfig joint;
+  // Modelled costs in simulated seconds (cf. OpenNF-style state transfer).
+  double seconds_per_migration = 0.5;   ///< per VNF moved between nodes
+  double seconds_per_replica = 2.0;     ///< per replica instantiated
+  double seconds_full_rerun = 5.0;      ///< fixed re-optimization cost
+  double seconds_per_shed = 0.05;       ///< per request shed / restored
+  /// Safety factor over the stability minimum when shrinking instance
+  /// counts during degradation (M' ≥ headroom · Λ / (ρ_max·μ)).
+  double degrade_headroom = 1.1;
+  /// Re-admit shed requests when capacity returns.
+  bool readmit_on_recovery = true;
+
+  void validate() const;
+};
+
+/// Deterministic seeded failure storm over `node_count` nodes: failures
+/// and recoveries interleave with exponential inter-event times of mean
+/// `mean_interval`, never taking more than `max_concurrent_down` nodes
+/// down at once (clamped to node_count − 1 so one survivor always
+/// remains).  Same rng state in → identical storm out.
+[[nodiscard]] std::vector<ChurnEvent> make_failure_storm(
+    std::size_t node_count, std::size_t event_count, Rng& rng,
+    double mean_interval = 5.0, std::size_t max_concurrent_down = 2);
+
+/// Stateful controller; all randomness flows from the construction seed.
+class ResilienceController {
+ public:
+  /// Deploys `model` (escalating through replication/degradation if even
+  /// the initial pipeline does not fit).  Throws std::invalid_argument on
+  /// malformed input.
+  ResilienceController(SystemModel model, ResilienceConfig config,
+                       std::uint64_t seed);
+
+  /// Processes one failure or recovery and returns its report.
+  RecoveryReport on_event(const ChurnEvent& event);
+
+  /// Processes a whole stream in order; returns one report per event.
+  std::vector<RecoveryReport> replay(std::span<const ChurnEvent> events);
+
+  /// The currently deployed solution (over deployed_model()).
+  [[nodiscard]] const JointResult& deployment() const { return current_; }
+
+  /// The model the deployment was computed on: degraded topology (down
+  /// nodes carry ~zero capacity) and the non-shed workload subset.
+  [[nodiscard]] const SystemModel& deployed_model() const {
+    return deployed_;
+  }
+
+  /// The full workload the controller wants to serve (base requests, VNFs
+  /// possibly split into replicas), including currently shed requests.
+  [[nodiscard]] const workload::Workload& active_workload() const {
+    return active_;
+  }
+
+  [[nodiscard]] bool is_down(NodeId node) const {
+    return down_[node.index()];
+  }
+  [[nodiscard]] std::size_t down_count() const;
+  [[nodiscard]] std::size_t shed_count() const;
+
+  /// Σ λ_r of requests currently served (deployed and admitted) divided by
+  /// Σ λ_r of the base workload — the availability the reports carry.
+  [[nodiscard]] double served_fraction() const;
+
+  /// Every report produced so far, in event order.
+  [[nodiscard]] const std::vector<RecoveryReport>& history() const {
+    return history_;
+  }
+
+ private:
+  /// Deployable model: degraded topology + non-shed requests with dense
+  /// ids, plus maps back to active-workload indices.
+  struct Build {
+    SystemModel model;
+    std::vector<std::uint32_t> vnf_to_active;
+    std::vector<std::uint32_t> req_to_active;
+    bool empty = false;  ///< nothing left to deploy (all requests shed)
+  };
+
+  [[nodiscard]] Build build_deployable() const;
+  /// Runs the pipeline on a build; returns feasibility.
+  bool try_deploy(Build build, RecoveryReport& report);
+  /// Rung 4: sheds lowest-rate requests (geometric batches) until a deploy
+  /// fits; updates the report.
+  void degrade(RecoveryReport& report);
+  void handle_failure(const ChurnEvent& event, RecoveryReport& report);
+  void handle_recovery(const ChurnEvent& event, RecoveryReport& report);
+  /// Counts assignment changes between the current deploy and a candidate
+  /// one, matching VNFs through the active-workload index maps.
+  [[nodiscard]] std::size_t count_migrations(
+      const Build& build, const placement::Placement& next) const;
+  void finish_report(RecoveryReport& report);
+
+  SystemModel base_;            ///< pristine topology + workload
+  ResilienceConfig cfg_;
+  Rng rng_;
+  workload::Workload active_;   ///< base workload after replica splits
+  std::vector<bool> down_;      ///< by NodeId
+  std::vector<bool> shed_;      ///< by active request index
+  SystemModel deployed_;
+  std::vector<std::uint32_t> deployed_vnf_to_active_;
+  std::vector<std::uint32_t> deployed_req_to_active_;
+  JointResult current_;
+  double base_total_rate_ = 0.0;
+  std::vector<RecoveryReport> history_;
+};
+
+}  // namespace nfv::core

@@ -1,0 +1,490 @@
+#include "nfv/core/resilience.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "nfv/common/error.h"
+#include "nfv/core/failure_repair.h"
+#include "nfv/core/replication.h"
+#include "nfv/placement/metrics.h"
+#include "nfv/placement/problem.h"
+
+namespace nfv::core {
+
+namespace {
+
+/// Capacity assigned to a down node in the degraded topology: positive (so
+/// PlacementProblem::validate passes) but far below any realistic demand,
+/// so no placement algorithm ever targets it.
+constexpr double kDownCapacity = 1e-12;
+
+/// Clones `base` with down nodes' capacity clamped to ~zero.  Vertex order
+/// is preserved, so NodeIds and link structure are identical to the base.
+topo::Topology make_degraded_topology(const topo::Topology& base,
+                                      const std::vector<bool>& down) {
+  topo::Topology out;
+  std::uint32_t next_compute = 0;
+  for (std::uint32_t v = 0; v < base.vertex_count(); ++v) {
+    const topo::Vertex& vertex = base.vertex(v);
+    if (vertex.kind == topo::VertexKind::kCompute) {
+      const NodeId id{next_compute++};
+      out.add_compute(down[id.index()] ? kDownCapacity : base.capacity(id),
+                      vertex.label);
+    } else {
+      out.add_switch(vertex.label);
+    }
+  }
+  for (std::uint32_t l = 0; l < base.link_count(); ++l) {
+    const topo::Link& link = base.link(LinkId{l});
+    out.connect(link.a, link.b, link.latency);
+  }
+  out.freeze();
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(RecoveryAction action) {
+  switch (action) {
+    case RecoveryAction::kNone: return "none";
+    case RecoveryAction::kLocalRepair: return "local-repair";
+    case RecoveryAction::kReplicaSplit: return "replica-split";
+    case RecoveryAction::kFullRerun: return "full-rerun";
+    case RecoveryAction::kDegrade: return "degrade";
+  }
+  return "?";
+}
+
+std::vector<ChurnEvent> make_failure_storm(std::size_t node_count,
+                                           std::size_t event_count, Rng& rng,
+                                           double mean_interval,
+                                           std::size_t max_concurrent_down) {
+  NFV_REQUIRE(node_count >= 2);
+  NFV_REQUIRE(mean_interval > 0.0);
+  max_concurrent_down =
+      std::clamp<std::size_t>(max_concurrent_down, 1, node_count - 1);
+  std::vector<bool> down(node_count, false);
+  std::size_t down_count = 0;
+  std::vector<ChurnEvent> events;
+  events.reserve(event_count);
+  double t = 0.0;
+  for (std::size_t i = 0; i < event_count; ++i) {
+    t += rng.exponential(1.0 / mean_interval);
+    const bool fail = down_count == 0 ||
+                      (down_count < max_concurrent_down && rng.chance(0.5));
+    // Uniform draw over the eligible nodes (up ones for a failure, down
+    // ones for a recovery).
+    const std::size_t eligible = fail ? node_count - down_count : down_count;
+    std::uint64_t pick = rng.below(eligible);
+    std::uint32_t node = 0;
+    for (std::uint32_t v = 0; v < node_count; ++v) {
+      if (down[v] != fail) {  // up nodes when failing, down when recovering
+        if (pick == 0) {
+          node = v;
+          break;
+        }
+        --pick;
+      }
+    }
+    down[node] = fail;
+    if (fail) {
+      ++down_count;
+    } else {
+      --down_count;
+    }
+    events.push_back(ChurnEvent{t, NodeId{node}, !fail});
+  }
+  return events;
+}
+
+void ResilienceConfig::validate() const {
+  NFV_REQUIRE(seconds_per_migration >= 0.0);
+  NFV_REQUIRE(seconds_per_replica >= 0.0);
+  NFV_REQUIRE(seconds_full_rerun >= 0.0);
+  NFV_REQUIRE(seconds_per_shed >= 0.0);
+  NFV_REQUIRE(degrade_headroom >= 1.0);
+}
+
+ResilienceController::ResilienceController(SystemModel model,
+                                           ResilienceConfig config,
+                                           std::uint64_t seed)
+    : base_(std::move(model)), cfg_(std::move(config)), rng_(seed) {
+  base_.validate();
+  cfg_.validate();
+  (void)JointOptimizer(cfg_.joint);  // validates the joint knobs early
+  active_ = base_.workload;
+  down_.assign(base_.topology.compute_count(), false);
+  shed_.assign(active_.requests.size(), false);
+  for (const auto& r : base_.workload.requests) {
+    base_total_rate_ += r.arrival_rate;
+  }
+
+  // Initial deployment: pipeline, then the non-local rungs of the ladder
+  // if even the pristine model does not fit (over-provisioned demand is
+  // exactly the Sang et al. regime graceful degradation is for).
+  RecoveryReport bootstrap;
+  if (!try_deploy(build_deployable(), bootstrap)) {
+    double max_cap = 0.0;
+    for (const NodeId v : base_.topology.nodes()) {
+      max_cap = std::max(max_cap, base_.topology.capacity(v));
+    }
+    bool split_ok = true;
+    try {
+      ReplicationPlan plan = split_oversized(active_, max_cap);
+      if (plan.changed) active_ = std::move(plan.workload);
+    } catch (const InfeasibleError&) {
+      split_ok = false;  // some instance fits nowhere; shed around it
+    }
+    if (!split_ok || !try_deploy(build_deployable(), bootstrap)) {
+      degrade(bootstrap);
+    }
+  }
+}
+
+std::size_t ResilienceController::down_count() const {
+  return static_cast<std::size_t>(
+      std::count(down_.begin(), down_.end(), true));
+}
+
+std::size_t ResilienceController::shed_count() const {
+  return static_cast<std::size_t>(
+      std::count(shed_.begin(), shed_.end(), true));
+}
+
+double ResilienceController::served_fraction() const {
+  if (!current_.feasible || base_total_rate_ <= 0.0) return 0.0;
+  double served = 0.0;
+  for (std::size_t r = 0; r < deployed_.workload.requests.size(); ++r) {
+    if (current_.requests[r].admitted) {
+      served += deployed_.workload.requests[r].arrival_rate;
+    }
+  }
+  return served / base_total_rate_;
+}
+
+ResilienceController::Build ResilienceController::build_deployable() const {
+  Build build;
+  build.model.topology = make_degraded_topology(base_.topology, down_);
+
+  // Requests that stay deployed, in active (== base) index order.
+  std::vector<std::uint32_t> kept_requests;
+  for (std::uint32_t r = 0; r < active_.requests.size(); ++r) {
+    if (!shed_[r]) kept_requests.push_back(r);
+  }
+  if (kept_requests.empty()) {
+    build.empty = true;
+    return build;
+  }
+
+  // A VNF stays deployed iff at least one kept request traverses it.
+  std::vector<std::vector<std::uint32_t>> members(active_.vnfs.size());
+  for (const std::uint32_t r : kept_requests) {
+    for (const VnfId f : active_.requests[r].chain) {
+      members[f.index()].push_back(r);
+    }
+  }
+  const bool any_shed = kept_requests.size() < active_.requests.size();
+  std::vector<std::uint32_t> active_to_new(active_.vnfs.size(), 0);
+  for (std::uint32_t f = 0; f < active_.vnfs.size(); ++f) {
+    if (members[f].empty()) continue;
+    workload::Vnf vnf = active_.vnfs[f];
+    vnf.id = VnfId{static_cast<std::uint32_t>(build.model.workload.vnfs.size())};
+    // Degradation shrinks the footprint with the surviving demand: just
+    // enough instances for Λ < ρ_max·μ with headroom, within Eq. 3's
+    // M ≤ |R_f| and never scaling out past the active M.
+    auto max_instances =
+        static_cast<std::uint32_t>(std::min<std::size_t>(
+            vnf.instance_count, members[f].size()));
+    if (any_shed) {
+      double total_eff = 0.0;
+      for (const std::uint32_t r : members[f]) {
+        total_eff += active_.requests[r].effective_rate();
+      }
+      const auto needed = static_cast<std::uint32_t>(std::ceil(
+          cfg_.degrade_headroom * total_eff /
+          (cfg_.joint.rho_max * vnf.service_rate)));
+      vnf.instance_count = std::clamp(needed, 1u, max_instances);
+    } else {
+      vnf.instance_count = std::max(1u, max_instances);
+    }
+    active_to_new[f] = vnf.id.value();
+    build.vnf_to_active.push_back(f);
+    build.model.workload.vnfs.push_back(std::move(vnf));
+  }
+
+  for (const std::uint32_t r : kept_requests) {
+    workload::Request request = active_.requests[r];
+    request.id = RequestId{
+        static_cast<std::uint32_t>(build.model.workload.requests.size())};
+    for (VnfId& hop : request.chain) {
+      hop = VnfId{active_to_new[hop.index()]};
+    }
+    build.req_to_active.push_back(r);
+    build.model.workload.requests.push_back(std::move(request));
+  }
+  return build;
+}
+
+std::size_t ResilienceController::count_migrations(
+    const Build& build, const placement::Placement& next) const {
+  // Active VNF index -> host in the current deployment.
+  std::unordered_map<std::uint32_t, NodeId> prev;
+  if (current_.feasible) {
+    for (std::size_t f = 0; f < deployed_vnf_to_active_.size(); ++f) {
+      prev.emplace(deployed_vnf_to_active_[f],
+                   *current_.placement.assignment[f]);
+    }
+  }
+  std::size_t migrations = 0;
+  for (std::size_t f = 0; f < build.vnf_to_active.size(); ++f) {
+    const auto it = prev.find(build.vnf_to_active[f]);
+    // A VNF with no previous host (fresh replica, redeploy from outage) is
+    // an instantiation — charged like a migration.
+    if (it == prev.end() || it->second != *next.assignment[f]) ++migrations;
+  }
+  return migrations;
+}
+
+bool ResilienceController::try_deploy(Build build, RecoveryReport& report) {
+  if (build.empty) return false;
+  JointResult result = JointOptimizer(cfg_.joint).run(build.model, rng_.next());
+  if (!result.feasible) return false;
+  const std::size_t migrations = count_migrations(build, result.placement);
+  report.vnfs_migrated += migrations;
+  report.time_to_recover +=
+      cfg_.seconds_full_rerun +
+      static_cast<double>(migrations) * cfg_.seconds_per_migration;
+  deployed_ = std::move(build.model);
+  deployed_vnf_to_active_ = std::move(build.vnf_to_active);
+  deployed_req_to_active_ = std::move(build.req_to_active);
+  current_ = std::move(result);
+  return true;
+}
+
+void ResilienceController::degrade(RecoveryReport& report) {
+  report.attempted.push_back(RecoveryAction::kDegrade);
+  // Non-shed requests, cheapest (lowest λ) first; ties by index so the
+  // shed sequence is deterministic.
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t r = 0; r < active_.requests.size(); ++r) {
+    if (!shed_[r]) order.push_back(r);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return active_.requests[a].arrival_rate <
+                            active_.requests[b].arrival_rate;
+                   });
+  // Shed a geometrically growing prefix of `order` until the pipeline
+  // fits (O(log |R|) runs), then binary-search the minimal fitting prefix
+  // in (last failing, first fitting] so low-rate requests are not
+  // overshed.  Probes are feasibility-only — nothing is committed and the
+  // report is untouched until the winning prefix deploys for real below.
+  const auto shed_prefix = [&](std::size_t n) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      shed_[order[i]] = i < n;
+    }
+  };
+  const auto prefix_fits = [&](std::size_t n) {
+    shed_prefix(n);
+    const Build build = build_deployable();
+    if (build.empty) return false;
+    return JointOptimizer(cfg_.joint).run(build.model, rng_.next()).feasible;
+  };
+  std::size_t lo = 0;  // largest prefix known NOT to fit
+  std::size_t hi = 0;  // smallest prefix known to fit (once found)
+  bool fits = false;
+  for (std::size_t batch = 1; !fits;) {
+    const std::size_t probe = std::min(lo + batch, order.size());
+    if (prefix_fits(probe)) {
+      hi = probe;
+      fits = true;
+    } else {
+      lo = probe;
+      if (probe == order.size()) break;  // nothing left to shed
+      batch *= 2;
+    }
+  }
+  while (fits && hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (prefix_fits(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  // Commit the winning prefix.  The committing run draws a fresh pipeline
+  // seed, so on a borderline instance it can miss the packing a probe
+  // found — shed one more and retry rather than give up.
+  while (fits) {
+    shed_prefix(hi);
+    if (try_deploy(build_deployable(), report)) {
+      report.requests_shed = hi;
+      report.resolution = RecoveryAction::kDegrade;
+      report.time_to_recover +=
+          static_cast<double>(hi) * cfg_.seconds_per_shed;
+      return;
+    }
+    if (hi == order.size()) break;
+    ++hi;
+  }
+  const std::size_t shed_now = order.size();
+  // Even the empty-but-one deployment failed: total outage.
+  report.requests_shed = shed_now;
+  report.resolution = RecoveryAction::kNone;
+  current_ = JointResult{};
+  deployed_ = SystemModel{};
+  deployed_.topology = make_degraded_topology(base_.topology, down_);
+  deployed_vnf_to_active_.clear();
+  deployed_req_to_active_.clear();
+}
+
+void ResilienceController::handle_failure(const ChurnEvent& event,
+                                          RecoveryReport& report) {
+  if (down_[event.node.index()]) return;  // duplicate DOWN
+  down_[event.node.index()] = true;
+
+  if (current_.feasible) {
+    std::size_t displaced = 0;
+    for (const auto& host : current_.placement.assignment) {
+      if (*host == event.node) ++displaced;
+    }
+    report.vnfs_displaced = displaced;
+    if (displaced == 0) {
+      // The node was idle; keep the deployment, refresh the capacity view.
+      deployed_.topology = make_degraded_topology(base_.topology, down_);
+      return;
+    }
+
+    // Rung 1 — local repair: move only the displaced VNFs, keep schedules.
+    report.attempted.push_back(RecoveryAction::kLocalRepair);
+    SystemModel repair_model;
+    repair_model.topology = make_degraded_topology(base_.topology, down_);
+    repair_model.workload = deployed_.workload;
+    const RepairResult repair =
+        repair_after_node_failure(repair_model, current_, event.node, rng_);
+    if (repair.feasible) {
+      current_.placement = repair.placement;
+      current_.placement_metrics = placement::evaluate(
+          placement::make_problem(repair_model.topology,
+                                  repair_model.workload),
+          current_.placement);
+      deployed_.topology = std::move(repair_model.topology);
+      report.vnfs_migrated = repair.displaced.size();
+      report.resolution = RecoveryAction::kLocalRepair;
+      report.time_to_recover +=
+          static_cast<double>(repair.displaced.size()) *
+          cfg_.seconds_per_migration;
+      return;
+    }
+  }
+
+  double max_cap = 0.0;
+  for (const NodeId v : base_.topology.nodes()) {
+    if (!down_[v.index()]) {
+      max_cap = std::max(max_cap, base_.topology.capacity(v));
+    }
+  }
+  if (max_cap > 0.0) {
+    // Rung 2 — replica split, only when some deployable VNF's footprint no
+    // longer fits any surviving node.
+    bool oversized = false;
+    for (const auto& vnf : active_.vnfs) {
+      if (vnf.total_demand() > max_cap) {
+        oversized = true;
+        break;
+      }
+    }
+    if (oversized) {
+      report.attempted.push_back(RecoveryAction::kReplicaSplit);
+      try {
+        ReplicationPlan plan = split_oversized(active_, max_cap);
+        if (plan.changed) {
+          report.replicas_added = plan.added();
+          active_ = std::move(plan.workload);
+          report.time_to_recover +=
+              static_cast<double>(report.replicas_added) *
+              cfg_.seconds_per_replica;
+        }
+        if (try_deploy(build_deployable(), report)) {
+          report.resolution = RecoveryAction::kReplicaSplit;
+          return;
+        }
+      } catch (const InfeasibleError&) {
+        // A single instance exceeds every survivor; only shedding helps.
+      }
+    }
+
+    // Rung 3 — full pipeline re-run on the degraded topology.
+    report.attempted.push_back(RecoveryAction::kFullRerun);
+    if (try_deploy(build_deployable(), report)) {
+      report.resolution = RecoveryAction::kFullRerun;
+      return;
+    }
+  }
+
+  // Rung 4 — graceful degradation.
+  degrade(report);
+}
+
+void ResilienceController::handle_recovery(const ChurnEvent& event,
+                                           RecoveryReport& report) {
+  if (!down_[event.node.index()]) return;  // duplicate UP
+  down_[event.node.index()] = false;
+
+  const std::size_t prev_shed = shed_count();
+  if (!cfg_.readmit_on_recovery || (prev_shed == 0 && current_.feasible)) {
+    // Nothing to restore; the deployment ignores the returning node.
+    deployed_.topology = make_degraded_topology(base_.topology, down_);
+    return;
+  }
+
+  // Restore: clear the shed set and re-run on the recovered capacity.
+  report.attempted.push_back(RecoveryAction::kFullRerun);
+  std::fill(shed_.begin(), shed_.end(), false);
+  if (try_deploy(build_deployable(), report)) {
+    report.requests_restored = prev_shed;
+    report.resolution = RecoveryAction::kFullRerun;
+    report.time_to_recover +=
+        static_cast<double>(prev_shed) * cfg_.seconds_per_shed;
+    return;
+  }
+  // Still short on capacity: degrade again, restoring what fits.
+  degrade(report);
+  const std::size_t still_shed = shed_count();
+  report.requests_restored =
+      prev_shed > still_shed ? prev_shed - still_shed : 0;
+}
+
+RecoveryReport ResilienceController::on_event(const ChurnEvent& event) {
+  NFV_REQUIRE(event.node.index() < base_.topology.compute_count());
+  RecoveryReport report;
+  report.time = event.time;
+  report.node = event.node;
+  report.node_up = event.up;
+  if (event.up) {
+    handle_recovery(event, report);
+  } else {
+    handle_failure(event, report);
+  }
+  finish_report(report);
+  history_.push_back(report);
+  return report;
+}
+
+std::vector<RecoveryReport> ResilienceController::replay(
+    std::span<const ChurnEvent> events) {
+  std::vector<RecoveryReport> reports;
+  reports.reserve(events.size());
+  for (const ChurnEvent& event : events) {
+    reports.push_back(on_event(event));
+  }
+  return reports;
+}
+
+void ResilienceController::finish_report(RecoveryReport& report) {
+  report.recovered = current_.feasible;
+  report.availability = served_fraction();
+}
+
+}  // namespace nfv::core

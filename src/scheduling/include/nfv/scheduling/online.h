@@ -46,7 +46,7 @@ class OnlineScheduler {
   OnlineScheduler(std::uint32_t instance_count, Options options);
 
   /// Admits a request; returns its instance.  Throws if the id is already
-  /// present or the rate is not positive.
+  /// present or the rate is not positive and finite (NaN/inf rejected).
   InstanceIndex add(RequestId id, double rate);
 
   /// Removes a request.  Throws if unknown.

@@ -20,6 +20,9 @@ InstanceIndex OnlineScheduler::least_loaded() const {
 }
 
 InstanceIndex OnlineScheduler::add(RequestId id, double rate) {
+  // A NaN or infinite λ would poison the load vector for every later
+  // imbalance/rebalance decision; reject it at the door.
+  NFV_REQUIRE(std::isfinite(rate));
   NFV_REQUIRE(rate > 0.0);
   NFV_REQUIRE(!requests_.contains(id));
   const InstanceIndex k = least_loaded();

@@ -129,6 +129,65 @@ TEST(FailureRepair, ReportsInfeasibilityWhenSurvivorsCannotAbsorb) {
   }
 }
 
+TEST(FailureRepair, PropertyRandomizedRepairsAreSound) {
+  // Randomized sweep over scenarios and failed nodes.  Whatever the
+  // greedy decides, a feasible repair must (a) evacuate the failed node,
+  // (b) leave survivors untouched, and (c) respect every residual
+  // capacity; an infeasible one must return the input placement intact.
+  std::size_t feasible_repairs = 0;
+  std::size_t infeasible_repairs = 0;
+  for (std::uint64_t trial = 0; trial < 40; ++trial) {
+    Rng scenario_rng(1000 + trial);
+    const double demand = scenario_rng.uniform(30.0, 330.0);
+    const SystemModel model =
+        make_model(2000 + trial, 900.0, 2200.0, demand);
+    const JointResult result =
+        JointOptimizer{JointConfig{}}.run(model, 3000 + trial);
+    if (!result.feasible) continue;
+    // Alternate between an adversarial target (the busiest node, most
+    // likely to overflow the survivors) and a uniformly random one.
+    const NodeId failed =
+        trial % 2 == 0 ? busiest_node(model, result)
+                       : NodeId{static_cast<std::uint32_t>(scenario_rng.below(
+                             model.topology.compute_count()))};
+    Rng repair_rng(4000 + trial);
+    const RepairResult repair =
+        repair_after_node_failure(model, result, failed, repair_rng);
+
+    if (!repair.feasible) {
+      ++infeasible_repairs;
+      for (std::size_t f = 0; f < model.workload.vnfs.size(); ++f) {
+        EXPECT_EQ(*repair.placement.assignment[f],
+                  *result.placement.assignment[f]);
+      }
+      continue;
+    }
+    ++feasible_repairs;
+    std::vector<double> used(model.topology.compute_count(), 0.0);
+    for (std::size_t f = 0; f < model.workload.vnfs.size(); ++f) {
+      const NodeId before = *result.placement.assignment[f];
+      const NodeId after = *repair.placement.assignment[f];
+      EXPECT_NE(after, failed);
+      if (before != failed) {
+        EXPECT_EQ(after, before);
+      }
+      used[after.index()] += model.workload.vnfs[f].total_demand();
+    }
+    for (const NodeId v : model.topology.nodes()) {
+      EXPECT_LE(used[v.index()],
+                model.topology.capacity(v) + 1e-6);
+    }
+    const std::size_t displaced_expected = static_cast<std::size_t>(
+        std::count_if(result.placement.assignment.begin(),
+                      result.placement.assignment.end(),
+                      [&](const auto& host) { return *host == failed; }));
+    EXPECT_EQ(repair.displaced.size(), displaced_expected);
+  }
+  // The sweep must have exercised both outcomes to mean anything.
+  EXPECT_GT(feasible_repairs, 0u);
+  EXPECT_GT(infeasible_repairs, 0u);
+}
+
 TEST(FailureRepair, ValidatesInput) {
   const SystemModel model = make_model(7, 1500.0, 2500.0, 30.0);
   JointResult infeasible;

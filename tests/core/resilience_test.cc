@@ -1,0 +1,307 @@
+// ResilienceController: the escalation ladder, shed/readmit bookkeeping,
+// storm determinism and the seeded storm generator itself.
+#include "nfv/core/resilience.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nfv/topology/builders.h"
+#include "nfv/workload/generator.h"
+
+namespace nfv::core {
+namespace {
+
+SystemModel generated_model(std::uint64_t seed, double demand) {
+  Rng rng(seed);
+  SystemModel model;
+  model.topology = topo::make_star(8, topo::CapacitySpec{1000.0, 1800.0},
+                                   topo::LinkSpec{2e-4}, rng);
+  workload::WorkloadConfig cfg;
+  cfg.vnf_count = 12;
+  cfg.request_count = 80;
+  cfg.fixed_demand_per_instance = demand;
+  cfg.chain_template_count = 10;
+  model.workload = workload::WorkloadGenerator(cfg).generate(rng);
+  return model;
+}
+
+NodeId busiest_node(const ResilienceController& controller) {
+  std::vector<int> count(
+      controller.deployed_model().topology.compute_count(), 0);
+  for (const auto& host : controller.deployment().placement.assignment) {
+    ++count[host->index()];
+  }
+  return NodeId{static_cast<std::uint32_t>(std::distance(
+      count.begin(), std::max_element(count.begin(), count.end())))};
+}
+
+TEST(Resilience, DeploysOnConstruction) {
+  const ResilienceController controller(generated_model(1, 70.0), {}, 1);
+  EXPECT_TRUE(controller.deployment().feasible);
+  EXPECT_EQ(controller.shed_count(), 0u);
+  EXPECT_DOUBLE_EQ(controller.served_fraction(), 1.0);
+  EXPECT_TRUE(controller.history().empty());
+}
+
+TEST(Resilience, ValidatesConfigAndEvents) {
+  ResilienceConfig bad;
+  bad.seconds_per_migration = -1.0;
+  EXPECT_THROW(ResilienceController(generated_model(1, 70.0), bad, 1),
+               std::invalid_argument);
+
+  ResilienceController controller(generated_model(1, 70.0), {}, 1);
+  EXPECT_THROW((void)controller.on_event({0.0, NodeId{99}, false}),
+               std::invalid_argument);
+}
+
+TEST(Resilience, IdleNodeFailureNeedsNoAction) {
+  SystemModel model = generated_model(2, 40.0);
+  ResilienceController controller(model, {}, 2);
+  // With tiny demand the placement consolidates; some node hosts nothing.
+  std::vector<bool> used(model.topology.compute_count(), false);
+  for (const auto& host : controller.deployment().placement.assignment) {
+    used[host->index()] = true;
+  }
+  const auto idle = std::find(used.begin(), used.end(), false);
+  ASSERT_NE(idle, used.end());
+  const NodeId node{static_cast<std::uint32_t>(
+      std::distance(used.begin(), idle))};
+
+  const auto report = controller.on_event({1.0, node, false});
+  EXPECT_EQ(report.resolution, RecoveryAction::kNone);
+  EXPECT_TRUE(report.attempted.empty());
+  EXPECT_TRUE(report.recovered);
+  EXPECT_EQ(report.vnfs_displaced, 0u);
+  EXPECT_DOUBLE_EQ(report.availability, 1.0);
+}
+
+TEST(Resilience, LightLoadFailureResolvesByLocalRepair) {
+  ResilienceController controller(generated_model(3, 70.0), {}, 3);
+  const NodeId victim = busiest_node(controller);
+  const auto report = controller.on_event({1.0, victim, false});
+  EXPECT_EQ(report.resolution, RecoveryAction::kLocalRepair);
+  EXPECT_TRUE(report.recovered);
+  EXPECT_GT(report.vnfs_displaced, 0u);
+  EXPECT_EQ(report.vnfs_migrated, report.vnfs_displaced);
+  EXPECT_EQ(report.requests_shed, 0u);
+  EXPECT_GT(report.time_to_recover, 0.0);
+  // Nothing may remain on (or move to) the dead node.
+  for (const auto& host : controller.deployment().placement.assignment) {
+    EXPECT_NE(*host, victim);
+  }
+}
+
+TEST(Resilience, DuplicateFailureEventIsIdempotent) {
+  ResilienceController controller(generated_model(3, 70.0), {}, 3);
+  const NodeId victim = busiest_node(controller);
+  (void)controller.on_event({1.0, victim, false});
+  const auto dup = controller.on_event({2.0, victim, false});
+  EXPECT_EQ(dup.resolution, RecoveryAction::kNone);
+  EXPECT_EQ(dup.vnfs_migrated, 0u);
+  EXPECT_EQ(controller.down_count(), 1u);
+}
+
+/// Three 500-capacity nodes, three 400-footprint single-instance VNFs:
+/// the fabric fits exactly one VNF per node, so losing any node leaves
+/// nowhere to repair to, no oversized VNF to split, and no feasible full
+/// re-run — only shedding every request of one VNF (which removes that
+/// VNF from the deployable set) can recover.  VNF "C" carries the
+/// lowest-rate requests, so the shed must land on it.
+SystemModel tight_three_node_model() {
+  SystemModel model;
+  const std::uint32_t hub = [&] {
+    model.topology.add_compute(500.0, "n0");
+    model.topology.add_compute(500.0, "n1");
+    model.topology.add_compute(500.0, "n2");
+    return model.topology.add_switch("hub");
+  }();
+  for (std::uint32_t v = 0; v < model.topology.vertex_count(); ++v) {
+    if (v != hub) model.topology.connect(v, hub, 1e-4);
+  }
+  model.topology.freeze();
+
+  const double rates[3][4] = {{50.0, 50.0, 50.0, 50.0},
+                              {40.0, 40.0, 40.0, 40.0},
+                              {1.0, 2.0, 3.0, 4.0}};
+  std::uint32_t rid = 0;
+  for (std::uint32_t f = 0; f < 3; ++f) {
+    workload::Vnf vnf;
+    vnf.id = VnfId{f};
+    vnf.name = std::string(1, static_cast<char>('A' + f));
+    vnf.demand_per_instance = 400.0;
+    vnf.instance_count = 1;
+    vnf.service_rate = 300.0;
+    model.workload.vnfs.push_back(vnf);
+    for (std::uint32_t r = 0; r < 4; ++r) {
+      workload::Request req;
+      req.id = RequestId{rid++};
+      req.chain = {VnfId{f}};
+      req.arrival_rate = rates[f][r];
+      req.delivery_prob = 1.0;
+      model.workload.requests.push_back(req);
+    }
+  }
+  return model;
+}
+
+TEST(Resilience, DegradesWhenNothingElseFitsThenReadmitsOnRecovery) {
+  ResilienceController controller(tight_three_node_model(), {}, 4);
+  ASSERT_TRUE(controller.deployment().feasible);
+  ASSERT_DOUBLE_EQ(controller.served_fraction(), 1.0);
+
+  const NodeId victim = busiest_node(controller);
+  const auto down = controller.on_event({1.0, victim, false});
+  EXPECT_EQ(down.resolution, RecoveryAction::kDegrade);
+  // The whole ladder was climbed before shedding.
+  EXPECT_EQ(down.attempted.size(), 3u);
+  EXPECT_EQ(down.attempted.front(), RecoveryAction::kLocalRepair);
+  EXPECT_TRUE(down.recovered);
+  EXPECT_GT(down.requests_shed, 0u);
+  EXPECT_LT(down.availability, 1.0);
+  EXPECT_GT(down.availability, 0.0);
+  EXPECT_EQ(controller.shed_count(), down.requests_shed);
+
+  const auto up = controller.on_event({2.0, victim, true});
+  EXPECT_TRUE(up.recovered);
+  EXPECT_EQ(up.requests_restored, down.requests_shed);
+  EXPECT_EQ(controller.shed_count(), 0u);
+  EXPECT_DOUBLE_EQ(up.availability, 1.0);
+}
+
+TEST(Resilience, ShedPrefersLowRateRequests) {
+  ResilienceController controller(tight_three_node_model(), {}, 4);
+  const NodeId victim = busiest_node(controller);
+  const auto report = controller.on_event({1.0, victim, false});
+  ASSERT_EQ(report.resolution, RecoveryAction::kDegrade);
+  // Only VNF "C"'s four low-rate requests (λ = 1..4 of Σλ = 370) may be
+  // shed: 4 of 12 requests but < 3% of the offered rate.
+  EXPECT_EQ(report.requests_shed, 4u);
+  EXPECT_NEAR(controller.served_fraction(), 360.0 / 370.0, 1e-9);
+}
+
+TEST(Resilience, OversizedVnfTriggersReplicaSplit) {
+  // One big node hosts a VNF whose footprint exceeds every other node;
+  // killing it forces a replica split before anything can be redeployed.
+  SystemModel model;
+  model.topology.add_compute(2000.0, "big");
+  const std::uint32_t hub = model.topology.add_switch("hub");
+  for (int i = 0; i < 4; ++i) {
+    model.topology.add_compute(700.0, "small" + std::to_string(i));
+  }
+  for (std::uint32_t v = 0; v < model.topology.vertex_count(); ++v) {
+    if (v != hub) model.topology.connect(v, hub, 1e-4);
+  }
+  model.topology.freeze();
+
+  workload::Vnf big;
+  big.id = VnfId{0};
+  big.name = "BIG";
+  big.demand_per_instance = 300.0;
+  big.instance_count = 4;  // footprint 1200: only "big" can host it whole
+  big.service_rate = 100.0;
+  model.workload.vnfs.push_back(big);
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    workload::Request req;
+    req.id = RequestId{r};
+    req.chain = {VnfId{0}};
+    req.arrival_rate = 10.0;
+    req.delivery_prob = 1.0;
+    model.workload.requests.push_back(req);
+  }
+
+  ResilienceController controller(model, {}, 5);
+  ASSERT_TRUE(controller.deployment().feasible);
+  const auto report = controller.on_event({1.0, NodeId{0}, false});
+  EXPECT_EQ(report.resolution, RecoveryAction::kReplicaSplit);
+  EXPECT_TRUE(report.recovered);
+  EXPECT_GT(report.replicas_added, 0u);
+  EXPECT_EQ(report.requests_shed, 0u);
+  // The active workload now carries the replicas, every footprint fitting
+  // a surviving node.
+  EXPECT_GT(controller.active_workload().vnfs.size(), 1u);
+  for (const auto& vnf : controller.active_workload().vnfs) {
+    EXPECT_LE(vnf.total_demand(), 700.0);
+  }
+}
+
+TEST(Resilience, TotalOutageShedsEverythingAndRecovers) {
+  SystemModel model = generated_model(6, 70.0);
+  ResilienceController controller(model, {}, 6);
+  const auto nodes = model.topology.compute_count();
+  for (std::uint32_t v = 0; v < nodes; ++v) {
+    (void)controller.on_event({1.0 + v, NodeId{v}, false});
+  }
+  EXPECT_EQ(controller.down_count(), nodes);
+  EXPECT_FALSE(controller.deployment().feasible);
+  EXPECT_DOUBLE_EQ(controller.served_fraction(), 0.0);
+  EXPECT_FALSE(controller.history().back().recovered);
+
+  // One node returning is not enough for everything, but service resumes.
+  const auto up = controller.on_event({100.0, NodeId{0}, true});
+  EXPECT_GT(up.availability, 0.0);
+  EXPECT_GT(up.requests_restored, 0u);
+}
+
+TEST(Resilience, ReplayIsDeterministic) {
+  const SystemModel model = generated_model(7, 150.0);
+  Rng storm_rng(7);
+  const auto storm = make_failure_storm(8, 30, storm_rng, 5.0, 6);
+
+  ResilienceController a(model, {}, 7);
+  ResilienceController b(model, {}, 7);
+  const auto ra = a.replay(storm);
+  const auto rb = b.replay(storm);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].resolution, rb[i].resolution);
+    EXPECT_EQ(ra[i].attempted, rb[i].attempted);
+    EXPECT_EQ(ra[i].vnfs_migrated, rb[i].vnfs_migrated);
+    EXPECT_EQ(ra[i].requests_shed, rb[i].requests_shed);
+    EXPECT_EQ(ra[i].requests_restored, rb[i].requests_restored);
+    EXPECT_DOUBLE_EQ(ra[i].time_to_recover, rb[i].time_to_recover);
+    EXPECT_DOUBLE_EQ(ra[i].availability, rb[i].availability);
+  }
+}
+
+TEST(Resilience, StormGeneratorIsSeededAndBounded) {
+  Rng rng_a(9);
+  Rng rng_b(9);
+  const auto a = make_failure_storm(6, 50, rng_a, 2.0, 3);
+  const auto b = make_failure_storm(6, 50, rng_b, 2.0, 3);
+  ASSERT_EQ(a.size(), 50u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].up, b[i].up);
+  }
+
+  // Times are non-decreasing, the first event is a failure, and the
+  // concurrently-down count stays within the cap.
+  EXPECT_FALSE(a.front().up);
+  std::vector<bool> down(6, false);
+  std::size_t down_count = 0;
+  double last = 0.0;
+  for (const auto& e : a) {
+    EXPECT_GE(e.time, last);
+    last = e.time;
+    EXPECT_LT(e.node.index(), 6u);
+    // A failure must hit an up node, a recovery a down one.
+    EXPECT_EQ(down[e.node.index()], e.up);
+    if (e.up) {
+      down[e.node.index()] = false;
+      --down_count;
+    } else {
+      down[e.node.index()] = true;
+      ++down_count;
+    }
+    EXPECT_LE(down_count, 3u);
+  }
+  EXPECT_THROW((void)make_failure_storm(1, 5, rng_a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nfv::core

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <numeric>
 
 #include "nfv/common/rng.h"
@@ -70,6 +71,24 @@ TEST(OnlineScheduler, RejectsDuplicatesAndUnknowns) {
   EXPECT_THROW((void)s.add(RequestId{1}, 3.0), std::invalid_argument);
   EXPECT_THROW(s.remove(RequestId{9}), std::invalid_argument);
   EXPECT_THROW((void)s.add(RequestId{2}, 0.0), std::invalid_argument);
+}
+
+TEST(OnlineScheduler, RejectsNonFiniteRates) {
+  // A NaN or infinite λ would poison every later load comparison; the
+  // scheduler must refuse it and stay unchanged.
+  OnlineScheduler s(2, manual());
+  s.add(RequestId{1}, 5.0);
+  EXPECT_THROW((void)s.add(RequestId{2},
+                           std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW((void)s.add(RequestId{3},
+                           std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW((void)s.add(RequestId{4},
+                           -std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_EQ(s.request_count(), 1u);
+  EXPECT_DOUBLE_EQ(s.loads()[0] + s.loads()[1], 5.0);
 }
 
 TEST(OnlineScheduler, RebalanceReducesImbalance) {

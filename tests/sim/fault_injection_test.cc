@@ -1,0 +1,211 @@
+// Fault-injection layer of the DES: deterministic timelines, stochastic
+// MTBF/MTTR churn, crash/retry semantics and the availability accounting.
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "nfv/sim/des.h"
+
+namespace nfv::sim {
+namespace {
+
+SimNetwork single_station(double mu = 50.0, double lambda = 10.0) {
+  SimNetwork net;
+  net.stations = {Station{mu}};
+  Flow f;
+  f.rate = lambda;
+  f.delivery_prob = 1.0;
+  f.path = {0};
+  net.flows.push_back(f);
+  return net;
+}
+
+SimConfig fault_config() {
+  SimConfig cfg;
+  cfg.duration = 100.0;
+  cfg.warmup = 10.0;
+  cfg.nack_delay = 0.01;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(FaultInjection, TimelineDowntimeIsExact) {
+  const SimNetwork net = single_station();
+  SimConfig cfg = fault_config();
+  cfg.faults.timeline = {{20.0, 0, false}, {30.0, 0, true}};
+  const SimResult r = simulate(net, cfg);
+  EXPECT_EQ(r.stations[0].failures, 1u);
+  EXPECT_NEAR(r.stations[0].downtime, 10.0, 1e-9);
+  EXPECT_NEAR(r.stations[0].availability, 1.0 - 10.0 / 90.0, 1e-9);
+  // The outage actually lost packets, and every loss was retried.
+  EXPECT_GT(r.stations[0].fault_drops, 0u);
+  EXPECT_EQ(r.flows[0].fault_retransmissions, r.stations[0].fault_drops);
+  // P = 1 and the station recovers, so traffic keeps being delivered.
+  EXPECT_GT(r.flows[0].delivered, 0u);
+  EXPECT_LE(r.flows[0].delivered, r.flows[0].generated);
+}
+
+TEST(FaultInjection, OutageIsWindowClipped) {
+  const SimNetwork net = single_station();
+  SimConfig cfg = fault_config();
+  // Entirely inside the warmup: must not count against the window.
+  cfg.faults.timeline = {{1.0, 0, false}, {5.0, 0, true}};
+  const SimResult r = simulate(net, cfg);
+  EXPECT_EQ(r.stations[0].failures, 0u);
+  EXPECT_DOUBLE_EQ(r.stations[0].downtime, 0.0);
+  EXPECT_DOUBLE_EQ(r.stations[0].availability, 1.0);
+}
+
+TEST(FaultInjection, OutageOpenAtHorizonIsClosed) {
+  const SimNetwork net = single_station();
+  SimConfig cfg = fault_config();
+  cfg.faults.timeline = {{95.0, 0, false}};  // never recovers
+  const SimResult r = simulate(net, cfg);
+  EXPECT_NEAR(r.stations[0].downtime, 5.0, 1e-9);
+  EXPECT_NEAR(r.stations[0].availability, 1.0 - 5.0 / 90.0, 1e-9);
+}
+
+TEST(FaultInjection, CrashFlushesQueueAndInService) {
+  // Overloaded station (λ > μ): a long queue is up when the crash hits,
+  // and every queued packet must be counted as a fault drop.
+  SimNetwork net = single_station(/*mu=*/1.0, /*lambda=*/5.0);
+  SimConfig cfg = fault_config();
+  cfg.faults.timeline = {{50.0, 0, false}, {51.0, 0, true}};
+  const SimResult r = simulate(net, cfg);
+  EXPECT_GT(r.stations[0].fault_drops, 5u);
+  EXPECT_GE(r.stations[0].mean_in_system, 0.0);
+}
+
+TEST(FaultInjection, DuplicateTimelineEntriesAreIdempotent) {
+  const SimNetwork net = single_station();
+  SimConfig cfg = fault_config();
+  cfg.faults.timeline = {{20.0, 0, false},
+                         {25.0, 0, false},   // already down
+                         {30.0, 0, true},
+                         {35.0, 0, true}};   // already up
+  const SimResult r = simulate(net, cfg);
+  EXPECT_EQ(r.stations[0].failures, 1u);
+  EXPECT_NEAR(r.stations[0].downtime, 10.0, 1e-9);
+}
+
+TEST(FaultInjection, StochasticAvailabilityMatchesMtbfOverMtbfPlusMttr) {
+  // Long single-station run under exponential churn: measured availability
+  // must converge to MTBF / (MTBF + MTTR) (within 2%, the ISSUE bound).
+  const double mtbf = 10.0;
+  const double mttr = 1.0;
+  SimNetwork net = single_station(/*mu=*/200.0, /*lambda=*/5.0);
+  SimConfig cfg;
+  cfg.duration = 20000.0;
+  cfg.warmup = 100.0;
+  cfg.nack_delay = 0.05;
+  cfg.seed = 11;
+  cfg.faults.models = {FaultModel{mtbf, mttr}};
+  const SimResult r = simulate(net, cfg);
+  const double expected = mtbf / (mtbf + mttr);
+  EXPECT_NEAR(r.stations[0].availability, expected, 0.02 * expected);
+  EXPECT_GT(r.stations[0].failures, 100u);
+}
+
+TEST(FaultInjection, DeterministicForSameSeed) {
+  const SimNetwork net = single_station();
+  SimConfig cfg = fault_config();
+  cfg.faults.models = {FaultModel{5.0, 0.5}};
+  const SimResult a = simulate(net, cfg);
+  const SimResult b = simulate(net, cfg);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.flows[0].delivered, b.flows[0].delivered);
+  EXPECT_EQ(a.stations[0].fault_drops, b.stations[0].fault_drops);
+  EXPECT_DOUBLE_EQ(a.stations[0].downtime, b.stations[0].downtime);
+  EXPECT_DOUBLE_EQ(a.flows[0].end_to_end.mean(), b.flows[0].end_to_end.mean());
+}
+
+TEST(FaultInjection, FaultsOffThePathDontPerturbTraffic) {
+  // Faults draw from a dedicated RNG stream, so churn on a station the
+  // flow never visits leaves the packet process bit-identical.
+  SimNetwork net;
+  net.stations = {Station{50.0}, Station{50.0}};
+  Flow f;
+  f.rate = 10.0;
+  f.delivery_prob = 1.0;
+  f.path = {0};
+  net.flows.push_back(f);
+
+  SimConfig quiet;
+  quiet.duration = 200.0;
+  quiet.warmup = 10.0;
+  quiet.seed = 21;
+  const SimResult base = simulate(net, quiet);
+
+  SimConfig churned = quiet;
+  churned.nack_delay = 0.01;
+  churned.faults.models = {FaultModel{}, FaultModel{3.0, 0.7}};
+  const SimResult faulted = simulate(net, churned);
+
+  EXPECT_EQ(base.flows[0].generated, faulted.flows[0].generated);
+  EXPECT_EQ(base.flows[0].delivered, faulted.flows[0].delivered);
+  EXPECT_DOUBLE_EQ(base.flows[0].end_to_end.mean(),
+                   faulted.flows[0].end_to_end.mean());
+  EXPECT_EQ(faulted.stations[0].fault_drops, 0u);
+  EXPECT_GT(faulted.stations[1].failures, 0u);
+}
+
+TEST(FaultInjection, MidChainOutageRestartsFromTheSource) {
+  // Two-station chain, outage on the second hop: retried packets must
+  // re-traverse the whole chain, so station 0 sees extra visits.
+  SimNetwork net;
+  net.stations = {Station{80.0}, Station{80.0}};
+  Flow f;
+  f.rate = 10.0;
+  f.delivery_prob = 1.0;
+  f.path = {0, 1};
+  net.flows.push_back(f);
+  SimConfig cfg = fault_config();
+  cfg.faults.timeline = {{20.0, 1, false}, {24.0, 1, true}};
+  const SimResult r = simulate(net, cfg);
+  EXPECT_GT(r.stations[1].fault_drops, 0u);
+  EXPECT_EQ(r.flows[0].fault_retransmissions, r.stations[1].fault_drops);
+  // Every retransmission re-enters station 0.
+  EXPECT_GT(r.stations[0].visits, r.stations[1].visits);
+}
+
+TEST(FaultInjection, RequiresPositiveNackDelay) {
+  const SimNetwork net = single_station();
+  SimConfig cfg;
+  cfg.duration = 50.0;
+  cfg.warmup = 5.0;
+  cfg.nack_delay = 0.0;  // invalid with faults: retries would not advance time
+  cfg.faults.timeline = {{10.0, 0, false}};
+  EXPECT_THROW((void)simulate(net, cfg), std::invalid_argument);
+}
+
+TEST(FaultInjection, ValidatesPlanShape) {
+  const SimNetwork net = single_station();
+  SimConfig cfg = fault_config();
+  cfg.faults.timeline = {{10.0, 5, false}};  // station out of range
+  EXPECT_THROW((void)simulate(net, cfg), std::invalid_argument);
+
+  SimConfig bad_models = fault_config();
+  bad_models.faults.models = {FaultModel{1.0, 0.1}, FaultModel{1.0, 0.1}};
+  EXPECT_THROW((void)simulate(net, bad_models), std::invalid_argument);
+
+  SimConfig zero_mttr = fault_config();
+  zero_mttr.faults.models = {FaultModel{1.0, 0.0}};
+  EXPECT_THROW((void)simulate(net, zero_mttr), std::invalid_argument);
+}
+
+TEST(FaultInjection, TruncationStillReportsFaultAccounting) {
+  // max_events tripping mid-run must still leave coherent fault counters
+  // (complements Des.MaxEventsTruncates for the fault path).
+  const SimNetwork net = single_station();
+  SimConfig cfg = fault_config();
+  cfg.faults.models = {FaultModel{2.0, 0.5}};
+  cfg.max_events = 500;
+  const SimResult r = simulate(net, cfg);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_LE(r.events_processed, 500u);
+  EXPECT_GE(r.stations[0].availability, 0.0);
+  EXPECT_LE(r.stations[0].availability, 1.0);
+}
+
+}  // namespace
+}  // namespace nfv::sim

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build and run the full test suite twice —
+# once as a normal RelWithDebInfo build, once with ASan + UBSan
+# (-DNFV_SANITIZE=ON).  Usage: tools/check.sh [--no-sanitize]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+run_sanitized=1
+if [[ "${1:-}" == "--no-sanitize" ]]; then
+  run_sanitized=0
+fi
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  echo "=== configure ${build_dir} ($*) ==="
+  cmake -B "${build_dir}" -S . "$@"
+  echo "=== build ${build_dir} ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== ctest ${build_dir} ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+}
+
+run_suite build
+
+if [[ "${run_sanitized}" -eq 1 ]]; then
+  run_suite build-asan -DNFV_SANITIZE=ON
+fi
+
+echo "check.sh: all suites green"

@@ -6,6 +6,7 @@
 //   nfvpr schedule --workload peak.wl --vnf 0 --algorithm RCKK
 //   nfvpr pipeline --topology dc.topo --workload peak.wl
 //   nfvpr simulate --topology dc.topo --workload peak.wl --duration 60
+//   nfvpr chaos    --nodes 8 --events 20 --max-down 3 --seed 21
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -14,8 +15,10 @@
 #include <string>
 
 #include "nfv/common/cli.h"
+#include "nfv/common/error.h"
 #include "nfv/common/table.h"
 #include "nfv/core/joint_optimizer.h"
+#include "nfv/core/resilience.h"
 #include "nfv/core/sim_builder.h"
 #include "nfv/core/tail_prediction.h"
 #include "nfv/placement/algorithm.h"
@@ -42,8 +45,14 @@ int usage() {
       "  pipeline           run the full two-phase optimization (Eq. 16)\n"
       "  tail               per-request latency tail predictions (p50/p95/p99)\n"
       "  simulate           optimize, then replay packet-level and compare\n"
+      "  chaos              replay a seeded failure storm through the\n"
+      "                     resilience controller's escalation ladder\n"
       "\n"
-      "run 'nfvpr <subcommand> --help' for flags.\n",
+      "run 'nfvpr <subcommand> --help' for flags.\n"
+      "\n"
+      "exit codes: 0 ok, 1 runtime error, 2 usage, 3 infeasible result,\n"
+      "            4 infeasible problem (nfv::InfeasibleError),\n"
+      "            5 invalid argument (failed precondition)\n",
       stderr);
   return 2;
 }
@@ -331,6 +340,94 @@ int cmd_simulate(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_chaos(int argc, const char* const* argv) {
+  nfv::CliParser cli("nfvpr chaos",
+                     "replay a failure storm through the resilience ladder");
+  const auto& topology_file = cli.add_string("topology", 't', "topology file", "");
+  const auto& workload_file = cli.add_string("workload", 'w', "workload file", "");
+  const auto& nodes =
+      cli.add_int("nodes", 'n', "compute nodes (generated topology)", 8);
+  const auto& events = cli.add_int("events", 'e', "churn events", 20);
+  const auto& max_down =
+      cli.add_int("max-down", 'd', "max concurrently down nodes", 3);
+  const auto& interval =
+      cli.add_double("interval", 'i', "mean inter-event seconds", 5.0);
+  const auto& demand = cli.add_double(
+      "demand", 'D', "per-instance demand (generated workload)", 150.0);
+  const auto& seed = cli.add_int("seed", 's', "RNG seed", 21);
+  if (!cli.parse(argc, argv)) return 1;
+
+  nfv::Rng rng(static_cast<std::uint64_t>(seed));
+  nfv::core::SystemModel model;
+  if (!topology_file.empty()) {
+    model.topology = read_topology(topology_file);
+  } else {
+    model.topology = nfv::topo::make_star(
+        static_cast<std::size_t>(nodes),
+        nfv::topo::CapacitySpec{1000.0, 1800.0}, nfv::topo::LinkSpec{2e-4},
+        rng);
+  }
+  if (!workload_file.empty()) {
+    model.workload = read_workload(workload_file);
+  } else {
+    nfv::workload::WorkloadConfig wcfg;
+    wcfg.vnf_count = 12;
+    wcfg.request_count = 80;
+    wcfg.fixed_demand_per_instance = demand;
+    wcfg.chain_template_count = 10;
+    model.workload = nfv::workload::WorkloadGenerator(wcfg).generate(rng);
+  }
+
+  nfv::Rng storm_rng(static_cast<std::uint64_t>(seed));
+  const auto churn = nfv::core::make_failure_storm(
+      model.topology.compute_count(), static_cast<std::size_t>(events),
+      storm_rng, interval, static_cast<std::size_t>(max_down));
+
+  nfv::core::ResilienceController controller(
+      model, {}, static_cast<std::uint64_t>(seed));
+  if (controller.served_fraction() <= 0.0) {
+    std::fprintf(stderr,
+                 "nfvpr chaos: the pristine model is infeasible — nothing "
+                 "deployed, no storm to survive\n");
+    return 3;
+  }
+  std::printf("deployed %zu VNFs / %zu requests; initial availability %.4f\n\n",
+              model.workload.vnfs.size(), model.workload.requests.size(),
+              controller.served_fraction());
+
+  nfv::Table table({"t", "node", "event", "resolution", "migr", "shed",
+                    "restored", "ttr s", "avail"});
+  table.set_precision(3);
+  for (const auto& e : churn) {
+    const auto report = controller.on_event(e);
+    table.add_row({report.time, model.topology.label(report.node),
+                   std::string(report.node_up ? "UP" : "DOWN"),
+                   std::string(nfv::core::to_string(report.resolution)),
+                   static_cast<long long>(report.vnfs_migrated),
+                   static_cast<long long>(report.requests_shed),
+                   static_cast<long long>(report.requests_restored),
+                   report.time_to_recover, report.availability});
+  }
+  std::fputs(table.markdown().c_str(), stdout);
+
+  double worst = 1.0;
+  double ttr_sum = 0.0;
+  std::size_t failures = 0;
+  for (const auto& r : controller.history()) {
+    worst = std::min(worst, r.availability);
+    if (!r.node_up) {
+      ttr_sum += r.time_to_recover;
+      ++failures;
+    }
+  }
+  std::printf(
+      "\nfinal availability %.4f (worst %.4f), %zu requests shed, "
+      "mean time-to-recover %.2f s over %zu failures\n",
+      controller.served_fraction(), worst, controller.shed_count(),
+      failures > 0 ? ttr_sum / static_cast<double>(failures) : 0.0, failures);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -351,6 +448,18 @@ int main(int argc, char** argv) {
     if (subcommand == "pipeline") return cmd_pipeline(sub_argc, sub_argv);
     if (subcommand == "tail") return cmd_tail(sub_argc, sub_argv);
     if (subcommand == "simulate") return cmd_simulate(sub_argc, sub_argv);
+    if (subcommand == "chaos") return cmd_chaos(sub_argc, sub_argv);
+  } catch (const nfv::InfeasibleError& e) {
+    // Well-formed input that no algorithm can satisfy (e.g. a VNF larger
+    // than every node): distinct from misuse and from internal failures.
+    std::fprintf(stderr, "nfvpr %s: infeasible: %s\n", subcommand.c_str(),
+                 e.what());
+    return 4;
+  } catch (const std::invalid_argument& e) {
+    // Failed precondition (NFV_REQUIRE): the input itself is malformed.
+    std::fprintf(stderr, "nfvpr %s: invalid argument: %s\n",
+                 subcommand.c_str(), e.what());
+    return 5;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "nfvpr %s: %s\n", subcommand.c_str(), e.what());
     return 1;
