@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <stdexcept>
 
 #include "nfv/common/error.h"
+#include "nfv/obs/json.h"
 #include "nfv/placement/algorithm.h"
 #include "nfv/placement/metrics.h"
 #include "nfv/topology/builders.h"
@@ -211,6 +214,39 @@ void print_banner(std::string_view figure, std::string_view description) {
 double enhancement_percent(double baseline, double ours) {
   if (baseline <= 0.0) return 0.0;
   return 100.0 * (baseline - ours) / baseline;
+}
+
+void write_table_json(const Table& table, std::string_view bench,
+                      const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cannot open --json output " + path);
+  }
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "nfvpr.bench/1");
+  w.kv("bench", bench);
+  w.key("rows");
+  w.begin_array();
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    w.begin_object();
+    for (std::size_t c = 0; c < table.columns(); ++c) {
+      w.key(table.header(c));
+      const Cell& cell = table.at(r, c);
+      if (const auto* s = std::get_if<std::string>(&cell)) {
+        w.value(*s);
+      } else if (const auto* i = std::get_if<long long>(&cell)) {
+        w.value(static_cast<std::int64_t>(*i));
+      } else {
+        w.value(std::get<double>(cell));
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
 }
 
 }  // namespace nfv::bench

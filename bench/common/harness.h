@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "nfv/common/stats.h"
+#include "nfv/common/table.h"
 #include "nfv/core/joint_optimizer.h"
 #include "nfv/scheduling/algorithm.h"
 #include "nfv/scheduling/metrics.h"
@@ -138,6 +139,14 @@ void scale_workload_demand(workload::Workload& w, double target_total,
 
 /// Prints the standard bench banner (figure id + protocol description).
 void print_banner(std::string_view figure, std::string_view description);
+
+/// Writes the table's summary rows as JSON (schema "nfvpr.bench/1"):
+///   {"schema": "nfvpr.bench/1", "bench": <name>,
+///    "rows": [{<header>: <cell>, ...}, ...]}
+/// No-op when `path` is empty, so mains can pass a --json flag through
+/// unconditionally.  Throws std::runtime_error if the file cannot open.
+void write_table_json(const Table& table, std::string_view bench,
+                      const std::string& path);
 
 /// (baseline − ours) / baseline as a percentage string-friendly double.
 [[nodiscard]] double enhancement_percent(double baseline, double ours);

@@ -14,7 +14,9 @@ int main(int argc, char** argv) {
   const auto& runs = cli.add_int("runs", 'r', "Monte-Carlo repetitions", 60);
   const auto& seed = cli.add_int("seed", 's', "base RNG seed", 42);
   const auto& csv = cli.add_flag("csv", 'c', "emit CSV instead of Markdown");
-  if (!cli.parse(argc, argv)) return 1;
+  const auto& json = cli.add_string("json", 'j',
+                                    "write summary rows as JSON here", "");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
 
   nfv::bench::print_banner(
       "Fig. 6 — utilization vs. VNFs (1000 requests)",
@@ -45,6 +47,7 @@ int main(int argc, char** argv) {
                    ffd.avg_utilization, nah.avg_utilization});
   }
   std::fputs(csv ? table.csv().c_str() : table.markdown().c_str(), stdout);
+  nfv::bench::write_table_json(table, "fig06_util_vs_vnfs", json);
   const double n = 5.0;
   std::printf(
       "\noverall: BFDSU %.4f, FFD %.4f, NAH %.4f -> BFDSU +%.1f%% vs FFD, "

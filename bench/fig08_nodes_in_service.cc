@@ -13,7 +13,9 @@ int main(int argc, char** argv) {
   const auto& runs = cli.add_int("runs", 'r', "Monte-Carlo repetitions", 100);
   const auto& seed = cli.add_int("seed", 's', "base RNG seed", 42);
   const auto& csv = cli.add_flag("csv", 'c', "emit CSV instead of Markdown");
-  if (!cli.parse(argc, argv)) return 1;
+  const auto& json = cli.add_string("json", 'j',
+                                    "write summary rows as JSON here", "");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
 
   nfv::bench::print_banner(
       "Fig. 8 — nodes in service (15 VNFs)",
@@ -44,6 +46,7 @@ int main(int argc, char** argv) {
                    ffd.nodes_in_service, nah.nodes_in_service});
   }
   std::fputs(csv ? table.csv().c_str() : table.markdown().c_str(), stdout);
+  nfv::bench::write_table_json(table, "fig08_nodes_in_service", json);
   std::printf(
       "\naverages: BFDSU %.2f, FFD %.2f, NAH %.2f "
       "(paper: 8.56, 10.80, 10.55 — BFDSU fewest)\n",

@@ -18,7 +18,9 @@ int main(int argc, char** argv) {
   const auto& runs = cli.add_int("runs", 'r', "Monte-Carlo repetitions", 100);
   const auto& seed = cli.add_int("seed", 's', "base RNG seed", 42);
   const auto& csv = cli.add_flag("csv", 'c', "emit CSV instead of Markdown");
-  if (!cli.parse(argc, argv)) return 1;
+  const auto& json = cli.add_string("json", 'j',
+                                    "write summary rows as JSON here", "");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
 
   nfv::bench::print_banner(
       "Fig. 10 — iterations (15 VNFs, 10 nodes)",
@@ -42,6 +44,7 @@ int main(int argc, char** argv) {
                    nah.iterations / bfdsu.iterations});
   }
   std::fputs(csv ? table.csv().c_str() : table.markdown().c_str(), stdout);
+  nfv::bench::write_table_json(table, "fig10_iterations", json);
   std::puts("\npaper shape: FFD = 1 << BFDSU (~11) << NAH (~32, ~3x BFDSU)");
   return 0;
 }

@@ -13,7 +13,9 @@ int main(int argc, char** argv) {
   const auto& runs = cli.add_int("runs", 'r', "runs per point", 1000);
   const auto& seed = cli.add_int("seed", 's', "base RNG seed", 7);
   const auto& csv = cli.add_flag("csv", 'c', "emit CSV instead of Markdown");
-  if (!cli.parse(argc, argv)) return 1;
+  const auto& json = cli.add_string("json", 'j',
+                                    "write summary rows as JSON here", "");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
 
   nfv::bench::print_banner(
       "Fig. 11 — avg response vs. requests (P = 0.98)",
@@ -37,6 +39,7 @@ int main(int argc, char** argv) {
                                                    rckk.avg_response)});
   }
   std::fputs(csv ? table.csv().c_str() : table.markdown().c_str(), stdout);
+  nfv::bench::write_table_json(table, "fig11_latency_p098", json);
   std::puts("\npaper shape: RCKK < CGA throughout; enhancement 41.9% -> 2.1%");
   return 0;
 }

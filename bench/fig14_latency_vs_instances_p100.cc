@@ -13,7 +13,9 @@ int main(int argc, char** argv) {
   const auto& requests = cli.add_int("requests", 'n', "requests per run", 50);
   const auto& seed = cli.add_int("seed", 's', "base RNG seed", 7);
   const auto& csv = cli.add_flag("csv", 'c', "emit CSV instead of Markdown");
-  if (!cli.parse(argc, argv)) return 1;
+  const auto& json = cli.add_string("json", 'j',
+                                    "write summary rows as JSON here", "");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
 
   nfv::bench::print_banner(
       "Fig. 14 — avg response vs. instances (P = 1.00)",
@@ -36,6 +38,7 @@ int main(int argc, char** argv) {
                                                    rckk.avg_response)});
   }
   std::fputs(csv ? table.csv().c_str() : table.markdown().c_str(), stdout);
+  nfv::bench::write_table_json(table, "fig14_latency_vs_instances_p100", json);
   std::puts("\npaper shape: enhancement ~3.2% -> ~18.5%, below the P=0.98 case");
   return 0;
 }

@@ -13,7 +13,9 @@ int main(int argc, char** argv) {
   const auto& runs = cli.add_int("runs", 'r', "runs per point", 1000);
   const auto& seed = cli.add_int("seed", 's', "base RNG seed", 7);
   const auto& csv = cli.add_flag("csv", 'c', "emit CSV instead of Markdown");
-  if (!cli.parse(argc, argv)) return 1;
+  const auto& json = cli.add_string("json", 'j',
+                                    "write summary rows as JSON here", "");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
 
   nfv::bench::print_banner(
       "Fig. 16 — job rejection rate (P = 0.984)",
@@ -43,6 +45,7 @@ int main(int argc, char** argv) {
                    100.0 * rckk.rejection_rate, 100.0 * cga.rejection_rate});
   }
   std::fputs(csv ? table.csv().c_str() : table.markdown().c_str(), stdout);
+  nfv::bench::write_table_json(table, "fig16_rejection_high_loss", json);
   std::printf(
       "\naverages: RCKK %.2f%%, CGA %.2f%% "
       "(paper: 4.87%% vs 28.28%% — RCKK far lower)\n",

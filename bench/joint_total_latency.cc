@@ -14,7 +14,9 @@ int main(int argc, char** argv) {
   const auto& runs = cli.add_int("runs", 'r', "Monte-Carlo repetitions", 50);
   const auto& seed = cli.add_int("seed", 's', "base RNG seed", 11);
   const auto& csv = cli.add_flag("csv", 'c', "emit CSV instead of Markdown");
-  if (!cli.parse(argc, argv)) return 1;
+  const auto& json = cli.add_string("json", 'j',
+                                    "write summary rows as JSON here", "");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
 
   nfv::bench::print_banner(
       "Eq. 16 — joint total latency",
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
     if (name == "NAH+CGA-online") best_baseline = r.avg_total_latency;
   }
   std::fputs(csv ? table.csv().c_str() : table.markdown().c_str(), stdout);
+  nfv::bench::write_table_json(table, "joint_total_latency", json);
   std::printf(
       "\nBFDSU+RCKK vs NAH+CGA (the paper's state of the art): %.1f%% lower "
       "avg total latency (paper claim: ~19.9%%)\n",

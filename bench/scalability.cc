@@ -73,7 +73,11 @@ int main(int argc, char** argv) {
   nfv::CliParser cli("bench_scalability",
                      "Wall-clock scaling of the core algorithms");
   const auto& reps = cli.add_int("reps", 'r', "repetitions per point", 50);
-  if (!cli.parse(argc, argv)) return 1;
+  const auto& json_placement = cli.add_string(
+      "json-placement", '\0', "write the placement table as JSON here", "");
+  const auto& json_scheduling = cli.add_string(
+      "json-scheduling", '\0', "write the scheduling table as JSON here", "");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
 
   nfv::bench::print_banner(
       "Scalability A — placement solve time vs. problem size",
@@ -96,6 +100,8 @@ int main(int argc, char** argv) {
       previous = bfdsu;
     }
     std::fputs(table.markdown().c_str(), stdout);
+    nfv::bench::write_table_json(table, "scalability_placement",
+                                 json_placement);
   }
 
   nfv::bench::print_banner(
@@ -141,6 +147,8 @@ int main(int argc, char** argv) {
       previous = rckk;
     }
     std::fputs(table.markdown().c_str(), stdout);
+    nfv::bench::write_table_json(table, "scalability_scheduling",
+                                 json_scheduling);
   }
   std::puts(
       "\nexpected: BFDSU ~4x per row (both m and n double, so m·n·log n\n"

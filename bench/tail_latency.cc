@@ -14,7 +14,9 @@ int main(int argc, char** argv) {
   const auto& runs = cli.add_int("runs", 'r', "runs per point", 1000);
   const auto& seed = cli.add_int("seed", 's', "base RNG seed", 7);
   const auto& csv = cli.add_flag("csv", 'c', "emit CSV instead of Markdown");
-  if (!cli.parse(argc, argv)) return 1;
+  const auto& json = cli.add_string("json", 'j',
+                                    "write summary rows as JSON here", "");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
 
   nfv::bench::print_banner(
       "Tail latency — p99 of per-run avg W over 1000 runs",
@@ -41,6 +43,7 @@ int main(int argc, char** argv) {
                    rckk.avg_response, cga.avg_response});
   }
   std::fputs(csv ? table.csv().c_str() : table.markdown().c_str(), stdout);
+  nfv::bench::write_table_json(table, "tail_latency", json);
   std::puts(
       "\npaper shape: p99 cut 44.5% -> 5.2% as requests grow "
       "(23.2% at n=50)");

@@ -41,6 +41,10 @@ class CliParser {
   /// malformed input prints a diagnostic to stderr and returns false.
   [[nodiscard]] bool parse(int argc, const char* const* argv);
 
+  /// True iff the last parse() returned false because of --help / -h —
+  /// lets callers exit 0 for help but nonzero for a usage error.
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+
   /// Usage text (also printed on --help).
   [[nodiscard]] std::string usage() const;
 
@@ -66,6 +70,7 @@ class CliParser {
   std::string program_;
   std::string description_;
   std::vector<std::unique_ptr<Flag>> flags_;
+  bool help_requested_ = false;
 };
 
 }  // namespace nfv

@@ -15,6 +15,10 @@ class Histogram {
 
   void add(double x);
 
+  /// Merges another histogram (parallel reduction, mirroring
+  /// OnlineStats::merge).  Bucket geometries must match exactly.
+  void merge(const Histogram& other);
+
   [[nodiscard]] std::size_t count() const { return total_; }
   [[nodiscard]] std::size_t underflow() const { return underflow_; }
   [[nodiscard]] std::size_t overflow() const { return overflow_; }

@@ -35,6 +35,9 @@ class Table {
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
   [[nodiscard]] std::size_t columns() const { return headers_.size(); }
   [[nodiscard]] const Cell& at(std::size_t row, std::size_t col) const;
+  [[nodiscard]] const std::string& header(std::size_t i) const {
+    return headers_[i];
+  }
 
   /// GitHub-flavoured Markdown with aligned columns.
   [[nodiscard]] std::string markdown() const;

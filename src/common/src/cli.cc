@@ -95,9 +95,11 @@ bool CliParser::apply_value(Flag& flag, std::string_view value) {
 }
 
 bool CliParser::parse(int argc, const char* const* argv) {
+  help_requested_ = false;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
       std::fputs(usage().c_str(), stdout);
       return false;
     }

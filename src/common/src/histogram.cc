@@ -28,6 +28,18 @@ void Histogram::add(double x) {
   }
 }
 
+void Histogram::merge(const Histogram& other) {
+  NFV_REQUIRE(lo_ == other.lo_);
+  NFV_REQUIRE(hi_ == other.hi_);
+  NFV_REQUIRE(counts_.size() == other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 double Histogram::bucket_lo(std::size_t i) const {
   NFV_REQUIRE(i < counts_.size());
   return lo_ + bucket_width_ * static_cast<double>(i);

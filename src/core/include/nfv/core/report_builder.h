@@ -1,0 +1,36 @@
+// Bridges the solver types to the obs run-report schema: converts a
+// JointResult (and optionally a SimResult, a resilience recovery trail and
+// the live metrics registry) into an obs::RunReport ready for
+// obs::write_run_report.  Lives in core — obs stays a leaf library that
+// knows nothing about placement/scheduling/sim types.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "nfv/core/joint_optimizer.h"
+#include "nfv/core/resilience.h"
+#include "nfv/obs/report.h"
+#include "nfv/sim/des.h"
+
+namespace nfv::core {
+
+/// Everything a run report can describe; leave pointers null / spans empty
+/// for sections that do not apply to the command.
+struct ReportInputs {
+  std::string command;             ///< nfvpr subcommand ("pipeline", ...)
+  std::uint64_t seed = 0;
+  std::string placement_algorithm;
+  std::string scheduling_algorithm;
+  const SystemModel* model = nullptr;       ///< required with `result`
+  const JointResult* result = nullptr;      ///< placement + scheduling
+  const sim::SimResult* sim = nullptr;      ///< DES section
+  std::span<const RecoveryReport> resilience = {};
+  const obs::MetricsRegistry* metrics = nullptr;  ///< registry snapshot
+};
+
+/// Builds the report; sections with null/empty inputs are marked absent.
+[[nodiscard]] obs::RunReport build_run_report(const ReportInputs& inputs);
+
+}  // namespace nfv::core

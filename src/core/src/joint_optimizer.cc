@@ -4,6 +4,8 @@
 #include <set>
 
 #include "nfv/common/error.h"
+#include "nfv/obs/metrics.h"
+#include "nfv/obs/trace.h"
 
 namespace nfv::core {
 
@@ -55,6 +57,8 @@ JointOptimizer::JointOptimizer(JointConfig config)
 
 JointResult JointOptimizer::run(const SystemModel& model,
                                 std::uint64_t seed) const {
+  const obs::ScopedSpan run_span("core.joint.run");
+  obs::count("core.joint.runs");
   model.validate();
   const auto placer =
       placement::make_placement_algorithm(config_.placement_algorithm);
@@ -67,23 +71,30 @@ JointResult JointOptimizer::run(const SystemModel& model,
   Rng rng(seed);
 
   // Phase 1: placement (Algorithm 1 or a baseline).
-  const placement::PlacementProblem pp =
-      placement::make_problem(model.topology, model.workload);
-  result.placement = placer->place(pp, rng);
-  result.placement_metrics = placement::evaluate(pp, result.placement);
+  {
+    const obs::ScopedSpan span("core.joint.placement");
+    const placement::PlacementProblem pp =
+        placement::make_problem(model.topology, model.workload);
+    result.placement = placer->place(pp, rng);
+    result.placement_metrics = placement::evaluate(pp, result.placement);
+  }
   if (!result.placement.feasible) return result;  // feasible stays false
 
   // Phase 2: per-VNF request scheduling + admission control.
-  result.contexts = make_scheduling_contexts(model.workload);
-  result.schedules.reserve(result.contexts.size());
-  result.admissions.reserve(result.contexts.size());
-  for (const VnfSchedulingContext& ctx : result.contexts) {
-    Rng child = rng.fork(result.schedules.size());
-    sched::Schedule s = scheduler->schedule(ctx.problem, child);
-    result.admissions.push_back(
-        sched::apply_admission(ctx.problem, s, config_.rho_max));
-    result.schedules.push_back(std::move(s));
+  {
+    const obs::ScopedSpan span("core.joint.scheduling");
+    result.contexts = make_scheduling_contexts(model.workload);
+    result.schedules.reserve(result.contexts.size());
+    result.admissions.reserve(result.contexts.size());
+    for (const VnfSchedulingContext& ctx : result.contexts) {
+      Rng child = rng.fork(result.schedules.size());
+      sched::Schedule s = scheduler->schedule(ctx.problem, child);
+      result.admissions.push_back(
+          sched::apply_admission(ctx.problem, s, config_.rho_max));
+      result.schedules.push_back(std::move(s));
+    }
   }
+  const obs::ScopedSpan eval_span("core.joint.evaluate");
 
   // Eq. 16 evaluation.  A request is admitted iff every VNF on its chain
   // admitted it; response latency sums the post-admission W(f, k) of its
@@ -140,6 +151,9 @@ JointResult JointOptimizer::run(const SystemModel& model,
     total += out.total_latency();
     ++admitted_count;
   }
+  obs::count("core.joint.admitted", admitted_count);
+  obs::count("core.joint.rejected",
+             model.workload.requests.size() - admitted_count);
   result.total_latency = total;
   result.avg_total_latency =
       admitted_count > 0 ? total / static_cast<double>(admitted_count) : 0.0;

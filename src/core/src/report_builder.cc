@@ -1,0 +1,146 @@
+#include "nfv/core/report_builder.h"
+
+#include <algorithm>
+
+#include "nfv/common/error.h"
+
+namespace nfv::core {
+
+namespace {
+
+void fill_placement(const ReportInputs& in, obs::PlacementSection& out) {
+  const JointResult& r = *in.result;
+  out.present = true;
+  out.feasible = r.placement.feasible;
+  out.algorithm = in.placement_algorithm;
+  out.iterations = r.placement.iterations;
+  out.nodes_in_service = r.placement_metrics.nodes_in_service;
+  out.node_count = in.model->topology.compute_count();
+  out.avg_utilization = r.placement_metrics.avg_utilization_of_used;
+  out.occupation = r.placement_metrics.resource_occupation;
+}
+
+void fill_scheduling(const ReportInputs& in, obs::SchedulingSection& out) {
+  const JointResult& r = *in.result;
+  if (r.admissions.empty()) return;
+  out.present = true;
+  out.algorithm = in.scheduling_algorithm;
+  out.vnfs.reserve(r.contexts.size());
+  for (std::size_t f = 0; f < r.contexts.size(); ++f) {
+    const VnfSchedulingContext& ctx = r.contexts[f];
+    const sched::AdmissionResult& admission = r.admissions[f];
+    obs::VnfScheduleEntry entry;
+    entry.vnf = in.model->workload.vnfs[f].name;
+    entry.instances = ctx.problem.instance_count;
+    entry.service_rate = ctx.problem.service_rate;
+    entry.delivery_prob = ctx.problem.delivery_prob;
+    entry.rejected = admission.rejected_count;
+    entry.admitted = ctx.problem.request_count() - admission.rejected_count;
+    entry.work = r.schedules[f].work;
+    // Λ_k per instance (Eq. 7, post-admission) and the matching W(f,k).
+    const auto& m = admission.admitted_metrics;
+    entry.instance_load = m.instance_effective_load;
+    entry.instance_response.reserve(m.instance_load.size());
+    const double mu_eff =
+        ctx.problem.delivery_prob * ctx.problem.service_rate;
+    for (const double load : m.instance_load) {
+      entry.instance_response.push_back(
+          load < mu_eff ? 1.0 / (mu_eff - load) : -1.0);
+    }
+    out.vnfs.push_back(std::move(entry));
+  }
+}
+
+void fill_requests(const ReportInputs& in, obs::RequestSection& out) {
+  const JointResult& r = *in.result;
+  if (r.requests.empty()) return;
+  out.present = true;
+  out.total = r.requests.size();
+  out.admitted = static_cast<std::uint64_t>(
+      std::count_if(r.requests.begin(), r.requests.end(),
+                    [](const RequestOutcome& o) { return o.admitted; }));
+  out.rejection_rate = r.job_rejection_rate;
+  out.avg_total_latency = r.avg_total_latency;
+  out.avg_response = r.avg_response;
+}
+
+void fill_des(const sim::SimResult& sim, obs::DesSection& out) {
+  out.present = true;
+  out.events = sim.events_processed;
+  out.measured_window = sim.measured_window;
+  out.truncated = sim.truncated;
+  double latency_weighted = 0.0;
+  double utilization = 0.0;
+  for (const sim::FlowResult& f : sim.flows) {
+    out.generated += f.generated;
+    out.delivered += f.delivered;
+    out.retransmissions += f.retransmissions;
+    out.buffer_drops += f.buffer_drops;
+    out.fault_retransmissions += f.fault_retransmissions;
+    latency_weighted +=
+        f.end_to_end.mean() * static_cast<double>(f.delivered);
+  }
+  for (const sim::StationResult& s : sim.stations) {
+    out.station_drops += s.drops;
+    out.station_fault_drops += s.fault_drops;
+    out.station_failures += s.failures;
+    out.total_downtime += s.downtime;
+    utilization += s.utilization;
+  }
+  if (!sim.stations.empty()) {
+    out.avg_utilization =
+        utilization / static_cast<double>(sim.stations.size());
+  }
+  if (out.delivered > 0) {
+    out.mean_latency = latency_weighted / static_cast<double>(out.delivered);
+  }
+}
+
+void fill_resilience(const ReportInputs& in, obs::ResilienceSection& out) {
+  out.present = true;
+  out.events.reserve(in.resilience.size());
+  for (const RecoveryReport& r : in.resilience) {
+    obs::ResilienceEventEntry e;
+    e.time = r.time;
+    e.node = in.model != nullptr
+                 ? in.model->topology.label(r.node)
+                 : "node" + std::to_string(r.node.value());
+    e.node_up = r.node_up;
+    e.resolution = std::string(to_string(r.resolution));
+    e.vnfs_migrated = r.vnfs_migrated;
+    e.requests_shed = r.requests_shed;
+    e.requests_restored = r.requests_restored;
+    e.time_to_recover = r.time_to_recover;
+    e.availability = r.availability;
+    out.worst_availability = std::min(out.worst_availability, r.availability);
+    out.final_availability = r.availability;
+    out.total_shed += r.requests_shed;
+    ++out.resolutions[e.resolution];
+    out.events.push_back(std::move(e));
+  }
+}
+
+}  // namespace
+
+obs::RunReport build_run_report(const ReportInputs& inputs) {
+  obs::RunReport report;
+  report.command = inputs.command;
+  report.seed = inputs.seed;
+  if (inputs.result != nullptr) {
+    NFV_REQUIRE(inputs.model != nullptr);
+    fill_placement(inputs, report.placement);
+    fill_scheduling(inputs, report.scheduling);
+    fill_requests(inputs, report.requests);
+  }
+  if (inputs.sim != nullptr) fill_des(*inputs.sim, report.des);
+  if (!inputs.resilience.empty()) {
+    fill_resilience(inputs, report.resilience);
+  }
+  if (inputs.metrics != nullptr) {
+    report.metrics.present = true;
+    report.metrics.snapshot = inputs.metrics->snapshot();
+  }
+  return report;
+}
+
+}  // namespace nfv::core

@@ -7,6 +7,8 @@
 #include "nfv/common/error.h"
 #include "nfv/core/failure_repair.h"
 #include "nfv/core/replication.h"
+#include "nfv/obs/metrics.h"
+#include "nfv/obs/trace.h"
 #include "nfv/placement/metrics.h"
 #include "nfv/placement/problem.h"
 
@@ -458,6 +460,7 @@ void ResilienceController::handle_recovery(const ChurnEvent& event,
 
 RecoveryReport ResilienceController::on_event(const ChurnEvent& event) {
   NFV_REQUIRE(event.node.index() < base_.topology.compute_count());
+  const obs::ScopedSpan span("core.resilience.on_event");
   RecoveryReport report;
   report.time = event.time;
   report.node = event.node;
@@ -485,6 +488,19 @@ std::vector<RecoveryReport> ResilienceController::replay(
 void ResilienceController::finish_report(RecoveryReport& report) {
   report.recovered = current_.feasible;
   report.availability = served_fraction();
+  if (obs::registry() == nullptr) return;
+  obs::count("core.resilience.events");
+  // Escalation ladder: one counter per rung attempted and per resolution,
+  // so a run report shows how far the controller had to climb.
+  for (const RecoveryAction rung : report.attempted) {
+    obs::count(obs::labeled("core.resilience.rung",
+                            {{"action", to_string(rung)}}));
+  }
+  obs::count(obs::labeled("core.resilience.resolution",
+                          {{"action", to_string(report.resolution)}}));
+  obs::count("core.resilience.shed", report.requests_shed);
+  obs::count("core.resilience.restored", report.requests_restored);
+  obs::count("core.resilience.migrations", report.vnfs_migrated);
 }
 
 }  // namespace nfv::core

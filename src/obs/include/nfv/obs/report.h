@@ -1,0 +1,196 @@
+// Machine-readable run reports: a stable JSON schema describing one whole
+// pipeline run (placement summary, per-instance loads and response times,
+// DES counters, resilience recovery trail, metrics-registry snapshot).
+//
+// The obs library owns the schema, serialization, loading, pretty-printing
+// and diffing; it knows nothing about the solver types.  The core library
+// provides the builder that converts a JointResult / SimResult /
+// RecoveryReport stream into a RunReport (nfv/core/report_builder.h).
+//
+// Schema ("nfvpr.run_report/1"):
+//
+//   {
+//     "schema": "nfvpr.run_report/1",
+//     "command": "pipeline", "seed": 1,
+//     "placement":  {feasible, algorithm, iterations, nodes_in_service,
+//                    node_count, avg_utilization, occupation},
+//     "scheduling": {algorithm, vnfs: [{vnf, instances, service_rate,
+//                    delivery_prob, admitted, rejected, work,
+//                    instance_load: [Λ_k...], instance_response: [W_k...]}]},
+//     "requests":   {total, admitted, rejection_rate, avg_total_latency,
+//                    avg_response},
+//     "des":        {events, measured_window, truncated, generated,
+//                    delivered, retransmissions, buffer_drops,
+//                    fault_retransmissions, station_drops,
+//                    station_fault_drops, station_failures,
+//                    avg_utilization, mean_latency, total_downtime},
+//     "resilience": {events: [...], final_availability, worst_availability,
+//                    total_shed, resolutions: {rung: count}},
+//     "metrics":    {counters: {...}, gauges: {...}, histograms: {...}}
+//   }
+//
+// Absent sections are omitted, never emitted empty, so diffs across
+// commands stay meaningful.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nfv/obs/json.h"
+#include "nfv/obs/metrics.h"
+
+namespace nfv::obs {
+
+inline constexpr std::string_view kRunReportSchema = "nfvpr.run_report/1";
+
+struct PlacementSection {
+  bool present = false;
+  bool feasible = false;
+  std::string algorithm;
+  std::uint64_t iterations = 0;
+  std::uint64_t nodes_in_service = 0;
+  std::uint64_t node_count = 0;
+  double avg_utilization = 0.0;
+  double occupation = 0.0;
+};
+
+struct VnfScheduleEntry {
+  std::string vnf;                       ///< catalog name, e.g. "FW-3"
+  std::uint32_t instances = 0;           ///< M_f
+  double service_rate = 0.0;             ///< μ_f
+  double delivery_prob = 0.0;            ///< P
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t work = 0;                ///< algorithm work units
+  std::vector<double> instance_load;     ///< Λ_k per instance (Eq. 7)
+  std::vector<double> instance_response; ///< W(f,k) per instance (Eq. 12)
+};
+
+struct SchedulingSection {
+  bool present = false;
+  std::string algorithm;
+  std::vector<VnfScheduleEntry> vnfs;
+};
+
+struct RequestSection {
+  bool present = false;
+  std::uint64_t total = 0;
+  std::uint64_t admitted = 0;
+  double rejection_rate = 0.0;
+  double avg_total_latency = 0.0;  ///< Eq. 16 per admitted request
+  double avg_response = 0.0;       ///< mean instance W (Eq. 15)
+};
+
+struct DesSection {
+  bool present = false;
+  std::uint64_t events = 0;
+  double measured_window = 0.0;
+  bool truncated = false;
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t buffer_drops = 0;
+  std::uint64_t fault_retransmissions = 0;
+  std::uint64_t station_drops = 0;
+  std::uint64_t station_fault_drops = 0;
+  std::uint64_t station_failures = 0;
+  double avg_utilization = 0.0;  ///< mean station utilization
+  double mean_latency = 0.0;     ///< delivered-weighted end-to-end mean
+  double total_downtime = 0.0;   ///< summed station down-seconds
+};
+
+struct ResilienceEventEntry {
+  double time = 0.0;
+  std::string node;
+  bool node_up = false;
+  std::string resolution;
+  std::uint64_t vnfs_migrated = 0;
+  std::uint64_t requests_shed = 0;
+  std::uint64_t requests_restored = 0;
+  double time_to_recover = 0.0;
+  double availability = 0.0;
+};
+
+struct ResilienceSection {
+  bool present = false;
+  std::vector<ResilienceEventEntry> events;
+  double final_availability = 0.0;
+  double worst_availability = 1.0;
+  std::uint64_t total_shed = 0;
+  /// Resolution rung name -> number of events it resolved.
+  std::map<std::string, std::uint64_t> resolutions;
+};
+
+struct MetricsSection {
+  bool present = false;
+  MetricsRegistry::Snapshot snapshot;
+};
+
+struct RunReport {
+  std::string command;
+  std::uint64_t seed = 0;
+  PlacementSection placement;
+  SchedulingSection scheduling;
+  RequestSection requests;
+  DesSection des;
+  ResilienceSection resilience;
+  MetricsSection metrics;
+};
+
+/// Serializes a report under kRunReportSchema.
+void write_run_report(const RunReport& report, std::ostream& os);
+
+/// Parses a saved run report; throws std::invalid_argument on malformed
+/// JSON or a missing/unknown "schema" field.
+[[nodiscard]] JsonValue load_run_report(std::string_view text);
+
+/// Human-readable summary of a loaded report.
+[[nodiscard]] std::string pretty_print_report(const JsonValue& report);
+
+// ---------------------------------------------------------------------------
+// Diffing
+// ---------------------------------------------------------------------------
+
+/// One numeric leaf that differs between two reports.
+struct DiffEntry {
+  std::string path;  ///< dotted path, e.g. "requests.avg_total_latency"
+  double before = 0.0;
+  double after = 0.0;
+  double delta = 0.0;
+  /// 100·(after−before)/|before|; ±inf when before == 0 and after != 0.
+  double pct = 0.0;
+  /// +1 when a higher value is worse (latency, drops, ...), −1 when a
+  /// higher value is better (availability, admitted, ...), 0 when neutral.
+  int direction = 0;
+  /// True when the change exceeds the threshold in the worsening
+  /// direction.
+  bool regression = false;
+  /// True when the change exceeds the threshold in the improving
+  /// direction.
+  bool improvement = false;
+};
+
+struct ReportDiff {
+  std::vector<DiffEntry> changed;        ///< numeric leaves that moved
+  std::vector<std::string> only_before;  ///< paths absent from `after`
+  std::vector<std::string> only_after;   ///< paths absent from `before`
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+};
+
+/// Compares every numeric leaf of two reports.  `threshold_pct` is the
+/// minimum |relative change| (percent) for a directional metric to count
+/// as a regression/improvement.
+[[nodiscard]] ReportDiff diff_reports(const JsonValue& before,
+                                      const JsonValue& after,
+                                      double threshold_pct = 1.0);
+
+/// Markdown rendering of a diff: regressions first, then improvements,
+/// then neutral changes; structural differences at the end.
+[[nodiscard]] std::string render_diff(const ReportDiff& diff);
+
+}  // namespace nfv::obs

@@ -1,0 +1,106 @@
+// Scoped span tracer emitting Chrome trace-event JSON.
+//
+// Instrumentation sites construct a ScopedSpan with a string-literal name;
+// the span measures wall time from construction to destruction and, when a
+// global Tracer is installed, records one complete ("ph": "X") event.
+// Nesting falls out of the format: chrome://tracing (or Perfetto) nests
+// events on the same tid by their [ts, ts+dur] containment.
+//
+// Null-sink: without an installed tracer a span costs one relaxed atomic
+// load in the constructor and a null check in the destructor — no clock
+// read, no allocation.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nfv::obs {
+
+/// One completed span, timestamped in microseconds since the tracer epoch.
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;
+};
+
+/// Collects spans; thread-safe.  Timestamps are relative to construction.
+class Tracer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Tracer() : epoch_(Clock::now()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void record(std::string_view name, Clock::time_point start,
+              Clock::time_point end);
+
+  [[nodiscard]] std::vector<TraceEvent> events() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+
+  /// Chrome trace-event JSON: an array of
+  /// {"name": ..., "ph": "X", "ts": µs, "dur": µs, "pid": 1, "tid": n},
+  /// loadable directly in chrome://tracing and Perfetto.
+  void write_json(std::ostream& os) const;
+
+ private:
+  Clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// The globally installed tracer, or nullptr when tracing is disabled.
+[[nodiscard]] Tracer* tracer() noexcept;
+
+/// Installs (or clears) the global tracer; returns the previous one.
+Tracer* set_tracer(Tracer* t) noexcept;
+
+/// RAII install/uninstall of a tracer as the global sink.
+class ScopedTracing {
+ public:
+  explicit ScopedTracing(Tracer& t) : prev_(set_tracer(&t)) {}
+  ~ScopedTracing() { set_tracer(prev_); }
+  ScopedTracing(const ScopedTracing&) = delete;
+  ScopedTracing& operator=(const ScopedTracing&) = delete;
+
+ private:
+  Tracer* prev_;
+};
+
+/// RAII phase timer.  `name` must outlive the span (use string literals).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name) : tracer_(tracer()) {
+    if (tracer_ != nullptr) {
+      name_ = name;
+      start_ = Tracer::Clock::now();
+    }
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->record(name_, start_, Tracer::Clock::now());
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  std::string_view name_;
+  Tracer::Clock::time_point start_{};
+};
+
+}  // namespace nfv::obs

@@ -1,0 +1,59 @@
+#include "nfv/obs/trace.h"
+
+#include <ostream>
+
+#include "nfv/obs/json.h"
+
+namespace nfv::obs {
+
+namespace {
+
+std::atomic<Tracer*> g_tracer{nullptr};
+
+/// Small dense thread ids for the "tid" field (thread::id hashes are
+/// unreadable in the trace viewer).
+std::uint32_t this_thread_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+Tracer* tracer() noexcept { return g_tracer.load(std::memory_order_relaxed); }
+
+Tracer* set_tracer(Tracer* t) noexcept {
+  return g_tracer.exchange(t, std::memory_order_relaxed);
+}
+
+void Tracer::record(std::string_view name, Clock::time_point start,
+                    Clock::time_point end) {
+  using Micros = std::chrono::duration<double, std::micro>;
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.ts_us = Micros(start - epoch_).count();
+  ev.dur_us = Micros(end - start).count();
+  ev.tid = this_thread_tid();
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::write_json(std::ostream& os) const {
+  const std::vector<TraceEvent> snapshot = events();
+  JsonWriter w(os);
+  w.begin_array();
+  for (const TraceEvent& ev : snapshot) {
+    w.begin_object();
+    w.kv("name", ev.name);
+    w.kv("ph", "X");
+    w.kv("ts", ev.ts_us);
+    w.kv("dur", ev.dur_us);
+    w.kv("pid", std::uint64_t{1});
+    w.kv("tid", std::uint64_t{ev.tid});
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace nfv::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "nfv/obs/metrics.h"
+#include "nfv/obs/trace.h"
 #include "nfv/placement/algorithm.h"
 #include "nfv/placement/metrics.h"
 #include "fit_util.h"
@@ -65,6 +67,7 @@ Placement BfdsuPlacement::single_pass(const PlacementProblem& problem,
 
 Placement BfdsuPlacement::place(const PlacementProblem& problem,
                                 Rng& rng) const {
+  const obs::ScopedSpan span("placement.bfdsu.place");
   problem.validate();
   // Multi-start: keep the pass using the fewest nodes (ties broken by
   // higher mean utilization of used nodes); stop after stall_limit passes
@@ -76,10 +79,12 @@ Placement BfdsuPlacement::place(const PlacementProblem& problem,
   std::size_t best_nodes = problem.node_count() + 1;
   std::uint32_t stall = 0;
   std::uint64_t passes = 0;
+  std::uint64_t restarts = 0;
   while (passes < options_.max_passes && stall < options_.stall_limit) {
     ++passes;
     Placement candidate = single_pass(problem, rng);
     if (!candidate.feasible) {
+      ++restarts;
       if (best.feasible) ++stall;
       continue;
     }
@@ -96,7 +101,14 @@ Placement BfdsuPlacement::place(const PlacementProblem& problem,
     }
   }
   best.iterations = passes;
+  obs::count("placement.bfdsu.runs");
+  obs::count("placement.bfdsu.passes", passes);
+  obs::count("placement.bfdsu.restarts", restarts);
+  obs::observe("placement.bfdsu.passes_per_run",
+               static_cast<double>(passes), 0.0,
+               static_cast<double>(options_.max_passes) + 1.0, 32);
   if (!best.feasible) {
+    obs::count("placement.bfdsu.infeasible");
     best.assignment.assign(problem.vnf_count(), std::nullopt);
   }
   return best;

@@ -1,5 +1,7 @@
 // RCKK — Algorithm 2 of the paper, verbatim: reverse-order m-way
 // Karmarkar-Karp differencing with request-set tracking.
+#include "nfv/obs/metrics.h"
+#include "nfv/obs/trace.h"
 #include "nfv/scheduling/algorithm.h"
 #include "kk_util.h"
 
@@ -7,11 +9,14 @@ namespace nfv::sched {
 
 Schedule RckkScheduling::schedule(const SchedulingProblem& problem,
                                   Rng& /*rng*/) const {
+  const obs::ScopedSpan span("sched.rckk.schedule");
   problem.validate();
   Schedule out;
   if (problem.instance_count == 1) {
     out.instance_of.assign(problem.request_count(), 0);
     out.work = problem.request_count();
+    obs::count("sched.rckk.runs");
+    obs::count("sched.rckk.combines", out.work);
     return out;
   }
   auto list = detail::initial_partitions(problem);
@@ -27,6 +32,8 @@ Schedule RckkScheduling::schedule(const SchedulingProblem& problem,
   out.instance_of = detail::to_assignment(list.front(),
                                           problem.request_count());
   out.validate(problem);
+  obs::count("sched.rckk.runs");
+  obs::count("sched.rckk.combines", out.work);
   return out;
 }
 

@@ -5,6 +5,8 @@
 #include <queue>
 
 #include "nfv/common/error.h"
+#include "nfv/obs/metrics.h"
+#include "nfv/obs/trace.h"
 
 namespace nfv::sim {
 
@@ -85,9 +87,15 @@ class Engine {
     stations_.resize(net_.stations.size());
     result_.stations.resize(net_.stations.size());
     result_.flows.resize(net_.flows.size());
+    // Pre-resolve telemetry handles once; the event loop then pays only a
+    // null check per sample instead of a registry lookup.
+    if (obs::MetricsRegistry* reg = obs::registry()) {
+      queue_depth_ = &reg->histogram("sim.des.queue_depth", 0.0, 64.0, 64);
+    }
   }
 
   SimResult run() {
+    const obs::ScopedSpan span("sim.des.run");
     for (std::uint32_t f = 0; f < net_.flows.size(); ++f) {
       schedule_source(f, rng_.exponential(net_.flows[f].rate));
     }
@@ -295,6 +303,10 @@ class Engine {
       }
     }
     pkt.visit_arrival = now_;
+    if (queue_depth_ != nullptr) {
+      queue_depth_->observe(
+          static_cast<double>(st.queue.size() + (st.busy ? 1u : 0u)));
+    }
     change_occupancy(ev.station, +1);
     if (st.busy) {
       st.queue.push_back(ev.packet);
@@ -423,6 +435,43 @@ class Engine {
       result_.stations[s].availability =
           1.0 - stations_[s].down_accum / result_.measured_window;
     }
+    flush_telemetry();
+  }
+
+  /// Counter totals are flushed once per run instead of bumped per event —
+  /// the event loop stays allocation- and atomic-free with obs disabled.
+  void flush_telemetry() const {
+    if (obs::registry() == nullptr) return;
+    obs::count("sim.des.runs");
+    obs::count("sim.des.events", result_.events_processed);
+    std::uint64_t generated = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t buffer_drops = 0;
+    std::uint64_t fault_retries = 0;
+    for (const FlowResult& f : result_.flows) {
+      generated += f.generated;
+      delivered += f.delivered;
+      retransmissions += f.retransmissions;
+      buffer_drops += f.buffer_drops;
+      fault_retries += f.fault_retransmissions;
+    }
+    std::uint64_t station_drops = 0;
+    std::uint64_t fault_drops = 0;
+    std::uint64_t failures = 0;
+    for (const StationResult& s : result_.stations) {
+      station_drops += s.drops;
+      fault_drops += s.fault_drops;
+      failures += s.failures;
+    }
+    obs::count("sim.des.generated", generated);
+    obs::count("sim.des.delivered", delivered);
+    obs::count("sim.des.retransmissions", retransmissions);
+    obs::count("sim.des.buffer_drops", buffer_drops);
+    obs::count("sim.des.fault_retransmissions", fault_retries);
+    obs::count("sim.des.station_drops", station_drops);
+    obs::count("sim.des.fault_drops", fault_drops);
+    obs::count("sim.des.failures", failures);
   }
 
   const SimNetwork& net_;
@@ -436,6 +485,7 @@ class Engine {
   std::vector<Packet> pool_;
   std::vector<std::uint32_t> free_packets_;
   SimResult result_;
+  obs::HistogramMetric* queue_depth_ = nullptr;  // null when obs disabled
 };
 
 }  // namespace

@@ -72,6 +72,24 @@ TEST(CliParser, HelpReturnsFalse) {
   CliParser cli("prog", "test");
   const std::array argv{"prog", "--help"};
   EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.help_requested());
+}
+
+TEST(CliParser, UsageErrorIsNotHelp) {
+  CliParser cli("prog", "test");
+  const std::array argv{"prog", "--bogus"};
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(cli.help_requested());
+}
+
+TEST(CliParser, HelpRequestedResetsBetweenParses) {
+  CliParser cli("prog", "test");
+  const std::array help{"prog", "-h"};
+  EXPECT_FALSE(cli.parse(static_cast<int>(help.size()), help.data()));
+  EXPECT_TRUE(cli.help_requested());
+  const std::array ok{"prog"};
+  EXPECT_TRUE(cli.parse(static_cast<int>(ok.size()), ok.data()));
+  EXPECT_FALSE(cli.help_requested());
 }
 
 TEST(CliParser, UsageListsFlags) {

@@ -36,6 +36,55 @@ TEST(Histogram, UnderflowAndOverflow) {
   EXPECT_EQ(h.count(), 3u);
 }
 
+TEST(Histogram, MergeAddsCountsBucketwise) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.add(1.0);   // bucket 0
+  a.add(-1.0);  // underflow
+  b.add(1.5);   // bucket 0
+  b.add(5.0);   // bucket 2
+  b.add(11.0);  // overflow
+  a.merge(b);
+  EXPECT_EQ(a.bucket(0), 2u);
+  EXPECT_EQ(a.bucket(2), 1u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.count(), 5u);
+  // The merge source is untouched.
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Histogram, MergeMatchesSequentialAdds) {
+  // Splitting a stream across two histograms and merging must equal
+  // adding everything to one (mirrors OnlineStats::merge semantics).
+  Histogram whole(0.0, 50.0, 25);
+  Histogram left(0.0, 50.0, 25);
+  Histogram right(0.0, 50.0, 25);
+  for (int i = 0; i < 200; ++i) {
+    const double x = 0.37 * i - 5.0;
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  ASSERT_EQ(left.count(), whole.count());
+  EXPECT_EQ(left.underflow(), whole.underflow());
+  EXPECT_EQ(left.overflow(), whole.overflow());
+  for (std::size_t i = 0; i < whole.bucket_count(); ++i) {
+    EXPECT_EQ(left.bucket(i), whole.bucket(i)) << "bucket " << i;
+  }
+  EXPECT_DOUBLE_EQ(left.quantile(0.5), whole.quantile(0.5));
+}
+
+TEST(Histogram, MergeRejectsMismatchedGeometry) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram lo(1.0, 10.0, 5);
+  Histogram hi(0.0, 20.0, 5);
+  Histogram buckets(0.0, 10.0, 10);
+  EXPECT_THROW(a.merge(lo), std::invalid_argument);
+  EXPECT_THROW(a.merge(hi), std::invalid_argument);
+  EXPECT_THROW(a.merge(buckets), std::invalid_argument);
+}
+
 TEST(Histogram, QuantileApproximatesMidpoints) {
   Histogram h(0.0, 100.0, 100);
   for (int i = 0; i < 100; ++i) h.add(i + 0.5);

@@ -1,0 +1,102 @@
+#include "nfv/obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+namespace nfv::obs {
+namespace {
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, WritesNestedStructure) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.kv("name", "x");
+  w.key("values");
+  w.begin_array();
+  w.value(std::int64_t{1});
+  w.value(2.5);
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.end_object();
+  std::string err;
+  const auto parsed = parse_json(os.str(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->string_or("name"), "x");
+  const auto& values = parsed->find("values")->as_array();
+  ASSERT_EQ(values.size(), 4u);
+  EXPECT_DOUBLE_EQ(values[0].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(values[1].as_number(), 2.5);
+  EXPECT_TRUE(values[2].as_bool());
+  EXPECT_TRUE(values[3].is_null());
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  const auto parsed = parse_json(os.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->as_array()[0].is_null());
+  EXPECT_TRUE(parsed->as_array()[1].is_null());
+}
+
+TEST(JsonWriter, DoublesRoundTripExactly) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_array();
+  const double x = 0.1 + 0.2;  // famously not 0.3
+  w.value(x);
+  w.end_array();
+  const auto parsed = parse_json(os.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_array()[0].as_number(), x);
+}
+
+TEST(JsonParser, ParsesStringsWithUnicodeEscapes) {
+  // Raw string: the parser sees literal \u and \t escape sequences.
+  const auto parsed = parse_json(R"({"s": "a\u0041\u00e9\tb"})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->string_or("s"), "aA\xc3\xa9\tb");
+}
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  std::string err;
+  EXPECT_FALSE(parse_json("", &err).has_value());
+  EXPECT_FALSE(parse_json("{", &err).has_value());
+  EXPECT_FALSE(parse_json("[1,]", &err).has_value());
+  EXPECT_FALSE(parse_json("{\"a\": 1} trailing", &err).has_value());
+  EXPECT_FALSE(parse_json("nul", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonParser, RejectsRunawayNesting) {
+  std::string deep(1000, '[');
+  EXPECT_FALSE(parse_json(deep).has_value());
+}
+
+TEST(JsonValue, LookupHelpers) {
+  const auto parsed = parse_json(R"({"n": 4.5, "s": "t", "o": {"x": 1}})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->number_or("n"), 4.5);
+  EXPECT_DOUBLE_EQ(parsed->number_or("missing", -1.0), -1.0);
+  EXPECT_EQ(parsed->string_or("s"), "t");
+  EXPECT_EQ(parsed->find("o")->number_or("x"), 1.0);
+  EXPECT_EQ(parsed->find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace nfv::obs

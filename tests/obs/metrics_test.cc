@@ -1,0 +1,135 @@
+#include "nfv/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "nfv/obs/json.h"
+
+namespace nfv::obs {
+namespace {
+
+TEST(Labeled, FlattensNameAndLabels) {
+  EXPECT_EQ(labeled("a.b", {}), "a.b");
+  EXPECT_EQ(labeled("a.b", {{"k", "v"}}), "a.b{k=v}");
+  EXPECT_EQ(labeled("a.b", {{"k", "v"}, {"x", "y"}}), "a.b{k=v,x=y}");
+}
+
+TEST(MetricsRegistry, CountersAccumulateAcrossThreads) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kBumps = 10'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg] {
+      // Each bump goes through the registry lookup, exercising the
+      // lock-protected map and the lock-free counter together.
+      for (int i = 0; i < kBumps; ++i) reg.counter("shared").add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(reg.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kBumps);
+}
+
+TEST(MetricsRegistry, HistogramObservationsAcrossThreads) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kSamples = 2'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      for (int i = 0; i < kSamples; ++i) {
+        reg.histogram("lat", 0.0, 100.0, 50).observe(
+            static_cast<double>((t * kSamples + i) % 100));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count,
+            static_cast<std::uint64_t>(kThreads) * kSamples);
+  EXPECT_GE(snap.histograms[0].min, 0.0);
+  EXPECT_LE(snap.histograms[0].max, 99.0);
+}
+
+TEST(MetricsRegistry, HandleStaysStableAcrossLookups) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  a.add(3);
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("z.last").add(2);
+  reg.counter("a.first").add(1);
+  reg.gauge("mid").set(4.5);
+  reg.histogram("h", 0.0, 1.0, 4).observe(0.5);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.first");
+  EXPECT_EQ(snap.counters[1].name, "z.last");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 4.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_FALSE(snap.empty());
+  EXPECT_TRUE(MetricsRegistry().snapshot().empty());
+}
+
+TEST(MetricsRegistry, WriteJsonParsesBack) {
+  MetricsRegistry reg;
+  reg.counter("runs").add(7);
+  reg.gauge("load").set(0.75);
+  reg.histogram("w", 0.0, 10.0, 10).observe(2.0);
+  std::ostringstream os;
+  reg.write_json(os);
+  std::string err;
+  const auto parsed = parse_json(os.str(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_DOUBLE_EQ(parsed->find("counters")->number_or("runs"), 7.0);
+  EXPECT_DOUBLE_EQ(parsed->find("gauges")->number_or("load"), 0.75);
+  const JsonValue* hist = parsed->find("histograms")->find("w");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->number_or("count"), 1.0);
+  EXPECT_DOUBLE_EQ(hist->number_or("mean"), 2.0);
+}
+
+TEST(NullSink, HelpersAreNoOpsWithoutRegistry) {
+  ASSERT_EQ(registry(), nullptr);
+  // Must not crash or allocate a registry as a side effect.
+  count("nobody.listening");
+  gauge_set("nobody.listening", 1.0);
+  observe("nobody.listening", 1.0, 0.0, 10.0, 10);
+  EXPECT_EQ(registry(), nullptr);
+}
+
+TEST(NullSink, ScopedMetricsInstallsAndRestores) {
+  ASSERT_EQ(registry(), nullptr);
+  MetricsRegistry reg;
+  {
+    const ScopedMetrics scope(reg);
+    EXPECT_EQ(registry(), &reg);
+    count("visible", 5);
+    MetricsRegistry inner;
+    {
+      const ScopedMetrics nested(inner);
+      EXPECT_EQ(registry(), &inner);
+      count("visible", 1);
+    }
+    EXPECT_EQ(registry(), &reg);
+  }
+  EXPECT_EQ(registry(), nullptr);
+  EXPECT_EQ(reg.counter("visible").value(), 5u);
+}
+
+}  // namespace
+}  // namespace nfv::obs

@@ -1,0 +1,95 @@
+#include "nfv/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nfv/obs/json.h"
+
+namespace nfv::obs {
+namespace {
+
+TEST(Tracer, RecordsScopedSpans) {
+  Tracer tracer;
+  {
+    const ScopedTracing scope(tracer);
+    const ScopedSpan outer("outer");
+    { const ScopedSpan inner("inner"); }
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are recorded at destruction, so the inner span lands first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  // Chrome nests by [ts, ts+dur] containment: outer must contain inner.
+  EXPECT_LE(events[1].ts_us, events[0].ts_us);
+  EXPECT_GE(events[1].ts_us + events[1].dur_us,
+            events[0].ts_us + events[0].dur_us);
+}
+
+TEST(Tracer, NoOpWithoutInstalledTracer) {
+  ASSERT_EQ(tracer(), nullptr);
+  { const ScopedSpan span("unobserved"); }
+  Tracer t;
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Tracer, ScopedTracingRestoresPrevious) {
+  Tracer a;
+  Tracer b;
+  {
+    const ScopedTracing sa(a);
+    EXPECT_EQ(tracer(), &a);
+    {
+      const ScopedTracing sb(b);
+      EXPECT_EQ(tracer(), &b);
+      { const ScopedSpan span("to-b"); }
+    }
+    EXPECT_EQ(tracer(), &a);
+  }
+  EXPECT_EQ(tracer(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(Tracer, WriteJsonIsChromeTraceFormat) {
+  Tracer tracer;
+  {
+    const ScopedTracing scope(tracer);
+    { const ScopedSpan span("phase.one"); }
+    { const ScopedSpan span("phase.two"); }
+  }
+  std::ostringstream os;
+  tracer.write_json(os);
+  std::string err;
+  const auto parsed = parse_json(os.str(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  ASSERT_TRUE(parsed->is_array());
+  const auto& events = parsed->as_array();
+  ASSERT_EQ(events.size(), 2u);
+  for (const auto& event : events) {
+    ASSERT_TRUE(event.is_object());
+    EXPECT_TRUE(event.find("name")->is_string());
+    EXPECT_EQ(event.string_or("ph"), "X");
+    EXPECT_TRUE(event.find("ts")->is_number());
+    EXPECT_TRUE(event.find("dur")->is_number());
+    EXPECT_DOUBLE_EQ(event.number_or("pid", -1.0), 1.0);
+    EXPECT_TRUE(event.find("tid")->is_number());
+    EXPECT_GE(event.number_or("dur", -1.0), 0.0);
+  }
+  EXPECT_EQ(events[0].string_or("name"), "phase.one");
+  EXPECT_EQ(events[1].string_or("name"), "phase.two");
+}
+
+TEST(Tracer, EmptyTracerWritesEmptyArray) {
+  Tracer tracer;
+  std::ostringstream os;
+  tracer.write_json(os);
+  const auto parsed = parse_json(os.str());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is_array());
+  EXPECT_TRUE(parsed->as_array().empty());
+}
+
+}  // namespace
+}  // namespace nfv::obs

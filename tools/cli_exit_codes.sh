@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# End-to-end CLI contract test for nfvpr: exit codes (0 ok, 2 usage),
+# telemetry file emission, and the report pretty/diff round trip.
+# Usage: cli_exit_codes.sh /path/to/nfvpr
+set -u
+
+NFVPR=${1:?usage: cli_exit_codes.sh /path/to/nfvpr}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+failures=0
+
+expect_exit() {
+  local want=$1
+  local label=$2
+  shift 2
+  "$@" > "$WORK/out.txt" 2> "$WORK/err.txt"
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $label — expected exit $want, got $got" >&2
+    sed 's/^/  stderr: /' "$WORK/err.txt" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: $label"
+  fi
+}
+
+expect_contains() {
+  local file=$1
+  local needle=$2
+  local label=$3
+  if ! grep -q -- "$needle" "$file"; then
+    echo "FAIL: $label — '$needle' not found in $file" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: $label"
+  fi
+}
+
+# --- exit codes -----------------------------------------------------------
+expect_exit 2 "no subcommand is a usage error" "$NFVPR"
+expect_exit 2 "unknown subcommand is a usage error" "$NFVPR" frobnicate
+expect_exit 0 "top-level --help exits 0" "$NFVPR" --help
+expect_exit 0 "subcommand --help exits 0" "$NFVPR" pipeline --help
+expect_exit 2 "unknown flag is a usage error" "$NFVPR" pipeline --bogus
+expect_exit 2 "missing flag value is a usage error" "$NFVPR" pipeline --seed
+expect_exit 2 "report without --in is a usage error" "$NFVPR" report
+
+# --- end-to-end telemetry -------------------------------------------------
+expect_exit 0 "generate-topology" \
+  sh -c "'$NFVPR' generate-topology --nodes 8 --seed 3 > '$WORK/dc.topo'"
+expect_exit 0 "generate-workload" \
+  sh -c "'$NFVPR' generate-workload --vnfs 8 --requests 40 --seed 3 \
+         > '$WORK/peak.wl'"
+expect_exit 0 "pipeline with telemetry" \
+  "$NFVPR" pipeline -t "$WORK/dc.topo" -w "$WORK/peak.wl" --seed 3 \
+  --sim-duration 5 --metrics-out "$WORK/run.json" \
+  --trace-out "$WORK/trace.json"
+
+expect_contains "$WORK/run.json" '"schema": "nfvpr.run_report/1"' \
+  "run report carries the schema tag"
+expect_contains "$WORK/run.json" '"instance_load"' \
+  "run report has per-instance loads"
+expect_contains "$WORK/run.json" 'placement.bfdsu.passes' \
+  "run report has BFDSU counters"
+expect_contains "$WORK/run.json" 'sim.des.events' \
+  "run report has DES counters"
+expect_contains "$WORK/trace.json" '"ph": "X"' \
+  "trace file has complete events"
+expect_contains "$WORK/trace.json" 'core.joint.run' \
+  "trace file has the joint-run span"
+
+# --- report pretty-print and diff ----------------------------------------
+expect_exit 0 "report pretty-print" "$NFVPR" report --in "$WORK/run.json"
+expect_exit 0 "self-diff is clean" \
+  "$NFVPR" report --in "$WORK/run.json" --baseline "$WORK/run.json" \
+  --fail-on-regression
+
+# A second run with a different seed gives a comparable-but-different
+# report; the diff must render without failing (regressions may or may not
+# clear the threshold, so no --fail-on-regression here).
+expect_exit 0 "pipeline baseline run" \
+  "$NFVPR" pipeline -t "$WORK/dc.topo" -w "$WORK/peak.wl" --seed 4 \
+  --sim-duration 5 --metrics-out "$WORK/base.json"
+expect_exit 0 "cross-seed diff renders" \
+  "$NFVPR" report --in "$WORK/run.json" --baseline "$WORK/base.json"
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures check(s) failed" >&2
+  exit 1
+fi
+echo "all CLI exit-code checks passed"

@@ -5,22 +5,32 @@
 //   nfvpr place    --topology dc.topo --workload peak.wl --algorithm BFDSU
 //   nfvpr schedule --workload peak.wl --vnf 0 --algorithm RCKK
 //   nfvpr pipeline --topology dc.topo --workload peak.wl
+//                  --metrics-out run.json --trace-out trace.json
 //   nfvpr simulate --topology dc.topo --workload peak.wl --duration 60
 //   nfvpr chaos    --nodes 8 --events 20 --max-down 3 --seed 21
+//   nfvpr report   --in run.json                   # pretty-print
+//   nfvpr report   --in run.json --baseline old.json   # diff
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
 #include <string>
 
 #include "nfv/common/cli.h"
 #include "nfv/common/error.h"
 #include "nfv/common/table.h"
 #include "nfv/core/joint_optimizer.h"
+#include "nfv/core/report_builder.h"
 #include "nfv/core/resilience.h"
 #include "nfv/core/sim_builder.h"
 #include "nfv/core/tail_prediction.h"
+#include "nfv/obs/metrics.h"
+#include "nfv/obs/report.h"
+#include "nfv/obs/trace.h"
 #include "nfv/placement/algorithm.h"
 #include "nfv/placement/metrics.h"
 #include "nfv/scheduling/algorithm.h"
@@ -47,6 +57,10 @@ int usage() {
       "  simulate           optimize, then replay packet-level and compare\n"
       "  chaos              replay a seeded failure storm through the\n"
       "                     resilience controller's escalation ladder\n"
+      "  report             pretty-print a run report, or diff two reports\n"
+      "\n"
+      "place/schedule/pipeline/simulate/chaos accept --metrics-out <path>\n"
+      "(JSON run report) and --trace-out <path> (Chrome trace-event JSON).\n"
       "\n"
       "run 'nfvpr <subcommand> --help' for flags.\n"
       "\n"
@@ -55,6 +69,12 @@ int usage() {
       "            5 invalid argument (failed precondition)\n",
       stderr);
   return 2;
+}
+
+/// Exit code for a false parse(): 0 when --help was asked for, 2 (usage
+/// error) otherwise.
+int parse_exit(const nfv::CliParser& cli) {
+  return cli.help_requested() ? 0 : 2;
 }
 
 nfv::topo::Topology read_topology(const std::string& path) {
@@ -69,6 +89,70 @@ nfv::workload::Workload read_workload(const std::string& path) {
   return nfv::workload::load_workload(in);
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Registers --metrics-out / --trace-out on a subcommand and owns the
+/// telemetry sinks.  activate() installs them globally after parse();
+/// finish() uninstalls them and writes the files.  Commands call finish()
+/// on infeasible exits too, so a failed run still leaves evidence behind.
+class Telemetry {
+ public:
+  explicit Telemetry(nfv::CliParser& cli)
+      : metrics_out_(cli.add_string("metrics-out", '\0',
+                                    "write a JSON run report here", "")),
+        trace_out_(cli.add_string("trace-out", '\0',
+                                  "write Chrome trace-event JSON here", "")) {
+  }
+
+  void activate() {
+    if (!metrics_out_.empty()) {
+      registry_ = std::make_unique<nfv::obs::MetricsRegistry>();
+      install_metrics_.emplace(*registry_);
+    }
+    if (!trace_out_.empty()) {
+      tracer_ = std::make_unique<nfv::obs::Tracer>();
+      install_tracing_.emplace(*tracer_);
+    }
+  }
+
+  /// True when --metrics-out was given (commands may run extra stages,
+  /// e.g. pipeline's DES replay, only when someone is watching).
+  [[nodiscard]] bool metrics_enabled() const { return registry_ != nullptr; }
+
+  void finish(nfv::core::ReportInputs inputs) {
+    if (registry_ != nullptr) {
+      install_metrics_.reset();  // uninstall before snapshotting
+      inputs.metrics = registry_.get();
+      const nfv::obs::RunReport report = nfv::core::build_run_report(inputs);
+      std::ofstream os(metrics_out_);
+      if (!os) throw std::runtime_error("cannot open " + metrics_out_);
+      nfv::obs::write_run_report(report, os);
+      registry_.reset();
+    }
+    if (tracer_ != nullptr) {
+      install_tracing_.reset();
+      std::ofstream os(trace_out_);
+      if (!os) throw std::runtime_error("cannot open " + trace_out_);
+      tracer_->write_json(os);
+      tracer_.reset();
+    }
+  }
+
+ private:
+  const std::string& metrics_out_;
+  const std::string& trace_out_;
+  std::unique_ptr<nfv::obs::MetricsRegistry> registry_;
+  std::unique_ptr<nfv::obs::Tracer> tracer_;
+  std::optional<nfv::obs::ScopedMetrics> install_metrics_;
+  std::optional<nfv::obs::ScopedTracing> install_tracing_;
+};
+
 int cmd_generate_topology(int argc, const char* const* argv) {
   nfv::CliParser cli("nfvpr generate-topology", "emit a topology file");
   const auto& kind =
@@ -79,7 +163,7 @@ int cmd_generate_topology(int argc, const char* const* argv) {
   const auto& latency = cli.add_double("latency", 'l', "per-link latency", 1e-4);
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
   const auto& fat_k = cli.add_int("fat-k", '\0', "fat-tree arity (even)", 4);
-  if (!cli.parse(argc, argv)) return 1;
+  if (!cli.parse(argc, argv)) return parse_exit(cli);
   nfv::Rng rng(static_cast<std::uint64_t>(seed));
   const nfv::topo::CapacitySpec cap{cap_min, cap_max};
   const nfv::topo::LinkSpec link{latency};
@@ -114,7 +198,7 @@ int cmd_generate_workload(int argc, const char* const* argv) {
   const auto& delivery =
       cli.add_double("delivery-prob", 'p', "P per request", 0.98);
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
-  if (!cli.parse(argc, argv)) return 1;
+  if (!cli.parse(argc, argv)) return parse_exit(cli);
   nfv::workload::WorkloadConfig cfg;
   cfg.vnf_count = static_cast<std::uint32_t>(vnfs);
   cfg.request_count = static_cast<std::uint32_t>(requests);
@@ -134,34 +218,54 @@ int cmd_place(int argc, const char* const* argv) {
       cli.add_string("algorithm", 'a', "BFDSU|CABP|FFD|NAH|BFD|WFD|FF|NFD|Exact",
                      "BFDSU");
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
-  if (!cli.parse(argc, argv)) return 1;
-  const auto topology = read_topology(topology_file);
-  const auto workload = read_workload(workload_file);
-  const auto problem = nfv::placement::make_problem(topology, workload);
+  Telemetry tele(cli);
+  if (!cli.parse(argc, argv)) return parse_exit(cli);
+  nfv::core::SystemModel model;
+  model.topology = read_topology(topology_file);
+  model.workload = read_workload(workload_file);
+  const auto problem =
+      nfv::placement::make_problem(model.topology, model.workload);
   const auto algo = nfv::placement::make_placement_algorithm(algorithm);
   if (!algo) {
     std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
     return 1;
   }
+  tele.activate();
   nfv::Rng rng(static_cast<std::uint64_t>(seed));
   const auto placement = algo->place(problem, rng);
+
+  // The report carries the placement section only; scheduling/request
+  // sections stay absent for a placement-only run.
+  nfv::core::JointResult partial;
+  partial.placement = placement;
+  if (placement.feasible) {
+    partial.placement_metrics = nfv::placement::evaluate(problem, placement);
+  }
+  nfv::core::ReportInputs inputs;
+  inputs.command = "place";
+  inputs.seed = static_cast<std::uint64_t>(seed);
+  inputs.placement_algorithm = algorithm;
+  inputs.model = &model;
+  inputs.result = &partial;
+  tele.finish(inputs);
+
   if (!placement.feasible) {
     std::puts("INFEASIBLE — not every VNF fits");
     return 3;
   }
-  const auto metrics = nfv::placement::evaluate(problem, placement);
+  const auto& metrics = partial.placement_metrics;
   nfv::Table table({"vnf", "node", "footprint"});
   table.set_precision(1);
-  for (std::size_t f = 0; f < workload.vnfs.size(); ++f) {
-    table.add_row({workload.vnfs[f].name,
-                   topology.label(*placement.assignment[f]),
-                   workload.vnfs[f].total_demand()});
+  for (std::size_t f = 0; f < model.workload.vnfs.size(); ++f) {
+    table.add_row({model.workload.vnfs[f].name,
+                   model.topology.label(*placement.assignment[f]),
+                   model.workload.vnfs[f].total_demand()});
   }
   std::fputs(table.markdown().c_str(), stdout);
   std::printf(
       "\nnodes in service %zu / %zu, avg utilization %.1f%%, occupation "
       "%.0f, iterations %llu\n",
-      metrics.nodes_in_service, topology.compute_count(),
+      metrics.nodes_in_service, model.topology.compute_count(),
       100.0 * metrics.avg_utilization_of_used, metrics.resource_occupation,
       static_cast<unsigned long long>(placement.iterations));
   return 0;
@@ -174,7 +278,8 @@ int cmd_schedule(int argc, const char* const* argv) {
   const auto& algorithm = cli.add_string(
       "algorithm", 'a', "RCKK|CGA|CGA-online|LPT|RR|KK-fwd|CKK|DP2", "RCKK");
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
-  if (!cli.parse(argc, argv)) return 1;
+  Telemetry tele(cli);
+  if (!cli.parse(argc, argv)) return parse_exit(cli);
   const auto workload = read_workload(workload_file);
   if (static_cast<std::size_t>(vnf) >= workload.vnfs.size()) {
     std::fprintf(stderr, "vnf index out of range (have %zu)\n",
@@ -188,10 +293,20 @@ int cmd_schedule(int argc, const char* const* argv) {
     std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
     return 1;
   }
+  tele.activate();
   nfv::Rng rng(static_cast<std::uint64_t>(seed));
   const auto schedule = algo->schedule(problem, rng);
   const auto metrics = nfv::sched::evaluate(problem, schedule);
   const auto admission = nfv::sched::apply_admission(problem, schedule);
+
+  // Single-VNF run: the structured sections do not apply; the registry
+  // snapshot (scheduler work counters, spans) is the payload.
+  nfv::core::ReportInputs inputs;
+  inputs.command = "schedule";
+  inputs.seed = static_cast<std::uint64_t>(seed);
+  inputs.scheduling_algorithm = algorithm;
+  tele.finish(inputs);
+
   nfv::Table table({"instance", "requests", "load pps", "rho", "W"});
   table.set_precision(4);
   std::vector<long long> counts(problem.instance_count, 0);
@@ -226,8 +341,14 @@ int cmd_pipeline(int argc, const char* const* argv) {
   const auto& link = cli.add_double("link-latency", 'l',
                                     "L of Eq. 16 (default: topology mean)",
                                     -1.0);
+  const auto& sim_duration = cli.add_double(
+      "sim-duration", '\0',
+      "DES replay seconds for the run report (0 = skip; only runs when "
+      "--metrics-out is set)",
+      20.0);
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
-  if (!cli.parse(argc, argv)) return 1;
+  Telemetry tele(cli);
+  if (!cli.parse(argc, argv)) return parse_exit(cli);
   nfv::core::SystemModel model;
   model.topology = read_topology(topology_file);
   model.workload = read_workload(workload_file);
@@ -235,12 +356,39 @@ int cmd_pipeline(int argc, const char* const* argv) {
   cfg.placement_algorithm = placer;
   cfg.scheduling_algorithm = scheduler;
   if (link >= 0.0) cfg.link_latency = link;
+  tele.activate();
   const auto result = nfv::core::JointOptimizer(cfg).run(
       model, static_cast<std::uint64_t>(seed));
+
+  nfv::core::ReportInputs inputs;
+  inputs.command = "pipeline";
+  inputs.seed = static_cast<std::uint64_t>(seed);
+  inputs.placement_algorithm = placer;
+  inputs.scheduling_algorithm = scheduler;
+  inputs.model = &model;
+  inputs.result = &result;
+
   if (!result.feasible) {
+    tele.finish(inputs);
     std::puts("INFEASIBLE — placement failed");
     return 3;
   }
+
+  // A metrics-observed pipeline also replays the deployment packet-level,
+  // so the run report carries measured DES counters next to the analytic
+  // Eq. 16 numbers.
+  std::optional<nfv::sim::SimResult> sim;
+  if (tele.metrics_enabled() && sim_duration > 0.0) {
+    const auto build = nfv::core::build_sim_network(model, result);
+    nfv::sim::SimConfig sim_cfg;
+    sim_cfg.duration = sim_duration;
+    sim_cfg.warmup = sim_duration * 0.1;
+    sim_cfg.seed = static_cast<std::uint64_t>(seed) + 1;
+    sim = nfv::sim::simulate(build.network, sim_cfg);
+    inputs.sim = &*sim;
+  }
+  tele.finish(inputs);
+
   std::printf("nodes in service      : %zu / %zu\n",
               result.placement_metrics.nodes_in_service,
               model.topology.compute_count());
@@ -251,6 +399,11 @@ int cmd_pipeline(int argc, const char* const* argv) {
               result.avg_total_latency);
   std::printf("job rejection rate    : %.2f%%\n",
               100.0 * result.job_rejection_rate);
+  if (sim) {
+    std::printf("DES replay events     : %llu (%.0f s)\n",
+                static_cast<unsigned long long>(sim->events_processed),
+                sim_duration);
+  }
   return 0;
 }
 
@@ -260,7 +413,7 @@ int cmd_tail(int argc, const char* const* argv) {
   const auto& workload_file = cli.add_string("workload", 'w', "workload file", "");
   const auto& top = cli.add_int("top", 'n', "show the N busiest requests", 10);
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
-  if (!cli.parse(argc, argv)) return 1;
+  if (!cli.parse(argc, argv)) return parse_exit(cli);
   nfv::core::SystemModel model;
   model.topology = read_topology(topology_file);
   model.workload = read_workload(workload_file);
@@ -302,13 +455,23 @@ int cmd_simulate(int argc, const char* const* argv) {
   const auto& workload_file = cli.add_string("workload", 'w', "workload file", "");
   const auto& duration = cli.add_double("duration", 'd', "simulated seconds", 60.0);
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
-  if (!cli.parse(argc, argv)) return 1;
+  Telemetry tele(cli);
+  if (!cli.parse(argc, argv)) return parse_exit(cli);
   nfv::core::SystemModel model;
   model.topology = read_topology(topology_file);
   model.workload = read_workload(workload_file);
+  tele.activate();
   const auto result = nfv::core::JointOptimizer{nfv::core::JointConfig{}}.run(
       model, static_cast<std::uint64_t>(seed));
+
+  nfv::core::ReportInputs inputs;
+  inputs.command = "simulate";
+  inputs.seed = static_cast<std::uint64_t>(seed);
+  inputs.model = &model;
+  inputs.result = &result;
+
   if (!result.feasible) {
+    tele.finish(inputs);
     std::puts("INFEASIBLE — placement failed");
     return 3;
   }
@@ -318,6 +481,9 @@ int cmd_simulate(int argc, const char* const* argv) {
   sim_cfg.warmup = duration * 0.1;
   sim_cfg.seed = static_cast<std::uint64_t>(seed) + 1;
   const auto sim = nfv::sim::simulate(build.network, sim_cfg);
+  inputs.sim = &sim;
+  tele.finish(inputs);
+
   double predicted = 0.0;
   double measured = 0.0;
   double weight = 0.0;
@@ -355,7 +521,8 @@ int cmd_chaos(int argc, const char* const* argv) {
   const auto& demand = cli.add_double(
       "demand", 'D', "per-instance demand (generated workload)", 150.0);
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 21);
-  if (!cli.parse(argc, argv)) return 1;
+  Telemetry tele(cli);
+  if (!cli.parse(argc, argv)) return parse_exit(cli);
 
   nfv::Rng rng(static_cast<std::uint64_t>(seed));
   nfv::core::SystemModel model;
@@ -383,9 +550,17 @@ int cmd_chaos(int argc, const char* const* argv) {
       model.topology.compute_count(), static_cast<std::size_t>(events),
       storm_rng, interval, static_cast<std::size_t>(max_down));
 
+  tele.activate();
   nfv::core::ResilienceController controller(
       model, {}, static_cast<std::uint64_t>(seed));
+
+  nfv::core::ReportInputs inputs;
+  inputs.command = "chaos";
+  inputs.seed = static_cast<std::uint64_t>(seed);
+  inputs.model = &model;
+
   if (controller.served_fraction() <= 0.0) {
+    tele.finish(inputs);
     std::fprintf(stderr,
                  "nfvpr chaos: the pristine model is infeasible — nothing "
                  "deployed, no storm to survive\n");
@@ -408,6 +583,8 @@ int cmd_chaos(int argc, const char* const* argv) {
                    static_cast<long long>(report.requests_restored),
                    report.time_to_recover, report.availability});
   }
+  inputs.resilience = controller.history();
+  tele.finish(inputs);
   std::fputs(table.markdown().c_str(), stdout);
 
   double worst = 1.0;
@@ -428,11 +605,48 @@ int cmd_chaos(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_report(int argc, const char* const* argv) {
+  nfv::CliParser cli("nfvpr report",
+                     "pretty-print a run report, or diff two reports");
+  const auto& in = cli.add_string("in", 'i', "run report JSON (current)", "");
+  const auto& baseline = cli.add_string(
+      "baseline", 'b', "baseline report to diff --in against", "");
+  const auto& threshold = cli.add_double(
+      "threshold", '\0',
+      "min |%change| for a directional metric to count as a "
+      "regression/improvement",
+      1.0);
+  const auto& fail_on_regression = cli.add_flag(
+      "fail-on-regression", '\0', "exit 3 when the diff finds regressions");
+  if (!cli.parse(argc, argv)) return parse_exit(cli);
+  if (in.empty()) {
+    std::fputs("nfvpr report: --in is required\n", stderr);
+    return 2;
+  }
+  const nfv::obs::JsonValue current =
+      nfv::obs::load_run_report(read_file(in));
+  if (baseline.empty()) {
+    std::fputs(nfv::obs::pretty_print_report(current).c_str(), stdout);
+    return 0;
+  }
+  const nfv::obs::JsonValue base =
+      nfv::obs::load_run_report(read_file(baseline));
+  const auto diff = nfv::obs::diff_reports(base, current, threshold);
+  std::fputs(nfv::obs::render_diff(diff).c_str(), stdout);
+  if (fail_on_regression && diff.regressions > 0) return 3;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string subcommand = argv[1];
+  // Asking for help is not a usage error.
+  if (subcommand == "--help" || subcommand == "-h" || subcommand == "help") {
+    (void)usage();
+    return 0;
+  }
   // Shift argv so each subcommand parser sees its own flags.
   const int sub_argc = argc - 1;
   const char* const* sub_argv = argv + 1;
@@ -449,6 +663,7 @@ int main(int argc, char** argv) {
     if (subcommand == "tail") return cmd_tail(sub_argc, sub_argv);
     if (subcommand == "simulate") return cmd_simulate(sub_argc, sub_argv);
     if (subcommand == "chaos") return cmd_chaos(sub_argc, sub_argv);
+    if (subcommand == "report") return cmd_report(sub_argc, sub_argv);
   } catch (const nfv::InfeasibleError& e) {
     // Well-formed input that no algorithm can satisfy (e.g. a VNF larger
     // than every node): distinct from misuse and from internal failures.
