@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <stdexcept>
 
 #include "nfv/common/error.h"
+#include "nfv/exec/thread_pool.h"
 #include "nfv/obs/json.h"
 #include "nfv/placement/algorithm.h"
 #include "nfv/placement/metrics.h"
@@ -13,6 +15,25 @@
 #include "nfv/workload/trace.h"
 
 namespace nfv::bench {
+
+namespace {
+
+/// Installs a pool of `threads` workers for the caller's scope, unless one
+/// is already installed (CLI --threads wins) or we are on a worker thread
+/// (nested fan-outs run inline).
+struct BenchPool {
+  explicit BenchPool(std::uint32_t threads) {
+    if (threads > 1 && exec::pool() == nullptr &&
+        !exec::ThreadPool::on_worker_thread()) {
+      local.emplace(threads);
+      scope.emplace(*local);
+    }
+  }
+  std::optional<exec::ThreadPool> local;
+  std::optional<exec::ScopedPool> scope;
+};
+
+}  // namespace
 
 void scale_workload_demand(workload::Workload& w, double target_total,
                            double max_piece) {
@@ -34,12 +55,18 @@ PlacementSummary run_placement(const PlacementScenario& scenario,
                                std::string_view algorithm) {
   const auto algo = placement::make_placement_algorithm(algorithm);
   NFV_REQUIRE(algo != nullptr);
-  PlacementSummary summary;
-  OnlineStats util;
-  OnlineStats nodes;
-  OnlineStats occupation;
-  OnlineStats iterations;
-  for (std::uint32_t run = 0; run < scenario.runs; ++run) {
+  struct RunResult {
+    bool feasible = false;
+    placement::PlacementMetrics metrics;
+    std::uint64_t iterations = 0;
+  };
+  const BenchPool pool(scenario.threads);
+  // Each run seeds its own Rng, so replications are independent; the fold
+  // below consumes them in run order, keeping summaries bit-identical to
+  // the serial loop for any thread count.
+  const std::vector<RunResult> runs =
+      exec::parallel_map(scenario.runs, [&](std::size_t run) {
+    RunResult out;
     Rng rng(scenario.base_seed + run);
     const auto topology = topo::make_star(
         scenario.nodes,
@@ -77,12 +104,23 @@ PlacementSummary run_placement(const PlacementScenario& scenario,
     const placement::PlacementProblem problem =
         placement::make_problem(topology, w);
     const placement::Placement result = algo->place(problem, rng);
-    if (!result.feasible) continue;
-    const placement::PlacementMetrics m = placement::evaluate(problem, result);
-    util.add(m.avg_utilization_of_used);
-    nodes.add(static_cast<double>(m.nodes_in_service));
-    occupation.add(m.resource_occupation);
-    iterations.add(static_cast<double>(result.iterations));
+    if (!result.feasible) return out;
+    out.feasible = true;
+    out.metrics = placement::evaluate(problem, result);
+    out.iterations = result.iterations;
+    return out;
+  });
+  PlacementSummary summary;
+  OnlineStats util;
+  OnlineStats nodes;
+  OnlineStats occupation;
+  OnlineStats iterations;
+  for (const RunResult& r : runs) {
+    if (!r.feasible) continue;
+    util.add(r.metrics.avg_utilization_of_used);
+    nodes.add(static_cast<double>(r.metrics.nodes_in_service));
+    occupation.add(r.metrics.resource_occupation);
+    iterations.add(static_cast<double>(r.iterations));
     ++summary.feasible_runs;
   }
   summary.avg_utilization = util.mean();
@@ -96,16 +134,19 @@ SchedulingSummary run_scheduling(const SchedulingScenario& scenario,
                                  std::string_view algorithm) {
   const auto algo = sched::make_scheduling_algorithm(algorithm);
   NFV_REQUIRE(algo != nullptr);
-  SchedulingSummary summary;
-  OnlineStats response;
-  SampleSet response_samples;
-  OnlineStats rejection;
-  OnlineStats imbalance;
-  OnlineStats work;
   const workload::LognormalTraceSampler trace_sampler(
       {0.04, scenario.rate_sigma_log > 0.0 ? scenario.rate_sigma_log : 1.0,
        scenario.arrival_min, scenario.arrival_max});
-  for (std::uint32_t run = 0; run < scenario.runs; ++run) {
+  struct RunResult {
+    double response = 0.0;
+    double rejection = 0.0;
+    double imbalance = 0.0;
+    double work = 0.0;
+    bool stable = false;
+  };
+  const BenchPool pool(scenario.threads);
+  const std::vector<RunResult> results =
+      exec::parallel_map(scenario.runs, [&](std::size_t run) {
     Rng rng(scenario.base_seed + run);
     sched::SchedulingProblem p;
     double total = 0.0;
@@ -129,12 +170,23 @@ SchedulingSummary run_scheduling(const SchedulingScenario& scenario,
         sched::apply_admission(p, schedule, scenario.rho_max);
     // W is measured on the admitted traffic (what the instances actually
     // carry); with stable raw schedules the two coincide.
-    response.add(admission.admitted_metrics.avg_response);
-    response_samples.add(admission.admitted_metrics.avg_response);
-    rejection.add(admission.rejection_rate);
-    imbalance.add(raw.imbalance);
-    work.add(static_cast<double>(schedule.work));
-    if (raw.stable) ++summary.stable_runs;
+    return RunResult{admission.admitted_metrics.avg_response,
+                     admission.rejection_rate, raw.imbalance,
+                     static_cast<double>(schedule.work), raw.stable};
+  });
+  SchedulingSummary summary;
+  OnlineStats response;
+  SampleSet response_samples;
+  OnlineStats rejection;
+  OnlineStats imbalance;
+  OnlineStats work;
+  for (const RunResult& r : results) {
+    response.add(r.response);
+    response_samples.add(r.response);
+    rejection.add(r.rejection);
+    imbalance.add(r.imbalance);
+    work.add(r.work);
+    if (r.stable) ++summary.stable_runs;
   }
   summary.avg_response = response.mean();
   summary.p99_response = response_samples.p99();
@@ -152,13 +204,18 @@ JointSummary run_joint(const JointScenario& scenario,
   cfg.scheduling_algorithm = std::string(scheduling_algorithm);
   cfg.link_latency = scenario.link_latency;
   const core::JointOptimizer optimizer(cfg);
-  JointSummary summary;
-  OnlineStats total_latency;
-  OnlineStats response;
-  OnlineStats link;
-  OnlineStats rejection;
-  OnlineStats nodes;
-  for (std::uint32_t run = 0; run < scenario.runs; ++run) {
+  struct RunResult {
+    bool feasible = false;
+    double total_latency = 0.0;
+    double response = 0.0;
+    double link = 0.0;
+    double rejection = 0.0;
+    double nodes = 0.0;
+  };
+  const BenchPool pool(scenario.threads);
+  const std::vector<RunResult> results =
+      exec::parallel_map(scenario.runs, [&](std::size_t run) {
+    RunResult out;
     Rng rng(scenario.base_seed + run);
     core::SystemModel model;
     model.topology = topo::make_star(
@@ -181,7 +238,7 @@ JointSummary run_joint(const JointScenario& scenario,
                           0.9 * max_capacity);
     const core::JointResult result =
         optimizer.run(model, scenario.base_seed + run);
-    if (!result.feasible) continue;
+    if (!result.feasible) return out;
     double link_sum = 0.0;
     std::size_t admitted = 0;
     for (const auto& r : result.requests) {
@@ -190,11 +247,27 @@ JointSummary run_joint(const JointScenario& scenario,
         ++admitted;
       }
     }
-    total_latency.add(result.avg_total_latency);
-    response.add(result.avg_response);
-    link.add(admitted > 0 ? link_sum / static_cast<double>(admitted) : 0.0);
-    rejection.add(result.job_rejection_rate);
-    nodes.add(static_cast<double>(result.placement_metrics.nodes_in_service));
+    out.feasible = true;
+    out.total_latency = result.avg_total_latency;
+    out.response = result.avg_response;
+    out.link = admitted > 0 ? link_sum / static_cast<double>(admitted) : 0.0;
+    out.rejection = result.job_rejection_rate;
+    out.nodes = static_cast<double>(result.placement_metrics.nodes_in_service);
+    return out;
+  });
+  JointSummary summary;
+  OnlineStats total_latency;
+  OnlineStats response;
+  OnlineStats link;
+  OnlineStats rejection;
+  OnlineStats nodes;
+  for (const RunResult& r : results) {
+    if (!r.feasible) continue;
+    total_latency.add(r.total_latency);
+    response.add(r.response);
+    link.add(r.link);
+    rejection.add(r.rejection);
+    nodes.add(r.nodes);
     ++summary.feasible_runs;
   }
   summary.avg_total_latency = total_latency.mean();

@@ -41,6 +41,9 @@ struct PlacementScenario {
   double demand_spread = 0.8;
   std::uint32_t runs = 100;
   std::uint64_t base_seed = 42;
+  /// Monte-Carlo fan-out width; 1 = serial.  Summaries are bit-identical
+  /// for any value (runs are independently seeded, folded in run order).
+  std::uint32_t threads = 1;
 };
 
 /// Averages over feasible runs.
@@ -79,6 +82,7 @@ struct SchedulingScenario {
   double rho_max = 0.999;        ///< admission ceiling
   std::uint32_t runs = 1000;     ///< paper: "execute both algorithms 1000 times"
   std::uint64_t base_seed = 7;
+  std::uint32_t threads = 1;     ///< Monte-Carlo fan-out width (see above)
 };
 
 /// Distribution of per-run results.
@@ -112,6 +116,7 @@ struct JointScenario {
   std::uint32_t requests_per_instance = 12;
   std::uint32_t runs = 50;
   std::uint64_t base_seed = 11;
+  std::uint32_t threads = 1;     ///< Monte-Carlo fan-out width (see above)
 };
 
 struct JointSummary {

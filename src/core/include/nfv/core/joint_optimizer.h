@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "nfv/common/ids.h"
+#include "nfv/exec/thread_pool.h"
 #include "nfv/placement/algorithm.h"
 #include "nfv/placement/metrics.h"
 #include "nfv/scheduling/algorithm.h"
@@ -36,6 +37,9 @@ struct JointConfig {
   /// Per-hop latency L of Eq. 16; defaults to the topology's mean link
   /// latency when unset.
   std::optional<double> link_latency;
+  /// Fan-out width for multi-start placement and per-VNF scheduling.
+  /// Results are bit-identical for any thread count (see DESIGN.md §10).
+  exec::ExecConfig exec;
 };
 
 /// Scheduling context of one VNF: its m-way partitioning problem plus the
@@ -87,6 +91,9 @@ class JointOptimizer {
   [[nodiscard]] const JointConfig& config() const { return config_; }
 
  private:
+  [[nodiscard]] JointResult run_impl(const SystemModel& model,
+                                     std::uint64_t seed) const;
+
   JointConfig config_;
 };
 

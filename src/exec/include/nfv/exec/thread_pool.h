@@ -1,0 +1,190 @@
+// Deterministic parallel execution layer.
+//
+// A dependency-free fixed-size thread pool plus parallel_for / parallel_map
+// helpers with *static* chunking: item i always lands in chunk
+// floor(i·C/n), no work stealing, no dynamic scheduling.  Callers that
+// write result i into slot i therefore produce bit-identical output for
+// any thread count — the contract the joint pipeline's determinism tests
+// pin down (DESIGN.md §10).
+//
+// Installation mirrors the obs null-sink design: fan-out sites call the
+// free helpers (exec::parallel_for / exec::parallel_map), which consult a
+// globally installed pool.  With no pool installed — the default — the
+// helpers run inline on the calling thread: zero threads, zero allocation,
+// identical results.  A scope (CLI command, bench main, JointOptimizer
+// run) enables parallelism by installing a pool with ScopedPool.
+//
+// Nested fan-out is safe by construction: a parallel_for issued from
+// inside a pool worker runs inline on that worker (counted by
+// exec.nested_inline), so fanning replications out at the bench layer
+// automatically serializes the per-run inner fan-outs instead of
+// deadlocking on the shared queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "nfv/common/error.h"
+
+namespace nfv::exec {
+
+/// Execution-layer knobs, plumbed through JointConfig and the CLI/bench
+/// --threads flags.
+struct ExecConfig {
+  /// Worker threads for the fan-out sites; 1 = serial (no pool).
+  std::uint32_t threads = 1;
+
+  void validate() const { NFV_REQUIRE(threads >= 1); }
+};
+
+/// Fixed-size worker pool.  Construction spawns the workers; destruction
+/// joins them.  Thread-safe: any thread may submit parallel regions, one
+/// region at a time per calling thread.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::uint32_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::uint32_t thread_count() const {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+
+  /// True when the calling thread is one of this process's pool workers
+  /// (any pool) — such calls must run inline to avoid queue deadlock.
+  [[nodiscard]] static bool on_worker_thread() noexcept;
+
+  /// Invokes f(i) for every i in [0, n), fanned out over the workers in
+  /// statically chunked index ranges.  Blocks until all chunks finish.
+  /// The first exception thrown by any chunk is rethrown here (remaining
+  /// chunks still run to completion, their exceptions are dropped).
+  /// Runs inline when n <= 1 or when called from a worker thread.
+  template <typename F>
+  void parallel_for(std::size_t n, F&& f) {
+    if (n == 0) return;
+    if (n == 1 || thread_count() <= 1 || on_worker_thread()) {
+      run_inline(n, f);
+      return;
+    }
+    const std::size_t chunks =
+        n < static_cast<std::size_t>(thread_count())
+            ? n
+            : static_cast<std::size_t>(thread_count());
+    ParallelRegion region(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * n / chunks;
+      const std::size_t end = (c + 1) * n / chunks;
+      submit([&region, &f, begin, end] {
+        try {
+          for (std::size_t i = begin; i < end; ++i) f(i);
+        } catch (...) {
+          region.capture_exception(std::current_exception());
+        }
+        region.finish_chunk();
+      });
+    }
+    region.wait_and_rethrow();
+    note_region(n, chunks);
+  }
+
+  /// parallel_for that collects f(i) into slot i of the returned vector —
+  /// result order is index order, independent of the thread count.
+  template <typename F>
+  auto parallel_map(std::size_t n, F&& f) -> std::vector<decltype(f(std::size_t{0}))> {
+    std::vector<decltype(f(std::size_t{0}))> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = f(i); });
+    return out;
+  }
+
+ private:
+  /// Completion barrier + first-exception store for one parallel region.
+  class ParallelRegion {
+   public:
+    explicit ParallelRegion(std::size_t chunks) : remaining_(chunks) {}
+    void capture_exception(std::exception_ptr e);
+    void finish_chunk();
+    void wait_and_rethrow();
+
+   private:
+    std::mutex mu_;
+    std::condition_variable done_;
+    std::size_t remaining_;
+    std::exception_ptr first_error_;
+  };
+
+  template <typename F>
+  static void run_inline(std::size_t n, F& f) {
+    note_inline(n);
+    for (std::size_t i = 0; i < n; ++i) f(i);
+  }
+
+  void submit(std::function<void()> task);
+  void worker_loop();
+  static void note_region(std::size_t items, std::size_t chunks);
+  static void note_inline(std::size_t items);
+
+  std::mutex mu_;
+  std::condition_variable ready_;
+  std::vector<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// The globally installed pool, or nullptr when parallelism is disabled.
+[[nodiscard]] ThreadPool* pool() noexcept;
+
+/// Installs (or clears, with nullptr) the global pool; returns the
+/// previous one.  Not synchronized against in-flight helpers — install
+/// before the fanned-out work starts and uninstall after it ends.
+ThreadPool* set_pool(ThreadPool* p) noexcept;
+
+/// RAII install/uninstall of a pool as the global fan-out target.
+class ScopedPool {
+ public:
+  explicit ScopedPool(ThreadPool& p) : prev_(set_pool(&p)) {}
+  ~ScopedPool() { set_pool(prev_); }
+  ScopedPool(const ScopedPool&) = delete;
+  ScopedPool& operator=(const ScopedPool&) = delete;
+
+ private:
+  ThreadPool* prev_;
+};
+
+// ---------------------------------------------------------------------------
+// Fast-path helpers: one relaxed atomic load, then either the installed
+// pool's fan-out or a plain inline loop.
+// ---------------------------------------------------------------------------
+
+template <typename F>
+void parallel_for(std::size_t n, F&& f) {
+  if (ThreadPool* p = pool()) {
+    p->parallel_for(n, std::forward<F>(f));
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) f(i);
+}
+
+template <typename F>
+auto parallel_map(std::size_t n, F&& f) -> std::vector<decltype(f(std::size_t{0}))> {
+  std::vector<decltype(f(std::size_t{0}))> out(n);
+  parallel_for(n, [&](std::size_t i) { out[i] = f(i); });
+  return out;
+}
+
+/// Worker threads available for fan-out in the current scope: the
+/// installed pool's size, or 1 when running serially.  Batch-oriented
+/// call sites (BFDSU's stall-bounded multi-start) size their waves with
+/// this so serial runs keep their early-exit behavior.
+[[nodiscard]] inline std::uint32_t current_concurrency() noexcept {
+  const ThreadPool* p = pool();
+  return p != nullptr && !ThreadPool::on_worker_thread() ? p->thread_count()
+                                                         : 1;
+}
+
+}  // namespace nfv::exec

@@ -188,10 +188,12 @@ JsonValue load_run_report(std::string_view text) {
     throw std::invalid_argument("run report must be a JSON object");
   }
   const std::string schema = doc->string_or("schema");
-  if (schema != kRunReportSchema) {
+  // Bench tables share the report tooling (pretty-print + regression
+  // diff), so both schemas load here.
+  if (schema != kRunReportSchema && schema != "nfvpr.bench/1") {
     throw std::invalid_argument(
         "unsupported run-report schema '" + schema + "' (expected '" +
-        std::string(kRunReportSchema) + "')");
+        std::string(kRunReportSchema) + "' or 'nfvpr.bench/1')");
   }
   return std::move(*doc);
 }
@@ -325,7 +327,7 @@ namespace {
 constexpr std::string_view kHigherWorse[] = {
     "latency", "response", "rejection", "rejected", "shed",     "drop",
     "downtime", "retransmission", "failure",        "occupation",
-    "nodes_in_service", "queue_depth", "imbalance",
+    "nodes_in_service", "queue_depth", "imbalance", "wall",     "work",
 };
 
 /// Metrics where a larger value signals a better run.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "nfv/exec/thread_pool.h"
 #include "nfv/obs/metrics.h"
 #include "nfv/obs/trace.h"
 #include "nfv/placement/algorithm.h"
@@ -21,7 +22,16 @@ Placement BfdsuPlacement::single_pass(const PlacementProblem& problem,
   Placement result;
   result.assignment.resize(problem.vnf_count());
   std::vector<double> residual = problem.capacities;
-  std::vector<bool> used(problem.node_count(), false);
+
+  // Algorithm 1 keeps Used_list / Spare_list explicitly; maintaining them
+  // incrementally means each VNF scans only the used nodes (typically a
+  // small prefix of V) and touches the spare list just on the fallback,
+  // instead of two full |V| sweeps per VNF.  spare_nodes is unordered
+  // (swap-remove on promotion); determinism comes from the candidate sort
+  // below, which orders by (residual, node id) regardless of scan order.
+  std::vector<std::uint32_t> used_nodes;
+  std::vector<std::uint32_t> spare_nodes(problem.node_count());
+  for (std::uint32_t v = 0; v < problem.node_count(); ++v) spare_nodes[v] = v;
 
   // Scratch reused across VNFs: candidate node set V_rst(f) and weights.
   std::vector<std::uint32_t> candidates;
@@ -32,16 +42,14 @@ Placement BfdsuPlacement::single_pass(const PlacementProblem& problem,
 
     // Lines 4-8: search Used_list first, fall back to Spare_list.
     candidates.clear();
-    for (std::uint32_t v = 0; v < problem.node_count(); ++v) {
-      if (used[v] && detail::fits(residual[v], demand)) {
-        candidates.push_back(v);
-      }
+    for (const std::uint32_t v : used_nodes) {
+      if (detail::fits(residual[v], demand)) candidates.push_back(v);
     }
+    bool from_spare = false;
     if (candidates.empty()) {
-      for (std::uint32_t v = 0; v < problem.node_count(); ++v) {
-        if (!used[v] && detail::fits(residual[v], demand)) {
-          candidates.push_back(v);
-        }
+      from_spare = true;
+      for (const std::uint32_t v : spare_nodes) {
+        if (detail::fits(residual[v], demand)) candidates.push_back(v);
       }
     }
     if (candidates.empty()) return result;  // line 9: go back to Begin
@@ -50,7 +58,10 @@ Placement BfdsuPlacement::single_pass(const PlacementProblem& problem,
     // after placing f; the +1 keeps the weight finite on exact fits.
     std::sort(candidates.begin(), candidates.end(),
               [&](std::uint32_t a, std::uint32_t b) {
-                return residual[a] < residual[b];
+                if (residual[a] != residual[b]) {
+                  return residual[a] < residual[b];
+                }
+                return a < b;
               });
     weights.clear();
     weights.reserve(candidates.size());
@@ -59,7 +70,13 @@ Placement BfdsuPlacement::single_pass(const PlacementProblem& problem,
     }
     const std::uint32_t chosen = candidates[rng.weighted_index(weights)];
     detail::assign(result, residual, f, chosen, demand);
-    used[chosen] = true;
+    if (from_spare) {
+      const auto it =
+          std::find(spare_nodes.begin(), spare_nodes.end(), chosen);
+      *it = spare_nodes.back();
+      spare_nodes.pop_back();
+      used_nodes.push_back(chosen);
+    }
   }
   result.feasible = true;
   return result;
@@ -74,30 +91,65 @@ Placement BfdsuPlacement::place(const PlacementProblem& problem,
   // without improvement.  Infeasible passes are the paper's "go back to
   // Begin" restarts and count toward iterations but not toward stalls
   // until a feasible placement exists.
+  //
+  // Pass i always draws from rng.fork(i), forked up-front in index order:
+  // the caller's rng advances identically however the passes execute, and
+  // the reduction below consumes pass results in index order with the
+  // serial stall rule — so the winning placement is bit-identical for any
+  // thread count.  Passes run in waves of the current fan-out width; a
+  // wave may compute a few passes past the stall cutoff, which are
+  // discarded (wasted work bounded by one wave), never folded in.
+  std::vector<Rng> pass_rng;
+  pass_rng.reserve(options_.max_passes);
+  for (std::uint32_t i = 0; i < options_.max_passes; ++i) {
+    pass_rng.push_back(rng.fork(i));
+  }
+
+  struct PassResult {
+    Placement placement;
+    PlacementMetrics metrics;
+  };
+
   Placement best;
   double best_util = -1.0;
   std::size_t best_nodes = problem.node_count() + 1;
   std::uint32_t stall = 0;
   std::uint64_t passes = 0;
   std::uint64_t restarts = 0;
-  while (passes < options_.max_passes && stall < options_.stall_limit) {
-    ++passes;
-    Placement candidate = single_pass(problem, rng);
-    if (!candidate.feasible) {
-      ++restarts;
-      if (best.feasible) ++stall;
-      continue;
-    }
-    const PlacementMetrics m = evaluate(problem, candidate);
-    if (m.nodes_in_service < best_nodes ||
-        (m.nodes_in_service == best_nodes &&
-         m.avg_utilization_of_used > best_util)) {
-      best = std::move(candidate);
-      best_nodes = m.nodes_in_service;
-      best_util = m.avg_utilization_of_used;
-      stall = 0;
-    } else {
-      ++stall;
+  std::uint32_t launched = 0;
+  while (launched < options_.max_passes && stall < options_.stall_limit) {
+    const std::uint32_t wave = std::min(exec::current_concurrency(),
+                                        options_.max_passes - launched);
+    std::vector<PassResult> results =
+        exec::parallel_map(wave, [&, launched](std::size_t i) {
+          PassResult r;
+          r.placement =
+              single_pass(problem, pass_rng[launched + static_cast<std::uint32_t>(i)]);
+          if (r.placement.feasible) {
+            r.metrics = evaluate(problem, r.placement);
+          }
+          return r;
+        });
+    launched += wave;
+    // Index-ordered reduction replaying the serial stopping rule.
+    for (PassResult& r : results) {
+      if (stall >= options_.stall_limit) break;  // computed past the cutoff
+      ++passes;
+      if (!r.placement.feasible) {
+        ++restarts;
+        if (best.feasible) ++stall;
+        continue;
+      }
+      if (r.metrics.nodes_in_service < best_nodes ||
+          (r.metrics.nodes_in_service == best_nodes &&
+           r.metrics.avg_utilization_of_used > best_util)) {
+        best = std::move(r.placement);
+        best_nodes = r.metrics.nodes_in_service;
+        best_util = r.metrics.avg_utilization_of_used;
+        stall = 0;
+      } else {
+        ++stall;
+      }
     }
   }
   best.iterations = passes;

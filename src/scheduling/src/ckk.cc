@@ -25,12 +25,12 @@ struct CkkSearch {
   double best_spread = 0.0;
   detail::Partition best;
 
-  void dfs(std::vector<detail::Partition> list) {
+  void dfs(detail::PartitionHeap list) {
     if (exhausted) return;
     if (list.size() == 1) {
-      const double spread = list.front().values.front();  // normalized: min==0
+      const double spread = list.top().values.front();  // normalized: min==0
       if (best.values.empty() || spread < best_spread) {
-        best = std::move(list.front());
+        best = list.pop();
         best_spread = spread;
       }
       return;
@@ -42,24 +42,19 @@ struct CkkSearch {
     // Lower bound: combining can reduce the largest head by at most the sum
     // of all other heads (classic KK bound, generalized).
     if (!best.values.empty()) {
-      double other_heads = 0.0;
-      for (std::size_t i = 1; i < list.size(); ++i) {
-        other_heads += list[i].head();
-      }
-      if (list.front().head() - other_heads >= best_spread) {
+      if (list.top().head() - list.other_heads_sum() >= best_spread) {
         // Even perfect cancellation leaves a spread >= incumbent.
         return;
       }
     }
-    detail::Partition a = std::move(list[0]);
-    detail::Partition b = std::move(list[1]);
-    list.erase(list.begin(), list.begin() + 2);
+    detail::Partition a = list.pop();
+    detail::Partition b = list.pop();
     for (std::size_t shift = 0; shift < m; ++shift) {
       auto perm = [this, shift](std::size_t i) {
         return (m - 1 - i + shift) % m;
       };
-      std::vector<detail::Partition> next = list;  // copy remaining
-      detail::insert_sorted(next, detail::combine(a, b, perm));
+      detail::PartitionHeap next = list;  // copy remaining
+      next.push(detail::combine(a, b, perm));
       dfs(std::move(next));
       if (exhausted) return;
       if (m == 1) break;
@@ -81,7 +76,7 @@ Schedule CkkScheduling::schedule(const SchedulingProblem& problem,
   CkkSearch search;
   search.m = problem.instance_count;
   search.budget = options_.node_budget;
-  search.dfs(detail::initial_partitions(problem));
+  search.dfs(detail::PartitionHeap(detail::initial_partitions(problem)));
   NFV_CHECK(!search.best.values.empty());
   out.instance_of = detail::to_assignment(search.best,
                                           problem.request_count());

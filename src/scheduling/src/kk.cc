@@ -16,15 +16,14 @@ Schedule KkForwardScheduling::schedule(const SchedulingProblem& problem,
     out.work = problem.request_count();
     return out;
   }
-  auto list = detail::initial_partitions(problem);
-  while (list.size() > 1) {
-    detail::Partition a = std::move(list[0]);
-    detail::Partition b = std::move(list[1]);
-    list.erase(list.begin(), list.begin() + 2);
-    detail::insert_sorted(list, detail::combine_forward(a, b));
+  detail::PartitionHeap heap(detail::initial_partitions(problem));
+  while (heap.size() > 1) {
+    detail::Partition a = heap.pop();
+    detail::Partition b = heap.pop();
+    heap.push(detail::combine_forward(a, b));
     ++out.work;
   }
-  out.instance_of = detail::to_assignment(list.front(),
+  out.instance_of = detail::to_assignment(heap.top(),
                                           problem.request_count());
   out.validate(problem);
   return out;

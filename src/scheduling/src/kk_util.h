@@ -100,12 +100,85 @@ template <typename Perm>
 }
 
 /// Inserts into a descending-by-head list, keeping it sorted (line 6).
+///
+/// Reference implementation of the Partition_list: O(n) per insert from
+/// the vector shift.  The algorithms use PartitionHeap below (O(log n)
+/// per operation, identical pop order); this stays as the executable
+/// specification the heap is unit-tested against.
 inline void insert_sorted(std::vector<Partition>& list, Partition p) {
   const auto pos = std::upper_bound(
       list.begin(), list.end(), p,
       [](const Partition& x, const Partition& y) { return x.head() > y.head(); });
   list.insert(pos, std::move(p));
 }
+
+/// The Partition_list as a binary max-heap: pop() yields the partition
+/// with the largest head, and — like the sorted list, where insert_sorted
+/// places a new partition *after* existing equal heads — ties break FIFO
+/// by insertion order.  Keying the heap on (head desc, insertion-seq asc)
+/// reproduces the list's pop sequence exactly while cutting the
+/// Partition_list maintenance from O(n) per combine (vector shift) to
+/// O(log n), i.e. O(n log n) total for a full RCKK/KK run.
+class PartitionHeap {
+ public:
+  PartitionHeap() = default;
+
+  /// Heapifies an initial list; element i gets insertion sequence i, so
+  /// the pop order of an initial_partitions() vector (already sorted
+  /// descending, stable) is preserved.
+  explicit PartitionHeap(std::vector<Partition> initial) {
+    entries_.reserve(initial.size());
+    for (Partition& p : initial) {
+      entries_.push_back(Entry{std::move(p), next_seq_++});
+    }
+    std::make_heap(entries_.begin(), entries_.end(), Before{});
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Largest head (ties: earliest inserted) without removing it.
+  [[nodiscard]] const Partition& top() const { return entries_.front().p; }
+
+  /// Sum of every head except the largest — the CKK pruning bound.
+  /// O(n), but only reached on un-pruned search nodes.
+  [[nodiscard]] double other_heads_sum() const {
+    double sum = 0.0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      sum += entries_[i].p.head();
+    }
+    return sum;
+  }
+
+  Partition pop() {
+    std::pop_heap(entries_.begin(), entries_.end(), Before{});
+    Partition p = std::move(entries_.back().p);
+    entries_.pop_back();
+    return p;
+  }
+
+  void push(Partition p) {
+    entries_.push_back(Entry{std::move(p), next_seq_++});
+    std::push_heap(entries_.begin(), entries_.end(), Before{});
+  }
+
+ private:
+  struct Entry {
+    Partition p;
+    std::uint64_t seq = 0;
+  };
+  /// std:: heap algorithms keep the *largest* element (by this "less
+  /// than") at the front; an earlier seq wins among equal heads.
+  struct Before {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.p.head() != b.p.head()) return a.p.head() < b.p.head();
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Entry> entries_;
+  std::uint64_t next_seq_ = 0;
+};
 
 /// Converts the surviving partition's sets to a per-request instance map
 /// (lines 8-10).

@@ -19,17 +19,16 @@ Schedule RckkScheduling::schedule(const SchedulingProblem& problem,
     obs::count("sched.rckk.combines", out.work);
     return out;
   }
-  auto list = detail::initial_partitions(problem);
-  while (list.size() > 1) {
+  detail::PartitionHeap heap(detail::initial_partitions(problem));
+  while (heap.size() > 1) {
     // Lines 2-6: combine the two partitions with the largest leading
     // values in reverse order, normalize, reinsert.
-    detail::Partition a = std::move(list[0]);
-    detail::Partition b = std::move(list[1]);
-    list.erase(list.begin(), list.begin() + 2);
-    detail::insert_sorted(list, detail::combine_reverse(a, b));
+    detail::Partition a = heap.pop();
+    detail::Partition b = heap.pop();
+    heap.push(detail::combine_reverse(a, b));
     ++out.work;
   }
-  out.instance_of = detail::to_assignment(list.front(),
+  out.instance_of = detail::to_assignment(heap.top(),
                                           problem.request_count());
   out.validate(problem);
   obs::count("sched.rckk.runs");

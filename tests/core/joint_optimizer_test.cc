@@ -184,6 +184,34 @@ TEST(MakeSchedulingContexts, MembersMatchChains) {
   }
 }
 
+TEST(JointOptimizer, NodesTraversedMatchesSetSemantics) {
+  // Regression guard for the Eq. 16 scratch-vector dedup: nodes_traversed
+  // must equal the number of *distinct* nodes hosting the chain's VNFs —
+  // recomputed here with the std::set the hot loop used to build.
+  Rng rng(10);
+  SystemModel model;
+  model.topology = topo::make_star(8, topo::CapacitySpec{400.0, 600.0},
+                                   topo::LinkSpec{1e-4}, rng);
+  workload::WorkloadConfig cfg;
+  cfg.vnf_count = 10;
+  cfg.request_count = 60;
+  cfg.fixed_demand_per_instance = 50.0;  // force multi-node chains
+  model.workload = workload::WorkloadGenerator(cfg).generate(rng);
+  const JointResult result = JointOptimizer{JointConfig{}}.run(model, 4);
+  ASSERT_TRUE(result.feasible);
+  bool saw_multi_node_chain = false;
+  for (std::size_t r = 0; r < result.requests.size(); ++r) {
+    if (!result.requests[r].admitted) continue;
+    std::set<NodeId> nodes;
+    for (const VnfId f : model.workload.requests[r].chain) {
+      nodes.insert(*result.placement.assignment[f.index()]);
+    }
+    EXPECT_EQ(result.requests[r].nodes_traversed, nodes.size());
+    saw_multi_node_chain |= nodes.size() > 1;
+  }
+  EXPECT_TRUE(saw_multi_node_chain);  // the guard must exercise dedup
+}
+
 TEST(SystemModel, ValidateCatchesBrokenModels) {
   Rng rng(9);
   SystemModel model;

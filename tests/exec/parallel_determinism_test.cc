@@ -1,0 +1,99 @@
+// The determinism contract (DESIGN.md §10): a JointOptimizer run is
+// bit-identical for any thread count.  These tests run the full pipeline
+// at threads ∈ {1, 2, 8} and require exact equality — not near-equality —
+// on every float and every assignment, both via JointConfig::exec and via
+// an externally installed pool (the CLI --threads path).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nfv/core/joint_optimizer.h"
+#include "nfv/exec/thread_pool.h"
+#include "nfv/topology/builders.h"
+#include "nfv/workload/generator.h"
+
+namespace nfv::core {
+namespace {
+
+SystemModel make_model(std::uint64_t seed) {
+  Rng rng(seed);
+  SystemModel model;
+  model.topology = topo::make_star(10, topo::CapacitySpec{500.0, 900.0},
+                                   topo::LinkSpec{1e-4}, rng);
+  workload::WorkloadConfig cfg;
+  cfg.vnf_count = 12;
+  cfg.request_count = 80;
+  cfg.fixed_demand_per_instance = 40.0;  // spread chains over several nodes
+  model.workload = workload::WorkloadGenerator(cfg).generate(rng);
+  return model;
+}
+
+void expect_identical(const JointResult& a, const JointResult& b) {
+  ASSERT_EQ(a.feasible, b.feasible);
+  ASSERT_EQ(a.placement.assignment.size(), b.placement.assignment.size());
+  for (std::size_t f = 0; f < a.placement.assignment.size(); ++f) {
+    EXPECT_EQ(a.placement.assignment[f], b.placement.assignment[f]);
+  }
+  EXPECT_EQ(a.placement.iterations, b.placement.iterations);
+  ASSERT_EQ(a.schedules.size(), b.schedules.size());
+  for (std::size_t f = 0; f < a.schedules.size(); ++f) {
+    EXPECT_EQ(a.schedules[f].instance_of, b.schedules[f].instance_of);
+    EXPECT_EQ(a.admissions[f].admitted, b.admissions[f].admitted);
+  }
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t r = 0; r < a.requests.size(); ++r) {
+    EXPECT_EQ(a.requests[r].admitted, b.requests[r].admitted);
+    // Bit-identical, not just close: same operations in the same order.
+    EXPECT_EQ(a.requests[r].response_latency, b.requests[r].response_latency);
+    EXPECT_EQ(a.requests[r].link_latency, b.requests[r].link_latency);
+    EXPECT_EQ(a.requests[r].nodes_traversed, b.requests[r].nodes_traversed);
+  }
+  EXPECT_EQ(a.total_latency, b.total_latency);
+  EXPECT_EQ(a.avg_total_latency, b.avg_total_latency);
+  EXPECT_EQ(a.avg_response, b.avg_response);
+  EXPECT_EQ(a.job_rejection_rate, b.job_rejection_rate);
+}
+
+TEST(ParallelDeterminism, JointResultIdenticalAcrossThreadCounts) {
+  for (const std::uint64_t seed : {3u, 17u}) {
+    const SystemModel model = make_model(seed);
+    JointConfig serial_cfg;
+    serial_cfg.exec.threads = 1;
+    const JointResult serial = JointOptimizer(serial_cfg).run(model, 42);
+    ASSERT_TRUE(serial.feasible);
+    for (const std::uint32_t threads : {2u, 8u}) {
+      JointConfig cfg;
+      cfg.exec.threads = threads;
+      const JointResult parallel = JointOptimizer(cfg).run(model, 42);
+      expect_identical(serial, parallel);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, ExternallyInstalledPoolMatchesSerial) {
+  // The CLI path: a ScopedPool wraps the whole command and JointConfig
+  // keeps threads = 1; the installed pool must win and stay deterministic.
+  const SystemModel model = make_model(5);
+  const JointResult serial = JointOptimizer(JointConfig{}).run(model, 9);
+  ASSERT_TRUE(serial.feasible);
+  exec::ThreadPool workers(4);
+  const exec::ScopedPool scope(workers);
+  const JointResult parallel = JointOptimizer(JointConfig{}).run(model, 9);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelDeterminism, RepeatedParallelRunsAgree) {
+  // Thread scheduling varies between runs; results must not.
+  const SystemModel model = make_model(23);
+  JointConfig cfg;
+  cfg.exec.threads = 8;
+  const JointOptimizer optimizer(cfg);
+  const JointResult first = optimizer.run(model, 1);
+  ASSERT_TRUE(first.feasible);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    expect_identical(first, optimizer.run(model, 1));
+  }
+}
+
+}  // namespace
+}  // namespace nfv::core

@@ -1,0 +1,118 @@
+// PartitionHeap must reproduce the sorted Partition_list exactly:
+// insert_sorted (the executable specification, O(n) per insert) and the
+// heap (O(log n)) are driven through identical pop/combine/push sequences
+// and must agree on every intermediate pop and on the final assignment.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kk_util.h"
+#include "nfv/common/rng.h"
+#include "nfv/scheduling/algorithm.h"
+
+namespace nfv::sched::detail {
+namespace {
+
+SchedulingProblem random_problem(Rng& rng, std::size_t n, std::uint32_t m) {
+  SchedulingProblem p;
+  for (std::size_t i = 0; i < n; ++i) {
+    p.arrival_rates.push_back(rng.uniform(1.0, 100.0));
+  }
+  p.instance_count = m;
+  p.delivery_prob = 0.98;
+  p.service_rate = 1.2 * 50.0 * static_cast<double>(n) / m;
+  return p;
+}
+
+/// Pops the front of the sorted-descending reference list.
+Partition list_pop(std::vector<Partition>& list) {
+  Partition p = std::move(list.front());
+  list.erase(list.begin());
+  return p;
+}
+
+TEST(PartitionHeap, MatchesInsertSortedPopOrderOnRandomInstances) {
+  Rng rng(11);
+  for (int round = 0; round < 20; ++round) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(2, 42));
+    const auto m = static_cast<std::uint32_t>(rng.uniform_int(2, 7));
+    const SchedulingProblem problem = random_problem(rng, n, m);
+
+    std::vector<Partition> list = initial_partitions(problem);
+    PartitionHeap heap{initial_partitions(problem)};
+    while (list.size() > 1) {
+      ASSERT_EQ(heap.size(), list.size());
+      const Partition la = list_pop(list);
+      const Partition lb = list_pop(list);
+      const Partition ha = heap.pop();
+      const Partition hb = heap.pop();
+      ASSERT_EQ(ha.values, la.values);
+      ASSERT_EQ(ha.sets, la.sets);
+      ASSERT_EQ(hb.values, lb.values);
+      ASSERT_EQ(hb.sets, lb.sets);
+      insert_sorted(list, combine_reverse(la, lb));
+      heap.push(combine_reverse(ha, hb));
+    }
+    EXPECT_EQ(to_assignment(heap.top(), problem.request_count()),
+              to_assignment(list.front(), problem.request_count()));
+  }
+}
+
+TEST(PartitionHeap, FifoTieBreakAmongEqualHeads) {
+  // Three equal-rate requests: insert_sorted places later arrivals after
+  // earlier ones, so the pop order is insertion order.  The heap must do
+  // the same even though a plain max-heap would be free to reorder ties.
+  SchedulingProblem p;
+  p.arrival_rates = {5.0, 5.0, 5.0};
+  p.instance_count = 2;
+  p.delivery_prob = 1.0;
+  p.service_rate = 100.0;
+  PartitionHeap heap{initial_partitions(p)};
+  EXPECT_EQ(heap.pop().sets[0], std::vector<std::uint32_t>{0});
+  EXPECT_EQ(heap.pop().sets[0], std::vector<std::uint32_t>{1});
+  EXPECT_EQ(heap.pop().sets[0], std::vector<std::uint32_t>{2});
+  // Pushes of equal heads also pop FIFO.
+  Partition a;
+  a.values = {3.0, 0.0};
+  a.sets = {{7}, {}};
+  Partition b;
+  b.values = {3.0, 0.0};
+  b.sets = {{9}, {}};
+  heap.push(a);
+  heap.push(b);
+  EXPECT_EQ(heap.pop().sets[0], std::vector<std::uint32_t>{7});
+  EXPECT_EQ(heap.pop().sets[0], std::vector<std::uint32_t>{9});
+}
+
+TEST(PartitionHeap, OtherHeadsSumExcludesTop) {
+  PartitionHeap heap;
+  for (const double v : {4.0, 1.0, 2.5}) {
+    Partition p;
+    p.values = {v, 0.0};
+    p.sets = {{0}, {}};
+    heap.push(p);
+  }
+  EXPECT_DOUBLE_EQ(heap.top().head(), 4.0);
+  EXPECT_DOUBLE_EQ(heap.other_heads_sum(), 3.5);
+}
+
+TEST(PartitionHeap, CopyKeepsIndependentState) {
+  // CKK copies the heap at every branch; the copy must not share seq
+  // state or entries with the original.
+  SchedulingProblem p;
+  p.arrival_rates = {9.0, 7.0, 3.0};
+  p.instance_count = 2;
+  p.delivery_prob = 1.0;
+  p.service_rate = 100.0;
+  PartitionHeap heap{initial_partitions(p)};
+  PartitionHeap copy = heap;
+  const Partition a = copy.pop();
+  const Partition b = copy.pop();
+  copy.push(combine_reverse(a, b));
+  EXPECT_EQ(heap.size(), 3u);
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_DOUBLE_EQ(heap.top().head(), 9.0);
+}
+
+}  // namespace
+}  // namespace nfv::sched::detail

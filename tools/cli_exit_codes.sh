@@ -46,6 +46,12 @@ expect_exit 2 "unknown flag is a usage error" "$NFVPR" pipeline --bogus
 expect_exit 2 "missing flag value is a usage error" "$NFVPR" pipeline --seed
 expect_exit 2 "report without --in is a usage error" "$NFVPR" report
 
+# --threads must be a positive integer on every parallel-capable subcommand.
+for sub in place schedule pipeline simulate chaos; do
+  expect_exit 2 "$sub --threads 0 is a usage error" "$NFVPR" "$sub" --threads 0
+  expect_exit 2 "$sub --threads x is a usage error" "$NFVPR" "$sub" --threads x
+done
+
 # --- end-to-end telemetry -------------------------------------------------
 expect_exit 0 "generate-topology" \
   sh -c "'$NFVPR' generate-topology --nodes 8 --seed 3 > '$WORK/dc.topo'"
@@ -69,6 +75,21 @@ expect_contains "$WORK/trace.json" '"ph": "X"' \
   "trace file has complete events"
 expect_contains "$WORK/trace.json" 'core.joint.run' \
   "trace file has the joint-run span"
+
+# --- threading is a wall-clock knob only ----------------------------------
+expect_exit 0 "pipeline serial reference" \
+  sh -c "'$NFVPR' pipeline -t '$WORK/dc.topo' -w '$WORK/peak.wl' --seed 5 \
+         > '$WORK/serial.txt'"
+expect_exit 0 "pipeline threaded run" \
+  sh -c "'$NFVPR' pipeline -t '$WORK/dc.topo' -w '$WORK/peak.wl' --seed 5 \
+         --threads 4 > '$WORK/threaded.txt'"
+if cmp -s "$WORK/serial.txt" "$WORK/threaded.txt"; then
+  echo "ok: --threads 4 output is identical to serial"
+else
+  echo "FAIL: --threads 4 output differs from serial" >&2
+  diff "$WORK/serial.txt" "$WORK/threaded.txt" | sed 's/^/  /' >&2
+  failures=$((failures + 1))
+fi
 
 # --- report pretty-print and diff ----------------------------------------
 expect_exit 0 "report pretty-print" "$NFVPR" report --in "$WORK/run.json"

@@ -28,6 +28,7 @@
 #include "nfv/core/resilience.h"
 #include "nfv/core/sim_builder.h"
 #include "nfv/core/tail_prediction.h"
+#include "nfv/exec/thread_pool.h"
 #include "nfv/obs/metrics.h"
 #include "nfv/obs/report.h"
 #include "nfv/obs/trace.h"
@@ -60,7 +61,8 @@ int usage() {
       "  report             pretty-print a run report, or diff two reports\n"
       "\n"
       "place/schedule/pipeline/simulate/chaos accept --metrics-out <path>\n"
-      "(JSON run report) and --trace-out <path> (Chrome trace-event JSON).\n"
+      "(JSON run report), --trace-out <path> (Chrome trace-event JSON) and\n"
+      "--threads N (parallel fan-out; results are identical for any N).\n"
       "\n"
       "run 'nfvpr <subcommand> --help' for flags.\n"
       "\n"
@@ -96,6 +98,41 @@ std::string read_file(const std::string& path) {
   ss << in.rdbuf();
   return ss.str();
 }
+
+/// Registers --threads on a subcommand and owns the worker pool for the
+/// command's lifetime.  Results are bit-identical for any thread count
+/// (DESIGN.md §10), so --threads is purely a wall-clock knob.
+class ThreadsFlag {
+ public:
+  explicit ThreadsFlag(nfv::CliParser& cli)
+      : threads_(cli.add_int(
+            "threads", 'j', "worker threads for parallel fan-out (>= 1)", 1)) {
+  }
+
+  /// Validates the value and installs a process-global pool when > 1.
+  /// Returns false on out-of-range input (callers exit 2: usage error).
+  [[nodiscard]] bool install() {
+    if (threads_ < 1) {
+      std::fprintf(stderr, "--threads must be >= 1 (got %lld)\n",
+                   static_cast<long long>(threads_));
+      return false;
+    }
+    if (threads_ > 1) {
+      pool_.emplace(static_cast<std::uint32_t>(threads_));
+      scope_.emplace(*pool_);
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::uint32_t count() const {
+    return static_cast<std::uint32_t>(threads_);
+  }
+
+ private:
+  const std::int64_t& threads_;
+  std::optional<nfv::exec::ThreadPool> pool_;
+  std::optional<nfv::exec::ScopedPool> scope_;
+};
 
 /// Registers --metrics-out / --trace-out on a subcommand and owns the
 /// telemetry sinks.  activate() installs them globally after parse();
@@ -218,8 +255,10 @@ int cmd_place(int argc, const char* const* argv) {
       cli.add_string("algorithm", 'a', "BFDSU|CABP|FFD|NAH|BFD|WFD|FF|NFD|Exact",
                      "BFDSU");
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
+  ThreadsFlag threads(cli);
   Telemetry tele(cli);
   if (!cli.parse(argc, argv)) return parse_exit(cli);
+  if (!threads.install()) return 2;
   nfv::core::SystemModel model;
   model.topology = read_topology(topology_file);
   model.workload = read_workload(workload_file);
@@ -278,8 +317,10 @@ int cmd_schedule(int argc, const char* const* argv) {
   const auto& algorithm = cli.add_string(
       "algorithm", 'a', "RCKK|CGA|CGA-online|LPT|RR|KK-fwd|CKK|DP2", "RCKK");
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
+  ThreadsFlag threads(cli);
   Telemetry tele(cli);
   if (!cli.parse(argc, argv)) return parse_exit(cli);
+  if (!threads.install()) return 2;
   const auto workload = read_workload(workload_file);
   if (static_cast<std::size_t>(vnf) >= workload.vnfs.size()) {
     std::fprintf(stderr, "vnf index out of range (have %zu)\n",
@@ -347,8 +388,10 @@ int cmd_pipeline(int argc, const char* const* argv) {
       "--metrics-out is set)",
       20.0);
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
+  ThreadsFlag threads(cli);
   Telemetry tele(cli);
   if (!cli.parse(argc, argv)) return parse_exit(cli);
+  if (!threads.install()) return 2;
   nfv::core::SystemModel model;
   model.topology = read_topology(topology_file);
   model.workload = read_workload(workload_file);
@@ -356,6 +399,7 @@ int cmd_pipeline(int argc, const char* const* argv) {
   cfg.placement_algorithm = placer;
   cfg.scheduling_algorithm = scheduler;
   if (link >= 0.0) cfg.link_latency = link;
+  cfg.exec.threads = threads.count();
   tele.activate();
   const auto result = nfv::core::JointOptimizer(cfg).run(
       model, static_cast<std::uint64_t>(seed));
@@ -455,8 +499,10 @@ int cmd_simulate(int argc, const char* const* argv) {
   const auto& workload_file = cli.add_string("workload", 'w', "workload file", "");
   const auto& duration = cli.add_double("duration", 'd', "simulated seconds", 60.0);
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
+  ThreadsFlag threads(cli);
   Telemetry tele(cli);
   if (!cli.parse(argc, argv)) return parse_exit(cli);
+  if (!threads.install()) return 2;
   nfv::core::SystemModel model;
   model.topology = read_topology(topology_file);
   model.workload = read_workload(workload_file);
@@ -521,8 +567,10 @@ int cmd_chaos(int argc, const char* const* argv) {
   const auto& demand = cli.add_double(
       "demand", 'D', "per-instance demand (generated workload)", 150.0);
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 21);
+  ThreadsFlag threads(cli);
   Telemetry tele(cli);
   if (!cli.parse(argc, argv)) return parse_exit(cli);
+  if (!threads.install()) return 2;
 
   nfv::Rng rng(static_cast<std::uint64_t>(seed));
   nfv::core::SystemModel model;
