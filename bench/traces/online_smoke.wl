@@ -1,0 +1,48 @@
+vnf NAT-0 0 34.7156 2 444.879
+vnf FW-1 1 69.9397 2 620.912
+vnf IDS-2 2 98.7554 2 531.904
+vnf LB-3 3 44.5337 2 655.433
+vnf WANOpt-4 4 157.362 2 493.33
+vnf FlowMonitor-5 5 59.8092 2 558.956
+vnf IPS-6 6 235.36 2 464.553
+vnf IDS-7 2 130.405 2 524.385
+request 85.2771 0.98 2
+request 83.9695 0.98 2
+request 20.6727 0.98 0
+request 9.39472 0.98 1 2 6 7 0 5
+request 68.4875 0.98 6 5
+request 90.9266 0.98 1 2 0 3 5
+request 50.5078 0.98 6 3 4
+request 36.2648 0.98 6 4
+request 53.1771 0.98 7 0 3 4 5
+request 1.15877 0.98 0 3 4 5
+request 89.0497 0.98 1 2 7 0 3 5
+request 43.2647 0.98 7 3 4 5
+request 22.631 0.98 0 3
+request 3.63318 0.98 7 0 4
+request 67.1937 0.98 3
+request 51.3427 0.98 1
+request 8.44313 0.98 5
+request 77.3164 0.98 1 6 3 4 5
+request 37.1045 0.98 6 7 3 5
+request 41.2794 0.98 2 6 7 0 3 4
+request 32.6987 0.98 1 7 3
+request 98.8297 0.98 6 7
+request 59.514 0.98 0 3 4
+request 42.0752 0.98 1 2 6 7 0 4
+request 34.4929 0.98 2 6 0 3 4 5
+request 59.202 0.98 1 7 3
+request 6.27729 0.98 0 4
+request 22.1276 0.98 1 5
+request 63.357 0.98 1 3
+request 42.4492 0.98 1 7 5
+request 37.412 0.98 2 7 5
+request 27.9818 0.98 6 7
+request 29.3353 0.98 1 2 0 3 4
+request 84.2343 0.98 1 3 4 5
+request 65.8003 0.98 1 2 6 7 0 4
+request 47.6093 0.98 1 2 6 7 0 4
+request 11.4725 0.98 2 6 7 3 4 5
+request 79.8024 0.98 2 6 7 3 5
+request 86.1287 0.98 1 2 4 5
+request 80.5428 0.98 1 0

@@ -27,6 +27,9 @@ struct ReportInputs {
   const JointResult* result = nullptr;      ///< placement + scheduling
   const sim::SimResult* sim = nullptr;      ///< DES section
   std::span<const RecoveryReport> resilience = {};
+  /// Pre-built serving section (the serve library owns the conversion);
+  /// copied verbatim when non-null and present.
+  const obs::ServeSection* serve = nullptr;
   const obs::MetricsRegistry* metrics = nullptr;  ///< registry snapshot
 };
 

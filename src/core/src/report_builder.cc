@@ -136,6 +136,7 @@ obs::RunReport build_run_report(const ReportInputs& inputs) {
   if (!inputs.resilience.empty()) {
     fill_resilience(inputs, report.resilience);
   }
+  if (inputs.serve != nullptr) report.serve = *inputs.serve;
   if (inputs.metrics != nullptr) {
     report.metrics.present = true;
     report.metrics.snapshot = inputs.metrics->snapshot();

@@ -130,6 +130,48 @@ struct MetricsSection {
   MetricsRegistry::Snapshot snapshot;
 };
 
+/// One event decision of the online serving engine (nfv/serve).
+struct ServeEventEntry {
+  std::uint64_t index = 0;
+  double time = 0.0;
+  std::string kind;      ///< "arrive" / "depart" / "rate_change"
+  std::uint64_t request = 0;
+  std::string decision;  ///< "admitted" / "queued" / "rejected" / ...
+  std::uint64_t migrations = 0;
+  std::uint64_t scale_outs = 0;
+  std::uint64_t scale_ins = 0;
+  std::uint64_t admitted_from_queue = 0;
+  double mean_predicted_latency = 0.0;
+  double p99_predicted_latency = 0.0;
+};
+
+/// Summary + optional per-event log of one `nfvpr serve` replay.
+struct ServeSection {
+  bool present = false;
+  std::uint64_t events = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t admitted_from_queue = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t rate_changes = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t rebalances = 0;
+  std::uint64_t max_migrations_per_rebalance = 0;
+  std::uint64_t scale_outs = 0;
+  std::uint64_t scale_ins = 0;
+  std::uint64_t live_requests = 0;
+  std::uint64_t queued_requests = 0;
+  std::uint64_t active_instances = 0;
+  std::uint64_t nodes_in_service = 0;
+  double admission_rate = 0.0;
+  double mean_predicted_latency = 0.0;
+  double p99_predicted_latency = 0.0;
+  std::uint64_t work = 0;
+  std::vector<ServeEventEntry> events_log;
+};
+
 struct RunReport {
   std::string command;
   std::uint64_t seed = 0;
@@ -138,6 +180,7 @@ struct RunReport {
   RequestSection requests;
   DesSection des;
   ResilienceSection resilience;
+  ServeSection serve;
   MetricsSection metrics;
 };
 
@@ -174,10 +217,22 @@ struct DiffEntry {
   bool improvement = false;
 };
 
+/// A leaf present on only one side of a diff, with its rendered value —
+/// such metrics print as added/removed instead of being silently dropped.
+struct LeafChange {
+  std::string path;
+  std::string value;  ///< rendered value on the side it exists on
+};
+
 struct ReportDiff {
   std::vector<DiffEntry> changed;        ///< numeric leaves that moved
   std::vector<std::string> only_before;  ///< paths absent from `after`
   std::vector<std::string> only_after;   ///< paths absent from `before`
+  std::vector<LeafChange> removed;       ///< only_before, with values
+  std::vector<LeafChange> added;         ///< only_after, with values
+  /// Paths whose leaf is numeric in one report but not the other — a
+  /// schema change, reported explicitly rather than dropped.
+  std::vector<std::string> type_changed;
   std::size_t regressions = 0;
   std::size_t improvements = 0;
 };

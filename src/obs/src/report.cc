@@ -169,6 +169,54 @@ void write_run_report(const RunReport& report, std::ostream& os) {
     w.end_object();
   }
 
+  if (report.serve.present) {
+    const ServeSection& s = report.serve;
+    w.key("serve");
+    w.begin_object();
+    w.kv("events", s.events);
+    w.kv("arrivals", s.arrivals);
+    w.kv("admitted", s.admitted);
+    w.kv("admitted_from_queue", s.admitted_from_queue);
+    w.kv("rejected", s.rejected);
+    w.kv("departures", s.departures);
+    w.kv("rate_changes", s.rate_changes);
+    w.kv("shed", s.shed);
+    w.kv("migrations", s.migrations);
+    w.kv("rebalances", s.rebalances);
+    w.kv("max_migrations_per_rebalance", s.max_migrations_per_rebalance);
+    w.kv("scale_outs", s.scale_outs);
+    w.kv("scale_ins", s.scale_ins);
+    w.kv("live_requests", s.live_requests);
+    w.kv("queued_requests", s.queued_requests);
+    w.kv("active_instances", s.active_instances);
+    w.kv("nodes_in_service", s.nodes_in_service);
+    w.kv("admission_rate", s.admission_rate);
+    w.kv("mean_predicted_latency", s.mean_predicted_latency);
+    w.kv("p99_predicted_latency", s.p99_predicted_latency);
+    w.kv("work", s.work);
+    if (!s.events_log.empty()) {
+      w.key("events_log");
+      w.begin_array();
+      for (const ServeEventEntry& e : s.events_log) {
+        w.begin_object();
+        w.kv("index", e.index);
+        w.kv("t", e.time);
+        w.kv("kind", e.kind);
+        w.kv("request", e.request);
+        w.kv("decision", e.decision);
+        w.kv("migrations", e.migrations);
+        w.kv("scale_outs", e.scale_outs);
+        w.kv("scale_ins", e.scale_ins);
+        w.kv("admitted_from_queue", e.admitted_from_queue);
+        w.kv("mean_predicted_latency", e.mean_predicted_latency);
+        w.kv("p99_predicted_latency", e.p99_predicted_latency);
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+
   if (report.metrics.present) {
     w.key("metrics");
     write_metrics_snapshot(w, report.metrics.snapshot);
@@ -286,6 +334,35 @@ std::string pretty_print_report(const JsonValue& report) {
     }
   }
 
+  if (const JsonValue* s = report.find("serve")) {
+    os << "\nserving (" << format_number(s->number_or("events"))
+       << " events)\n";
+    os << "  admitted          : "
+       << format_number(s->number_or("admitted")) << " (+"
+       << format_number(s->number_or("admitted_from_queue"))
+       << " from queue) / " << format_number(s->number_or("arrivals"))
+       << " arrivals\n";
+    os << "  rejected / shed   : " << format_number(s->number_or("rejected"))
+       << " / " << format_number(s->number_or("shed")) << "\n";
+    os << "  migrations        : "
+       << format_number(s->number_or("migrations")) << " over "
+       << format_number(s->number_or("rebalances")) << " rebalances (max "
+       << format_number(s->number_or("max_migrations_per_rebalance"))
+       << " per pass)\n";
+    os << "  scale out / in    : "
+       << format_number(s->number_or("scale_outs")) << " / "
+       << format_number(s->number_or("scale_ins")) << "\n";
+    os << "  live at end       : "
+       << format_number(s->number_or("live_requests")) << " requests on "
+       << format_number(s->number_or("active_instances")) << " instances ("
+       << format_number(s->number_or("nodes_in_service")) << " nodes), "
+       << format_number(s->number_or("queued_requests")) << " queued\n";
+    os << "  predicted latency : mean "
+       << format_number(s->number_or("mean_predicted_latency")) << " s, p99 "
+       << format_number(s->number_or("p99_predicted_latency"))
+       << " s (Eq. 16)\n";
+  }
+
   if (const JsonValue* m = report.find("metrics")) {
     std::size_t counters = 0;
     std::size_t gauges = 0;
@@ -328,6 +405,7 @@ constexpr std::string_view kHigherWorse[] = {
     "latency", "response", "rejection", "rejected", "shed",     "drop",
     "downtime", "retransmission", "failure",        "occupation",
     "nodes_in_service", "queue_depth", "imbalance", "wall",     "work",
+    "gap",
 };
 
 /// Metrics where a larger value signals a better run.
@@ -349,13 +427,20 @@ int classify_direction(std::string_view path) {
   return 0;
 }
 
+std::string leaf_repr(const JsonValue& v) {
+  if (v.is_number()) return format_number(v.as_number());
+  if (v.is_bool()) return v.as_bool() ? "true" : "false";
+  if (v.is_string()) return "\"" + v.as_string() + "\"";
+  return "null";
+}
+
 void collect_leaves(const JsonValue& v, const std::string& path,
                     std::map<std::string, double>& numbers,
-                    std::vector<std::string>& all_paths) {
+                    std::map<std::string, std::string>& reprs) {
   if (v.is_object()) {
     for (const auto& [key, child] : v.as_object()) {
       collect_leaves(child, path.empty() ? key : path + "." + key, numbers,
-                     all_paths);
+                     reprs);
     }
     return;
   }
@@ -363,11 +448,11 @@ void collect_leaves(const JsonValue& v, const std::string& path,
     const auto& arr = v.as_array();
     for (std::size_t i = 0; i < arr.size(); ++i) {
       collect_leaves(arr[i], path + "[" + std::to_string(i) + "]", numbers,
-                     all_paths);
+                     reprs);
     }
     return;
   }
-  all_paths.push_back(path);
+  reprs.emplace(path, leaf_repr(v));
   if (v.is_number()) numbers.emplace(path, v.as_number());
   if (v.is_bool()) numbers.emplace(path, v.as_bool() ? 1.0 : 0.0);
 }
@@ -379,24 +464,26 @@ ReportDiff diff_reports(const JsonValue& before, const JsonValue& after,
   NFV_REQUIRE(threshold_pct >= 0.0);
   std::map<std::string, double> before_nums;
   std::map<std::string, double> after_nums;
-  std::vector<std::string> before_paths;
-  std::vector<std::string> after_paths;
-  collect_leaves(before, "", before_nums, before_paths);
-  collect_leaves(after, "", after_nums, after_paths);
+  std::map<std::string, std::string> before_reprs;
+  std::map<std::string, std::string> after_reprs;
+  collect_leaves(before, "", before_nums, before_reprs);
+  collect_leaves(after, "", after_nums, after_reprs);
 
   ReportDiff diff;
-  for (const std::string& p : before_paths) {
-    if (after_nums.find(p) == after_nums.end() &&
-        std::find(after_paths.begin(), after_paths.end(), p) ==
-            after_paths.end()) {
+  for (const auto& [p, repr] : before_reprs) {
+    if (after_reprs.find(p) == after_reprs.end()) {
       diff.only_before.push_back(p);
+      diff.removed.push_back({p, repr});
+    } else if (before_nums.count(p) != after_nums.count(p)) {
+      // Numeric on exactly one side: a type change, not a value change —
+      // without this, such leaves would vanish from the diff entirely.
+      diff.type_changed.push_back(p);
     }
   }
-  for (const std::string& p : after_paths) {
-    if (before_nums.find(p) == before_nums.end() &&
-        std::find(before_paths.begin(), before_paths.end(), p) ==
-            before_paths.end()) {
+  for (const auto& [p, repr] : after_reprs) {
+    if (before_reprs.find(p) == before_reprs.end()) {
       diff.only_after.push_back(p);
+      diff.added.push_back({p, repr});
     }
   }
 
@@ -444,12 +531,17 @@ ReportDiff diff_reports(const JsonValue& before, const JsonValue& after,
 std::string render_diff(const ReportDiff& diff) {
   std::ostringstream os;
   if (diff.changed.empty() && diff.only_before.empty() &&
-      diff.only_after.empty()) {
+      diff.only_after.empty() && diff.type_changed.empty()) {
     os << "reports are identical\n";
     return os.str();
   }
   os << diff.changed.size() << " metrics changed, " << diff.regressions
-     << " regressions, " << diff.improvements << " improvements\n\n";
+     << " regressions, " << diff.improvements << " improvements";
+  if (!diff.added.empty() || !diff.removed.empty()) {
+    os << ", " << diff.added.size() << " added, " << diff.removed.size()
+       << " removed";
+  }
+  os << "\n\n";
   os << "| metric | before | after | delta | change | flag |\n";
   os << "|---|---|---|---|---|---|\n";
   for (const DiffEntry& e : diff.changed) {
@@ -465,11 +557,14 @@ std::string render_diff(const ReportDiff& diff) {
        << (e.regression ? "REGRESSION" : (e.improvement ? "improved" : ""))
        << " |\n";
   }
-  for (const std::string& p : diff.only_before) {
-    os << "only in baseline: " << p << "\n";
+  for (const LeafChange& c : diff.removed) {
+    os << "only in baseline: " << c.path << " = " << c.value << " (removed)\n";
   }
-  for (const std::string& p : diff.only_after) {
-    os << "only in current:  " << p << "\n";
+  for (const LeafChange& c : diff.added) {
+    os << "only in current:  " << c.path << " = " << c.value << " (added)\n";
+  }
+  for (const std::string& p : diff.type_changed) {
+    os << "type changed:     " << p << "\n";
   }
   return os.str();
 }

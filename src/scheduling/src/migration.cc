@@ -1,0 +1,106 @@
+#include "nfv/scheduling/migration.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "nfv/common/error.h"
+
+namespace nfv::sched {
+
+namespace {
+
+double spread(const std::vector<double>& loads) {
+  if (loads.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(loads.begin(), loads.end());
+  return *hi - *lo;
+}
+
+}  // namespace
+
+MigrationPlan plan_bounded_migration(const SchedulingProblem& problem,
+                                     const std::vector<std::uint32_t>& current,
+                                     const Schedule& target,
+                                     std::uint32_t budget,
+                                     double capacity_limit) {
+  const std::size_t n = problem.request_count();
+  const std::uint32_t m = problem.instance_count;
+  NFV_REQUIRE(current.size() == n);
+  NFV_REQUIRE(target.instance_of.size() == n);
+  for (std::size_t r = 0; r < n; ++r) {
+    NFV_REQUIRE(current[r] < m);
+    NFV_REQUIRE(target.instance_of[r] < m);
+  }
+
+  // Effective-load overlap between target part p and live instance k.
+  std::vector<double> overlap(static_cast<std::size_t>(m) * m, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    overlap[static_cast<std::size_t>(target.instance_of[r]) * m + current[r]] +=
+        problem.effective_rate(r);
+  }
+
+  // Greedy maximum-overlap matching of parts to instances; ties break on
+  // the lower part then the lower instance, so the result is deterministic.
+  MigrationPlan plan;
+  std::vector<std::uint32_t> instance_of_part(m,
+                                              std::numeric_limits<std::uint32_t>::max());
+  std::vector<bool> part_taken(m, false);
+  std::vector<bool> instance_taken(m, false);
+  for (std::uint32_t round = 0; round < m; ++round) {
+    double best = -1.0;
+    std::uint32_t best_p = 0;
+    std::uint32_t best_k = 0;
+    for (std::uint32_t p = 0; p < m; ++p) {
+      if (part_taken[p]) continue;
+      for (std::uint32_t k = 0; k < m; ++k) {
+        if (instance_taken[k]) continue;
+        const double o = overlap[static_cast<std::size_t>(p) * m + k];
+        if (o > best) {
+          best = o;
+          best_p = p;
+          best_k = k;
+        }
+      }
+    }
+    part_taken[best_p] = true;
+    instance_taken[best_k] = true;
+    instance_of_part[best_p] = best_k;
+  }
+  plan.part_of_instance.assign(m, 0);
+  for (std::uint32_t p = 0; p < m; ++p) {
+    plan.part_of_instance[instance_of_part[p]] = p;
+  }
+
+  // Current effective loads, and the instance each request should end on.
+  std::vector<double> load(m, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    load[current[r]] += problem.effective_rate(r);
+  }
+  plan.imbalance_before = spread(load);
+
+  std::vector<std::size_t> mismatched;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (instance_of_part[target.instance_of[r]] != current[r]) {
+      mismatched.push_back(r);
+    }
+  }
+  std::stable_sort(mismatched.begin(), mismatched.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return problem.effective_rate(a) >
+                            problem.effective_rate(b);
+                   });
+
+  for (const std::size_t r : mismatched) {
+    if (plan.moves.size() >= budget) break;
+    const std::uint32_t from = current[r];
+    const std::uint32_t to = instance_of_part[target.instance_of[r]];
+    const double rate = problem.effective_rate(r);
+    if (capacity_limit > 0.0 && load[to] + rate > capacity_limit) continue;
+    load[from] -= rate;
+    load[to] += rate;
+    plan.moves.push_back({r, from, to});
+  }
+  plan.imbalance_after = spread(load);
+  return plan;
+}
+
+}  // namespace nfv::sched

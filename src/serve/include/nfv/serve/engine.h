@@ -1,0 +1,265 @@
+// Online serving engine: a long-running controller that holds live
+// placement + assignment state and evolves it one StreamEvent at a time
+// (DESIGN.md §11).  Where the offline pipeline (core::JointOptimizer) sees
+// the whole request set up front, the engine sees REQ_ARRIVE / REQ_DEPART /
+// RATE_CHANGE events and must keep every service instance stable without
+// mass reshuffling.
+//
+// Per event it applies three policies:
+//
+//  * Admission control (M/M/1 stability): request r is admitted at VNF f
+//    only on an instance whose effective load stays within
+//    (1 − headroom) · μ_f after adding λ_r / P_r — with uniform delivery
+//    probability this is the paper's raw-rate form Σλ ≤ (1−h)·P·μ_f.  When
+//    no instance of some hop admits it and no scale-out is possible, the
+//    request is queued (bounded FIFO) or rejected.
+//
+//  * Incremental rebalancing: arrivals go to the least-loaded feasible
+//    instance (greedy); when a VNF's relative load imbalance
+//    (max − min) / mean exceeds `rebalance_threshold`, its live requests
+//    are re-solved with RCKK and at most `migration_budget` request moves
+//    are applied toward the fresh optimum (sched::plan_bounded_migration).
+//
+//  * Scale out / in: when every instance of a hop is saturated, a new
+//    service instance is opened via an incremental best-fit node pick
+//    (BFDSU's used-nodes-first rule, made deterministic: smallest feasible
+//    residual wins, lower node id on ties); instances whose last request
+//    departs are retired and their capacity reclaimed.
+//
+// The engine is strictly deterministic — no RNG, no wall clock, and the
+// only parallel site (predicted-latency evaluation) uses exec::parallel_map
+// with a serial index-order fold — so replaying a trace yields a
+// bit-identical state and report for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "nfv/obs/report.h"
+#include "nfv/topology/topology.h"
+#include "nfv/workload/event_stream.h"
+#include "nfv/workload/vnf.h"
+
+namespace nfv::serve {
+
+/// Serving-policy knobs.
+struct ServeConfig {
+  /// Stability margin: an instance admits load only up to
+  /// (1 − headroom) · μ_f of effective rate.
+  double headroom = 0.10;
+  /// Relative imbalance (max−min)/mean that triggers a bounded RCKK
+  /// rebalance of one VNF's live requests.
+  double rebalance_threshold = 0.25;
+  /// K: max request moves per rebalance pass.
+  std::uint32_t migration_budget = 4;
+  /// Waiting room for requests no instance admits; 0 rejects immediately.
+  std::size_t queue_capacity = 64;
+  /// Per-hop link latency L of Eq. 16; defaults to the topology's mean.
+  std::optional<double> link_latency;
+
+  void validate() const;
+};
+
+/// What the engine decided for one event.
+enum class Decision : std::uint8_t {
+  kAdmitted,     ///< arrival assigned to instances on every hop
+  kQueued,       ///< arrival parked in the FIFO waiting room
+  kRejected,     ///< arrival dropped (queue full)
+  kDeparted,     ///< live or queued request removed
+  kRateChanged,  ///< live/queued request's λ updated (still stable)
+  kShed,         ///< rate change made the request unservable — dropped
+};
+
+[[nodiscard]] std::string_view to_string(Decision decision);
+
+/// Per-event outcome record.
+struct EventOutcome {
+  std::uint64_t index = 0;  ///< position in the trace
+  double time = 0.0;
+  workload::StreamEventKind kind = workload::StreamEventKind::kArrive;
+  std::uint32_t request = 0;
+  Decision decision = Decision::kAdmitted;
+  std::uint32_t migrations = 0;          ///< bounded-rebalance moves
+  std::uint32_t scale_outs = 0;          ///< instances opened
+  std::uint32_t scale_ins = 0;           ///< instances retired
+  std::uint32_t admitted_from_queue = 0; ///< queue drains this event
+  double mean_predicted_latency = 0.0;   ///< Eq. 16 mean over live requests
+  double p99_predicted_latency = 0.0;
+};
+
+/// Aggregate counters over the whole replay.
+struct ServeSummary {
+  std::uint64_t events = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;             ///< admitted on arrival
+  std::uint64_t admitted_from_queue = 0;  ///< admitted after waiting
+  std::uint64_t rejected = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t rate_changes = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t rebalances = 0;
+  std::uint64_t max_migrations_per_rebalance = 0;  ///< never exceeds K
+  std::uint64_t scale_outs = 0;
+  std::uint64_t scale_ins = 0;
+  std::uint64_t live_requests = 0;    ///< at end of replay
+  std::uint64_t queued_requests = 0;  ///< still waiting at end
+  std::uint64_t active_instances = 0;
+  std::uint64_t nodes_in_service = 0;
+  double admission_rate = 1.0;  ///< (admitted + from queue) / arrivals
+  double mean_predicted_latency = 0.0;  ///< over live requests, Eq. 16
+  double p99_predicted_latency = 0.0;
+  std::uint64_t work = 0;  ///< deterministic effort counter
+};
+
+class ServeEngine {
+ public:
+  /// `vnfs` defines the VNF universe (demand D_f and rate μ_f per
+  /// instance); `Vnf::instance_count` is ignored — the engine scales the
+  /// instance set itself.  The topology must be frozen.
+  ServeEngine(topo::Topology topology, std::vector<workload::Vnf> vnfs,
+              ServeConfig config = {});
+
+  /// Applies one event.  Events must be valid against the live state (the
+  /// trace loader enforces this); violations throw TraceParseError, and a
+  /// time going backwards throws too.
+  EventOutcome on_event(const workload::StreamEvent& event);
+
+  /// Replays a whole trace; returns one outcome per event.
+  std::vector<EventOutcome> replay(const workload::EventTrace& trace);
+
+  /// All outcomes so far, in event order.
+  [[nodiscard]] const std::vector<EventOutcome>& log() const { return log_; }
+
+  [[nodiscard]] ServeSummary summary() const;
+
+  /// Comparable value snapshot of the whole live state — two engines that
+  /// replayed the same prefix compare equal.
+  struct InstanceState {
+    std::uint32_t vnf = 0;
+    std::uint32_t node = 0;
+    std::uint64_t seq = 0;  ///< creation sequence (stable identity)
+    double raw_load = 0.0;
+    double effective_load = 0.0;
+    std::vector<std::uint32_t> requests;  ///< sorted ids
+
+    friend bool operator==(const InstanceState&,
+                           const InstanceState&) = default;
+  };
+  struct Snapshot {
+    std::vector<InstanceState> instances;  ///< active, by creation seq
+    std::vector<std::uint32_t> queued;     ///< FIFO order
+    std::vector<std::uint32_t> live;       ///< sorted ids
+
+    friend bool operator==(const Snapshot&, const Snapshot&) = default;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Predicted Eq. 16 latency per live request (ascending request id):
+  /// Σ_chain W(f, k) + (distinct nodes − 1) · L.
+  [[nodiscard]] std::vector<double> predicted_latencies() const;
+
+  /// The live request set as an offline Workload — VNFs with live traffic
+  /// keep their definition with M_f = current active instance count, and
+  /// requests are re-densified in ascending trace-id order.  Feeding this
+  /// to core::JointOptimizer gives the "repeated full offline re-solve"
+  /// comparator of bench_online.
+  [[nodiscard]] workload::Workload live_workload() const;
+
+  [[nodiscard]] const topo::Topology& topology() const { return topology_; }
+  [[nodiscard]] const ServeConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t work() const { return work_; }
+
+ private:
+  struct Instance {
+    std::uint32_t vnf = 0;
+    std::uint32_t node = 0;
+    std::uint64_t seq = 0;
+    double raw_load = 0.0;
+    double effective_load = 0.0;
+    std::vector<std::uint32_t> members;  ///< sorted request ids
+    bool retired = false;
+  };
+  struct LiveRequest {
+    double rate = 0.0;
+    double prob = 1.0;
+    std::vector<std::uint32_t> chain;
+    std::vector<std::uint32_t> hop_instance;  ///< instance slot per hop
+  };
+  struct PendingRequest {
+    std::uint32_t id = 0;
+    double rate = 0.0;
+    double prob = 1.0;
+    std::vector<std::uint32_t> chain;
+  };
+  /// A tentative placement: per hop either an existing instance slot or a
+  /// planned new instance on `node`.
+  struct HopPlan {
+    bool scale_out = false;
+    std::uint32_t slot = 0;  ///< existing instance (when !scale_out)
+    std::uint32_t node = 0;  ///< planned node (when scale_out)
+  };
+
+  [[nodiscard]] double limit(std::uint32_t vnf) const;
+  /// Best-fit node for one new instance of demand `demand`: used nodes
+  /// first, smallest feasible residual, lower id on ties.  The planned_*
+  /// overlays account for instances this plan already intends to open.
+  [[nodiscard]] std::optional<std::uint32_t> pick_node(
+      double demand, const std::vector<double>& planned_use,
+      const std::vector<std::uint32_t>& planned_count);
+  [[nodiscard]] std::optional<std::vector<HopPlan>> plan_placement(
+      double rate, double prob, const std::vector<std::uint32_t>& chain);
+  std::uint32_t open_instance(std::uint32_t vnf, std::uint32_t node);
+  void retire_instance(std::uint32_t slot);
+  void add_to_instance(std::uint32_t slot, std::uint32_t id, double rate,
+                       double prob);
+  /// Returns true when the instance emptied and was retired.
+  bool remove_from_instance(std::uint32_t slot, std::uint32_t id, double rate,
+                            double prob);
+  /// Moves one hop of an over-limit live request to a feasible instance
+  /// (existing or fresh); returns false when nowhere admits it.
+  bool relocate_hop(std::uint32_t id, std::size_t hop, EventOutcome& outcome);
+  /// Commits a plan: opens planned instances and assigns the request.
+  void commit_placement(std::uint32_t id, double rate, double prob,
+                        std::vector<std::uint32_t> chain,
+                        const std::vector<HopPlan>& plan,
+                        EventOutcome& outcome);
+  void remove_live(std::uint32_t id, EventOutcome& outcome);
+  /// Bounded RCKK rebalance of one VNF; returns the move count.
+  std::uint32_t rebalance(std::uint32_t vnf, EventOutcome& outcome);
+  void rebalance_chain(const std::vector<std::uint32_t>& chain,
+                       EventOutcome& outcome);
+  void drain_queue(EventOutcome& outcome,
+                   std::vector<std::uint32_t>& touched_vnfs);
+  void finish_outcome(EventOutcome& outcome);
+
+  topo::Topology topology_;
+  std::vector<workload::Vnf> vnfs_;
+  ServeConfig config_;
+  double link_latency_ = 0.0;
+
+  std::vector<Instance> instances_;  ///< append-only; retired slots flagged
+  std::vector<std::vector<std::uint32_t>> active_of_vnf_;  ///< by seq order
+  std::vector<double> node_free_;
+  std::vector<std::uint32_t> node_instances_;
+  std::map<std::uint32_t, LiveRequest> live_;  ///< ordered for determinism
+  std::vector<PendingRequest> queue_;          ///< FIFO, front at [0]
+  std::vector<EventOutcome> log_;
+  double last_time_ = 0.0;
+  bool saw_event_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t work_ = 0;
+
+  // Aggregates (summary() adds the live-state figures).
+  ServeSummary totals_;
+};
+
+/// Converts the engine's state into the run-report section; per-event
+/// entries are included only when `include_events`.
+[[nodiscard]] obs::ServeSection make_serve_section(const ServeEngine& engine,
+                                                   bool include_events);
+
+}  // namespace nfv::serve

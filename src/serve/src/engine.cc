@@ -1,0 +1,708 @@
+#include "nfv/serve/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "nfv/common/error.h"
+#include "nfv/common/rng.h"
+#include "nfv/exec/thread_pool.h"
+#include "nfv/obs/metrics.h"
+#include "nfv/scheduling/algorithm.h"
+#include "nfv/scheduling/migration.h"
+#include "nfv/scheduling/problem.h"
+
+namespace nfv::serve {
+
+namespace {
+
+[[noreturn]] void event_fail(const workload::StreamEvent& event,
+                             const std::string& what) {
+  throw workload::TraceParseError("event at t=" + std::to_string(event.time) +
+                                  " (request " +
+                                  std::to_string(event.request) + "): " + what);
+}
+
+void insert_sorted(std::vector<std::uint32_t>& v, std::uint32_t x) {
+  v.insert(std::lower_bound(v.begin(), v.end(), x), x);
+}
+
+void erase_sorted(std::vector<std::uint32_t>& v, std::uint32_t x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  NFV_CHECK(it != v.end() && *it == x);
+  v.erase(it);
+}
+
+}  // namespace
+
+void ServeConfig::validate() const {
+  NFV_REQUIRE(headroom >= 0.0 && headroom < 1.0);
+  NFV_REQUIRE(rebalance_threshold >= 0.0);
+  NFV_REQUIRE(!link_latency.has_value() || *link_latency >= 0.0);
+}
+
+std::string_view to_string(Decision decision) {
+  switch (decision) {
+    case Decision::kAdmitted: return "admitted";
+    case Decision::kQueued: return "queued";
+    case Decision::kRejected: return "rejected";
+    case Decision::kDeparted: return "departed";
+    case Decision::kRateChanged: return "rate_changed";
+    case Decision::kShed: return "shed";
+  }
+  return "?";
+}
+
+ServeEngine::ServeEngine(topo::Topology topology,
+                         std::vector<workload::Vnf> vnfs, ServeConfig config)
+    : topology_(std::move(topology)),
+      vnfs_(std::move(vnfs)),
+      config_(config) {
+  NFV_REQUIRE(topology_.frozen());
+  NFV_REQUIRE(topology_.compute_count() > 0);
+  NFV_REQUIRE(!vnfs_.empty());
+  config_.validate();
+  for (const workload::Vnf& f : vnfs_) {
+    NFV_REQUIRE(f.demand_per_instance > 0.0);
+    NFV_REQUIRE(f.service_rate > 0.0);
+  }
+  link_latency_ = config_.link_latency.has_value()
+                      ? *config_.link_latency
+                      : topology_.mean_link_latency();
+  active_of_vnf_.resize(vnfs_.size());
+  const std::size_t nodes = topology_.compute_count();
+  node_free_.reserve(nodes);
+  for (std::uint32_t v = 0; v < nodes; ++v) {
+    node_free_.push_back(topology_.capacity(NodeId(v)));
+  }
+  node_instances_.assign(nodes, 0);
+}
+
+double ServeEngine::limit(std::uint32_t vnf) const {
+  return (1.0 - config_.headroom) * vnfs_[vnf].service_rate;
+}
+
+std::optional<std::uint32_t> ServeEngine::pick_node(
+    double demand, const std::vector<double>& planned_use,
+    const std::vector<std::uint32_t>& planned_count) {
+  // BFDSU's used-nodes-first rule, incrementally: among nodes that already
+  // host an instance (or will, per this plan) pick the smallest feasible
+  // residual; only when none fits fall back to spare nodes.
+  std::optional<std::uint32_t> best;
+  double best_residual = std::numeric_limits<double>::infinity();
+  const auto scan = [&](bool used_pass) {
+    for (std::uint32_t v = 0; v < node_free_.size(); ++v) {
+      ++work_;
+      const bool used = node_instances_[v] > 0 || planned_count[v] > 0;
+      if (used != used_pass) continue;
+      const double residual = node_free_[v] - planned_use[v] - demand;
+      if (residual < 0.0) continue;
+      if (residual < best_residual) {
+        best_residual = residual;
+        best = v;
+      }
+    }
+  };
+  scan(true);
+  if (!best) scan(false);
+  return best;
+}
+
+std::optional<std::vector<ServeEngine::HopPlan>> ServeEngine::plan_placement(
+    double rate, double prob, const std::vector<std::uint32_t>& chain) {
+  const double eff = rate / prob;
+  std::vector<HopPlan> plan;
+  plan.reserve(chain.size());
+  std::vector<double> planned_use(node_free_.size(), 0.0);
+  std::vector<std::uint32_t> planned_count(node_free_.size(), 0);
+  for (const std::uint32_t f : chain) {
+    const double cap = limit(f);
+    // Least-loaded feasible existing instance; the active list is in
+    // creation order, so strict `<` keeps the oldest on ties.
+    std::optional<std::uint32_t> best;
+    double best_load = std::numeric_limits<double>::infinity();
+    for (const std::uint32_t slot : active_of_vnf_[f]) {
+      ++work_;
+      const Instance& inst = instances_[slot];
+      if (inst.effective_load + eff > cap) continue;
+      if (inst.effective_load < best_load) {
+        best_load = inst.effective_load;
+        best = slot;
+      }
+    }
+    if (best) {
+      plan.push_back({false, *best, 0});
+      continue;
+    }
+    if (eff > cap) return std::nullopt;  // too big even for a fresh instance
+    const double demand = vnfs_[f].demand_per_instance;
+    const auto node = pick_node(demand, planned_use, planned_count);
+    if (!node) return std::nullopt;
+    plan.push_back({true, 0, *node});
+    planned_use[*node] += demand;
+    ++planned_count[*node];
+  }
+  return plan;
+}
+
+std::uint32_t ServeEngine::open_instance(std::uint32_t vnf,
+                                         std::uint32_t node) {
+  const auto slot = static_cast<std::uint32_t>(instances_.size());
+  Instance inst;
+  inst.vnf = vnf;
+  inst.node = node;
+  inst.seq = next_seq_++;
+  instances_.push_back(std::move(inst));
+  active_of_vnf_[vnf].push_back(slot);
+  node_free_[node] -= vnfs_[vnf].demand_per_instance;
+  NFV_CHECK(node_free_[node] >= -1e-9);
+  ++node_instances_[node];
+  return slot;
+}
+
+void ServeEngine::retire_instance(std::uint32_t slot) {
+  Instance& inst = instances_[slot];
+  NFV_CHECK(!inst.retired && inst.members.empty());
+  inst.retired = true;
+  inst.raw_load = 0.0;
+  inst.effective_load = 0.0;
+  auto& act = active_of_vnf_[inst.vnf];
+  act.erase(std::find(act.begin(), act.end(), slot));
+  node_free_[inst.node] += vnfs_[inst.vnf].demand_per_instance;
+  --node_instances_[inst.node];
+}
+
+void ServeEngine::add_to_instance(std::uint32_t slot, std::uint32_t id,
+                                  double rate, double prob) {
+  Instance& inst = instances_[slot];
+  NFV_CHECK(!inst.retired);
+  insert_sorted(inst.members, id);
+  inst.raw_load += rate;
+  inst.effective_load += rate / prob;
+}
+
+bool ServeEngine::remove_from_instance(std::uint32_t slot, std::uint32_t id,
+                                       double rate, double prob) {
+  Instance& inst = instances_[slot];
+  erase_sorted(inst.members, id);
+  if (inst.members.empty()) {
+    retire_instance(slot);
+    return true;
+  }
+  inst.raw_load -= rate;
+  inst.effective_load -= rate / prob;
+  return false;
+}
+
+void ServeEngine::commit_placement(std::uint32_t id, double rate, double prob,
+                                   std::vector<std::uint32_t> chain,
+                                   const std::vector<HopPlan>& plan,
+                                   EventOutcome& outcome) {
+  LiveRequest r;
+  r.rate = rate;
+  r.prob = prob;
+  r.chain = std::move(chain);
+  r.hop_instance.reserve(plan.size());
+  for (std::size_t h = 0; h < plan.size(); ++h) {
+    std::uint32_t slot;
+    if (plan[h].scale_out) {
+      slot = open_instance(r.chain[h], plan[h].node);
+      ++outcome.scale_outs;
+      ++totals_.scale_outs;
+    } else {
+      slot = plan[h].slot;
+    }
+    add_to_instance(slot, id, rate, prob);
+    r.hop_instance.push_back(slot);
+  }
+  live_.emplace(id, std::move(r));
+}
+
+void ServeEngine::remove_live(std::uint32_t id, EventOutcome& outcome) {
+  const auto it = live_.find(id);
+  NFV_CHECK(it != live_.end());
+  const LiveRequest& r = it->second;
+  for (std::size_t h = 0; h < r.chain.size(); ++h) {
+    if (remove_from_instance(r.hop_instance[h], id, r.rate, r.prob)) {
+      ++outcome.scale_ins;
+      ++totals_.scale_ins;
+    }
+  }
+  live_.erase(it);
+}
+
+std::uint32_t ServeEngine::rebalance(std::uint32_t vnf,
+                                     EventOutcome& outcome) {
+  const auto& act = active_of_vnf_[vnf];
+  const auto m = static_cast<std::uint32_t>(act.size());
+  if (m < 2 || config_.migration_budget == 0) return 0;
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  double sum = 0.0;
+  for (const std::uint32_t slot : act) {
+    const double load = instances_[slot].effective_load;
+    lo = std::min(lo, load);
+    hi = std::max(hi, load);
+    sum += load;
+  }
+  if (sum <= 0.0) return 0;
+  const double mean = sum / static_cast<double>(m);
+  if ((hi - lo) / mean <= config_.rebalance_threshold) return 0;
+
+  // Gather this VNF's live members in ascending request-id order so the
+  // problem positions are deterministic, then re-solve with RCKK and walk
+  // at most K moves toward its partition.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> members;  // id, pos
+  for (std::uint32_t pos = 0; pos < m; ++pos) {
+    for (const std::uint32_t id : instances_[act[pos]].members) {
+      members.emplace_back(id, pos);
+    }
+  }
+  std::sort(members.begin(), members.end());
+
+  sched::SchedulingProblem problem;
+  problem.service_rate = vnfs_[vnf].service_rate;
+  problem.instance_count = m;
+  problem.arrival_rates.reserve(members.size());
+  problem.delivery_probs.reserve(members.size());
+  std::vector<std::uint32_t> current;
+  current.reserve(members.size());
+  for (const auto& [id, pos] : members) {
+    const LiveRequest& r = live_.at(id);
+    problem.arrival_rates.push_back(r.rate);
+    problem.delivery_probs.push_back(r.prob);
+    current.push_back(pos);
+  }
+
+  Rng rng(1);  // RCKK is deterministic; the Rng is interface plumbing
+  const sched::Schedule target =
+      sched::RckkScheduling{}.schedule(problem, rng);
+  const sched::MigrationPlan plan = sched::plan_bounded_migration(
+      problem, current, target, config_.migration_budget, limit(vnf));
+  NFV_CHECK(plan.moves.size() <= config_.migration_budget);
+  work_ += target.work + plan.moves.size();
+
+  for (const sched::MigrationMove& move : plan.moves) {
+    const std::uint32_t id = members[move.request].first;
+    LiveRequest& r = live_.at(id);
+    const std::uint32_t from_slot = act[move.from];
+    const std::uint32_t to_slot = act[move.to];
+    Instance& from = instances_[from_slot];
+    Instance& to = instances_[to_slot];
+    erase_sorted(from.members, id);
+    insert_sorted(to.members, id);
+    const double eff = r.rate / r.prob;
+    from.raw_load -= r.rate;
+    from.effective_load -= eff;
+    to.raw_load += r.rate;
+    to.effective_load += eff;
+    for (std::size_t h = 0; h < r.chain.size(); ++h) {
+      if (r.hop_instance[h] == from_slot && r.chain[h] == vnf) {
+        r.hop_instance[h] = to_slot;
+      }
+    }
+  }
+  if (!plan.moves.empty()) {
+    ++totals_.rebalances;
+    const auto n = static_cast<std::uint32_t>(plan.moves.size());
+    totals_.migrations += n;
+    totals_.max_migrations_per_rebalance =
+        std::max<std::uint64_t>(totals_.max_migrations_per_rebalance, n);
+    outcome.migrations += n;
+    return n;
+  }
+  return 0;
+}
+
+void ServeEngine::rebalance_chain(const std::vector<std::uint32_t>& chain,
+                                  EventOutcome& outcome) {
+  for (const std::uint32_t f : chain) rebalance(f, outcome);
+}
+
+bool ServeEngine::relocate_hop(std::uint32_t id, std::size_t hop,
+                               EventOutcome& outcome) {
+  LiveRequest& r = live_.at(id);
+  const std::uint32_t f = r.chain[hop];
+  const std::uint32_t cur = r.hop_instance[hop];
+  const double eff = r.rate / r.prob;
+  const double cap = limit(f);
+
+  std::optional<std::uint32_t> best;
+  double best_load = std::numeric_limits<double>::infinity();
+  for (const std::uint32_t slot : active_of_vnf_[f]) {
+    ++work_;
+    if (slot == cur) continue;
+    const Instance& inst = instances_[slot];
+    if (inst.effective_load + eff > cap) continue;
+    if (inst.effective_load < best_load) {
+      best_load = inst.effective_load;
+      best = slot;
+    }
+  }
+  if (!best && eff <= cap) {
+    const std::vector<double> no_use(node_free_.size(), 0.0);
+    const std::vector<std::uint32_t> no_count(node_free_.size(), 0);
+    if (const auto node =
+            pick_node(vnfs_[f].demand_per_instance, no_use, no_count)) {
+      best = open_instance(f, *node);
+      ++outcome.scale_outs;
+      ++totals_.scale_outs;
+    }
+  }
+  if (!best) return false;
+
+  if (remove_from_instance(cur, id, r.rate, r.prob)) {
+    ++outcome.scale_ins;
+    ++totals_.scale_ins;
+  }
+  add_to_instance(*best, id, r.rate, r.prob);
+  r.hop_instance[hop] = *best;
+  ++outcome.migrations;
+  ++totals_.migrations;
+  return true;
+}
+
+void ServeEngine::drain_queue(EventOutcome& outcome,
+                              std::vector<std::uint32_t>& touched_vnfs) {
+  while (!queue_.empty()) {
+    const PendingRequest& head = queue_.front();
+    const auto plan = plan_placement(head.rate, head.prob, head.chain);
+    if (!plan) break;  // FIFO: never admit past a blocked head
+    PendingRequest p = std::move(queue_.front());
+    queue_.erase(queue_.begin());
+    touched_vnfs.insert(touched_vnfs.end(), p.chain.begin(), p.chain.end());
+    commit_placement(p.id, p.rate, p.prob, std::move(p.chain), *plan, outcome);
+    ++outcome.admitted_from_queue;
+    ++totals_.admitted_from_queue;
+  }
+}
+
+void ServeEngine::finish_outcome(EventOutcome& outcome) {
+  const std::vector<double> lat = predicted_latencies();
+  if (!lat.empty()) {
+    double sum = 0.0;
+    for (const double x : lat) sum += x;
+    outcome.mean_predicted_latency = sum / static_cast<double>(lat.size());
+    std::vector<double> sorted = lat;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t idx =
+        static_cast<std::size_t>(
+            std::ceil(0.99 * static_cast<double>(sorted.size()))) -
+        1;
+    outcome.p99_predicted_latency = sorted[idx];
+  }
+  ++totals_.events;
+  obs::count("serve.events");
+  switch (outcome.decision) {
+    case Decision::kAdmitted: obs::count("serve.admitted"); break;
+    case Decision::kQueued: obs::count("serve.queued"); break;
+    case Decision::kRejected: obs::count("serve.rejected"); break;
+    case Decision::kDeparted: obs::count("serve.departed"); break;
+    case Decision::kRateChanged: obs::count("serve.rate_changed"); break;
+    case Decision::kShed: obs::count("serve.shed"); break;
+  }
+  if (outcome.migrations > 0) {
+    obs::count("serve.migrations", outcome.migrations);
+  }
+  if (outcome.scale_outs > 0) obs::count("serve.scale_outs", outcome.scale_outs);
+  if (outcome.scale_ins > 0) obs::count("serve.scale_ins", outcome.scale_ins);
+  if (outcome.admitted_from_queue > 0) {
+    obs::count("serve.admitted_from_queue", outcome.admitted_from_queue);
+  }
+  log_.push_back(outcome);
+}
+
+EventOutcome ServeEngine::on_event(const workload::StreamEvent& event) {
+  if (saw_event_ && event.time < last_time_) {
+    event_fail(event, "non-monotonic timestamp " + std::to_string(event.time) +
+                          " after " + std::to_string(last_time_));
+  }
+  saw_event_ = true;
+  last_time_ = event.time;
+
+  EventOutcome outcome;
+  outcome.index = log_.size();
+  outcome.time = event.time;
+  outcome.kind = event.kind;
+  outcome.request = event.request;
+
+  const auto queued_pos = [&] {
+    return std::find_if(queue_.begin(), queue_.end(),
+                        [&](const PendingRequest& p) {
+                          return p.id == event.request;
+                        });
+  };
+
+  switch (event.kind) {
+    case workload::StreamEventKind::kArrive: {
+      ++totals_.arrivals;
+      if (live_.count(event.request) != 0 || queued_pos() != queue_.end()) {
+        event_fail(event, "arrival of a request that is already live");
+      }
+      if (event.rate <= 0.0 || event.delivery_prob <= 0.0 ||
+          event.delivery_prob > 1.0) {
+        event_fail(event, "invalid rate/delivery_prob");
+      }
+      for (const std::uint32_t f : event.chain) {
+        if (f >= vnfs_.size()) event_fail(event, "chain VNF out of range");
+      }
+      if (event.chain.empty()) event_fail(event, "empty chain");
+      const auto plan =
+          plan_placement(event.rate, event.delivery_prob, event.chain);
+      if (plan) {
+        commit_placement(event.request, event.rate, event.delivery_prob,
+                         event.chain, *plan, outcome);
+        outcome.decision = Decision::kAdmitted;
+        ++totals_.admitted;
+        rebalance_chain(event.chain, outcome);
+      } else if (queue_.size() < config_.queue_capacity) {
+        queue_.push_back({event.request, event.rate, event.delivery_prob,
+                          event.chain});
+        outcome.decision = Decision::kQueued;
+      } else {
+        outcome.decision = Decision::kRejected;
+        ++totals_.rejected;
+      }
+      break;
+    }
+    case workload::StreamEventKind::kDepart: {
+      ++totals_.departures;
+      outcome.decision = Decision::kDeparted;
+      std::vector<std::uint32_t> touched;
+      if (const auto it = live_.find(event.request); it != live_.end()) {
+        touched = it->second.chain;
+        remove_live(event.request, outcome);
+      } else if (const auto qit = queued_pos(); qit != queue_.end()) {
+        queue_.erase(qit);
+      } else {
+        event_fail(event, "departure of an unknown request");
+      }
+      drain_queue(outcome, touched);
+      std::sort(touched.begin(), touched.end());
+      touched.erase(std::unique(touched.begin(), touched.end()),
+                    touched.end());
+      rebalance_chain(touched, outcome);
+      break;
+    }
+    case workload::StreamEventKind::kRateChange: {
+      ++totals_.rate_changes;
+      outcome.decision = Decision::kRateChanged;
+      if (event.rate <= 0.0) event_fail(event, "invalid rate");
+      if (const auto qit = queued_pos(); qit != queue_.end()) {
+        qit->rate = event.rate;
+        break;
+      }
+      const auto it = live_.find(event.request);
+      if (it == live_.end()) {
+        event_fail(event, "rate change of an unknown request");
+      }
+      LiveRequest& r = it->second;
+      const double delta_raw = event.rate - r.rate;
+      const double delta_eff = delta_raw / r.prob;
+      for (const std::uint32_t slot : r.hop_instance) {
+        instances_[slot].raw_load += delta_raw;
+        instances_[slot].effective_load += delta_eff;
+      }
+      r.rate = event.rate;
+      rebalance_chain(r.chain, outcome);
+      // Enforce stability hop by hop: relocate this request off any
+      // over-limit instance; if nothing admits it and the instance is
+      // truly unstable (ρ ≥ 1), shed the whole request.
+      bool shed = false;
+      for (std::size_t h = 0; h < r.chain.size() && !shed; ++h) {
+        const std::uint32_t f = r.chain[h];
+        const Instance& inst = instances_[r.hop_instance[h]];
+        if (inst.effective_load <= limit(f)) continue;
+        if (relocate_hop(event.request, h, outcome)) continue;
+        if (inst.effective_load >= vnfs_[f].service_rate) shed = true;
+      }
+      if (shed) {
+        remove_live(event.request, outcome);
+        outcome.decision = Decision::kShed;
+        ++totals_.shed;
+        std::vector<std::uint32_t> touched;
+        drain_queue(outcome, touched);
+        std::sort(touched.begin(), touched.end());
+        touched.erase(std::unique(touched.begin(), touched.end()),
+                      touched.end());
+        rebalance_chain(touched, outcome);
+      }
+      break;
+    }
+  }
+
+  finish_outcome(outcome);
+  return outcome;
+}
+
+std::vector<EventOutcome> ServeEngine::replay(
+    const workload::EventTrace& trace) {
+  NFV_REQUIRE(trace.vnf_count <= vnfs_.size());
+  std::vector<EventOutcome> outcomes;
+  outcomes.reserve(trace.events.size());
+  for (const workload::StreamEvent& event : trace.events) {
+    outcomes.push_back(on_event(event));
+  }
+  return outcomes;
+}
+
+ServeSummary ServeEngine::summary() const {
+  ServeSummary s = totals_;
+  s.live_requests = live_.size();
+  s.queued_requests = queue_.size();
+  std::uint64_t active = 0;
+  for (const auto& act : active_of_vnf_) active += act.size();
+  s.active_instances = active;
+  s.nodes_in_service = static_cast<std::uint64_t>(
+      std::count_if(node_instances_.begin(), node_instances_.end(),
+                    [](std::uint32_t n) { return n > 0; }));
+  s.admission_rate =
+      s.arrivals > 0
+          ? static_cast<double>(s.admitted + s.admitted_from_queue) /
+                static_cast<double>(s.arrivals)
+          : 1.0;
+  const std::vector<double> lat = predicted_latencies();
+  if (!lat.empty()) {
+    double sum = 0.0;
+    for (const double x : lat) sum += x;
+    s.mean_predicted_latency = sum / static_cast<double>(lat.size());
+    std::vector<double> sorted = lat;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t idx =
+        static_cast<std::size_t>(
+            std::ceil(0.99 * static_cast<double>(sorted.size()))) -
+        1;
+    s.p99_predicted_latency = sorted[idx];
+  }
+  s.work = work_;
+  return s;
+}
+
+ServeEngine::Snapshot ServeEngine::snapshot() const {
+  Snapshot snap;
+  for (const Instance& inst : instances_) {
+    if (inst.retired) continue;
+    snap.instances.push_back({inst.vnf, inst.node, inst.seq, inst.raw_load,
+                              inst.effective_load, inst.members});
+  }
+  snap.queued.reserve(queue_.size());
+  for (const PendingRequest& p : queue_) snap.queued.push_back(p.id);
+  snap.live.reserve(live_.size());
+  for (const auto& [id, r] : live_) snap.live.push_back(id);
+  return snap;
+}
+
+std::vector<double> ServeEngine::predicted_latencies() const {
+  std::vector<const LiveRequest*> reqs;
+  reqs.reserve(live_.size());
+  for (const auto& [id, r] : live_) reqs.push_back(&r);
+  // The only parallel site: per-request Eq. 16 evaluation, collected into
+  // index order — bit-identical for any thread count.
+  return exec::parallel_map(reqs.size(), [&](std::size_t i) {
+    const LiveRequest& r = *reqs[i];
+    double total = 0.0;
+    std::vector<std::uint32_t> nodes;
+    nodes.reserve(r.hop_instance.size());
+    for (std::size_t h = 0; h < r.hop_instance.size(); ++h) {
+      const Instance& inst = instances_[r.hop_instance[h]];
+      const double mu = vnfs_[r.chain[h]].service_rate;
+      if (inst.raw_load > 0.0) {
+        // Eq. 11/12: W = (ρ/(1−ρ)) / Σλ_raw with ρ = Λ_k/μ; clamp the
+        // slack so a briefly over-limit instance reports a huge-but-finite
+        // latency instead of a sign flip.
+        const double slack = std::max(mu - inst.effective_load, 1e-9 * mu);
+        total += inst.effective_load / (slack * inst.raw_load);
+      } else {
+        total += 1.0 / mu;
+      }
+      nodes.push_back(inst.node);
+    }
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    if (!nodes.empty()) {
+      total += static_cast<double>(nodes.size() - 1) * link_latency_;
+    }
+    return total;
+  });
+}
+
+workload::Workload ServeEngine::live_workload() const {
+  workload::Workload w;
+  std::vector<std::uint32_t> used(vnfs_.size(), 0);
+  for (const auto& [id, r] : live_) {
+    for (const std::uint32_t f : r.chain) used[f] = 1;
+  }
+  std::vector<std::uint32_t> dense(vnfs_.size(), 0);
+  for (std::uint32_t f = 0; f < vnfs_.size(); ++f) {
+    if (used[f] == 0) continue;
+    dense[f] = static_cast<std::uint32_t>(w.vnfs.size());
+    workload::Vnf vnf = vnfs_[f];
+    vnf.id = VnfId(static_cast<std::uint32_t>(w.vnfs.size()));
+    vnf.instance_count =
+        std::max<std::uint32_t>(
+            1, static_cast<std::uint32_t>(active_of_vnf_[f].size()));
+    w.vnfs.push_back(std::move(vnf));
+  }
+  for (const auto& [id, r] : live_) {
+    workload::Request req;
+    req.id = RequestId(static_cast<std::uint32_t>(w.requests.size()));
+    req.arrival_rate = r.rate;
+    req.delivery_prob = r.prob;
+    req.chain.reserve(r.chain.size());
+    for (const std::uint32_t f : r.chain) req.chain.push_back(VnfId(dense[f]));
+    w.requests.push_back(std::move(req));
+  }
+  return w;
+}
+
+obs::ServeSection make_serve_section(const ServeEngine& engine,
+                                     bool include_events) {
+  const ServeSummary s = engine.summary();
+  obs::ServeSection out;
+  out.present = true;
+  out.events = s.events;
+  out.arrivals = s.arrivals;
+  out.admitted = s.admitted;
+  out.admitted_from_queue = s.admitted_from_queue;
+  out.rejected = s.rejected;
+  out.departures = s.departures;
+  out.rate_changes = s.rate_changes;
+  out.shed = s.shed;
+  out.migrations = s.migrations;
+  out.rebalances = s.rebalances;
+  out.max_migrations_per_rebalance = s.max_migrations_per_rebalance;
+  out.scale_outs = s.scale_outs;
+  out.scale_ins = s.scale_ins;
+  out.live_requests = s.live_requests;
+  out.queued_requests = s.queued_requests;
+  out.active_instances = s.active_instances;
+  out.nodes_in_service = s.nodes_in_service;
+  out.admission_rate = s.admission_rate;
+  out.mean_predicted_latency = s.mean_predicted_latency;
+  out.p99_predicted_latency = s.p99_predicted_latency;
+  out.work = s.work;
+  if (include_events) {
+    out.events_log.reserve(engine.log().size());
+    for (const EventOutcome& e : engine.log()) {
+      obs::ServeEventEntry entry;
+      entry.index = e.index;
+      entry.time = e.time;
+      entry.kind = std::string(workload::to_string(e.kind));
+      entry.request = e.request;
+      entry.decision = std::string(to_string(e.decision));
+      entry.migrations = e.migrations;
+      entry.scale_outs = e.scale_outs;
+      entry.scale_ins = e.scale_ins;
+      entry.admitted_from_queue = e.admitted_from_queue;
+      entry.mean_predicted_latency = e.mean_predicted_latency;
+      entry.p99_predicted_latency = e.p99_predicted_latency;
+      out.events_log.push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
+}  // namespace nfv::serve

@@ -1,0 +1,135 @@
+// Timestamped request event streams for the online serving engine
+// (nfv/serve): the versioned JSON trace format "nfvpr.trace/1" plus a
+// seeded birth-death generator that turns an offline Workload's chain
+// templates into a live arrival/departure/rate-change stream.
+//
+// Schema ("nfvpr.trace/1"):
+//
+//   {
+//     "schema": "nfvpr.trace/1",
+//     "vnf_count": 12,
+//     "events": [
+//       {"t": 0.013, "kind": "arrive", "request": 0, "rate": 12.5,
+//        "delivery_prob": 0.98, "chain": [0, 2, 5]},
+//       {"t": 0.71,  "kind": "rate_change", "request": 0, "rate": 20.0},
+//       {"t": 0.94,  "kind": "depart", "request": 0}
+//     ]
+//   }
+//
+// Invariants (enforced by load_event_trace / EventTrace::validate):
+//  * timestamps are non-decreasing (ties allowed, going backwards is not);
+//  * "arrive" events carry a positive finite rate, a delivery probability
+//    in (0, 1], and a non-empty chain of distinct VNF indices below
+//    vnf_count (the paper's U_r^f is binary — a chain visits a VNF once);
+//  * "depart"/"rate_change" reference a currently live request id, and an
+//    "arrive" id must not already be live.
+//
+// All validation failures throw TraceParseError (NOT std::invalid_argument)
+// so the CLI can map a malformed trace to its usage exit code (2) instead
+// of the precondition exit code (5).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nfv/common/rng.h"
+#include "nfv/workload/vnf.h"
+
+namespace nfv::workload {
+
+inline constexpr std::string_view kEventTraceSchema = "nfvpr.trace/1";
+
+/// Thrown on malformed trace text or violated stream invariants.
+class TraceParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class StreamEventKind : std::uint8_t {
+  kArrive,      ///< a new request joins with (rate, delivery_prob, chain)
+  kDepart,      ///< a live request leaves; its capacity is reclaimed
+  kRateChange,  ///< a live request's λ_r changes to `rate`
+};
+
+[[nodiscard]] std::string_view to_string(StreamEventKind kind);
+
+/// One timestamped event of the stream.
+struct StreamEvent {
+  double time = 0.0;
+  StreamEventKind kind = StreamEventKind::kArrive;
+  std::uint32_t request = 0;
+  double rate = 0.0;           ///< λ_r (arrive / rate_change)
+  double delivery_prob = 1.0;  ///< P_r ∈ (0, 1] (arrive only)
+  std::vector<std::uint32_t> chain;  ///< VNF indices (arrive only)
+
+  friend bool operator==(const StreamEvent&, const StreamEvent&) = default;
+};
+
+/// A complete event stream plus the VNF universe its chains index into.
+struct EventTrace {
+  std::uint32_t vnf_count = 0;
+  std::vector<StreamEvent> events;
+
+  friend bool operator==(const EventTrace&, const EventTrace&) = default;
+
+  /// Checks every invariant listed at the top of this header (including a
+  /// full liveness replay).  Throws TraceParseError with the offending
+  /// event index on violation.
+  void validate() const;
+};
+
+/// Parses and validates an "nfvpr.trace/1" document.
+[[nodiscard]] EventTrace load_event_trace(std::string_view text);
+
+/// Serializes under kEventTraceSchema (round-trips through
+/// load_event_trace bit-exactly).
+void save_event_trace(const EventTrace& trace, std::ostream& out);
+[[nodiscard]] std::string save_event_trace_string(const EventTrace& trace);
+
+/// Knobs for EventStreamGenerator.
+struct EventStreamConfig {
+  std::size_t event_count = 500;
+  /// Mean seconds between consecutive events (exponential).
+  double mean_interarrival = 0.05;
+  /// Birth-death equilibrium: the arrival probability decays as the live
+  /// population approaches 2x this target, so the stream hovers around it.
+  std::size_t target_population = 40;
+  /// Fraction of events (with a live population) that are rate changes.
+  double rate_change_fraction = 0.15;
+  double arrival_rate_min = 1.0;   ///< λ ∈ [1, 100] pps, as in Sec. V-A.3
+  double arrival_rate_max = 100.0;
+  double delivery_prob = 0.98;     ///< P_r, uniform across requests
+  /// > 0 switches rate sampling to the heavy-tailed lognormal trace model
+  /// (LognormalTraceSampler) with this log-space spread; 0 = uniform.
+  double rate_sigma_log = 0.0;
+
+  void validate() const;
+};
+
+/// Deterministic (seeded) generator of event traces.  Chains are drawn
+/// from the base workload's distinct request chains (the datacenter's
+/// service-type templates); when the base workload has no requests, each
+/// arrival samples a fresh random chain of distinct VNFs instead.
+class EventStreamGenerator {
+ public:
+  /// `base` supplies the VNF universe and chain templates; it must have at
+  /// least one VNF.  Throws std::invalid_argument on bad config.
+  EventStreamGenerator(const Workload& base, EventStreamConfig config);
+
+  /// Generates a valid trace; all randomness comes from `rng`.  Request
+  /// ids are dense in arrival order (0, 1, 2, ...).
+  [[nodiscard]] EventTrace generate(Rng& rng) const;
+
+  [[nodiscard]] const EventStreamConfig& config() const { return config_; }
+
+ private:
+  std::uint32_t vnf_count_ = 0;
+  std::vector<std::vector<std::uint32_t>> templates_;
+  EventStreamConfig config_;
+};
+
+}  // namespace nfv::workload

@@ -1,0 +1,301 @@
+#include "nfv/workload/event_stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+
+#include "nfv/common/error.h"
+#include "nfv/obs/json.h"
+#include "nfv/workload/trace.h"
+
+namespace nfv::workload {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t event_index, const std::string& what) {
+  throw TraceParseError("trace event " + std::to_string(event_index) + ": " +
+                        what);
+}
+
+bool finite_positive(double v) { return std::isfinite(v) && v > 0.0; }
+
+}  // namespace
+
+std::string_view to_string(StreamEventKind kind) {
+  switch (kind) {
+    case StreamEventKind::kArrive:
+      return "arrive";
+    case StreamEventKind::kDepart:
+      return "depart";
+    case StreamEventKind::kRateChange:
+      return "rate_change";
+  }
+  return "?";
+}
+
+void EventTrace::validate() const {
+  double last_time = -std::numeric_limits<double>::infinity();
+  std::unordered_set<std::uint32_t> live;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const StreamEvent& e = events[i];
+    if (!std::isfinite(e.time) || e.time < 0.0) {
+      fail(i, "timestamp must be finite and non-negative");
+    }
+    if (e.time < last_time) {
+      std::ostringstream os;
+      os << "non-monotonic timestamp " << e.time << " after " << last_time;
+      fail(i, os.str());
+    }
+    last_time = e.time;
+    switch (e.kind) {
+      case StreamEventKind::kArrive: {
+        if (live.contains(e.request)) {
+          fail(i, "arrive for already-live request " +
+                      std::to_string(e.request));
+        }
+        if (!finite_positive(e.rate)) fail(i, "arrival rate must be > 0");
+        if (!(e.delivery_prob > 0.0) || e.delivery_prob > 1.0) {
+          fail(i, "delivery_prob must be in (0, 1]");
+        }
+        if (e.chain.empty()) fail(i, "arrive needs a non-empty chain");
+        std::unordered_set<std::uint32_t> seen;
+        for (const std::uint32_t f : e.chain) {
+          if (f >= vnf_count) {
+            fail(i, "chain references VNF " + std::to_string(f) +
+                        " but vnf_count is " + std::to_string(vnf_count));
+          }
+          if (!seen.insert(f).second) {
+            fail(i, "chain repeats VNF " + std::to_string(f) +
+                        " (U_r^f is binary)");
+          }
+        }
+        live.insert(e.request);
+        break;
+      }
+      case StreamEventKind::kDepart:
+        if (!live.erase(e.request)) {
+          fail(i, "depart for unknown request " + std::to_string(e.request));
+        }
+        break;
+      case StreamEventKind::kRateChange:
+        if (!live.contains(e.request)) {
+          fail(i, "rate_change for unknown request " +
+                      std::to_string(e.request));
+        }
+        if (!finite_positive(e.rate)) fail(i, "new rate must be > 0");
+        break;
+    }
+  }
+}
+
+EventTrace load_event_trace(std::string_view text) {
+  std::string error;
+  const auto doc = obs::parse_json(text, &error);
+  if (!doc) throw TraceParseError("trace is not valid JSON: " + error);
+  if (!doc->is_object()) throw TraceParseError("trace must be a JSON object");
+  const std::string schema = doc->string_or("schema");
+  if (schema != kEventTraceSchema) {
+    throw TraceParseError("unsupported trace schema '" + schema +
+                          "' (expected '" + std::string(kEventTraceSchema) +
+                          "')");
+  }
+
+  EventTrace trace;
+  const double vnf_count = doc->number_or("vnf_count", -1.0);
+  if (!(vnf_count >= 1.0) || vnf_count != std::floor(vnf_count)) {
+    throw TraceParseError("vnf_count must be a positive integer");
+  }
+  trace.vnf_count = static_cast<std::uint32_t>(vnf_count);
+
+  const obs::JsonValue* events = doc->find("events");
+  if (events == nullptr || !events->is_array()) {
+    throw TraceParseError("trace needs an \"events\" array");
+  }
+  trace.events.reserve(events->as_array().size());
+  std::size_t i = 0;
+  for (const obs::JsonValue& ev : events->as_array()) {
+    if (!ev.is_object()) fail(i, "event must be an object");
+    StreamEvent e;
+    const obs::JsonValue* t = ev.find("t");
+    if (t == nullptr || !t->is_number()) fail(i, "event needs a numeric \"t\"");
+    e.time = t->as_number();
+    const std::string kind = ev.string_or("kind");
+    if (kind == "arrive") {
+      e.kind = StreamEventKind::kArrive;
+    } else if (kind == "depart") {
+      e.kind = StreamEventKind::kDepart;
+    } else if (kind == "rate_change") {
+      e.kind = StreamEventKind::kRateChange;
+    } else {
+      fail(i, "unknown kind '" + kind + "'");
+    }
+    const obs::JsonValue* request = ev.find("request");
+    if (request == nullptr || !request->is_number()) {
+      fail(i, "event needs a numeric \"request\" id");
+    }
+    const double id = request->as_number();
+    if (id < 0.0 || id != std::floor(id)) {
+      fail(i, "request id must be a non-negative integer");
+    }
+    e.request = static_cast<std::uint32_t>(id);
+    if (e.kind != StreamEventKind::kDepart) {
+      e.rate = ev.number_or("rate");
+    }
+    if (e.kind == StreamEventKind::kArrive) {
+      e.delivery_prob = ev.number_or("delivery_prob", 1.0);
+      const obs::JsonValue* chain = ev.find("chain");
+      if (chain == nullptr || !chain->is_array()) {
+        fail(i, "arrive needs a \"chain\" array");
+      }
+      for (const obs::JsonValue& hop : chain->as_array()) {
+        if (!hop.is_number() || hop.as_number() < 0.0 ||
+            hop.as_number() != std::floor(hop.as_number())) {
+          fail(i, "chain entries must be non-negative integers");
+        }
+        e.chain.push_back(static_cast<std::uint32_t>(hop.as_number()));
+      }
+    }
+    trace.events.push_back(std::move(e));
+    ++i;
+  }
+  trace.validate();
+  return trace;
+}
+
+void save_event_trace(const EventTrace& trace, std::ostream& out) {
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema", kEventTraceSchema);
+  w.kv("vnf_count", std::uint64_t{trace.vnf_count});
+  w.key("events");
+  w.begin_array();
+  for (const StreamEvent& e : trace.events) {
+    w.begin_object();
+    w.kv("t", e.time);
+    w.kv("kind", to_string(e.kind));
+    w.kv("request", std::uint64_t{e.request});
+    if (e.kind != StreamEventKind::kDepart) w.kv("rate", e.rate);
+    if (e.kind == StreamEventKind::kArrive) {
+      w.kv("delivery_prob", e.delivery_prob);
+      w.key("chain");
+      w.begin_array();
+      for (const std::uint32_t f : e.chain) w.value(std::uint64_t{f});
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+std::string save_event_trace_string(const EventTrace& trace) {
+  std::ostringstream os;
+  save_event_trace(trace, os);
+  return os.str();
+}
+
+void EventStreamConfig::validate() const {
+  NFV_REQUIRE(event_count >= 1);
+  NFV_REQUIRE(mean_interarrival > 0.0);
+  NFV_REQUIRE(target_population >= 1);
+  NFV_REQUIRE(rate_change_fraction >= 0.0 && rate_change_fraction < 1.0);
+  NFV_REQUIRE(arrival_rate_min > 0.0);
+  NFV_REQUIRE(arrival_rate_max >= arrival_rate_min);
+  NFV_REQUIRE(delivery_prob > 0.0 && delivery_prob <= 1.0);
+  NFV_REQUIRE(rate_sigma_log >= 0.0);
+}
+
+EventStreamGenerator::EventStreamGenerator(const Workload& base,
+                                           EventStreamConfig config)
+    : vnf_count_(static_cast<std::uint32_t>(base.vnfs.size())),
+      config_(config) {
+  config_.validate();
+  NFV_REQUIRE(!base.vnfs.empty());
+  // Distinct chains of the base workload, in first-appearance order.
+  for (const Request& r : base.requests) {
+    std::vector<std::uint32_t> chain;
+    chain.reserve(r.chain.size());
+    for (const VnfId f : r.chain) chain.push_back(f.value());
+    if (std::find(templates_.begin(), templates_.end(), chain) ==
+        templates_.end()) {
+      templates_.push_back(std::move(chain));
+    }
+  }
+}
+
+EventTrace EventStreamGenerator::generate(Rng& rng) const {
+  EventTrace trace;
+  trace.vnf_count = vnf_count_;
+  trace.events.reserve(config_.event_count);
+
+  const LognormalTraceSampler heavy_tail(
+      {0.04, config_.rate_sigma_log, config_.arrival_rate_min,
+       config_.arrival_rate_max});
+  const auto sample_rate = [&](Rng& r) {
+    return config_.rate_sigma_log > 0.0
+               ? heavy_tail.sample_rate(r)
+               : r.uniform(config_.arrival_rate_min, config_.arrival_rate_max);
+  };
+  const auto sample_chain = [&](Rng& r) {
+    if (!templates_.empty()) {
+      return templates_[r.below(templates_.size())];
+    }
+    // No templates: a fresh chain of distinct VNFs in canonical order.
+    const auto max_len = std::min<std::uint64_t>(6, vnf_count_);
+    const auto len = static_cast<std::size_t>(r.uniform_int(
+        1, static_cast<std::int64_t>(max_len)));
+    std::vector<std::uint32_t> all(vnf_count_);
+    for (std::uint32_t f = 0; f < vnf_count_; ++f) all[f] = f;
+    r.shuffle(all);
+    std::vector<std::uint32_t> chain(all.begin(),
+                                     all.begin() + static_cast<long>(len));
+    std::sort(chain.begin(), chain.end());
+    return chain;
+  };
+
+  double time = 0.0;
+  std::uint32_t next_id = 0;
+  std::vector<std::uint32_t> live;
+  const double target = static_cast<double>(config_.target_population);
+  for (std::size_t i = 0; i < config_.event_count; ++i) {
+    time += rng.exponential(1.0 / config_.mean_interarrival);
+    StreamEvent e;
+    e.time = time;
+    if (!live.empty() && rng.chance(config_.rate_change_fraction)) {
+      e.kind = StreamEventKind::kRateChange;
+      e.request = live[rng.below(live.size())];
+      e.rate = sample_rate(rng);
+    } else {
+      // Birth-death: arrivals dominate below the target population,
+      // departures above it; equilibrium sits at `target`.
+      const double p_arrive =
+          live.empty()
+              ? 1.0
+              : std::clamp(1.0 - 0.5 * static_cast<double>(live.size()) /
+                                     target,
+                           0.05, 0.95);
+      if (rng.chance(p_arrive)) {
+        e.kind = StreamEventKind::kArrive;
+        e.request = next_id++;
+        e.rate = sample_rate(rng);
+        e.delivery_prob = config_.delivery_prob;
+        e.chain = sample_chain(rng);
+        live.push_back(e.request);
+      } else {
+        e.kind = StreamEventKind::kDepart;
+        const std::size_t pick = rng.below(live.size());
+        e.request = live[pick];
+        live[pick] = live.back();
+        live.pop_back();
+      }
+    }
+    trace.events.push_back(std::move(e));
+  }
+  return trace;
+}
+
+}  // namespace nfv::workload

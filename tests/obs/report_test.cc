@@ -202,5 +202,116 @@ TEST(ReportDiff, RenderOfEmptyDiffSaysSo) {
   EXPECT_EQ(text.find("REGRESSION"), std::string::npos);
 }
 
+TEST(ReportDiff, OneSidedMetricsCarryTheirValues) {
+  // A metric present in only one report must surface as removed/added with
+  // its value, not silently drop out of the diff.
+  RunReport base = canned_report(0.05, 0.99);
+  RunReport cand = canned_report(0.05, 0.99);
+  base.des.present = false;      // des.* only in the candidate -> added
+  cand.resilience.present = false;  // resilience.* only in baseline -> removed
+  const auto before = load_run_report(serialize(base));
+  const auto after = load_run_report(serialize(cand));
+  const ReportDiff diff = diff_reports(before, after, 1.0);
+
+  const auto find_leaf = [](const std::vector<LeafChange>& v,
+                            std::string_view path) -> const LeafChange* {
+    const auto it =
+        std::find_if(v.begin(), v.end(),
+                     [path](const LeafChange& c) { return c.path == path; });
+    return it == v.end() ? nullptr : &*it;
+  };
+  const LeafChange* removed =
+      find_leaf(diff.removed, "resilience.final_availability");
+  ASSERT_NE(removed, nullptr);
+  EXPECT_EQ(removed->value, "0.99");
+  const LeafChange* added = find_leaf(diff.added, "des.events");
+  ASSERT_NE(added, nullptr);
+  EXPECT_EQ(added->value, "1000");
+  // removed/added mirror only_before/only_after one-to-one.
+  EXPECT_EQ(diff.removed.size(), diff.only_before.size());
+  EXPECT_EQ(diff.added.size(), diff.only_after.size());
+
+  const std::string text = render_diff(diff);
+  EXPECT_NE(text.find("only in baseline: resilience.final_availability"
+                      " = 0.99 (removed)"),
+            std::string::npos);
+  EXPECT_NE(text.find("only in current:  des.events = 1000 (added)"),
+            std::string::npos);
+  EXPECT_NE(text.find("added"), std::string::npos);
+  EXPECT_NE(text.find("removed"), std::string::npos);
+}
+
+TEST(ReportDiff, TypeChangesAreFlaggedNotDropped) {
+  // The same path holding a number on one side and a string on the other is
+  // a type change: previously these leaves vanished from the diff entirely.
+  const auto before =
+      load_run_report(R"({"schema": "nfvpr.run_report/1", "x": 3})");
+  const auto after =
+      load_run_report(R"({"schema": "nfvpr.run_report/1", "x": "three"})");
+  const ReportDiff diff = diff_reports(before, after, 1.0);
+  ASSERT_EQ(diff.type_changed.size(), 1u);
+  EXPECT_EQ(diff.type_changed[0], "x");
+  EXPECT_TRUE(diff.only_before.empty());
+  EXPECT_TRUE(diff.only_after.empty());
+  EXPECT_TRUE(diff.changed.empty());
+  const std::string text = render_diff(diff);
+  EXPECT_NE(text.find("type changed:     x"), std::string::npos);
+  EXPECT_EQ(text.find("reports are identical"), std::string::npos);
+}
+
+TEST(ReportDiff, GapCountsAsHigherWorse) {
+  const auto before =
+      load_run_report(R"({"schema": "nfvpr.run_report/1", "bench": {"gap": 1}})");
+  const auto after =
+      load_run_report(R"({"schema": "nfvpr.run_report/1", "bench": {"gap": 2}})");
+  const ReportDiff diff = diff_reports(before, after, 1.0);
+  ASSERT_EQ(diff.changed.size(), 1u);
+  EXPECT_TRUE(diff.changed[0].regression);
+}
+
+TEST(RunReport, ServeSectionRoundTrips) {
+  RunReport report;
+  report.command = "serve";
+  report.serve.present = true;
+  report.serve.events = 6;
+  report.serve.arrivals = 4;
+  report.serve.admitted = 4;
+  report.serve.migrations = 2;
+  report.serve.rebalances = 1;
+  report.serve.max_migrations_per_rebalance = 2;
+  report.serve.scale_outs = 3;
+  report.serve.live_requests = 3;
+  report.serve.active_instances = 2;
+  report.serve.admission_rate = 1.0;
+  report.serve.mean_predicted_latency = 0.0556;
+  report.serve.work = 120;
+  ServeEventEntry entry;
+  entry.index = 0;
+  entry.time = 0.0;
+  entry.kind = "arrive";
+  entry.request = 0;
+  entry.decision = "admitted";
+  entry.scale_outs = 2;
+  entry.mean_predicted_latency = 0.02;
+  report.serve.events_log.push_back(entry);
+
+  const auto loaded = load_run_report(serialize(report));
+  const JsonValue* serve = loaded.find("serve");
+  ASSERT_NE(serve, nullptr);
+  EXPECT_DOUBLE_EQ(serve->number_or("events"), 6.0);
+  EXPECT_DOUBLE_EQ(serve->number_or("migrations"), 2.0);
+  EXPECT_DOUBLE_EQ(serve->number_or("max_migrations_per_rebalance"), 2.0);
+  EXPECT_DOUBLE_EQ(serve->number_or("mean_predicted_latency"), 0.0556);
+  EXPECT_DOUBLE_EQ(serve->number_or("work"), 120.0);
+  const JsonValue* log = serve->find("events_log");
+  ASSERT_NE(log, nullptr);
+  ASSERT_EQ(log->as_array().size(), 1u);
+  EXPECT_EQ(log->as_array()[0].string_or("decision"), "admitted");
+  EXPECT_EQ(log->as_array()[0].string_or("kind"), "arrive");
+
+  const std::string text = pretty_print_report(loaded);
+  EXPECT_NE(text.find("serving (6 events)"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace nfv::obs

@@ -1,0 +1,138 @@
+#include "nfv/scheduling/migration.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "nfv/common/rng.h"
+#include "nfv/scheduling/algorithm.h"
+
+namespace nfv::sched {
+namespace {
+
+SchedulingProblem make_problem(std::vector<double> rates, std::uint32_t m,
+                               double mu = 1000.0) {
+  SchedulingProblem p;
+  p.arrival_rates = std::move(rates);
+  p.service_rate = mu;
+  p.instance_count = m;
+  return p;
+}
+
+std::vector<double> loads_of(const SchedulingProblem& p,
+                             const std::vector<std::uint32_t>& assign) {
+  std::vector<double> loads(p.instance_count, 0.0);
+  for (std::size_t r = 0; r < assign.size(); ++r) {
+    loads[assign[r]] += p.effective_rate(r);
+  }
+  return loads;
+}
+
+std::vector<std::uint32_t> apply(const std::vector<std::uint32_t>& current,
+                                 const MigrationPlan& plan) {
+  std::vector<std::uint32_t> out = current;
+  for (const MigrationMove& m : plan.moves) {
+    EXPECT_EQ(out[m.request], m.from);
+    out[m.request] = m.to;
+  }
+  return out;
+}
+
+TEST(BoundedMigration, NeverExceedsBudget) {
+  const SchedulingProblem p =
+      make_problem({90, 80, 70, 60, 50, 40, 30, 20, 10, 5}, 3);
+  // Worst case: everything piled on one instance.
+  const std::vector<std::uint32_t> current(p.request_count(), 0);
+  Rng rng(1);
+  const Schedule target = RckkScheduling{}.schedule(p, rng);
+  for (const std::uint32_t budget : {0u, 1u, 2u, 4u, 100u}) {
+    const MigrationPlan plan =
+        plan_bounded_migration(p, current, target, budget);
+    EXPECT_LE(plan.moves.size(), budget);
+  }
+}
+
+TEST(BoundedMigration, ReducesImbalanceTowardTarget) {
+  const SchedulingProblem p = make_problem({90, 80, 70, 60, 50, 40}, 2);
+  const std::vector<std::uint32_t> current(p.request_count(), 0);
+  Rng rng(1);
+  const Schedule target = RckkScheduling{}.schedule(p, rng);
+  const MigrationPlan plan = plan_bounded_migration(p, current, target, 3);
+  EXPECT_FALSE(plan.moves.empty());
+  EXPECT_LT(plan.imbalance_after, plan.imbalance_before);
+  // The reported imbalances match the applied assignment.
+  const auto loads = loads_of(p, apply(current, plan));
+  const auto [lo, hi] = std::minmax_element(loads.begin(), loads.end());
+  EXPECT_DOUBLE_EQ(plan.imbalance_after, *hi - *lo);
+}
+
+TEST(BoundedMigration, AlreadyOptimalNeedsNoMoves) {
+  const SchedulingProblem p = make_problem({50, 50, 30, 30}, 2);
+  Rng rng(1);
+  const Schedule target = RckkScheduling{}.schedule(p, rng);
+  // Start exactly at the target: the matching maps each part onto itself
+  // (possibly permuted), so no request is mismatched.
+  const MigrationPlan plan =
+      plan_bounded_migration(p, target.instance_of, target, 10);
+  EXPECT_TRUE(plan.moves.empty());
+  EXPECT_DOUBLE_EQ(plan.imbalance_before, plan.imbalance_after);
+}
+
+TEST(BoundedMigration, MatchingPreservesInstanceIdentity) {
+  // Instance 1 already holds the bulk of part X: relabeling must keep X on
+  // instance 1 instead of swapping both populations.
+  const SchedulingProblem p = make_problem({100, 100, 100, 5}, 2);
+  // current: the three heavy requests on instance 1, the light one on 0.
+  const std::vector<std::uint32_t> current = {1, 1, 1, 0};
+  Schedule target;
+  // Target splits heavies 2/1: parts {0,1},{2,3} by position.
+  target.instance_of = {0, 0, 1, 1};
+  const MigrationPlan plan = plan_bounded_migration(p, current, target, 10);
+  // Part 0 (200 eff) overlaps instance 1 most, so it is matched there and
+  // at most the remaining mismatches move.
+  ASSERT_EQ(plan.part_of_instance.size(), 2u);
+  EXPECT_EQ(plan.part_of_instance[1], 0u);
+  EXPECT_LE(plan.moves.size(), 2u);
+}
+
+TEST(BoundedMigration, RespectsCapacityLimit) {
+  const SchedulingProblem p = make_problem({60, 50, 45}, 2);
+  const std::vector<std::uint32_t> current = {0, 0, 1};
+  Schedule target;
+  // The matching keeps part 0 on instance 0 and part 1 on instance 1, so
+  // the only mismatch is request 1 moving to instance 1 (45 + 50 = 95).
+  target.instance_of = {0, 1, 1};
+  {
+    const MigrationPlan plan =
+        plan_bounded_migration(p, current, target, 10, 90.0);
+    EXPECT_TRUE(plan.moves.empty());  // would exceed the cap: skipped
+  }
+  {
+    const MigrationPlan plan =
+        plan_bounded_migration(p, current, target, 10, 0.0);  // no cap
+    ASSERT_EQ(plan.moves.size(), 1u);
+    EXPECT_EQ(plan.moves[0].request, 1u);
+    EXPECT_EQ(plan.moves[0].to, 1u);
+  }
+}
+
+TEST(BoundedMigration, MovesHeaviestMismatchFirst) {
+  const SchedulingProblem p = make_problem({90, 40, 30, 20}, 2);
+  const std::vector<std::uint32_t> current = {0, 0, 0, 0};
+  Rng rng(1);
+  const Schedule target = RckkScheduling{}.schedule(p, rng);
+  const MigrationPlan plan = plan_bounded_migration(p, current, target, 1);
+  ASSERT_EQ(plan.moves.size(), 1u);
+  // With budget 1, the single move is the heaviest mismatched request.
+  double heaviest = 0.0;
+  for (std::size_t r = 0; r < p.request_count(); ++r) {
+    const std::uint32_t mapped = plan.part_of_instance[current[r]];
+    if (target.instance_of[r] != mapped) {
+      heaviest = std::max(heaviest, p.effective_rate(r));
+    }
+  }
+  EXPECT_DOUBLE_EQ(p.effective_rate(plan.moves[0].request), heaviest);
+}
+
+}  // namespace
+}  // namespace nfv::sched

@@ -1,0 +1,131 @@
+// Golden online-vs-offline test: replay a small fixed trace through the
+// serving engine, assert the exact per-event decisions, then compare the
+// engine's predicted mean latency against a full offline re-solve of the
+// final live set (core::JointOptimizer).  On this trace the bounded online
+// policy lands on the same partition the offline solver finds, so the
+// optimality gap is exactly zero.
+#include <gtest/gtest.h>
+
+#include "nfv/core/joint_optimizer.h"
+#include "nfv/serve/engine.h"
+
+namespace nfv::serve {
+namespace {
+
+using workload::StreamEvent;
+using workload::StreamEventKind;
+
+topo::Topology make_topo() {
+  topo::Topology t;
+  const NodeId a = t.add_compute(400.0);
+  const NodeId b = t.add_compute(400.0);
+  const NodeId c = t.add_compute(400.0);
+  t.connect_nodes(a, b, 1e-4);
+  t.connect_nodes(a, c, 1e-4);
+  t.freeze();
+  return t;
+}
+
+std::vector<workload::Vnf> make_vnfs() {
+  std::vector<workload::Vnf> vnfs(2);
+  for (std::uint32_t f = 0; f < 2; ++f) {
+    vnfs[f].id = VnfId(f);
+    vnfs[f].name = "F" + std::to_string(f);
+    vnfs[f].demand_per_instance = 100.0;
+    vnfs[f].service_rate = 100.0;
+  }
+  return vnfs;
+}
+
+workload::EventTrace golden_trace() {
+  const auto arrive = [](double t, std::uint32_t id, double rate,
+                         std::vector<std::uint32_t> chain) {
+    StreamEvent e;
+    e.time = t;
+    e.kind = StreamEventKind::kArrive;
+    e.request = id;
+    e.rate = rate;
+    e.delivery_prob = 1.0;
+    e.chain = std::move(chain);
+    return e;
+  };
+  workload::EventTrace trace;
+  trace.vnf_count = 2;
+  StreamEvent dep;
+  dep.time = 3.0;
+  dep.kind = StreamEventKind::kDepart;
+  dep.request = 0;
+  StreamEvent rc;
+  rc.time = 4.0;
+  rc.kind = StreamEventKind::kRateChange;
+  rc.request = 1;
+  rc.rate = 85.0;
+  trace.events = {arrive(0.0, 0, 50.0, {0, 1}), arrive(1.0, 1, 30.0, {0}),
+                  arrive(2.0, 2, 20.0, {0}), dep, rc,
+                  arrive(5.0, 3, 60.0, {0})};
+  trace.validate();
+  return trace;
+}
+
+TEST(ServeGap, GoldenTraceDecisionsAreExact) {
+  ServeConfig cfg;
+  cfg.link_latency = 1e-4;
+  ServeEngine engine(make_topo(), make_vnfs(), cfg);
+  const auto log = engine.replay(golden_trace());
+  ASSERT_EQ(log.size(), 6u);
+
+  const Decision expected_decisions[] = {
+      Decision::kAdmitted, Decision::kAdmitted,   Decision::kAdmitted,
+      Decision::kDeparted, Decision::kRateChanged, Decision::kAdmitted};
+  const std::uint32_t expected_migrations[] = {0, 0, 1, 0, 1, 0};
+  const std::uint32_t expected_scale_outs[] = {2, 0, 1, 0, 1, 0};
+  const std::uint32_t expected_scale_ins[] = {0, 0, 0, 2, 0, 0};
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].decision, expected_decisions[i]) << "event " << i;
+    EXPECT_EQ(log[i].migrations, expected_migrations[i]) << "event " << i;
+    EXPECT_EQ(log[i].scale_outs, expected_scale_outs[i]) << "event " << i;
+    EXPECT_EQ(log[i].scale_ins, expected_scale_ins[i]) << "event " << i;
+  }
+
+  const ServeSummary s = engine.summary();
+  EXPECT_EQ(s.live_requests, 3u);
+  EXPECT_EQ(s.active_instances, 2u);
+  EXPECT_EQ(s.queued_requests, 0u);
+  EXPECT_EQ(s.rejected, 0u);
+  EXPECT_EQ(s.shed, 0u);
+  // Final instance loads are {85} and {20 + 60}: mean Eq. 16 latency is
+  // (1/15 + 1/20 + 1/20) / 3 — single-hop chains carry no link term.
+  const double expected = (1.0 / 15.0 + 1.0 / 20.0 + 1.0 / 20.0) / 3.0;
+  EXPECT_NEAR(s.mean_predicted_latency, expected, 1e-12);
+}
+
+TEST(ServeGap, OnlineMatchesOfflineResolveOnGoldenTrace) {
+  ServeConfig cfg;
+  cfg.link_latency = 1e-4;
+  ServeEngine engine(make_topo(), make_vnfs(), cfg);
+  engine.replay(golden_trace());
+
+  core::SystemModel model;
+  model.topology = engine.topology();
+  model.workload = engine.live_workload();
+  ASSERT_EQ(model.workload.vnfs.size(), 1u);  // only VNF 0 is live
+  ASSERT_EQ(model.workload.vnfs[0].instance_count, 2u);
+  ASSERT_EQ(model.workload.requests.size(), 3u);
+
+  core::JointConfig jcfg;
+  jcfg.link_latency = 1e-4;
+  const core::JointResult offline = core::JointOptimizer(jcfg).run(model, 1);
+  ASSERT_TRUE(offline.feasible);
+  EXPECT_DOUBLE_EQ(offline.job_rejection_rate, 0.0);
+
+  const double online = engine.summary().mean_predicted_latency;
+  const double gap_pct =
+      100.0 * (online - offline.avg_total_latency) / offline.avg_total_latency;
+  // The bounded online policy reaches the offline partition here: zero gap.
+  EXPECT_NEAR(gap_pct, 0.0, 1e-9);
+  // And generally the online engine can never beat the offline re-solve.
+  EXPECT_GE(online, offline.avg_total_latency - 1e-12);
+}
+
+}  // namespace
+}  // namespace nfv::serve

@@ -1,0 +1,161 @@
+#include "nfv/workload/event_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nfv/common/rng.h"
+#include "nfv/workload/generator.h"
+
+namespace nfv::workload {
+namespace {
+
+StreamEvent arrive(double t, std::uint32_t id, double rate,
+                   std::vector<std::uint32_t> chain) {
+  StreamEvent e;
+  e.time = t;
+  e.kind = StreamEventKind::kArrive;
+  e.request = id;
+  e.rate = rate;
+  e.delivery_prob = 0.98;
+  e.chain = std::move(chain);
+  return e;
+}
+
+StreamEvent depart(double t, std::uint32_t id) {
+  StreamEvent e;
+  e.time = t;
+  e.kind = StreamEventKind::kDepart;
+  e.request = id;
+  return e;
+}
+
+StreamEvent rate_change(double t, std::uint32_t id, double rate) {
+  StreamEvent e;
+  e.time = t;
+  e.kind = StreamEventKind::kRateChange;
+  e.request = id;
+  e.rate = rate;
+  return e;
+}
+
+EventTrace small_trace() {
+  EventTrace trace;
+  trace.vnf_count = 3;
+  trace.events = {arrive(0.0, 0, 10.0, {0, 2}), arrive(0.5, 1, 5.0, {1}),
+                  rate_change(1.0, 0, 20.0), depart(1.5, 1),
+                  depart(2.0, 0)};
+  return trace;
+}
+
+TEST(EventStream, RoundTripsThroughJson) {
+  const EventTrace trace = small_trace();
+  const std::string text = save_event_trace_string(trace);
+  const EventTrace loaded = load_event_trace(text);
+  EXPECT_EQ(loaded.vnf_count, trace.vnf_count);
+  ASSERT_EQ(loaded.events.size(), trace.events.size());
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    EXPECT_EQ(loaded.events[i], trace.events[i]) << "event " << i;
+  }
+}
+
+TEST(EventStream, RejectsNonMonotonicTimestamps) {
+  EventTrace trace = small_trace();
+  trace.events[2].time = 0.1;  // before event 1 at t=0.5
+  EXPECT_THROW(trace.validate(), TraceParseError);
+  EXPECT_THROW(load_event_trace(save_event_trace_string(trace)),
+               TraceParseError);
+}
+
+TEST(EventStream, RejectsLivenessViolations) {
+  {
+    EventTrace t = small_trace();
+    t.events.push_back(depart(3.0, 7));  // never arrived
+    EXPECT_THROW(t.validate(), TraceParseError);
+  }
+  {
+    EventTrace t = small_trace();
+    t.events.push_back(arrive(3.0, 0, 4.0, {1}));
+    t.events.push_back(arrive(3.5, 0, 4.0, {1}));  // double arrival
+    EXPECT_THROW(t.validate(), TraceParseError);
+  }
+  {
+    EventTrace t = small_trace();
+    t.events.push_back(rate_change(3.0, 1, 4.0));  // departed at 1.5
+    EXPECT_THROW(t.validate(), TraceParseError);
+  }
+}
+
+TEST(EventStream, RejectsOutOfRangeChainAndDuplicateVnfs) {
+  {
+    EventTrace t = small_trace();
+    t.events[0].chain = {0, 5};  // vnf_count is 3
+    EXPECT_THROW(t.validate(), TraceParseError);
+  }
+  {
+    EventTrace t = small_trace();
+    t.events[0].chain = {1, 1};
+    EXPECT_THROW(t.validate(), TraceParseError);
+  }
+}
+
+TEST(EventStream, RejectsWrongSchemaAndMalformedJson) {
+  EXPECT_THROW(load_event_trace("not json at all"), TraceParseError);
+  EXPECT_THROW(load_event_trace("{\"schema\": \"nfvpr.trace/9\"}"),
+               TraceParseError);
+  EXPECT_THROW(load_event_trace("{\"schema\": \"nfvpr.trace/1\"}"),
+               TraceParseError);  // vnf_count missing
+}
+
+TEST(EventStreamGenerator, ProducesValidDeterministicTraces) {
+  WorkloadConfig wcfg;
+  wcfg.vnf_count = 6;
+  wcfg.request_count = 20;
+  Rng wrng(3);
+  const Workload base = WorkloadGenerator(wcfg).generate(wrng);
+
+  EventStreamConfig cfg;
+  cfg.event_count = 300;
+  Rng rng_a(11);
+  Rng rng_b(11);
+  const EventTrace a = EventStreamGenerator(base, cfg).generate(rng_a);
+  const EventTrace b = EventStreamGenerator(base, cfg).generate(rng_b);
+  EXPECT_NO_THROW(a.validate());
+  EXPECT_EQ(a.events.size(), cfg.event_count);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i], b.events[i]) << "event " << i;
+  }
+  // A different seed must change the stream.
+  Rng rng_c(12);
+  const EventTrace c = EventStreamGenerator(base, cfg).generate(rng_c);
+  EXPECT_NE(a.events, c.events);
+}
+
+TEST(EventStreamGenerator, MixesAllEventKinds) {
+  WorkloadConfig wcfg;
+  wcfg.vnf_count = 5;
+  wcfg.request_count = 10;
+  Rng wrng(5);
+  const Workload base = WorkloadGenerator(wcfg).generate(wrng);
+  EventStreamConfig cfg;
+  cfg.event_count = 500;
+  Rng rng(7);
+  const EventTrace trace = EventStreamGenerator(base, cfg).generate(rng);
+  std::size_t arrivals = 0;
+  std::size_t departures = 0;
+  std::size_t changes = 0;
+  for (const StreamEvent& e : trace.events) {
+    switch (e.kind) {
+      case StreamEventKind::kArrive: ++arrivals; break;
+      case StreamEventKind::kDepart: ++departures; break;
+      case StreamEventKind::kRateChange: ++changes; break;
+    }
+  }
+  EXPECT_GT(arrivals, 0u);
+  EXPECT_GT(departures, 0u);
+  EXPECT_GT(changes, 0u);
+}
+
+}  // namespace
+}  // namespace nfv::workload

@@ -47,7 +47,7 @@ expect_exit 2 "missing flag value is a usage error" "$NFVPR" pipeline --seed
 expect_exit 2 "report without --in is a usage error" "$NFVPR" report
 
 # --threads must be a positive integer on every parallel-capable subcommand.
-for sub in place schedule pipeline simulate chaos; do
+for sub in place schedule pipeline simulate chaos serve; do
   expect_exit 2 "$sub --threads 0 is a usage error" "$NFVPR" "$sub" --threads 0
   expect_exit 2 "$sub --threads x is a usage error" "$NFVPR" "$sub" --threads x
 done
@@ -90,6 +90,42 @@ else
   diff "$WORK/serial.txt" "$WORK/threaded.txt" | sed 's/^/  /' >&2
   failures=$((failures + 1))
 fi
+
+# --- serve: trace validation and deterministic replay ---------------------
+expect_exit 0 "serve --help exits 0" "$NFVPR" serve --help
+expect_exit 2 "serve without --trace is a usage error" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl"
+expect_exit 0 "generate-trace" \
+  sh -c "'$NFVPR' generate-trace --workload '$WORK/peak.wl' --events 120 \
+         --seed 3 > '$WORK/live.trace.json'"
+
+# A trace whose timestamps go backwards is an invalid argument (exit 2).
+cat > "$WORK/bad.trace.json" <<'EOF'
+{"schema": "nfvpr.trace/1", "vnf_count": 8, "events": [
+  {"t": 1.0, "kind": "REQ_ARRIVE", "request": 0, "rate": 5.0,
+   "delivery_prob": 0.98, "chain": [0]},
+  {"t": 0.5, "kind": "REQ_DEPART", "request": 0}
+]}
+EOF
+expect_exit 2 "non-monotonic trace timestamps exit 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/bad.trace.json"
+
+expect_exit 0 "serve replay, serial" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/live.trace.json" --report-out "$WORK/serve1.json" -j 1
+expect_exit 0 "serve replay, 8 threads" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/live.trace.json" --report-out "$WORK/serve8.json" -j 8
+if cmp -s "$WORK/serve1.json" "$WORK/serve8.json"; then
+  echo "ok: serve -j 1 and -j 8 reports are byte-identical"
+else
+  echo "FAIL: serve reports differ between -j 1 and -j 8" >&2
+  diff "$WORK/serve1.json" "$WORK/serve8.json" | sed 's/^/  /' >&2
+  failures=$((failures + 1))
+fi
+expect_contains "$WORK/serve1.json" '"serve"' \
+  "serve report carries the serve section"
 
 # --- report pretty-print and diff ----------------------------------------
 expect_exit 0 "report pretty-print" "$NFVPR" report --in "$WORK/run.json"

@@ -36,9 +36,11 @@
 #include "nfv/placement/metrics.h"
 #include "nfv/scheduling/algorithm.h"
 #include "nfv/scheduling/metrics.h"
+#include "nfv/serve/engine.h"
 #include "nfv/sim/des.h"
 #include "nfv/topology/builders.h"
 #include "nfv/topology/io.h"
+#include "nfv/workload/event_stream.h"
 #include "nfv/workload/generator.h"
 #include "nfv/workload/io.h"
 
@@ -58,11 +60,14 @@ int usage() {
       "  simulate           optimize, then replay packet-level and compare\n"
       "  chaos              replay a seeded failure storm through the\n"
       "                     resilience controller's escalation ladder\n"
+      "  generate-trace     emit an event trace (nfvpr.trace/1) from a workload\n"
+      "  serve              replay an event trace through the online serving\n"
+      "                     engine (admission, bounded migration, scale out/in)\n"
       "  report             pretty-print a run report, or diff two reports\n"
       "\n"
-      "place/schedule/pipeline/simulate/chaos accept --metrics-out <path>\n"
-      "(JSON run report), --trace-out <path> (Chrome trace-event JSON) and\n"
-      "--threads N (parallel fan-out; results are identical for any N).\n"
+      "place/schedule/pipeline/simulate/chaos/serve accept --metrics-out\n"
+      "<path> (JSON run report), --trace-out <path> (Chrome trace-event JSON)\n"
+      "and --threads N (parallel fan-out; results are identical for any N).\n"
       "\n"
       "run 'nfvpr <subcommand> --help' for flags.\n"
       "\n"
@@ -653,6 +658,174 @@ int cmd_chaos(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_generate_trace(int argc, const char* const* argv) {
+  nfv::CliParser cli("nfvpr generate-trace",
+                     "emit an event trace (nfvpr.trace/1) from a workload");
+  const auto& workload_file = cli.add_string("workload", 'w', "workload file", "");
+  const auto& events = cli.add_int("events", 'e', "event count", 500);
+  const auto& interarrival =
+      cli.add_double("mean-interarrival", 'i', "mean seconds between events",
+                     0.05);
+  const auto& population = cli.add_int(
+      "population", 'n', "target live-request population", 40);
+  const auto& rate_change = cli.add_double(
+      "rate-change-fraction", 'r', "fraction of events that are RATE_CHANGE",
+      0.15);
+  const auto& sigma = cli.add_double(
+      "sigma-log", '\0', "lognormal spread of arrival rates (0 = uniform)",
+      0.0);
+  const auto& delivery =
+      cli.add_double("delivery-prob", 'p', "P_r per request", 0.98);
+  const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
+  if (!cli.parse(argc, argv)) return parse_exit(cli);
+  if (workload_file.empty()) {
+    std::fputs("nfvpr generate-trace: --workload is required\n", stderr);
+    return 2;
+  }
+  const auto base = read_workload(workload_file);
+  nfv::workload::EventStreamConfig cfg;
+  cfg.event_count = static_cast<std::size_t>(events);
+  cfg.mean_interarrival = interarrival;
+  cfg.target_population = static_cast<std::size_t>(population);
+  cfg.rate_change_fraction = rate_change;
+  cfg.delivery_prob = delivery;
+  cfg.rate_sigma_log = sigma;
+  nfv::Rng rng(static_cast<std::uint64_t>(seed));
+  const auto trace =
+      nfv::workload::EventStreamGenerator(base, cfg).generate(rng);
+  nfv::workload::save_event_trace(trace, std::cout);
+  return 0;
+}
+
+int cmd_serve(int argc, const char* const* argv) {
+  nfv::CliParser cli("nfvpr serve",
+                     "replay an event trace through the online serving engine");
+  const auto& topology_file = cli.add_string("topology", 't', "topology file", "");
+  const auto& workload_file = cli.add_string(
+      "workload", 'w', "workload file (VNF catalog; requests ignored)", "");
+  const auto& trace_file =
+      cli.add_string("trace", 'T', "event trace (nfvpr.trace/1)", "");
+  const auto& headroom = cli.add_double(
+      "headroom", 'H', "stability margin in [0, 1)", 0.10);
+  const auto& rebalance = cli.add_double(
+      "rebalance-threshold", 'R', "relative imbalance that triggers a "
+      "bounded rebalance", 0.25);
+  const auto& budget = cli.add_int(
+      "migration-budget", 'K', "max request moves per rebalance", 4);
+  const auto& queue_cap = cli.add_int(
+      "queue-capacity", 'Q', "waiting room size (0 rejects immediately)", 64);
+  const auto& link = cli.add_double(
+      "link-latency", 'l', "L of Eq. 16 (default: topology mean)", -1.0);
+  const auto& report_out = cli.add_string(
+      "report-out", '\0',
+      "write the serve run report here (deterministic: no registry "
+      "snapshot, byte-identical for any --threads)", "");
+  const auto& with_events = cli.add_flag(
+      "events-log", '\0', "include per-event decisions in the report");
+  const auto& seed = cli.add_int("seed", 's', "RNG seed (recorded only; the "
+                                 "engine is deterministic)", 1);
+  ThreadsFlag threads(cli);
+  Telemetry tele(cli);
+  if (!cli.parse(argc, argv)) return parse_exit(cli);
+  if (!threads.install()) return 2;
+  if (topology_file.empty() || workload_file.empty() || trace_file.empty()) {
+    std::fputs("nfvpr serve: --topology, --workload and --trace are required\n",
+               stderr);
+    return 2;
+  }
+  if (headroom < 0.0 || headroom >= 1.0 || rebalance < 0.0 || budget < 0 ||
+      queue_cap < 0) {
+    std::fputs("nfvpr serve: flag value out of range\n", stderr);
+    return 2;
+  }
+
+  try {
+    const auto topology = read_topology(topology_file);
+    const auto workload = read_workload(workload_file);
+    const auto trace = nfv::workload::load_event_trace(read_file(trace_file));
+    if (trace.vnf_count > workload.vnfs.size()) {
+      std::fprintf(stderr,
+                   "nfvpr serve: trace references %u VNFs but the workload "
+                   "defines only %zu\n",
+                   trace.vnf_count, workload.vnfs.size());
+      return 2;
+    }
+    nfv::serve::ServeConfig cfg;
+    cfg.headroom = headroom;
+    cfg.rebalance_threshold = rebalance;
+    cfg.migration_budget = static_cast<std::uint32_t>(budget);
+    cfg.queue_capacity = static_cast<std::size_t>(queue_cap);
+    if (link >= 0.0) cfg.link_latency = link;
+
+    tele.activate();
+    nfv::serve::ServeEngine engine(topology, workload.vnfs, cfg);
+    engine.replay(trace);
+    const auto summary = engine.summary();
+
+    const nfv::obs::ServeSection section =
+        nfv::serve::make_serve_section(engine, with_events);
+    if (!report_out.empty()) {
+      // The deterministic report: serve section only, no metrics-registry
+      // snapshot (exec counters vary with --threads; this file must not).
+      nfv::core::ReportInputs rinputs;
+      rinputs.command = "serve";
+      rinputs.seed = static_cast<std::uint64_t>(seed);
+      rinputs.serve = &section;
+      const nfv::obs::RunReport report = nfv::core::build_run_report(rinputs);
+      std::ofstream os(report_out);
+      if (!os) throw std::runtime_error("cannot open " + report_out);
+      nfv::obs::write_run_report(report, os);
+    }
+    nfv::core::ReportInputs inputs;
+    inputs.command = "serve";
+    inputs.seed = static_cast<std::uint64_t>(seed);
+    inputs.serve = &section;
+    tele.finish(inputs);
+
+    std::printf("events                : %llu (%llu arrivals)\n",
+                static_cast<unsigned long long>(summary.events),
+                static_cast<unsigned long long>(summary.arrivals));
+    std::printf("admitted              : %llu (+%llu from queue), "
+                "%llu rejected, %llu shed\n",
+                static_cast<unsigned long long>(summary.admitted),
+                static_cast<unsigned long long>(summary.admitted_from_queue),
+                static_cast<unsigned long long>(summary.rejected),
+                static_cast<unsigned long long>(summary.shed));
+    std::printf("admission rate        : %.1f%%\n",
+                100.0 * summary.admission_rate);
+    std::printf("migrations            : %llu over %llu rebalances "
+                "(max %llu per pass, K=%lld)\n",
+                static_cast<unsigned long long>(summary.migrations),
+                static_cast<unsigned long long>(summary.rebalances),
+                static_cast<unsigned long long>(
+                    summary.max_migrations_per_rebalance),
+                static_cast<long long>(budget));
+    std::printf("scale out / in        : %llu / %llu\n",
+                static_cast<unsigned long long>(summary.scale_outs),
+                static_cast<unsigned long long>(summary.scale_ins));
+    std::printf("live at end           : %llu requests on %llu instances "
+                "(%llu nodes), %llu queued\n",
+                static_cast<unsigned long long>(summary.live_requests),
+                static_cast<unsigned long long>(summary.active_instances),
+                static_cast<unsigned long long>(summary.nodes_in_service),
+                static_cast<unsigned long long>(summary.queued_requests));
+    std::printf("predicted latency     : mean %.5f s, p99 %.5f s (Eq. 16)\n",
+                summary.mean_predicted_latency,
+                summary.p99_predicted_latency);
+    if (summary.arrivals > 0 &&
+        summary.admitted + summary.admitted_from_queue == 0) {
+      std::puts("INFEASIBLE — no arrival could be admitted");
+      return 3;
+    }
+    return 0;
+  } catch (const nfv::workload::TraceParseError& e) {
+    // A malformed or inconsistent trace is misuse of the CLI, not a
+    // runtime failure: exit 2 like any other usage error.
+    std::fprintf(stderr, "nfvpr serve: bad trace: %s\n", e.what());
+    return 2;
+  }
+}
+
 int cmd_report(int argc, const char* const* argv) {
   nfv::CliParser cli("nfvpr report",
                      "pretty-print a run report, or diff two reports");
@@ -711,6 +884,10 @@ int main(int argc, char** argv) {
     if (subcommand == "tail") return cmd_tail(sub_argc, sub_argv);
     if (subcommand == "simulate") return cmd_simulate(sub_argc, sub_argv);
     if (subcommand == "chaos") return cmd_chaos(sub_argc, sub_argv);
+    if (subcommand == "generate-trace") {
+      return cmd_generate_trace(sub_argc, sub_argv);
+    }
+    if (subcommand == "serve") return cmd_serve(sub_argc, sub_argv);
     if (subcommand == "report") return cmd_report(sub_argc, sub_argv);
   } catch (const nfv::InfeasibleError& e) {
     // Well-formed input that no algorithm can satisfy (e.g. a VNF larger
