@@ -1,0 +1,266 @@
+// Sharded-solve scaling bench (DESIGN.md §12, not a paper figure): one
+// large clustered instance — many independent chain groups, ≥100k
+// requests — solved monolithically and sharded, serially and with a
+// worker pool.
+//
+//   bench_scale_sharded --requests 100000 --threads 8 --json out.json
+//
+// Rows pair wall-clock (`wall_us`, machine-noisy — a single-core host
+// shows no parallel wall gain at all) with the deterministic solver work
+// counters, bit-identical for any thread count / shard fan-out:
+//
+//   work      total units (placement iterations + scheduling work);
+//   crit_work the critical path of that work under the row's execution
+//             plan — monolithic runs placement serially before fanning
+//             scheduling out per VNF, sharded rows fan both phases out
+//             per shard (greedy list-scheduling makespan over `threads`
+//             workers, plus the sharded merge/repair tail);
+//   speedup   crit_work(monolithic, 1 thread) / crit_work(row).
+//
+// The speedup column is therefore a machine-independent model of the
+// parallel schedule, and the gap columns measure the sharded solution
+// against the monolithic reference — the bench-level form of the ≤1%
+// differential-test bound.  JSON lands in the "nfvpr.bench/1" schema for
+// baseline diffing against bench/baselines/scale_sharded.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "nfv/common/cli.h"
+#include "nfv/common/rng.h"
+#include "nfv/common/table.h"
+#include "nfv/core/joint_optimizer.h"
+#include "nfv/placement/problem.h"
+#include "nfv/shard/partition.h"
+#include "nfv/topology/builders.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A large clustered instance: `groups` independent chain groups (the
+/// incidence graph has exactly `groups` components), uniform node
+/// capacities, per-VNF service rates scaled to the realized load.
+nfv::core::SystemModel make_clustered_model(std::uint64_t seed,
+                                            std::uint32_t groups,
+                                            std::uint32_t vnfs_per_group,
+                                            std::uint32_t requests,
+                                            std::size_t nodes_per_group) {
+  nfv::Rng rng(seed);
+  nfv::core::SystemModel model;
+  const std::size_t nodes = groups * nodes_per_group;
+  const double capacity = 1000.0;
+  model.topology =
+      nfv::topo::make_star(nodes, nfv::topo::CapacitySpec{capacity, capacity},
+                           nfv::topo::LinkSpec{1e-4}, rng);
+  const std::uint32_t vnf_count = groups * vnfs_per_group;
+  // Fill ~65% of each group's node slice.
+  const double demand_per_instance =
+      0.65 * static_cast<double>(nodes_per_group) * capacity /
+      (2.0 * static_cast<double>(vnfs_per_group));
+  for (std::uint32_t f = 0; f < vnf_count; ++f) {
+    nfv::workload::Vnf v;
+    v.id = nfv::VnfId{f};
+    v.name = "vnf" + std::to_string(f);
+    v.catalog_index = f;
+    v.demand_per_instance = demand_per_instance * rng.uniform(0.6, 1.4);
+    v.instance_count = 2;
+    v.service_rate = 1.0;  // rescaled below once member loads are known
+    model.workload.vnfs.push_back(std::move(v));
+  }
+  std::vector<double> vnf_load(vnf_count, 0.0);
+  for (std::uint32_t r = 0; r < requests; ++r) {
+    nfv::workload::Request req;
+    req.id = nfv::RequestId{r};
+    const std::uint32_t g = r % groups;
+    const std::uint32_t base = g * vnfs_per_group;
+    const std::uint32_t start =
+        static_cast<std::uint32_t>(rng.below(vnfs_per_group));
+    const std::uint32_t len =
+        2 + static_cast<std::uint32_t>(rng.below(vnfs_per_group - 1));
+    for (std::uint32_t k = 0; k < len; ++k) {
+      req.chain.push_back(nfv::VnfId{base + (start + k) % vnfs_per_group});
+    }
+    req.arrival_rate = rng.uniform(1.0, 20.0);
+    req.delivery_prob = 0.98;
+    for (const nfv::VnfId f : req.chain) {
+      vnf_load[f.index()] += req.arrival_rate / req.delivery_prob;
+    }
+    model.workload.requests.push_back(std::move(req));
+  }
+  for (std::uint32_t f = 0; f < vnf_count; ++f) {
+    // μ_f = 1.3 × perfectly-balanced Λ_k, as the figure benches do.
+    model.workload.vnfs[f].service_rate = std::max(1.0, 1.3 * vnf_load[f] / 2.0);
+  }
+  return model;
+}
+
+/// Deterministic work: placement iterations + per-VNF scheduling work.
+std::uint64_t solver_work(const nfv::core::JointResult& result) {
+  std::uint64_t work = result.placement.iterations;
+  for (const auto& schedule : result.schedules) work += schedule.work;
+  return work;
+}
+
+/// Greedy list-scheduling makespan: units (in order) each go to the
+/// least-loaded of `workers` workers.  Deterministic stand-in for the
+/// pool executing independent tasks.
+std::uint64_t makespan(const std::vector<std::uint64_t>& units,
+                       std::uint32_t workers) {
+  std::vector<std::uint64_t> load(std::max<std::uint32_t>(workers, 1), 0);
+  for (const std::uint64_t u : units) {
+    *std::min_element(load.begin(), load.end()) += u;
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+/// Critical-path work for one row's execution plan (see file comment).
+/// `plan` is the canonical shard plan; only consulted for sharded rows.
+std::uint64_t critical_work(const nfv::core::JointResult& result,
+                            const nfv::shard::ShardPlan& plan, bool sharded,
+                            std::uint32_t threads) {
+  std::vector<std::uint64_t> sched_units;
+  if (!sharded || !result.shard_stats.enabled) {
+    // Serial placement, then per-VNF scheduling fan-out.
+    sched_units.reserve(result.schedules.size());
+    for (const auto& schedule : result.schedules) {
+      sched_units.push_back(schedule.work);
+    }
+    return result.placement.iterations + makespan(sched_units, threads);
+  }
+  // Per-shard placement fan-out, then per-shard scheduling fan-out, then
+  // the serial merge/repair tail.
+  const auto& stats = result.shard_stats;
+  sched_units.assign(plan.shard_count(), 0);
+  for (std::size_t f = 0; f < result.schedules.size(); ++f) {
+    sched_units[plan.shard_of_vnf[f]] += result.schedules[f].work;
+  }
+  return makespan(stats.shard_placement_work, threads) +
+         makespan(sched_units, threads) + stats.repair_moves +
+         stats.drain_moves + stats.boundary_requests + stats.migrations;
+}
+
+/// Mean relative Λ-imbalance (spread / mean) over the admitted schedules.
+double mean_rel_imbalance(const nfv::core::JointResult& result) {
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (const auto& admission : result.admissions) {
+    const auto& loads = admission.admitted_metrics.instance_effective_load;
+    if (loads.empty()) continue;
+    const auto [lo, hi] = std::minmax_element(loads.begin(), loads.end());
+    const double mean = std::accumulate(loads.begin(), loads.end(), 0.0) /
+                        static_cast<double>(loads.size());
+    if (mean > 0.0) {
+      total += (*hi - *lo) / mean;
+      ++counted;
+    }
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nfv::CliParser cli("bench_scale_sharded",
+                     "sharded vs monolithic joint solve at scale "
+                     "(nfvpr.bench/1 JSON)");
+  const auto& groups = cli.add_int("groups", 'g', "independent chain groups", 48);
+  const auto& vnfs = cli.add_int("vnfs", 'f', "VNFs per group", 24);
+  const auto& requests =
+      cli.add_int("requests", 'n', "total requests (across groups)", 100000);
+  const auto& threads =
+      cli.add_int("threads", 'j', "worker threads for the _par rows", 8);
+  const auto& seed = cli.add_int("seed", 's', "model seed", 42);
+  const auto& json = cli.add_string("json", '\0', "write JSON table here", "");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 2;
+  if (groups < 1 || vnfs < 2 || requests < 1 || threads < 1) {
+    std::fputs("bench_scale_sharded: sizes and --threads must be >= 1 "
+               "(--vnfs >= 2)\n",
+               stderr);
+    return 2;
+  }
+
+  nfv::bench::print_banner(
+      "Sharded scaling — one joint solve, monolithic vs sharded",
+      "Clustered instance: independent chain groups solved as canonical\n"
+      "shards (DESIGN.md §12).  Every column except wall_us is\n"
+      "bit-identical for any thread count; `speedup` is the deterministic\n"
+      "critical-path model of the row's execution plan (monolithic runs\n"
+      "placement serially; sharded fans both phases out per shard).  The\n"
+      "sharded gap vs the monolithic reference stays ≤ 1%.");
+
+  const auto model = make_clustered_model(
+      static_cast<std::uint64_t>(seed), static_cast<std::uint32_t>(groups),
+      static_cast<std::uint32_t>(vnfs), static_cast<std::uint32_t>(requests),
+      4);
+  std::printf("instance: %lld groups x %lld VNFs, %zu requests, %zu nodes\n\n",
+              static_cast<long long>(groups), static_cast<long long>(vnfs),
+              model.workload.requests.size(),
+              model.topology.compute_count());
+
+  struct Row {
+    const char* name;
+    std::uint32_t threads;
+    bool sharded;
+  };
+  const Row rows[] = {
+      {"monolithic", 1, false},
+      {"monolithic_par", static_cast<std::uint32_t>(threads), false},
+      {"sharded", 1, true},
+      {"sharded_par", static_cast<std::uint32_t>(threads), true},
+  };
+
+  // The canonical shard plan depends only on the model + split fraction;
+  // reconstruct it once for the critical-path model.
+  const nfv::placement::PlacementProblem pp =
+      nfv::placement::make_problem(model.topology, model.workload);
+  const nfv::shard::ShardConfig shard_defaults;
+  const nfv::shard::ShardPlan plan = nfv::shard::make_shard_plan(
+      pp.vnf_count(), pp.chains, pp.demands,
+      shard_defaults.split_fraction * pp.total_capacity());
+
+  nfv::Table table({"case", "threads", "wall_us", "work", "crit_work",
+                    "speedup", "util", "nodes", "imbalance", "util_gap_pct"});
+  table.set_precision(3);
+  double mono_crit = 0.0;
+  double mono_util = 0.0;
+  for (const Row& row : rows) {
+    nfv::core::JointConfig cfg;
+    cfg.exec.threads = row.threads;
+    if (row.sharded) cfg.shard.policy = nfv::shard::ShardPolicy::kAuto;
+    const nfv::core::JointOptimizer optimizer(cfg);
+    const auto start = Clock::now();
+    const nfv::core::JointResult result =
+        optimizer.run(model, static_cast<std::uint64_t>(seed));
+    const double us =
+        std::chrono::duration<double, std::micro>(Clock::now() - start)
+            .count();
+    if (!result.feasible) {
+      std::fprintf(stderr, "bench_scale_sharded: %s run infeasible\n",
+                   row.name);
+      return 1;
+    }
+    const double util = result.placement_metrics.avg_utilization_of_used;
+    const std::uint64_t crit =
+        critical_work(result, plan, row.sharded, row.threads);
+    if (row.threads == 1 && !row.sharded) {
+      mono_crit = static_cast<double>(crit);
+      mono_util = util;
+    }
+    table.add_row(
+        {std::string(row.name), static_cast<long long>(row.threads), us,
+         static_cast<long long>(solver_work(result)),
+         static_cast<long long>(crit),
+         crit > 0 ? mono_crit / static_cast<double>(crit) : 0.0, util,
+         static_cast<long long>(result.placement_metrics.nodes_in_service),
+         mean_rel_imbalance(result),
+         mono_util > 0.0 ? 100.0 * (mono_util - util) / mono_util : 0.0});
+  }
+  std::fputs(table.markdown().c_str(), stdout);
+  nfv::bench::write_table_json(table, "scale_sharded", json);
+  return 0;
+}

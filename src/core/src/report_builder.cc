@@ -120,6 +120,22 @@ void fill_resilience(const ReportInputs& in, obs::ResilienceSection& out) {
   }
 }
 
+void fill_shard(const ReportInputs& in, obs::ShardSection& out) {
+  const shard::ShardStats& s = in.result->shard_stats;
+  if (!s.enabled) return;  // monolithic run: no shard section at all
+  out.present = true;
+  out.shards = s.shards;
+  out.components = s.components;
+  out.splits = s.splits;
+  out.fallback_monolithic = s.fallback_monolithic;
+  out.repair_moves = s.repair_moves;
+  out.drain_moves = s.drain_moves;
+  out.drained_nodes = s.drained_nodes;
+  out.boundary_requests = s.boundary_requests;
+  out.rebalances = s.rebalances;
+  out.migrations = s.migrations;
+}
+
 }  // namespace
 
 obs::RunReport build_run_report(const ReportInputs& inputs) {
@@ -131,6 +147,7 @@ obs::RunReport build_run_report(const ReportInputs& inputs) {
     fill_placement(inputs, report.placement);
     fill_scheduling(inputs, report.scheduling);
     fill_requests(inputs, report.requests);
+    fill_shard(inputs, report.shard);
   }
   if (inputs.sim != nullptr) fill_des(*inputs.sim, report.des);
   if (!inputs.resilience.empty()) {

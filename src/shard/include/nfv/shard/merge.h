@@ -1,0 +1,42 @@
+// Merge-time scheduling helpers: after each shard schedules its own
+// members of a VNF, the positions owned by other shards (boundary
+// members of a split component) are appended greedily and — when the
+// merged Λ-imbalance is too high — walked toward a fresh full re-solve
+// with a bounded migration plan.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "nfv/scheduling/problem.h"
+
+namespace nfv::shard {
+
+/// Marker for a position not yet assigned to an instance.
+inline constexpr std::uint32_t kUnassigned =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Assigns each position in `positions` (currently kUnassigned) to the
+/// instance with the least effective load so far, lowest instance id on
+/// ties.  Already-assigned positions contribute their load first.
+/// Positions are filled in the given order; deterministic.
+void complete_schedule(const sched::SchedulingProblem& problem,
+                       std::vector<std::uint32_t>& instance_of,
+                       std::span<const std::uint32_t> positions);
+
+struct RebalanceOutcome {
+  bool triggered = false;      ///< imbalance exceeded the threshold
+  std::uint64_t migrations = 0;  ///< request moves applied
+};
+
+/// When the relative Λ-imbalance of `instance_of` (spread / mean
+/// effective instance load) exceeds `threshold`, applies up to `budget`
+/// moves toward `target` via sched::plan_bounded_migration.
+RebalanceOutcome rebalance_toward(const sched::SchedulingProblem& problem,
+                                  std::vector<std::uint32_t>& instance_of,
+                                  const sched::Schedule& target,
+                                  double threshold, std::uint32_t budget);
+
+}  // namespace nfv::shard

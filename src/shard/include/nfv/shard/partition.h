@@ -1,0 +1,100 @@
+// Canonical sharding of a joint instance (DESIGN.md §12).
+//
+// A shard is a set of VNFs that can be placed and scheduled nearly
+// independently of the rest of the instance.  The partition is derived
+// from the model alone — connected components of the VNF↔request
+// incidence graph, then capacity-aware splitting of oversized
+// components — so it is identical for every thread count and every
+// `--shards` value: like `--threads`, `--shards` is purely a wall-clock
+// knob (it caps how many shards are in flight), never a results knob.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nfv::shard {
+
+enum class ShardPolicy : std::uint8_t {
+  kOff,    ///< monolithic solve (the default)
+  kAuto,   ///< shard; fan-out width follows exec::current_concurrency()
+  kFixed,  ///< shard; at most `shards` sub-solves in flight at once
+};
+
+/// Sharding knobs, plumbed through core::JointConfig and the CLI
+/// `--shards` flag.
+struct ShardConfig {
+  ShardPolicy policy = ShardPolicy::kOff;
+  /// In-flight cap under kFixed (>= 1); ignored otherwise.
+  std::uint32_t shards = 0;
+  /// A component whose total footprint exceeds this fraction of the total
+  /// node capacity is split further (first-fit-decreasing into bins of
+  /// that size).  The threshold depends only on the model and this
+  /// fraction, never on the fan-out width.
+  double split_fraction = 0.25;
+  /// Relative Λ-imbalance (spread / mean load) above which a merged
+  /// schedule with boundary members gets a bounded migration rebalance.
+  double rebalance_threshold = 0.05;
+  /// Max request moves per rebalanced VNF (sched::plan_bounded_migration).
+  std::uint32_t migration_budget = 8;
+
+  [[nodiscard]] bool enabled() const { return policy != ShardPolicy::kOff; }
+  /// Shards in flight at once for this scope: `shards` under kFixed, the
+  /// installed pool width under kAuto.  Wall-clock only — merge order is
+  /// always shard-index order.
+  [[nodiscard]] std::uint32_t fanout() const;
+  void validate() const;
+};
+
+/// The canonical partition: every VNF belongs to exactly one shard, and
+/// (via assign_requests) every request to exactly the shard owning the
+/// first VNF of its chain.
+struct ShardPlan {
+  std::vector<std::uint32_t> shard_of_vnf;                ///< |F|
+  std::vector<std::vector<std::uint32_t>> vnfs_of_shard;  ///< ascending ids
+  std::size_t components = 0;  ///< incidence-graph components (pre-split)
+  std::size_t splits = 0;      ///< components split by the capacity rule
+
+  [[nodiscard]] std::size_t shard_count() const {
+    return vnfs_of_shard.size();
+  }
+};
+
+/// Partitions `vnf_count` VNFs connected by `chains` (each chain is one
+/// hyper-edge over VNF indices) into shards.  Components are ordered by
+/// their smallest VNF id; a component whose footprint sum exceeds
+/// `max_shard_footprint` (> 0) is split first-fit-decreasing into bins of
+/// that size.  Deterministic and independent of any execution width.
+[[nodiscard]] ShardPlan make_shard_plan(
+    std::size_t vnf_count,
+    std::span<const std::vector<std::uint32_t>> chains,
+    std::span<const double> footprints, double max_shard_footprint);
+
+/// Owner shard per request: the shard of the first VNF of its chain.
+/// Every request lands in exactly one shard (chains must be non-empty and
+/// index VNFs covered by the plan).
+[[nodiscard]] std::vector<std::uint32_t> assign_requests(
+    const ShardPlan& plan,
+    std::span<const std::vector<std::uint32_t>> request_chains);
+
+/// What the sharded solve did — fed into obs counters and the run
+/// report's `shard` section.
+struct ShardStats {
+  bool enabled = false;             ///< a sharded solve actually ran
+  bool fallback_monolithic = false; ///< repair failed; monolithic rerun
+  std::uint64_t shards = 0;
+  std::uint64_t components = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t repair_moves = 0;      ///< VNFs moved off overloaded nodes
+  std::uint64_t drain_moves = 0;       ///< VNF moves made while draining
+  std::uint64_t drained_nodes = 0;     ///< nodes emptied by consolidation
+  std::uint64_t boundary_requests = 0; ///< members scheduled at merge time
+  std::uint64_t rebalances = 0;        ///< VNFs given a migration pass
+  std::uint64_t migrations = 0;        ///< request moves those passes made
+  /// Per-shard placement sub-solve iterations, in shard-index order.
+  /// Deterministic (independent of threads / fan-out); feeds the bench's
+  /// critical-path speedup model, not the run report.
+  std::vector<std::uint64_t> shard_placement_work;
+};
+
+}  // namespace nfv::shard

@@ -1,0 +1,58 @@
+// Sharded chain placement: solve each shard's sub-problem against the
+// full node set concurrently, merge in shard-index order, then repair the
+// cross-shard node contention the optimistic sub-solves may have created.
+//
+// The repair pass uses the BFDSU fit rule (move into the fullest node
+// that still fits, lowest node id on ties); a follow-up drain pass
+// consolidates lightly-loaded nodes so the merged placement's
+// nodes-in-service stays close to the monolithic solver's.
+#pragma once
+
+#include <cstdint>
+
+#include "nfv/common/rng.h"
+#include "nfv/placement/algorithm.h"
+#include "nfv/shard/partition.h"
+
+namespace nfv::shard {
+
+/// Outcome of repair_placement.
+struct RepairResult {
+  bool feasible = false;           ///< every VNF placed, no node overloaded
+  std::uint64_t moves = 0;         ///< re-placements resolving overloads
+  std::uint64_t drain_moves = 0;   ///< moves made while draining nodes
+  std::uint64_t drained_nodes = 0; ///< nodes emptied by the drain pass
+};
+
+/// Repairs a merged placement in place: first places any unassigned VNFs
+/// (largest demand first, best-fit), then moves VNFs off overloaded nodes
+/// (largest movable first, best-fit target), and finally — when
+/// `consolidate` — drains nodes whose whole content fits elsewhere.
+/// Deterministic; never overloads a target node.
+RepairResult repair_placement(const placement::PlacementProblem& problem,
+                              placement::Placement& placement,
+                              bool consolidate);
+
+/// Places the shards of `plan` with `algo`, each against the full node
+/// set with its own forked RNG stream (stream s = rng.fork(s), forked
+/// up-front in index order), merged positionally and repaired.  The
+/// fan-out runs in waves of config.fanout() — results are bit-identical
+/// for any wave width and any thread count.  Updates `stats` (partition
+/// and repair counters).  The returned placement is infeasible when
+/// repair could not fit everything; callers decide the fallback.
+[[nodiscard]] placement::Placement place_with_plan(
+    const placement::PlacementProblem& problem, const ShardPlan& plan,
+    const placement::PlacementAlgorithm& algo, const ShardConfig& config,
+    Rng& rng, ShardStats& stats);
+
+/// Convenience wrapper: builds the canonical plan from the problem's
+/// chains and solves.  Single-shard plans delegate to the monolithic
+/// algorithm with Rng(seed) — sharding a connected instance is the
+/// identity.  A failed repair falls back to the monolithic solve
+/// (deterministic: depends only on problem + seed).
+[[nodiscard]] placement::Placement place_sharded(
+    const placement::PlacementProblem& problem,
+    const placement::PlacementAlgorithm& algo, const ShardConfig& config,
+    std::uint64_t seed, ShardStats* stats = nullptr);
+
+}  // namespace nfv::shard

@@ -1,0 +1,63 @@
+#include "nfv/shard/merge.h"
+
+#include <algorithm>
+
+#include "nfv/common/error.h"
+#include "nfv/scheduling/migration.h"
+
+namespace nfv::shard {
+
+void complete_schedule(const sched::SchedulingProblem& problem,
+                       std::vector<std::uint32_t>& instance_of,
+                       std::span<const std::uint32_t> positions) {
+  const std::uint32_t instances = problem.instance_count;
+  NFV_REQUIRE(instances >= 1);
+  NFV_REQUIRE(instance_of.size() == problem.request_count());
+  std::vector<double> load(instances, 0.0);
+  for (std::size_t r = 0; r < instance_of.size(); ++r) {
+    if (instance_of[r] == kUnassigned) continue;
+    NFV_REQUIRE(instance_of[r] < instances);
+    load[instance_of[r]] += problem.effective_rate(r);
+  }
+  for (const std::uint32_t pos : positions) {
+    NFV_REQUIRE(pos < instance_of.size());
+    NFV_REQUIRE(instance_of[pos] == kUnassigned);
+    std::uint32_t best = 0;
+    for (std::uint32_t k = 1; k < instances; ++k) {
+      if (load[k] < load[best]) best = k;
+    }
+    instance_of[pos] = best;
+    load[best] += problem.effective_rate(pos);
+  }
+}
+
+RebalanceOutcome rebalance_toward(const sched::SchedulingProblem& problem,
+                                  std::vector<std::uint32_t>& instance_of,
+                                  const sched::Schedule& target,
+                                  double threshold, std::uint32_t budget) {
+  RebalanceOutcome outcome;
+  const std::uint32_t instances = problem.instance_count;
+  std::vector<double> load(instances, 0.0);
+  double total = 0.0;
+  for (std::size_t r = 0; r < instance_of.size(); ++r) {
+    NFV_REQUIRE(instance_of[r] < instances);
+    const double rate = problem.effective_rate(r);
+    load[instance_of[r]] += rate;
+    total += rate;
+  }
+  const auto [lo, hi] = std::minmax_element(load.begin(), load.end());
+  const double mean = total / instances;
+  if (mean <= 0.0 || (*hi - *lo) / mean <= threshold || budget == 0) {
+    return outcome;
+  }
+  outcome.triggered = true;
+  const sched::MigrationPlan plan =
+      sched::plan_bounded_migration(problem, instance_of, target, budget);
+  for (const sched::MigrationMove& move : plan.moves) {
+    instance_of[move.request] = move.to;
+  }
+  outcome.migrations = plan.moves.size();
+  return outcome;
+}
+
+}  // namespace nfv::shard

@@ -1,0 +1,144 @@
+#include "nfv/shard/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "nfv/common/error.h"
+#include "nfv/exec/thread_pool.h"
+
+namespace nfv::shard {
+
+std::uint32_t ShardConfig::fanout() const {
+  if (policy == ShardPolicy::kFixed) return shards < 1 ? 1 : shards;
+  return exec::current_concurrency();
+}
+
+void ShardConfig::validate() const {
+  if (policy == ShardPolicy::kFixed) NFV_REQUIRE(shards >= 1);
+  NFV_REQUIRE(split_fraction > 0.0 && split_fraction <= 1.0);
+  NFV_REQUIRE(rebalance_threshold >= 0.0);
+}
+
+namespace {
+
+/// Union-find with path halving; components keyed by their root.
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Lower-id root wins so the component key is its smallest member —
+    // the canonical ordering below falls out of that for free.
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace
+
+ShardPlan make_shard_plan(std::size_t vnf_count,
+                          std::span<const std::vector<std::uint32_t>> chains,
+                          std::span<const double> footprints,
+                          double max_shard_footprint) {
+  NFV_REQUIRE(footprints.size() == vnf_count);
+  Dsu dsu(vnf_count);
+  for (const auto& chain : chains) {
+    NFV_REQUIRE(!chain.empty());
+    for (const std::uint32_t f : chain) {
+      NFV_REQUIRE(f < vnf_count);
+      dsu.unite(chain.front(), f);
+    }
+  }
+
+  // Components keyed (and ordered) by their smallest VNF id; members come
+  // out ascending because we sweep ids in order.
+  std::vector<std::vector<std::uint32_t>> component_members;
+  std::vector<std::uint32_t> component_of_root(vnf_count, 0);
+  std::vector<bool> root_seen(vnf_count, false);
+  for (std::uint32_t f = 0; f < vnf_count; ++f) {
+    const std::uint32_t root = dsu.find(f);
+    if (!root_seen[root]) {
+      root_seen[root] = true;
+      component_of_root[root] =
+          static_cast<std::uint32_t>(component_members.size());
+      component_members.emplace_back();
+    }
+    component_members[component_of_root[root]].push_back(f);
+  }
+
+  ShardPlan plan;
+  plan.components = component_members.size();
+  plan.shard_of_vnf.assign(vnf_count, 0);
+  for (const auto& members : component_members) {
+    double footprint = 0.0;
+    for (const std::uint32_t f : members) footprint += footprints[f];
+    if (max_shard_footprint <= 0.0 || footprint <= max_shard_footprint ||
+        members.size() <= 1) {
+      const auto s = static_cast<std::uint32_t>(plan.vnfs_of_shard.size());
+      for (const std::uint32_t f : members) plan.shard_of_vnf[f] = s;
+      plan.vnfs_of_shard.push_back(members);
+      continue;
+    }
+    // Capacity-aware split: first-fit-decreasing into bins of the
+    // threshold size.  A VNF larger than the threshold opens its own bin.
+    ++plan.splits;
+    std::vector<std::uint32_t> order = members;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return footprints[a] > footprints[b];
+                     });
+    const std::size_t first_bin = plan.vnfs_of_shard.size();
+    std::vector<double> bin_load;
+    for (const std::uint32_t f : order) {
+      std::size_t bin = bin_load.size();
+      for (std::size_t b = 0; b < bin_load.size(); ++b) {
+        if (bin_load[b] + footprints[f] <= max_shard_footprint) {
+          bin = b;
+          break;
+        }
+      }
+      if (bin == bin_load.size()) {
+        bin_load.push_back(0.0);
+        plan.vnfs_of_shard.emplace_back();
+      }
+      bin_load[bin] += footprints[f];
+      plan.shard_of_vnf[f] = static_cast<std::uint32_t>(first_bin + bin);
+      plan.vnfs_of_shard[first_bin + bin].push_back(f);
+    }
+    for (std::size_t b = first_bin; b < plan.vnfs_of_shard.size(); ++b) {
+      std::sort(plan.vnfs_of_shard[b].begin(), plan.vnfs_of_shard[b].end());
+    }
+  }
+  return plan;
+}
+
+std::vector<std::uint32_t> assign_requests(
+    const ShardPlan& plan,
+    std::span<const std::vector<std::uint32_t>> request_chains) {
+  std::vector<std::uint32_t> owner;
+  owner.reserve(request_chains.size());
+  for (const auto& chain : request_chains) {
+    NFV_REQUIRE(!chain.empty());
+    NFV_REQUIRE(chain.front() < plan.shard_of_vnf.size());
+    owner.push_back(plan.shard_of_vnf[chain.front()]);
+  }
+  return owner;
+}
+
+}  // namespace nfv::shard

@@ -1,0 +1,312 @@
+#include "nfv/shard/placement.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "nfv/common/error.h"
+#include "nfv/exec/thread_pool.h"
+#include "nfv/obs/metrics.h"
+#include "nfv/obs/trace.h"
+
+namespace nfv::shard {
+
+namespace {
+
+/// Same FP tolerance as the fit-family placers: a node holds `demand`
+/// when its residual is within 1e-9 of it.
+constexpr double kEps = 1e-9;
+constexpr std::uint32_t kNoNode = std::numeric_limits<std::uint32_t>::max();
+
+/// The BFDSU fit rule as a repair primitive: the fullest node (smallest
+/// residual) that still fits `demand`, lowest id on ties; in-service
+/// nodes are preferred over empty ones, mirroring Used_list before
+/// Spare_list.  `exclude` is never chosen.
+std::uint32_t best_fit_target(const std::vector<double>& residual,
+                              const std::vector<std::uint32_t>& occupancy,
+                              double demand, std::uint32_t exclude) {
+  std::uint32_t best = kNoNode;
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool want_used = pass == 0;
+    for (std::uint32_t v = 0; v < residual.size(); ++v) {
+      if (v == exclude) continue;
+      if ((occupancy[v] > 0) != want_used) continue;
+      if (residual[v] < demand - kEps) continue;
+      if (best == kNoNode || residual[v] < residual[best]) best = v;
+    }
+    if (best != kNoNode) return best;
+  }
+  return kNoNode;
+}
+
+}  // namespace
+
+RepairResult repair_placement(const placement::PlacementProblem& problem,
+                              placement::Placement& placement,
+                              bool consolidate) {
+  NFV_REQUIRE(placement.assignment.size() == problem.vnf_count());
+  RepairResult result;
+  const std::size_t vnfs = problem.vnf_count();
+  const std::size_t nodes = problem.node_count();
+  std::vector<double> residual = problem.capacities;
+  std::vector<std::uint32_t> occupancy(nodes, 0);  // VNFs per node
+  std::vector<std::vector<std::uint32_t>> vnfs_on(nodes);
+  std::vector<std::uint32_t> unplaced;
+  for (std::uint32_t f = 0; f < vnfs; ++f) {
+    const auto& node = placement.assignment[f];
+    if (!node.has_value()) {
+      unplaced.push_back(f);
+      continue;
+    }
+    NFV_REQUIRE(node->index() < nodes);
+    residual[node->index()] -= problem.demands[f];
+    ++occupancy[node->index()];
+    vnfs_on[node->index()].push_back(f);
+  }
+
+  const auto move_to = [&](std::uint32_t f, std::uint32_t to) {
+    if (const auto& from = placement.assignment[f]; from.has_value()) {
+      const auto v = static_cast<std::uint32_t>(from->index());
+      residual[v] += problem.demands[f];
+      --occupancy[v];
+      auto& list = vnfs_on[v];
+      list.erase(std::find(list.begin(), list.end(), f));
+    }
+    placement.assignment[f] = NodeId{to};
+    residual[to] -= problem.demands[f];
+    ++occupancy[to];
+    vnfs_on[to].push_back(f);
+  };
+
+  // 1. Place leftovers from infeasible sub-solves, largest demand first.
+  std::stable_sort(unplaced.begin(), unplaced.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return problem.demands[a] > problem.demands[b];
+                   });
+  for (const std::uint32_t f : unplaced) {
+    const std::uint32_t to =
+        best_fit_target(residual, occupancy, problem.demands[f], kNoNode);
+    if (to == kNoNode) return result;  // feasible stays false
+    move_to(f, to);
+    ++result.moves;
+  }
+
+  // 2. Resolve cross-shard contention: while a node is overloaded, move
+  // the largest VNF on it that has somewhere to go.  Targets always have
+  // room, so total overload strictly shrinks and the loop terminates.
+  for (std::uint32_t v = 0; v < nodes; ++v) {
+    while (residual[v] < -kEps) {
+      std::vector<std::uint32_t> order = vnfs_on[v];
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return problem.demands[a] > problem.demands[b];
+                       });
+      bool moved = false;
+      for (const std::uint32_t f : order) {
+        const std::uint32_t to =
+            best_fit_target(residual, occupancy, problem.demands[f], v);
+        if (to == kNoNode) continue;
+        move_to(f, to);
+        ++result.moves;
+        moved = true;
+        break;
+      }
+      if (!moved) return result;  // nothing movable: repair failed
+    }
+  }
+
+  // 3. Drain consolidation: a node whose whole content fits on the other
+  // in-service nodes is emptied, so the merged placement's
+  // nodes-in-service tracks the monolithic packer's.  Lightest node
+  // first; each committed drain removes one node, bounding the loop.
+  if (consolidate) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<std::uint32_t> used;
+      for (std::uint32_t v = 0; v < nodes; ++v) {
+        if (occupancy[v] > 0) used.push_back(v);
+      }
+      std::stable_sort(used.begin(), used.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return problem.capacities[a] - residual[a] <
+                                problem.capacities[b] - residual[b];
+                       });
+      for (const std::uint32_t v : used) {
+        std::vector<std::uint32_t> content = vnfs_on[v];
+        std::stable_sort(content.begin(), content.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                           return problem.demands[a] > problem.demands[b];
+                         });
+        // Dry-run the relocation against a residual copy; commit only a
+        // complete drain.
+        std::vector<double> sim = residual;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> moves;
+        bool ok = true;
+        for (const std::uint32_t f : content) {
+          std::uint32_t best = kNoNode;
+          for (const std::uint32_t w : used) {
+            if (w == v) continue;
+            if (sim[w] < problem.demands[f] - kEps) continue;
+            if (best == kNoNode || sim[w] < sim[best]) best = w;
+          }
+          if (best == kNoNode) {
+            ok = false;
+            break;
+          }
+          sim[best] -= problem.demands[f];
+          moves.emplace_back(f, best);
+        }
+        if (!ok) continue;
+        for (const auto& [f, to] : moves) move_to(f, to);
+        result.drain_moves += moves.size();
+        ++result.drained_nodes;
+        changed = true;
+        break;  // the load profile changed; rescan
+      }
+    }
+  }
+  result.feasible = true;
+  return result;
+}
+
+placement::Placement place_with_plan(
+    const placement::PlacementProblem& problem, const ShardPlan& plan,
+    const placement::PlacementAlgorithm& algo, const ShardConfig& config,
+    Rng& rng, ShardStats& stats) {
+  const obs::ScopedSpan span("shard.place");
+  const std::size_t shards = plan.shard_count();
+  NFV_REQUIRE(plan.shard_of_vnf.size() == problem.vnf_count());
+  stats.shards = shards;
+  stats.components = plan.components;
+  stats.splits = plan.splits;
+
+  // Sub-problems are built serially so they depend only on the plan:
+  // every shard sees the full node set (optimistic — repair resolves the
+  // contention) and its chains projected onto its own VNFs.
+  std::vector<std::uint32_t> local_of(problem.vnf_count(), 0);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t j = 0; j < plan.vnfs_of_shard[s].size(); ++j) {
+      local_of[plan.vnfs_of_shard[s][j]] = static_cast<std::uint32_t>(j);
+    }
+  }
+  std::vector<placement::PlacementProblem> subs(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    subs[s].capacities = problem.capacities;
+    subs[s].demands.reserve(plan.vnfs_of_shard[s].size());
+    for (const std::uint32_t f : plan.vnfs_of_shard[s]) {
+      subs[s].demands.push_back(problem.demands[f]);
+    }
+  }
+  for (std::size_t c = 0; c < problem.chains.size(); ++c) {
+    const auto& chain = problem.chains[c];
+    // Split components break a chain across shards; each shard keeps its
+    // own projection (order preserved).
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> parts;
+    for (const std::uint32_t f : chain) {
+      const std::uint32_t s = plan.shard_of_vnf[f];
+      auto it = std::find_if(parts.begin(), parts.end(),
+                             [s](const auto& p) { return p.first == s; });
+      if (it == parts.end()) {
+        parts.emplace_back(s, std::vector<std::uint32_t>{});
+        it = std::prev(parts.end());
+      }
+      it->second.push_back(local_of[f]);
+    }
+    for (auto& [s, local_chain] : parts) {
+      subs[s].chains.push_back(std::move(local_chain));
+      if (!problem.chain_weights.empty()) {
+        subs[s].chain_weights.push_back(problem.chain_weights[c]);
+      }
+    }
+  }
+
+  // Fork every shard's stream up-front in index order — the parent
+  // stream and each child are identical however the waves execute.
+  std::vector<Rng> children;
+  children.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) children.push_back(rng.fork(s));
+
+  // Waves of the configured fan-out width; positional reduction, so the
+  // width (and the thread count underneath) never changes the result.
+  std::vector<placement::Placement> locals(shards);
+  const std::size_t width = std::max<std::uint32_t>(1, config.fanout());
+  std::size_t launched = 0;
+  while (launched < shards) {
+    const std::size_t wave = std::min(width, shards - launched);
+    std::vector<placement::Placement> got =
+        exec::parallel_map(wave, [&, launched](std::size_t i) {
+          const std::size_t s = launched + i;
+          return algo.place(subs[s], children[s]);
+        });
+    for (std::size_t i = 0; i < wave; ++i) {
+      locals[launched + i] = std::move(got[i]);
+    }
+    launched += wave;
+  }
+
+  // Index-ordered merge back into the global VNF space.
+  placement::Placement merged;
+  merged.assignment.assign(problem.vnf_count(), std::nullopt);
+  stats.shard_placement_work.assign(shards, 0);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t j = 0; j < plan.vnfs_of_shard[s].size(); ++j) {
+      merged.assignment[plan.vnfs_of_shard[s][j]] = locals[s].assignment[j];
+    }
+    merged.iterations += locals[s].iterations;
+    stats.shard_placement_work[s] = locals[s].iterations;
+  }
+
+  const obs::ScopedSpan repair_span("shard.repair");
+  const RepairResult repair = repair_placement(problem, merged, true);
+  stats.repair_moves += repair.moves;
+  stats.drain_moves += repair.drain_moves;
+  stats.drained_nodes += repair.drained_nodes;
+  obs::count("shard.place.runs");
+  obs::count("shard.place.repair_moves", repair.moves);
+  obs::count("shard.place.drain_moves", repair.drain_moves);
+  merged.feasible = repair.feasible;
+  if (!merged.feasible) {
+    merged.assignment.assign(problem.vnf_count(), std::nullopt);
+  }
+  return merged;
+}
+
+placement::Placement place_sharded(const placement::PlacementProblem& problem,
+                                   const placement::PlacementAlgorithm& algo,
+                                   const ShardConfig& config,
+                                   std::uint64_t seed, ShardStats* stats) {
+  config.validate();
+  problem.validate();
+  ShardStats local_stats;
+  const ShardPlan plan = make_shard_plan(
+      problem.vnf_count(), problem.chains, problem.demands,
+      config.split_fraction * problem.total_capacity());
+  if (plan.shard_count() <= 1) {
+    // A connected instance is one shard: sharding is the identity, down
+    // to the RNG stream the monolithic caller would use.
+    Rng rng(seed);
+    if (stats != nullptr) *stats = local_stats;
+    return algo.place(problem, rng);
+  }
+  local_stats.enabled = true;
+  Rng rng(seed);
+  placement::Placement merged =
+      place_with_plan(problem, plan, algo, config, rng, local_stats);
+  if (!merged.feasible) {
+    // Repair could not fit everything; the monolithic solve sees the
+    // whole instance at once.  Deterministic: depends only on
+    // problem + seed, so any width reaches the same fallback.
+    local_stats.fallback_monolithic = true;
+    obs::count("shard.place.fallbacks");
+    Rng mono(seed);
+    const std::uint64_t sharded_iterations = merged.iterations;
+    merged = algo.place(problem, mono);
+    merged.iterations += sharded_iterations;
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return merged;
+}
+
+}  // namespace nfv::shard

@@ -1,0 +1,23 @@
+// libFuzzer target for the run-report JSON loader: any byte string must
+// either load (valid JSON with a known schema) or throw the documented
+// std::invalid_argument.  Loaded documents are fed through the pretty
+// printer, which must render arbitrary section shapes without throwing.
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "nfv/obs/report.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const nfv::obs::JsonValue report = nfv::obs::load_run_report(text);
+    // The printer and the self-diff accept any loadable document.
+    (void)nfv::obs::pretty_print_report(report);
+    (void)nfv::obs::diff_reports(report, report);
+  } catch (const std::invalid_argument&) {
+    // The documented failure mode.
+  }
+  return 0;
+}

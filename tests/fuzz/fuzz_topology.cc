@@ -1,0 +1,23 @@
+// libFuzzer target for the plain-text topology parser: any byte string
+// must either parse (and then round-trip through the writer) or throw one
+// of the two documented exception types — ParseError for syntax/label
+// errors, InfeasibleError for disconnected graphs.
+#include <cstdint>
+#include <string>
+
+#include "nfv/common/error.h"
+#include "nfv/topology/io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const nfv::topo::Topology topology = nfv::topo::load_topology_string(text);
+    // A parsed topology must serialize and re-parse cleanly.
+    const std::string saved = nfv::topo::save_topology_string(topology);
+    (void)nfv::topo::load_topology_string(saved);
+  } catch (const nfv::topo::ParseError&) {
+  } catch (const nfv::InfeasibleError&) {
+  }
+  return 0;
+}

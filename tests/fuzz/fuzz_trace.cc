@@ -1,0 +1,22 @@
+// libFuzzer target for the event-trace parser: any byte string must either
+// parse into a valid trace or throw the documented TraceParseError — no
+// crash, no other exception type (the sanitized CI job runs this under
+// ASan + UBSan).
+#include <cstdint>
+#include <string_view>
+
+#include "nfv/workload/event_stream.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const nfv::workload::EventTrace trace =
+        nfv::workload::load_event_trace(text);
+    // A successfully parsed trace must satisfy its own invariants.
+    trace.validate();
+  } catch (const nfv::workload::TraceParseError&) {
+    // The documented failure mode.
+  }
+  return 0;
+}

@@ -1,0 +1,238 @@
+// Deterministic mini-fuzz regression suite for the three text parsers,
+// built with the ordinary gtest suites (no libFuzzer needed).  Two layers:
+//
+//  * seeded byte-level mutations of known-valid inputs must either parse
+//    or throw the parser's documented exception type — nothing else, and
+//    never crash (the contract the NFV_FUZZ targets check at scale);
+//  * pinned malformed inputs (the classes the fuzz corpus seeds) must
+//    throw exactly the documented type, so a future parser regression
+//    that, say, leaks std::bad_variant_access is caught everywhere.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "nfv/common/error.h"
+#include "nfv/common/rng.h"
+#include "nfv/core/joint_optimizer.h"
+#include "nfv/core/report_builder.h"
+#include "nfv/obs/report.h"
+#include "nfv/topology/builders.h"
+#include "nfv/topology/io.h"
+#include "nfv/workload/event_stream.h"
+#include "nfv/workload/generator.h"
+#include "nfv/workload/io.h"
+
+namespace nfv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Valid baseline inputs, produced by the library's own writers.
+// ---------------------------------------------------------------------------
+
+std::string valid_trace_text() {
+  workload::EventTrace trace;
+  trace.vnf_count = 3;
+  workload::StreamEvent a;
+  a.time = 0.0;
+  a.kind = workload::StreamEventKind::kArrive;
+  a.request = 0;
+  a.rate = 10.0;
+  a.delivery_prob = 0.95;
+  a.chain = {0, 2};
+  workload::StreamEvent b = a;
+  b.time = 0.5;
+  b.request = 1;
+  b.chain = {1};
+  workload::StreamEvent d;
+  d.time = 2.0;
+  d.kind = workload::StreamEventKind::kDepart;
+  d.request = 0;
+  trace.events = {a, b, d};
+  return workload::save_event_trace_string(trace);
+}
+
+std::string valid_topology_text() {
+  Rng rng(1);
+  return topo::save_topology_string(topo::make_star(
+      4, topo::CapacitySpec{1000.0, 1000.0}, topo::LinkSpec{1e-4}, rng));
+}
+
+std::string valid_report_text() {
+  Rng rng(1);
+  core::SystemModel model;
+  model.topology = topo::make_star(6, topo::CapacitySpec{2000.0, 2000.0},
+                                   topo::LinkSpec{1e-4}, rng);
+  workload::WorkloadConfig cfg;
+  cfg.vnf_count = 6;
+  cfg.request_count = 30;
+  model.workload = workload::WorkloadGenerator(cfg).generate(rng);
+  const core::JointResult result =
+      core::JointOptimizer(core::JointConfig{}).run(model, 1);
+  core::ReportInputs in;
+  in.command = "pipeline";
+  in.seed = 1;
+  in.placement_algorithm = "BFDSU";
+  in.scheduling_algorithm = "RCKK";
+  in.model = &model;
+  in.result = &result;
+  std::ostringstream os;
+  obs::write_run_report(core::build_run_report(in), os);
+  return std::move(os).str();
+}
+
+/// Applies 1–4 random byte edits (flip, insert, delete, or truncate).
+std::string mutate(std::string text, Rng& rng) {
+  const std::size_t edits = 1 + rng.below(4);
+  for (std::size_t i = 0; i < edits && !text.empty(); ++i) {
+    const std::size_t pos = rng.below(text.size());
+    switch (rng.below(4)) {
+      case 0:
+        text[pos] = static_cast<char>(rng.below(256));
+        break;
+      case 1:
+        text.insert(pos, 1, static_cast<char>(rng.below(256)));
+        break;
+      case 2:
+        text.erase(pos, 1);
+        break;
+      default:
+        text.resize(pos);
+        break;
+    }
+  }
+  return text;
+}
+
+/// Runs `parse` on seeded mutations of `valid`; anything other than a
+/// clean parse or `Documented...` exceptions fails the test.
+template <typename Fn>
+void expect_parse_or_documented_throw(const std::string& valid, Fn&& parse,
+                                      const char* what) {
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    Rng rng(seed);
+    const std::string text = mutate(valid, rng);
+    try {
+      parse(text);
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << what << " seed " << seed
+                    << ": undocumented exception: " << e.what();
+    } catch (...) {
+      ADD_FAILURE() << what << " seed " << seed << ": non-std exception";
+    }
+  }
+}
+
+TEST(ParserRobustness, MutatedTracesParseOrThrowTraceParseError) {
+  expect_parse_or_documented_throw(
+      valid_trace_text(),
+      [](const std::string& text) {
+        try {
+          (void)workload::load_event_trace(text);
+        } catch (const workload::TraceParseError&) {
+        }
+      },
+      "trace");
+}
+
+TEST(ParserRobustness, MutatedTopologiesParseOrThrowParseError) {
+  expect_parse_or_documented_throw(
+      valid_topology_text(),
+      [](const std::string& text) {
+        try {
+          (void)topo::load_topology_string(text);
+        } catch (const topo::ParseError&) {
+        } catch (const InfeasibleError&) {
+        }
+      },
+      "topology");
+}
+
+TEST(ParserRobustness, MutatedWorkloadsParseOrThrowWorkloadParseError) {
+  Rng rng(2);
+  workload::WorkloadConfig cfg;
+  cfg.vnf_count = 5;
+  cfg.request_count = 20;
+  const std::string valid = workload::save_workload_string(
+      workload::WorkloadGenerator(cfg).generate(rng));
+  expect_parse_or_documented_throw(
+      valid,
+      [](const std::string& text) {
+        try {
+          (void)workload::load_workload_string(text);
+        } catch (const workload::WorkloadParseError&) {
+        }
+      },
+      "workload");
+}
+
+TEST(ParserRobustness, MutatedReportsLoadOrThrowInvalidArgument) {
+  expect_parse_or_documented_throw(
+      valid_report_text(),
+      [](const std::string& text) {
+        try {
+          const obs::JsonValue report = obs::load_run_report(text);
+          // Whatever loads must also render and self-diff.
+          (void)obs::pretty_print_report(report);
+          (void)obs::diff_reports(report, report);
+        } catch (const std::invalid_argument&) {
+        }
+      },
+      "report");
+}
+
+// ---------------------------------------------------------------------------
+// Pinned malformed inputs (mirrors tests/fuzz/corpus seeds).
+// ---------------------------------------------------------------------------
+
+TEST(ParserRobustness, PinnedTraceCrashersThrowDocumentedType) {
+  const char* inputs[] = {
+      "",
+      "{",
+      R"({"schema":"nfvpr.trace/99","vnf_count":1,"events":[]})",
+      R"({"schema":"nfvpr.trace/1"})",
+      R"({"schema":"nfvpr.trace/1","vnf_count":2,"events":[{"t":0,"kind":"arrive","request":0,"rate":3,"delivery_prob":1,"chain":[7]}]})",
+      R"({"schema":"nfvpr.trace/1","vnf_count":2,"events":[{"t":1,"kind":"arrive","request":0,"rate":3,"delivery_prob":1,"chain":[0]},{"t":0.5,"kind":"depart","request":0}]})",
+      R"({"schema":"nfvpr.trace/1","vnf_count":2,"events":[{"t":0,"kind":"depart","request":9}]})",
+  };
+  for (const char* text : inputs) {
+    EXPECT_THROW((void)workload::load_event_trace(text),
+                 workload::TraceParseError)
+        << text;
+  }
+}
+
+TEST(ParserRobustness, PinnedTopologyCrashersThrowDocumentedType) {
+  EXPECT_THROW((void)topo::load_topology_string("nodule a compute 100\n"),
+               topo::ParseError);
+  EXPECT_THROW((void)topo::load_topology_string(
+                   "node a compute 100\nnode a compute 200\n"),
+               topo::ParseError);
+  EXPECT_THROW(
+      (void)topo::load_topology_string("node a compute 100\nlink a b 1e-4\n"),
+      topo::ParseError);
+  EXPECT_THROW((void)topo::load_topology_string(
+                   "node a compute 100\nnode b compute 100\n"),
+               InfeasibleError);
+}
+
+TEST(ParserRobustness, PinnedReportCrashersAreHandled) {
+  EXPECT_THROW((void)obs::load_run_report(""), std::invalid_argument);
+  EXPECT_THROW((void)obs::load_run_report("node a compute 100"),
+               std::invalid_argument);
+  EXPECT_THROW((void)obs::load_run_report(R"({"schema":"nfvpr.run_report/99"})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)obs::load_run_report("[1,2,3]"), std::invalid_argument);
+  // Sections of entirely wrong JSON shape must render without throwing —
+  // the printer's guards, not the schema, carry this.
+  const obs::JsonValue weird = obs::load_run_report(
+      R"({"schema":"nfvpr.run_report/1","placement":5,)"
+      R"("scheduling":{"vnfs":[3,"x"]},)"
+      R"("resilience":{"resolutions":{"migrate":"three"}},)"
+      R"("shard":"yes","metrics":{"counters":[1]}})");
+  EXPECT_NO_THROW((void)obs::pretty_print_report(weird));
+}
+
+}  // namespace
+}  // namespace nfv

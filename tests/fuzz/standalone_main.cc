@@ -1,0 +1,55 @@
+// File-replay driver used when libFuzzer is unavailable (GCC builds):
+// every argument is a corpus file or directory whose entries are fed
+// through LLVMFuzzerTestOneInput, so the committed corpus doubles as a
+// regression suite under any toolchain.  libFuzzer-style "-flag"
+// arguments are ignored for command-line compatibility with the real
+// fuzzer binaries.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+void replay_file(const std::filesystem::path& path, std::size_t& count) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.string().c_str());
+    return;
+  }
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  ++count;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t count = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg.front() == '-') continue;  // libFuzzer flags
+    const std::filesystem::path path(arg);
+    if (std::filesystem::is_directory(path)) {
+      std::vector<std::filesystem::path> entries;
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) entries.push_back(entry.path());
+      }
+      std::sort(entries.begin(), entries.end());
+      for (const auto& entry : entries) replay_file(entry, count);
+    } else {
+      replay_file(path, count);
+    }
+  }
+  std::printf("replayed %zu corpus inputs\n", count);
+  return 0;
+}

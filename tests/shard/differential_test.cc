@@ -1,0 +1,262 @@
+// Differential tests for the sharded solving layer (DESIGN.md §12):
+// sharded and monolithic solves are compared on randomized clustered
+// instances (utilization / Λ-imbalance gap ≤ 1%), on instances small
+// enough for the exact oracles (Exact placement + DP2 scheduling), and on
+// single-component instances where sharding must be the identity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nfv/core/joint_optimizer.h"
+#include "nfv/core/report_builder.h"
+#include "nfv/obs/report.h"
+#include "nfv/shard/partition.h"
+#include "nfv/topology/builders.h"
+
+namespace nfv::shard {
+namespace {
+
+/// Same clustered-instance builder as the property tests: `groups`
+/// independent chain groups → `groups` connected components.
+core::SystemModel make_clustered_model(std::uint64_t seed, std::size_t nodes,
+                                       double node_capacity,
+                                       std::uint32_t groups,
+                                       std::uint32_t vnfs_per_group,
+                                       std::uint32_t request_count,
+                                       double demand_per_instance) {
+  Rng rng(seed);
+  core::SystemModel model;
+  model.topology =
+      topo::make_star(nodes, topo::CapacitySpec{node_capacity, node_capacity},
+                      topo::LinkSpec{1e-4}, rng);
+  const std::uint32_t vnf_count = groups * vnfs_per_group;
+  for (std::uint32_t f = 0; f < vnf_count; ++f) {
+    workload::Vnf v;
+    v.id = VnfId{f};
+    v.name = "vnf" + std::to_string(f);
+    v.catalog_index = f;
+    v.demand_per_instance = demand_per_instance;
+    v.instance_count = 2;
+    v.service_rate = 200.0;
+    model.workload.vnfs.push_back(std::move(v));
+  }
+  for (std::uint32_t r = 0; r < request_count; ++r) {
+    workload::Request req;
+    req.id = RequestId{r};
+    const std::uint32_t g = r % groups;
+    const std::uint32_t base = g * vnfs_per_group;
+    const std::uint32_t start =
+        static_cast<std::uint32_t>((r / groups + seed) % vnfs_per_group);
+    const std::uint32_t len =
+        2 + static_cast<std::uint32_t>((seed + r) % (vnfs_per_group - 1));
+    for (std::uint32_t k = 0; k < len; ++k) {
+      req.chain.push_back(VnfId{base + (start + k) % vnfs_per_group});
+    }
+    req.arrival_rate = 2.0 + static_cast<double>((r * 7 + seed) % 10);
+    req.delivery_prob = 0.95;
+    model.workload.requests.push_back(std::move(req));
+  }
+  return model;
+}
+
+/// Relative Λ-imbalance of one VNF's admitted schedule: spread / mean
+/// effective instance load (0 for degenerate cases).
+double relative_imbalance(const std::vector<double>& loads) {
+  if (loads.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(loads.begin(), loads.end());
+  const double mean = std::accumulate(loads.begin(), loads.end(), 0.0) /
+                      static_cast<double>(loads.size());
+  return mean > 0.0 ? (*hi - *lo) / mean : 0.0;
+}
+
+void expect_gap_within_tolerance(const core::JointResult& mono,
+                                 const core::JointResult& sharded,
+                                 std::uint64_t seed) {
+  // Objective 1 (Eq. 13): utilization of in-service nodes.
+  EXPECT_NEAR(sharded.placement_metrics.avg_utilization_of_used,
+              mono.placement_metrics.avg_utilization_of_used, 0.01)
+      << "seed " << seed;
+  // Objective 2 feeder: per-VNF relative Λ-imbalance.
+  ASSERT_EQ(sharded.admissions.size(), mono.admissions.size());
+  for (std::size_t f = 0; f < mono.admissions.size(); ++f) {
+    const double gap = relative_imbalance(
+                           sharded.admissions[f]
+                               .admitted_metrics.instance_effective_load) -
+                       relative_imbalance(
+                           mono.admissions[f]
+                               .admitted_metrics.instance_effective_load);
+    EXPECT_NEAR(gap, 0.0, 0.01) << "seed " << seed << " vnf " << f;
+  }
+}
+
+TEST(ShardDifferential, TracksMonolithicOnClusteredInstances) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const core::SystemModel model =
+        make_clustered_model(seed, 12, 500.0, 4, 4, 64, 125.0);
+    core::JointConfig mono_cfg;
+    core::JointConfig shard_cfg;
+    shard_cfg.shard.policy = ShardPolicy::kFixed;
+    shard_cfg.shard.shards = 4;
+    const core::JointResult mono =
+        core::JointOptimizer(mono_cfg).run(model, seed);
+    const core::JointResult sharded =
+        core::JointOptimizer(shard_cfg).run(model, seed);
+    ASSERT_TRUE(mono.feasible && sharded.feasible) << "seed " << seed;
+    EXPECT_TRUE(sharded.shard_stats.enabled);
+    EXPECT_EQ(sharded.shard_stats.components, 4u);
+    // Whole components are never split here, so no member is scheduled at
+    // merge time.
+    EXPECT_EQ(sharded.shard_stats.boundary_requests, 0u);
+    expect_gap_within_tolerance(mono, sharded, seed);
+  }
+}
+
+TEST(ShardDifferential, SplitComponentsStayWithinToleranceAfterRebalance) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const core::SystemModel model =
+        make_clustered_model(seed, 9, 1000.0, 3, 3, 45, 80.0);
+    core::JointConfig mono_cfg;
+    core::JointConfig shard_cfg;
+    shard_cfg.shard.policy = ShardPolicy::kFixed;
+    shard_cfg.shard.shards = 4;
+    // Aggressive splitting: every chain group is carved up, so requests
+    // cross shard boundaries and the merge path (greedy completion +
+    // migration toward a full re-solve) carries the load balance.
+    shard_cfg.shard.split_fraction = 0.02;
+    shard_cfg.shard.rebalance_threshold = 0.0;
+    shard_cfg.shard.migration_budget = 1u << 20;
+    const core::JointResult mono =
+        core::JointOptimizer(mono_cfg).run(model, seed);
+    const core::JointResult sharded =
+        core::JointOptimizer(shard_cfg).run(model, seed);
+    ASSERT_TRUE(mono.feasible && sharded.feasible) << "seed " << seed;
+    EXPECT_TRUE(sharded.shard_stats.enabled);
+    EXPECT_GE(sharded.shard_stats.splits, 1u);
+    EXPECT_GE(sharded.shard_stats.boundary_requests, 1u);
+    expect_gap_within_tolerance(mono, sharded, seed);
+  }
+}
+
+TEST(ShardDifferential, SingleComponentInstanceIsShardingIdentity) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const core::SystemModel model =
+        make_clustered_model(seed, 6, 1000.0, 1, 4, 24, 80.0);
+    core::JointConfig mono_cfg;
+    core::JointConfig shard_cfg;
+    shard_cfg.shard.policy = ShardPolicy::kFixed;
+    shard_cfg.shard.shards = 8;
+    const core::JointResult mono =
+        core::JointOptimizer(mono_cfg).run(model, seed);
+    const core::JointResult sharded =
+        core::JointOptimizer(shard_cfg).run(model, seed);
+    ASSERT_TRUE(mono.feasible && sharded.feasible) << "seed " << seed;
+    // One connected component → one shard → the monolithic path, down to
+    // the RNG stream.  No shard telemetry is emitted.
+    EXPECT_FALSE(sharded.shard_stats.enabled);
+    EXPECT_DOUBLE_EQ(sharded.total_latency, mono.total_latency);
+    ASSERT_EQ(sharded.placement.assignment.size(),
+              mono.placement.assignment.size());
+    for (std::size_t f = 0; f < mono.placement.assignment.size(); ++f) {
+      EXPECT_EQ(sharded.placement.assignment[f], mono.placement.assignment[f]);
+    }
+    // Byte-for-byte: the serialized run reports are indistinguishable —
+    // the invariant tools/cli_exit_codes.sh checks end-to-end.
+    const auto to_string = [&](const core::JointConfig& cfg,
+                               const core::JointResult& result) {
+      core::ReportInputs in;
+      in.command = "pipeline";
+      in.seed = seed;
+      in.placement_algorithm = cfg.placement_algorithm;
+      in.scheduling_algorithm = cfg.scheduling_algorithm;
+      in.model = &model;
+      in.result = &result;
+      std::ostringstream os;
+      obs::write_run_report(core::build_run_report(in), os);
+      return std::move(os).str();
+    };
+    EXPECT_EQ(to_string(mono_cfg, mono), to_string(shard_cfg, sharded));
+  }
+}
+
+/// Two enumerable components placed by the exact branch-and-bound and
+/// scheduled by the exact 2-way DP: the sharded solve must agree with the
+/// monolithic oracle on every objective.
+core::SystemModel make_oracle_model(std::uint64_t seed) {
+  Rng rng(seed);
+  core::SystemModel model;
+  model.topology = topo::make_star(4, topo::CapacitySpec{500.0, 500.0},
+                                   topo::LinkSpec{1e-4}, rng);
+  const double demands[] = {125.0, 75.0, 50.0};  // ×2 instances each
+  for (std::uint32_t f = 0; f < 6; ++f) {
+    workload::Vnf v;
+    v.id = VnfId{f};
+    v.name = "vnf" + std::to_string(f);
+    v.catalog_index = f;
+    v.demand_per_instance = demands[f % 3];
+    v.instance_count = 2;  // DP2 is an exact 2-way partitioner
+    v.service_rate = 50.0;
+    model.workload.vnfs.push_back(std::move(v));
+  }
+  for (std::uint32_t r = 0; r < 12; ++r) {
+    workload::Request req;
+    req.id = RequestId{r};
+    const std::uint32_t base = (r % 2) * 3;
+    const std::uint32_t start =
+        static_cast<std::uint32_t>((r / 2 + seed) % 3);
+    const std::uint32_t len = 2 + r % 2;
+    for (std::uint32_t k = 0; k < len; ++k) {
+      req.chain.push_back(VnfId{base + (start + k) % 3});
+    }
+    req.arrival_rate = 1.0 + static_cast<double>((r + seed) % 4);
+    model.workload.requests.push_back(std::move(req));
+  }
+  return model;
+}
+
+TEST(ShardDifferential, AgreesWithExactOraclesOnEnumerableInstances) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const core::SystemModel model = make_oracle_model(seed);
+    core::JointConfig mono_cfg;
+    mono_cfg.placement_algorithm = "Exact";
+    mono_cfg.scheduling_algorithm = "DP2";
+    core::JointConfig shard_cfg = mono_cfg;
+    shard_cfg.shard.policy = ShardPolicy::kFixed;
+    shard_cfg.shard.shards = 2;
+    shard_cfg.shard.split_fraction = 0.5;  // components stay whole
+    const core::JointResult mono =
+        core::JointOptimizer(mono_cfg).run(model, seed);
+    const core::JointResult sharded =
+        core::JointOptimizer(shard_cfg).run(model, seed);
+    ASSERT_TRUE(mono.feasible && sharded.feasible) << "seed " << seed;
+    EXPECT_TRUE(sharded.shard_stats.enabled);
+    EXPECT_EQ(sharded.shard_stats.components, 2u);
+    EXPECT_FALSE(sharded.shard_stats.fallback_monolithic);
+    // Placement: the repair/drain pass must not cost any node over the
+    // exact optimum (both pack 1000 units into two full 500-unit nodes).
+    EXPECT_EQ(sharded.placement_metrics.nodes_in_service,
+              mono.placement_metrics.nodes_in_service);
+    EXPECT_NEAR(sharded.placement_metrics.avg_utilization_of_used,
+                mono.placement_metrics.avg_utilization_of_used, 1e-9);
+    // Scheduling: unsplit components see exactly the monolithic per-VNF
+    // problems, so the DP2 optima must match load-for-load.
+    ASSERT_EQ(sharded.admissions.size(), mono.admissions.size());
+    for (std::size_t f = 0; f < mono.admissions.size(); ++f) {
+      auto a = mono.admissions[f].admitted_metrics.instance_effective_load;
+      auto b = sharded.admissions[f].admitted_metrics.instance_effective_load;
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t k = 0; k < a.size(); ++k) {
+        EXPECT_NEAR(a[k], b[k], 1e-9) << "seed " << seed << " vnf " << f;
+      }
+    }
+    EXPECT_NEAR(sharded.avg_response, mono.avg_response, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace nfv::shard

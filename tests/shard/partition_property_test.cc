@@ -1,0 +1,392 @@
+// Property tests for the sharded solving layer (DESIGN.md §12):
+//   * make_shard_plan yields a partition — every VNF in exactly one shard,
+//     every request owned by exactly one shard;
+//   * repaired/merged placements never exceed node capacity;
+//   * the sharded pipeline is byte-identical for any thread count and any
+//     `--shards` value (same serialized run report across -j1/-j8 and
+//     fixed/auto fan-out, 50 seeds).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nfv/core/joint_optimizer.h"
+#include "nfv/core/report_builder.h"
+#include "nfv/obs/report.h"
+#include "nfv/placement/algorithm.h"
+#include "nfv/placement/metrics.h"
+#include "nfv/shard/merge.h"
+#include "nfv/shard/partition.h"
+#include "nfv/shard/placement.h"
+#include "nfv/topology/builders.h"
+
+namespace nfv::shard {
+namespace {
+
+using Chains = std::vector<std::vector<std::uint32_t>>;
+
+// ---------------------------------------------------------------------------
+// Partition invariants
+// ---------------------------------------------------------------------------
+
+/// Checks the partition invariant: shard_of_vnf and vnfs_of_shard agree,
+/// every VNF appears exactly once, member lists are ascending.
+void expect_partition(const ShardPlan& plan, std::size_t vnf_count) {
+  ASSERT_EQ(plan.shard_of_vnf.size(), vnf_count);
+  std::vector<int> seen(vnf_count, 0);
+  for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+    ASSERT_FALSE(plan.vnfs_of_shard[s].empty());
+    EXPECT_TRUE(std::is_sorted(plan.vnfs_of_shard[s].begin(),
+                               plan.vnfs_of_shard[s].end()));
+    for (const std::uint32_t f : plan.vnfs_of_shard[s]) {
+      ASSERT_LT(f, vnf_count);
+      EXPECT_EQ(plan.shard_of_vnf[f], s);
+      ++seen[f];
+    }
+  }
+  for (std::size_t f = 0; f < vnf_count; ++f) {
+    EXPECT_EQ(seen[f], 1) << "VNF " << f << " is in " << seen[f] << " shards";
+  }
+}
+
+/// Random hyper-edges over `vnf_count` VNFs.
+Chains random_chains(Rng& rng, std::size_t vnf_count, std::size_t count) {
+  Chains chains(count);
+  for (auto& chain : chains) {
+    const std::size_t len = 1 + rng.below(4);
+    for (std::size_t k = 0; k < len; ++k) {
+      chain.push_back(static_cast<std::uint32_t>(rng.below(vnf_count)));
+    }
+  }
+  return chains;
+}
+
+TEST(ShardPartition, EveryVnfInExactlyOneShard) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    const std::size_t vnf_count = 8 + rng.below(16);
+    const Chains chains = random_chains(rng, vnf_count, 4 + rng.below(12));
+    const std::vector<double> footprints(vnf_count, 1.0);
+    const ShardPlan plan =
+        make_shard_plan(vnf_count, chains, footprints, 1e9);
+    expect_partition(plan, vnf_count);
+    EXPECT_EQ(plan.splits, 0u);
+    EXPECT_EQ(plan.shard_count(), plan.components);
+  }
+}
+
+TEST(ShardPartition, ChainsNeverSpanShardsWithoutSplitting) {
+  // Three known components: {0,1,2} via two overlapping chains, {3,4},
+  // and the isolated VNF 5.
+  const Chains chains = {{0, 1}, {1, 2}, {3, 4}};
+  const std::vector<double> footprints(6, 10.0);
+  const ShardPlan plan = make_shard_plan(6, chains, footprints, 1e9);
+  expect_partition(plan, 6);
+  EXPECT_EQ(plan.components, 3u);
+  ASSERT_EQ(plan.shard_count(), 3u);
+  // Components are ordered by their smallest VNF id.
+  EXPECT_EQ(plan.vnfs_of_shard[0], (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(plan.vnfs_of_shard[1], (std::vector<std::uint32_t>{3, 4}));
+  EXPECT_EQ(plan.vnfs_of_shard[2], (std::vector<std::uint32_t>{5}));
+  for (const auto& chain : chains) {
+    for (const std::uint32_t f : chain) {
+      EXPECT_EQ(plan.shard_of_vnf[f], plan.shard_of_vnf[chain.front()]);
+    }
+  }
+}
+
+TEST(ShardPartition, OversizedComponentsSplitWithinFootprintCap) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    const std::size_t vnf_count = 10 + rng.below(10);
+    // One giant component: a chain touching every VNF.
+    Chains chains = random_chains(rng, vnf_count, 6);
+    chains.emplace_back();
+    for (std::uint32_t f = 0; f < vnf_count; ++f) chains.back().push_back(f);
+    std::vector<double> footprints(vnf_count);
+    for (auto& d : footprints) d = rng.uniform(1.0, 9.0);
+    const double cap = 20.0;
+    const ShardPlan plan = make_shard_plan(vnf_count, chains, footprints, cap);
+    expect_partition(plan, vnf_count);
+    EXPECT_EQ(plan.components, 1u);
+    EXPECT_GE(plan.splits, 1u);
+    EXPECT_GT(plan.shard_count(), 1u);
+    for (const auto& members : plan.vnfs_of_shard) {
+      double total = 0.0;
+      for (const std::uint32_t f : members) total += footprints[f];
+      // A bin holds at most `cap`, except a single item too big to split.
+      EXPECT_TRUE(total <= cap + 1e-9 || members.size() == 1)
+          << "shard footprint " << total << " exceeds cap " << cap;
+    }
+  }
+}
+
+TEST(ShardPartition, EveryRequestOwnedByExactlyOneShard) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    const std::size_t vnf_count = 6 + rng.below(12);
+    const Chains chains = random_chains(rng, vnf_count, 8);
+    std::vector<double> footprints(vnf_count, 3.0);
+    // Small cap: exercises split components, where a request's chain can
+    // span shards but its owner is still unique.
+    const ShardPlan plan = make_shard_plan(vnf_count, chains, footprints, 7.0);
+    Chains requests = random_chains(rng, vnf_count, 40);
+    const std::vector<std::uint32_t> owner = assign_requests(plan, requests);
+    ASSERT_EQ(owner.size(), requests.size());
+    std::vector<std::uint64_t> per_shard(plan.shard_count(), 0);
+    for (std::size_t r = 0; r < requests.size(); ++r) {
+      ASSERT_LT(owner[r], plan.shard_count());
+      EXPECT_EQ(owner[r], plan.shard_of_vnf[requests[r].front()]);
+      ++per_shard[owner[r]];
+    }
+    std::uint64_t total = 0;
+    for (const std::uint64_t n : per_shard) total += n;
+    EXPECT_EQ(total, requests.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Repair primitives
+// ---------------------------------------------------------------------------
+
+placement::PlacementProblem two_node_problem() {
+  placement::PlacementProblem p;
+  p.capacities = {100.0, 100.0};
+  p.demands = {60.0, 60.0, 40.0, 40.0};
+  return p;
+}
+
+TEST(ShardRepair, PlacesUnplacedVnfs) {
+  const placement::PlacementProblem p = two_node_problem();
+  placement::Placement pl;
+  pl.assignment = {NodeId{0}, std::nullopt, NodeId{0}, std::nullopt};
+  const RepairResult r = repair_placement(p, pl, true);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GE(r.moves, 2u);
+  EXPECT_NO_THROW(placement::evaluate(p, pl));
+  for (const auto& node : pl.assignment) ASSERT_TRUE(node.has_value());
+}
+
+TEST(ShardRepair, ResolvesOverloadedNodes) {
+  const placement::PlacementProblem p = two_node_problem();
+  placement::Placement pl;
+  // Everything stacked on node 0 (two optimistic sub-solves collided).
+  pl.assignment = {NodeId{0}, NodeId{0}, NodeId{0}, NodeId{0}};
+  const RepairResult r = repair_placement(p, pl, true);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GE(r.moves, 1u);
+  const placement::PlacementMetrics m = placement::evaluate(p, pl);
+  for (std::size_t v = 0; v < p.node_count(); ++v) {
+    EXPECT_LE(m.node_load[v], p.capacities[v] + 1e-6);
+  }
+}
+
+TEST(ShardRepair, ReportsInfeasibleWhenNothingFits) {
+  placement::PlacementProblem p;
+  p.capacities = {100.0};
+  p.demands = {70.0, 70.0};
+  placement::Placement pl;
+  pl.assignment = {NodeId{0}, NodeId{0}};
+  const RepairResult r = repair_placement(p, pl, false);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(ShardRepair, DrainConsolidatesLightNodes) {
+  placement::PlacementProblem p;
+  p.capacities = {100.0, 100.0, 100.0};
+  p.demands = {40.0, 40.0, 40.0};
+  placement::Placement pl;
+  pl.assignment = {NodeId{0}, NodeId{1}, NodeId{2}};
+  const RepairResult r = repair_placement(p, pl, true);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GE(r.drained_nodes, 1u);
+  const placement::PlacementMetrics m = placement::evaluate(p, pl);
+  EXPECT_LE(m.nodes_in_service, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Merge primitives
+// ---------------------------------------------------------------------------
+
+TEST(ShardMerge, CompleteScheduleFillsLeastLoadedInstance) {
+  sched::SchedulingProblem pr;
+  pr.arrival_rates = {5.0, 3.0, 2.0, 1.0};
+  pr.service_rate = 100.0;
+  pr.instance_count = 2;
+  std::vector<std::uint32_t> instance_of = {0, kUnassigned, kUnassigned, 1};
+  const std::vector<std::uint32_t> positions = {1, 2};
+  complete_schedule(pr, instance_of, positions);
+  // Pre-seeded loads: instance 0 holds 5, instance 1 holds 1.  Position 1
+  // (rate 3) goes to instance 1 (load 4), then position 2 (rate 2) still
+  // prefers instance 1 (4 < 5).
+  EXPECT_EQ(instance_of, (std::vector<std::uint32_t>{0, 1, 1, 1}));
+}
+
+TEST(ShardMerge, RebalanceMovesTowardTarget) {
+  sched::SchedulingProblem pr;
+  pr.arrival_rates = {10.0, 10.0, 1.0, 1.0};
+  pr.service_rate = 100.0;
+  pr.instance_count = 2;
+  std::vector<std::uint32_t> instance_of = {0, 0, 1, 1};  // loads 20 vs 2
+  sched::Schedule target;
+  target.instance_of = {0, 1, 0, 1};  // loads 11 vs 11
+  const RebalanceOutcome out =
+      rebalance_toward(pr, instance_of, target, 0.05, 8);
+  EXPECT_TRUE(out.triggered);
+  EXPECT_GE(out.migrations, 1u);
+  std::vector<double> loads(pr.instance_count, 0.0);
+  for (std::size_t r = 0; r < instance_of.size(); ++r) {
+    loads[instance_of[r]] += pr.effective_rate(r);
+  }
+  EXPECT_NEAR(loads[0], 11.0, 1e-9);
+  EXPECT_NEAR(loads[1], 11.0, 1e-9);
+}
+
+TEST(ShardMerge, RebalanceSkipsBalancedSchedules) {
+  sched::SchedulingProblem pr;
+  pr.arrival_rates = {4.0, 4.0};
+  pr.service_rate = 100.0;
+  pr.instance_count = 2;
+  std::vector<std::uint32_t> instance_of = {0, 1};
+  sched::Schedule target;
+  target.instance_of = {1, 0};
+  const RebalanceOutcome out =
+      rebalance_toward(pr, instance_of, target, 0.05, 8);
+  EXPECT_FALSE(out.triggered);
+  EXPECT_EQ(out.migrations, 0u);
+  EXPECT_EQ(instance_of, (std::vector<std::uint32_t>{0, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: capacity safety and byte-identical output
+// ---------------------------------------------------------------------------
+
+/// A clustered instance: `groups` independent chain groups, so the
+/// VNF↔request incidence graph has exactly `groups` connected components.
+/// Chains are cyclic runs within a group with rotating start offsets, so
+/// every VNF has members as long as requests ≥ groups · vnfs_per_group.
+core::SystemModel make_clustered_model(std::uint64_t seed, std::size_t nodes,
+                                       double node_capacity,
+                                       std::uint32_t groups,
+                                       std::uint32_t vnfs_per_group,
+                                       std::uint32_t request_count,
+                                       double demand_per_instance) {
+  Rng rng(seed);
+  core::SystemModel model;
+  model.topology =
+      topo::make_star(nodes, topo::CapacitySpec{node_capacity, node_capacity},
+                      topo::LinkSpec{1e-4}, rng);
+  const std::uint32_t vnf_count = groups * vnfs_per_group;
+  for (std::uint32_t f = 0; f < vnf_count; ++f) {
+    workload::Vnf v;
+    v.id = VnfId{f};
+    v.name = "vnf" + std::to_string(f);
+    v.catalog_index = f;
+    v.demand_per_instance = demand_per_instance;
+    v.instance_count = 2;
+    v.service_rate = 200.0;
+    model.workload.vnfs.push_back(std::move(v));
+  }
+  for (std::uint32_t r = 0; r < request_count; ++r) {
+    workload::Request req;
+    req.id = RequestId{r};
+    const std::uint32_t g = r % groups;
+    const std::uint32_t base = g * vnfs_per_group;
+    const std::uint32_t start =
+        static_cast<std::uint32_t>((r / groups + seed) % vnfs_per_group);
+    const std::uint32_t len =
+        2 + static_cast<std::uint32_t>((seed + r) % (vnfs_per_group - 1));
+    for (std::uint32_t k = 0; k < len; ++k) {
+      req.chain.push_back(VnfId{base + (start + k) % vnfs_per_group});
+    }
+    req.arrival_rate = 2.0 + static_cast<double>((r * 7 + seed) % 10);
+    req.delivery_prob = 0.95;
+    model.workload.requests.push_back(std::move(req));
+  }
+  return model;
+}
+
+TEST(ShardPlacement, MergedPlacementNeverExceedsNodeCapacity) {
+  const auto algo = placement::make_placement_algorithm("BFDSU");
+  ASSERT_NE(algo, nullptr);
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const core::SystemModel model =
+        make_clustered_model(seed, 9, 1000.0, 3, 3, 30, 80.0);
+    const placement::PlacementProblem problem =
+        placement::make_problem(model.topology, model.workload);
+    ShardConfig config;
+    config.policy = ShardPolicy::kFixed;
+    config.shards = 4;
+    config.split_fraction = 0.05;  // forces capacity-aware splitting
+    ShardStats stats;
+    const placement::Placement pl =
+        place_sharded(problem, *algo, config, seed, &stats);
+    ASSERT_TRUE(pl.feasible) << "seed " << seed;
+    EXPECT_TRUE(stats.enabled);
+    EXPECT_GE(stats.splits, 1u);
+    const placement::PlacementMetrics m = placement::evaluate(problem, pl);
+    for (std::size_t v = 0; v < problem.node_count(); ++v) {
+      EXPECT_LE(m.node_load[v], problem.capacities[v] + 1e-6)
+          << "seed " << seed << " node " << v;
+    }
+  }
+}
+
+/// Serializes the deterministic part of a run (the metrics-registry
+/// snapshot is process-global and excluded — exec counters legitimately
+/// vary with the thread count; everything else must not).
+std::string report_string(const core::SystemModel& model,
+                          const core::JointConfig& cfg,
+                          const core::JointResult& result,
+                          std::uint64_t seed) {
+  core::ReportInputs in;
+  in.command = "pipeline";
+  in.seed = seed;
+  in.placement_algorithm = cfg.placement_algorithm;
+  in.scheduling_algorithm = cfg.scheduling_algorithm;
+  in.model = &model;
+  in.result = &result;
+  std::ostringstream os;
+  obs::write_run_report(core::build_run_report(in), os);
+  return std::move(os).str();
+}
+
+TEST(ShardDeterminism, ByteIdenticalAcrossThreadsAndShardCounts) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const core::SystemModel model =
+        make_clustered_model(seed, 9, 1000.0, 3, 3, 30, 80.0);
+
+    core::JointConfig a;  // -j1 --shards 2
+    a.exec.threads = 1;
+    a.shard.policy = ShardPolicy::kFixed;
+    a.shard.shards = 2;
+
+    core::JointConfig b = a;  // -j8 --shards 8
+    b.exec.threads = 8;
+    b.shard.shards = 8;
+
+    core::JointConfig c = a;  // -j4, auto fan-out
+    c.exec.threads = 4;
+    c.shard.policy = ShardPolicy::kAuto;
+    c.shard.shards = 0;
+
+    const core::JointResult ra = core::JointOptimizer(a).run(model, seed);
+    const core::JointResult rb = core::JointOptimizer(b).run(model, seed);
+    const core::JointResult rc = core::JointOptimizer(c).run(model, seed);
+    ASSERT_TRUE(ra.feasible) << "seed " << seed;
+    EXPECT_TRUE(ra.shard_stats.enabled);
+
+    const std::string sa = report_string(model, a, ra, seed);
+    const std::string sb = report_string(model, b, rb, seed);
+    const std::string sc = report_string(model, c, rc, seed);
+    EXPECT_EQ(sa, sb) << "seed " << seed << ": -j1/--shards 2 differs from "
+                      << "-j8/--shards 8";
+    EXPECT_EQ(sa, sc) << "seed " << seed << ": fixed fan-out differs from "
+                      << "auto fan-out";
+  }
+}
+
+}  // namespace
+}  // namespace nfv::shard

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -37,6 +38,7 @@
 #include "nfv/scheduling/algorithm.h"
 #include "nfv/scheduling/metrics.h"
 #include "nfv/serve/engine.h"
+#include "nfv/shard/placement.h"
 #include "nfv/sim/des.h"
 #include "nfv/topology/builders.h"
 #include "nfv/topology/io.h"
@@ -68,6 +70,9 @@ int usage() {
       "place/schedule/pipeline/simulate/chaos/serve accept --metrics-out\n"
       "<path> (JSON run report), --trace-out <path> (Chrome trace-event JSON)\n"
       "and --threads N (parallel fan-out; results are identical for any N).\n"
+      "place/schedule/pipeline/serve also accept --shards K (sharded solve:\n"
+      "canonical partition, K sub-solves in flight; results are identical\n"
+      "for any K — see DESIGN.md §12).\n"
       "\n"
       "run 'nfvpr <subcommand> --help' for flags.\n"
       "\n"
@@ -138,6 +143,64 @@ class ThreadsFlag {
   std::optional<nfv::exec::ThreadPool> pool_;
   std::optional<nfv::exec::ScopedPool> scope_;
 };
+
+/// Registers --shards on a subcommand.  The partition is canonical —
+/// derived from the model alone (DESIGN.md §12) — so like --threads this
+/// is purely a wall-clock knob: results are byte-identical for any K.
+class ShardsFlag {
+ public:
+  /// Sentinel default: CliParser cannot tell "absent" from "default", so
+  /// the off state is a value no user would pass.
+  static constexpr std::int64_t kOff =
+      std::numeric_limits<std::int64_t>::min();
+
+  explicit ShardsFlag(nfv::CliParser& cli)
+      : shards_(cli.add_int(
+            "shards", 'S',
+            "sharded solve with at most K sub-instances in flight (>= 1; "
+            "off when omitted; results identical for any K)", kOff)) {}
+
+  /// Returns false on 0/negative input (callers exit 2: usage error).
+  [[nodiscard]] bool validate() const {
+    if (shards_ != kOff && shards_ < 1) {
+      std::fprintf(stderr, "--shards must be >= 1 (got %lld)\n",
+                   static_cast<long long>(shards_));
+      return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool enabled() const { return shards_ != kOff; }
+
+  [[nodiscard]] nfv::shard::ShardConfig config() const {
+    nfv::shard::ShardConfig cfg;
+    if (enabled()) {
+      cfg.policy = nfv::shard::ShardPolicy::kFixed;
+      cfg.shards = static_cast<std::uint32_t>(shards_);
+    }
+    return cfg;
+  }
+
+ private:
+  const std::int64_t& shards_;
+};
+
+/// One summary line for a sharded solve; printed only when a sharded
+/// solve actually ran, so single-component runs stay byte-identical to
+/// their unsharded twins.
+void print_shard_stats(const nfv::shard::ShardStats& s) {
+  if (!s.enabled) return;
+  std::printf(
+      "sharded solve         : %llu shards (%llu components, %llu splits), "
+      "%llu repair + %llu drain moves, %llu boundary requests%s\n",
+      static_cast<unsigned long long>(s.shards),
+      static_cast<unsigned long long>(s.components),
+      static_cast<unsigned long long>(s.splits),
+      static_cast<unsigned long long>(s.repair_moves),
+      static_cast<unsigned long long>(s.drain_moves),
+      static_cast<unsigned long long>(s.boundary_requests),
+      s.fallback_monolithic ? " — FELL BACK to monolithic" : "");
+}
 
 /// Registers --metrics-out / --trace-out on a subcommand and owns the
 /// telemetry sinks.  activate() installs them globally after parse();
@@ -261,9 +324,11 @@ int cmd_place(int argc, const char* const* argv) {
                      "BFDSU");
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
   ThreadsFlag threads(cli);
+  ShardsFlag shards(cli);
   Telemetry tele(cli);
   if (!cli.parse(argc, argv)) return parse_exit(cli);
   if (!threads.install()) return 2;
+  if (!shards.validate()) return 2;
   nfv::core::SystemModel model;
   model.topology = read_topology(topology_file);
   model.workload = read_workload(workload_file);
@@ -275,13 +340,22 @@ int cmd_place(int argc, const char* const* argv) {
     return 1;
   }
   tele.activate();
-  nfv::Rng rng(static_cast<std::uint64_t>(seed));
-  const auto placement = algo->place(problem, rng);
+  nfv::shard::ShardStats shard_stats;
+  nfv::placement::Placement placement;
+  if (shards.enabled()) {
+    placement = nfv::shard::place_sharded(problem, *algo, shards.config(),
+                                          static_cast<std::uint64_t>(seed),
+                                          &shard_stats);
+  } else {
+    nfv::Rng rng(static_cast<std::uint64_t>(seed));
+    placement = algo->place(problem, rng);
+  }
 
   // The report carries the placement section only; scheduling/request
   // sections stay absent for a placement-only run.
   nfv::core::JointResult partial;
   partial.placement = placement;
+  partial.shard_stats = shard_stats;
   if (placement.feasible) {
     partial.placement_metrics = nfv::placement::evaluate(problem, placement);
   }
@@ -312,6 +386,7 @@ int cmd_place(int argc, const char* const* argv) {
       metrics.nodes_in_service, model.topology.compute_count(),
       100.0 * metrics.avg_utilization_of_used, metrics.resource_occupation,
       static_cast<unsigned long long>(placement.iterations));
+  print_shard_stats(shard_stats);
   return 0;
 }
 
@@ -323,9 +398,13 @@ int cmd_schedule(int argc, const char* const* argv) {
       "algorithm", 'a', "RCKK|CGA|CGA-online|LPT|RR|KK-fwd|CKK|DP2", "RCKK");
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
   ThreadsFlag threads(cli);
+  // A single VNF is always one shard, so --shards is validated for
+  // interface symmetry and is otherwise the identity here.
+  ShardsFlag shards(cli);
   Telemetry tele(cli);
   if (!cli.parse(argc, argv)) return parse_exit(cli);
   if (!threads.install()) return 2;
+  if (!shards.validate()) return 2;
   const auto workload = read_workload(workload_file);
   if (static_cast<std::size_t>(vnf) >= workload.vnfs.size()) {
     std::fprintf(stderr, "vnf index out of range (have %zu)\n",
@@ -394,9 +473,11 @@ int cmd_pipeline(int argc, const char* const* argv) {
       20.0);
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
   ThreadsFlag threads(cli);
+  ShardsFlag shards(cli);
   Telemetry tele(cli);
   if (!cli.parse(argc, argv)) return parse_exit(cli);
   if (!threads.install()) return 2;
+  if (!shards.validate()) return 2;
   nfv::core::SystemModel model;
   model.topology = read_topology(topology_file);
   model.workload = read_workload(workload_file);
@@ -405,6 +486,7 @@ int cmd_pipeline(int argc, const char* const* argv) {
   cfg.scheduling_algorithm = scheduler;
   if (link >= 0.0) cfg.link_latency = link;
   cfg.exec.threads = threads.count();
+  cfg.shard = shards.config();
   tele.activate();
   const auto result = nfv::core::JointOptimizer(cfg).run(
       model, static_cast<std::uint64_t>(seed));
@@ -448,6 +530,7 @@ int cmd_pipeline(int argc, const char* const* argv) {
               result.avg_total_latency);
   std::printf("job rejection rate    : %.2f%%\n",
               100.0 * result.job_rejection_rate);
+  print_shard_stats(result.shard_stats);
   if (sim) {
     std::printf("DES replay events     : %llu (%.0f s)\n",
                 static_cast<unsigned long long>(sim->events_processed),
@@ -725,9 +808,14 @@ int cmd_serve(int argc, const char* const* argv) {
   const auto& seed = cli.add_int("seed", 's', "RNG seed (recorded only; the "
                                  "engine is deterministic)", 1);
   ThreadsFlag threads(cli);
+  // --shards runs an offline sharded re-solve of the live state after the
+  // replay — the consolidation gap between online serving and a
+  // from-scratch sharded optimum.
+  ShardsFlag shards(cli);
   Telemetry tele(cli);
   if (!cli.parse(argc, argv)) return parse_exit(cli);
   if (!threads.install()) return 2;
+  if (!shards.validate()) return 2;
   if (topology_file.empty() || workload_file.empty() || trace_file.empty()) {
     std::fputs("nfvpr serve: --topology, --workload and --trace are required\n",
                stderr);
@@ -812,6 +900,35 @@ int cmd_serve(int argc, const char* const* argv) {
     std::printf("predicted latency     : mean %.5f s, p99 %.5f s (Eq. 16)\n",
                 summary.mean_predicted_latency,
                 summary.p99_predicted_latency);
+    if (shards.enabled() && summary.live_requests > 0) {
+      // Offline sharded re-solve of the live state: the consolidation gap
+      // between the online deployment and a from-scratch optimum.
+      try {
+        nfv::core::SystemModel live_model;
+        live_model.topology = topology;
+        live_model.workload = engine.live_workload();
+        nfv::core::JointConfig jcfg;
+        jcfg.shard = shards.config();
+        if (link >= 0.0) jcfg.link_latency = link;
+        const auto offline = nfv::core::JointOptimizer(jcfg).run(
+            live_model, static_cast<std::uint64_t>(seed));
+        if (offline.feasible) {
+          std::printf(
+              "offline sharded solve : %zu nodes vs %llu live "
+              "(avg latency %.5f s)\n",
+              offline.placement_metrics.nodes_in_service,
+              static_cast<unsigned long long>(summary.nodes_in_service),
+              offline.avg_total_latency);
+          print_shard_stats(offline.shard_stats);
+        } else {
+          std::puts("offline sharded solve : infeasible");
+        }
+      } catch (const std::exception& e) {
+        // A live state the offline solver cannot model (e.g. a VNF with
+        // no live members) skips the comparison, never fails the replay.
+        std::printf("offline sharded solve : skipped (%s)\n", e.what());
+      }
+    }
     if (summary.arrivals > 0 &&
         summary.admitted + summary.admitted_from_queue == 0) {
       std::puts("INFEASIBLE — no arrival could be admitted");
