@@ -1,0 +1,46 @@
+vnf NAT-0 0 37.3047 2 506.041
+vnf FW-1 1 84.1874 4 516.069
+vnf IDS-2 2 222.9 3 541.661
+vnf LB-3 3 85.724 3 427.351
+vnf WANOpt-4 4 158.176 4 503.649
+vnf FlowMonitor-5 5 50.3036 3 477.056
+request 4.42781 0.98 1 2
+request 39.1091 0.98 1 0 4 5
+request 4.60643 0.98 1 2 0 3 4 5
+request 58.1887 0.98 1 4
+request 73.7579 0.98 1 2
+request 42.9774 0.98 1 2 0 3 4 5
+request 82.4101 0.98 1 4
+request 55.8871 0.98 1 0 3 4 5
+request 43.5703 0.98 1 2 4 5
+request 26.4637 0.98 1 0 3 4 5
+request 79.5203 0.98 1 2 0 3 4
+request 99.7463 0.98 1 2 0 3 4 5
+request 25.5586 0.98 1 2
+request 99.2347 0.98 2 3 4 5
+request 93.2763 0.98 2 3 4 5
+request 85.4157 0.98 1 0 3 4 5
+request 2.72903 0.98 1 0 4 5
+request 99.8052 0.98 1 2 4 5
+request 55.8975 0.98 2 3 4 5
+request 16.2101 0.98 1 2 0 3 4 5
+request 11.5264 0.98 1 0 3 4 5
+request 30.9943 0.98 2 3 4 5
+request 73.3507 0.98 1 2 0 3 4
+request 9.72859 0.98 1 2
+request 24.7873 0.98 1 2 0 3 4 5
+request 43.5057 0.98 1 0 3 4 5
+request 18.0421 0.98 2 3 4 5
+request 64.3059 0.98 1 2 4 5
+request 1.6515 0.98 1 2 0 3 4
+request 25.7703 0.98 1 0 4 5
+request 76.1404 0.98 1 2
+request 98.2994 0.98 1 2
+request 22.5253 0.98 2 3 4 5
+request 31.6053 0.98 1 4
+request 48.857 0.98 1 0 3 4 5
+request 26.086 0.98 1 0 3 4 5
+request 40.7051 0.98 1 0 4 5
+request 71.0047 0.98 1 2
+request 44.5671 0.98 1 2 0 3 4
+request 86.1156 0.98 1 4

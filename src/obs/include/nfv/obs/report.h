@@ -144,6 +144,13 @@ struct ServeEventEntry {
   std::uint64_t scale_outs = 0;
   std::uint64_t scale_ins = 0;
   std::uint64_t admitted_from_queue = 0;
+  std::uint64_t evacuated = 0;
+  std::uint64_t evacuation_migrations = 0;
+  std::uint64_t parked = 0;
+  std::uint64_t retry_admitted = 0;
+  std::uint64_t shed_fault = 0;
+  std::uint64_t shed_overload = 0;
+  bool degraded = false;
   double mean_predicted_latency = 0.0;
   double p99_predicted_latency = 0.0;
 };
@@ -166,8 +173,22 @@ struct ServeSection {
   std::uint64_t scale_ins = 0;
   std::uint64_t live_requests = 0;
   std::uint64_t queued_requests = 0;
+  std::uint64_t retry_queued = 0;
   std::uint64_t active_instances = 0;
   std::uint64_t nodes_in_service = 0;
+  // Fault tolerance and degradation (DESIGN.md §13).
+  std::uint64_t node_downs = 0;
+  std::uint64_t node_ups = 0;
+  std::uint64_t instances_closed = 0;
+  std::uint64_t evacuated_requests = 0;
+  std::uint64_t evacuation_migrations = 0;
+  std::uint64_t parked = 0;
+  std::uint64_t retry_admitted = 0;
+  std::uint64_t shed_fault = 0;
+  std::uint64_t shed_overload = 0;
+  std::uint64_t degradations = 0;
+  std::uint64_t degraded_events = 0;
+  double availability = 1.0;
   double admission_rate = 0.0;
   double mean_predicted_latency = 0.0;
   double p99_predicted_latency = 0.0;

@@ -188,8 +188,21 @@ void write_run_report(const RunReport& report, std::ostream& os) {
     w.kv("scale_ins", s.scale_ins);
     w.kv("live_requests", s.live_requests);
     w.kv("queued_requests", s.queued_requests);
+    w.kv("retry_queued", s.retry_queued);
     w.kv("active_instances", s.active_instances);
     w.kv("nodes_in_service", s.nodes_in_service);
+    w.kv("node_downs", s.node_downs);
+    w.kv("node_ups", s.node_ups);
+    w.kv("instances_closed", s.instances_closed);
+    w.kv("evacuated_requests", s.evacuated_requests);
+    w.kv("evacuation_migrations", s.evacuation_migrations);
+    w.kv("parked", s.parked);
+    w.kv("retry_admitted", s.retry_admitted);
+    w.kv("shed_fault", s.shed_fault);
+    w.kv("shed_overload", s.shed_overload);
+    w.kv("degradations", s.degradations);
+    w.kv("degraded_events", s.degraded_events);
+    w.kv("availability", s.availability);
     w.kv("admission_rate", s.admission_rate);
     w.kv("mean_predicted_latency", s.mean_predicted_latency);
     w.kv("p99_predicted_latency", s.p99_predicted_latency);
@@ -208,6 +221,13 @@ void write_run_report(const RunReport& report, std::ostream& os) {
         w.kv("scale_outs", e.scale_outs);
         w.kv("scale_ins", e.scale_ins);
         w.kv("admitted_from_queue", e.admitted_from_queue);
+        w.kv("evacuated", e.evacuated);
+        w.kv("evacuation_migrations", e.evacuation_migrations);
+        w.kv("parked", e.parked);
+        w.kv("retry_admitted", e.retry_admitted);
+        w.kv("shed_fault", e.shed_fault);
+        w.kv("shed_overload", e.shed_overload);
+        w.kv("degraded", e.degraded);
         w.kv("mean_predicted_latency", e.mean_predicted_latency);
         w.kv("p99_predicted_latency", e.p99_predicted_latency);
         w.end_object();
@@ -360,7 +380,24 @@ std::string pretty_print_report(const JsonValue& report) {
        << " from queue) / " << format_number(s->number_or("arrivals"))
        << " arrivals\n";
     os << "  rejected / shed   : " << format_number(s->number_or("rejected"))
-       << " / " << format_number(s->number_or("shed")) << "\n";
+       << " / " << format_number(s->number_or("shed")) << " (+"
+       << format_number(s->number_or("shed_fault")) << " fault, "
+       << format_number(s->number_or("shed_overload")) << " overload)\n";
+    os << "  availability      : "
+       << format_number(s->number_or("availability", 1.0)) << " over "
+       << format_number(s->number_or("node_downs")) << " node failures ("
+       << format_number(s->number_or("instances_closed"))
+       << " instances closed)\n";
+    os << "  evacuations       : "
+       << format_number(s->number_or("evacuated_requests")) << " requests ("
+       << format_number(s->number_or("evacuation_migrations"))
+       << " hop moves), " << format_number(s->number_or("parked"))
+       << " parked, " << format_number(s->number_or("retry_admitted"))
+       << " retry-admitted\n";
+    os << "  degradations      : "
+       << format_number(s->number_or("degradations")) << " ("
+       << format_number(s->number_or("degraded_events"))
+       << " events degraded)\n";
     os << "  migrations        : "
        << format_number(s->number_or("migrations")) << " over "
        << format_number(s->number_or("rebalances")) << " rebalances (max "
@@ -373,7 +410,8 @@ std::string pretty_print_report(const JsonValue& report) {
        << format_number(s->number_or("live_requests")) << " requests on "
        << format_number(s->number_or("active_instances")) << " instances ("
        << format_number(s->number_or("nodes_in_service")) << " nodes), "
-       << format_number(s->number_or("queued_requests")) << " queued\n";
+       << format_number(s->number_or("queued_requests")) << " queued, "
+       << format_number(s->number_or("retry_queued")) << " retrying\n";
     os << "  predicted latency : mean "
        << format_number(s->number_or("mean_predicted_latency")) << " s, p99 "
        << format_number(s->number_or("p99_predicted_latency"))
@@ -448,7 +486,7 @@ constexpr std::string_view kHigherWorse[] = {
     "latency", "response", "rejection", "rejected", "shed",     "drop",
     "downtime", "retransmission", "failure",        "occupation",
     "nodes_in_service", "queue_depth", "imbalance", "wall",     "work",
-    "gap", "repair_moves",
+    "gap", "repair_moves", "unaccounted",
 };
 
 /// Metrics where a larger value signals a better run.

@@ -1,0 +1,67 @@
+// Crash-safe checkpoint/resume for the online serving engine (DESIGN.md
+// §13): a versioned JSON snapshot ("nfvpr.checkpoint/1") of the FULL
+// engine state — instances, live/queued/retrying requests, node health,
+// degradation window, availability integrals, aggregate counters, and the
+// per-event outcome log — plus the trace cursor (events already applied).
+//
+// The resume contract is byte-identity: a run killed at any event index
+// and restored from its last checkpoint produces exactly the same final
+// report, summary, and events log as the uninterrupted run, for any
+// --threads/--shards setting.  To guarantee that, every incrementally
+// maintained float (instance loads, node residuals, availability
+// integrals) is serialized verbatim with round-trip precision and restored
+// verbatim — never recomputed, because a recomputation would re-associate
+// the floating-point additions in a different order.
+//
+// Malformed or truncated checkpoint text throws CheckpointParseError (NOT
+// std::invalid_argument), which the CLI maps to the usage exit code (2).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "nfv/serve/engine.h"
+
+namespace nfv::serve {
+
+inline constexpr std::string_view kCheckpointSchema = "nfvpr.checkpoint/1";
+
+/// Thrown on malformed checkpoint text or violated structural invariants.
+class CheckpointParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Light summary returned by peek_checkpoint.
+struct CheckpointInfo {
+  std::uint64_t cursor = 0;     ///< trace events already applied
+  std::uint64_t vnf_count = 0;  ///< size of the VNF universe
+  std::uint64_t node_count = 0;
+  std::uint64_t live_requests = 0;
+  std::uint64_t logged_events = 0;
+};
+
+/// Serializes the engine state after `cursor` trace events were applied.
+void save_checkpoint(const ServeEngine& engine, std::uint64_t cursor,
+                     std::ostream& out);
+[[nodiscard]] std::string save_checkpoint_string(const ServeEngine& engine,
+                                                 std::uint64_t cursor);
+
+/// Parses and structurally validates checkpoint text without needing a
+/// topology (the fuzz target's entry point); throws CheckpointParseError.
+[[nodiscard]] CheckpointInfo peek_checkpoint(std::string_view text);
+
+/// Reconstructs an engine mid-trace.  The topology and VNF universe must
+/// be the ones the checkpointed run used (counts are verified; the config
+/// is taken from the checkpoint so resumed decisions match the original
+/// run exactly).  Returns the engine; `*cursor` receives the number of
+/// trace events to skip.  Throws CheckpointParseError on any mismatch.
+[[nodiscard]] ServeEngine restore_checkpoint(std::string_view text,
+                                             topo::Topology topology,
+                                             std::vector<workload::Vnf> vnfs,
+                                             std::uint64_t* cursor);
+
+}  // namespace nfv::serve

@@ -26,6 +26,15 @@
 //    residual wins, lower node id on ties); instances whose last request
 //    departs are retired and their capacity reclaimed.
 //
+//  * Fault tolerance (DESIGN.md §13): NODE_DOWN closes the node's
+//    instances and evacuates their requests through a deterministic ladder
+//    (re-place on survivors → scale out a replacement → park with
+//    event-indexed backoff → shed with fault accounting); NODE_UP returns
+//    the node to the best-fit candidate set.  Sustained admission pressure
+//    flips the engine into a degraded mode that tightens headroom and
+//    sheds lowest-rate requests first.  Checkpoint/resume (checkpoint.h)
+//    snapshots the full state so a killed run continues bit-identically.
+//
 // The engine is strictly deterministic — no RNG, no wall clock, and the
 // only parallel site (predicted-latency evaluation) uses exec::parallel_map
 // with a serial index-order fold — so replaying a trace yields a
@@ -34,6 +43,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -60,6 +70,27 @@ struct ServeConfig {
   /// Per-hop link latency L of Eq. 16; defaults to the topology's mean.
   std::optional<double> link_latency;
 
+  /// Sustained-overload degradation (DESIGN.md §13): when at least
+  /// `overload_threshold` of the last `overload_window` events saw
+  /// admission pressure (a queued/rejected arrival, or a non-empty
+  /// waiting/retry queue), the engine enters degraded mode — headroom
+  /// tightens to `degraded_headroom` and the lowest-rate requests on
+  /// over-limit instances are shed first.  It exits (and relaxes the
+  /// headroom) once pressure falls to half the threshold.  A window of 0
+  /// disables degradation.
+  std::size_t overload_window = 32;
+  double overload_threshold = 0.75;
+  /// Headroom while degraded; must be in [headroom, 1).
+  double degraded_headroom = 0.25;
+
+  /// Fault-evacuation retry ladder (DESIGN.md §13): a request whose node
+  /// died and that no surviving instance admits is parked and retried with
+  /// a deterministic event-indexed backoff of `retry_backoff_base << k`
+  /// events after its k-th failed attempt; after `retry_budget` failed
+  /// retries it is shed with fault accounting.
+  std::uint64_t retry_backoff_base = 4;
+  std::uint32_t retry_budget = 3;
+
   void validate() const;
 };
 
@@ -71,6 +102,8 @@ enum class Decision : std::uint8_t {
   kDeparted,     ///< live or queued request removed
   kRateChanged,  ///< live/queued request's λ updated (still stable)
   kShed,         ///< rate change made the request unservable — dropped
+  kNodeDown,     ///< a compute node failed; instances closed, evacuation ran
+  kNodeUp,       ///< a compute node recovered and rejoined the candidate set
 };
 
 [[nodiscard]] std::string_view to_string(Decision decision);
@@ -86,6 +119,13 @@ struct EventOutcome {
   std::uint32_t scale_outs = 0;          ///< instances opened
   std::uint32_t scale_ins = 0;           ///< instances retired
   std::uint32_t admitted_from_queue = 0; ///< queue drains this event
+  std::uint32_t evacuated = 0;           ///< live requests moved off a dead node
+  std::uint32_t evacuation_migrations = 0;  ///< hops re-placed while evacuating
+  std::uint32_t parked = 0;              ///< requests parked in the retry queue
+  std::uint32_t retry_admitted = 0;      ///< retry-queue re-admissions
+  std::uint32_t shed_fault = 0;          ///< sheds charged to node faults
+  std::uint32_t shed_overload = 0;       ///< sheds charged to degradation
+  bool degraded = false;                 ///< engine degraded after this event
   double mean_predicted_latency = 0.0;   ///< Eq. 16 mean over live requests
   double p99_predicted_latency = 0.0;
 };
@@ -107,8 +147,24 @@ struct ServeSummary {
   std::uint64_t scale_ins = 0;
   std::uint64_t live_requests = 0;    ///< at end of replay
   std::uint64_t queued_requests = 0;  ///< still waiting at end
+  std::uint64_t retry_queued = 0;     ///< parked in the retry queue at end
   std::uint64_t active_instances = 0;
   std::uint64_t nodes_in_service = 0;
+  // Fault tolerance and degradation (DESIGN.md §13).
+  std::uint64_t node_downs = 0;
+  std::uint64_t node_ups = 0;
+  std::uint64_t instances_closed = 0;  ///< closed by node failures
+  std::uint64_t evacuated_requests = 0;
+  std::uint64_t evacuation_migrations = 0;
+  std::uint64_t parked = 0;          ///< entries parked in the retry queue
+  std::uint64_t retry_admitted = 0;  ///< re-admitted from the retry queue
+  std::uint64_t shed_fault = 0;      ///< shed by the fault ladder
+  std::uint64_t shed_overload = 0;   ///< shed by sustained-overload mode
+  std::uint64_t degradations = 0;    ///< times degraded mode was entered
+  std::uint64_t degraded_events = 0; ///< events spent degraded
+  /// Time-weighted fraction of offered rate actually served:
+  /// ∫Σλ_live dt / ∫Σλ_offered dt (1.0 when no time has passed).
+  double availability = 1.0;
   double admission_rate = 1.0;  ///< (admitted + from queue) / arrivals
   double mean_predicted_latency = 0.0;  ///< over live requests, Eq. 16
   double p99_predicted_latency = 0.0;
@@ -153,6 +209,9 @@ class ServeEngine {
     std::vector<InstanceState> instances;  ///< active, by creation seq
     std::vector<std::uint32_t> queued;     ///< FIFO order
     std::vector<std::uint32_t> live;       ///< sorted ids
+    std::vector<std::uint32_t> retrying;   ///< retry queue, FIFO order
+    std::vector<std::uint32_t> nodes_down; ///< ascending node ids
+    bool degraded = false;
 
     friend bool operator==(const Snapshot&, const Snapshot&) = default;
   };
@@ -195,6 +254,12 @@ class ServeEngine {
     double prob = 1.0;
     std::vector<std::uint32_t> chain;
   };
+  /// A fault-evacuated request waiting for capacity to return.
+  struct RetryRequest {
+    PendingRequest request;
+    std::uint64_t not_before = 0;  ///< earliest event index to retry at
+    std::uint32_t attempts = 0;    ///< failed retries so far
+  };
   /// A tentative placement: per hop either an existing instance slot or a
   /// planned new instance on `node`.
   struct HopPlan {
@@ -228,6 +293,27 @@ class ServeEngine {
                         const std::vector<HopPlan>& plan,
                         EventOutcome& outcome);
   void remove_live(std::uint32_t id, EventOutcome& outcome);
+  /// Integrates served/offered rate over [last_time_, now) for the
+  /// availability metric; must run before the event mutates state.
+  void accumulate_availability(double now);
+  /// NODE_DOWN: closes the node's instances and runs the evacuation ladder
+  /// over every affected request (DESIGN.md §13).
+  void handle_node_down(const workload::StreamEvent& event,
+                        EventOutcome& outcome);
+  void handle_node_up(const workload::StreamEvent& event,
+                      EventOutcome& outcome);
+  /// Re-places every hop of `id` whose instance died; false when some hop
+  /// fits nowhere (the caller parks or sheds the request).
+  bool evacuate_request(std::uint32_t id, EventOutcome& outcome);
+  /// Retries due retry-queue entries (not_before <= current event index),
+  /// doubling the backoff per failure and shedding past the budget.
+  void drain_retry_queue(EventOutcome& outcome,
+                         std::vector<std::uint32_t>& touched_vnfs);
+  /// Pushes this event's pressure bit and enters/exits degraded mode.
+  void update_degradation(EventOutcome& outcome);
+  /// While degraded: sheds the lowest-rate request (lowest id on ties)
+  /// sitting on any over-limit instance, until none is over-limit.
+  void shed_overloaded(EventOutcome& outcome);
   /// Bounded RCKK rebalance of one VNF; returns the move count.
   std::uint32_t rebalance(std::uint32_t vnf, EventOutcome& outcome);
   void rebalance_chain(const std::vector<std::uint32_t>& chain,
@@ -245,16 +331,36 @@ class ServeEngine {
   std::vector<std::vector<std::uint32_t>> active_of_vnf_;  ///< by seq order
   std::vector<double> node_free_;
   std::vector<std::uint32_t> node_instances_;
+  std::vector<std::uint8_t> node_up_;          ///< 0 while failed
   std::map<std::uint32_t, LiveRequest> live_;  ///< ordered for determinism
   std::vector<PendingRequest> queue_;          ///< FIFO, front at [0]
+  std::vector<RetryRequest> retry_queue_;      ///< FIFO, front at [0]
+  /// Requests that exited without a trace-visible departure (rejected or
+  /// shed): their later DEPART/RATE_CHANGE events are deliberate no-ops,
+  /// because the trace generator cannot know the engine turned them away.
+  /// Ordered so checkpoints serialize it deterministically.
+  std::set<std::uint32_t> gone_;
   std::vector<EventOutcome> log_;
   double last_time_ = 0.0;
   bool saw_event_ = false;
   std::uint64_t next_seq_ = 0;
   std::uint64_t work_ = 0;
 
+  // Degradation window: last `overload_window` pressure bits, oldest first.
+  std::vector<std::uint8_t> pressure_window_;
+  bool degraded_ = false;
+
+  // Availability integrals: ∫rate dt, accumulated event by event (never
+  // recomputed, so checkpoints restore them bit-exactly).
+  double served_integral_ = 0.0;
+  double offered_integral_ = 0.0;
+
   // Aggregates (summary() adds the live-state figures).
   ServeSummary totals_;
+
+  // Checkpoint serializer/deserializer (src/serve/checkpoint.cc); state is
+  // saved and restored verbatim so a resumed engine is bit-identical.
+  friend struct CheckpointIo;
 };
 
 /// Converts the engine's state into the run-report section; per-event

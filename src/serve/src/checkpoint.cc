@@ -1,0 +1,564 @@
+#include "nfv/serve/checkpoint.h"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "nfv/common/error.h"
+#include "nfv/obs/json.h"
+
+namespace nfv::serve {
+
+namespace {
+
+[[noreturn]] void ckpt_fail(const std::string& what) {
+  throw CheckpointParseError("checkpoint: " + what);
+}
+
+// --- typed field access (every miss throws CheckpointParseError) ---------
+
+const obs::JsonValue& member(const obs::JsonValue& obj, std::string_view key) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr) ckpt_fail("missing field \"" + std::string(key) + "\"");
+  return *v;
+}
+
+double get_double(const obs::JsonValue& obj, std::string_view key) {
+  const obs::JsonValue& v = member(obj, key);
+  if (!v.is_number()) {
+    ckpt_fail("field \"" + std::string(key) + "\" must be a number");
+  }
+  return v.as_number();
+}
+
+std::uint64_t get_uint(const obs::JsonValue& obj, std::string_view key) {
+  const double d = get_double(obj, key);
+  if (!(d >= 0.0) || d != std::floor(d) || d > 1.8e19) {
+    ckpt_fail("field \"" + std::string(key) +
+              "\" must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+bool get_bool(const obs::JsonValue& obj, std::string_view key) {
+  const obs::JsonValue& v = member(obj, key);
+  if (v.is_bool()) return v.as_bool();
+  if (v.is_number()) return v.as_number() != 0.0;
+  ckpt_fail("field \"" + std::string(key) + "\" must be a boolean");
+}
+
+const obs::JsonValue::Array& get_array(const obs::JsonValue& obj,
+                                       std::string_view key) {
+  const obs::JsonValue& v = member(obj, key);
+  if (!v.is_array()) {
+    ckpt_fail("field \"" + std::string(key) + "\" must be an array");
+  }
+  return v.as_array();
+}
+
+const obs::JsonValue& get_object(const obs::JsonValue& obj,
+                                 std::string_view key) {
+  const obs::JsonValue& v = member(obj, key);
+  if (!v.is_object()) {
+    ckpt_fail("field \"" + std::string(key) + "\" must be an object");
+  }
+  return v;
+}
+
+std::vector<std::uint32_t> get_u32_vector(const obs::JsonValue& obj,
+                                          std::string_view key,
+                                          std::uint64_t below) {
+  std::vector<std::uint32_t> out;
+  const auto& arr = get_array(obj, key);
+  out.reserve(arr.size());
+  for (const obs::JsonValue& v : arr) {
+    if (!v.is_number() || v.as_number() < 0.0 ||
+        v.as_number() != std::floor(v.as_number())) {
+      ckpt_fail("array \"" + std::string(key) +
+                "\" must hold non-negative integers");
+    }
+    const double d = v.as_number();
+    if (d >= static_cast<double>(below)) {
+      ckpt_fail("array \"" + std::string(key) + "\" entry " +
+                std::to_string(static_cast<std::uint64_t>(d)) +
+                " is out of range");
+    }
+    out.push_back(static_cast<std::uint32_t>(d));
+  }
+  return out;
+}
+
+obs::JsonValue parse_document(std::string_view text) {
+  std::string error;
+  auto doc = obs::parse_json(text, &error);
+  if (!doc) ckpt_fail("not valid JSON: " + error);
+  if (!doc->is_object()) ckpt_fail("document must be a JSON object");
+  const std::string schema = doc->string_or("schema");
+  if (schema != kCheckpointSchema) {
+    ckpt_fail("unsupported schema '" + schema + "' (expected '" +
+              std::string(kCheckpointSchema) + "')");
+  }
+  return std::move(*doc);
+}
+
+void write_pending(obs::JsonWriter& w, std::uint32_t id, double rate,
+                   double prob, const std::vector<std::uint32_t>& chain) {
+  w.kv("id", std::uint64_t{id});
+  w.kv("rate", rate);
+  w.kv("prob", prob);
+  w.key("chain");
+  w.begin_array();
+  for (const std::uint32_t f : chain) w.value(std::uint64_t{f});
+  w.end_array();
+}
+
+}  // namespace
+
+/// Private-state serializer/deserializer; befriended by ServeEngine.
+struct CheckpointIo {
+  static void save(const ServeEngine& e, std::uint64_t cursor,
+                   std::ostream& out) {
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.kv("schema", kCheckpointSchema);
+    w.kv("cursor", cursor);
+    w.kv("vnf_count", static_cast<std::uint64_t>(e.vnfs_.size()));
+    w.kv("node_count", static_cast<std::uint64_t>(e.node_free_.size()));
+
+    const ServeConfig& c = e.config_;
+    w.key("config");
+    w.begin_object();
+    w.kv("headroom", c.headroom);
+    w.kv("rebalance_threshold", c.rebalance_threshold);
+    w.kv("migration_budget", std::uint64_t{c.migration_budget});
+    w.kv("queue_capacity", static_cast<std::uint64_t>(c.queue_capacity));
+    w.key("link_latency");
+    if (c.link_latency.has_value()) {
+      w.value(*c.link_latency);
+    } else {
+      w.null();
+    }
+    w.kv("overload_window", static_cast<std::uint64_t>(c.overload_window));
+    w.kv("overload_threshold", c.overload_threshold);
+    w.kv("degraded_headroom", c.degraded_headroom);
+    w.kv("retry_backoff_base", c.retry_backoff_base);
+    w.kv("retry_budget", std::uint64_t{c.retry_budget});
+    w.end_object();
+
+    w.kv("last_time", e.last_time_);
+    w.kv("saw_event", e.saw_event_);
+    w.kv("next_seq", e.next_seq_);
+    w.kv("work", e.work_);
+    w.kv("served_integral", e.served_integral_);
+    w.kv("offered_integral", e.offered_integral_);
+    w.kv("degraded", e.degraded_);
+    w.key("pressure_window");
+    w.begin_array();
+    for (const std::uint8_t b : e.pressure_window_) w.value(std::uint64_t{b});
+    w.end_array();
+
+    w.key("node_free");
+    w.begin_array();
+    for (const double f : e.node_free_) w.value(f);
+    w.end_array();
+    w.key("node_instances");
+    w.begin_array();
+    for (const std::uint32_t n : e.node_instances_) w.value(std::uint64_t{n});
+    w.end_array();
+    w.key("node_up");
+    w.begin_array();
+    for (const std::uint8_t u : e.node_up_) w.value(std::uint64_t{u});
+    w.end_array();
+
+    w.key("instances");
+    w.begin_array();
+    for (const ServeEngine::Instance& inst : e.instances_) {
+      w.begin_object();
+      w.kv("vnf", std::uint64_t{inst.vnf});
+      w.kv("node", std::uint64_t{inst.node});
+      w.kv("seq", inst.seq);
+      w.kv("raw_load", inst.raw_load);
+      w.kv("effective_load", inst.effective_load);
+      w.kv("retired", inst.retired);
+      w.key("members");
+      w.begin_array();
+      for (const std::uint32_t id : inst.members) w.value(std::uint64_t{id});
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+
+    w.key("live");
+    w.begin_array();
+    for (const auto& [id, r] : e.live_) {
+      w.begin_object();
+      write_pending(w, id, r.rate, r.prob, r.chain);
+      w.key("hops");
+      w.begin_array();
+      for (const std::uint32_t slot : r.hop_instance) {
+        w.value(std::uint64_t{slot});
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+
+    w.key("queue");
+    w.begin_array();
+    for (const ServeEngine::PendingRequest& p : e.queue_) {
+      w.begin_object();
+      write_pending(w, p.id, p.rate, p.prob, p.chain);
+      w.end_object();
+    }
+    w.end_array();
+
+    w.key("retry");
+    w.begin_array();
+    for (const ServeEngine::RetryRequest& p : e.retry_queue_) {
+      w.begin_object();
+      write_pending(w, p.request.id, p.request.rate, p.request.prob,
+                    p.request.chain);
+      w.kv("not_before", p.not_before);
+      w.kv("attempts", std::uint64_t{p.attempts});
+      w.end_object();
+    }
+    w.end_array();
+
+    w.key("gone");  // std::set — already ascending
+    w.begin_array();
+    for (const std::uint32_t id : e.gone_) w.value(std::uint64_t{id});
+    w.end_array();
+
+    const ServeSummary& t = e.totals_;
+    w.key("totals");
+    w.begin_object();
+    w.kv("events", t.events);
+    w.kv("arrivals", t.arrivals);
+    w.kv("admitted", t.admitted);
+    w.kv("admitted_from_queue", t.admitted_from_queue);
+    w.kv("rejected", t.rejected);
+    w.kv("departures", t.departures);
+    w.kv("rate_changes", t.rate_changes);
+    w.kv("shed", t.shed);
+    w.kv("migrations", t.migrations);
+    w.kv("rebalances", t.rebalances);
+    w.kv("max_migrations_per_rebalance", t.max_migrations_per_rebalance);
+    w.kv("scale_outs", t.scale_outs);
+    w.kv("scale_ins", t.scale_ins);
+    w.kv("node_downs", t.node_downs);
+    w.kv("node_ups", t.node_ups);
+    w.kv("instances_closed", t.instances_closed);
+    w.kv("evacuated_requests", t.evacuated_requests);
+    w.kv("evacuation_migrations", t.evacuation_migrations);
+    w.kv("parked", t.parked);
+    w.kv("retry_admitted", t.retry_admitted);
+    w.kv("shed_fault", t.shed_fault);
+    w.kv("shed_overload", t.shed_overload);
+    w.kv("degradations", t.degradations);
+    w.kv("degraded_events", t.degraded_events);
+    w.end_object();
+
+    w.key("log");
+    w.begin_array();
+    for (const EventOutcome& o : e.log_) {
+      w.begin_object();
+      w.kv("index", o.index);
+      w.kv("t", o.time);
+      w.kv("kind", std::uint64_t{static_cast<std::uint8_t>(o.kind)});
+      w.kv("request", std::uint64_t{o.request});
+      w.kv("decision", std::uint64_t{static_cast<std::uint8_t>(o.decision)});
+      w.kv("migrations", std::uint64_t{o.migrations});
+      w.kv("scale_outs", std::uint64_t{o.scale_outs});
+      w.kv("scale_ins", std::uint64_t{o.scale_ins});
+      w.kv("admitted_from_queue", std::uint64_t{o.admitted_from_queue});
+      w.kv("evacuated", std::uint64_t{o.evacuated});
+      w.kv("evacuation_migrations", std::uint64_t{o.evacuation_migrations});
+      w.kv("parked", std::uint64_t{o.parked});
+      w.kv("retry_admitted", std::uint64_t{o.retry_admitted});
+      w.kv("shed_fault", std::uint64_t{o.shed_fault});
+      w.kv("shed_overload", std::uint64_t{o.shed_overload});
+      w.kv("degraded", o.degraded);
+      w.kv("mean_predicted_latency", o.mean_predicted_latency);
+      w.kv("p99_predicted_latency", o.p99_predicted_latency);
+      w.end_object();
+    }
+    w.end_array();
+
+    w.end_object();
+    out << '\n';
+  }
+
+  static void apply(ServeEngine& e, const obs::JsonValue& doc) {
+    if (get_uint(doc, "vnf_count") != e.vnfs_.size()) {
+      ckpt_fail("vnf_count does not match the provided workload");
+    }
+    if (get_uint(doc, "node_count") != e.node_free_.size()) {
+      ckpt_fail("node_count does not match the provided topology");
+    }
+    const std::uint64_t vnf_count = e.vnfs_.size();
+    const std::uint64_t node_count = e.node_free_.size();
+
+    e.last_time_ = get_double(doc, "last_time");
+    e.saw_event_ = get_bool(doc, "saw_event");
+    e.next_seq_ = get_uint(doc, "next_seq");
+    e.work_ = get_uint(doc, "work");
+    e.served_integral_ = get_double(doc, "served_integral");
+    e.offered_integral_ = get_double(doc, "offered_integral");
+    e.degraded_ = get_bool(doc, "degraded");
+    e.pressure_window_.clear();
+    for (const obs::JsonValue& b : get_array(doc, "pressure_window")) {
+      if (!b.is_number()) ckpt_fail("pressure_window entries must be 0/1");
+      e.pressure_window_.push_back(b.as_number() != 0.0 ? 1 : 0);
+    }
+
+    const auto& node_free = get_array(doc, "node_free");
+    const auto& node_instances = get_array(doc, "node_instances");
+    const auto& node_up = get_array(doc, "node_up");
+    if (node_free.size() != node_count || node_instances.size() != node_count ||
+        node_up.size() != node_count) {
+      ckpt_fail("node arrays must have node_count entries");
+    }
+    for (std::size_t v = 0; v < node_count; ++v) {
+      if (!node_free[v].is_number() || !node_instances[v].is_number() ||
+          !node_up[v].is_number()) {
+        ckpt_fail("node arrays must hold numbers");
+      }
+      e.node_free_[v] = node_free[v].as_number();
+      e.node_instances_[v] =
+          static_cast<std::uint32_t>(node_instances[v].as_number());
+      e.node_up_[v] = node_up[v].as_number() != 0.0 ? 1 : 0;
+    }
+
+    e.instances_.clear();
+    for (auto& act : e.active_of_vnf_) act.clear();
+    for (const obs::JsonValue& j : get_array(doc, "instances")) {
+      if (!j.is_object()) ckpt_fail("instance entries must be objects");
+      ServeEngine::Instance inst;
+      const std::uint64_t vnf = get_uint(j, "vnf");
+      const std::uint64_t node = get_uint(j, "node");
+      if (vnf >= vnf_count) ckpt_fail("instance vnf out of range");
+      if (node >= node_count) ckpt_fail("instance node out of range");
+      inst.vnf = static_cast<std::uint32_t>(vnf);
+      inst.node = static_cast<std::uint32_t>(node);
+      inst.seq = get_uint(j, "seq");
+      inst.raw_load = get_double(j, "raw_load");
+      inst.effective_load = get_double(j, "effective_load");
+      inst.retired = get_bool(j, "retired");
+      inst.members = get_u32_vector(
+          j, "members", std::numeric_limits<std::uint32_t>::max());
+      const auto slot = static_cast<std::uint32_t>(e.instances_.size());
+      if (!inst.retired) e.active_of_vnf_[inst.vnf].push_back(slot);
+      e.instances_.push_back(std::move(inst));
+    }
+
+    e.live_.clear();
+    for (const obs::JsonValue& j : get_array(doc, "live")) {
+      if (!j.is_object()) ckpt_fail("live entries must be objects");
+      const auto id = static_cast<std::uint32_t>(get_uint(j, "id"));
+      ServeEngine::LiveRequest r;
+      r.rate = get_double(j, "rate");
+      r.prob = get_double(j, "prob");
+      r.chain = get_u32_vector(j, "chain", vnf_count);
+      r.hop_instance = get_u32_vector(j, "hops", e.instances_.size());
+      if (r.hop_instance.size() != r.chain.size()) {
+        ckpt_fail("live request hops/chain size mismatch");
+      }
+      for (const std::uint32_t slot : r.hop_instance) {
+        if (e.instances_[slot].retired) {
+          ckpt_fail("live request bound to a retired instance");
+        }
+      }
+      if (!e.live_.emplace(id, std::move(r)).second) {
+        ckpt_fail("duplicate live request id");
+      }
+    }
+
+    const auto read_pending = [&](const obs::JsonValue& j) {
+      if (!j.is_object()) ckpt_fail("queue entries must be objects");
+      ServeEngine::PendingRequest p;
+      p.id = static_cast<std::uint32_t>(get_uint(j, "id"));
+      p.rate = get_double(j, "rate");
+      p.prob = get_double(j, "prob");
+      p.chain = get_u32_vector(j, "chain", vnf_count);
+      return p;
+    };
+    e.queue_.clear();
+    for (const obs::JsonValue& j : get_array(doc, "queue")) {
+      e.queue_.push_back(read_pending(j));
+    }
+    e.retry_queue_.clear();
+    for (const obs::JsonValue& j : get_array(doc, "retry")) {
+      ServeEngine::RetryRequest r;
+      r.request = read_pending(j);
+      r.not_before = get_uint(j, "not_before");
+      r.attempts = static_cast<std::uint32_t>(get_uint(j, "attempts"));
+      e.retry_queue_.push_back(std::move(r));
+    }
+    e.gone_.clear();
+    for (const std::uint32_t id : get_u32_vector(
+             doc, "gone", std::numeric_limits<std::uint32_t>::max())) {
+      e.gone_.insert(id);
+    }
+
+    const obs::JsonValue& t = get_object(doc, "totals");
+    ServeSummary& s = e.totals_;
+    s.events = get_uint(t, "events");
+    s.arrivals = get_uint(t, "arrivals");
+    s.admitted = get_uint(t, "admitted");
+    s.admitted_from_queue = get_uint(t, "admitted_from_queue");
+    s.rejected = get_uint(t, "rejected");
+    s.departures = get_uint(t, "departures");
+    s.rate_changes = get_uint(t, "rate_changes");
+    s.shed = get_uint(t, "shed");
+    s.migrations = get_uint(t, "migrations");
+    s.rebalances = get_uint(t, "rebalances");
+    s.max_migrations_per_rebalance =
+        get_uint(t, "max_migrations_per_rebalance");
+    s.scale_outs = get_uint(t, "scale_outs");
+    s.scale_ins = get_uint(t, "scale_ins");
+    s.node_downs = get_uint(t, "node_downs");
+    s.node_ups = get_uint(t, "node_ups");
+    s.instances_closed = get_uint(t, "instances_closed");
+    s.evacuated_requests = get_uint(t, "evacuated_requests");
+    s.evacuation_migrations = get_uint(t, "evacuation_migrations");
+    s.parked = get_uint(t, "parked");
+    s.retry_admitted = get_uint(t, "retry_admitted");
+    s.shed_fault = get_uint(t, "shed_fault");
+    s.shed_overload = get_uint(t, "shed_overload");
+    s.degradations = get_uint(t, "degradations");
+    s.degraded_events = get_uint(t, "degraded_events");
+
+    e.log_.clear();
+    for (const obs::JsonValue& j : get_array(doc, "log")) {
+      if (!j.is_object()) ckpt_fail("log entries must be objects");
+      EventOutcome o;
+      o.index = get_uint(j, "index");
+      o.time = get_double(j, "t");
+      const std::uint64_t kind = get_uint(j, "kind");
+      if (kind > static_cast<std::uint64_t>(
+                     workload::StreamEventKind::kNodeUp)) {
+        ckpt_fail("log entry kind out of range");
+      }
+      o.kind = static_cast<workload::StreamEventKind>(kind);
+      o.request = static_cast<std::uint32_t>(get_uint(j, "request"));
+      const std::uint64_t decision = get_uint(j, "decision");
+      if (decision > static_cast<std::uint64_t>(Decision::kNodeUp)) {
+        ckpt_fail("log entry decision out of range");
+      }
+      o.decision = static_cast<Decision>(decision);
+      o.migrations = static_cast<std::uint32_t>(get_uint(j, "migrations"));
+      o.scale_outs = static_cast<std::uint32_t>(get_uint(j, "scale_outs"));
+      o.scale_ins = static_cast<std::uint32_t>(get_uint(j, "scale_ins"));
+      o.admitted_from_queue =
+          static_cast<std::uint32_t>(get_uint(j, "admitted_from_queue"));
+      o.evacuated = static_cast<std::uint32_t>(get_uint(j, "evacuated"));
+      o.evacuation_migrations =
+          static_cast<std::uint32_t>(get_uint(j, "evacuation_migrations"));
+      o.parked = static_cast<std::uint32_t>(get_uint(j, "parked"));
+      o.retry_admitted =
+          static_cast<std::uint32_t>(get_uint(j, "retry_admitted"));
+      o.shed_fault = static_cast<std::uint32_t>(get_uint(j, "shed_fault"));
+      o.shed_overload =
+          static_cast<std::uint32_t>(get_uint(j, "shed_overload"));
+      o.degraded = get_bool(j, "degraded");
+      o.mean_predicted_latency = get_double(j, "mean_predicted_latency");
+      o.p99_predicted_latency = get_double(j, "p99_predicted_latency");
+      e.log_.push_back(o);
+    }
+  }
+};
+
+void save_checkpoint(const ServeEngine& engine, std::uint64_t cursor,
+                     std::ostream& out) {
+  CheckpointIo::save(engine, cursor, out);
+}
+
+std::string save_checkpoint_string(const ServeEngine& engine,
+                                   std::uint64_t cursor) {
+  std::ostringstream os;
+  save_checkpoint(engine, cursor, os);
+  return os.str();
+}
+
+CheckpointInfo peek_checkpoint(std::string_view text) {
+  const obs::JsonValue doc = parse_document(text);
+  CheckpointInfo info;
+  info.cursor = get_uint(doc, "cursor");
+  info.vnf_count = get_uint(doc, "vnf_count");
+  info.node_count = get_uint(doc, "node_count");
+  info.live_requests = get_array(doc, "live").size();
+  info.logged_events = get_array(doc, "log").size();
+
+  // Full structural sweep: re-run the state walk against a throwaway
+  // engine sized from the document itself, so the fuzz target exercises
+  // every branch of the deserializer without needing a real topology.
+  if (info.vnf_count == 0 || info.vnf_count > 4096 ||
+      info.node_count == 0 || info.node_count > 4096) {
+    return info;  // no plausible engine shape to validate against
+  }
+  topo::Topology topo;
+  std::vector<NodeId> ids;
+  ids.reserve(static_cast<std::size_t>(info.node_count));
+  for (std::uint64_t v = 0; v < info.node_count; ++v) {
+    ids.push_back(topo.add_compute(1.0));
+  }
+  // Star links: freeze() requires a connected compute graph, and the probe
+  // never looks at latencies (the restored config pins link_latency).
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    topo.connect_nodes(ids[0], ids[i], 0.0);
+  }
+  topo.freeze();
+  std::vector<workload::Vnf> vnfs(static_cast<std::size_t>(info.vnf_count));
+  for (auto& f : vnfs) {
+    f.demand_per_instance = 1.0;
+    f.service_rate = 1.0;
+  }
+  ServeConfig probe_config;
+  probe_config.link_latency = 0.0;
+  ServeEngine probe(std::move(topo), std::move(vnfs), probe_config);
+  CheckpointIo::apply(probe, doc);
+  return info;
+}
+
+ServeEngine restore_checkpoint(std::string_view text, topo::Topology topology,
+                               std::vector<workload::Vnf> vnfs,
+                               std::uint64_t* cursor) {
+  const obs::JsonValue doc = parse_document(text);
+  const std::uint64_t at = get_uint(doc, "cursor");
+
+  const obs::JsonValue& c = get_object(doc, "config");
+  ServeConfig config;
+  config.headroom = get_double(c, "headroom");
+  config.rebalance_threshold = get_double(c, "rebalance_threshold");
+  config.migration_budget =
+      static_cast<std::uint32_t>(get_uint(c, "migration_budget"));
+  config.queue_capacity =
+      static_cast<std::size_t>(get_uint(c, "queue_capacity"));
+  const obs::JsonValue& link = member(c, "link_latency");
+  if (link.is_number()) {
+    config.link_latency = link.as_number();
+  } else if (!link.is_null()) {
+    ckpt_fail("config.link_latency must be a number or null");
+  }
+  config.overload_window =
+      static_cast<std::size_t>(get_uint(c, "overload_window"));
+  config.overload_threshold = get_double(c, "overload_threshold");
+  config.degraded_headroom = get_double(c, "degraded_headroom");
+  config.retry_backoff_base = get_uint(c, "retry_backoff_base");
+  config.retry_budget =
+      static_cast<std::uint32_t>(get_uint(c, "retry_budget"));
+  try {
+    config.validate();
+  } catch (const std::invalid_argument& e) {
+    ckpt_fail(std::string("embedded config is invalid: ") + e.what());
+  }
+
+  ServeEngine engine(std::move(topology), std::move(vnfs), config);
+  CheckpointIo::apply(engine, doc);
+  if (cursor != nullptr) *cursor = at;
+  return engine;
+}
+
+}  // namespace nfv::serve

@@ -20,9 +20,12 @@ namespace {
 
 [[noreturn]] void event_fail(const workload::StreamEvent& event,
                              const std::string& what) {
+  const std::string subject =
+      workload::is_node_event(event.kind)
+          ? "node " + std::to_string(event.node)
+          : "request " + std::to_string(event.request);
   throw workload::TraceParseError("event at t=" + std::to_string(event.time) +
-                                  " (request " +
-                                  std::to_string(event.request) + "): " + what);
+                                  " (" + subject + "): " + what);
 }
 
 void insert_sorted(std::vector<std::uint32_t>& v, std::uint32_t x) {
@@ -38,9 +41,19 @@ void erase_sorted(std::vector<std::uint32_t>& v, std::uint32_t x) {
 }  // namespace
 
 void ServeConfig::validate() const {
-  NFV_REQUIRE(headroom >= 0.0 && headroom < 1.0);
-  NFV_REQUIRE(rebalance_threshold >= 0.0);
-  NFV_REQUIRE(!link_latency.has_value() || *link_latency >= 0.0);
+  // std::isfinite first: NaN fails every comparison, so spelling the check
+  // this way gives each knob an explicit finite-and-in-range contract
+  // instead of relying on NaN's comparison semantics.
+  NFV_REQUIRE(std::isfinite(headroom) && headroom >= 0.0 && headroom < 1.0);
+  NFV_REQUIRE(std::isfinite(rebalance_threshold) &&
+              rebalance_threshold >= 0.0);
+  NFV_REQUIRE(!link_latency.has_value() ||
+              (std::isfinite(*link_latency) && *link_latency >= 0.0));
+  NFV_REQUIRE(std::isfinite(overload_threshold) && overload_threshold > 0.0 &&
+              overload_threshold <= 1.0);
+  NFV_REQUIRE(std::isfinite(degraded_headroom) &&
+              degraded_headroom >= headroom && degraded_headroom < 1.0);
+  NFV_REQUIRE(retry_backoff_base >= 1);
 }
 
 std::string_view to_string(Decision decision) {
@@ -51,6 +64,8 @@ std::string_view to_string(Decision decision) {
     case Decision::kDeparted: return "departed";
     case Decision::kRateChanged: return "rate_changed";
     case Decision::kShed: return "shed";
+    case Decision::kNodeDown: return "node_down";
+    case Decision::kNodeUp: return "node_up";
   }
   return "?";
 }
@@ -78,10 +93,12 @@ ServeEngine::ServeEngine(topo::Topology topology,
     node_free_.push_back(topology_.capacity(NodeId(v)));
   }
   node_instances_.assign(nodes, 0);
+  node_up_.assign(nodes, 1);
 }
 
 double ServeEngine::limit(std::uint32_t vnf) const {
-  return (1.0 - config_.headroom) * vnfs_[vnf].service_rate;
+  const double h = degraded_ ? config_.degraded_headroom : config_.headroom;
+  return (1.0 - h) * vnfs_[vnf].service_rate;
 }
 
 std::optional<std::uint32_t> ServeEngine::pick_node(
@@ -95,6 +112,7 @@ std::optional<std::uint32_t> ServeEngine::pick_node(
   const auto scan = [&](bool used_pass) {
     for (std::uint32_t v = 0; v < node_free_.size(); ++v) {
       ++work_;
+      if (node_up_[v] == 0) continue;  // failed nodes leave the candidate set
       const bool used = node_instances_[v] > 0 || planned_count[v] > 0;
       if (used != used_pass) continue;
       const double residual = node_free_[v] - planned_use[v] - demand;
@@ -380,6 +398,276 @@ void ServeEngine::drain_queue(EventOutcome& outcome,
   }
 }
 
+void ServeEngine::accumulate_availability(double now) {
+  if (!saw_event_ || now <= last_time_) return;
+  const double dt = now - last_time_;
+  double served = 0.0;
+  for (const auto& [id, r] : live_) served += r.rate;
+  double offered = served;
+  for (const PendingRequest& p : queue_) offered += p.rate;
+  for (const RetryRequest& p : retry_queue_) offered += p.request.rate;
+  served_integral_ += dt * served;
+  offered_integral_ += dt * offered;
+}
+
+bool ServeEngine::evacuate_request(std::uint32_t id, EventOutcome& outcome) {
+  LiveRequest& r = live_.at(id);
+  const double eff = r.rate / r.prob;
+  std::vector<std::size_t> broken;
+  for (std::size_t h = 0; h < r.chain.size(); ++h) {
+    if (instances_[r.hop_instance[h]].retired) broken.push_back(h);
+  }
+  NFV_CHECK(!broken.empty());
+
+  // Plan every broken hop before touching state, with node overlays so two
+  // scale-outs of one request share residual bookkeeping (as in
+  // plan_placement); an all-or-nothing commit keeps the failure path clean.
+  std::vector<HopPlan> plan;
+  plan.reserve(broken.size());
+  std::vector<double> planned_use(node_free_.size(), 0.0);
+  std::vector<std::uint32_t> planned_count(node_free_.size(), 0);
+  for (const std::size_t h : broken) {
+    const std::uint32_t f = r.chain[h];
+    const double cap = limit(f);
+    std::optional<std::uint32_t> best;
+    double best_load = std::numeric_limits<double>::infinity();
+    for (const std::uint32_t slot : active_of_vnf_[f]) {
+      ++work_;
+      const Instance& inst = instances_[slot];
+      if (inst.effective_load + eff > cap) continue;
+      if (inst.effective_load < best_load) {
+        best_load = inst.effective_load;
+        best = slot;
+      }
+    }
+    if (best) {
+      plan.push_back({false, *best, 0});
+      continue;
+    }
+    if (eff > cap) return false;
+    const double demand = vnfs_[f].demand_per_instance;
+    const auto node = pick_node(demand, planned_use, planned_count);
+    if (!node) return false;
+    plan.push_back({true, 0, *node});
+    planned_use[*node] += demand;
+    ++planned_count[*node];
+  }
+
+  for (std::size_t k = 0; k < broken.size(); ++k) {
+    const std::size_t h = broken[k];
+    std::uint32_t slot;
+    if (plan[k].scale_out) {
+      slot = open_instance(r.chain[h], plan[k].node);
+      ++outcome.scale_outs;
+      ++totals_.scale_outs;
+    } else {
+      slot = plan[k].slot;
+    }
+    add_to_instance(slot, id, r.rate, r.prob);
+    r.hop_instance[h] = slot;
+  }
+  const auto moves = static_cast<std::uint32_t>(broken.size());
+  outcome.evacuation_migrations += moves;
+  totals_.evacuation_migrations += moves;
+  ++outcome.evacuated;
+  ++totals_.evacuated_requests;
+  return true;
+}
+
+void ServeEngine::handle_node_down(const workload::StreamEvent& event,
+                                   EventOutcome& outcome) {
+  const std::uint32_t node = event.node;
+  if (node >= node_free_.size()) {
+    event_fail(event, "unknown node id (topology has " +
+                          std::to_string(node_free_.size()) +
+                          " compute nodes)");
+  }
+  if (node_up_[node] == 0) event_fail(event, "node is already down");
+  ++totals_.node_downs;
+  outcome.decision = Decision::kNodeDown;
+  node_up_[node] = 0;
+  node_free_[node] = 0.0;
+
+  // Force-close this node's instances in slot (= creation) order and
+  // collect the requests they carried.  Closure is not a graceful scale-in:
+  // the capacity is simply gone.
+  std::vector<std::uint32_t> affected;
+  for (std::uint32_t slot = 0;
+       slot < static_cast<std::uint32_t>(instances_.size()); ++slot) {
+    Instance& inst = instances_[slot];
+    if (inst.retired || inst.node != node) continue;
+    affected.insert(affected.end(), inst.members.begin(), inst.members.end());
+    inst.retired = true;
+    inst.raw_load = 0.0;
+    inst.effective_load = 0.0;
+    inst.members.clear();
+    auto& act = active_of_vnf_[inst.vnf];
+    act.erase(std::find(act.begin(), act.end(), slot));
+    ++totals_.instances_closed;
+    ++work_;
+  }
+  node_instances_[node] = 0;
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+
+  // Evacuation ladder, ascending request id: re-place every broken hop on
+  // survivors (scaling out replacements if needed); a request that fits
+  // nowhere is unbound from its surviving hops and parked for backoff
+  // retry, shedding only when even the retry queue is full.
+  std::vector<std::uint32_t> touched;
+  for (const std::uint32_t id : affected) {
+    if (evacuate_request(id, outcome)) {
+      const LiveRequest& r = live_.at(id);
+      touched.insert(touched.end(), r.chain.begin(), r.chain.end());
+      continue;
+    }
+    LiveRequest moved = std::move(live_.at(id));
+    for (std::size_t h = 0; h < moved.chain.size(); ++h) {
+      if (instances_[moved.hop_instance[h]].retired) continue;
+      if (remove_from_instance(moved.hop_instance[h], id, moved.rate,
+                               moved.prob)) {
+        ++outcome.scale_ins;
+        ++totals_.scale_ins;
+      }
+    }
+    live_.erase(id);
+    if (retry_queue_.size() < config_.queue_capacity) {
+      RetryRequest retry;
+      retry.request = {id, moved.rate, moved.prob, std::move(moved.chain)};
+      retry.not_before = outcome.index + config_.retry_backoff_base;
+      retry_queue_.push_back(std::move(retry));
+      ++outcome.parked;
+      ++totals_.parked;
+    } else {
+      ++outcome.shed_fault;
+      ++totals_.shed_fault;
+      gone_.insert(id);
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  rebalance_chain(touched, outcome);
+}
+
+void ServeEngine::handle_node_up(const workload::StreamEvent& event,
+                                 EventOutcome& outcome) {
+  const std::uint32_t node = event.node;
+  if (node >= node_free_.size()) {
+    event_fail(event, "unknown node id (topology has " +
+                          std::to_string(node_free_.size()) +
+                          " compute nodes)");
+  }
+  if (node_up_[node] != 0) event_fail(event, "node is not down");
+  ++totals_.node_ups;
+  outcome.decision = Decision::kNodeUp;
+  node_up_[node] = 1;
+  node_free_[node] = topology_.capacity(NodeId(node));
+  NFV_CHECK(node_instances_[node] == 0);
+  // Recovered capacity may unblock the waiting room right away; parked
+  // requests instead flow through the backoff-gated retry pass.
+  std::vector<std::uint32_t> touched;
+  drain_queue(outcome, touched);
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  rebalance_chain(touched, outcome);
+}
+
+void ServeEngine::drain_retry_queue(EventOutcome& outcome,
+                                    std::vector<std::uint32_t>& touched_vnfs) {
+  const std::uint64_t index = outcome.index;
+  for (std::size_t i = 0; i < retry_queue_.size();) {
+    RetryRequest& entry = retry_queue_[i];
+    if (entry.not_before > index) {
+      ++i;
+      continue;
+    }
+    const auto plan = plan_placement(entry.request.rate, entry.request.prob,
+                                     entry.request.chain);
+    if (plan) {
+      PendingRequest admitted = std::move(entry.request);
+      retry_queue_.erase(retry_queue_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      touched_vnfs.insert(touched_vnfs.end(), admitted.chain.begin(),
+                          admitted.chain.end());
+      commit_placement(admitted.id, admitted.rate, admitted.prob,
+                       std::move(admitted.chain), *plan, outcome);
+      ++outcome.retry_admitted;
+      ++totals_.retry_admitted;
+      continue;
+    }
+    ++entry.attempts;
+    if (entry.attempts > config_.retry_budget) {
+      gone_.insert(entry.request.id);
+      retry_queue_.erase(retry_queue_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      ++outcome.shed_fault;
+      ++totals_.shed_fault;
+      continue;
+    }
+    entry.not_before = index + (config_.retry_backoff_base << entry.attempts);
+    ++i;
+  }
+}
+
+void ServeEngine::shed_overloaded(EventOutcome& outcome) {
+  for (;;) {
+    std::optional<std::uint32_t> victim;
+    double victim_rate = std::numeric_limits<double>::infinity();
+    for (const auto& [id, r] : live_) {
+      ++work_;
+      bool over = false;
+      for (std::size_t h = 0; h < r.chain.size() && !over; ++h) {
+        over = instances_[r.hop_instance[h]].effective_load >
+               limit(r.chain[h]);
+      }
+      if (!over) continue;
+      if (r.rate < victim_rate) {  // strict <, map order: lowest id on ties
+        victim_rate = r.rate;
+        victim = id;
+      }
+    }
+    if (!victim) return;
+    remove_live(*victim, outcome);
+    gone_.insert(*victim);
+    ++outcome.shed_overload;
+    ++totals_.shed_overload;
+  }
+}
+
+void ServeEngine::update_degradation(EventOutcome& outcome) {
+  if (config_.overload_window == 0) {
+    outcome.degraded = degraded_;
+    return;
+  }
+  const bool pressured = outcome.decision == Decision::kQueued ||
+                         outcome.decision == Decision::kRejected ||
+                         !queue_.empty() || !retry_queue_.empty();
+  pressure_window_.push_back(pressured ? 1 : 0);
+  if (pressure_window_.size() > config_.overload_window) {
+    pressure_window_.erase(pressure_window_.begin());
+  }
+  std::size_t ones = 0;
+  for (const std::uint8_t b : pressure_window_) ones += b;
+  const bool full = pressure_window_.size() == config_.overload_window;
+  const double frac = static_cast<double>(ones) /
+                      static_cast<double>(config_.overload_window);
+  if (!degraded_ && full && frac >= config_.overload_threshold) {
+    degraded_ = true;  // tightens limit() for the shed pass and onwards
+    ++totals_.degradations;
+    shed_overloaded(outcome);
+  } else if (degraded_ && frac <= 0.5 * config_.overload_threshold) {
+    degraded_ = false;  // relaxed headroom may admit the backlog again
+    std::vector<std::uint32_t> touched;
+    drain_queue(outcome, touched);
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    rebalance_chain(touched, outcome);
+  }
+  if (degraded_) ++totals_.degraded_events;
+  outcome.degraded = degraded_;
+}
+
 void ServeEngine::finish_outcome(EventOutcome& outcome) {
   const std::vector<double> lat = predicted_latencies();
   if (!lat.empty()) {
@@ -403,6 +691,8 @@ void ServeEngine::finish_outcome(EventOutcome& outcome) {
     case Decision::kDeparted: obs::count("serve.departed"); break;
     case Decision::kRateChanged: obs::count("serve.rate_changed"); break;
     case Decision::kShed: obs::count("serve.shed"); break;
+    case Decision::kNodeDown: obs::count("serve.node_down"); break;
+    case Decision::kNodeUp: obs::count("serve.node_up"); break;
   }
   if (outcome.migrations > 0) {
     obs::count("serve.migrations", outcome.migrations);
@@ -412,6 +702,17 @@ void ServeEngine::finish_outcome(EventOutcome& outcome) {
   if (outcome.admitted_from_queue > 0) {
     obs::count("serve.admitted_from_queue", outcome.admitted_from_queue);
   }
+  if (outcome.evacuated > 0) obs::count("serve.evacuated", outcome.evacuated);
+  if (outcome.parked > 0) obs::count("serve.parked", outcome.parked);
+  if (outcome.retry_admitted > 0) {
+    obs::count("serve.retry_admitted", outcome.retry_admitted);
+  }
+  if (outcome.shed_fault > 0) {
+    obs::count("serve.shed_fault", outcome.shed_fault);
+  }
+  if (outcome.shed_overload > 0) {
+    obs::count("serve.shed_overload", outcome.shed_overload);
+  }
   log_.push_back(outcome);
 }
 
@@ -420,6 +721,7 @@ EventOutcome ServeEngine::on_event(const workload::StreamEvent& event) {
     event_fail(event, "non-monotonic timestamp " + std::to_string(event.time) +
                           " after " + std::to_string(last_time_));
   }
+  accumulate_availability(event.time);
   saw_event_ = true;
   last_time_ = event.time;
 
@@ -435,11 +737,18 @@ EventOutcome ServeEngine::on_event(const workload::StreamEvent& event) {
                           return p.id == event.request;
                         });
   };
+  const auto retry_pos = [&] {
+    return std::find_if(retry_queue_.begin(), retry_queue_.end(),
+                        [&](const RetryRequest& p) {
+                          return p.request.id == event.request;
+                        });
+  };
 
   switch (event.kind) {
     case workload::StreamEventKind::kArrive: {
       ++totals_.arrivals;
-      if (live_.count(event.request) != 0 || queued_pos() != queue_.end()) {
+      if (live_.count(event.request) != 0 || queued_pos() != queue_.end() ||
+          retry_pos() != retry_queue_.end()) {
         event_fail(event, "arrival of a request that is already live");
       }
       if (event.rate <= 0.0 || event.delivery_prob <= 0.0 ||
@@ -465,18 +774,26 @@ EventOutcome ServeEngine::on_event(const workload::StreamEvent& event) {
       } else {
         outcome.decision = Decision::kRejected;
         ++totals_.rejected;
+        gone_.insert(event.request);
       }
       break;
     }
     case workload::StreamEventKind::kDepart: {
-      ++totals_.departures;
       outcome.decision = Decision::kDeparted;
       std::vector<std::uint32_t> touched;
       if (const auto it = live_.find(event.request); it != live_.end()) {
+        ++totals_.departures;
         touched = it->second.chain;
         remove_live(event.request, outcome);
       } else if (const auto qit = queued_pos(); qit != queue_.end()) {
+        ++totals_.departures;
         queue_.erase(qit);
+      } else if (const auto rit = retry_pos(); rit != retry_queue_.end()) {
+        ++totals_.departures;
+        retry_queue_.erase(rit);
+      } else if (gone_.erase(event.request) != 0) {
+        // Already rejected or shed: the trace's departure is a no-op, and
+        // the request stays in its rejected/shed accounting bucket.
       } else {
         event_fail(event, "departure of an unknown request");
       }
@@ -495,6 +812,11 @@ EventOutcome ServeEngine::on_event(const workload::StreamEvent& event) {
         qit->rate = event.rate;
         break;
       }
+      if (const auto rit = retry_pos(); rit != retry_queue_.end()) {
+        rit->request.rate = event.rate;
+        break;
+      }
+      if (gone_.count(event.request) != 0) break;  // rejected/shed: no-op
       const auto it = live_.find(event.request);
       if (it == live_.end()) {
         event_fail(event, "rate change of an unknown request");
@@ -521,6 +843,7 @@ EventOutcome ServeEngine::on_event(const workload::StreamEvent& event) {
       }
       if (shed) {
         remove_live(event.request, outcome);
+        gone_.insert(event.request);
         outcome.decision = Decision::kShed;
         ++totals_.shed;
         std::vector<std::uint32_t> touched;
@@ -532,7 +855,25 @@ EventOutcome ServeEngine::on_event(const workload::StreamEvent& event) {
       }
       break;
     }
+    case workload::StreamEventKind::kNodeDown:
+      handle_node_down(event, outcome);
+      break;
+    case workload::StreamEventKind::kNodeUp:
+      handle_node_up(event, outcome);
+      break;
   }
+
+  // Backoff-gated retry of fault-evacuated requests, then the degradation
+  // ladder — both keyed on the event index, so replay position (not wall
+  // time) drives every decision.
+  {
+    std::vector<std::uint32_t> touched;
+    drain_retry_queue(outcome, touched);
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    rebalance_chain(touched, outcome);
+  }
+  update_degradation(outcome);
 
   finish_outcome(outcome);
   return outcome;
@@ -553,6 +894,10 @@ ServeSummary ServeEngine::summary() const {
   ServeSummary s = totals_;
   s.live_requests = live_.size();
   s.queued_requests = queue_.size();
+  s.retry_queued = retry_queue_.size();
+  s.availability = offered_integral_ > 0.0
+                       ? served_integral_ / offered_integral_
+                       : 1.0;
   std::uint64_t active = 0;
   for (const auto& act : active_of_vnf_) active += act.size();
   s.active_instances = active;
@@ -592,6 +937,14 @@ ServeEngine::Snapshot ServeEngine::snapshot() const {
   for (const PendingRequest& p : queue_) snap.queued.push_back(p.id);
   snap.live.reserve(live_.size());
   for (const auto& [id, r] : live_) snap.live.push_back(id);
+  snap.retrying.reserve(retry_queue_.size());
+  for (const RetryRequest& p : retry_queue_) {
+    snap.retrying.push_back(p.request.id);
+  }
+  for (std::uint32_t v = 0; v < node_up_.size(); ++v) {
+    if (node_up_[v] == 0) snap.nodes_down.push_back(v);
+  }
+  snap.degraded = degraded_;
   return snap;
 }
 
@@ -678,8 +1031,21 @@ obs::ServeSection make_serve_section(const ServeEngine& engine,
   out.scale_ins = s.scale_ins;
   out.live_requests = s.live_requests;
   out.queued_requests = s.queued_requests;
+  out.retry_queued = s.retry_queued;
   out.active_instances = s.active_instances;
   out.nodes_in_service = s.nodes_in_service;
+  out.node_downs = s.node_downs;
+  out.node_ups = s.node_ups;
+  out.instances_closed = s.instances_closed;
+  out.evacuated_requests = s.evacuated_requests;
+  out.evacuation_migrations = s.evacuation_migrations;
+  out.parked = s.parked;
+  out.retry_admitted = s.retry_admitted;
+  out.shed_fault = s.shed_fault;
+  out.shed_overload = s.shed_overload;
+  out.degradations = s.degradations;
+  out.degraded_events = s.degraded_events;
+  out.availability = s.availability;
   out.admission_rate = s.admission_rate;
   out.mean_predicted_latency = s.mean_predicted_latency;
   out.p99_predicted_latency = s.p99_predicted_latency;
@@ -697,6 +1063,13 @@ obs::ServeSection make_serve_section(const ServeEngine& engine,
       entry.scale_outs = e.scale_outs;
       entry.scale_ins = e.scale_ins;
       entry.admitted_from_queue = e.admitted_from_queue;
+      entry.evacuated = e.evacuated;
+      entry.evacuation_migrations = e.evacuation_migrations;
+      entry.parked = e.parked;
+      entry.retry_admitted = e.retry_admitted;
+      entry.shed_fault = e.shed_fault;
+      entry.shed_overload = e.shed_overload;
+      entry.degraded = e.degraded;
       entry.mean_predicted_latency = e.mean_predicted_latency;
       entry.p99_predicted_latency = e.p99_predicted_latency;
       out.events_log.push_back(std::move(entry));

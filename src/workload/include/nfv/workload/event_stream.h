@@ -1,18 +1,22 @@
 // Timestamped request event streams for the online serving engine
-// (nfv/serve): the versioned JSON trace format "nfvpr.trace/1" plus a
-// seeded birth-death generator that turns an offline Workload's chain
-// templates into a live arrival/departure/rate-change stream.
+// (nfv/serve): the versioned JSON trace formats "nfvpr.trace/1" and
+// "nfvpr.trace/2" plus a seeded birth-death generator that turns an
+// offline Workload's chain templates into a live
+// arrival/departure/rate-change stream, optionally interleaved with
+// MTBF/MTTR node churn.
 //
-// Schema ("nfvpr.trace/1"):
+// Schema ("nfvpr.trace/2"; "/1" is the same without node events):
 //
 //   {
-//     "schema": "nfvpr.trace/1",
+//     "schema": "nfvpr.trace/2",
 //     "vnf_count": 12,
 //     "events": [
 //       {"t": 0.013, "kind": "arrive", "request": 0, "rate": 12.5,
 //        "delivery_prob": 0.98, "chain": [0, 2, 5]},
 //       {"t": 0.71,  "kind": "rate_change", "request": 0, "rate": 20.0},
-//       {"t": 0.94,  "kind": "depart", "request": 0}
+//       {"t": 0.80,  "kind": "node_down", "node": 3},
+//       {"t": 0.94,  "kind": "depart", "request": 0},
+//       {"t": 1.10,  "kind": "node_up", "node": 3}
 //     ]
 //   }
 //
@@ -22,7 +26,15 @@
 //    in (0, 1], and a non-empty chain of distinct VNF indices below
 //    vnf_count (the paper's U_r^f is binary — a chain visits a VNF once);
 //  * "depart"/"rate_change" reference a currently live request id, and an
-//    "arrive" id must not already be live.
+//    "arrive" id must not already be live;
+//  * "node_down"/"node_up" (schema "/2" only) carry a "node" id and
+//    alternate per node: a node goes down only while up and vice versa.
+//    The node id's range is checked by the consumer, which knows the
+//    topology; a "/1" document containing node events fails to load.
+//
+// save_event_trace writes "/1" when the stream has no node events, so
+// pre-churn traces keep round-tripping byte-identically under the old
+// schema tag.
 //
 // All validation failures throw TraceParseError (NOT std::invalid_argument)
 // so the CLI can map a malformed trace to its usage exit code (2) instead
@@ -42,6 +54,7 @@
 namespace nfv::workload {
 
 inline constexpr std::string_view kEventTraceSchema = "nfvpr.trace/1";
+inline constexpr std::string_view kEventTraceSchemaV2 = "nfvpr.trace/2";
 
 /// Thrown on malformed trace text or violated stream invariants.
 class TraceParseError : public std::runtime_error {
@@ -53,9 +66,18 @@ enum class StreamEventKind : std::uint8_t {
   kArrive,      ///< a new request joins with (rate, delivery_prob, chain)
   kDepart,      ///< a live request leaves; its capacity is reclaimed
   kRateChange,  ///< a live request's λ_r changes to `rate`
+  kNodeDown,    ///< compute node `node` fails; its instances are lost
+  kNodeUp,      ///< compute node `node` recovers with full capacity
 };
 
 [[nodiscard]] std::string_view to_string(StreamEventKind kind);
+
+/// True for NODE_DOWN / NODE_UP — events about infrastructure, not about a
+/// request.
+[[nodiscard]] constexpr bool is_node_event(StreamEventKind kind) {
+  return kind == StreamEventKind::kNodeDown ||
+         kind == StreamEventKind::kNodeUp;
+}
 
 /// One timestamped event of the stream.
 struct StreamEvent {
@@ -65,6 +87,7 @@ struct StreamEvent {
   double rate = 0.0;           ///< λ_r (arrive / rate_change)
   double delivery_prob = 1.0;  ///< P_r ∈ (0, 1] (arrive only)
   std::vector<std::uint32_t> chain;  ///< VNF indices (arrive only)
+  std::uint32_t node = 0;      ///< compute node id (node_down / node_up)
 
   friend bool operator==(const StreamEvent&, const StreamEvent&) = default;
 };
@@ -106,6 +129,16 @@ struct EventStreamConfig {
   /// > 0 switches rate sampling to the heavy-tailed lognormal trace model
   /// (LognormalTraceSampler) with this log-space spread; 0 = uniform.
   double rate_sigma_log = 0.0;
+
+  /// Node churn (schema "/2"): > 0 interleaves MTBF/MTTR failure/repair
+  /// events for nodes [0, churn_node_count) into the stream.  Each node
+  /// alternates exponential up-times (mean node_mtbf) and down-times (mean
+  /// node_mttr), starting up at t = 0; any node still down when the request
+  /// stream ends gets a closing node_up.  0 = no churn, and the trace
+  /// round-trips under schema "/1" exactly as before.
+  std::size_t churn_node_count = 0;
+  double node_mtbf = 0.0;  ///< mean seconds between failures (per node)
+  double node_mttr = 0.0;  ///< mean seconds to repair (per node)
 
   void validate() const;
 };

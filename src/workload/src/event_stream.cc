@@ -32,6 +32,10 @@ std::string_view to_string(StreamEventKind kind) {
       return "depart";
     case StreamEventKind::kRateChange:
       return "rate_change";
+    case StreamEventKind::kNodeDown:
+      return "node_down";
+    case StreamEventKind::kNodeUp:
+      return "node_up";
   }
   return "?";
 }
@@ -39,6 +43,7 @@ std::string_view to_string(StreamEventKind kind) {
 void EventTrace::validate() const {
   double last_time = -std::numeric_limits<double>::infinity();
   std::unordered_set<std::uint32_t> live;
+  std::unordered_set<std::uint32_t> down;
   for (std::size_t i = 0; i < events.size(); ++i) {
     const StreamEvent& e = events[i];
     if (!std::isfinite(e.time) || e.time < 0.0) {
@@ -87,6 +92,17 @@ void EventTrace::validate() const {
         }
         if (!finite_positive(e.rate)) fail(i, "new rate must be > 0");
         break;
+      case StreamEventKind::kNodeDown:
+        if (!down.insert(e.node).second) {
+          fail(i, "node_down for already-down node " + std::to_string(e.node));
+        }
+        break;
+      case StreamEventKind::kNodeUp:
+        if (!down.erase(e.node)) {
+          fail(i, "node_up for a node that is not down: " +
+                      std::to_string(e.node));
+        }
+        break;
     }
   }
 }
@@ -97,10 +113,11 @@ EventTrace load_event_trace(std::string_view text) {
   if (!doc) throw TraceParseError("trace is not valid JSON: " + error);
   if (!doc->is_object()) throw TraceParseError("trace must be a JSON object");
   const std::string schema = doc->string_or("schema");
-  if (schema != kEventTraceSchema) {
+  const bool v2 = schema == kEventTraceSchemaV2;
+  if (schema != kEventTraceSchema && !v2) {
     throw TraceParseError("unsupported trace schema '" + schema +
                           "' (expected '" + std::string(kEventTraceSchema) +
-                          "')");
+                          "' or '" + std::string(kEventTraceSchemaV2) + "')");
   }
 
   EventTrace trace;
@@ -129,8 +146,29 @@ EventTrace load_event_trace(std::string_view text) {
       e.kind = StreamEventKind::kDepart;
     } else if (kind == "rate_change") {
       e.kind = StreamEventKind::kRateChange;
+    } else if (kind == "node_down" || kind == "node_up") {
+      if (!v2) {
+        fail(i, "kind '" + kind + "' requires schema '" +
+                    std::string(kEventTraceSchemaV2) + "'");
+      }
+      e.kind = kind == "node_down" ? StreamEventKind::kNodeDown
+                                   : StreamEventKind::kNodeUp;
     } else {
       fail(i, "unknown kind '" + kind + "'");
+    }
+    if (is_node_event(e.kind)) {
+      const obs::JsonValue* node = ev.find("node");
+      if (node == nullptr || !node->is_number()) {
+        fail(i, "node event needs a numeric \"node\" id");
+      }
+      const double id = node->as_number();
+      if (id < 0.0 || id != std::floor(id)) {
+        fail(i, "node id must be a non-negative integer");
+      }
+      e.node = static_cast<std::uint32_t>(id);
+      trace.events.push_back(std::move(e));
+      ++i;
+      continue;
     }
     const obs::JsonValue* request = ev.find("request");
     if (request == nullptr || !request->is_number()) {
@@ -166,9 +204,12 @@ EventTrace load_event_trace(std::string_view text) {
 }
 
 void save_event_trace(const EventTrace& trace, std::ostream& out) {
+  const bool has_node_events =
+      std::any_of(trace.events.begin(), trace.events.end(),
+                  [](const StreamEvent& e) { return is_node_event(e.kind); });
   obs::JsonWriter w(out);
   w.begin_object();
-  w.kv("schema", kEventTraceSchema);
+  w.kv("schema", has_node_events ? kEventTraceSchemaV2 : kEventTraceSchema);
   w.kv("vnf_count", std::uint64_t{trace.vnf_count});
   w.key("events");
   w.begin_array();
@@ -176,6 +217,11 @@ void save_event_trace(const EventTrace& trace, std::ostream& out) {
     w.begin_object();
     w.kv("t", e.time);
     w.kv("kind", to_string(e.kind));
+    if (is_node_event(e.kind)) {
+      w.kv("node", std::uint64_t{e.node});
+      w.end_object();
+      continue;
+    }
     w.kv("request", std::uint64_t{e.request});
     if (e.kind != StreamEventKind::kDepart) w.kv("rate", e.rate);
     if (e.kind == StreamEventKind::kArrive) {
@@ -207,6 +253,10 @@ void EventStreamConfig::validate() const {
   NFV_REQUIRE(arrival_rate_max >= arrival_rate_min);
   NFV_REQUIRE(delivery_prob > 0.0 && delivery_prob <= 1.0);
   NFV_REQUIRE(rate_sigma_log >= 0.0);
+  if (churn_node_count > 0) {
+    NFV_REQUIRE(std::isfinite(node_mtbf) && node_mtbf > 0.0);
+    NFV_REQUIRE(std::isfinite(node_mttr) && node_mttr > 0.0);
+  }
 }
 
 EventStreamGenerator::EventStreamGenerator(const Workload& base,
@@ -294,6 +344,56 @@ EventTrace EventStreamGenerator::generate(Rng& rng) const {
       }
     }
     trace.events.push_back(std::move(e));
+  }
+
+  if (config_.churn_node_count > 0) {
+    // Per-node alternating up/down timelines over the request horizon,
+    // merged in by timestamp.  Nodes start up; a node still down at the end
+    // of the stream gets a closing node_up just past the horizon so every
+    // generated trace satisfies the alternation invariant and leaves the
+    // datacenter whole.
+    const double horizon = time;
+    std::vector<StreamEvent> churn;
+    for (std::uint32_t n = 0;
+         n < static_cast<std::uint32_t>(config_.churn_node_count); ++n) {
+      double t = rng.exponential(1.0 / config_.node_mtbf);
+      bool up = true;
+      while (t <= horizon) {
+        StreamEvent e;
+        e.time = t;
+        e.kind = up ? StreamEventKind::kNodeDown : StreamEventKind::kNodeUp;
+        e.node = n;
+        churn.push_back(std::move(e));
+        up = !up;
+        t += rng.exponential(up ? 1.0 / config_.node_mtbf
+                                : 1.0 / config_.node_mttr);
+      }
+      if (!up) {
+        StreamEvent e;
+        e.time = horizon;
+        e.kind = StreamEventKind::kNodeUp;
+        e.node = n;
+        churn.push_back(std::move(e));
+      }
+    }
+    std::sort(churn.begin(), churn.end(),
+              [](const StreamEvent& a, const StreamEvent& b) {
+                if (a.time != b.time) return a.time < b.time;
+                if (a.node != b.node) return a.node < b.node;
+                return a.kind < b.kind;  // down precedes up per node
+              });
+    const std::size_t split = trace.events.size();
+    trace.events.insert(trace.events.end(),
+                        std::make_move_iterator(churn.begin()),
+                        std::make_move_iterator(churn.end()));
+    // Stable on ties: request events stay ahead of node events.
+    std::inplace_merge(
+        trace.events.begin(),
+        trace.events.begin() + static_cast<std::ptrdiff_t>(split),
+        trace.events.end(),
+        [](const StreamEvent& a, const StreamEvent& b) {
+          return a.time < b.time;
+        });
   }
   return trace;
 }

@@ -1,0 +1,22 @@
+// libFuzzer target for the serve-engine checkpoint parser: any byte string
+// must either pass peek_checkpoint's full structural walk or throw the
+// documented CheckpointParseError — no crash, no other exception type (the
+// sanitized CI job runs this under ASan + UBSan).  peek_checkpoint builds
+// a throwaway engine sized from the document, so every deserializer branch
+// — instances, live/queued/retrying requests, node vectors, the outcome
+// log — is exercised without a real topology.
+#include <cstdint>
+#include <string_view>
+
+#include "nfv/serve/checkpoint.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)nfv::serve::peek_checkpoint(text);
+  } catch (const nfv::serve::CheckpointParseError&) {
+    // The documented failure mode.
+  }
+  return 0;
+}

@@ -1,5 +1,6 @@
-// Deterministic mini-fuzz regression suite for the three text parsers,
-// built with the ordinary gtest suites (no libFuzzer needed).  Two layers:
+// Deterministic mini-fuzz regression suite for the text parsers (traces,
+// topologies, reports, serve checkpoints), built with the ordinary gtest
+// suites (no libFuzzer needed).  Two layers:
 //
 //  * seeded byte-level mutations of known-valid inputs must either parse
 //    or throw the parser's documented exception type — nothing else, and
@@ -18,6 +19,8 @@
 #include "nfv/core/joint_optimizer.h"
 #include "nfv/core/report_builder.h"
 #include "nfv/obs/report.h"
+#include "nfv/serve/checkpoint.h"
+#include "nfv/serve/engine.h"
 #include "nfv/topology/builders.h"
 #include "nfv/topology/io.h"
 #include "nfv/workload/event_stream.h"
@@ -215,6 +218,71 @@ TEST(ParserRobustness, PinnedTopologyCrashersThrowDocumentedType) {
   EXPECT_THROW((void)topo::load_topology_string(
                    "node a compute 100\nnode b compute 100\n"),
                InfeasibleError);
+}
+
+std::string valid_checkpoint_text() {
+  Rng rng(4);
+  topo::Topology topology = topo::make_star(
+      4, topo::CapacitySpec{1500.0, 2500.0}, topo::LinkSpec{1e-4}, rng);
+  workload::WorkloadConfig wcfg;
+  wcfg.vnf_count = 5;
+  wcfg.request_count = 15;
+  const workload::Workload base =
+      workload::WorkloadGenerator(wcfg).generate(rng);
+  workload::EventStreamConfig scfg;
+  scfg.event_count = 60;
+  scfg.churn_node_count = 3;
+  scfg.node_mtbf = 2.0;
+  scfg.node_mttr = 0.5;
+  const workload::EventTrace trace =
+      workload::EventStreamGenerator(base, scfg).generate(rng);
+  serve::ServeEngine engine(std::move(topology), base.vnfs, {});
+  engine.replay(trace);
+  return serve::save_checkpoint_string(engine, trace.events.size());
+}
+
+TEST(ParserRobustness, MutatedCheckpointsParseOrThrowCheckpointParseError) {
+  expect_parse_or_documented_throw(
+      valid_checkpoint_text(),
+      [](const std::string& text) {
+        try {
+          (void)serve::peek_checkpoint(text);
+        } catch (const serve::CheckpointParseError&) {
+        }
+      },
+      "checkpoint");
+}
+
+TEST(ParserRobustness, PinnedCheckpointCrashersThrowDocumentedType) {
+  const char* inputs[] = {
+      "",
+      "{",
+      "[1,2,3]",
+      R"({"schema":"nfvpr.checkpoint/9"})",
+      R"({"schema":"nfvpr.checkpoint/1"})",  // everything else missing
+      R"({"schema":"nfvpr.checkpoint/1","cursor":-1,"vnf_count":1,)"
+      R"("node_count":1})",
+      // Structural lies: an instance on a node the engine does not have,
+      // a live request bound to a missing instance slot, a hop pointing
+      // at a retired instance.
+      R"({"schema":"nfvpr.checkpoint/1","cursor":0,"vnf_count":1,)"
+      R"("node_count":1,"config":{"headroom":0.1,)"
+      R"("rebalance_threshold":0.25,"migration_budget":4,)"
+      R"("queue_capacity":64,"link_latency":null,"overload_window":32,)"
+      R"("overload_threshold":0.75,"degraded_headroom":0.25,)"
+      R"("retry_backoff_base":4,"retry_budget":3},"last_time":0,)"
+      R"("saw_event":false,"next_seq":1,"work":0,"served_integral":0,)"
+      R"("offered_integral":0,"degraded":false,"pressure_window":[],)"
+      R"("node_free":[1],"node_instances":[0],"node_up":[1],)"
+      R"("instances":[{"vnf":0,"node":9,"seq":0,"raw_load":0,)"
+      R"("effective_load":0,"retired":false,"members":[]}],)"
+      R"("live":[],"queue":[],"retry":[],"gone":[],"totals":{}})",
+  };
+  for (const char* text : inputs) {
+    EXPECT_THROW((void)serve::peek_checkpoint(text),
+                 serve::CheckpointParseError)
+        << text;
+  }
 }
 
 TEST(ParserRobustness, PinnedReportCrashersAreHandled) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "nfv/common/rng.h"
@@ -150,11 +151,104 @@ TEST(EventStreamGenerator, MixesAllEventKinds) {
       case StreamEventKind::kArrive: ++arrivals; break;
       case StreamEventKind::kDepart: ++departures; break;
       case StreamEventKind::kRateChange: ++changes; break;
+      case StreamEventKind::kNodeDown:
+      case StreamEventKind::kNodeUp: break;  // churn disabled here
     }
   }
   EXPECT_GT(arrivals, 0u);
   EXPECT_GT(departures, 0u);
   EXPECT_GT(changes, 0u);
+}
+
+StreamEvent node_event(double t, StreamEventKind kind, std::uint32_t node) {
+  StreamEvent e;
+  e.time = t;
+  e.kind = kind;
+  e.node = node;
+  return e;
+}
+
+EventTrace churn_trace() {
+  EventTrace trace = small_trace();
+  trace.events.insert(trace.events.begin() + 2,
+                      node_event(0.7, StreamEventKind::kNodeDown, 1));
+  trace.events.push_back(node_event(2.5, StreamEventKind::kNodeUp, 1));
+  return trace;
+}
+
+TEST(EventStreamV2, NodeEventsRoundTripAsSchemaV2) {
+  const EventTrace trace = churn_trace();
+  EXPECT_NO_THROW(trace.validate());
+  const std::string text = save_event_trace_string(trace);
+  EXPECT_NE(text.find(kEventTraceSchemaV2), std::string::npos);
+  const EventTrace loaded = load_event_trace(text);
+  EXPECT_EQ(loaded, trace);
+}
+
+TEST(EventStreamV2, RequestOnlyTracesKeepTheV1Schema) {
+  // Byte compatibility: a trace without node events must serialize with
+  // the /1 schema tag exactly as before this extension existed.
+  const std::string text = save_event_trace_string(small_trace());
+  EXPECT_NE(text.find("\"schema\": \"nfvpr.trace/1\""), std::string::npos);
+  EXPECT_EQ(text.find(kEventTraceSchemaV2), std::string::npos);
+  EXPECT_NO_THROW(load_event_trace(text));
+}
+
+TEST(EventStreamV2, RejectsNodeEventsUnderTheV1Tag) {
+  std::string text = save_event_trace_string(churn_trace());
+  const auto pos = text.find("nfvpr.trace/2");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 13, "nfvpr.trace/1");
+  EXPECT_THROW(load_event_trace(text), TraceParseError);
+}
+
+TEST(EventStreamV2, RejectsBrokenUpDownAlternation) {
+  {
+    EventTrace t = churn_trace();
+    // Second down for a node that is already down.
+    t.events.push_back(node_event(3.0, StreamEventKind::kNodeDown, 2));
+    t.events.push_back(node_event(3.5, StreamEventKind::kNodeDown, 2));
+    EXPECT_THROW(t.validate(), TraceParseError);
+  }
+  {
+    EventTrace t = churn_trace();
+    t.events.push_back(node_event(3.0, StreamEventKind::kNodeUp, 4));
+    EXPECT_THROW(t.validate(), TraceParseError);  // up while up
+  }
+}
+
+TEST(EventStreamGenerator, ChurnScheduleAlternatesAndValidates) {
+  WorkloadConfig wcfg;
+  wcfg.vnf_count = 5;
+  wcfg.request_count = 10;
+  Rng wrng(5);
+  const Workload base = WorkloadGenerator(wcfg).generate(wrng);
+  EventStreamConfig cfg;
+  cfg.event_count = 400;
+  cfg.churn_node_count = 3;
+  cfg.node_mtbf = 2.0;
+  cfg.node_mttr = 0.5;
+  Rng rng(7);
+  const EventTrace trace = EventStreamGenerator(base, cfg).generate(rng);
+  EXPECT_NO_THROW(trace.validate());
+  std::size_t downs = 0;
+  std::size_t ups = 0;
+  for (const StreamEvent& e : trace.events) {
+    if (e.kind == StreamEventKind::kNodeDown) ++downs;
+    if (e.kind == StreamEventKind::kNodeUp) ++ups;
+  }
+  EXPECT_GT(downs, 0u);
+  // Every failure is closed by a repair (at the horizon if need be), so
+  // the engine never ends a replay with phantom down nodes.
+  EXPECT_EQ(downs, ups);
+
+  // The churn knobs are validated like every other config field.
+  EventStreamConfig bad = cfg;
+  bad.node_mtbf = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = cfg;
+  bad.node_mttr = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
 }
 
 }  // namespace

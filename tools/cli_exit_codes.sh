@@ -187,6 +187,93 @@ fi
 expect_contains "$WORK/serve1.json" '"serve"' \
   "serve report carries the serve section"
 
+# --- serve: config validation maps to usage errors ------------------------
+expect_exit 2 "NaN --headroom exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/live.trace.json" --headroom nan
+expect_exit 2 "out-of-range --headroom exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/live.trace.json" --headroom 1.0
+expect_exit 2 "negative --rebalance-threshold exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/live.trace.json" --rebalance-threshold=-0.5
+expect_exit 2 "--degraded-headroom below --headroom exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/live.trace.json" --headroom 0.3 --degraded-headroom 0.1
+
+# --- serve: node churn (nfvpr.trace/2) and checkpoint/resume ---------------
+expect_exit 0 "generate-trace with churn" \
+  sh -c "'$NFVPR' generate-trace --workload '$WORK/peak.wl' --events 150 \
+         --seed 5 --churn-nodes 3 --mtbf 2 --mttr 0.5 \
+         > '$WORK/churn.trace.json'"
+expect_contains "$WORK/churn.trace.json" 'nfvpr.trace/2' \
+  "churn trace carries the /2 schema"
+
+# A NODE_DOWN for a node the topology does not have is trace misuse.
+sed 's/"node": [0-9]*/"node": 99/' "$WORK/churn.trace.json" \
+  > "$WORK/badnode.trace.json"
+expect_exit 2 "unknown node id in a /2 trace exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/badnode.trace.json"
+
+expect_exit 0 "serve churn replay with checkpointing" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.trace.json" --checkpoint-out "$WORK/full.ckpt.json" \
+  --report-out "$WORK/churn_full.json" --events-log
+cp "$WORK/out.txt" "$WORK/churn_full.txt"
+expect_contains "$WORK/churn_full.txt" 'availability' \
+  "serve summary reports availability"
+
+# Kill mid-trace (simulated by a truncated trace), then resume over the
+# full trace: stdout and the report must be byte-identical to the
+# uninterrupted run.
+python3 - "$WORK" <<'EOF'
+import json, sys
+work = sys.argv[1]
+trace = json.load(open(work + '/churn.trace.json'))
+trace['events'] = trace['events'][:70]
+json.dump(trace, open(work + '/churn.part.json', 'w'))
+EOF
+expect_exit 0 "serve prefix writes a checkpoint" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.part.json" --checkpoint-out "$WORK/mid.ckpt.json"
+expect_exit 0 "serve --resume finishes the trace" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.trace.json" --resume "$WORK/mid.ckpt.json" \
+  --report-out "$WORK/churn_resumed.json" --events-log
+if cmp -s "$WORK/out.txt" "$WORK/churn_full.txt"; then
+  echo "ok: resumed stdout is byte-identical to the uninterrupted run"
+else
+  echo "FAIL: resumed stdout differs from the uninterrupted run" >&2
+  diff "$WORK/out.txt" "$WORK/churn_full.txt" | sed 's/^/  /' >&2
+  failures=$((failures + 1))
+fi
+if cmp -s "$WORK/churn_resumed.json" "$WORK/churn_full.json"; then
+  echo "ok: resumed report is byte-identical to the uninterrupted run"
+else
+  echo "FAIL: resumed report differs from the uninterrupted run" >&2
+  diff "$WORK/churn_resumed.json" "$WORK/churn_full.json" | sed 's/^/  /' >&2
+  failures=$((failures + 1))
+fi
+
+# Corrupt checkpoints are usage errors with a one-line diagnostic.
+head -c 150 "$WORK/mid.ckpt.json" > "$WORK/trunc.ckpt.json"
+expect_exit 2 "--resume on a truncated checkpoint exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.trace.json" --resume "$WORK/trunc.ckpt.json"
+expect_contains "$WORK/err.txt" 'bad checkpoint' \
+  "truncated checkpoint diagnostic names the checkpoint"
+sed 's/nfvpr.checkpoint\/1/nfvpr.checkpoint\/9/' "$WORK/mid.ckpt.json" \
+  > "$WORK/wrong.ckpt.json"
+expect_exit 2 "--resume on a wrong-schema checkpoint exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.trace.json" --resume "$WORK/wrong.ckpt.json"
+sed 's/"cursor": [0-9]*/"cursor": 999999/' "$WORK/mid.ckpt.json" \
+  > "$WORK/past.ckpt.json"
+expect_exit 2 "--resume past the end of the trace exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.trace.json" --resume "$WORK/past.ckpt.json"
+
 # --- report pretty-print and diff ----------------------------------------
 expect_exit 0 "report pretty-print" "$NFVPR" report --in "$WORK/run.json"
 expect_exit 0 "self-diff is clean" \

@@ -37,6 +37,7 @@
 #include "nfv/placement/metrics.h"
 #include "nfv/scheduling/algorithm.h"
 #include "nfv/scheduling/metrics.h"
+#include "nfv/serve/checkpoint.h"
 #include "nfv/serve/engine.h"
 #include "nfv/shard/placement.h"
 #include "nfv/sim/des.h"
@@ -62,9 +63,11 @@ int usage() {
       "  simulate           optimize, then replay packet-level and compare\n"
       "  chaos              replay a seeded failure storm through the\n"
       "                     resilience controller's escalation ladder\n"
-      "  generate-trace     emit an event trace (nfvpr.trace/1) from a workload\n"
+      "  generate-trace     emit an event trace (nfvpr.trace/1, or /2 with\n"
+      "                     node churn) from a workload\n"
       "  serve              replay an event trace through the online serving\n"
-      "                     engine (admission, bounded migration, scale out/in)\n"
+      "                     engine (admission, bounded migration, scale out/in,\n"
+      "                     node-failure evacuation, checkpoint/resume)\n"
       "  report             pretty-print a run report, or diff two reports\n"
       "\n"
       "place/schedule/pipeline/simulate/chaos/serve accept --metrics-out\n"
@@ -759,10 +762,22 @@ int cmd_generate_trace(int argc, const char* const* argv) {
       0.0);
   const auto& delivery =
       cli.add_double("delivery-prob", 'p', "P_r per request", 0.98);
+  const auto& churn_nodes = cli.add_int(
+      "churn-nodes", '\0',
+      "interleave MTBF/MTTR node churn for this many nodes (0 = off; "
+      "emits schema nfvpr.trace/2)", 0);
+  const auto& mtbf = cli.add_double(
+      "mtbf", '\0', "mean seconds between failures per churned node", 2.0);
+  const auto& mttr = cli.add_double(
+      "mttr", '\0', "mean seconds to repair per churned node", 0.5);
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
   if (!cli.parse(argc, argv)) return parse_exit(cli);
   if (workload_file.empty()) {
     std::fputs("nfvpr generate-trace: --workload is required\n", stderr);
+    return 2;
+  }
+  if (churn_nodes < 0) {
+    std::fputs("nfvpr generate-trace: --churn-nodes must be >= 0\n", stderr);
     return 2;
   }
   const auto base = read_workload(workload_file);
@@ -773,6 +788,9 @@ int cmd_generate_trace(int argc, const char* const* argv) {
   cfg.rate_change_fraction = rate_change;
   cfg.delivery_prob = delivery;
   cfg.rate_sigma_log = sigma;
+  cfg.churn_node_count = static_cast<std::size_t>(churn_nodes);
+  cfg.node_mtbf = mtbf;
+  cfg.node_mttr = mttr;
   nfv::Rng rng(static_cast<std::uint64_t>(seed));
   const auto trace =
       nfv::workload::EventStreamGenerator(base, cfg).generate(rng);
@@ -787,7 +805,7 @@ int cmd_serve(int argc, const char* const* argv) {
   const auto& workload_file = cli.add_string(
       "workload", 'w', "workload file (VNF catalog; requests ignored)", "");
   const auto& trace_file =
-      cli.add_string("trace", 'T', "event trace (nfvpr.trace/1)", "");
+      cli.add_string("trace", 'T', "event trace (nfvpr.trace/1 or /2)", "");
   const auto& headroom = cli.add_double(
       "headroom", 'H', "stability margin in [0, 1)", 0.10);
   const auto& rebalance = cli.add_double(
@@ -799,6 +817,22 @@ int cmd_serve(int argc, const char* const* argv) {
       "queue-capacity", 'Q', "waiting room size (0 rejects immediately)", 64);
   const auto& link = cli.add_double(
       "link-latency", 'l', "L of Eq. 16 (default: topology mean)", -1.0);
+  const auto& overload_window = cli.add_int(
+      "overload-window", '\0',
+      "events of sustained pressure before degraded mode (0 disables)", 32);
+  const auto& degraded_headroom = cli.add_double(
+      "degraded-headroom", '\0',
+      "tightened headroom while degraded (>= --headroom, < 1)", 0.25);
+  const auto& checkpoint_out = cli.add_string(
+      "checkpoint-out", '\0',
+      "write a crash-safe checkpoint (nfvpr.checkpoint/1) here", "");
+  const auto& checkpoint_every = cli.add_int(
+      "checkpoint-every", '\0',
+      "rewrite --checkpoint-out every N events (0: only at the end)", 0);
+  const auto& resume_file = cli.add_string(
+      "resume", '\0',
+      "resume from this checkpoint (engine config comes from the file; "
+      "the final report is byte-identical to the uninterrupted run)", "");
   const auto& report_out = cli.add_string(
       "report-out", '\0',
       "write the serve run report here (deterministic: no registry "
@@ -821,9 +855,25 @@ int cmd_serve(int argc, const char* const* argv) {
                stderr);
     return 2;
   }
-  if (headroom < 0.0 || headroom >= 1.0 || rebalance < 0.0 || budget < 0 ||
-      queue_cap < 0) {
+  if (budget < 0 || queue_cap < 0 || overload_window < 0 ||
+      checkpoint_every < 0) {
     std::fputs("nfvpr serve: flag value out of range\n", stderr);
+    return 2;
+  }
+  nfv::serve::ServeConfig cfg;
+  cfg.headroom = headroom;
+  cfg.rebalance_threshold = rebalance;
+  cfg.migration_budget = static_cast<std::uint32_t>(budget);
+  cfg.queue_capacity = static_cast<std::size_t>(queue_cap);
+  if (link >= 0.0) cfg.link_latency = link;
+  cfg.overload_window = static_cast<std::size_t>(overload_window);
+  cfg.degraded_headroom = degraded_headroom;
+  try {
+    // NaN and out-of-range policy knobs are CLI misuse, not a runtime
+    // failure: map the precondition throw to the usage exit code.
+    cfg.validate();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "nfvpr serve: invalid config: %s\n", e.what());
     return 2;
   }
 
@@ -838,20 +888,41 @@ int cmd_serve(int argc, const char* const* argv) {
                    trace.vnf_count, workload.vnfs.size());
       return 2;
     }
-    nfv::serve::ServeConfig cfg;
-    cfg.headroom = headroom;
-    cfg.rebalance_threshold = rebalance;
-    cfg.migration_budget = static_cast<std::uint32_t>(budget);
-    cfg.queue_capacity = static_cast<std::size_t>(queue_cap);
-    if (link >= 0.0) cfg.link_latency = link;
 
     tele.activate();
-    nfv::serve::ServeEngine engine(topology, workload.vnfs, cfg);
-    engine.replay(trace);
-    const auto summary = engine.summary();
+    std::uint64_t start = 0;
+    std::optional<nfv::serve::ServeEngine> engine;
+    if (!resume_file.empty()) {
+      engine.emplace(nfv::serve::restore_checkpoint(
+          read_file(resume_file), topology, workload.vnfs, &start));
+      if (start > trace.events.size()) {
+        std::fprintf(stderr,
+                     "nfvpr serve: checkpoint cursor %llu is past the end of "
+                     "the trace (%zu events)\n",
+                     static_cast<unsigned long long>(start),
+                     trace.events.size());
+        return 2;
+      }
+    } else {
+      engine.emplace(topology, workload.vnfs, cfg);
+    }
+    const auto maybe_checkpoint = [&](std::uint64_t applied, bool final) {
+      if (checkpoint_out.empty()) return;
+      const auto every = static_cast<std::uint64_t>(checkpoint_every);
+      if (!final && (every == 0 || applied % every != 0)) return;
+      std::ofstream os(checkpoint_out);
+      if (!os) throw std::runtime_error("cannot open " + checkpoint_out);
+      nfv::serve::save_checkpoint(*engine, applied, os);
+    };
+    for (std::uint64_t i = start; i < trace.events.size(); ++i) {
+      engine->on_event(trace.events[i]);
+      maybe_checkpoint(i + 1, i + 1 == trace.events.size());
+    }
+    if (trace.events.empty()) maybe_checkpoint(0, true);
+    const auto summary = engine->summary();
 
     const nfv::obs::ServeSection section =
-        nfv::serve::make_serve_section(engine, with_events);
+        nfv::serve::make_serve_section(*engine, with_events);
     if (!report_out.empty()) {
       // The deterministic report: serve section only, no metrics-registry
       // snapshot (exec counters vary with --threads; this file must not).
@@ -873,12 +944,16 @@ int cmd_serve(int argc, const char* const* argv) {
     std::printf("events                : %llu (%llu arrivals)\n",
                 static_cast<unsigned long long>(summary.events),
                 static_cast<unsigned long long>(summary.arrivals));
-    std::printf("admitted              : %llu (+%llu from queue), "
-                "%llu rejected, %llu shed\n",
+    std::printf("admitted              : %llu (+%llu from queue, +%llu "
+                "retried), %llu rejected\n",
                 static_cast<unsigned long long>(summary.admitted),
                 static_cast<unsigned long long>(summary.admitted_from_queue),
-                static_cast<unsigned long long>(summary.rejected),
-                static_cast<unsigned long long>(summary.shed));
+                static_cast<unsigned long long>(summary.retry_admitted),
+                static_cast<unsigned long long>(summary.rejected));
+    std::printf("shed                  : %llu (+%llu fault, +%llu overload)\n",
+                static_cast<unsigned long long>(summary.shed),
+                static_cast<unsigned long long>(summary.shed_fault),
+                static_cast<unsigned long long>(summary.shed_overload));
     std::printf("admission rate        : %.1f%%\n",
                 100.0 * summary.admission_rate);
     std::printf("migrations            : %llu over %llu rebalances "
@@ -892,11 +967,32 @@ int cmd_serve(int argc, const char* const* argv) {
                 static_cast<unsigned long long>(summary.scale_outs),
                 static_cast<unsigned long long>(summary.scale_ins));
     std::printf("live at end           : %llu requests on %llu instances "
-                "(%llu nodes), %llu queued\n",
+                "(%llu nodes), %llu queued, %llu retrying\n",
                 static_cast<unsigned long long>(summary.live_requests),
                 static_cast<unsigned long long>(summary.active_instances),
                 static_cast<unsigned long long>(summary.nodes_in_service),
-                static_cast<unsigned long long>(summary.queued_requests));
+                static_cast<unsigned long long>(summary.queued_requests),
+                static_cast<unsigned long long>(summary.retry_queued));
+    if (summary.node_downs + summary.node_ups > 0) {
+      std::printf("node churn            : %llu down / %llu up, "
+                  "%llu instances closed\n",
+                  static_cast<unsigned long long>(summary.node_downs),
+                  static_cast<unsigned long long>(summary.node_ups),
+                  static_cast<unsigned long long>(summary.instances_closed));
+      std::printf("evacuations           : %llu requests (%llu migrations), "
+                  "%llu parked\n",
+                  static_cast<unsigned long long>(summary.evacuated_requests),
+                  static_cast<unsigned long long>(
+                      summary.evacuation_migrations),
+                  static_cast<unsigned long long>(summary.parked));
+    }
+    if (summary.degradations > 0) {
+      std::printf("degraded mode         : entered %llu times "
+                  "(%llu events)\n",
+                  static_cast<unsigned long long>(summary.degradations),
+                  static_cast<unsigned long long>(summary.degraded_events));
+    }
+    std::printf("availability          : %.4f\n", summary.availability);
     std::printf("predicted latency     : mean %.5f s, p99 %.5f s (Eq. 16)\n",
                 summary.mean_predicted_latency,
                 summary.p99_predicted_latency);
@@ -906,7 +1002,7 @@ int cmd_serve(int argc, const char* const* argv) {
       try {
         nfv::core::SystemModel live_model;
         live_model.topology = topology;
-        live_model.workload = engine.live_workload();
+        live_model.workload = engine->live_workload();
         nfv::core::JointConfig jcfg;
         jcfg.shard = shards.config();
         if (link >= 0.0) jcfg.link_latency = link;
@@ -939,6 +1035,10 @@ int cmd_serve(int argc, const char* const* argv) {
     // A malformed or inconsistent trace is misuse of the CLI, not a
     // runtime failure: exit 2 like any other usage error.
     std::fprintf(stderr, "nfvpr serve: bad trace: %s\n", e.what());
+    return 2;
+  } catch (const nfv::serve::CheckpointParseError& e) {
+    // Likewise for a truncated, corrupt, or mismatched checkpoint.
+    std::fprintf(stderr, "nfvpr serve: bad checkpoint: %s\n", e.what());
     return 2;
   }
 }
