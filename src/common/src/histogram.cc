@@ -16,6 +16,13 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 }
 
 void Histogram::add(double x) {
+  if (total_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
   ++total_;
   if (x < lo_) {
     ++underflow_;
@@ -32,12 +39,31 @@ void Histogram::merge(const Histogram& other) {
   NFV_REQUIRE(lo_ == other.lo_);
   NFV_REQUIRE(hi_ == other.hi_);
   NFV_REQUIRE(counts_.size() == other.counts_.size());
+  if (other.total_ > 0) {
+    if (total_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     counts_[i] += other.counts_[i];
   }
   underflow_ += other.underflow_;
   overflow_ += other.overflow_;
   total_ += other.total_;
+}
+
+double Histogram::min() const {
+  NFV_REQUIRE(total_ > 0);
+  return min_;
+}
+
+double Histogram::max() const {
+  NFV_REQUIRE(total_ > 0);
+  return max_;
 }
 
 double Histogram::bucket_lo(std::size_t i) const {
@@ -53,17 +79,29 @@ double Histogram::bucket_hi(std::size_t i) const {
 double Histogram::quantile(double q) const {
   NFV_REQUIRE(total_ > 0);
   NFV_REQUIRE(q >= 0.0 && q <= 1.0);
+  // The extremes are tracked exactly; everything in between interpolates
+  // within the bucket that holds the target rank and is then clamped to
+  // [min, max] so a bucket edge can never be reported when the samples
+  // themselves sit strictly inside it.
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
   const auto target = static_cast<std::size_t>(
       std::ceil(q * static_cast<double>(total_)));
+  const auto clamp = [&](double x) {
+    return std::min(std::max(x, min_), max_);
+  };
+  if (underflow_ >= target) return clamp(lo_);
   std::size_t cumulative = underflow_;
-  if (cumulative >= target) return lo_;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    cumulative += counts_[i];
-    if (cumulative >= target) {
-      return bucket_lo(i) + bucket_width_ / 2.0;
+    if (counts_[i] == 0) continue;
+    if (cumulative + counts_[i] >= target) {
+      const double frac = static_cast<double>(target - cumulative) /
+                          static_cast<double>(counts_[i]);
+      return clamp(bucket_lo(i) + frac * bucket_width_);
     }
+    cumulative += counts_[i];
   }
-  return hi_;
+  return clamp(hi_);
 }
 
 std::string Histogram::render(std::size_t width) const {
@@ -82,6 +120,49 @@ std::string Histogram::render(std::size_t width) const {
   if (underflow_ > 0) out += "underflow: " + std::to_string(underflow_) + "\n";
   if (overflow_ > 0) out += "overflow:  " + std::to_string(overflow_) + "\n";
   return out;
+}
+
+void Histogram::restore(const std::vector<std::size_t>& counts,
+                        std::size_t underflow, std::size_t overflow,
+                        double min, double max) {
+  NFV_REQUIRE(counts.size() == counts_.size());
+  counts_ = counts;
+  underflow_ = underflow;
+  overflow_ = overflow;
+  total_ = underflow + overflow;
+  for (const std::size_t c : counts) total_ += c;
+  NFV_REQUIRE(total_ == 0 || min <= max);
+  min_ = min;
+  max_ = max;
+}
+
+WindowedHistogram::WindowedHistogram(double lo, double hi, std::size_t buckets,
+                                     std::size_t span)
+    : lo_(lo), hi_(hi), buckets_(buckets), span_(span) {
+  NFV_REQUIRE(span > 0);
+  windows_.emplace_back(lo, hi, buckets);
+}
+
+void WindowedHistogram::add(double x) { windows_.back().add(x); }
+
+void WindowedHistogram::rotate() {
+  windows_.emplace_back(lo_, hi_, buckets_);
+  if (windows_.size() > span_) windows_.pop_front();
+}
+
+Histogram WindowedHistogram::merged() const {
+  Histogram out(lo_, hi_, buckets_);
+  for (const Histogram& w : windows_) out.merge(w);
+  return out;
+}
+
+void WindowedHistogram::restore(std::deque<Histogram> windows) {
+  NFV_REQUIRE(!windows.empty() && windows.size() <= span_);
+  for (const Histogram& w : windows) {
+    NFV_REQUIRE(w.lo() == lo_ && w.hi() == hi_ &&
+                w.bucket_count() == buckets_);
+  }
+  windows_ = std::move(windows);
 }
 
 }  // namespace nfv

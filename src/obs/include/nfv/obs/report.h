@@ -45,6 +45,7 @@
 
 #include "nfv/obs/json.h"
 #include "nfv/obs/metrics.h"
+#include "nfv/obs/timeline.h"
 
 namespace nfv::obs {
 
@@ -193,6 +194,10 @@ struct ServeSection {
   double mean_predicted_latency = 0.0;
   double p99_predicted_latency = 0.0;
   std::uint64_t work = 0;
+  /// Whole-stream timeline aggregates (serve --snapshot-every); serialized
+  /// under "serve.timeline" so the regression differ gates them too.
+  bool timeline_present = false;
+  TimelineAggregates timeline;
   std::vector<ServeEventEntry> events_log;
 };
 

@@ -191,6 +191,10 @@ void write_run_report(const RunReport& report, std::ostream& os) {
     w.kv("retry_queued", s.retry_queued);
     w.kv("active_instances", s.active_instances);
     w.kv("nodes_in_service", s.nodes_in_service);
+    // Fault-tolerance counters nest under "churn" so they diff and print
+    // as one group rather than a flat sprawl of serve.* paths.
+    w.key("churn");
+    w.begin_object();
     w.kv("node_downs", s.node_downs);
     w.kv("node_ups", s.node_ups);
     w.kv("instances_closed", s.instances_closed);
@@ -202,11 +206,22 @@ void write_run_report(const RunReport& report, std::ostream& os) {
     w.kv("shed_overload", s.shed_overload);
     w.kv("degradations", s.degradations);
     w.kv("degraded_events", s.degraded_events);
+    w.end_object();
     w.kv("availability", s.availability);
     w.kv("admission_rate", s.admission_rate);
     w.kv("mean_predicted_latency", s.mean_predicted_latency);
     w.kv("p99_predicted_latency", s.p99_predicted_latency);
     w.kv("work", s.work);
+    if (s.timeline_present) {
+      // The aggregate_values vocabulary doubles as the schema here, so the
+      // report keys stay in lock-step with `analyze-timeline --fail-on`.
+      w.key("timeline");
+      w.begin_object();
+      for (const auto& [name, value] : aggregate_values(s.timeline)) {
+        w.kv(name, value);
+      }
+      w.end_object();
+    }
     if (!s.events_log.empty()) {
       w.key("events_log");
       w.begin_array();
@@ -372,6 +387,16 @@ std::string pretty_print_report(const JsonValue& report) {
   }
 
   if (const JsonValue* s = report.find("serve")) {
+    // Churn counters nest under serve.churn since the telemetry PR; fall
+    // back to the flat fields so pre-telemetry reports still print.
+    const JsonValue* churn = s->find("churn");
+    const auto churn_num = [&](std::string_view name) {
+      if (churn != nullptr && churn->is_object() &&
+          churn->find(name) != nullptr) {
+        return churn->number_or(name);
+      }
+      return s->number_or(name);
+    };
     os << "\nserving (" << format_number(s->number_or("events"))
        << " events)\n";
     os << "  admitted          : "
@@ -381,23 +406,44 @@ std::string pretty_print_report(const JsonValue& report) {
        << " arrivals\n";
     os << "  rejected / shed   : " << format_number(s->number_or("rejected"))
        << " / " << format_number(s->number_or("shed")) << " (+"
-       << format_number(s->number_or("shed_fault")) << " fault, "
-       << format_number(s->number_or("shed_overload")) << " overload)\n";
+       << format_number(churn_num("shed_fault")) << " fault, "
+       << format_number(churn_num("shed_overload")) << " overload)\n";
     os << "  availability      : "
        << format_number(s->number_or("availability", 1.0)) << " over "
-       << format_number(s->number_or("node_downs")) << " node failures ("
-       << format_number(s->number_or("instances_closed"))
+       << format_number(churn_num("node_downs")) << " node failures ("
+       << format_number(churn_num("instances_closed"))
        << " instances closed)\n";
     os << "  evacuations       : "
-       << format_number(s->number_or("evacuated_requests")) << " requests ("
-       << format_number(s->number_or("evacuation_migrations"))
-       << " hop moves), " << format_number(s->number_or("parked"))
-       << " parked, " << format_number(s->number_or("retry_admitted"))
+       << format_number(churn_num("evacuated_requests")) << " requests ("
+       << format_number(churn_num("evacuation_migrations"))
+       << " hop moves), " << format_number(churn_num("parked"))
+       << " parked, " << format_number(churn_num("retry_admitted"))
        << " retry-admitted\n";
     os << "  degradations      : "
-       << format_number(s->number_or("degradations")) << " ("
-       << format_number(s->number_or("degraded_events"))
+       << format_number(churn_num("degradations")) << " ("
+       << format_number(churn_num("degraded_events"))
        << " events degraded)\n";
+    if (churn != nullptr && churn->is_object()) {
+      os << "  churn\n";
+      std::size_t width = 0;
+      for (const auto& [name, value] : churn->as_object()) {
+        if (value.is_number()) width = std::max(width, name.size());
+      }
+      for (const auto& [name, value] : churn->as_object()) {
+        if (!value.is_number()) continue;
+        os << "    " << name << std::string(width - name.size(), ' ')
+           << " : " << format_number(value.as_number()) << "\n";
+      }
+    }
+    if (const JsonValue* t = s->find("timeline");
+        t != nullptr && t->is_object()) {
+      os << "  timeline          : "
+         << format_number(t->number_or("windows")) << " windows, min avail "
+         << format_number(t->number_or("availability_min", 1.0))
+         << " (window " << format_number(t->number_or("worst_window"))
+         << " @ t=" << format_number(t->number_or("worst_window_t_start"))
+         << "), " << format_number(t->number_or("shed_total")) << " shed\n";
+    }
     os << "  migrations        : "
        << format_number(s->number_or("migrations")) << " over "
        << format_number(s->number_or("rebalances")) << " rebalances (max "
@@ -486,7 +532,7 @@ constexpr std::string_view kHigherWorse[] = {
     "latency", "response", "rejection", "rejected", "shed",     "drop",
     "downtime", "retransmission", "failure",        "occupation",
     "nodes_in_service", "queue_depth", "imbalance", "wall",     "work",
-    "gap", "repair_moves", "unaccounted",
+    "gap", "repair_moves", "unaccounted", "queued", "retrying",
 };
 
 /// Metrics where a larger value signals a better run.

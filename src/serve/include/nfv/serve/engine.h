@@ -48,7 +48,10 @@
 #include <string_view>
 #include <vector>
 
+#include "nfv/common/histogram.h"
+#include "nfv/obs/lifecycle.h"
 #include "nfv/obs/report.h"
+#include "nfv/obs/timeline.h"
 #include "nfv/topology/topology.h"
 #include "nfv/workload/event_stream.h"
 #include "nfv/workload/vnf.h"
@@ -90,6 +93,17 @@ struct ServeConfig {
   /// retries it is shed with fault accounting.
   std::uint64_t retry_backoff_base = 4;
   std::uint32_t retry_budget = 3;
+
+  /// Streaming telemetry (DESIGN.md §14).  When > 0, the engine closes one
+  /// timeline window every `snapshot_every` trace-time units and emits a
+  /// "nfvpr.timeline/1" record per window — driven purely by event time,
+  /// so the stream is byte-identical for any --threads/--shards and across
+  /// checkpoint/resume.  0 disables the timeline.
+  double snapshot_every = 0.0;
+  /// Sliding span (in windows) of the admission-wait percentile histogram.
+  std::size_t timeline_span = 8;
+  /// Record the per-request lifecycle stream (admit/place/migrate/...).
+  bool lifecycle = false;
 
   void validate() const;
 };
@@ -221,6 +235,20 @@ class ServeEngine {
   /// Σ_chain W(f, k) + (distinct nodes − 1) · L.
   [[nodiscard]] std::vector<double> predicted_latencies() const;
 
+  /// The timeline stream so far (requires snapshot_every > 0): every
+  /// closed window plus, when `include_partial`, one record for the
+  /// in-progress window ending at the last event time.  Pure function of
+  /// the replayed prefix — byte-identical across resume splits.
+  [[nodiscard]] obs::TimelineDoc timeline_doc(bool include_partial = true)
+      const;
+
+  /// Per-request lifecycle events in recording order (empty unless
+  /// config().lifecycle).
+  [[nodiscard]] const std::vector<obs::LifecycleEvent>& lifecycle_log()
+      const {
+    return lifecycle_;
+  }
+
   /// The live request set as an offline Workload — VNFs with live traffic
   /// keep their definition with M_f = current active instance count, and
   /// requests are re-densified in ascending trace-id order.  Feeding this
@@ -322,6 +350,41 @@ class ServeEngine {
                    std::vector<std::uint32_t>& touched_vnfs);
   void finish_outcome(EventOutcome& outcome);
 
+  // --- streaming telemetry (DESIGN.md §14) ---
+  [[nodiscard]] bool timeline_on() const {
+    return config_.snapshot_every > 0.0;
+  }
+  [[nodiscard]] bool lifecycle_on() const { return config_.lifecycle; }
+  /// Counter values at the open of the current window; record fields are
+  /// deltas against this.
+  struct TimelineBaseline {
+    std::uint64_t events = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t admitted_from_queue = 0;
+    std::uint64_t retry_admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t shed_fault = 0;
+    std::uint64_t shed_overload = 0;
+    std::uint64_t evacuated_requests = 0;
+    std::uint64_t parked = 0;
+    std::uint64_t migrations = 0;
+  };
+  [[nodiscard]] TimelineBaseline capture_baseline() const;
+  /// Builds a record for [t_start, t_end) from the current state and the
+  /// window integrals (shared by closed and partial windows).
+  [[nodiscard]] obs::TimelineRecord make_window_record(
+      double t_start, double t_end, double served_integral,
+      double offered_integral) const;
+  /// Seals the current window and opens the next.
+  void close_window();
+  /// Samples an admission wait and clears the pending mark.
+  void note_admitted(std::uint32_t id, double now);
+  void record_lifecycle(const EventOutcome& outcome, obs::LifecycleStage stage,
+                        std::uint32_t request,
+                        std::uint32_t node = obs::kLifecycleNoNode,
+                        std::uint32_t rung = 0);
+
   topo::Topology topology_;
   std::vector<workload::Vnf> vnfs_;
   ServeConfig config_;
@@ -357,6 +420,22 @@ class ServeEngine {
 
   // Aggregates (summary() adds the live-state figures).
   ServeSummary totals_;
+
+  // Streaming telemetry state (engaged only when snapshot_every > 0 /
+  // lifecycle; checkpointed so a resumed run reproduces the streams
+  // byte-for-byte).  Windows are [k·Δ, (k+1)·Δ) in trace time; integrals
+  // accumulate the same piecewise-constant rates as the availability
+  // integrals, split at window boundaries.
+  std::vector<obs::TimelineRecord> timeline_rows_;  ///< closed windows
+  std::uint64_t window_index_ = 0;                  ///< current open window
+  double win_served_ = 0.0;   ///< ∫ served rate over the open window
+  double win_offered_ = 0.0;  ///< ∫ offered rate over the open window
+  TimelineBaseline win_base_;
+  /// Admission waits over the last `timeline_span` windows.
+  std::optional<WindowedHistogram> wait_hist_;
+  /// When a request started waiting (queued or parked) — for wait samples.
+  std::map<std::uint32_t, double> pending_since_;
+  std::vector<obs::LifecycleEvent> lifecycle_;
 
   // Checkpoint serializer/deserializer (src/serve/checkpoint.cc); state is
   // saved and restored verbatim so a resumed engine is bit-identical.

@@ -1,13 +1,17 @@
 #include "nfv/serve/checkpoint.h"
 
 #include <cmath>
+#include <deque>
 #include <limits>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "nfv/common/error.h"
+#include "nfv/common/histogram.h"
 #include "nfv/obs/json.h"
+#include "nfv/obs/lifecycle.h"
 
 namespace nfv::serve {
 
@@ -103,6 +107,27 @@ obs::JsonValue parse_document(std::string_view text) {
   return std::move(*doc);
 }
 
+/// Reads the optional telemetry config fields (absent in pre-telemetry
+/// checkpoints, and omitted when telemetry is off so those files stay
+/// byte-identical to the old format).
+void read_telemetry_config(const obs::JsonValue& c, ServeConfig& config) {
+  if (c.find("snapshot_every") != nullptr) {
+    config.snapshot_every = get_double(c, "snapshot_every");
+    if (!std::isfinite(config.snapshot_every) ||
+        config.snapshot_every <= 0.0) {
+      ckpt_fail("config.snapshot_every must be a positive number");
+    }
+    config.timeline_span =
+        static_cast<std::size_t>(get_uint(c, "timeline_span"));
+    if (config.timeline_span == 0) {
+      ckpt_fail("config.timeline_span must be >= 1");
+    }
+  }
+  if (c.find("lifecycle") != nullptr) {
+    config.lifecycle = get_bool(c, "lifecycle");
+  }
+}
+
 void write_pending(obs::JsonWriter& w, std::uint32_t id, double rate,
                    double prob, const std::vector<std::uint32_t>& chain) {
   w.kv("id", std::uint64_t{id});
@@ -145,6 +170,13 @@ struct CheckpointIo {
     w.kv("degraded_headroom", c.degraded_headroom);
     w.kv("retry_backoff_base", c.retry_backoff_base);
     w.kv("retry_budget", std::uint64_t{c.retry_budget});
+    // Telemetry fields only when enabled, so telemetry-off checkpoints
+    // stay byte-identical to the pre-telemetry format.
+    if (c.snapshot_every > 0.0) {
+      w.kv("snapshot_every", c.snapshot_every);
+      w.kv("timeline_span", static_cast<std::uint64_t>(c.timeline_span));
+    }
+    if (c.lifecycle) w.kv("lifecycle", true);
     w.end_object();
 
     w.kv("last_time", e.last_time_);
@@ -285,6 +317,118 @@ struct CheckpointIo {
       w.end_object();
     }
     w.end_array();
+
+    if (e.timeline_on()) {
+      w.key("timeline");
+      w.begin_object();
+      w.kv("window_index", e.window_index_);
+      w.kv("win_served", e.win_served_);
+      w.kv("win_offered", e.win_offered_);
+      const ServeEngine::TimelineBaseline& b = e.win_base_;
+      w.key("win_base");
+      w.begin_object();
+      w.kv("events", b.events);
+      w.kv("admitted", b.admitted);
+      w.kv("admitted_from_queue", b.admitted_from_queue);
+      w.kv("retry_admitted", b.retry_admitted);
+      w.kv("rejected", b.rejected);
+      w.kv("shed", b.shed);
+      w.kv("shed_fault", b.shed_fault);
+      w.kv("shed_overload", b.shed_overload);
+      w.kv("evacuated_requests", b.evacuated_requests);
+      w.kv("parked", b.parked);
+      w.kv("migrations", b.migrations);
+      w.end_object();
+      w.key("pending_since");  // std::map — already ascending by id
+      w.begin_array();
+      for (const auto& [id, since] : e.pending_since_) {
+        w.begin_object();
+        w.kv("id", std::uint64_t{id});
+        w.kv("since", since);
+        w.end_object();
+      }
+      w.end_array();
+      const WindowedHistogram& wh = *e.wait_hist_;
+      w.key("wait_hist");
+      w.begin_object();
+      w.kv("lo", wh.lo());
+      w.kv("hi", wh.hi());
+      w.kv("buckets", static_cast<std::uint64_t>(wh.bucket_count()));
+      w.kv("span", static_cast<std::uint64_t>(wh.span()));
+      w.key("windows");
+      w.begin_array();
+      for (std::size_t i = 0; i < wh.window_count(); ++i) {
+        const Histogram& h = wh.window(i);
+        w.begin_object();
+        w.key("counts");
+        w.begin_array();
+        for (std::size_t bkt = 0; bkt < h.bucket_count(); ++bkt) {
+          w.value(std::uint64_t{h.bucket(bkt)});
+        }
+        w.end_array();
+        w.kv("underflow", std::uint64_t{h.underflow()});
+        w.kv("overflow", std::uint64_t{h.overflow()});
+        if (h.count() > 0) {
+          w.kv("min", h.min());
+          w.kv("max", h.max());
+        }
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+      w.key("rows");
+      w.begin_array();
+      for (const obs::TimelineRecord& r : e.timeline_rows_) {
+        w.begin_object();
+        w.kv("window", r.window);
+        w.kv("t_start", r.t_start);
+        w.kv("t_end", r.t_end);
+        w.kv("events", r.events);
+        w.kv("offered_rate", r.offered_rate);
+        w.kv("carried_rate", r.carried_rate);
+        w.kv("availability", r.availability);
+        w.kv("live", r.live);
+        w.kv("queued", r.queued);
+        w.kv("retrying", r.retrying);
+        w.kv("admitted", r.admitted);
+        w.kv("admitted_from_queue", r.admitted_from_queue);
+        w.kv("retry_admitted", r.retry_admitted);
+        w.kv("rejected", r.rejected);
+        w.kv("shed", r.shed);
+        w.kv("evacuated", r.evacuated);
+        w.kv("parked", r.parked);
+        w.kv("migrations", r.migrations);
+        w.kv("degraded", r.degraded);
+        w.kv("nodes_down", r.nodes_down);
+        w.key("node_util");
+        w.begin_array();
+        for (const double u : r.node_util) w.value(u);
+        w.end_array();
+        w.kv("wait_count", r.wait_count);
+        w.kv("wait_p50", r.wait_p50);
+        w.kv("wait_p90", r.wait_p90);
+        w.kv("wait_p99", r.wait_p99);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+
+    if (e.lifecycle_on()) {
+      w.key("lifecycle");  // compact [index, t, request, stage, node, rung]
+      w.begin_array();
+      for (const obs::LifecycleEvent& ev : e.lifecycle_) {
+        w.begin_array();
+        w.value(ev.event_index);
+        w.value(ev.time);
+        w.value(std::uint64_t{ev.request});
+        w.value(std::uint64_t{static_cast<std::uint8_t>(ev.stage)});
+        w.value(std::uint64_t{ev.node});
+        w.value(std::uint64_t{ev.rung});
+        w.end_array();
+      }
+      w.end_array();
+    }
 
     w.end_object();
     out << '\n';
@@ -467,6 +611,173 @@ struct CheckpointIo {
       o.p99_predicted_latency = get_double(j, "p99_predicted_latency");
       e.log_.push_back(o);
     }
+
+    const bool has_timeline = doc.find("timeline") != nullptr;
+    if (has_timeline != e.timeline_on()) {
+      ckpt_fail(has_timeline
+                    ? "timeline state present but config disables the timeline"
+                    : "config enables the timeline but state is missing");
+    }
+    if (has_timeline) apply_timeline(e, get_object(doc, "timeline"));
+
+    const bool has_lifecycle = doc.find("lifecycle") != nullptr;
+    if (has_lifecycle != e.lifecycle_on()) {
+      ckpt_fail(has_lifecycle
+                    ? "lifecycle log present but config disables it"
+                    : "config enables the lifecycle log but it is missing");
+    }
+    e.lifecycle_.clear();
+    if (has_lifecycle) {
+      for (const obs::JsonValue& j : get_array(doc, "lifecycle")) {
+        if (!j.is_array() || j.as_array().size() != 6) {
+          ckpt_fail("lifecycle entries must be 6-element arrays");
+        }
+        const auto& a = j.as_array();
+        const auto tuple_uint = [&](std::size_t i) {
+          if (!a[i].is_number() || a[i].as_number() < 0.0 ||
+              a[i].as_number() != std::floor(a[i].as_number()) ||
+              a[i].as_number() > 1.8e19) {
+            ckpt_fail("lifecycle tuple fields must be non-negative integers");
+          }
+          return static_cast<std::uint64_t>(a[i].as_number());
+        };
+        obs::LifecycleEvent ev;
+        ev.event_index = tuple_uint(0);
+        if (!a[1].is_number() || !std::isfinite(a[1].as_number())) {
+          ckpt_fail("lifecycle tuple time must be a finite number");
+        }
+        ev.time = a[1].as_number();
+        const std::uint64_t request = tuple_uint(2);
+        const std::uint64_t stage = tuple_uint(3);
+        const std::uint64_t node = tuple_uint(4);
+        const std::uint64_t rung = tuple_uint(5);
+        if (request > std::numeric_limits<std::uint32_t>::max() ||
+            node > std::numeric_limits<std::uint32_t>::max() ||
+            rung > std::numeric_limits<std::uint32_t>::max()) {
+          ckpt_fail("lifecycle tuple id fields are out of range");
+        }
+        if (stage > static_cast<std::uint64_t>(obs::LifecycleStage::kDepart)) {
+          ckpt_fail("lifecycle tuple stage is out of range");
+        }
+        ev.request = static_cast<std::uint32_t>(request);
+        ev.stage = static_cast<obs::LifecycleStage>(stage);
+        ev.node = static_cast<std::uint32_t>(node);
+        ev.rung = static_cast<std::uint32_t>(rung);
+        e.lifecycle_.push_back(ev);
+      }
+    }
+  }
+
+  static void apply_timeline(ServeEngine& e, const obs::JsonValue& tl) {
+    e.window_index_ = get_uint(tl, "window_index");
+    e.win_served_ = get_double(tl, "win_served");
+    e.win_offered_ = get_double(tl, "win_offered");
+
+    const obs::JsonValue& b = get_object(tl, "win_base");
+    ServeEngine::TimelineBaseline base;
+    base.events = get_uint(b, "events");
+    base.admitted = get_uint(b, "admitted");
+    base.admitted_from_queue = get_uint(b, "admitted_from_queue");
+    base.retry_admitted = get_uint(b, "retry_admitted");
+    base.rejected = get_uint(b, "rejected");
+    base.shed = get_uint(b, "shed");
+    base.shed_fault = get_uint(b, "shed_fault");
+    base.shed_overload = get_uint(b, "shed_overload");
+    base.evacuated_requests = get_uint(b, "evacuated_requests");
+    base.parked = get_uint(b, "parked");
+    base.migrations = get_uint(b, "migrations");
+    e.win_base_ = base;
+
+    e.pending_since_.clear();
+    for (const obs::JsonValue& j : get_array(tl, "pending_since")) {
+      if (!j.is_object()) ckpt_fail("pending_since entries must be objects");
+      const auto id = static_cast<std::uint32_t>(get_uint(j, "id"));
+      if (!e.pending_since_.emplace(id, get_double(j, "since")).second) {
+        ckpt_fail("duplicate pending_since id");
+      }
+    }
+
+    const obs::JsonValue& wj = get_object(tl, "wait_hist");
+    WindowedHistogram& wh = *e.wait_hist_;
+    if (get_double(wj, "lo") != wh.lo() || get_double(wj, "hi") != wh.hi() ||
+        get_uint(wj, "buckets") != wh.bucket_count() ||
+        get_uint(wj, "span") != wh.span()) {
+      ckpt_fail("wait_hist geometry does not match the embedded config");
+    }
+    std::deque<Histogram> slots;
+    for (const obs::JsonValue& j : get_array(wj, "windows")) {
+      if (!j.is_object()) ckpt_fail("wait_hist windows must be objects");
+      const auto& counts_json = get_array(j, "counts");
+      std::vector<std::size_t> counts;
+      counts.reserve(counts_json.size());
+      for (const obs::JsonValue& cj : counts_json) {
+        if (!cj.is_number() || cj.as_number() < 0.0 ||
+            cj.as_number() != std::floor(cj.as_number())) {
+          ckpt_fail("wait_hist counts must be non-negative integers");
+        }
+        counts.push_back(static_cast<std::size_t>(cj.as_number()));
+      }
+      const auto underflow =
+          static_cast<std::size_t>(get_uint(j, "underflow"));
+      const auto overflow = static_cast<std::size_t>(get_uint(j, "overflow"));
+      const bool has_samples = j.find("min") != nullptr;
+      const double mn = has_samples ? get_double(j, "min") : 0.0;
+      const double mx = has_samples ? get_double(j, "max") : 0.0;
+      Histogram h(wh.lo(), wh.hi(), wh.bucket_count());
+      try {
+        h.restore(counts, underflow, overflow, mn, mx);
+      } catch (const std::exception& ex) {
+        ckpt_fail(std::string("invalid wait_hist window: ") + ex.what());
+      }
+      if ((h.count() > 0) != has_samples) {
+        ckpt_fail("wait_hist window min/max presence mismatch");
+      }
+      slots.push_back(std::move(h));
+    }
+    try {
+      wh.restore(std::move(slots));
+    } catch (const std::exception& ex) {
+      ckpt_fail(std::string("invalid wait_hist state: ") + ex.what());
+    }
+
+    e.timeline_rows_.clear();
+    const std::size_t node_count = e.node_free_.size();
+    for (const obs::JsonValue& j : get_array(tl, "rows")) {
+      if (!j.is_object()) ckpt_fail("timeline rows must be objects");
+      obs::TimelineRecord r;
+      r.window = get_uint(j, "window");
+      r.t_start = get_double(j, "t_start");
+      r.t_end = get_double(j, "t_end");
+      r.events = get_uint(j, "events");
+      r.offered_rate = get_double(j, "offered_rate");
+      r.carried_rate = get_double(j, "carried_rate");
+      r.availability = get_double(j, "availability");
+      r.live = get_uint(j, "live");
+      r.queued = get_uint(j, "queued");
+      r.retrying = get_uint(j, "retrying");
+      r.admitted = get_uint(j, "admitted");
+      r.admitted_from_queue = get_uint(j, "admitted_from_queue");
+      r.retry_admitted = get_uint(j, "retry_admitted");
+      r.rejected = get_uint(j, "rejected");
+      r.shed = get_uint(j, "shed");
+      r.evacuated = get_uint(j, "evacuated");
+      r.parked = get_uint(j, "parked");
+      r.migrations = get_uint(j, "migrations");
+      r.degraded = get_bool(j, "degraded");
+      r.nodes_down = get_uint(j, "nodes_down");
+      for (const obs::JsonValue& u : get_array(j, "node_util")) {
+        if (!u.is_number()) ckpt_fail("node_util entries must be numbers");
+        r.node_util.push_back(u.as_number());
+      }
+      if (r.node_util.size() != node_count) {
+        ckpt_fail("timeline row node_util must have node_count entries");
+      }
+      r.wait_count = get_uint(j, "wait_count");
+      r.wait_p50 = get_double(j, "wait_p50");
+      r.wait_p90 = get_double(j, "wait_p90");
+      r.wait_p99 = get_double(j, "wait_p99");
+      e.timeline_rows_.push_back(std::move(r));
+    }
   }
 };
 
@@ -517,6 +828,12 @@ CheckpointInfo peek_checkpoint(std::string_view text) {
   }
   ServeConfig probe_config;
   probe_config.link_latency = 0.0;
+  // Honour the telemetry switches so apply() exercises (and validates) the
+  // timeline/lifecycle state walk too.
+  const obs::JsonValue* config_json = doc.find("config");
+  if (config_json != nullptr && config_json->is_object()) {
+    read_telemetry_config(*config_json, probe_config);
+  }
   ServeEngine probe(std::move(topo), std::move(vnfs), probe_config);
   CheckpointIo::apply(probe, doc);
   return info;
@@ -549,6 +866,7 @@ ServeEngine restore_checkpoint(std::string_view text, topo::Topology topology,
   config.retry_backoff_base = get_uint(c, "retry_backoff_base");
   config.retry_budget =
       static_cast<std::uint32_t>(get_uint(c, "retry_budget"));
+  read_telemetry_config(c, config);
   try {
     config.validate();
   } catch (const std::invalid_argument& e) {

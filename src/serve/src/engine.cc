@@ -9,6 +9,7 @@
 #include "nfv/common/error.h"
 #include "nfv/common/rng.h"
 #include "nfv/exec/thread_pool.h"
+#include "nfv/obs/flight_recorder.h"
 #include "nfv/obs/metrics.h"
 #include "nfv/scheduling/algorithm.h"
 #include "nfv/scheduling/migration.h"
@@ -54,6 +55,8 @@ void ServeConfig::validate() const {
   NFV_REQUIRE(std::isfinite(degraded_headroom) &&
               degraded_headroom >= headroom && degraded_headroom < 1.0);
   NFV_REQUIRE(retry_backoff_base >= 1);
+  NFV_REQUIRE(std::isfinite(snapshot_every) && snapshot_every >= 0.0);
+  NFV_REQUIRE(timeline_span >= 1);
 }
 
 std::string_view to_string(Decision decision) {
@@ -94,6 +97,13 @@ ServeEngine::ServeEngine(topo::Topology topology,
   }
   node_instances_.assign(nodes, 0);
   node_up_.assign(nodes, 1);
+  if (timeline_on()) {
+    // Waits longer than the whole sliding span land in the overflow
+    // bucket; the exact min/max tracking still keeps p100 exact.
+    wait_hist_.emplace(0.0, config_.snapshot_every *
+                                static_cast<double>(config_.timeline_span),
+                       64, config_.timeline_span);
+  }
 }
 
 double ServeEngine::limit(std::uint32_t vnf) const {
@@ -234,6 +244,10 @@ void ServeEngine::commit_placement(std::uint32_t id, double rate, double prob,
     }
     add_to_instance(slot, id, rate, prob);
     r.hop_instance.push_back(slot);
+    if (lifecycle_on()) {
+      record_lifecycle(outcome, obs::LifecycleStage::kPlace, id,
+                       instances_[slot].node, static_cast<std::uint32_t>(h));
+    }
   }
   live_.emplace(id, std::move(r));
 }
@@ -322,6 +336,12 @@ std::uint32_t ServeEngine::rebalance(std::uint32_t vnf,
         r.hop_instance[h] = to_slot;
       }
     }
+    if (lifecycle_on()) {
+      // Rebalance moves act on a VNF, not a hop index, so the detail
+      // field carries the VNF id here.
+      record_lifecycle(outcome, obs::LifecycleStage::kMigrate, id, to.node,
+                       vnf);
+    }
   }
   if (!plan.moves.empty()) {
     ++totals_.rebalances;
@@ -380,6 +400,10 @@ bool ServeEngine::relocate_hop(std::uint32_t id, std::size_t hop,
   r.hop_instance[hop] = *best;
   ++outcome.migrations;
   ++totals_.migrations;
+  if (lifecycle_on()) {
+    record_lifecycle(outcome, obs::LifecycleStage::kMigrate, id,
+                     instances_[*best].node, static_cast<std::uint32_t>(hop));
+  }
   return true;
 }
 
@@ -392,6 +416,10 @@ void ServeEngine::drain_queue(EventOutcome& outcome,
     PendingRequest p = std::move(queue_.front());
     queue_.erase(queue_.begin());
     touched_vnfs.insert(touched_vnfs.end(), p.chain.begin(), p.chain.end());
+    note_admitted(p.id, outcome.time);
+    if (lifecycle_on()) {
+      record_lifecycle(outcome, obs::LifecycleStage::kAdmit, p.id);
+    }
     commit_placement(p.id, p.rate, p.prob, std::move(p.chain), *plan, outcome);
     ++outcome.admitted_from_queue;
     ++totals_.admitted_from_queue;
@@ -399,15 +427,159 @@ void ServeEngine::drain_queue(EventOutcome& outcome,
 }
 
 void ServeEngine::accumulate_availability(double now) {
-  if (!saw_event_ || now <= last_time_) return;
-  const double dt = now - last_time_;
   double served = 0.0;
   for (const auto& [id, r] : live_) served += r.rate;
   double offered = served;
   for (const PendingRequest& p : queue_) offered += p.rate;
   for (const RetryRequest& p : retry_queue_) offered += p.request.rate;
+
+  if (timeline_on()) {
+    // Close every window ending at or before `now`, splitting the gap's
+    // piecewise-constant rates at each boundary: state is unchanged over
+    // [last_time_, now), so the pre-event rates are exact.  Event-time
+    // driven — never wall clock — which is the determinism contract of
+    // the timeline stream (DESIGN.md §14).
+    double cursor = saw_event_ ? last_time_ : 0.0;
+    const double delta = config_.snapshot_every;
+    for (;;) {
+      const double wend =
+          static_cast<double>(window_index_ + 1) * delta;
+      if (wend > now) break;
+      const double dt = wend - cursor;
+      win_served_ += dt * served;
+      win_offered_ += dt * offered;
+      close_window();
+      cursor = wend;
+    }
+    if (now > cursor) {
+      win_served_ += (now - cursor) * served;
+      win_offered_ += (now - cursor) * offered;
+    }
+  }
+
+  // The global availability integrals take the gap in one piece, so a
+  // telemetry-enabled run reports bit-identical availability to a
+  // telemetry-off run.
+  if (!saw_event_ || now <= last_time_) return;
+  const double dt = now - last_time_;
   served_integral_ += dt * served;
   offered_integral_ += dt * offered;
+}
+
+ServeEngine::TimelineBaseline ServeEngine::capture_baseline() const {
+  TimelineBaseline b;
+  b.events = totals_.events;
+  b.admitted = totals_.admitted;
+  b.admitted_from_queue = totals_.admitted_from_queue;
+  b.retry_admitted = totals_.retry_admitted;
+  b.rejected = totals_.rejected;
+  b.shed = totals_.shed;
+  b.shed_fault = totals_.shed_fault;
+  b.shed_overload = totals_.shed_overload;
+  b.evacuated_requests = totals_.evacuated_requests;
+  b.parked = totals_.parked;
+  b.migrations = totals_.migrations;
+  return b;
+}
+
+obs::TimelineRecord ServeEngine::make_window_record(
+    double t_start, double t_end, double served_integral,
+    double offered_integral) const {
+  obs::TimelineRecord rec;
+  rec.window = window_index_;
+  rec.t_start = t_start;
+  rec.t_end = t_end;
+  rec.events = totals_.events - win_base_.events;
+  const double width = t_end - t_start;
+  rec.offered_rate = width > 0.0 ? offered_integral / width : 0.0;
+  rec.carried_rate = width > 0.0 ? served_integral / width : 0.0;
+  rec.availability =
+      offered_integral > 0.0 ? served_integral / offered_integral : 1.0;
+  rec.live = live_.size();
+  rec.queued = queue_.size();
+  rec.retrying = retry_queue_.size();
+  rec.admitted = totals_.admitted - win_base_.admitted;
+  rec.admitted_from_queue =
+      totals_.admitted_from_queue - win_base_.admitted_from_queue;
+  rec.retry_admitted = totals_.retry_admitted - win_base_.retry_admitted;
+  rec.rejected = totals_.rejected - win_base_.rejected;
+  rec.shed = (totals_.shed - win_base_.shed) +
+             (totals_.shed_fault - win_base_.shed_fault) +
+             (totals_.shed_overload - win_base_.shed_overload);
+  rec.evacuated =
+      totals_.evacuated_requests - win_base_.evacuated_requests;
+  rec.parked = totals_.parked - win_base_.parked;
+  rec.migrations = totals_.migrations - win_base_.migrations;
+  rec.degraded = degraded_;
+  std::uint64_t down = 0;
+  rec.node_util.reserve(node_free_.size());
+  for (std::uint32_t v = 0; v < node_free_.size(); ++v) {
+    if (node_up_[v] == 0) {
+      ++down;
+      rec.node_util.push_back(0.0);
+      continue;
+    }
+    const double cap = topology_.capacity(NodeId(v));
+    rec.node_util.push_back(cap > 0.0 ? (cap - node_free_[v]) / cap : 0.0);
+  }
+  rec.nodes_down = down;
+  const Histogram waits = wait_hist_->merged();
+  rec.wait_count = waits.count();
+  if (waits.count() > 0) {
+    rec.wait_p50 = waits.quantile(0.50);
+    rec.wait_p90 = waits.quantile(0.90);
+    rec.wait_p99 = waits.quantile(0.99);
+  }
+  return rec;
+}
+
+void ServeEngine::close_window() {
+  const double delta = config_.snapshot_every;
+  timeline_rows_.push_back(make_window_record(
+      static_cast<double>(window_index_) * delta,
+      static_cast<double>(window_index_ + 1) * delta, win_served_,
+      win_offered_));
+  wait_hist_->rotate();
+  win_base_ = capture_baseline();
+  win_served_ = 0.0;
+  win_offered_ = 0.0;
+  ++window_index_;
+}
+
+void ServeEngine::note_admitted(std::uint32_t id, double now) {
+  if (!timeline_on()) return;
+  const auto it = pending_since_.find(id);
+  if (it == pending_since_.end()) {
+    wait_hist_->add(0.0);  // admitted on arrival: no wait
+    return;
+  }
+  wait_hist_->add(now - it->second);
+  pending_since_.erase(it);
+}
+
+void ServeEngine::record_lifecycle(const EventOutcome& outcome,
+                                   obs::LifecycleStage stage,
+                                   std::uint32_t request, std::uint32_t node,
+                                   std::uint32_t rung) {
+  lifecycle_.push_back(
+      {outcome.index, outcome.time, request, stage, node, rung});
+}
+
+obs::TimelineDoc ServeEngine::timeline_doc(bool include_partial) const {
+  NFV_REQUIRE(timeline_on());
+  obs::TimelineDoc doc;
+  doc.snapshot_every = config_.snapshot_every;
+  doc.nodes = node_free_.size();
+  doc.records = timeline_rows_;
+  if (include_partial && saw_event_) {
+    const double t_start =
+        static_cast<double>(window_index_) * config_.snapshot_every;
+    if (last_time_ > t_start || totals_.events > win_base_.events) {
+      doc.records.push_back(
+          make_window_record(t_start, last_time_, win_served_, win_offered_));
+    }
+  }
+  return doc;
 }
 
 bool ServeEngine::evacuate_request(std::uint32_t id, EventOutcome& outcome) {
@@ -465,6 +637,10 @@ bool ServeEngine::evacuate_request(std::uint32_t id, EventOutcome& outcome) {
     }
     add_to_instance(slot, id, r.rate, r.prob);
     r.hop_instance[h] = slot;
+    if (lifecycle_on()) {
+      record_lifecycle(outcome, obs::LifecycleStage::kEvacuate, id,
+                       instances_[slot].node, static_cast<std::uint32_t>(h));
+    }
   }
   const auto moves = static_cast<std::uint32_t>(broken.size());
   outcome.evacuation_migrations += moves;
@@ -539,10 +715,17 @@ void ServeEngine::handle_node_down(const workload::StreamEvent& event,
       retry_queue_.push_back(std::move(retry));
       ++outcome.parked;
       ++totals_.parked;
+      if (timeline_on()) pending_since_[id] = outcome.time;
+      if (lifecycle_on()) {
+        record_lifecycle(outcome, obs::LifecycleStage::kPark, id);
+      }
     } else {
       ++outcome.shed_fault;
       ++totals_.shed_fault;
       gone_.insert(id);
+      if (lifecycle_on()) {
+        record_lifecycle(outcome, obs::LifecycleStage::kShedFault, id);
+      }
     }
   }
   std::sort(touched.begin(), touched.end());
@@ -585,11 +768,17 @@ void ServeEngine::drain_retry_queue(EventOutcome& outcome,
     const auto plan = plan_placement(entry.request.rate, entry.request.prob,
                                      entry.request.chain);
     if (plan) {
+      const std::uint32_t rung = entry.attempts;
       PendingRequest admitted = std::move(entry.request);
       retry_queue_.erase(retry_queue_.begin() +
                          static_cast<std::ptrdiff_t>(i));
       touched_vnfs.insert(touched_vnfs.end(), admitted.chain.begin(),
                           admitted.chain.end());
+      note_admitted(admitted.id, outcome.time);
+      if (lifecycle_on()) {
+        record_lifecycle(outcome, obs::LifecycleStage::kRetryAdmit,
+                         admitted.id, obs::kLifecycleNoNode, rung);
+      }
       commit_placement(admitted.id, admitted.rate, admitted.prob,
                        std::move(admitted.chain), *plan, outcome);
       ++outcome.retry_admitted;
@@ -598,14 +787,24 @@ void ServeEngine::drain_retry_queue(EventOutcome& outcome,
     }
     ++entry.attempts;
     if (entry.attempts > config_.retry_budget) {
-      gone_.insert(entry.request.id);
+      const std::uint32_t id = entry.request.id;
+      gone_.insert(id);
       retry_queue_.erase(retry_queue_.begin() +
                          static_cast<std::ptrdiff_t>(i));
       ++outcome.shed_fault;
       ++totals_.shed_fault;
+      if (timeline_on()) pending_since_.erase(id);
+      if (lifecycle_on()) {
+        record_lifecycle(outcome, obs::LifecycleStage::kShedFault, id);
+      }
       continue;
     }
     entry.not_before = index + (config_.retry_backoff_base << entry.attempts);
+    if (lifecycle_on()) {
+      record_lifecycle(outcome, obs::LifecycleStage::kRetryBackoff,
+                       entry.request.id, obs::kLifecycleNoNode,
+                       entry.attempts);
+    }
     ++i;
   }
 }
@@ -632,6 +831,9 @@ void ServeEngine::shed_overloaded(EventOutcome& outcome) {
     gone_.insert(*victim);
     ++outcome.shed_overload;
     ++totals_.shed_overload;
+    if (lifecycle_on()) {
+      record_lifecycle(outcome, obs::LifecycleStage::kShedOverload, *victim);
+    }
   }
 }
 
@@ -713,6 +915,25 @@ void ServeEngine::finish_outcome(EventOutcome& outcome) {
   if (outcome.shed_overload > 0) {
     obs::count("serve.shed_overload", outcome.shed_overload);
   }
+  if (obs::flight_recorder() != nullptr) {
+    obs::FlightEntry fe;
+    fe.index = outcome.index;
+    fe.time = outcome.time;
+    fe.kind = workload::to_string(outcome.kind);
+    fe.decision = to_string(outcome.decision);
+    fe.request = outcome.request;
+    fe.migrations = outcome.migrations;
+    fe.scale_outs = outcome.scale_outs;
+    fe.scale_ins = outcome.scale_ins;
+    fe.admitted_from_queue = outcome.admitted_from_queue;
+    fe.evacuated = outcome.evacuated;
+    fe.parked = outcome.parked;
+    fe.retry_admitted = outcome.retry_admitted;
+    fe.shed_fault = outcome.shed_fault;
+    fe.shed_overload = outcome.shed_overload;
+    fe.degraded = outcome.degraded;
+    obs::flight_record(fe);
+  }
   log_.push_back(outcome);
 }
 
@@ -762,6 +983,11 @@ EventOutcome ServeEngine::on_event(const workload::StreamEvent& event) {
       const auto plan =
           plan_placement(event.rate, event.delivery_prob, event.chain);
       if (plan) {
+        note_admitted(event.request, event.time);
+        if (lifecycle_on()) {
+          record_lifecycle(outcome, obs::LifecycleStage::kAdmit,
+                           event.request);
+        }
         commit_placement(event.request, event.rate, event.delivery_prob,
                          event.chain, *plan, outcome);
         outcome.decision = Decision::kAdmitted;
@@ -771,10 +997,19 @@ EventOutcome ServeEngine::on_event(const workload::StreamEvent& event) {
         queue_.push_back({event.request, event.rate, event.delivery_prob,
                           event.chain});
         outcome.decision = Decision::kQueued;
+        if (timeline_on()) pending_since_[event.request] = event.time;
+        if (lifecycle_on()) {
+          record_lifecycle(outcome, obs::LifecycleStage::kQueue,
+                           event.request);
+        }
       } else {
         outcome.decision = Decision::kRejected;
         ++totals_.rejected;
         gone_.insert(event.request);
+        if (lifecycle_on()) {
+          record_lifecycle(outcome, obs::LifecycleStage::kReject,
+                           event.request);
+        }
       }
       break;
     }
@@ -785,12 +1020,26 @@ EventOutcome ServeEngine::on_event(const workload::StreamEvent& event) {
         ++totals_.departures;
         touched = it->second.chain;
         remove_live(event.request, outcome);
+        if (lifecycle_on()) {
+          record_lifecycle(outcome, obs::LifecycleStage::kDepart,
+                           event.request);
+        }
       } else if (const auto qit = queued_pos(); qit != queue_.end()) {
         ++totals_.departures;
         queue_.erase(qit);
+        if (timeline_on()) pending_since_.erase(event.request);
+        if (lifecycle_on()) {
+          record_lifecycle(outcome, obs::LifecycleStage::kDepart,
+                           event.request);
+        }
       } else if (const auto rit = retry_pos(); rit != retry_queue_.end()) {
         ++totals_.departures;
         retry_queue_.erase(rit);
+        if (timeline_on()) pending_since_.erase(event.request);
+        if (lifecycle_on()) {
+          record_lifecycle(outcome, obs::LifecycleStage::kDepart,
+                           event.request);
+        }
       } else if (gone_.erase(event.request) != 0) {
         // Already rejected or shed: the trace's departure is a no-op, and
         // the request stays in its rejected/shed accounting bucket.
@@ -846,6 +1095,10 @@ EventOutcome ServeEngine::on_event(const workload::StreamEvent& event) {
         gone_.insert(event.request);
         outcome.decision = Decision::kShed;
         ++totals_.shed;
+        if (lifecycle_on()) {
+          record_lifecycle(outcome, obs::LifecycleStage::kShed,
+                           event.request);
+        }
         std::vector<std::uint32_t> touched;
         drain_queue(outcome, touched);
         std::sort(touched.begin(), touched.end());
@@ -1050,6 +1303,10 @@ obs::ServeSection make_serve_section(const ServeEngine& engine,
   out.mean_predicted_latency = s.mean_predicted_latency;
   out.p99_predicted_latency = s.p99_predicted_latency;
   out.work = s.work;
+  if (engine.config().snapshot_every > 0.0) {
+    out.timeline_present = true;
+    out.timeline = obs::aggregate_timeline(engine.timeline_doc().records);
+  }
   if (include_events) {
     out.events_log.reserve(engine.log().size());
     for (const EventOutcome& e : engine.log()) {

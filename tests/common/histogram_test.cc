@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+
 namespace nfv {
 namespace {
 
@@ -111,6 +113,112 @@ TEST(Histogram, RenderContainsBars) {
   const std::string out = h.render(10);
   EXPECT_NE(out.find('#'), std::string::npos);
   EXPECT_NE(out.find("[    0.0000"), std::string::npos);
+}
+
+
+TEST(Histogram, TracksExactMinAndMax) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(3.25);
+  h.add(7.5);
+  h.add(-2.0);   // underflow still counts toward min
+  h.add(42.0);   // overflow still counts toward max
+  EXPECT_DOUBLE_EQ(h.min(), -2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+  EXPECT_THROW((void)Histogram(0.0, 1.0, 4).min(), std::invalid_argument);
+}
+
+// Regression: quantiles used to interpolate to the bucket's upper edge,
+// so p100 of a single-sample histogram returned the bucket bound instead
+// of the sample.  The [min, max] clamp makes the extremes exact.
+TEST(Histogram, SingleSampleQuantileReturnsTheSample) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(3.25);  // bucket [2, 4): interpolation alone would give 4.0
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.25);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.25);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.25);
+}
+
+TEST(Histogram, QuantileClampsToSampleRange) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(2.5);
+  h.add(3.0);
+  h.add(3.5);  // all one bucket [2, 4)
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.5);
+  EXPECT_GE(h.quantile(0.5), 2.5);
+  EXPECT_LE(h.quantile(0.5), 3.5);
+}
+
+TEST(Histogram, MergePropagatesExtrema) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.add(4.0);
+  b.add(1.0);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.quantile(1.0), 9.0);
+}
+
+TEST(WindowedHistogram, MergedEqualsFromScratch) {
+  WindowedHistogram w(0.0, 10.0, 5, 3);
+  Histogram expect(0.0, 10.0, 5);
+  const double samples[] = {1.0, 2.5, 6.0, 9.5, 0.5, 3.0};
+  std::size_t i = 0;
+  for (const double x : samples) {
+    w.add(x);
+    expect.add(x);
+    if (++i % 2 == 0 && i < 6) w.rotate();
+  }
+  const Histogram merged = w.merged();
+  EXPECT_EQ(merged.count(), expect.count());
+  ASSERT_EQ(merged.bucket_count(), expect.bucket_count());
+  for (std::size_t b = 0; b < merged.bucket_count(); ++b) {
+    EXPECT_EQ(merged.bucket(b), expect.bucket(b));
+  }
+  EXPECT_DOUBLE_EQ(merged.min(), expect.min());
+  EXPECT_DOUBLE_EQ(merged.max(), expect.max());
+}
+
+TEST(WindowedHistogram, RotateEvictsBeyondSpan) {
+  WindowedHistogram w(0.0, 10.0, 4, 2);
+  w.add(1.0);
+  w.rotate();
+  w.add(5.0);
+  w.rotate();  // evicts the window holding 1.0
+  w.add(9.0);
+  EXPECT_EQ(w.window_count(), 2u);
+  const Histogram merged = w.merged();
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_DOUBLE_EQ(merged.min(), 5.0);
+  EXPECT_DOUBLE_EQ(merged.max(), 9.0);
+}
+
+TEST(WindowedHistogram, EmptyRingMergesToEmptyHistogram) {
+  WindowedHistogram w(0.0, 10.0, 4, 2);
+  EXPECT_EQ(w.merged().count(), 0u);
+  w.rotate();
+  w.rotate();
+  w.rotate();
+  EXPECT_LE(w.window_count(), 2u);
+  EXPECT_EQ(w.merged().count(), 0u);
+}
+
+TEST(WindowedHistogram, RestoreRejectsBadGeometryAndSize) {
+  WindowedHistogram w(0.0, 10.0, 4, 2);
+  std::deque<Histogram> wrong_geom;
+  wrong_geom.emplace_back(0.0, 20.0, 4);
+  EXPECT_THROW(w.restore(std::move(wrong_geom)), std::invalid_argument);
+  std::deque<Histogram> too_many;
+  for (int i = 0; i < 3; ++i) too_many.emplace_back(0.0, 10.0, 4);
+  EXPECT_THROW(w.restore(std::move(too_many)), std::invalid_argument);
+  EXPECT_THROW(w.restore({}), std::invalid_argument);
+}
+
+TEST(WindowedHistogram, RejectsBadConstruction) {
+  EXPECT_THROW(WindowedHistogram(0.0, 1.0, 4, 0), std::invalid_argument);
+  EXPECT_THROW(WindowedHistogram(1.0, 1.0, 4, 2), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,37 @@
+// libFuzzer target for the streaming-telemetry parsers: any byte string
+// fed to the timeline JSONL loader or the lifecycle Chrome-trace loader
+// must either parse or throw the documented TimelineParseError /
+// LifecycleParseError — nothing else, and never a crash.  Parsed
+// timelines are re-serialized and re-parsed (the byte-exact round-trip
+// the determinism contract depends on) and aggregated.
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "nfv/obs/lifecycle.h"
+#include "nfv/obs/timeline.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const nfv::obs::TimelineDoc doc = nfv::obs::load_timeline(text);
+    std::ostringstream os;
+    nfv::obs::write_timeline(doc, os);
+    if (nfv::obs::load_timeline(os.str()) != doc) __builtin_trap();
+    (void)nfv::obs::aggregate_values(nfv::obs::aggregate_timeline(
+        doc.records));
+  } catch (const nfv::obs::TimelineParseError&) {
+    // The documented failure mode.
+  }
+  try {
+    const auto events = nfv::obs::load_lifecycle(text);
+    std::ostringstream os;
+    // Spans clamp to trace_end; 0 exercises the negative-duration guard.
+    nfv::obs::write_lifecycle_trace(events, 0.0, os);
+  } catch (const nfv::obs::LifecycleParseError&) {
+    // The documented failure mode.
+  }
+  return 0;
+}

@@ -131,5 +131,34 @@ TEST(NullSink, ScopedMetricsInstallsAndRestores) {
   EXPECT_EQ(reg.counter("visible").value(), 5u);
 }
 
+
+// Regression (DESIGN.md §14): the percentile snapshot of a single-sample
+// histogram must report the sample, not the upper bound of its bucket —
+// the underlying Histogram clamps quantiles to the exact [min, max].
+TEST(MetricsRegistry, SingleSamplePercentilesAreExact) {
+  MetricsRegistry reg;
+  reg.histogram("one.sample", 0.0, 10.0, 5).observe(3.25);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& h = snap.histograms[0];
+  EXPECT_EQ(h.count, 1u);
+  // Bucket [2, 4): naive boundary interpolation would report 4.0.
+  EXPECT_DOUBLE_EQ(h.p50, 3.25);
+  EXPECT_DOUBLE_EQ(h.p90, 3.25);
+  EXPECT_DOUBLE_EQ(h.p99, 3.25);
+}
+
+TEST(MetricsRegistry, PercentilesStayInsideTheSampleRange) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("clamped", 0.0, 100.0, 4);  // 25-wide buckets
+  h.observe(30.0);
+  h.observe(31.0);
+  h.observe(32.0);  // all land in [25, 50)
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_GE(snap.histograms[0].p50, 30.0);
+  EXPECT_LE(snap.histograms[0].p99, 32.0);
+}
+
 }  // namespace
 }  // namespace nfv::obs

@@ -274,6 +274,73 @@ expect_exit 2 "--resume past the end of the trace exits 2" \
   "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
   -T "$WORK/churn.trace.json" --resume "$WORK/past.ckpt.json"
 
+# --- serve: streaming telemetry (DESIGN.md §14) ---------------------------
+expect_exit 2 "--snapshot-every -1 exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.trace.json" --snapshot-every -1
+expect_exit 2 "--snapshot-every nan exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.trace.json" --snapshot-every nan
+expect_exit 2 "--timeline-span 0 exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.trace.json" --snapshot-every 0.5 --timeline-span 0
+expect_exit 2 "--timeline-out without --snapshot-every exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.trace.json" --timeline-out "$WORK/t.timeline"
+expect_exit 2 "--flight-recorder 0 exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.trace.json" --flight-recorder 0 \
+  --flight-recorder-out "$WORK/f.json"
+expect_exit 2 "--flight-recorder-dump-on-exit without out path exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.trace.json" --flight-recorder-dump-on-exit
+
+expect_exit 0 "serve with full telemetry" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.trace.json" --snapshot-every 0.5 \
+  --timeline-out "$WORK/churn.timeline" \
+  --lifecycle-out "$WORK/churn.lifecycle.json" \
+  --flight-recorder-out "$WORK/churn.flight.json" \
+  --flight-recorder-dump-on-exit -j 1
+expect_contains "$WORK/churn.timeline" 'nfvpr.timeline/1' \
+  "timeline stream carries its schema"
+expect_contains "$WORK/churn.lifecycle.json" '"ph": "X"' \
+  "lifecycle renders chrome trace spans"
+expect_contains "$WORK/churn.flight.json" 'nfvpr.flight/1' \
+  "flight recorder dump carries its schema"
+
+# The timeline stream is part of the determinism contract: any -j yields
+# the same bytes.
+expect_exit 0 "serve telemetry at -j 8" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.trace.json" --snapshot-every 0.5 \
+  --timeline-out "$WORK/churn.j8.timeline" -j 8
+if cmp -s "$WORK/churn.timeline" "$WORK/churn.j8.timeline"; then
+  echo "ok: timeline is byte-identical across -j1/-j8"
+else
+  echo "FAIL: timeline differs between -j1 and -j8" >&2
+  failures=$((failures + 1))
+fi
+
+expect_exit 0 "analyze-timeline reads the stream" \
+  "$NFVPR" analyze-timeline --in "$WORK/churn.timeline"
+expect_contains "$WORK/out.txt" 'availability_min' \
+  "analyze-timeline prints the aggregate list"
+expect_exit 0 "analyze-timeline passing --fail-on" \
+  "$NFVPR" analyze-timeline --in "$WORK/churn.timeline" \
+  --fail-on 'availability_min<0'
+expect_exit 3 "analyze-timeline violated --fail-on exits 3" \
+  "$NFVPR" analyze-timeline --in "$WORK/churn.timeline" \
+  --fail-on 'availability_min<2'
+expect_exit 2 "analyze-timeline malformed --fail-on exits 2" \
+  "$NFVPR" analyze-timeline --in "$WORK/churn.timeline" \
+  --fail-on 'availability_min~0.5'
+expect_exit 2 "analyze-timeline unknown aggregate exits 2" \
+  "$NFVPR" analyze-timeline --in "$WORK/churn.timeline" \
+  --fail-on 'no_such_metric<1'
+expect_exit 2 "analyze-timeline on junk input exits 2" \
+  sh -c "echo 'not a timeline' | '$NFVPR' analyze-timeline"
+
 # --- report pretty-print and diff ----------------------------------------
 expect_exit 0 "report pretty-print" "$NFVPR" report --in "$WORK/run.json"
 expect_exit 0 "self-diff is clean" \

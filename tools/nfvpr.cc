@@ -30,8 +30,11 @@
 #include "nfv/core/sim_builder.h"
 #include "nfv/core/tail_prediction.h"
 #include "nfv/exec/thread_pool.h"
+#include "nfv/obs/flight_recorder.h"
+#include "nfv/obs/lifecycle.h"
 #include "nfv/obs/metrics.h"
 #include "nfv/obs/report.h"
+#include "nfv/obs/timeline.h"
 #include "nfv/obs/trace.h"
 #include "nfv/placement/algorithm.h"
 #include "nfv/placement/metrics.h"
@@ -67,7 +70,11 @@ int usage() {
       "                     node churn) from a workload\n"
       "  serve              replay an event trace through the online serving\n"
       "                     engine (admission, bounded migration, scale out/in,\n"
-      "                     node-failure evacuation, checkpoint/resume)\n"
+      "                     node-failure evacuation, checkpoint/resume,\n"
+      "                     streaming telemetry: --snapshot-every,\n"
+      "                     --timeline-out, --lifecycle-out, --flight-recorder)\n"
+      "  analyze-timeline   summarize a timeline stream (nfvpr.timeline/1):\n"
+      "                     aggregates, worst windows, --fail-on CI gates\n"
       "  report             pretty-print a run report, or diff two reports\n"
       "\n"
       "place/schedule/pipeline/simulate/chaos/serve accept --metrics-out\n"
@@ -191,9 +198,10 @@ class ShardsFlag {
 /// One summary line for a sharded solve; printed only when a sharded
 /// solve actually ran, so single-component runs stay byte-identical to
 /// their unsharded twins.
-void print_shard_stats(const nfv::shard::ShardStats& s) {
+void print_shard_stats(const nfv::shard::ShardStats& s,
+                       std::FILE* out = stdout) {
   if (!s.enabled) return;
-  std::printf(
+  std::fprintf(out,
       "sharded solve         : %llu shards (%llu components, %llu splits), "
       "%llu repair + %llu drain moves, %llu boundary requests%s\n",
       static_cast<unsigned long long>(s.shards),
@@ -839,6 +847,33 @@ int cmd_serve(int argc, const char* const* argv) {
       "snapshot, byte-identical for any --threads)", "");
   const auto& with_events = cli.add_flag(
       "events-log", '\0', "include per-event decisions in the report");
+  const auto& snapshot_every = cli.add_double(
+      "snapshot-every", '\0',
+      "close a timeline window every N trace-time units (event-time driven; "
+      "the stream is byte-identical for any --threads/--shards; 0 = off)",
+      0.0);
+  const auto& timeline_span = cli.add_int(
+      "timeline-span", '\0',
+      "windows in the sliding admission-wait percentile span (>= 1)", 8);
+  const auto& timeline_out = cli.add_string(
+      "timeline-out", '\0',
+      "write the nfvpr.timeline/1 JSONL stream here ('-' = stdout, human "
+      "summary moves to stderr); requires --snapshot-every", "");
+  const auto& lifecycle_out = cli.add_string(
+      "lifecycle-out", '\0',
+      "write per-request lifecycle spans (Chrome trace-event JSON, schema "
+      "nfvpr.lifecycle/1) here", "");
+  const auto& flight_cap = cli.add_int(
+      "flight-recorder", '\0',
+      "flight-recorder ring capacity: last K engine decisions (>= 1)", 256);
+  const auto& flight_out = cli.add_string(
+      "flight-recorder-out", '\0',
+      "enable the flight recorder and dump the ring (nfvpr.flight/1) here "
+      "on crash and on every checkpoint write", "");
+  const auto& flight_dump_on_exit = cli.add_flag(
+      "flight-recorder-dump-on-exit", '\0',
+      "also dump the flight-recorder ring on normal exit (requires "
+      "--flight-recorder-out)");
   const auto& seed = cli.add_int("seed", 's', "RNG seed (recorded only; the "
                                  "engine is deterministic)", 1);
   ThreadsFlag threads(cli);
@@ -860,6 +895,21 @@ int cmd_serve(int argc, const char* const* argv) {
     std::fputs("nfvpr serve: flag value out of range\n", stderr);
     return 2;
   }
+  if (timeline_span < 1) {
+    std::fputs("nfvpr serve: --timeline-span must be >= 1\n", stderr);
+    return 2;
+  }
+  if (flight_cap < 1) {
+    std::fputs("nfvpr serve: --flight-recorder must be >= 1\n", stderr);
+    return 2;
+  }
+  if (flight_dump_on_exit && flight_out.empty()) {
+    std::fputs(
+        "nfvpr serve: --flight-recorder-dump-on-exit requires "
+        "--flight-recorder-out\n",
+        stderr);
+    return 2;
+  }
   nfv::serve::ServeConfig cfg;
   cfg.headroom = headroom;
   cfg.rebalance_threshold = rebalance;
@@ -868,6 +918,9 @@ int cmd_serve(int argc, const char* const* argv) {
   if (link >= 0.0) cfg.link_latency = link;
   cfg.overload_window = static_cast<std::size_t>(overload_window);
   cfg.degraded_headroom = degraded_headroom;
+  cfg.snapshot_every = snapshot_every;
+  cfg.timeline_span = static_cast<std::size_t>(timeline_span);
+  cfg.lifecycle = !lifecycle_out.empty();
   try {
     // NaN and out-of-range policy knobs are CLI misuse, not a runtime
     // failure: map the precondition throw to the usage exit code.
@@ -906,6 +959,34 @@ int cmd_serve(int argc, const char* const* argv) {
     } else {
       engine.emplace(topology, workload.vnfs, cfg);
     }
+    // On --resume the effective config comes from the checkpoint; the
+    // output flags must agree with what the engine actually recorded.
+    if (!timeline_out.empty() && engine->config().snapshot_every <= 0.0) {
+      std::fputs("nfvpr serve: --timeline-out requires --snapshot-every > 0\n",
+                 stderr);
+      return 2;
+    }
+    if (!lifecycle_out.empty() && !engine->config().lifecycle) {
+      std::fputs(
+          "nfvpr serve: --lifecycle-out given but the resumed checkpoint "
+          "was recorded without a lifecycle log\n",
+          stderr);
+      return 2;
+    }
+
+    std::optional<nfv::obs::FlightRecorder> flight;
+    std::optional<nfv::obs::ScopedFlightRecorder> flight_scope;
+    if (!flight_out.empty()) {
+      flight.emplace(static_cast<std::size_t>(flight_cap));
+      flight_scope.emplace(*flight);
+    }
+    const auto dump_flight = [&]() {
+      if (!flight) return;
+      std::ofstream os(flight_out);
+      if (!os) throw std::runtime_error("cannot open " + flight_out);
+      flight->dump_json(os);
+    };
+
     const auto maybe_checkpoint = [&](std::uint64_t applied, bool final) {
       if (checkpoint_out.empty()) return;
       const auto every = static_cast<std::uint64_t>(checkpoint_every);
@@ -913,12 +994,23 @@ int cmd_serve(int argc, const char* const* argv) {
       std::ofstream os(checkpoint_out);
       if (!os) throw std::runtime_error("cannot open " + checkpoint_out);
       nfv::serve::save_checkpoint(*engine, applied, os);
+      // A checkpoint marks a moment someone may later debug from; pin the
+      // decision ring that led here next to it.
+      dump_flight();
     };
-    for (std::uint64_t i = start; i < trace.events.size(); ++i) {
-      engine->on_event(trace.events[i]);
-      maybe_checkpoint(i + 1, i + 1 == trace.events.size());
+    try {
+      for (std::uint64_t i = start; i < trace.events.size(); ++i) {
+        engine->on_event(trace.events[i]);
+        maybe_checkpoint(i + 1, i + 1 == trace.events.size());
+      }
+      if (trace.events.empty()) maybe_checkpoint(0, true);
+    } catch (...) {
+      // Crash dump: the last K decisions are exactly what a post-mortem
+      // needs, and the ring is still intact here.
+      dump_flight();
+      throw;
     }
-    if (trace.events.empty()) maybe_checkpoint(0, true);
+    if (flight_dump_on_exit) dump_flight();
     const auto summary = engine->summary();
 
     const nfv::obs::ServeSection section =
@@ -941,32 +1033,53 @@ int cmd_serve(int argc, const char* const* argv) {
     inputs.serve = &section;
     tele.finish(inputs);
 
-    std::printf("events                : %llu (%llu arrivals)\n",
+    if (!timeline_out.empty()) {
+      const nfv::obs::TimelineDoc tdoc = engine->timeline_doc();
+      if (timeline_out == "-") {
+        nfv::obs::write_timeline(tdoc, std::cout);
+      } else {
+        std::ofstream os(timeline_out);
+        if (!os) throw std::runtime_error("cannot open " + timeline_out);
+        nfv::obs::write_timeline(tdoc, os);
+      }
+    }
+    if (!lifecycle_out.empty()) {
+      std::ofstream os(lifecycle_out);
+      if (!os) throw std::runtime_error("cannot open " + lifecycle_out);
+      const double trace_end =
+          engine->log().empty() ? 0.0 : engine->log().back().time;
+      nfv::obs::write_lifecycle_trace(engine->lifecycle_log(), trace_end, os);
+    }
+
+    // With the timeline on stdout the stream must stay machine-parseable,
+    // so the human summary moves to stderr.
+    std::FILE* hout = timeline_out == "-" ? stderr : stdout;
+    std::fprintf(hout, "events                : %llu (%llu arrivals)\n",
                 static_cast<unsigned long long>(summary.events),
                 static_cast<unsigned long long>(summary.arrivals));
-    std::printf("admitted              : %llu (+%llu from queue, +%llu "
+    std::fprintf(hout, "admitted              : %llu (+%llu from queue, +%llu "
                 "retried), %llu rejected\n",
                 static_cast<unsigned long long>(summary.admitted),
                 static_cast<unsigned long long>(summary.admitted_from_queue),
                 static_cast<unsigned long long>(summary.retry_admitted),
                 static_cast<unsigned long long>(summary.rejected));
-    std::printf("shed                  : %llu (+%llu fault, +%llu overload)\n",
+    std::fprintf(hout, "shed                  : %llu (+%llu fault, +%llu overload)\n",
                 static_cast<unsigned long long>(summary.shed),
                 static_cast<unsigned long long>(summary.shed_fault),
                 static_cast<unsigned long long>(summary.shed_overload));
-    std::printf("admission rate        : %.1f%%\n",
+    std::fprintf(hout, "admission rate        : %.1f%%\n",
                 100.0 * summary.admission_rate);
-    std::printf("migrations            : %llu over %llu rebalances "
+    std::fprintf(hout, "migrations            : %llu over %llu rebalances "
                 "(max %llu per pass, K=%lld)\n",
                 static_cast<unsigned long long>(summary.migrations),
                 static_cast<unsigned long long>(summary.rebalances),
                 static_cast<unsigned long long>(
                     summary.max_migrations_per_rebalance),
                 static_cast<long long>(budget));
-    std::printf("scale out / in        : %llu / %llu\n",
+    std::fprintf(hout, "scale out / in        : %llu / %llu\n",
                 static_cast<unsigned long long>(summary.scale_outs),
                 static_cast<unsigned long long>(summary.scale_ins));
-    std::printf("live at end           : %llu requests on %llu instances "
+    std::fprintf(hout, "live at end           : %llu requests on %llu instances "
                 "(%llu nodes), %llu queued, %llu retrying\n",
                 static_cast<unsigned long long>(summary.live_requests),
                 static_cast<unsigned long long>(summary.active_instances),
@@ -974,12 +1087,12 @@ int cmd_serve(int argc, const char* const* argv) {
                 static_cast<unsigned long long>(summary.queued_requests),
                 static_cast<unsigned long long>(summary.retry_queued));
     if (summary.node_downs + summary.node_ups > 0) {
-      std::printf("node churn            : %llu down / %llu up, "
+      std::fprintf(hout, "node churn            : %llu down / %llu up, "
                   "%llu instances closed\n",
                   static_cast<unsigned long long>(summary.node_downs),
                   static_cast<unsigned long long>(summary.node_ups),
                   static_cast<unsigned long long>(summary.instances_closed));
-      std::printf("evacuations           : %llu requests (%llu migrations), "
+      std::fprintf(hout, "evacuations           : %llu requests (%llu migrations), "
                   "%llu parked\n",
                   static_cast<unsigned long long>(summary.evacuated_requests),
                   static_cast<unsigned long long>(
@@ -987,13 +1100,13 @@ int cmd_serve(int argc, const char* const* argv) {
                   static_cast<unsigned long long>(summary.parked));
     }
     if (summary.degradations > 0) {
-      std::printf("degraded mode         : entered %llu times "
+      std::fprintf(hout, "degraded mode         : entered %llu times "
                   "(%llu events)\n",
                   static_cast<unsigned long long>(summary.degradations),
                   static_cast<unsigned long long>(summary.degraded_events));
     }
-    std::printf("availability          : %.4f\n", summary.availability);
-    std::printf("predicted latency     : mean %.5f s, p99 %.5f s (Eq. 16)\n",
+    std::fprintf(hout, "availability          : %.4f\n", summary.availability);
+    std::fprintf(hout, "predicted latency     : mean %.5f s, p99 %.5f s (Eq. 16)\n",
                 summary.mean_predicted_latency,
                 summary.p99_predicted_latency);
     if (shards.enabled() && summary.live_requests > 0) {
@@ -1009,25 +1122,26 @@ int cmd_serve(int argc, const char* const* argv) {
         const auto offline = nfv::core::JointOptimizer(jcfg).run(
             live_model, static_cast<std::uint64_t>(seed));
         if (offline.feasible) {
-          std::printf(
+          std::fprintf(
+              hout,
               "offline sharded solve : %zu nodes vs %llu live "
               "(avg latency %.5f s)\n",
               offline.placement_metrics.nodes_in_service,
               static_cast<unsigned long long>(summary.nodes_in_service),
               offline.avg_total_latency);
-          print_shard_stats(offline.shard_stats);
+          print_shard_stats(offline.shard_stats, hout);
         } else {
-          std::puts("offline sharded solve : infeasible");
+          std::fprintf(hout, "%s\n", "offline sharded solve : infeasible");
         }
       } catch (const std::exception& e) {
         // A live state the offline solver cannot model (e.g. a VNF with
         // no live members) skips the comparison, never fails the replay.
-        std::printf("offline sharded solve : skipped (%s)\n", e.what());
+        std::fprintf(hout, "offline sharded solve : skipped (%s)\n", e.what());
       }
     }
     if (summary.arrivals > 0 &&
         summary.admitted + summary.admitted_from_queue == 0) {
-      std::puts("INFEASIBLE — no arrival could be admitted");
+      std::fprintf(hout, "%s\n", "INFEASIBLE — no arrival could be admitted");
       return 3;
     }
     return 0;
@@ -1039,6 +1153,137 @@ int cmd_serve(int argc, const char* const* argv) {
   } catch (const nfv::serve::CheckpointParseError& e) {
     // Likewise for a truncated, corrupt, or mismatched checkpoint.
     std::fprintf(stderr, "nfvpr serve: bad checkpoint: %s\n", e.what());
+    return 2;
+  }
+}
+
+int cmd_analyze_timeline(int argc, const char* const* argv) {
+  nfv::CliParser cli("nfvpr analyze-timeline",
+                     "summarize a timeline stream (nfvpr.timeline/1)");
+  const auto& in = cli.add_string(
+      "in", 'i', "timeline JSONL file ('-' = stdin)", "-");
+  const auto& top = cli.add_int(
+      "top", 'n', "show the N worst windows by availability", 3);
+  const auto& fail_on = cli.add_string(
+      "fail-on", '\0',
+      "exit 3 when 'name<thr' or 'name>thr' holds for a whole-stream "
+      "aggregate, e.g. availability_min<0.95 or shed_total>10", "");
+  if (!cli.parse(argc, argv)) return parse_exit(cli);
+  if (top < 0) {
+    std::fputs("nfvpr analyze-timeline: --top must be >= 0\n", stderr);
+    return 2;
+  }
+
+  // Parse --fail-on before reading the stream: a malformed expression is a
+  // usage error regardless of the input.
+  std::string fail_name;
+  char fail_op = '\0';
+  double fail_threshold = 0.0;
+  if (!fail_on.empty()) {
+    const std::size_t pos = fail_on.find_first_of("<>");
+    std::size_t consumed = 0;
+    if (pos != std::string::npos && pos > 0) {
+      fail_name = fail_on.substr(0, pos);
+      fail_op = fail_on[pos];
+      try {
+        fail_threshold = std::stod(fail_on.substr(pos + 1), &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+    }
+    if (fail_op == '\0' || consumed != fail_on.size() - fail_name.size() - 1) {
+      std::fprintf(stderr,
+                   "nfvpr analyze-timeline: bad --fail-on expression '%s' "
+                   "(expected name<value or name>value)\n",
+                   fail_on.c_str());
+      return 2;
+    }
+  }
+
+  std::string text;
+  if (in == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  } else {
+    text = read_file(in);
+  }
+  try {
+    const nfv::obs::TimelineDoc doc = nfv::obs::load_timeline(text);
+    const nfv::obs::TimelineAggregates agg =
+        nfv::obs::aggregate_timeline(doc.records);
+    const auto values = nfv::obs::aggregate_values(agg);
+
+    std::printf("timeline: %llu windows of %g s, %llu nodes\n",
+                static_cast<unsigned long long>(agg.windows),
+                doc.snapshot_every,
+                static_cast<unsigned long long>(doc.nodes));
+    std::size_t width = 0;
+    for (const auto& [name, value] : values) {
+      width = std::max(width, name.size());
+    }
+    for (const auto& [name, value] : values) {
+      std::printf("  %-*s : %.17g\n", static_cast<int>(width), name.c_str(),
+                  value);
+    }
+
+    if (top > 0 && !doc.records.empty()) {
+      // Worst windows by availability (ties break to the earlier window so
+      // the table is deterministic).
+      std::vector<std::size_t> order(doc.records.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return doc.records[a].availability <
+                                doc.records[b].availability;
+                       });
+      nfv::Table table({"window", "t_start", "avail", "offered", "carried",
+                        "shed", "queued", "down"});
+      table.set_precision(4);
+      for (std::size_t i = 0;
+           i < order.size() && i < static_cast<std::size_t>(top); ++i) {
+        const nfv::obs::TimelineRecord& r = doc.records[order[i]];
+        table.add_row({static_cast<long long>(r.window), r.t_start,
+                       r.availability, r.offered_rate, r.carried_rate,
+                       static_cast<long long>(r.shed),
+                       static_cast<long long>(r.queued),
+                       static_cast<long long>(r.nodes_down)});
+      }
+      std::printf("\nworst windows:\n");
+      std::fputs(table.markdown().c_str(), stdout);
+    }
+
+    if (!fail_on.empty()) {
+      const auto it =
+          std::find_if(values.begin(), values.end(),
+                       [&](const auto& nv) { return nv.first == fail_name; });
+      if (it == values.end()) {
+        std::fprintf(stderr,
+                     "nfvpr analyze-timeline: unknown aggregate '%s' in "
+                     "--fail-on\n",
+                     fail_name.c_str());
+        return 2;
+      }
+      const bool violated = fail_op == '<' ? it->second < fail_threshold
+                                           : it->second > fail_threshold;
+      if (violated) {
+        std::fprintf(stderr,
+                     "nfvpr analyze-timeline: FAIL %s = %.17g violates "
+                     "%s%c%.17g (worst window %llu @ t=%.17g)\n",
+                     fail_name.c_str(), it->second, fail_name.c_str(),
+                     fail_op, fail_threshold,
+                     static_cast<unsigned long long>(agg.worst_window),
+                     agg.worst_window_t_start);
+        return 3;
+      }
+      std::printf("\nfail-on check ok: %s = %.17g\n", fail_name.c_str(),
+                  it->second);
+    }
+    return 0;
+  } catch (const nfv::obs::TimelineParseError& e) {
+    // Malformed input is CLI misuse, matching the trace/checkpoint policy.
+    std::fprintf(stderr, "nfvpr analyze-timeline: bad timeline: %s\n",
+                 e.what());
     return 2;
   }
 }
@@ -1105,6 +1350,9 @@ int main(int argc, char** argv) {
       return cmd_generate_trace(sub_argc, sub_argv);
     }
     if (subcommand == "serve") return cmd_serve(sub_argc, sub_argv);
+    if (subcommand == "analyze-timeline") {
+      return cmd_analyze_timeline(sub_argc, sub_argv);
+    }
     if (subcommand == "report") return cmd_report(sub_argc, sub_argv);
   } catch (const nfv::InfeasibleError& e) {
     // Well-formed input that no algorithm can satisfy (e.g. a VNF larger
