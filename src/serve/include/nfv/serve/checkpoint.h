@@ -35,6 +35,16 @@ class CheckpointParseError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Resumable position inside a binary "nfvpr.btrace/1" trace: the byte
+/// offset of the next undecoded record plus the IEEE-754 bits of the last
+/// decoded timestamp (the XOR base the next record's delta applies to).
+/// Only binary-trace serve runs write it — text-path checkpoints carry no
+/// cursor fields and stay byte-identical to the pre-btrace format.
+struct BinaryTraceCursor {
+  std::uint64_t byte_offset = 0;
+  std::uint64_t time_bits = 0;
+};
+
 /// Light summary returned by peek_checkpoint.
 struct CheckpointInfo {
   std::uint64_t cursor = 0;     ///< trace events already applied
@@ -42,13 +52,21 @@ struct CheckpointInfo {
   std::uint64_t node_count = 0;
   std::uint64_t live_requests = 0;
   std::uint64_t logged_events = 0;
+  /// Present when the checkpointed run was serving a binary trace.
+  bool has_btrace_cursor = false;
+  BinaryTraceCursor btrace;
 };
 
 /// Serializes the engine state after `cursor` trace events were applied.
+/// `btrace` (optional) records the matching binary-trace position; passing
+/// nullptr — every text-path caller — keeps the output byte-identical to
+/// the original nfvpr.checkpoint/1 layout.
 void save_checkpoint(const ServeEngine& engine, std::uint64_t cursor,
-                     std::ostream& out);
-[[nodiscard]] std::string save_checkpoint_string(const ServeEngine& engine,
-                                                 std::uint64_t cursor);
+                     std::ostream& out,
+                     const BinaryTraceCursor* btrace = nullptr);
+[[nodiscard]] std::string save_checkpoint_string(
+    const ServeEngine& engine, std::uint64_t cursor,
+    const BinaryTraceCursor* btrace = nullptr);
 
 /// Parses and structurally validates checkpoint text without needing a
 /// topology (the fuzz target's entry point); throws CheckpointParseError.
@@ -58,10 +76,15 @@ void save_checkpoint(const ServeEngine& engine, std::uint64_t cursor,
 /// be the ones the checkpointed run used (counts are verified; the config
 /// is taken from the checkpoint so resumed decisions match the original
 /// run exactly).  Returns the engine; `*cursor` receives the number of
-/// trace events to skip.  Throws CheckpointParseError on any mismatch.
+/// trace events to skip.  When the checkpoint carries a binary-trace
+/// cursor and `btrace`/`has_btrace` are non-null, they receive it — the
+/// resume path seeks the decoder there instead of skipping records.
+/// Throws CheckpointParseError on any mismatch.
 [[nodiscard]] ServeEngine restore_checkpoint(std::string_view text,
                                              topo::Topology topology,
                                              std::vector<workload::Vnf> vnfs,
-                                             std::uint64_t* cursor);
+                                             std::uint64_t* cursor,
+                                             BinaryTraceCursor* btrace = nullptr,
+                                             bool* has_btrace = nullptr);
 
 }  // namespace nfv::serve

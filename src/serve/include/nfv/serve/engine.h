@@ -56,6 +56,10 @@
 #include "nfv/workload/event_stream.h"
 #include "nfv/workload/vnf.h"
 
+namespace nfv::workload {
+class BinaryTraceDecoder;
+}  // namespace nfv::workload
+
 namespace nfv::serve {
 
 /// Serving-policy knobs.
@@ -200,6 +204,23 @@ class ServeEngine {
 
   /// Replays a whole trace; returns one outcome per event.
   std::vector<EventOutcome> replay(const workload::EventTrace& trace);
+
+  /// Applies `count` events from contiguous storage as one micro-batch.
+  /// Decisions, state, and the log are bit-identical to calling on_event
+  /// in a loop — only the bookkeeping is amortized (log growth reserved
+  /// once per batch, no per-event outcome copy back to the caller).
+  void apply_batch(const workload::StreamEvent* events, std::size_t count);
+
+  /// Streams up to `limit` events out of a binary trace decoder in
+  /// micro-batches of `batch_size`, reusing one decode buffer so the
+  /// steady-state loop performs no heap allocation, and returns the number
+  /// applied (less than `limit` only when the decoder ran dry).  The
+  /// resulting state is bit-identical to on_event over the same events for
+  /// any batch size; callers chasing a checkpoint cadence pass the
+  /// distance to the next checkpoint as `limit`.
+  std::uint64_t replay_binary(
+      workload::BinaryTraceDecoder& decoder, std::size_t batch_size = 256,
+      std::uint64_t limit = ~std::uint64_t{0});
 
   /// All outcomes so far, in event order.
   [[nodiscard]] const std::vector<EventOutcome>& log() const { return log_; }
@@ -349,6 +370,9 @@ class ServeEngine {
   void drain_queue(EventOutcome& outcome,
                    std::vector<std::uint32_t>& touched_vnfs);
   void finish_outcome(EventOutcome& outcome);
+  /// on_event minus the outcome copy-out: appends to log_ and returns
+  /// nothing.  The shared body of on_event and apply_batch.
+  void process_event(const workload::StreamEvent& event);
 
   // --- streaming telemetry (DESIGN.md §14) ---
   [[nodiscard]] bool timeline_on() const {
@@ -408,6 +432,12 @@ class ServeEngine {
   bool saw_event_ = false;
   std::uint64_t next_seq_ = 0;
   std::uint64_t work_ = 0;
+
+  // Transient per-event / per-batch scratch (never checkpointed, never
+  // read across events): the touched-VNF accumulator that used to be three
+  // per-event vector locals, and replay_binary's reusable decode batch.
+  std::vector<std::uint32_t> touched_scratch_;
+  std::vector<workload::StreamEvent> batch_;
 
   // Degradation window: last `overload_window` pressure bits, oldest first.
   std::vector<std::uint8_t> pressure_window_;

@@ -128,6 +128,48 @@ void read_telemetry_config(const obs::JsonValue& c, ServeConfig& config) {
   }
 }
 
+std::string hex_bits(std::uint64_t v) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// Reads the optional binary-trace cursor pair; both fields must appear
+/// together, and trace_time_bits must be exactly 16 hex digits.
+bool read_btrace_cursor(const obs::JsonValue& doc, BinaryTraceCursor* out) {
+  const obs::JsonValue* offset = doc.find("trace_offset");
+  const obs::JsonValue* bits = doc.find("trace_time_bits");
+  if (offset == nullptr && bits == nullptr) return false;
+  if (offset == nullptr || bits == nullptr) {
+    ckpt_fail(
+        "trace_offset and trace_time_bits must appear together (binary "
+        "trace cursor)");
+  }
+  BinaryTraceCursor cursor;
+  cursor.byte_offset = get_uint(doc, "trace_offset");
+  if (!bits->is_string() || bits->as_string().size() != 16) {
+    ckpt_fail("trace_time_bits must be a 16-digit hex string");
+  }
+  std::uint64_t value = 0;
+  for (const char c : bits->as_string()) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      ckpt_fail("trace_time_bits must be a 16-digit hex string");
+    }
+  }
+  cursor.time_bits = value;
+  if (out != nullptr) *out = cursor;
+  return true;
+}
+
 void write_pending(obs::JsonWriter& w, std::uint32_t id, double rate,
                    double prob, const std::vector<std::uint32_t>& chain) {
   w.kv("id", std::uint64_t{id});
@@ -144,11 +186,20 @@ void write_pending(obs::JsonWriter& w, std::uint32_t id, double rate,
 /// Private-state serializer/deserializer; befriended by ServeEngine.
 struct CheckpointIo {
   static void save(const ServeEngine& e, std::uint64_t cursor,
-                   std::ostream& out) {
+                   std::ostream& out, const BinaryTraceCursor* btrace) {
     obs::JsonWriter w(out);
     w.begin_object();
     w.kv("schema", kCheckpointSchema);
     w.kv("cursor", cursor);
+    if (btrace != nullptr) {
+      // Binary-trace position (absent for text traces, keeping those
+      // checkpoints byte-identical to the pre-btrace layout).  time_bits is
+      // a full 64-bit value — IEEE-754 bits of the last timestamp — which a
+      // JSON number (a double) cannot carry exactly, so it travels as a
+      // fixed-width hex string.
+      w.kv("trace_offset", btrace->byte_offset);
+      w.kv("trace_time_bits", hex_bits(btrace->time_bits));
+    }
     w.kv("vnf_count", static_cast<std::uint64_t>(e.vnfs_.size()));
     w.kv("node_count", static_cast<std::uint64_t>(e.node_free_.size()));
 
@@ -782,14 +833,15 @@ struct CheckpointIo {
 };
 
 void save_checkpoint(const ServeEngine& engine, std::uint64_t cursor,
-                     std::ostream& out) {
-  CheckpointIo::save(engine, cursor, out);
+                     std::ostream& out, const BinaryTraceCursor* btrace) {
+  CheckpointIo::save(engine, cursor, out, btrace);
 }
 
 std::string save_checkpoint_string(const ServeEngine& engine,
-                                   std::uint64_t cursor) {
+                                   std::uint64_t cursor,
+                                   const BinaryTraceCursor* btrace) {
   std::ostringstream os;
-  save_checkpoint(engine, cursor, os);
+  save_checkpoint(engine, cursor, os, btrace);
   return os.str();
 }
 
@@ -797,6 +849,7 @@ CheckpointInfo peek_checkpoint(std::string_view text) {
   const obs::JsonValue doc = parse_document(text);
   CheckpointInfo info;
   info.cursor = get_uint(doc, "cursor");
+  info.has_btrace_cursor = read_btrace_cursor(doc, &info.btrace);
   info.vnf_count = get_uint(doc, "vnf_count");
   info.node_count = get_uint(doc, "node_count");
   info.live_requests = get_array(doc, "live").size();
@@ -841,9 +894,12 @@ CheckpointInfo peek_checkpoint(std::string_view text) {
 
 ServeEngine restore_checkpoint(std::string_view text, topo::Topology topology,
                                std::vector<workload::Vnf> vnfs,
-                               std::uint64_t* cursor) {
+                               std::uint64_t* cursor,
+                               BinaryTraceCursor* btrace, bool* has_btrace) {
   const obs::JsonValue doc = parse_document(text);
   const std::uint64_t at = get_uint(doc, "cursor");
+  const bool btrace_present = read_btrace_cursor(doc, btrace);
+  if (has_btrace != nullptr) *has_btrace = btrace_present;
 
   const obs::JsonValue& c = get_object(doc, "config");
   ServeConfig config;

@@ -12,6 +12,7 @@
 #include "nfv/obs/flight_recorder.h"
 #include "nfv/obs/metrics.h"
 #include "nfv/scheduling/algorithm.h"
+#include "nfv/workload/btrace.h"
 #include "nfv/scheduling/migration.h"
 #include "nfv/scheduling/problem.h"
 
@@ -938,6 +939,11 @@ void ServeEngine::finish_outcome(EventOutcome& outcome) {
 }
 
 EventOutcome ServeEngine::on_event(const workload::StreamEvent& event) {
+  process_event(event);
+  return log_.back();
+}
+
+void ServeEngine::process_event(const workload::StreamEvent& event) {
   if (saw_event_ && event.time < last_time_) {
     event_fail(event, "non-monotonic timestamp " + std::to_string(event.time) +
                           " after " + std::to_string(last_time_));
@@ -1015,7 +1021,8 @@ EventOutcome ServeEngine::on_event(const workload::StreamEvent& event) {
     }
     case workload::StreamEventKind::kDepart: {
       outcome.decision = Decision::kDeparted;
-      std::vector<std::uint32_t> touched;
+      std::vector<std::uint32_t>& touched = touched_scratch_;
+      touched.clear();
       if (const auto it = live_.find(event.request); it != live_.end()) {
         ++totals_.departures;
         touched = it->second.chain;
@@ -1099,7 +1106,8 @@ EventOutcome ServeEngine::on_event(const workload::StreamEvent& event) {
           record_lifecycle(outcome, obs::LifecycleStage::kShed,
                            event.request);
         }
-        std::vector<std::uint32_t> touched;
+        std::vector<std::uint32_t>& touched = touched_scratch_;
+        touched.clear();
         drain_queue(outcome, touched);
         std::sort(touched.begin(), touched.end());
         touched.erase(std::unique(touched.begin(), touched.end()),
@@ -1120,7 +1128,8 @@ EventOutcome ServeEngine::on_event(const workload::StreamEvent& event) {
   // ladder — both keyed on the event index, so replay position (not wall
   // time) drives every decision.
   {
-    std::vector<std::uint32_t> touched;
+    std::vector<std::uint32_t>& touched = touched_scratch_;
+    touched.clear();
     drain_retry_queue(outcome, touched);
     std::sort(touched.begin(), touched.end());
     touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
@@ -1129,7 +1138,6 @@ EventOutcome ServeEngine::on_event(const workload::StreamEvent& event) {
   update_degradation(outcome);
 
   finish_outcome(outcome);
-  return outcome;
 }
 
 std::vector<EventOutcome> ServeEngine::replay(
@@ -1141,6 +1149,33 @@ std::vector<EventOutcome> ServeEngine::replay(
     outcomes.push_back(on_event(event));
   }
   return outcomes;
+}
+
+void ServeEngine::apply_batch(const workload::StreamEvent* events,
+                              std::size_t count) {
+  log_.reserve(log_.size() + count);
+  for (std::size_t i = 0; i < count; ++i) process_event(events[i]);
+}
+
+std::uint64_t ServeEngine::replay_binary(workload::BinaryTraceDecoder& decoder,
+                                         std::size_t batch_size,
+                                         std::uint64_t limit) {
+  NFV_REQUIRE(batch_size >= 1);
+  NFV_REQUIRE(decoder.vnf_count() <= vnfs_.size());
+  if (batch_.size() < batch_size) batch_.resize(batch_size);
+  std::uint64_t applied = 0;
+  while (applied < limit) {
+    // Refill in place: batch_[i].chain keeps its capacity across refills,
+    // so a warm loop decodes and applies without touching the heap.
+    std::size_t n = 0;
+    while (n < batch_size && applied + n < limit && decoder.next(batch_[n])) {
+      ++n;
+    }
+    if (n == 0) break;
+    apply_batch(batch_.data(), n);
+    applied += n;
+  }
+  return applied;
 }
 
 ServeSummary ServeEngine::summary() const {

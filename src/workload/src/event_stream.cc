@@ -1,10 +1,12 @@
 #include "nfv/workload/event_stream.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <limits>
 #include <ostream>
 #include <sstream>
+#include <system_error>
 #include <unordered_set>
 
 #include "nfv/common/error.h"
@@ -107,100 +109,467 @@ void EventTrace::validate() const {
   }
 }
 
-EventTrace load_event_trace(std::string_view text) {
-  std::string error;
-  const auto doc = obs::parse_json(text, &error);
-  if (!doc) throw TraceParseError("trace is not valid JSON: " + error);
-  if (!doc->is_object()) throw TraceParseError("trace must be a JSON object");
-  const std::string schema = doc->string_or("schema");
-  const bool v2 = schema == kEventTraceSchemaV2;
-  if (schema != kEventTraceSchema && !v2) {
-    throw TraceParseError("unsupported trace schema '" + schema +
-                          "' (expected '" + std::string(kEventTraceSchema) +
-                          "' or '" + std::string(kEventTraceSchemaV2) + "')");
-  }
+namespace {
 
-  EventTrace trace;
-  const double vnf_count = doc->number_or("vnf_count", -1.0);
-  if (!(vnf_count >= 1.0) || vnf_count != std::floor(vnf_count)) {
-    throw TraceParseError("vnf_count must be a positive integer");
-  }
-  trace.vnf_count = static_cast<std::uint32_t>(vnf_count);
+constexpr bool is_json_digit(char c) { return c >= '0' && c <= '9'; }
+constexpr bool is_json_ws(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
 
-  const obs::JsonValue* events = doc->find("events");
-  if (events == nullptr || !events->is_array()) {
-    throw TraceParseError("trace needs an \"events\" array");
-  }
-  trace.events.reserve(events->as_array().size());
-  std::size_t i = 0;
-  for (const obs::JsonValue& ev : events->as_array()) {
-    if (!ev.is_object()) fail(i, "event must be an object");
-    StreamEvent e;
-    const obs::JsonValue* t = ev.find("t");
-    if (t == nullptr || !t->is_number()) fail(i, "event needs a numeric \"t\"");
-    e.time = t->as_number();
-    const std::string kind = ev.string_or("kind");
-    if (kind == "arrive") {
-      e.kind = StreamEventKind::kArrive;
-    } else if (kind == "depart") {
-      e.kind = StreamEventKind::kDepart;
-    } else if (kind == "rate_change") {
-      e.kind = StreamEventKind::kRateChange;
-    } else if (kind == "node_down" || kind == "node_up") {
-      if (!v2) {
-        fail(i, "kind '" + kind + "' requires schema '" +
-                    std::string(kEventTraceSchemaV2) + "'");
-      }
-      e.kind = kind == "node_down" ? StreamEventKind::kNodeDown
-                                   : StreamEventKind::kNodeUp;
-    } else {
-      fail(i, "unknown kind '" + kind + "'");
-    }
-    if (is_node_event(e.kind)) {
-      const obs::JsonValue* node = ev.find("node");
-      if (node == nullptr || !node->is_number()) {
-        fail(i, "node event needs a numeric \"node\" id");
-      }
-      const double id = node->as_number();
-      if (id < 0.0 || id != std::floor(id)) {
-        fail(i, "node id must be a non-negative integer");
-      }
-      e.node = static_cast<std::uint32_t>(id);
-      trace.events.push_back(std::move(e));
-      ++i;
-      continue;
-    }
-    const obs::JsonValue* request = ev.find("request");
-    if (request == nullptr || !request->is_number()) {
-      fail(i, "event needs a numeric \"request\" id");
-    }
-    const double id = request->as_number();
-    if (id < 0.0 || id != std::floor(id)) {
-      fail(i, "request id must be a non-negative integer");
-    }
-    e.request = static_cast<std::uint32_t>(id);
-    if (e.kind != StreamEventKind::kDepart) {
-      e.rate = ev.number_or("rate");
-    }
-    if (e.kind == StreamEventKind::kArrive) {
-      e.delivery_prob = ev.number_or("delivery_prob", 1.0);
-      const obs::JsonValue* chain = ev.find("chain");
-      if (chain == nullptr || !chain->is_array()) {
-        fail(i, "arrive needs a \"chain\" array");
-      }
-      for (const obs::JsonValue& hop : chain->as_array()) {
-        if (!hop.is_number() || hop.as_number() < 0.0 ||
-            hop.as_number() != std::floor(hop.as_number())) {
-          fail(i, "chain entries must be non-negative integers");
+constexpr double kMaxId =
+    static_cast<double>(std::numeric_limits<std::uint32_t>::max());
+
+// In-place single-pass scanner for the trace JSON subset.  Replaces the
+// generic obs::parse_json DOM on the serve front door: no tree, no
+// per-token strings — std::from_chars straight off the input buffer, a
+// reusable scratch only for the (rare) escaped string.  Every error names
+// the 1-based line and, for token-level failures, the offending token;
+// lines are counted only on the cold error path.
+class TraceScanner {
+ public:
+  explicit TraceScanner(std::string_view text)
+      : begin_(text.data()), p_(begin_), end_(begin_ + text.size()) {}
+
+  EventTrace parse() {
+    skip_ws();
+    consume('{', "trace must be a JSON object");
+    skip_ws();
+    const char* deferred_events = nullptr;
+    if (!try_consume('}')) {
+      for (;;) {
+        const std::string_view key = parse_string("an object key");
+        skip_ws();
+        consume(':', "expected ':' after object key");
+        skip_ws();
+        if (key == "schema") {
+          const std::string_view schema = parse_string("\"schema\"");
+          v2_ = schema == kEventTraceSchemaV2;
+          if (schema != kEventTraceSchema && !v2_) {
+            err_plain("unsupported trace schema '" + std::string(schema) +
+                      "' (expected '" + std::string(kEventTraceSchema) +
+                      "' or '" + std::string(kEventTraceSchemaV2) + "')");
+          }
+          saw_schema_ = true;
+        } else if (key == "vnf_count") {
+          const double v = parse_number("vnf_count must be a positive integer");
+          if (!(v >= 1.0) || v != std::floor(v) || v > kMaxId) {
+            err_plain("vnf_count must be a positive integer");
+          }
+          trace_.vnf_count = static_cast<std::uint32_t>(v);
+          saw_vnf_count_ = true;
+        } else if (key == "events") {
+          if (saw_schema_) {
+            parse_events();
+          } else {
+            // The node-event kinds are gated on the schema version, so an
+            // events array that precedes "schema" is skipped now and
+            // re-scanned once the whole object is read.
+            deferred_events = p_;
+            skip_value();
+          }
+          saw_events_ = true;
+        } else {
+          skip_value();
         }
-        e.chain.push_back(static_cast<std::uint32_t>(hop.as_number()));
+        skip_ws();
+        if (try_consume(',')) {
+          skip_ws();
+          continue;
+        }
+        consume('}', "expected ',' or '}' in the trace object");
+        break;
       }
     }
-    trace.events.push_back(std::move(e));
-    ++i;
+    if (!saw_schema_) err_plain("trace is missing its \"schema\" field");
+    if (!saw_vnf_count_) err_plain("vnf_count must be a positive integer");
+    if (!saw_events_) err_plain("trace needs an \"events\" array");
+    if (deferred_events != nullptr) {
+      const char* after_object = p_;
+      p_ = deferred_events;
+      parse_events();
+      p_ = after_object;
+    }
+    skip_ws();
+    if (p_ != end_) err("trailing content after the trace document");
+    try {
+      trace_.validate();
+    } catch (const TraceParseError& e) {
+      rethrow_with_line(e);
+    }
+    return std::move(trace_);
   }
-  trace.validate();
-  return trace;
+
+ private:
+  [[nodiscard]] std::size_t line_of(const char* pos) const {
+    return 1 + static_cast<std::size_t>(std::count(begin_, pos, '\n'));
+  }
+
+  [[nodiscard]] std::string token_at() const {
+    if (p_ == end_) return "end of input";
+    const char* q = p_;
+    const auto is_delim = [](char c) {
+      return is_json_ws(c) || c == ',' || c == '}' || c == ']' || c == ':';
+    };
+    if (is_delim(*q)) {
+      ++q;
+    } else {
+      while (q != end_ && q - p_ < 24 && !is_delim(*q)) ++q;
+    }
+    return "'" + std::string(p_, q) + "'";
+  }
+
+  [[noreturn]] void err(const std::string& what) const {
+    throw TraceParseError("trace line " + std::to_string(line_of(p_)) + ": " +
+                          what + " near " + token_at());
+  }
+
+  [[noreturn]] void err_plain(const std::string& what) const {
+    throw TraceParseError("trace line " + std::to_string(line_of(p_)) + ": " +
+                          what);
+  }
+
+  /// Remaps EventTrace::validate's "trace event N: ..." onto the line the
+  /// loader recorded for event N.
+  [[noreturn]] void rethrow_with_line(const TraceParseError& e) const {
+    const std::string_view msg = e.what();
+    constexpr std::string_view prefix = "trace event ";
+    if (msg.substr(0, prefix.size()) == prefix) {
+      std::size_t i = prefix.size();
+      std::size_t n = 0;
+      bool any = false;
+      while (i < msg.size() && is_json_digit(msg[i])) {
+        n = n * 10 + static_cast<std::size_t>(msg[i] - '0');
+        any = true;
+        ++i;
+      }
+      if (any && n < event_pos_.size()) {
+        throw TraceParseError("trace line " +
+                              std::to_string(line_of(event_pos_[n])) + ": " +
+                              std::string(msg));
+      }
+    }
+    throw e;
+  }
+
+  void skip_ws() {
+    while (p_ != end_ && is_json_ws(*p_)) ++p_;
+  }
+
+  bool try_consume(char c) {
+    if (p_ != end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  void consume(char c, const char* what) {
+    if (!try_consume(c)) err(what);
+  }
+
+  /// Strict JSON number grammar scanned first (std::from_chars alone would
+  /// also accept "inf"/"nan" and non-JSON spellings), then converted off
+  /// the input buffer.  `what` is the full failure message.
+  double parse_number(const char* what) {
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') ++p_;
+    if (p_ == end_ || !is_json_digit(*p_)) {
+      p_ = start;
+      err(what);
+    }
+    if (*p_ == '0') {
+      ++p_;
+    } else {
+      while (p_ != end_ && is_json_digit(*p_)) ++p_;
+    }
+    if (p_ != end_ && *p_ == '.') {
+      ++p_;
+      if (p_ == end_ || !is_json_digit(*p_)) err("malformed number");
+      while (p_ != end_ && is_json_digit(*p_)) ++p_;
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      ++p_;
+      if (p_ != end_ && (*p_ == '+' || *p_ == '-')) ++p_;
+      if (p_ == end_ || !is_json_digit(*p_)) err("malformed number");
+      while (p_ != end_ && is_json_digit(*p_)) ++p_;
+    }
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(start, p_, value);
+    if (ec != std::errc() || ptr != p_) {
+      p_ = start;
+      err("number out of range");
+    }
+    return value;
+  }
+
+  /// Returns a view into the input when the string has no escapes (the hot
+  /// case for every key and kind); otherwise decodes into a reusable
+  /// scratch and returns a view of that.
+  std::string_view parse_string(const char* what) {
+    if (p_ == end_ || *p_ != '"') {
+      err(std::string("expected a string for ") + what);
+    }
+    ++p_;
+    const char* start = p_;
+    while (p_ != end_ && *p_ != '"' && *p_ != '\\') {
+      if (static_cast<unsigned char>(*p_) < 0x20) {
+        err("unescaped control character in string");
+      }
+      ++p_;
+    }
+    if (p_ == end_) err_plain("unterminated string");
+    if (*p_ == '"') {
+      const std::string_view sv(start, static_cast<std::size_t>(p_ - start));
+      ++p_;
+      return sv;
+    }
+    scratch_.assign(start, p_);
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) err_plain("unterminated string escape");
+        const char c = *p_++;
+        switch (c) {
+          case '"': scratch_.push_back('"'); break;
+          case '\\': scratch_.push_back('\\'); break;
+          case '/': scratch_.push_back('/'); break;
+          case 'b': scratch_.push_back('\b'); break;
+          case 'f': scratch_.push_back('\f'); break;
+          case 'n': scratch_.push_back('\n'); break;
+          case 'r': scratch_.push_back('\r'); break;
+          case 't': scratch_.push_back('\t'); break;
+          case 'u': {
+            if (end_ - p_ < 4) err_plain("truncated \\u escape");
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = *p_++;
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                err("invalid \\u escape digit");
+            }
+            if (code < 0x80) {
+              scratch_.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              scratch_.push_back(static_cast<char>(0xc0 | (code >> 6)));
+              scratch_.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              scratch_.push_back(static_cast<char>(0xe0 | (code >> 12)));
+              scratch_.push_back(
+                  static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              scratch_.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default:
+            --p_;
+            err("unknown string escape");
+        }
+      } else {
+        if (static_cast<unsigned char>(*p_) < 0x20) {
+          err("unescaped control character in string");
+        }
+        scratch_.push_back(*p_++);
+      }
+    }
+    if (p_ == end_) err_plain("unterminated string");
+    ++p_;
+    return scratch_;
+  }
+
+  /// Skips any JSON value without building anything.  Iterative (a depth
+  /// counter, not recursion) so adversarially nested input cannot blow the
+  /// stack; inside a skip, bracket kinds are not cross-checked — the value
+  /// is unknown to the schema and only its extent matters.
+  void skip_value() {
+    skip_ws();
+    if (p_ == end_) err_plain("unexpected end of input in value");
+    const char c = *p_;
+    if (c == '"') {
+      (void)parse_string("a skipped value");
+      return;
+    }
+    if (c == '{' || c == '[') {
+      std::size_t depth = 0;
+      do {
+        if (p_ == end_) err_plain("unterminated value");
+        const char ch = *p_;
+        if (ch == '"') {
+          (void)parse_string("a skipped value");
+          continue;
+        }
+        if (ch == '{' || ch == '[') {
+          ++depth;
+        } else if (ch == '}' || ch == ']') {
+          --depth;
+        }
+        ++p_;
+      } while (depth > 0);
+      return;
+    }
+    const char* start = p_;
+    while (p_ != end_ && *p_ != ',' && *p_ != '}' && *p_ != ']' &&
+           !is_json_ws(*p_)) {
+      ++p_;
+    }
+    if (p_ == start) err("expected a value");
+  }
+
+  void parse_events() {
+    consume('[', "trace needs an \"events\" array");
+    skip_ws();
+    if (try_consume(']')) return;
+    for (;;) {
+      parse_event();
+      skip_ws();
+      if (try_consume(',')) {
+        skip_ws();
+        continue;
+      }
+      consume(']', "expected ',' or ']' in the events array");
+      return;
+    }
+  }
+
+  void parse_event() {
+    const std::size_t i = trace_.events.size();
+    event_pos_.push_back(p_);
+    const auto fail_event = [&](const std::string& what) {
+      err_plain("event " + std::to_string(i) + ": " + what);
+    };
+    if (!try_consume('{')) fail_event("event must be an object");
+    bool saw_t = false;
+    bool saw_kind = false;
+    bool saw_request = false;
+    bool saw_node = false;
+    bool saw_chain = false;
+    double t = 0.0;
+    double rate = 0.0;
+    double prob = 1.0;
+    double request = 0.0;
+    double node = 0.0;
+    StreamEventKind kind = StreamEventKind::kArrive;
+    std::vector<std::uint32_t> chain;
+    skip_ws();
+    if (!try_consume('}')) {
+      for (;;) {
+        const std::string_view key = parse_string("an event key");
+        skip_ws();
+        consume(':', "expected ':' after event key");
+        skip_ws();
+        if (key == "t") {
+          t = parse_number("event needs a numeric \"t\"");
+          saw_t = true;
+        } else if (key == "kind") {
+          const std::string_view k = parse_string("\"kind\"");
+          if (k == "arrive") {
+            kind = StreamEventKind::kArrive;
+          } else if (k == "depart") {
+            kind = StreamEventKind::kDepart;
+          } else if (k == "rate_change") {
+            kind = StreamEventKind::kRateChange;
+          } else if (k == "node_down" || k == "node_up") {
+            if (!v2_) {
+              fail_event("kind '" + std::string(k) + "' requires schema '" +
+                         std::string(kEventTraceSchemaV2) + "'");
+            }
+            kind = k == "node_down" ? StreamEventKind::kNodeDown
+                                    : StreamEventKind::kNodeUp;
+          } else {
+            fail_event("unknown kind '" + std::string(k) + "'");
+          }
+          saw_kind = true;
+        } else if (key == "request") {
+          request = parse_number("event needs a numeric \"request\" id");
+          saw_request = true;
+        } else if (key == "node") {
+          node = parse_number("node event needs a numeric \"node\" id");
+          saw_node = true;
+        } else if (key == "rate") {
+          rate = parse_number("\"rate\" must be a number");
+        } else if (key == "delivery_prob") {
+          prob = parse_number("\"delivery_prob\" must be a number");
+        } else if (key == "chain") {
+          consume('[', "arrive needs a \"chain\" array");
+          skip_ws();
+          chain.clear();
+          if (!try_consume(']')) {
+            for (;;) {
+              const double h =
+                  parse_number("chain entries must be non-negative integers");
+              if (h < 0.0 || h != std::floor(h) || h > kMaxId) {
+                fail_event("chain entries must be non-negative integers");
+              }
+              chain.push_back(static_cast<std::uint32_t>(h));
+              skip_ws();
+              if (try_consume(',')) {
+                skip_ws();
+                continue;
+              }
+              consume(']', "expected ',' or ']' in the chain array");
+              break;
+            }
+          }
+          saw_chain = true;
+        } else {
+          skip_value();
+        }
+        skip_ws();
+        if (try_consume(',')) {
+          skip_ws();
+          continue;
+        }
+        consume('}', "expected ',' or '}' in the event object");
+        break;
+      }
+    }
+    if (!saw_t) fail_event("event needs a numeric \"t\"");
+    if (!saw_kind) fail_event("unknown kind ''");
+    StreamEvent e;
+    e.time = t;
+    e.kind = kind;
+    if (is_node_event(kind)) {
+      if (!saw_node) fail_event("node event needs a numeric \"node\" id");
+      if (node < 0.0 || node != std::floor(node) || node > kMaxId) {
+        fail_event("node id must be a non-negative integer");
+      }
+      e.node = static_cast<std::uint32_t>(node);
+    } else {
+      if (!saw_request) fail_event("event needs a numeric \"request\" id");
+      if (request < 0.0 || request != std::floor(request) || request > kMaxId) {
+        fail_event("request id must be a non-negative integer");
+      }
+      e.request = static_cast<std::uint32_t>(request);
+      if (kind != StreamEventKind::kDepart) e.rate = rate;
+      if (kind == StreamEventKind::kArrive) {
+        e.delivery_prob = prob;
+        if (!saw_chain) fail_event("arrive needs a \"chain\" array");
+        e.chain = std::move(chain);
+      }
+    }
+    trace_.events.push_back(std::move(e));
+  }
+
+  const char* begin_;
+  const char* p_;
+  const char* end_;
+  bool v2_ = false;
+  bool saw_schema_ = false;
+  bool saw_vnf_count_ = false;
+  bool saw_events_ = false;
+  EventTrace trace_;
+  std::vector<const char*> event_pos_;  ///< event start, for error lines
+  std::string scratch_;                 ///< escaped-string decode buffer
+};
+
+}  // namespace
+
+EventTrace load_event_trace(std::string_view text) {
+  return TraceScanner(text).parse();
 }
 
 void save_event_trace(const EventTrace& trace, std::ostream& out) {

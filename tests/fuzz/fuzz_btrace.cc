@@ -1,0 +1,44 @@
+// libFuzzer target for the binary trace decoder (nfvpr.btrace/1): any
+// byte string must either decode into a valid trace or throw the
+// documented TraceParseError — no crash, no overrun, no other exception
+// type (the sanitized CI job runs this under ASan + UBSan).  Exercises
+// both the materializing loader and the streaming decoder with mid-stream
+// skip, since they walk the record framing differently.
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "nfv/workload/btrace.h"
+#include "nfv/workload/event_stream.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  try {
+    const nfv::workload::EventTrace trace =
+        nfv::workload::load_binary_trace(bytes);
+    // A successfully decoded trace must satisfy its own invariants, and
+    // the canonical re-encoding must be a fixed point.  (The input itself
+    // may differ from it: the decoder tolerates non-minimal varints.)
+    trace.validate();
+    const std::string canonical =
+        nfv::workload::save_binary_trace_string(trace);
+    if (nfv::workload::save_binary_trace_string(
+            nfv::workload::load_binary_trace(canonical)) != canonical) {
+      __builtin_trap();
+    }
+  } catch (const nfv::workload::TraceParseError&) {
+    // The documented failure mode.
+  }
+  try {
+    nfv::workload::BinaryTraceDecoder decoder(bytes);
+    nfv::workload::StreamEvent event;
+    if (decoder.next(event)) {
+      decoder.skip(decoder.event_count() > 2 ? 1 : 0);
+      while (decoder.next(event)) {
+      }
+    }
+  } catch (const nfv::workload::TraceParseError&) {
+  }
+  return 0;
+}

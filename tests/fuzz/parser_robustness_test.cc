@@ -23,6 +23,7 @@
 #include "nfv/serve/engine.h"
 #include "nfv/topology/builders.h"
 #include "nfv/topology/io.h"
+#include "nfv/workload/btrace.h"
 #include "nfv/workload/event_stream.h"
 #include "nfv/workload/generator.h"
 #include "nfv/workload/io.h"
@@ -137,6 +138,59 @@ TEST(ParserRobustness, MutatedTracesParseOrThrowTraceParseError) {
         }
       },
       "trace");
+}
+
+TEST(ParserRobustness, MutatedBinaryTracesParseOrThrowTraceParseError) {
+  // Same contract as the text sweep, over the nfvpr.btrace/1 bytes — both
+  // the materializing loader and the streaming decoder with a mid-stream
+  // skip (they walk the record framing differently).
+  const std::string binary = workload::save_binary_trace_string(
+      workload::load_event_trace(valid_trace_text()));
+  expect_parse_or_documented_throw(
+      binary,
+      [](const std::string& bytes) {
+        try {
+          (void)workload::load_binary_trace(bytes);
+        } catch (const workload::TraceParseError&) {
+        }
+        try {
+          workload::BinaryTraceDecoder decoder(bytes);
+          workload::StreamEvent event;
+          if (decoder.next(event)) {
+            decoder.skip(1);
+            while (decoder.next(event)) {
+            }
+          }
+        } catch (const workload::TraceParseError&) {
+        }
+      },
+      "btrace");
+}
+
+TEST(ParserRobustness, PinnedBinaryTraceCrashersThrowDocumentedType) {
+  // Mirrors tests/fuzz/corpus/btrace: one pinned input per corruption
+  // class the fuzz corpus seeds.
+  using namespace std::string_literals;
+  const std::string valid = workload::save_binary_trace_string(
+      workload::load_event_trace(valid_trace_text()));
+  const std::string inputs[] = {
+      ""s,
+      "NFVBT"s,                          // magic cut short
+      "NFVBT2\x00\x01\x00"s,             // future major version
+      "NFVBT1"s,                         // header ends after the magic
+      "NFVBT1\x01\x05\x00"s,             // non-zero flags byte
+      "NFVBT1\x00\x00\x00"s,             // vnf_count = 0
+      "NFVBT1\x00"s + std::string(11, '\x80'),  // varint past 10 bytes
+      "NFVBT1\x00\x01\x01\x7f\x00\x00\x00"s,  // record length overruns buffer
+      "NFVBT1\x00\x01\x01\x01\x00"s,     // record: kind only, no timestamp
+      valid.substr(0, valid.size() / 2),  // truncated mid-record
+      valid + "\x00"s,                    // trailing bytes after the end
+  };
+  for (const std::string& bytes : inputs) {
+    EXPECT_THROW((void)workload::load_binary_trace(bytes),
+                 workload::TraceParseError)
+        << "input of " << bytes.size() << " bytes";
+  }
 }
 
 TEST(ParserRobustness, MutatedTopologiesParseOrThrowParseError) {

@@ -1,0 +1,106 @@
+// Zero-steady-state-allocation contract of BinaryTraceDecoder (DESIGN.md
+// §15): after a warm-up pass has sized the caller's StreamEvent chain and
+// the decoder's scratch, decoding an entire trace performs NO heap
+// allocation.  Verified by replacing global operator new/delete with
+// counting shims — which is why this test lives in its own binary
+// (test_btrace_alloc) instead of test_workload.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "nfv/common/rng.h"
+#include "nfv/workload/btrace.h"
+#include "nfv/workload/event_stream.h"
+#include "nfv/workload/generator.h"
+
+namespace {
+
+std::uint64_t g_news = 0;  // counted single-threadedly; no atomics needed
+bool g_counting = false;
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting) ++g_news;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace nfv::workload {
+namespace {
+
+EventTrace churn_trace(std::uint64_t seed, std::size_t events) {
+  WorkloadConfig wcfg;
+  wcfg.vnf_count = 8;
+  wcfg.request_count = 30;
+  Rng wrng(seed);
+  const Workload base = WorkloadGenerator(wcfg).generate(wrng);
+  EventStreamConfig cfg;
+  cfg.event_count = events;
+  cfg.target_population = 60;
+  cfg.churn_node_count = 3;
+  cfg.node_mtbf = 5.0;
+  cfg.node_mttr = 1.0;
+  Rng rng(seed + 1);
+  return EventStreamGenerator(base, cfg).generate(rng);
+}
+
+TEST(BinaryTraceAlloc, SteadyStateDecodeLoopAllocatesNothing) {
+  const EventTrace trace = churn_trace(42, 5000);
+  const std::string binary = save_binary_trace_string(trace);
+
+  StreamEvent event;  // chain capacity grows once during warm-up
+  std::uint64_t warm_events = 0;
+  {
+    BinaryTraceDecoder decoder(binary);
+    while (decoder.next(event)) ++warm_events;
+  }
+  ASSERT_EQ(warm_events, trace.events.size());
+
+  // Steady state: a fresh pass over the same bytes with the warmed-up
+  // event buffer.  The decoder itself holds no per-record buffers, so
+  // even its construction stays allocation-free.
+  g_news = 0;
+  g_counting = true;
+  std::uint64_t hops = 0;
+  std::uint64_t seen = 0;
+  {
+    BinaryTraceDecoder decoder(binary);
+    while (decoder.next(event)) {
+      ++seen;
+      hops += event.chain.size();
+    }
+  }
+  g_counting = false;
+
+  EXPECT_EQ(g_news, 0u) << "decode loop allocated on the heap";
+  EXPECT_EQ(seen, trace.events.size());
+  EXPECT_GT(hops, 0u);
+}
+
+TEST(BinaryTraceAlloc, SkipIsAllocationFree) {
+  const EventTrace trace = churn_trace(7, 2000);
+  const std::string binary = save_binary_trace_string(trace);
+
+  g_news = 0;
+  g_counting = true;
+  BinaryTraceDecoder decoder(binary);
+  decoder.skip(trace.events.size());
+  g_counting = false;
+
+  EXPECT_EQ(g_news, 0u) << "skip() allocated on the heap";
+  EXPECT_TRUE(decoder.done());
+}
+
+}  // namespace
+}  // namespace nfv::workload

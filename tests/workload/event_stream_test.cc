@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <limits>
 #include <sstream>
+#include <string>
 
 #include "nfv/common/rng.h"
 #include "nfv/workload/generator.h"
@@ -249,6 +252,101 @@ TEST(EventStreamGenerator, ChurnScheduleAlternatesAndValidates) {
   bad = cfg;
   bad.node_mttr = std::numeric_limits<double>::quiet_NaN();
   EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+/// Loads `text`, requires a TraceParseError, and returns its message.
+std::string load_error(const std::string& text) {
+  try {
+    load_event_trace(text);
+  } catch (const TraceParseError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected TraceParseError";
+  return {};
+}
+
+/// 1-based line of the first occurrence of `needle` in `text`.
+std::size_t line_of(const std::string& text, const std::string& needle) {
+  const auto pos = text.find(needle);
+  EXPECT_NE(pos, std::string::npos) << needle;
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + pos, '\n'));
+}
+
+/// 1-based line of the `{` opening the event object that contains byte
+/// `pos` — where the loader anchors validate-time (cross-event) errors.
+std::size_t event_line_at(const std::string& text, std::size_t pos) {
+  const auto brace = text.rfind('{', pos);
+  EXPECT_NE(brace, std::string::npos);
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + brace, '\n'));
+}
+
+TEST(EventStreamErrors, TokenErrorsCarryLineNumberAndToken) {
+  // Corrupt one numeric value in a /1 trace; the loader must point at the
+  // exact 1-based line and echo the offending token.
+  std::string text = save_event_trace_string(small_trace());
+  const std::string target = "\"rate\": 20";
+  ASSERT_NE(text.find(target), std::string::npos);
+  const std::size_t line = line_of(text, target);
+  text.replace(text.find(target), target.size(), "\"rate\": bogus");
+  const std::string msg = load_error(text);
+  EXPECT_NE(msg.find("trace line " + std::to_string(line)), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("'bogus'"), std::string::npos) << msg;
+}
+
+TEST(EventStreamErrors, TruncatedInputReportsEndOfInput) {
+  const std::string text = save_event_trace_string(small_trace());
+  const std::string msg = load_error(text.substr(0, text.size() / 2));
+  EXPECT_NE(msg.find("trace line "), std::string::npos) << msg;
+  EXPECT_NE(msg.find("end of input"), std::string::npos) << msg;
+}
+
+TEST(EventStreamErrors, ValidateErrorsAreRemappedToTheEventLine) {
+  // Cross-event violations are detected by EventTrace::validate after the
+  // scan; the loader must still report the line of the offending event.
+  std::string text = save_event_trace_string(small_trace());
+  // Turn the final depart (the trace's last "request": 0 line) into a
+  // depart of an id that never arrived.
+  const std::string target = "\"request\": 0";
+  const auto pos = text.rfind(target);
+  ASSERT_NE(pos, std::string::npos) << text;
+  const std::size_t line = event_line_at(text, pos);
+  text.replace(pos, target.size(), "\"request\": 9");
+  const std::string msg = load_error(text);
+  EXPECT_NE(msg.find("trace line " + std::to_string(line)), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("unknown request 9"), std::string::npos) << msg;
+}
+
+TEST(EventStreamErrors, MalformedV2NodeEventsCarryLineNumbers) {
+  // A /2 node event with a broken alternation: node 1 goes down twice.
+  std::string text = save_event_trace_string(churn_trace());
+  const std::string target = "\"kind\": \"node_up\"";
+  const auto pos = text.find(target);
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t line = event_line_at(text, pos);
+  text.replace(pos, target.size(), "\"kind\": \"node_down\"");
+  const std::string msg = load_error(text);
+  EXPECT_NE(msg.find("trace line " + std::to_string(line)), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("already-down node"), std::string::npos) << msg;
+}
+
+TEST(EventStreamErrors, UnknownKeysAndBadStructureNameTheToken) {
+  {
+    const std::string msg = load_error("{\"schema\": [1]}");
+    EXPECT_NE(msg.find("trace line 1"), std::string::npos) << msg;
+  }
+  {
+    // An unterminated string inside the events array.
+    std::string text = save_event_trace_string(small_trace());
+    const auto pos = text.rfind("\"depart\"");
+    ASSERT_NE(pos, std::string::npos);
+    const std::string msg = load_error(text.substr(0, pos + 3));
+    EXPECT_NE(msg.find("trace line "), std::string::npos) << msg;
+  }
 }
 
 }  // namespace

@@ -274,6 +274,61 @@ expect_exit 2 "--resume past the end of the trace exits 2" \
   "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
   -T "$WORK/churn.trace.json" --resume "$WORK/past.ckpt.json"
 
+# --- binary traces (nfvpr.btrace/1) and transcode-trace -------------------
+expect_exit 0 "transcode-trace --help exits 0" "$NFVPR" transcode-trace --help
+expect_exit 2 "transcode-trace --to bogus is a usage error" \
+  "$NFVPR" transcode-trace --in "$WORK/churn.trace.json" --to bogus
+expect_exit 2 "transcode-trace on junk input exits 2" \
+  sh -c "echo 'not a trace' | '$NFVPR' transcode-trace"
+
+expect_exit 0 "generate-trace --binary" \
+  sh -c "'$NFVPR' generate-trace --workload '$WORK/peak.wl' --events 150 \
+         --seed 5 --churn-nodes 3 --mtbf 2 --mttr 0.5 --binary \
+         > '$WORK/churn.btrace'"
+if head -c 6 "$WORK/churn.btrace" | grep -q 'NFVBT1'; then
+  echo "ok: binary trace starts with the NFVBT1 magic"
+else
+  echo "FAIL: generate-trace --binary did not emit the NFVBT1 magic" >&2
+  failures=$((failures + 1))
+fi
+
+# Both transcoding directions are byte-exact, and --binary equals
+# generate-trace | transcode-trace.
+expect_exit 0 "transcode text -> binary" \
+  "$NFVPR" transcode-trace --in "$WORK/churn.trace.json" \
+  --out "$WORK/churn.t2b.btrace"
+if cmp -s "$WORK/churn.t2b.btrace" "$WORK/churn.btrace"; then
+  echo "ok: transcoded binary equals generate-trace --binary"
+else
+  echo "FAIL: transcoded binary differs from generate-trace --binary" >&2
+  failures=$((failures + 1))
+fi
+expect_exit 0 "transcode binary -> text" \
+  "$NFVPR" transcode-trace --in "$WORK/churn.btrace" \
+  --out "$WORK/churn.b2t.json"
+if cmp -s "$WORK/churn.b2t.json" "$WORK/churn.trace.json"; then
+  echo "ok: binary -> text round trip is byte-exact"
+else
+  echo "FAIL: binary -> text round trip is not byte-exact" >&2
+  failures=$((failures + 1))
+fi
+
+# serve auto-detects the binary format and must produce a byte-identical
+# report; a truncated binary trace is a usage error.
+expect_exit 0 "serve on the binary trace" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.btrace" --report-out "$WORK/churn_binary.json" --events-log
+if cmp -s "$WORK/churn_binary.json" "$WORK/churn_full.json"; then
+  echo "ok: binary-trace serve report is byte-identical to the text run"
+else
+  echo "FAIL: binary-trace serve report differs from the text run" >&2
+  failures=$((failures + 1))
+fi
+head -c 40 "$WORK/churn.btrace" > "$WORK/trunc.btrace"
+expect_exit 2 "serve on a truncated binary trace exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/trunc.btrace"
+
 # --- serve: streaming telemetry (DESIGN.md §14) ---------------------------
 expect_exit 2 "--snapshot-every -1 exits 2" \
   "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \

@@ -46,6 +46,7 @@
 #include "nfv/sim/des.h"
 #include "nfv/topology/builders.h"
 #include "nfv/topology/io.h"
+#include "nfv/workload/btrace.h"
 #include "nfv/workload/event_stream.h"
 #include "nfv/workload/generator.h"
 #include "nfv/workload/io.h"
@@ -67,12 +68,16 @@ int usage() {
       "  chaos              replay a seeded failure storm through the\n"
       "                     resilience controller's escalation ladder\n"
       "  generate-trace     emit an event trace (nfvpr.trace/1, or /2 with\n"
-      "                     node churn) from a workload\n"
+      "                     node churn; --binary for compact nfvpr.btrace/1)\n"
+      "                     from a workload\n"
+      "  transcode-trace    convert an event trace text <-> binary\n"
+      "                     (byte-exact round trip in both directions)\n"
       "  serve              replay an event trace through the online serving\n"
       "                     engine (admission, bounded migration, scale out/in,\n"
       "                     node-failure evacuation, checkpoint/resume,\n"
       "                     streaming telemetry: --snapshot-every,\n"
-      "                     --timeline-out, --lifecycle-out, --flight-recorder)\n"
+      "                     --timeline-out, --lifecycle-out, --flight-recorder;\n"
+      "                     text and binary traces auto-detected by magic)\n"
       "  analyze-timeline   summarize a timeline stream (nfvpr.timeline/1):\n"
       "                     aggregates, worst windows, --fail-on CI gates\n"
       "  report             pretty-print a run report, or diff two reports\n"
@@ -779,6 +784,9 @@ int cmd_generate_trace(int argc, const char* const* argv) {
   const auto& mttr = cli.add_double(
       "mttr", '\0', "mean seconds to repair per churned node", 0.5);
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
+  const auto& binary = cli.add_flag(
+      "binary", 'b',
+      "emit the compact binary format (nfvpr.btrace/1) instead of JSON");
   if (!cli.parse(argc, argv)) return parse_exit(cli);
   if (workload_file.empty()) {
     std::fputs("nfvpr generate-trace: --workload is required\n", stderr);
@@ -802,8 +810,67 @@ int cmd_generate_trace(int argc, const char* const* argv) {
   nfv::Rng rng(static_cast<std::uint64_t>(seed));
   const auto trace =
       nfv::workload::EventStreamGenerator(base, cfg).generate(rng);
-  nfv::workload::save_event_trace(trace, std::cout);
+  if (binary) {
+    nfv::workload::save_binary_trace(trace, std::cout);
+  } else {
+    nfv::workload::save_event_trace(trace, std::cout);
+  }
   return 0;
+}
+
+int cmd_transcode_trace(int argc, const char* const* argv) {
+  nfv::CliParser cli(
+      "nfvpr transcode-trace",
+      "convert an event trace between text (nfvpr.trace/1|2) and binary "
+      "(nfvpr.btrace/1); both directions round-trip byte-exactly");
+  const auto& in = cli.add_string("in", 'i', "input trace ('-' = stdin)", "-");
+  const auto& out =
+      cli.add_string("out", 'o', "output file ('-' = stdout)", "-");
+  const auto& to = cli.add_string(
+      "to", '\0',
+      "target format: auto | text | binary (auto flips the input format)",
+      "auto");
+  if (!cli.parse(argc, argv)) return parse_exit(cli);
+  if (to != "auto" && to != "text" && to != "binary") {
+    std::fprintf(stderr,
+                 "nfvpr transcode-trace: --to must be auto, text or binary "
+                 "(got '%s')\n",
+                 to.c_str());
+    return 2;
+  }
+  try {
+    std::string input;
+    if (in == "-") {
+      std::ostringstream ss;
+      ss << std::cin.rdbuf();
+      input = ss.str();
+    } else {
+      input = read_file(in);
+    }
+    const bool from_binary = nfv::workload::is_binary_trace(input);
+    const auto trace = from_binary
+                           ? nfv::workload::load_binary_trace(input)
+                           : nfv::workload::load_event_trace(input);
+    const bool to_binary = to == "binary" || (to == "auto" && !from_binary);
+    const auto emit = [&](std::ostream& os) {
+      if (to_binary) {
+        nfv::workload::save_binary_trace(trace, os);
+      } else {
+        nfv::workload::save_event_trace(trace, os);
+      }
+    };
+    if (out == "-") {
+      emit(std::cout);
+    } else {
+      std::ofstream os(out, std::ios::binary);
+      if (!os) throw std::runtime_error("cannot open " + out);
+      emit(os);
+    }
+    return 0;
+  } catch (const nfv::workload::TraceParseError& e) {
+    std::fprintf(stderr, "nfvpr transcode-trace: bad trace: %s\n", e.what());
+    return 2;
+  }
 }
 
 int cmd_serve(int argc, const char* const* argv) {
@@ -812,8 +879,9 @@ int cmd_serve(int argc, const char* const* argv) {
   const auto& topology_file = cli.add_string("topology", 't', "topology file", "");
   const auto& workload_file = cli.add_string(
       "workload", 'w', "workload file (VNF catalog; requests ignored)", "");
-  const auto& trace_file =
-      cli.add_string("trace", 'T', "event trace (nfvpr.trace/1 or /2)", "");
+  const auto& trace_file = cli.add_string(
+      "trace", 'T',
+      "event trace (nfvpr.trace/1, /2, or binary nfvpr.btrace/1)", "");
   const auto& headroom = cli.add_double(
       "headroom", 'H', "stability margin in [0, 1)", 0.10);
   const auto& rebalance = cli.add_double(
@@ -933,12 +1001,29 @@ int cmd_serve(int argc, const char* const* argv) {
   try {
     const auto topology = read_topology(topology_file);
     const auto workload = read_workload(workload_file);
-    const auto trace = nfv::workload::load_event_trace(read_file(trace_file));
-    if (trace.vnf_count > workload.vnfs.size()) {
+    // The trace format is auto-detected by magic: binary nfvpr.btrace/1
+    // streams through the zero-allocation decoder in micro-batches; text
+    // traces materialize fully (the loader pre-validates the whole file).
+    const std::string trace_bytes = read_file(trace_file);
+    const bool binary_trace = nfv::workload::is_binary_trace(trace_bytes);
+    std::optional<nfv::workload::EventTrace> trace;
+    std::optional<nfv::workload::BinaryTraceDecoder> decoder;
+    std::uint64_t total_events = 0;
+    std::uint32_t trace_vnfs = 0;
+    if (binary_trace) {
+      decoder.emplace(trace_bytes);
+      total_events = decoder->event_count();
+      trace_vnfs = decoder->vnf_count();
+    } else {
+      trace.emplace(nfv::workload::load_event_trace(trace_bytes));
+      total_events = trace->events.size();
+      trace_vnfs = trace->vnf_count;
+    }
+    if (trace_vnfs > workload.vnfs.size()) {
       std::fprintf(stderr,
                    "nfvpr serve: trace references %u VNFs but the workload "
                    "defines only %zu\n",
-                   trace.vnf_count, workload.vnfs.size());
+                   trace_vnfs, workload.vnfs.size());
       return 2;
     }
 
@@ -946,15 +1031,28 @@ int cmd_serve(int argc, const char* const* argv) {
     std::uint64_t start = 0;
     std::optional<nfv::serve::ServeEngine> engine;
     if (!resume_file.empty()) {
+      nfv::serve::BinaryTraceCursor bcursor;
+      bool has_bcursor = false;
       engine.emplace(nfv::serve::restore_checkpoint(
-          read_file(resume_file), topology, workload.vnfs, &start));
-      if (start > trace.events.size()) {
+          read_file(resume_file), topology, workload.vnfs, &start, &bcursor,
+          &has_bcursor));
+      if (start > total_events) {
         std::fprintf(stderr,
                      "nfvpr serve: checkpoint cursor %llu is past the end of "
-                     "the trace (%zu events)\n",
+                     "the trace (%llu events)\n",
                      static_cast<unsigned long long>(start),
-                     trace.events.size());
+                     static_cast<unsigned long long>(total_events));
         return 2;
+      }
+      if (binary_trace) {
+        if (has_bcursor) {
+          // O(1) resume: land the decoder exactly where the checkpointed
+          // run left it (offset + XOR delta base).
+          decoder->seek(bcursor.byte_offset, start, bcursor.time_bits);
+        } else {
+          // Checkpoint from a text-trace run: hop record to record.
+          decoder->skip(start);
+        }
       }
     } else {
       engine.emplace(topology, workload.vnfs, cfg);
@@ -993,17 +1091,45 @@ int cmd_serve(int argc, const char* const* argv) {
       if (!final && (every == 0 || applied % every != 0)) return;
       std::ofstream os(checkpoint_out);
       if (!os) throw std::runtime_error("cannot open " + checkpoint_out);
-      nfv::serve::save_checkpoint(*engine, applied, os);
+      if (binary_trace) {
+        // Binary runs record the decoder position so --resume can seek
+        // instead of re-hopping every earlier record.
+        const nfv::serve::BinaryTraceCursor bcur{decoder->byte_offset(),
+                                                 decoder->last_time_bits()};
+        nfv::serve::save_checkpoint(*engine, applied, os, &bcur);
+      } else {
+        nfv::serve::save_checkpoint(*engine, applied, os);
+      }
       // A checkpoint marks a moment someone may later debug from; pin the
       // decision ring that led here next to it.
       dump_flight();
     };
     try {
-      for (std::uint64_t i = start; i < trace.events.size(); ++i) {
-        engine->on_event(trace.events[i]);
-        maybe_checkpoint(i + 1, i + 1 == trace.events.size());
+      if (binary_trace) {
+        // Stream micro-batches; each chunk ends at the next checkpoint
+        // boundary so checkpoints land at the same event counts (and thus
+        // the same states) as the per-event text loop.
+        const auto every = static_cast<std::uint64_t>(checkpoint_every);
+        std::uint64_t applied = start;
+        while (applied < total_events) {
+          std::uint64_t limit = total_events - applied;
+          if (!checkpoint_out.empty() && every > 0) {
+            const std::uint64_t boundary = ((applied / every) + 1) * every;
+            limit = std::min(limit, boundary - applied);
+          }
+          const std::uint64_t n = engine->replay_binary(*decoder, 256, limit);
+          if (n == 0) break;  // decoder ran dry (count_ was trusted above)
+          applied += n;
+          maybe_checkpoint(applied, applied == total_events);
+        }
+        if (total_events == 0) maybe_checkpoint(0, true);
+      } else {
+        for (std::uint64_t i = start; i < total_events; ++i) {
+          engine->on_event(trace->events[i]);
+          maybe_checkpoint(i + 1, i + 1 == total_events);
+        }
+        if (total_events == 0) maybe_checkpoint(0, true);
       }
-      if (trace.events.empty()) maybe_checkpoint(0, true);
     } catch (...) {
       // Crash dump: the last K decisions are exactly what a post-mortem
       // needs, and the ring is still intact here.
@@ -1348,6 +1474,9 @@ int main(int argc, char** argv) {
     if (subcommand == "chaos") return cmd_chaos(sub_argc, sub_argv);
     if (subcommand == "generate-trace") {
       return cmd_generate_trace(sub_argc, sub_argv);
+    }
+    if (subcommand == "transcode-trace") {
+      return cmd_transcode_trace(sub_argc, sub_argv);
     }
     if (subcommand == "serve") return cmd_serve(sub_argc, sub_argv);
     if (subcommand == "analyze-timeline") {
