@@ -194,6 +194,17 @@ struct ServeSection {
   double mean_predicted_latency = 0.0;
   double p99_predicted_latency = 0.0;
   std::uint64_t work = 0;
+  /// Elastic autoscaling (DESIGN.md §16); serialized under
+  /// "serve.autoscale" only when the run scaled.
+  bool autoscale_present = false;
+  std::string autoscale_policy;  ///< "reactive" / "predictive"
+  std::uint64_t autoscale_decisions = 0;
+  std::uint64_t autoscale_scale_outs = 0;  ///< controller-opened instances
+  std::uint64_t autoscale_scale_ins = 0;   ///< controller-started drains
+  std::uint64_t autoscale_flaps = 0;
+  std::uint64_t autoscale_blocked_cooldown = 0;
+  std::uint64_t autoscale_draining = 0;  ///< drains still in flight at end
+  double instance_seconds = 0.0;         ///< ∫ active instances dt
   /// Whole-stream timeline aggregates (serve --snapshot-every); serialized
   /// under "serve.timeline" so the regression differ gates them too.
   bool timeline_present = false;

@@ -55,6 +55,14 @@ struct TimelineRecord {
   double wait_p50 = 0.0;
   double wait_p90 = 0.0;
   double wait_p99 = 0.0;
+  /// Autoscaler extension (DESIGN.md §16): written only when the engine
+  /// runs with --autoscale, optional on load, so autoscale-off streams
+  /// stay byte-identical to the base format.
+  bool has_autoscale = false;
+  std::uint64_t instances = 0;   ///< active (non-retired) at window close
+  std::uint64_t draining = 0;    ///< of those, draining for scale-in
+  std::uint64_t scale_outs = 0;  ///< instances opened this window
+  std::uint64_t scale_ins = 0;   ///< instances retired this window
 
   friend bool operator==(const TimelineRecord&,
                          const TimelineRecord&) = default;

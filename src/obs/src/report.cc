@@ -207,6 +207,21 @@ void write_run_report(const RunReport& report, std::ostream& os) {
     w.kv("degradations", s.degradations);
     w.kv("degraded_events", s.degraded_events);
     w.end_object();
+    if (s.autoscale_present) {
+      // Autoscaler counters nest like churn: one diffable group, emitted
+      // only when the run scaled so autoscale-off reports are unchanged.
+      w.key("autoscale");
+      w.begin_object();
+      w.kv("policy", s.autoscale_policy);
+      w.kv("decisions", s.autoscale_decisions);
+      w.kv("scale_outs", s.autoscale_scale_outs);
+      w.kv("scale_ins", s.autoscale_scale_ins);
+      w.kv("flaps", s.autoscale_flaps);
+      w.kv("blocked_cooldown", s.autoscale_blocked_cooldown);
+      w.kv("draining", s.autoscale_draining);
+      w.kv("instance_seconds", s.instance_seconds);
+      w.end_object();
+    }
     w.kv("availability", s.availability);
     w.kv("admission_rate", s.admission_rate);
     w.kv("mean_predicted_latency", s.mean_predicted_latency);
@@ -435,6 +450,19 @@ std::string pretty_print_report(const JsonValue& report) {
            << " : " << format_number(value.as_number()) << "\n";
       }
     }
+    if (const JsonValue* a = s->find("autoscale");
+        a != nullptr && a->is_object()) {
+      os << "  autoscale (" << a->string_or("policy", "?") << ")\n";
+      std::size_t width = 0;
+      for (const auto& [name, value] : a->as_object()) {
+        if (value.is_number()) width = std::max(width, name.size());
+      }
+      for (const auto& [name, value] : a->as_object()) {
+        if (!value.is_number()) continue;
+        os << "    " << name << std::string(width - name.size(), ' ')
+           << " : " << format_number(value.as_number()) << "\n";
+      }
+    }
     if (const JsonValue* t = s->find("timeline");
         t != nullptr && t->is_object()) {
       os << "  timeline          : "
@@ -533,6 +561,7 @@ constexpr std::string_view kHigherWorse[] = {
     "downtime", "retransmission", "failure",        "occupation",
     "nodes_in_service", "queue_depth", "imbalance", "wall",     "work",
     "gap", "repair_moves", "unaccounted", "queued", "retrying",
+    "flaps", "instance_seconds",
 };
 
 /// Metrics where a larger value signals a better run.

@@ -134,6 +134,16 @@ void write_timeline(const TimelineDoc& doc, std::ostream& os) {
     append_number(line, r.wait_p90);
     line += ", \"wait_p99\": ";
     append_number(line, r.wait_p99);
+    if (r.has_autoscale) {
+      line += ", \"instances\": ";
+      append_count(line, r.instances);
+      line += ", \"draining\": ";
+      append_count(line, r.draining);
+      line += ", \"scale_outs\": ";
+      append_count(line, r.scale_outs);
+      line += ", \"scale_ins\": ";
+      append_count(line, r.scale_ins);
+    }
     line += "}\n";
     os << line;
   }
@@ -224,6 +234,14 @@ TimelineDoc load_timeline(std::string_view text) {
     r.wait_p50 = get_number(o, "wait_p50", line_no);
     r.wait_p90 = get_number(o, "wait_p90", line_no);
     r.wait_p99 = get_number(o, "wait_p99", line_no);
+    // Autoscaler extension: all-or-nothing when present.
+    if (o.find("instances") != nullptr) {
+      r.has_autoscale = true;
+      r.instances = get_count(o, "instances", line_no);
+      r.draining = get_count(o, "draining", line_no);
+      r.scale_outs = get_count(o, "scale_outs", line_no);
+      r.scale_ins = get_count(o, "scale_ins", line_no);
+    }
     if (!doc.records.empty() && r.window <= doc.records.back().window) {
       timeline_fail(line_no, "window indices must be strictly increasing");
     }

@@ -50,6 +50,7 @@
 
 #include "nfv/common/histogram.h"
 #include "nfv/obs/lifecycle.h"
+#include "nfv/serve/autoscale.h"
 #include "nfv/obs/report.h"
 #include "nfv/obs/timeline.h"
 #include "nfv/topology/topology.h"
@@ -108,6 +109,16 @@ struct ServeConfig {
   std::size_t timeline_span = 8;
   /// Record the per-request lifecycle stream (admit/place/migrate/...).
   bool lifecycle = false;
+
+  /// Elastic autoscaling (DESIGN.md §16): when `autoscale.policy` is not
+  /// kOff the engine evaluates the ScalingController at every
+  /// `autoscale.scale_interval` trace-time boundary and applies its
+  /// per-VNF deltas — scale-out via the best-fit node pick, scale-in via
+  /// drain-then-retire with at most `migration_budget` member moves per
+  /// instance per window.  Off by default; an off engine is byte-identical
+  /// (state, checkpoints, telemetry) to one built before the subsystem
+  /// existed.
+  AutoscaleConfig autoscale;
 
   void validate() const;
 };
@@ -180,6 +191,16 @@ struct ServeSummary {
   std::uint64_t shed_overload = 0;   ///< shed by sustained-overload mode
   std::uint64_t degradations = 0;    ///< times degraded mode was entered
   std::uint64_t degraded_events = 0; ///< events spent degraded
+  // Elastic autoscaling (DESIGN.md §16); all zero when the policy is off.
+  std::uint64_t autoscale_decisions = 0;   ///< decision windows evaluated
+  std::uint64_t autoscale_scale_outs = 0;  ///< instances the controller opened
+  std::uint64_t autoscale_scale_ins = 0;   ///< drains the controller started
+  std::uint64_t autoscale_flaps = 0;       ///< direction reversals in-guard
+  std::uint64_t autoscale_blocked_cooldown = 0;  ///< deltas cooled off
+  std::uint64_t draining_instances = 0;    ///< still draining at end
+  /// ∫ active-instance count dt — the capacity bill the bench compares
+  /// against the offline oracle (0.0 when autoscaling is off).
+  double instance_seconds = 0.0;
   /// Time-weighted fraction of offered rate actually served:
   /// ∫Σλ_live dt / ∫Σλ_offered dt (1.0 when no time has passed).
   double availability = 1.0;
@@ -290,6 +311,10 @@ class ServeEngine {
     double effective_load = 0.0;
     std::vector<std::uint32_t> members;  ///< sorted request ids
     bool retired = false;
+    /// Scale-in in progress (autoscale only): excluded from every
+    /// placement/relocation candidate scan; retired once the last member
+    /// migrates off.  Always false when autoscaling is off.
+    bool draining = false;
   };
   struct LiveRequest {
     double rate = 0.0;
@@ -374,6 +399,29 @@ class ServeEngine {
   /// nothing.  The shared body of on_event and apply_batch.
   void process_event(const workload::StreamEvent& event);
 
+  // --- elastic autoscaling (DESIGN.md §16) ---
+  [[nodiscard]] bool autoscale_on() const {
+    return config_.autoscale.enabled();
+  }
+  /// Crosses every scale_interval boundary up to `now`, evaluating the
+  /// controller once per boundary (event-time driven, like the timeline).
+  void run_autoscale(double now, EventOutcome& outcome);
+  /// One controller evaluation: observe → decide → actuate → drain pass.
+  void autoscale_decide(EventOutcome& outcome);
+  /// Per-VNF offered rate / capacity / pressure at this boundary.
+  void autoscale_observe(std::vector<VnfObservation>& out) const;
+  /// Opens up to `count` instances of `vnf`; returns how many fit.
+  std::uint32_t autoscale_open(std::uint32_t vnf, std::uint32_t count,
+                               EventOutcome& outcome);
+  /// Marks the `count` least-loaded instances of `vnf` draining.
+  void autoscale_mark_draining(std::uint32_t vnf, std::uint32_t count);
+  /// Migrates members off draining instances (≤ migration_budget moves per
+  /// instance per call) and retires the ones that empty.
+  void autoscale_drain_pass(EventOutcome& outcome);
+  /// Moves `id`'s hop off a draining instance onto an existing
+  /// non-draining instance with room; never opens a new instance.
+  bool drain_member(std::uint32_t id, std::size_t hop, EventOutcome& outcome);
+
   // --- streaming telemetry (DESIGN.md §14) ---
   [[nodiscard]] bool timeline_on() const {
     return config_.snapshot_every > 0.0;
@@ -393,6 +441,8 @@ class ServeEngine {
     std::uint64_t evacuated_requests = 0;
     std::uint64_t parked = 0;
     std::uint64_t migrations = 0;
+    std::uint64_t scale_outs = 0;
+    std::uint64_t scale_ins = 0;
   };
   [[nodiscard]] TimelineBaseline capture_baseline() const;
   /// Builds a record for [t_start, t_end) from the current state and the
@@ -450,6 +500,16 @@ class ServeEngine {
 
   // Aggregates (summary() adds the live-state figures).
   ServeSummary totals_;
+
+  // Elastic autoscaling state (DESIGN.md §16): engaged only when
+  // config_.autoscale.policy != kOff and never touched otherwise, so an
+  // autoscale-off engine stays byte-identical to the pre-subsystem format.
+  std::optional<ScalingController> scaler_;
+  std::uint64_t as_window_ = 0;        ///< decision boundaries crossed
+  double instance_seconds_ = 0.0;      ///< ∫ active-instance count dt
+  std::uint64_t as_opened_ = 0;        ///< instances opened by the controller
+  std::uint64_t as_drained_ = 0;       ///< drains started by the controller
+  std::vector<VnfObservation> as_obs_scratch_;  ///< transient, per boundary
 
   // Streaming telemetry state (engaged only when snapshot_every > 0 /
   // lifecycle; checkpointed so a resumed run reproduces the streams

@@ -1,0 +1,76 @@
+#include "nfv/serve/autoscale.h"
+
+#include <algorithm>
+
+#include "nfv/common/error.h"
+
+namespace nfv::serve {
+
+ScalingController::ScalingController(AutoscaleConfig config,
+                                     std::size_t vnf_count)
+    : config_(config), states_(vnf_count), deltas_(vnf_count, 0) {
+  config_.validate();
+}
+
+void ScalingController::restore(std::vector<VnfPolicyState> states,
+                                AutoscaleTotals totals) {
+  NFV_CHECK(states.size() == states_.size());
+  states_ = std::move(states);
+  totals_ = totals;
+}
+
+const std::vector<std::int32_t>& ScalingController::on_window(
+    std::uint64_t window, const std::vector<VnfObservation>& observations) {
+  NFV_CHECK(enabled());
+  NFV_CHECK(observations.size() == states_.size());
+  ++totals_.decisions;
+  // An A→B→A reversal this close together is a flap: the damping knobs
+  // (hysteresis band, cooldown) exist to keep this counter at zero.
+  const std::uint64_t flap_guard =
+      std::max<std::uint64_t>(1, 2 * config_.cooldown_windows);
+  const std::int32_t step = static_cast<std::int32_t>(config_.max_step);
+  for (std::size_t f = 0; f < observations.size(); ++f) {
+    const VnfObservation& obs = observations[f];
+    VnfPolicyState& st = states_[f];
+    // The forecaster advances every window, acted on or not, so the EWMA
+    // is a pure function of the observation sequence.
+    if (!st.seeded) {
+      st.ewma = obs.offered;
+      st.prev_ewma = obs.offered;
+      st.seeded = true;
+    } else {
+      st.prev_ewma = st.ewma;
+      st.ewma = config_.ewma_alpha * obs.offered +
+                (1.0 - config_.ewma_alpha) * st.ewma;
+    }
+    std::int32_t delta = config_.policy == ScalePolicy::kReactive
+                             ? reactive_delta(config_, obs)
+                             : predictive_delta(config_, obs, st);
+    if (delta != 0 && window < st.cooldown_until) {
+      ++totals_.blocked_cooldown;
+      delta = 0;
+    }
+    delta = std::clamp(delta, -step, step);
+    // Never drain below one instance while demand exists: the engine's
+    // reactive scale-out would only reopen it next arrival.
+    if (delta < 0 && (obs.offered > 0.0 || obs.waiting > 0)) {
+      const std::int32_t floor_delta =
+          1 - static_cast<std::int32_t>(obs.instances);
+      delta = std::max(delta, std::min(0, floor_delta));
+    }
+    if (delta != 0) {
+      const std::int8_t sign = delta > 0 ? std::int8_t{1} : std::int8_t{-1};
+      if (st.last_sign != 0 && sign != st.last_sign &&
+          window - st.last_action_window <= flap_guard) {
+        ++totals_.flaps;
+      }
+      st.last_sign = sign;
+      st.last_action_window = window;
+      st.cooldown_until = window + config_.cooldown_windows + 1;
+    }
+    deltas_[f] = delta;
+  }
+  return deltas_;
+}
+
+}  // namespace nfv::serve

@@ -128,6 +128,42 @@ void read_telemetry_config(const obs::JsonValue& c, ServeConfig& config) {
   }
 }
 
+/// Reads the optional autoscale config block (absent in pre-autoscale
+/// checkpoints and whenever the policy is off, so those files stay
+/// byte-identical to the earlier format).  All nine fields travel
+/// together, keyed on autoscale_policy.
+void read_autoscale_config(const obs::JsonValue& c, ServeConfig& config) {
+  const obs::JsonValue* p = c.find("autoscale_policy");
+  if (p == nullptr) return;
+  if (!p->is_string()) {
+    ckpt_fail("config.autoscale_policy must be a string");
+  }
+  const auto policy = parse_scale_policy(p->as_string());
+  if (!policy) {
+    ckpt_fail("config.autoscale_policy '" + p->as_string() + "' is unknown");
+  }
+  if (*policy == ScalePolicy::kOff) {
+    ckpt_fail("config.autoscale_policy \"off\" must be omitted, not stored");
+  }
+  config.autoscale.policy = *policy;
+  config.autoscale.scale_interval = get_double(c, "autoscale_interval");
+  config.autoscale.high_watermark = get_double(c, "autoscale_high");
+  config.autoscale.low_watermark = get_double(c, "autoscale_low");
+  config.autoscale.cooldown_windows =
+      static_cast<std::uint32_t>(get_uint(c, "autoscale_cooldown"));
+  config.autoscale.max_step =
+      static_cast<std::uint32_t>(get_uint(c, "autoscale_step"));
+  config.autoscale.ewma_alpha = get_double(c, "autoscale_alpha");
+  config.autoscale.forecast_windows = get_double(c, "autoscale_forecast");
+  config.autoscale.safety_margin = get_double(c, "autoscale_margin");
+  try {
+    config.autoscale.validate();
+  } catch (const std::invalid_argument& ex) {
+    ckpt_fail(std::string("embedded autoscale config is invalid: ") +
+              ex.what());
+  }
+}
+
 std::string hex_bits(std::uint64_t v) {
   static constexpr char kHex[] = "0123456789abcdef";
   std::string out(16, '0');
@@ -228,6 +264,19 @@ struct CheckpointIo {
       w.kv("timeline_span", static_cast<std::uint64_t>(c.timeline_span));
     }
     if (c.lifecycle) w.kv("lifecycle", true);
+    // Autoscale config only when the policy is on (same conditional-
+    // emission rule as the telemetry fields above).
+    if (c.autoscale.enabled()) {
+      w.kv("autoscale_policy", to_string(c.autoscale.policy));
+      w.kv("autoscale_interval", c.autoscale.scale_interval);
+      w.kv("autoscale_high", c.autoscale.high_watermark);
+      w.kv("autoscale_low", c.autoscale.low_watermark);
+      w.kv("autoscale_cooldown", std::uint64_t{c.autoscale.cooldown_windows});
+      w.kv("autoscale_step", std::uint64_t{c.autoscale.max_step});
+      w.kv("autoscale_alpha", c.autoscale.ewma_alpha);
+      w.kv("autoscale_forecast", c.autoscale.forecast_windows);
+      w.kv("autoscale_margin", c.autoscale.safety_margin);
+    }
     w.end_object();
 
     w.kv("last_time", e.last_time_);
@@ -265,6 +314,9 @@ struct CheckpointIo {
       w.kv("raw_load", inst.raw_load);
       w.kv("effective_load", inst.effective_load);
       w.kv("retired", inst.retired);
+      // Written only when set, so off-runs (where it is always false)
+      // serialize exactly as before.
+      if (inst.draining) w.kv("draining", true);
       w.key("members");
       w.begin_array();
       for (const std::uint32_t id : inst.members) w.value(std::uint64_t{id});
@@ -369,6 +421,33 @@ struct CheckpointIo {
     }
     w.end_array();
 
+    if (e.autoscale_on()) {
+      w.key("autoscale");
+      w.begin_object();
+      w.kv("window", e.as_window_);
+      w.kv("instance_seconds", e.instance_seconds_);
+      w.kv("opened", e.as_opened_);
+      w.kv("drained", e.as_drained_);
+      const AutoscaleTotals& at = e.scaler_->totals();
+      w.kv("decisions", at.decisions);
+      w.kv("flaps", at.flaps);
+      w.kv("blocked_cooldown", at.blocked_cooldown);
+      w.key("vnf_states");
+      w.begin_array();
+      for (const VnfPolicyState& st : e.scaler_->vnf_states()) {
+        w.begin_object();
+        w.kv("ewma", st.ewma);
+        w.kv("prev_ewma", st.prev_ewma);
+        w.kv("seeded", st.seeded);
+        w.kv("cooldown_until", st.cooldown_until);
+        w.kv("last_sign", static_cast<std::int64_t>(st.last_sign));
+        w.kv("last_action_window", st.last_action_window);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+
     if (e.timeline_on()) {
       w.key("timeline");
       w.begin_object();
@@ -389,6 +468,10 @@ struct CheckpointIo {
       w.kv("evacuated_requests", b.evacuated_requests);
       w.kv("parked", b.parked);
       w.kv("migrations", b.migrations);
+      if (e.autoscale_on()) {
+        w.kv("scale_outs", b.scale_outs);
+        w.kv("scale_ins", b.scale_ins);
+      }
       w.end_object();
       w.key("pending_since");  // std::map — already ascending by id
       w.begin_array();
@@ -459,6 +542,12 @@ struct CheckpointIo {
         w.kv("wait_p50", r.wait_p50);
         w.kv("wait_p90", r.wait_p90);
         w.kv("wait_p99", r.wait_p99);
+        if (r.has_autoscale) {
+          w.kv("instances", r.instances);
+          w.kv("draining", r.draining);
+          w.kv("scale_outs", r.scale_outs);
+          w.kv("scale_ins", r.scale_ins);
+        }
         w.end_object();
       }
       w.end_array();
@@ -541,6 +630,15 @@ struct CheckpointIo {
       inst.raw_load = get_double(j, "raw_load");
       inst.effective_load = get_double(j, "effective_load");
       inst.retired = get_bool(j, "retired");
+      if (j.find("draining") != nullptr) {
+        if (!e.autoscale_on()) {
+          ckpt_fail("instance is draining but autoscaling is off");
+        }
+        inst.draining = get_bool(j, "draining");
+        if (inst.draining && inst.retired) {
+          ckpt_fail("instance cannot be both draining and retired");
+        }
+      }
       inst.members = get_u32_vector(
           j, "members", std::numeric_limits<std::uint32_t>::max());
       const auto slot = static_cast<std::uint32_t>(e.instances_.size());
@@ -671,6 +769,44 @@ struct CheckpointIo {
     }
     if (has_timeline) apply_timeline(e, get_object(doc, "timeline"));
 
+    const bool has_autoscale = doc.find("autoscale") != nullptr;
+    if (has_autoscale != e.autoscale_on()) {
+      ckpt_fail(has_autoscale
+                    ? "autoscale state present but config disables autoscaling"
+                    : "config enables autoscaling but state is missing");
+    }
+    if (has_autoscale) {
+      const obs::JsonValue& a = get_object(doc, "autoscale");
+      e.as_window_ = get_uint(a, "window");
+      e.instance_seconds_ = get_double(a, "instance_seconds");
+      e.as_opened_ = get_uint(a, "opened");
+      e.as_drained_ = get_uint(a, "drained");
+      AutoscaleTotals at;
+      at.decisions = get_uint(a, "decisions");
+      at.flaps = get_uint(a, "flaps");
+      at.blocked_cooldown = get_uint(a, "blocked_cooldown");
+      std::vector<VnfPolicyState> states;
+      for (const obs::JsonValue& j : get_array(a, "vnf_states")) {
+        if (!j.is_object()) ckpt_fail("vnf_states entries must be objects");
+        VnfPolicyState st;
+        st.ewma = get_double(j, "ewma");
+        st.prev_ewma = get_double(j, "prev_ewma");
+        st.seeded = get_bool(j, "seeded");
+        st.cooldown_until = get_uint(j, "cooldown_until");
+        const double sign = get_double(j, "last_sign");
+        if (sign != -1.0 && sign != 0.0 && sign != 1.0) {
+          ckpt_fail("vnf_states last_sign must be -1, 0, or 1");
+        }
+        st.last_sign = static_cast<std::int8_t>(sign);
+        st.last_action_window = get_uint(j, "last_action_window");
+        states.push_back(st);
+      }
+      if (states.size() != vnf_count) {
+        ckpt_fail("vnf_states must have vnf_count entries");
+      }
+      e.scaler_->restore(std::move(states), at);
+    }
+
     const bool has_lifecycle = doc.find("lifecycle") != nullptr;
     if (has_lifecycle != e.lifecycle_on()) {
       ckpt_fail(has_lifecycle
@@ -737,6 +873,10 @@ struct CheckpointIo {
     base.evacuated_requests = get_uint(b, "evacuated_requests");
     base.parked = get_uint(b, "parked");
     base.migrations = get_uint(b, "migrations");
+    if (b.find("scale_outs") != nullptr) {
+      base.scale_outs = get_uint(b, "scale_outs");
+      base.scale_ins = get_uint(b, "scale_ins");
+    }
     e.win_base_ = base;
 
     e.pending_since_.clear();
@@ -827,6 +967,13 @@ struct CheckpointIo {
       r.wait_p50 = get_double(j, "wait_p50");
       r.wait_p90 = get_double(j, "wait_p90");
       r.wait_p99 = get_double(j, "wait_p99");
+      if (j.find("instances") != nullptr) {
+        r.has_autoscale = true;
+        r.instances = get_uint(j, "instances");
+        r.draining = get_uint(j, "draining");
+        r.scale_outs = get_uint(j, "scale_outs");
+        r.scale_ins = get_uint(j, "scale_ins");
+      }
       e.timeline_rows_.push_back(std::move(r));
     }
   }
@@ -886,6 +1033,7 @@ CheckpointInfo peek_checkpoint(std::string_view text) {
   const obs::JsonValue* config_json = doc.find("config");
   if (config_json != nullptr && config_json->is_object()) {
     read_telemetry_config(*config_json, probe_config);
+    read_autoscale_config(*config_json, probe_config);
   }
   ServeEngine probe(std::move(topo), std::move(vnfs), probe_config);
   CheckpointIo::apply(probe, doc);
@@ -923,6 +1071,7 @@ ServeEngine restore_checkpoint(std::string_view text, topo::Topology topology,
   config.retry_budget =
       static_cast<std::uint32_t>(get_uint(c, "retry_budget"));
   read_telemetry_config(c, config);
+  read_autoscale_config(c, config);
   try {
     config.validate();
   } catch (const std::invalid_argument& e) {

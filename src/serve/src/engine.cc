@@ -58,6 +58,7 @@ void ServeConfig::validate() const {
   NFV_REQUIRE(retry_backoff_base >= 1);
   NFV_REQUIRE(std::isfinite(snapshot_every) && snapshot_every >= 0.0);
   NFV_REQUIRE(timeline_span >= 1);
+  autoscale.validate();
 }
 
 std::string_view to_string(Decision decision) {
@@ -104,6 +105,9 @@ ServeEngine::ServeEngine(topo::Topology topology,
     wait_hist_.emplace(0.0, config_.snapshot_every *
                                 static_cast<double>(config_.timeline_span),
                        64, config_.timeline_span);
+  }
+  if (autoscale_on()) {
+    scaler_.emplace(config_.autoscale, vnfs_.size());
   }
 }
 
@@ -155,6 +159,7 @@ std::optional<std::vector<ServeEngine::HopPlan>> ServeEngine::plan_placement(
     for (const std::uint32_t slot : active_of_vnf_[f]) {
       ++work_;
       const Instance& inst = instances_[slot];
+      if (inst.draining) continue;  // scale-in in progress: no new members
       if (inst.effective_load + eff > cap) continue;
       if (inst.effective_load < best_load) {
         best_load = inst.effective_load;
@@ -195,6 +200,7 @@ void ServeEngine::retire_instance(std::uint32_t slot) {
   Instance& inst = instances_[slot];
   NFV_CHECK(!inst.retired && inst.members.empty());
   inst.retired = true;
+  inst.draining = false;  // a retired instance has finished its drain
   inst.raw_load = 0.0;
   inst.effective_load = 0.0;
   auto& act = active_of_vnf_[inst.vnf];
@@ -268,7 +274,18 @@ void ServeEngine::remove_live(std::uint32_t id, EventOutcome& outcome) {
 
 std::uint32_t ServeEngine::rebalance(std::uint32_t vnf,
                                      EventOutcome& outcome) {
-  const auto& act = active_of_vnf_[vnf];
+  // Draining instances are leaving the capacity set: the RCKK re-solve
+  // runs over the survivors only, so a rebalance never refills a drain.
+  std::vector<std::uint32_t> non_draining;
+  const std::vector<std::uint32_t>* act_ptr = &active_of_vnf_[vnf];
+  if (autoscale_on()) {
+    non_draining.reserve(act_ptr->size());
+    for (const std::uint32_t slot : *act_ptr) {
+      if (!instances_[slot].draining) non_draining.push_back(slot);
+    }
+    act_ptr = &non_draining;
+  }
+  const auto& act = *act_ptr;
   const auto m = static_cast<std::uint32_t>(act.size());
   if (m < 2 || config_.migration_budget == 0) return 0;
 
@@ -375,6 +392,7 @@ bool ServeEngine::relocate_hop(std::uint32_t id, std::size_t hop,
     ++work_;
     if (slot == cur) continue;
     const Instance& inst = instances_[slot];
+    if (inst.draining) continue;
     if (inst.effective_load + eff > cap) continue;
     if (inst.effective_load < best_load) {
       best_load = inst.effective_load;
@@ -465,6 +483,14 @@ void ServeEngine::accumulate_availability(double now) {
   const double dt = now - last_time_;
   served_integral_ += dt * served;
   offered_integral_ += dt * offered;
+  if (autoscale_on()) {
+    // The capacity bill the bench scores against the offline oracle:
+    // ∫ active-instance count dt, event-by-event like the integrals above
+    // so checkpoints restore it bit-exactly.
+    std::uint64_t active = 0;
+    for (const auto& act : active_of_vnf_) active += act.size();
+    instance_seconds_ += dt * static_cast<double>(active);
+  }
 }
 
 ServeEngine::TimelineBaseline ServeEngine::capture_baseline() const {
@@ -480,6 +506,8 @@ ServeEngine::TimelineBaseline ServeEngine::capture_baseline() const {
   b.evacuated_requests = totals_.evacuated_requests;
   b.parked = totals_.parked;
   b.migrations = totals_.migrations;
+  b.scale_outs = totals_.scale_outs;
+  b.scale_ins = totals_.scale_ins;
   return b;
 }
 
@@ -512,6 +540,19 @@ obs::TimelineRecord ServeEngine::make_window_record(
   rec.parked = totals_.parked - win_base_.parked;
   rec.migrations = totals_.migrations - win_base_.migrations;
   rec.degraded = degraded_;
+  if (autoscale_on()) {
+    rec.has_autoscale = true;
+    std::uint64_t active = 0;
+    for (const auto& act : active_of_vnf_) active += act.size();
+    std::uint64_t draining = 0;
+    for (const Instance& inst : instances_) {
+      if (!inst.retired && inst.draining) ++draining;
+    }
+    rec.instances = active;
+    rec.draining = draining;
+    rec.scale_outs = totals_.scale_outs - win_base_.scale_outs;
+    rec.scale_ins = totals_.scale_ins - win_base_.scale_ins;
+  }
   std::uint64_t down = 0;
   rec.node_util.reserve(node_free_.size());
   for (std::uint32_t v = 0; v < node_free_.size(); ++v) {
@@ -607,6 +648,7 @@ bool ServeEngine::evacuate_request(std::uint32_t id, EventOutcome& outcome) {
     for (const std::uint32_t slot : active_of_vnf_[f]) {
       ++work_;
       const Instance& inst = instances_[slot];
+      if (inst.draining) continue;
       if (inst.effective_load + eff > cap) continue;
       if (inst.effective_load < best_load) {
         best_load = inst.effective_load;
@@ -675,6 +717,10 @@ void ServeEngine::handle_node_down(const workload::StreamEvent& event,
     if (inst.retired || inst.node != node) continue;
     affected.insert(affected.end(), inst.members.begin(), inst.members.end());
     inst.retired = true;
+    // A drain in progress dies with the node: the members land in
+    // `affected` and ride the evacuation ladder like everyone else, so a
+    // mid-drain NODE_DOWN strands nothing.
+    inst.draining = false;
     inst.raw_load = 0.0;
     inst.effective_load = 0.0;
     inst.members.clear();
@@ -869,6 +915,179 @@ void ServeEngine::update_degradation(EventOutcome& outcome) {
   }
   if (degraded_) ++totals_.degraded_events;
   outcome.degraded = degraded_;
+}
+
+void ServeEngine::run_autoscale(double now, EventOutcome& outcome) {
+  const double delta = config_.autoscale.scale_interval;
+  // Cross every elapsed boundary, one decision each — a burst of events
+  // inside one window still yields exactly one evaluation per window, so
+  // batch size cannot change the decision sequence.
+  while (static_cast<double>(as_window_ + 1) * delta <= now) {
+    ++as_window_;
+    autoscale_decide(outcome);
+  }
+}
+
+void ServeEngine::autoscale_observe(std::vector<VnfObservation>& out) const {
+  out.assign(vnfs_.size(), VnfObservation{});
+  for (std::uint32_t f = 0; f < vnfs_.size(); ++f) {
+    out[f].capacity_per_instance = limit(f);
+  }
+  for (const Instance& inst : instances_) {
+    if (inst.retired) continue;
+    // Draining load still counts as offered — it has to land somewhere —
+    // but a draining instance is not capacity the policy may size against.
+    if (!inst.draining) ++out[inst.vnf].instances;
+    out[inst.vnf].offered += inst.effective_load;
+  }
+  for (const PendingRequest& p : queue_) {
+    for (const std::uint32_t f : p.chain) {
+      out[f].offered += p.rate / p.prob;
+      ++out[f].waiting;
+    }
+  }
+  for (const RetryRequest& entry : retry_queue_) {
+    for (const std::uint32_t f : entry.request.chain) {
+      out[f].offered += entry.request.rate / entry.request.prob;
+      ++out[f].waiting;
+    }
+  }
+}
+
+void ServeEngine::autoscale_decide(EventOutcome& outcome) {
+  autoscale_observe(as_obs_scratch_);
+  work_ += instances_.size() + queue_.size() + retry_queue_.size();
+  const std::vector<std::int32_t>& deltas =
+      scaler_->on_window(as_window_, as_obs_scratch_);
+  bool opened = false;
+  for (std::uint32_t f = 0; f < deltas.size(); ++f) {
+    const std::int32_t d = deltas[f];
+    if (d > 0) {
+      if (autoscale_open(f, static_cast<std::uint32_t>(d), outcome) > 0) {
+        opened = true;
+      }
+    } else if (d < 0) {
+      autoscale_mark_draining(f, static_cast<std::uint32_t>(-d));
+    }
+  }
+  autoscale_drain_pass(outcome);
+  if (opened) {
+    // Fresh capacity may admit the backlog: same drain-then-rebalance step
+    // the degradation exit uses.
+    std::vector<std::uint32_t>& touched = touched_scratch_;
+    touched.clear();
+    drain_queue(outcome, touched);
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    rebalance_chain(touched, outcome);
+  }
+}
+
+std::uint32_t ServeEngine::autoscale_open(std::uint32_t vnf,
+                                          std::uint32_t count,
+                                          EventOutcome& outcome) {
+  const std::vector<double> no_use(node_free_.size(), 0.0);
+  const std::vector<std::uint32_t> no_count(node_free_.size(), 0);
+  std::uint32_t opened = 0;
+  for (; opened < count; ++opened) {
+    const auto node =
+        pick_node(vnfs_[vnf].demand_per_instance, no_use, no_count);
+    if (!node) break;  // cluster full: partial scale-out is fine
+    open_instance(vnf, *node);
+    ++outcome.scale_outs;
+    ++totals_.scale_outs;
+    ++as_opened_;
+  }
+  return opened;
+}
+
+void ServeEngine::autoscale_mark_draining(std::uint32_t vnf,
+                                          std::uint32_t count) {
+  for (std::uint32_t k = 0; k < count; ++k) {
+    // Least-loaded active instance; `<=` while scanning creation order
+    // prefers the newest on ties, so the oldest instances stay put.
+    std::optional<std::uint32_t> victim;
+    double victim_load = std::numeric_limits<double>::infinity();
+    for (const std::uint32_t slot : active_of_vnf_[vnf]) {
+      ++work_;
+      const Instance& inst = instances_[slot];
+      if (inst.draining) continue;
+      if (inst.effective_load <= victim_load) {
+        victim_load = inst.effective_load;
+        victim = slot;
+      }
+    }
+    if (!victim) return;
+    instances_[*victim].draining = true;
+    ++as_drained_;
+  }
+}
+
+void ServeEngine::autoscale_drain_pass(EventOutcome& outcome) {
+  for (std::uint32_t slot = 0;
+       slot < static_cast<std::uint32_t>(instances_.size()); ++slot) {
+    if (instances_[slot].retired || !instances_[slot].draining) continue;
+    // Snapshot the member list: drain_member edits it under us.
+    const std::vector<std::uint32_t> members = instances_[slot].members;
+    std::uint32_t moves = 0;
+    for (const std::uint32_t id : members) {
+      if (moves >= config_.migration_budget) break;
+      if (instances_[slot].retired) break;
+      const LiveRequest& r = live_.at(id);
+      for (std::size_t h = 0; h < r.chain.size(); ++h) {
+        if (r.hop_instance[h] != slot) continue;
+        if (drain_member(id, h, outcome)) ++moves;
+        break;  // one hop per member per pass keeps the budget honest
+      }
+    }
+    Instance& inst = instances_[slot];
+    if (!inst.retired && inst.members.empty()) {
+      retire_instance(slot);
+      ++outcome.scale_ins;
+      ++totals_.scale_ins;
+    }
+  }
+}
+
+bool ServeEngine::drain_member(std::uint32_t id, std::size_t hop,
+                               EventOutcome& outcome) {
+  LiveRequest& r = live_.at(id);
+  const std::uint32_t f = r.chain[hop];
+  const std::uint32_t cur = r.hop_instance[hop];
+  const double eff = r.rate / r.prob;
+  const double cap = limit(f);
+
+  // Unlike relocate_hop this never opens an instance: a drain that needs
+  // fresh capacity is a drain the controller should not have started, and
+  // the member simply waits for a later pass to find room.
+  std::optional<std::uint32_t> best;
+  double best_load = std::numeric_limits<double>::infinity();
+  for (const std::uint32_t slot : active_of_vnf_[f]) {
+    ++work_;
+    if (slot == cur) continue;
+    const Instance& inst = instances_[slot];
+    if (inst.draining) continue;
+    if (inst.effective_load + eff > cap) continue;
+    if (inst.effective_load < best_load) {
+      best_load = inst.effective_load;
+      best = slot;
+    }
+  }
+  if (!best) return false;
+
+  if (remove_from_instance(cur, id, r.rate, r.prob)) {
+    ++outcome.scale_ins;
+    ++totals_.scale_ins;
+  }
+  add_to_instance(*best, id, r.rate, r.prob);
+  r.hop_instance[hop] = *best;
+  ++outcome.migrations;
+  ++totals_.migrations;
+  if (lifecycle_on()) {
+    record_lifecycle(outcome, obs::LifecycleStage::kMigrate, id,
+                     instances_[*best].node, static_cast<std::uint32_t>(hop));
+  }
+  return true;
 }
 
 void ServeEngine::finish_outcome(EventOutcome& outcome) {
@@ -1136,6 +1355,7 @@ void ServeEngine::process_event(const workload::StreamEvent& event) {
     rebalance_chain(touched, outcome);
   }
   update_degradation(outcome);
+  if (autoscale_on()) run_autoscale(event.time, outcome);
 
   finish_outcome(outcome);
 }
@@ -1211,6 +1431,18 @@ ServeSummary ServeEngine::summary() const {
     s.p99_predicted_latency = sorted[idx];
   }
   s.work = work_;
+  if (autoscale_on()) {
+    const AutoscaleTotals& at = scaler_->totals();
+    s.autoscale_decisions = at.decisions;
+    s.autoscale_flaps = at.flaps;
+    s.autoscale_blocked_cooldown = at.blocked_cooldown;
+    s.autoscale_scale_outs = as_opened_;
+    s.autoscale_scale_ins = as_drained_;
+    s.instance_seconds = instance_seconds_;
+    for (const Instance& inst : instances_) {
+      if (!inst.retired && inst.draining) ++s.draining_instances;
+    }
+  }
   return s;
 }
 
@@ -1338,6 +1570,18 @@ obs::ServeSection make_serve_section(const ServeEngine& engine,
   out.mean_predicted_latency = s.mean_predicted_latency;
   out.p99_predicted_latency = s.p99_predicted_latency;
   out.work = s.work;
+  if (engine.config().autoscale.enabled()) {
+    out.autoscale_present = true;
+    out.autoscale_policy =
+        std::string(to_string(engine.config().autoscale.policy));
+    out.autoscale_decisions = s.autoscale_decisions;
+    out.autoscale_scale_outs = s.autoscale_scale_outs;
+    out.autoscale_scale_ins = s.autoscale_scale_ins;
+    out.autoscale_flaps = s.autoscale_flaps;
+    out.autoscale_blocked_cooldown = s.autoscale_blocked_cooldown;
+    out.autoscale_draining = s.draining_instances;
+    out.instance_seconds = s.instance_seconds;
+  }
   if (engine.config().snapshot_every > 0.0) {
     out.timeline_present = true;
     out.timeline = obs::aggregate_timeline(engine.timeline_doc().records);

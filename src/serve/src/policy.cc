@@ -1,0 +1,101 @@
+#include "nfv/serve/policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nfv/common/error.h"
+
+namespace nfv::serve {
+
+std::string_view to_string(ScalePolicy policy) {
+  switch (policy) {
+    case ScalePolicy::kOff:
+      return "off";
+    case ScalePolicy::kReactive:
+      return "reactive";
+    case ScalePolicy::kPredictive:
+      return "predictive";
+  }
+  return "?";
+}
+
+std::optional<ScalePolicy> parse_scale_policy(std::string_view text) {
+  if (text == "off") return ScalePolicy::kOff;
+  if (text == "reactive") return ScalePolicy::kReactive;
+  if (text == "predictive") return ScalePolicy::kPredictive;
+  return std::nullopt;
+}
+
+void AutoscaleConfig::validate() const {
+  if (!enabled()) return;
+  NFV_REQUIRE(std::isfinite(scale_interval) && scale_interval > 0.0);
+  NFV_REQUIRE(std::isfinite(high_watermark) && high_watermark > 0.0 &&
+              high_watermark <= 1.0);
+  NFV_REQUIRE(std::isfinite(low_watermark) && low_watermark >= 0.0 &&
+              low_watermark < high_watermark);
+  NFV_REQUIRE(max_step >= 1);
+  NFV_REQUIRE(std::isfinite(ewma_alpha) && ewma_alpha > 0.0 &&
+              ewma_alpha <= 1.0);
+  NFV_REQUIRE(std::isfinite(forecast_windows) && forecast_windows >= 0.0);
+  NFV_REQUIRE(std::isfinite(safety_margin) && safety_margin >= 0.0);
+}
+
+namespace {
+
+/// Instances needed to carry `offered` at per-instance `capacity`, never
+/// admitting past the `band` fraction of each instance's limit.
+std::uint32_t needed_instances(double offered, double capacity, double band) {
+  if (offered <= 0.0) return 0;
+  if (capacity <= 0.0) return 1;  // degenerate VNF: one instance, best effort
+  return static_cast<std::uint32_t>(std::ceil(offered / (capacity * band)));
+}
+
+}  // namespace
+
+std::int32_t reactive_delta(const AutoscaleConfig& cfg,
+                            const VnfObservation& obs) {
+  const double cap =
+      static_cast<double>(obs.instances) * obs.capacity_per_instance;
+  // Saturated band (or no capacity at all while demand waits): grow to the
+  // count that puts utilization back at the high watermark.
+  if ((obs.instances == 0 && (obs.offered > 0.0 || obs.waiting > 0)) ||
+      (cap > 0.0 && obs.offered > cfg.high_watermark * cap)) {
+    const std::uint32_t target = std::max<std::uint32_t>(
+        needed_instances(obs.offered, obs.capacity_per_instance,
+                         cfg.high_watermark),
+        obs.instances + 1);
+    return static_cast<std::int32_t>(target - obs.instances);
+  }
+  // Waiting requests mean the placed-load view undercounts demand: nudge
+  // out one step even inside the band.
+  if (obs.waiting > 0) return 1;
+  // Idle band, with hysteresis: drain one only when the survivors would
+  // still sit strictly under the high band.
+  if (obs.instances >= 2 && cap > 0.0 &&
+      obs.offered < cfg.low_watermark * cap &&
+      obs.offered <= cfg.high_watermark * (cap - obs.capacity_per_instance)) {
+    return -1;
+  }
+  return 0;
+}
+
+std::int32_t predictive_delta(const AutoscaleConfig& cfg,
+                              const VnfObservation& obs,
+                              const VnfPolicyState& state) {
+  // Linear-trend extrapolation of the smoothed offered rate, floored at
+  // the current observation so a forecast can never undercut live demand.
+  const double trend = state.ewma - state.prev_ewma;
+  const double forecast = std::max(
+      obs.offered, state.ewma + cfg.forecast_windows * trend);
+  std::uint32_t target = needed_instances(
+      forecast * (1.0 + cfg.safety_margin), obs.capacity_per_instance, 1.0);
+  // Admission pressure overrides the forecast: waiting demand needs room
+  // beyond what the placed instances report.
+  if (obs.waiting > 0) {
+    target = std::max(target, obs.instances + 1);
+  }
+  return static_cast<std::int32_t>(target) -
+         static_cast<std::int32_t>(obs.instances);
+}
+
+}  // namespace nfv::serve

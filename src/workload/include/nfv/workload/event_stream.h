@@ -140,6 +140,21 @@ struct EventStreamConfig {
   double node_mtbf = 0.0;  ///< mean seconds between failures (per node)
   double node_mttr = 0.0;  ///< mean seconds to repair (per node)
 
+  /// Rate profile (generate-trace --ramp-*/--burst-*): a deterministic
+  /// time-varying multiplier applied to every sampled arrival /
+  /// rate-change rate, so a trace can exercise diurnal swings and load
+  /// spikes (the autoscale bench input).  The multiplier is
+  ///   (1 + ramp_amplitude · sin(2π t / ramp_period))
+  ///     × (burst_factor while t mod burst_every < burst_length, else 1).
+  /// All randomness still comes from the seeded rng; the profile itself is
+  /// a pure function of event time, so traces stay reproducible and the
+  /// serialized schema is unchanged.
+  double ramp_amplitude = 0.0;  ///< ∈ [0, 1); 0 disables the ramp
+  double ramp_period = 0.0;     ///< > 0 required when ramp_amplitude > 0
+  double burst_every = 0.0;     ///< burst cycle length; 0 disables bursts
+  double burst_length = 0.0;    ///< ∈ (0, burst_every]: burst duration
+  double burst_factor = 1.0;    ///< ≥ 1: rate multiplier inside a burst
+
   void validate() const;
 };
 

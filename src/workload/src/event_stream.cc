@@ -622,6 +622,17 @@ void EventStreamConfig::validate() const {
   NFV_REQUIRE(arrival_rate_max >= arrival_rate_min);
   NFV_REQUIRE(delivery_prob > 0.0 && delivery_prob <= 1.0);
   NFV_REQUIRE(rate_sigma_log >= 0.0);
+  NFV_REQUIRE(std::isfinite(ramp_amplitude) && ramp_amplitude >= 0.0 &&
+              ramp_amplitude < 1.0);
+  if (ramp_amplitude > 0.0) {
+    NFV_REQUIRE(std::isfinite(ramp_period) && ramp_period > 0.0);
+  }
+  NFV_REQUIRE(std::isfinite(burst_every) && burst_every >= 0.0);
+  if (burst_every > 0.0) {
+    NFV_REQUIRE(std::isfinite(burst_length) && burst_length > 0.0 &&
+                burst_length <= burst_every);
+    NFV_REQUIRE(std::isfinite(burst_factor) && burst_factor >= 1.0);
+  }
   if (churn_node_count > 0) {
     NFV_REQUIRE(std::isfinite(node_mtbf) && node_mtbf > 0.0);
     NFV_REQUIRE(std::isfinite(node_mttr) && node_mttr > 0.0);
@@ -654,10 +665,27 @@ EventTrace EventStreamGenerator::generate(Rng& rng) const {
   const LognormalTraceSampler heavy_tail(
       {0.04, config_.rate_sigma_log, config_.arrival_rate_min,
        config_.arrival_rate_max});
-  const auto sample_rate = [&](Rng& r) {
-    return config_.rate_sigma_log > 0.0
-               ? heavy_tail.sample_rate(r)
-               : r.uniform(config_.arrival_rate_min, config_.arrival_rate_max);
+  // Deterministic rate profile: a pure function of event time layered on
+  // top of the seeded base sample (see EventStreamConfig).
+  const auto profile = [&](double t) {
+    constexpr double kTwoPi = 6.283185307179586;
+    double m = 1.0;
+    if (config_.ramp_amplitude > 0.0) {
+      m *= 1.0 +
+           config_.ramp_amplitude * std::sin(kTwoPi * t / config_.ramp_period);
+    }
+    if (config_.burst_every > 0.0 &&
+        std::fmod(t, config_.burst_every) < config_.burst_length) {
+      m *= config_.burst_factor;
+    }
+    return m;
+  };
+  const auto sample_rate = [&](Rng& r, double t) {
+    const double base =
+        config_.rate_sigma_log > 0.0
+            ? heavy_tail.sample_rate(r)
+            : r.uniform(config_.arrival_rate_min, config_.arrival_rate_max);
+    return base * profile(t);
   };
   const auto sample_chain = [&](Rng& r) {
     if (!templates_.empty()) {
@@ -687,7 +715,7 @@ EventTrace EventStreamGenerator::generate(Rng& rng) const {
     if (!live.empty() && rng.chance(config_.rate_change_fraction)) {
       e.kind = StreamEventKind::kRateChange;
       e.request = live[rng.below(live.size())];
-      e.rate = sample_rate(rng);
+      e.rate = sample_rate(rng, time);
     } else {
       // Birth-death: arrivals dominate below the target population,
       // departures above it; equilibrium sits at `target`.
@@ -700,7 +728,7 @@ EventTrace EventStreamGenerator::generate(Rng& rng) const {
       if (rng.chance(p_arrive)) {
         e.kind = StreamEventKind::kArrive;
         e.request = next_id++;
-        e.rate = sample_rate(rng);
+        e.rate = sample_rate(rng, time);
         e.delivery_prob = config_.delivery_prob;
         e.chain = sample_chain(rng);
         live.push_back(e.request);

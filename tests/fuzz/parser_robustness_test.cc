@@ -21,6 +21,7 @@
 #include "nfv/obs/report.h"
 #include "nfv/serve/checkpoint.h"
 #include "nfv/serve/engine.h"
+#include "nfv/serve/policy.h"
 #include "nfv/topology/builders.h"
 #include "nfv/topology/io.h"
 #include "nfv/workload/btrace.h"
@@ -307,6 +308,48 @@ TEST(ParserRobustness, MutatedCheckpointsParseOrThrowCheckpointParseError) {
       "checkpoint");
 }
 
+// Same engine, but with autoscaling live: the checkpoint now carries the
+// embedded autoscale config block plus the controller state walk
+// (vnf_states, per-instance draining bits), all absent from the plain
+// fixture above.
+std::string valid_autoscale_checkpoint_text() {
+  Rng rng(9);
+  topo::Topology topology = topo::make_star(
+      4, topo::CapacitySpec{1500.0, 2500.0}, topo::LinkSpec{1e-4}, rng);
+  workload::WorkloadConfig wcfg;
+  wcfg.vnf_count = 5;
+  wcfg.request_count = 15;
+  const workload::Workload base =
+      workload::WorkloadGenerator(wcfg).generate(rng);
+  workload::EventStreamConfig scfg;
+  scfg.event_count = 60;
+  scfg.ramp_amplitude = 0.5;
+  scfg.ramp_period = 4.0;
+  scfg.burst_factor = 3.0;
+  scfg.burst_length = 0.8;
+  scfg.burst_every = 2.0;
+  const workload::EventTrace trace =
+      workload::EventStreamGenerator(base, scfg).generate(rng);
+  serve::ServeConfig config;
+  config.autoscale.policy = serve::ScalePolicy::kPredictive;
+  serve::ServeEngine engine(std::move(topology), base.vnfs, config);
+  engine.replay(trace);
+  return serve::save_checkpoint_string(engine, trace.events.size());
+}
+
+TEST(ParserRobustness,
+     MutatedAutoscaleCheckpointsParseOrThrowCheckpointParseError) {
+  expect_parse_or_documented_throw(
+      valid_autoscale_checkpoint_text(),
+      [](const std::string& text) {
+        try {
+          (void)serve::peek_checkpoint(text);
+        } catch (const serve::CheckpointParseError&) {
+        }
+      },
+      "autoscale checkpoint");
+}
+
 TEST(ParserRobustness, PinnedCheckpointCrashersThrowDocumentedType) {
   const char* inputs[] = {
       "",
@@ -333,6 +376,77 @@ TEST(ParserRobustness, PinnedCheckpointCrashersThrowDocumentedType) {
       R"("live":[],"queue":[],"retry":[],"gone":[],"totals":{}})",
   };
   for (const char* text : inputs) {
+    EXPECT_THROW((void)serve::peek_checkpoint(text),
+                 serve::CheckpointParseError)
+        << text;
+  }
+}
+
+TEST(ParserRobustness, PinnedAutoscaleCheckpointCrashersThrowDocumentedType) {
+  // Shared skeleton: a minimal but otherwise coherent 1-vnf/1-node
+  // checkpoint, split so each crasher can corrupt exactly one seam.
+  const std::string base_config =
+      R"("headroom":0.1,"rebalance_threshold":0.25,"migration_budget":4,)"
+      R"("queue_capacity":64,"link_latency":null,"overload_window":32,)"
+      R"("overload_threshold":0.75,"degraded_headroom":0.25,)"
+      R"("retry_backoff_base":4,"retry_budget":3)";
+  const std::string autoscale_config =
+      R"("autoscale_policy":"reactive","autoscale_interval":0.25,)"
+      R"("autoscale_high":0.85,"autoscale_low":0.3,"autoscale_cooldown":2,)"
+      R"("autoscale_step":1,"autoscale_alpha":0.3,"autoscale_forecast":2,)"
+      R"("autoscale_margin":0.15)";
+  const std::string state_head =
+      R"("last_time":0,"saw_event":false,"next_seq":1,"work":0,)"
+      R"("served_integral":0,"offered_integral":0,"degraded":false,)"
+      R"("pressure_window":[],"node_free":[1],"node_instances":[0],)"
+      R"("node_up":[1],)";
+  const std::string state_tail =
+      R"("live":[],"queue":[],"retry":[],"gone":[],)"
+      R"("totals":{"events":0,"arrivals":0,"admitted":0,)"
+      R"("admitted_from_queue":0,"rejected":0,"departures":0,)"
+      R"("rate_changes":0,"shed":0,"migrations":0,"rebalances":0,)"
+      R"("max_migrations_per_rebalance":0,"scale_outs":0,"scale_ins":0,)"
+      R"("node_downs":0,"node_ups":0,"instances_closed":0,)"
+      R"("evacuated_requests":0,"evacuation_migrations":0,"parked":0,)"
+      R"("retry_admitted":0,"shed_fault":0,"shed_overload":0,)"
+      R"("degradations":0,"degraded_events":0},"log":[])";
+  const auto checkpoint = [&](const std::string& config_extra,
+                              const std::string& instances,
+                              const std::string& state_extra) {
+    return R"({"schema":"nfvpr.checkpoint/1","cursor":0,"vnf_count":1,)"
+           R"("node_count":1,"config":{)" +
+           base_config + config_extra + "}," + state_head +
+           R"("instances":[)" + instances + "]," + state_tail + state_extra +
+           "}";
+  };
+  const std::string crashers[] = {
+      // An unknown policy name, and the sentinel "off" which the writer
+      // never stores (off runs omit the whole block for byte-identity).
+      checkpoint(R"(,"autoscale_policy":"bogus")", "", ""),
+      checkpoint(R"(,"autoscale_policy":"off")", "", ""),
+      // A stored policy with the rest of the embedded knobs missing.
+      checkpoint(R"(,"autoscale_policy":"predictive")", "", ""),
+      // A draining instance in a checkpoint whose config never enabled
+      // autoscaling — the bit has no owner to resume it.
+      checkpoint("",
+                 R"({"vnf":0,"node":0,"seq":0,"raw_load":0,)"
+                 R"("effective_load":0,"retired":false,"draining":true,)"
+                 R"("members":[]})",
+                 ""),
+      // Controller state present while the config says off, and the
+      // mirror image: autoscaling on with the state block missing.
+      checkpoint("", "",
+                 R"(,"autoscale":{"window":0,"instance_seconds":0,)"
+                 R"("opened":0,"drained":0,"decisions":0,"flaps":0,)"
+                 R"("blocked_cooldown":0,"vnf_states":[]})"),
+      checkpoint("," + autoscale_config, "", ""),
+      // Autoscaling on, state present, but the per-vnf array is short.
+      checkpoint("," + autoscale_config, "",
+                 R"(,"autoscale":{"window":0,"instance_seconds":0,)"
+                 R"("opened":0,"drained":0,"decisions":0,"flaps":0,)"
+                 R"("blocked_cooldown":0,"vnf_states":[]})"),
+  };
+  for (const std::string& text : crashers) {
     EXPECT_THROW((void)serve::peek_checkpoint(text),
                  serve::CheckpointParseError)
         << text;

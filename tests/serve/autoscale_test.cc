@@ -1,0 +1,383 @@
+// Elastic autoscaling (DESIGN.md §16).  Contracts under test:
+//  * the policy functions and the ScalingController's hysteresis
+//    machinery (watermark bands, cooldown, flap accounting, the ≥1
+//    floor while demand exists);
+//  * the engine composition — draining instances accept no new members,
+//    NODE_DOWN mid-drain strands nothing (the accounting identity holds
+//    with churn and autoscaling active together);
+//  * determinism — kill the replay at ANY event on a ramp + burst +
+//    churn trace, resume, and the final checkpoint is byte-identical to
+//    the uninterrupted run's, for both policies and any pool width;
+//  * format stability — an autoscale-off engine's checkpoint contains
+//    no trace of the subsystem, byte-compatible with the PR 8 format.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "nfv/common/rng.h"
+#include "nfv/exec/thread_pool.h"
+#include "nfv/serve/autoscale.h"
+#include "nfv/serve/checkpoint.h"
+#include "nfv/serve/engine.h"
+#include "nfv/serve/policy.h"
+#include "nfv/workload/generator.h"
+
+namespace nfv::serve {
+namespace {
+
+topo::Topology make_topo() {
+  topo::Topology t;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(t.add_compute(1200.0 + 250.0 * i));
+  }
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    t.connect_nodes(ids[0], ids[i], 1e-4);
+  }
+  t.freeze();
+  return t;
+}
+
+struct Fixture {
+  workload::Workload base;
+  workload::EventTrace trace;
+};
+
+/// Ramp + burst + churn: the profile swings offered load so both scale
+/// directions fire, and node failures land while drains are in flight.
+Fixture make_ramp_churn_fixture(std::uint64_t seed) {
+  workload::WorkloadConfig wcfg;
+  wcfg.vnf_count = 6;
+  wcfg.request_count = 25;
+  Rng wrng(seed);
+  Fixture fx;
+  fx.base = workload::WorkloadGenerator(wcfg).generate(wrng);
+  workload::EventStreamConfig scfg;
+  scfg.event_count = 220;
+  scfg.churn_node_count = 3;
+  scfg.node_mtbf = 3.0;
+  scfg.node_mttr = 0.8;
+  scfg.ramp_amplitude = 0.5;
+  scfg.ramp_period = 4.0;
+  scfg.burst_every = 3.0;
+  scfg.burst_length = 0.8;
+  scfg.burst_factor = 2.0;
+  Rng srng(seed + 100);
+  fx.trace = workload::EventStreamGenerator(fx.base, scfg).generate(srng);
+  return fx;
+}
+
+ServeEngine autoscaled_engine(const Fixture& fx, ScalePolicy policy) {
+  ServeConfig cfg;
+  cfg.rebalance_threshold = 0.15;
+  cfg.overload_window = 16;
+  cfg.autoscale.policy = policy;
+  cfg.autoscale.scale_interval = 0.25;
+  cfg.autoscale.cooldown_windows = 1;
+  return ServeEngine(make_topo(), fx.base.vnfs, cfg);
+}
+
+long long unaccounted(const ServeSummary& s) {
+  const auto accounted = s.live_requests + s.queued_requests +
+                         s.retry_queued + s.rejected + s.departures + s.shed +
+                         s.shed_fault + s.shed_overload;
+  return static_cast<long long>(s.arrivals) -
+         static_cast<long long>(accounted);
+}
+
+// ---------------------------------------------------------------------------
+// Policy functions
+// ---------------------------------------------------------------------------
+
+AutoscaleConfig reactive_config() {
+  AutoscaleConfig cfg;
+  cfg.policy = ScalePolicy::kReactive;
+  return cfg;
+}
+
+TEST(ScalePolicyFn, ReactiveGrowsPastHighWatermark) {
+  const AutoscaleConfig cfg = reactive_config();
+  VnfObservation obs;
+  obs.capacity_per_instance = 100.0;
+  obs.instances = 2;
+  obs.offered = 190.0;  // util 0.95 > high 0.80
+  // Target: ceil(190 / (100 · 0.8)) = 3.
+  EXPECT_EQ(reactive_delta(cfg, obs), 1);
+}
+
+TEST(ScalePolicyFn, ReactiveHoldsInsideTheBand) {
+  const AutoscaleConfig cfg = reactive_config();
+  VnfObservation obs;
+  obs.capacity_per_instance = 100.0;
+  obs.instances = 2;
+  obs.offered = 100.0;  // util 0.50 ∈ [0.30, 0.80]
+  EXPECT_EQ(reactive_delta(cfg, obs), 0);
+}
+
+TEST(ScalePolicyFn, ReactiveDrainsOneBelowLowWatermark) {
+  const AutoscaleConfig cfg = reactive_config();
+  VnfObservation obs;
+  obs.capacity_per_instance = 100.0;
+  obs.instances = 3;
+  obs.offered = 50.0;  // util 0.17 < low 0.30; survivors at 0.25 < 0.80
+  EXPECT_EQ(reactive_delta(cfg, obs), -1);
+}
+
+TEST(ScalePolicyFn, ReactiveHysteresisKeepsSurvivorsUnderHigh) {
+  const AutoscaleConfig cfg = reactive_config();
+  VnfObservation obs;
+  obs.capacity_per_instance = 100.0;
+  obs.instances = 2;
+  obs.offered = 59.0;  // util 0.295 < low, but one survivor would be 0.59
+  EXPECT_EQ(reactive_delta(cfg, obs), -1);
+  obs.offered = 29.0;  // survivors at 0.29 < 0.80: drain is allowed
+  EXPECT_EQ(reactive_delta(cfg, obs), -1);
+  obs.instances = 1;   // never drain the last instance via the band
+  obs.offered = 10.0;
+  EXPECT_EQ(reactive_delta(cfg, obs), 0);
+}
+
+TEST(ScalePolicyFn, ReactiveNudgesOutUnderAdmissionPressure) {
+  const AutoscaleConfig cfg = reactive_config();
+  VnfObservation obs;
+  obs.capacity_per_instance = 100.0;
+  obs.instances = 2;
+  obs.offered = 100.0;  // inside the band …
+  obs.waiting = 3;      // … but demand is queued
+  EXPECT_EQ(reactive_delta(cfg, obs), 1);
+}
+
+TEST(ScalePolicyFn, PredictiveExtrapolatesTheTrend) {
+  AutoscaleConfig cfg;
+  cfg.policy = ScalePolicy::kPredictive;
+  cfg.forecast_windows = 2.0;
+  cfg.safety_margin = 0.0;
+  VnfObservation obs;
+  obs.capacity_per_instance = 100.0;
+  obs.instances = 1;
+  obs.offered = 100.0;
+  VnfPolicyState state;
+  state.ewma = 100.0;
+  state.prev_ewma = 60.0;  // trend +40/window ⇒ forecast 180 ⇒ 2 instances
+  EXPECT_EQ(predictive_delta(cfg, obs, state), 1);
+  state.prev_ewma = 100.0;  // flat: forecast = offered ⇒ hold
+  EXPECT_EQ(predictive_delta(cfg, obs, state), 0);
+}
+
+TEST(ScalePolicyFn, PredictiveForecastNeverUndercutsLiveDemand) {
+  AutoscaleConfig cfg;
+  cfg.policy = ScalePolicy::kPredictive;
+  cfg.safety_margin = 0.0;
+  VnfObservation obs;
+  obs.capacity_per_instance = 100.0;
+  obs.instances = 3;
+  obs.offered = 250.0;
+  VnfPolicyState state;
+  state.ewma = 50.0;       // stale smoothing far below the live load
+  state.prev_ewma = 80.0;  // falling trend would forecast even lower
+  EXPECT_EQ(predictive_delta(cfg, obs, state), 0);  // floored at offered
+}
+
+// ---------------------------------------------------------------------------
+// Controller machinery
+// ---------------------------------------------------------------------------
+
+TEST(ScalingController, CooldownSilencesTheVnfAfterAnAction) {
+  AutoscaleConfig cfg = reactive_config();
+  cfg.cooldown_windows = 2;
+  ScalingController ctl(cfg, 1);
+  VnfObservation hot;
+  hot.capacity_per_instance = 100.0;
+  hot.instances = 1;
+  hot.offered = 95.0;
+  EXPECT_EQ(ctl.on_window(0, {hot})[0], 1);    // acts
+  EXPECT_EQ(ctl.on_window(1, {hot})[0], 0);    // cooling
+  EXPECT_EQ(ctl.on_window(2, {hot})[0], 0);    // cooling
+  EXPECT_EQ(ctl.on_window(3, {hot})[0], 1);    // eligible again
+  EXPECT_EQ(ctl.totals().blocked_cooldown, 2u);
+  EXPECT_EQ(ctl.totals().decisions, 4u);
+}
+
+TEST(ScalingController, FlapIsADirectionReversalInsideTheGuard) {
+  AutoscaleConfig cfg = reactive_config();
+  cfg.cooldown_windows = 0;  // guard stays max(1, 0) = 1 window
+  ScalingController ctl(cfg, 1);
+  VnfObservation obs;
+  obs.capacity_per_instance = 100.0;
+  obs.instances = 1;
+  obs.offered = 95.0;  // out …
+  EXPECT_EQ(ctl.on_window(0, {obs})[0], 1);
+  obs.instances = 2;
+  obs.offered = 20.0;  // … and straight back in: a flap
+  EXPECT_EQ(ctl.on_window(1, {obs})[0], -1);
+  EXPECT_EQ(ctl.totals().flaps, 1u);
+}
+
+TEST(ScalingController, NeverDrainsBelowOneWhileDemandExists) {
+  AutoscaleConfig cfg = reactive_config();
+  cfg.max_step = 4;
+  ScalingController ctl(cfg, 1);
+  VnfObservation obs;
+  obs.capacity_per_instance = 100.0;
+  obs.instances = 1;
+  obs.offered = 5.0;  // util 0.05, far below the band — but still offered
+  EXPECT_EQ(ctl.on_window(0, {obs})[0], 0);
+  obs.waiting = 1;
+  obs.offered = 0.0;  // queued demand alone also pins the floor …
+  EXPECT_GE(ctl.on_window(1, {obs})[0], 0);
+}
+
+TEST(ScalingController, RestoreRoundTripsStateAndTotals) {
+  AutoscaleConfig cfg;
+  cfg.policy = ScalePolicy::kPredictive;
+  ScalingController ctl(cfg, 2);
+  VnfObservation obs;
+  obs.capacity_per_instance = 100.0;
+  obs.instances = 1;
+  obs.offered = 95.0;
+  for (std::uint64_t w = 0; w < 4; ++w) {
+    static_cast<void>(ctl.on_window(w, {obs, obs}));
+    obs.instances += 1;
+  }
+  ScalingController copy(cfg, 2);
+  auto states = ctl.vnf_states();
+  copy.restore(std::move(states), ctl.totals());
+  obs.offered = 40.0;
+  const auto a = ctl.on_window(4, {obs, obs});
+  const auto want_first = a[0];
+  const auto b = copy.on_window(4, {obs, obs});
+  EXPECT_EQ(b[0], want_first);
+  EXPECT_EQ(copy.totals().decisions, ctl.totals().decisions);
+}
+
+// ---------------------------------------------------------------------------
+// Engine composition
+// ---------------------------------------------------------------------------
+
+TEST(ServeAutoscale, ScalesBothDirectionsOnTheRampFixture) {
+  const Fixture fx = make_ramp_churn_fixture(7);
+  for (const ScalePolicy policy :
+       {ScalePolicy::kReactive, ScalePolicy::kPredictive}) {
+    ServeEngine engine = autoscaled_engine(fx, policy);
+    engine.replay(fx.trace);
+    const ServeSummary s = engine.summary();
+    EXPECT_GT(s.autoscale_decisions, 0u) << to_string(policy);
+    EXPECT_GT(s.autoscale_scale_outs + s.autoscale_scale_ins, 0u)
+        << to_string(policy);
+    EXPECT_GT(s.instance_seconds, 0.0) << to_string(policy);
+    // NODE_DOWN lands mid-drain on this fixture; nothing may be lost.
+    EXPECT_GT(s.node_downs, 0u);
+    EXPECT_EQ(unaccounted(s), 0) << to_string(policy);
+  }
+}
+
+TEST(ServeAutoscale, KillAtAnyEventResumesByteIdentical) {
+  for (const ScalePolicy policy :
+       {ScalePolicy::kReactive, ScalePolicy::kPredictive}) {
+    const Fixture fx = make_ramp_churn_fixture(19);
+    const std::size_t n = fx.trace.events.size();
+
+    ServeEngine uninterrupted = autoscaled_engine(fx, policy);
+    uninterrupted.replay(fx.trace);
+    const std::string want = save_checkpoint_string(uninterrupted, n);
+    // The fixture must actually scale for the identity to mean anything.
+    const ServeSummary s = uninterrupted.summary();
+    ASSERT_GT(s.autoscale_scale_outs + s.autoscale_scale_ins, 0u)
+        << to_string(policy);
+
+    ServeEngine running = autoscaled_engine(fx, policy);
+    for (std::size_t k = 0; k <= n; ++k) {
+      if (k > 0) running.on_event(fx.trace.events[k - 1]);
+      const std::string ck = save_checkpoint_string(running, k);
+      std::uint64_t cursor = 0;
+      ServeEngine resumed =
+          restore_checkpoint(ck, make_topo(), fx.base.vnfs, &cursor);
+      ASSERT_EQ(cursor, k);
+      for (std::size_t i = k; i < n; ++i) {
+        resumed.on_event(fx.trace.events[i]);
+      }
+      ASSERT_EQ(save_checkpoint_string(resumed, n), want)
+          << to_string(policy) << " killed at event " << k;
+    }
+  }
+}
+
+TEST(ServeAutoscale, ThreadWidthNeverLeaksIntoCheckpoints) {
+  const Fixture fx = make_ramp_churn_fixture(11);
+  const std::size_t n = fx.trace.events.size();
+  for (const ScalePolicy policy :
+       {ScalePolicy::kReactive, ScalePolicy::kPredictive}) {
+    ServeEngine serial = autoscaled_engine(fx, policy);
+    serial.replay(fx.trace);
+    const std::string want = save_checkpoint_string(serial, n);
+    {
+      exec::ThreadPool pool(8);
+      exec::ScopedPool scope(pool);
+      ServeEngine wide = autoscaled_engine(fx, policy);
+      wide.replay(fx.trace);
+      EXPECT_EQ(save_checkpoint_string(wide, n), want) << to_string(policy);
+    }
+    // A serial prefix resumed under a wide pool lands on the same bytes.
+    {
+      ServeEngine prefix = autoscaled_engine(fx, policy);
+      const std::size_t k = n / 2;
+      for (std::size_t i = 0; i < k; ++i) prefix.on_event(fx.trace.events[i]);
+      const std::string ck = save_checkpoint_string(prefix, k);
+
+      exec::ThreadPool pool(8);
+      exec::ScopedPool scope(pool);
+      std::uint64_t cursor = 0;
+      ServeEngine resumed =
+          restore_checkpoint(ck, make_topo(), fx.base.vnfs, &cursor);
+      for (std::size_t i = cursor; i < n; ++i) {
+        resumed.on_event(fx.trace.events[i]);
+      }
+      EXPECT_EQ(save_checkpoint_string(resumed, n), want) << to_string(policy);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Format stability
+// ---------------------------------------------------------------------------
+
+TEST(ServeAutoscale, OffCheckpointsCarryNoSubsystemTrace) {
+  // The PR 8 regression guard: with autoscaling off (the default), the
+  // checkpoint must not mention the subsystem at all — not the config
+  // keys, not the state block, not per-instance draining flags — so
+  // pre-subsystem checkpoints and their byte-identity tests stay valid.
+  const Fixture fx = make_ramp_churn_fixture(7);
+  ServeConfig cfg;
+  cfg.rebalance_threshold = 0.15;
+  cfg.overload_window = 16;
+  ServeEngine engine(make_topo(), fx.base.vnfs, cfg);
+  engine.replay(fx.trace);
+  const std::string text =
+      save_checkpoint_string(engine, fx.trace.events.size());
+  EXPECT_EQ(text.find("autoscale"), std::string::npos);
+  EXPECT_EQ(text.find("draining"), std::string::npos);
+  // And the fixed point still holds.
+  std::uint64_t cursor = 0;
+  ServeEngine restored =
+      restore_checkpoint(text, make_topo(), fx.base.vnfs, &cursor);
+  EXPECT_EQ(save_checkpoint_string(restored, cursor), text);
+}
+
+TEST(ServeAutoscale, OnCheckpointsRoundTripTheControllerState) {
+  const Fixture fx = make_ramp_churn_fixture(7);
+  ServeEngine engine = autoscaled_engine(fx, ScalePolicy::kPredictive);
+  engine.replay(fx.trace);
+  const std::string text =
+      save_checkpoint_string(engine, fx.trace.events.size());
+  EXPECT_NE(text.find("\"autoscale_policy\": \"predictive\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"autoscale\""), std::string::npos);
+  std::uint64_t cursor = 0;
+  ServeEngine restored =
+      restore_checkpoint(text, make_topo(), fx.base.vnfs, &cursor);
+  EXPECT_EQ(save_checkpoint_string(restored, cursor), text);
+}
+
+}  // namespace
+}  // namespace nfv::serve

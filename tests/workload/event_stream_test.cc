@@ -9,6 +9,7 @@
 #include <string>
 
 #include "nfv/common/rng.h"
+#include "nfv/workload/btrace.h"
 #include "nfv/workload/generator.h"
 
 namespace nfv::workload {
@@ -252,6 +253,123 @@ TEST(EventStreamGenerator, ChurnScheduleAlternatesAndValidates) {
   bad = cfg;
   bad.node_mttr = std::numeric_limits<double>::quiet_NaN();
   EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(EventStreamGenerator, RateProfileShapesRatesDeterministically) {
+  WorkloadConfig wcfg;
+  wcfg.vnf_count = 5;
+  wcfg.request_count = 10;
+  Rng wrng(5);
+  const Workload base = WorkloadGenerator(wcfg).generate(wrng);
+  EventStreamConfig flat;
+  flat.event_count = 400;
+  EventStreamConfig shaped = flat;
+  shaped.ramp_amplitude = 0.5;
+  shaped.ramp_period = 4.0;
+  shaped.burst_every = 3.0;
+  shaped.burst_length = 1.0;
+  shaped.burst_factor = 2.0;
+
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const EventTrace a = EventStreamGenerator(base, shaped).generate(rng_a);
+  const EventTrace b = EventStreamGenerator(base, shaped).generate(rng_b);
+  EXPECT_NO_THROW(a.validate());
+  EXPECT_EQ(a.events, b.events);  // same seed, same profile ⇒ same bytes
+
+  // The profile multiplies the sampled rates but consumes no randomness,
+  // so against a flat run with the same seed the event skeleton (times,
+  // kinds, ids, chains) is identical and only rates differ.
+  Rng rng_c(7);
+  const EventTrace flat_trace =
+      EventStreamGenerator(base, flat).generate(rng_c);
+  ASSERT_EQ(a.events.size(), flat_trace.events.size());
+  bool any_rate_differs = false;
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].time, flat_trace.events[i].time) << "event " << i;
+    EXPECT_EQ(a.events[i].kind, flat_trace.events[i].kind) << "event " << i;
+    EXPECT_EQ(a.events[i].chain, flat_trace.events[i].chain)
+        << "event " << i;
+    if (a.events[i].rate != flat_trace.events[i].rate) {
+      any_rate_differs = true;
+      // The multiplier is bounded: ×(1 ± amplitude) × burst_factor.
+      EXPECT_GT(a.events[i].rate, 0.0);
+      EXPECT_LE(a.events[i].rate,
+                flat_trace.events[i].rate * (1.0 + 0.5) * 2.0 + 1e-9);
+      EXPECT_GE(a.events[i].rate,
+                flat_trace.events[i].rate * (1.0 - 0.5) - 1e-9);
+    }
+  }
+  EXPECT_TRUE(any_rate_differs);
+}
+
+TEST(EventStreamGenerator, RampBurstTracesRoundTripTextAndBinary) {
+  WorkloadConfig wcfg;
+  wcfg.vnf_count = 6;
+  wcfg.request_count = 12;
+  Rng wrng(9);
+  const Workload base = WorkloadGenerator(wcfg).generate(wrng);
+  EventStreamConfig cfg;
+  cfg.event_count = 300;
+  cfg.churn_node_count = 2;  // ramp + burst + churn together (/2 schema)
+  cfg.node_mtbf = 2.0;
+  cfg.node_mttr = 0.5;
+  cfg.ramp_amplitude = 0.3;
+  cfg.ramp_period = 5.0;
+  cfg.burst_every = 4.0;
+  cfg.burst_length = 1.5;
+  cfg.burst_factor = 3.0;
+  Rng rng(13);
+  const EventTrace trace = EventStreamGenerator(base, cfg).generate(rng);
+  EXPECT_NO_THROW(trace.validate());
+
+  // Text: load(save(x)) == x, and save is a fixed point byte-for-byte.
+  const std::string text = save_event_trace_string(trace);
+  const EventTrace from_text = load_event_trace(text);
+  EXPECT_EQ(from_text, trace);
+  EXPECT_EQ(save_event_trace_string(from_text), text);
+
+  // Binary: the same trace through nfvpr.btrace/1.
+  const std::string bytes = save_binary_trace_string(trace);
+  const EventTrace from_binary = load_binary_trace(bytes);
+  EXPECT_EQ(from_binary, trace);
+  EXPECT_EQ(save_binary_trace_string(from_binary), bytes);
+}
+
+TEST(EventStreamGenerator, RateProfileKnobsAreValidated) {
+  EventStreamConfig cfg;
+  cfg.ramp_amplitude = 0.5;
+  cfg.ramp_period = 0.0;  // ramp on but no period
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.ramp_amplitude = 1.0;  // must stay < 1 (rates must stay positive)
+  cfg.ramp_period = 2.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.burst_every = 2.0;
+  cfg.burst_length = 0.0;  // bursts on but zero-length
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.burst_every = 2.0;
+  cfg.burst_length = 3.0;  // longer than the cycle
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.burst_every = 2.0;
+  cfg.burst_length = 1.0;
+  cfg.burst_factor = 0.5;  // a "burst" may not shrink the rate
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.burst_every = 2.0;
+  cfg.burst_length = 1.0;
+  cfg.burst_factor = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.ramp_amplitude = 0.9;
+  cfg.ramp_period = 1.0;
+  cfg.burst_every = 2.0;
+  cfg.burst_length = 2.0;  // == burst_every is the allowed edge
+  cfg.burst_factor = 1.0;
+  EXPECT_NO_THROW(cfg.validate());
 }
 
 /// Loads `text`, requires a TraceParseError, and returns its message.

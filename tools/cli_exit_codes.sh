@@ -274,6 +274,103 @@ expect_exit 2 "--resume past the end of the trace exits 2" \
   "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
   -T "$WORK/churn.trace.json" --resume "$WORK/past.ckpt.json"
 
+# --- serve: elastic autoscaling (DESIGN.md §16) ---------------------------
+expect_exit 2 "--autoscale bogus exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.trace.json" --autoscale bogus
+expect_exit 2 "NaN --as-high exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.trace.json" --autoscale reactive --as-high nan
+expect_exit 2 "--as-low above --as-high exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.trace.json" --autoscale reactive --as-low 0.9 --as-high 0.5
+expect_exit 2 "--as-step 0 exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.trace.json" --autoscale predictive --as-step 0
+expect_exit 2 "out-of-range --as-alpha exits 2" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/churn.trace.json" --autoscale predictive --as-alpha 1.5
+
+# A ramp + burst trace through both policies: the autoscale block reaches
+# stdout and the report, and -j never changes a byte.
+expect_exit 0 "generate-trace with a rate profile" \
+  sh -c "'$NFVPR' generate-trace --workload '$WORK/peak.wl' --events 150 \
+         --seed 5 --churn-nodes 3 --mtbf 2 --mttr 0.5 \
+         --ramp-amplitude 0.5 --ramp-period 4 \
+         --burst-every 3 --burst-length 1 --burst-factor 2 \
+         > '$WORK/ramp.trace.json'"
+# generate-trace config violations ride the NFV_REQUIRE path (exit 5),
+# like every other generator flag.
+expect_exit 5 "--ramp-amplitude without --ramp-period exits 5" \
+  sh -c "'$NFVPR' generate-trace --workload '$WORK/peak.wl' \
+         --ramp-amplitude 0.5 > /dev/null"
+for policy in reactive predictive; do
+  expect_exit 0 "serve --autoscale $policy, serial" \
+    "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+    -T "$WORK/ramp.trace.json" --autoscale "$policy" \
+    --report-out "$WORK/as_$policy.j1.json" -j 1
+  cp "$WORK/out.txt" "$WORK/as_$policy.j1.txt"
+  expect_contains "$WORK/as_$policy.j1.txt" "autoscale ($policy)" \
+    "serve summary reports the $policy autoscaler"
+  expect_contains "$WORK/as_$policy.j1.json" '"autoscale"' \
+    "$policy report carries the autoscale section"
+  expect_exit 0 "serve --autoscale $policy, 8 threads" \
+    "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+    -T "$WORK/ramp.trace.json" --autoscale "$policy" \
+    --report-out "$WORK/as_$policy.j8.json" -j 8
+  if cmp -s "$WORK/out.txt" "$WORK/as_$policy.j1.txt" &&
+     cmp -s "$WORK/as_$policy.j1.json" "$WORK/as_$policy.j8.json"; then
+    echo "ok: autoscaled $policy output is byte-identical across -j1/-j8"
+  else
+    echo "FAIL: autoscaled $policy output differs between -j1 and -j8" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+# An autoscale-off run must not mention the subsystem anywhere (the PR 8
+# byte-compatibility guard, CLI edition).
+expect_exit 0 "serve with autoscaling off writes a clean checkpoint" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/ramp.trace.json" --checkpoint-out "$WORK/off.ckpt.json" \
+  --report-out "$WORK/off.json"
+if grep -q -e autoscale -e draining \
+     "$WORK/off.ckpt.json" "$WORK/off.json" "$WORK/out.txt"; then
+  echo "FAIL: autoscale-off run mentions the subsystem" >&2
+  failures=$((failures + 1))
+else
+  echo "ok: autoscale-off checkpoint/report/stdout carry no subsystem trace"
+fi
+
+# Autoscaled checkpoint/resume: kill mid-trace, resume, byte-identical.
+python3 - "$WORK" <<'EOF'
+import json, sys
+work = sys.argv[1]
+trace = json.load(open(work + '/ramp.trace.json'))
+trace['events'] = trace['events'][:70]
+json.dump(trace, open(work + '/ramp.part.json', 'w'))
+EOF
+expect_exit 0 "autoscaled full run for the resume reference" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/ramp.trace.json" --autoscale predictive \
+  --report-out "$WORK/as_full.json"
+expect_exit 0 "autoscaled prefix writes a checkpoint" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/ramp.part.json" --autoscale predictive \
+  --checkpoint-out "$WORK/as.ckpt.json"
+expect_contains "$WORK/as.ckpt.json" 'autoscale_policy' \
+  "autoscaled checkpoint records the policy"
+expect_exit 0 "autoscaled --resume finishes the trace" \
+  "$NFVPR" serve -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  -T "$WORK/ramp.trace.json" --resume "$WORK/as.ckpt.json" \
+  --report-out "$WORK/as_resumed.json" -j 8
+if cmp -s "$WORK/as_resumed.json" "$WORK/as_full.json"; then
+  echo "ok: autoscaled resumed report is byte-identical"
+else
+  echo "FAIL: autoscaled resumed report differs from the full run" >&2
+  diff "$WORK/as_resumed.json" "$WORK/as_full.json" | sed 's/^/  /' >&2
+  failures=$((failures + 1))
+fi
+
 # --- binary traces (nfvpr.btrace/1) and transcode-trace -------------------
 expect_exit 0 "transcode-trace --help exits 0" "$NFVPR" transcode-trace --help
 expect_exit 2 "transcode-trace --to bogus is a usage error" \

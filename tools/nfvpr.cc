@@ -783,6 +783,19 @@ int cmd_generate_trace(int argc, const char* const* argv) {
       "mtbf", '\0', "mean seconds between failures per churned node", 2.0);
   const auto& mttr = cli.add_double(
       "mttr", '\0', "mean seconds to repair per churned node", 0.5);
+  const auto& ramp_amplitude = cli.add_double(
+      "ramp-amplitude", '\0',
+      "sinusoidal rate swing in [0, 1) around the sampled rate (0 = off)",
+      0.0);
+  const auto& ramp_period = cli.add_double(
+      "ramp-period", '\0', "period of the rate ramp in trace seconds", 0.0);
+  const auto& burst_every = cli.add_double(
+      "burst-every", '\0',
+      "burst cycle length in trace seconds (0 = no bursts)", 0.0);
+  const auto& burst_length = cli.add_double(
+      "burst-length", '\0', "burst duration within each cycle", 0.0);
+  const auto& burst_factor = cli.add_double(
+      "burst-factor", '\0', "rate multiplier (>= 1) inside a burst", 1.0);
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
   const auto& binary = cli.add_flag(
       "binary", 'b',
@@ -807,6 +820,11 @@ int cmd_generate_trace(int argc, const char* const* argv) {
   cfg.churn_node_count = static_cast<std::size_t>(churn_nodes);
   cfg.node_mtbf = mtbf;
   cfg.node_mttr = mttr;
+  cfg.ramp_amplitude = ramp_amplitude;
+  cfg.ramp_period = ramp_period;
+  cfg.burst_every = burst_every;
+  cfg.burst_length = burst_length;
+  cfg.burst_factor = burst_factor;
   nfv::Rng rng(static_cast<std::uint64_t>(seed));
   const auto trace =
       nfv::workload::EventStreamGenerator(base, cfg).generate(rng);
@@ -942,6 +960,31 @@ int cmd_serve(int argc, const char* const* argv) {
       "flight-recorder-dump-on-exit", '\0',
       "also dump the flight-recorder ring on normal exit (requires "
       "--flight-recorder-out)");
+  const auto& autoscale = cli.add_string(
+      "autoscale", '\0',
+      "elastic per-VNF instance sizing: off, reactive (utilization bands + "
+      "hysteresis), or predictive (EWMA forecast + safety margin)", "off");
+  const auto& as_interval = cli.add_double(
+      "as-interval", '\0',
+      "autoscale decision cadence in trace-time units", 0.5);
+  const auto& as_high = cli.add_double(
+      "as-high", '\0', "scale-out utilization watermark in (0, 1]", 0.80);
+  const auto& as_low = cli.add_double(
+      "as-low", '\0', "scale-in utilization watermark in [0, --as-high)",
+      0.30);
+  const auto& as_cooldown = cli.add_int(
+      "as-cooldown", '\0',
+      "decision windows a VNF stays silent after an action", 2);
+  const auto& as_step = cli.add_int(
+      "as-step", '\0', "max instances opened/drained per VNF per window", 1);
+  const auto& as_alpha = cli.add_double(
+      "as-alpha", '\0', "predictive EWMA smoothing factor in (0, 1]", 0.30);
+  const auto& as_forecast = cli.add_double(
+      "as-forecast", '\0',
+      "predictive look-ahead horizon in decision windows", 2.0);
+  const auto& as_margin = cli.add_double(
+      "as-margin", '\0',
+      "predictive fractional capacity headroom above the forecast", 0.15);
   const auto& seed = cli.add_int("seed", 's', "RNG seed (recorded only; the "
                                  "engine is deterministic)", 1);
   ThreadsFlag threads(cli);
@@ -989,6 +1032,27 @@ int cmd_serve(int argc, const char* const* argv) {
   cfg.snapshot_every = snapshot_every;
   cfg.timeline_span = static_cast<std::size_t>(timeline_span);
   cfg.lifecycle = !lifecycle_out.empty();
+  const auto policy = nfv::serve::parse_scale_policy(autoscale);
+  if (!policy) {
+    std::fprintf(stderr,
+                 "nfvpr serve: unknown --autoscale policy '%s' (expected "
+                 "off, reactive, or predictive)\n",
+                 autoscale.c_str());
+    return 2;
+  }
+  if (as_cooldown < 0 || as_step < 1) {
+    std::fputs("nfvpr serve: autoscale flag value out of range\n", stderr);
+    return 2;
+  }
+  cfg.autoscale.policy = *policy;
+  cfg.autoscale.scale_interval = as_interval;
+  cfg.autoscale.high_watermark = as_high;
+  cfg.autoscale.low_watermark = as_low;
+  cfg.autoscale.cooldown_windows = static_cast<std::uint32_t>(as_cooldown);
+  cfg.autoscale.max_step = static_cast<std::uint32_t>(as_step);
+  cfg.autoscale.ewma_alpha = as_alpha;
+  cfg.autoscale.forecast_windows = as_forecast;
+  cfg.autoscale.safety_margin = as_margin;
   try {
     // NaN and out-of-range policy knobs are CLI misuse, not a runtime
     // failure: map the precondition throw to the usage exit code.
@@ -1230,6 +1294,23 @@ int cmd_serve(int argc, const char* const* argv) {
                   "(%llu events)\n",
                   static_cast<unsigned long long>(summary.degradations),
                   static_cast<unsigned long long>(summary.degraded_events));
+    }
+    if (engine->config().autoscale.enabled()) {
+      std::fprintf(
+          hout,
+          "autoscale (%s)  : %llu decisions, %llu opened / %llu drained, "
+          "%llu flaps, %llu cooldown-blocked\n",
+          std::string(nfv::serve::to_string(engine->config().autoscale.policy))
+              .c_str(),
+          static_cast<unsigned long long>(summary.autoscale_decisions),
+          static_cast<unsigned long long>(summary.autoscale_scale_outs),
+          static_cast<unsigned long long>(summary.autoscale_scale_ins),
+          static_cast<unsigned long long>(summary.autoscale_flaps),
+          static_cast<unsigned long long>(summary.autoscale_blocked_cooldown));
+      std::fprintf(hout,
+                   "instance-seconds      : %.4f (%llu draining at end)\n",
+                   summary.instance_seconds,
+                   static_cast<unsigned long long>(summary.draining_instances));
     }
     std::fprintf(hout, "availability          : %.4f\n", summary.availability);
     std::fprintf(hout, "predicted latency     : mean %.5f s, p99 %.5f s (Eq. 16)\n",
