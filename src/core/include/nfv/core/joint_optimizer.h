@@ -4,6 +4,7 @@
 // inter-node link latency.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -33,6 +34,12 @@ struct SystemModel {
 struct JointConfig {
   std::string placement_algorithm = "BFDSU";
   std::string scheduling_algorithm = "RCKK";
+  /// When set, phase 1 builds its algorithm from this factory instead of
+  /// make_placement_algorithm(placement_algorithm); the solver portfolio
+  /// (DESIGN.md §17) injects budgeted PSO/LP/BFDSU backends through it.
+  /// `placement_algorithm` stays the display name for reports.
+  std::function<std::unique_ptr<placement::PlacementAlgorithm>()>
+      placement_factory;
   /// Admission-control utilization ceiling ρ_max per instance.
   double rho_max = 0.999;
   /// Per-hop latency L of Eq. 16; defaults to the topology's mean link

@@ -11,6 +11,7 @@
 
 #include "nfv/core/joint_optimizer.h"
 #include "nfv/core/resilience.h"
+#include "nfv/core/solver.h"
 #include "nfv/obs/report.h"
 #include "nfv/sim/des.h"
 
@@ -30,6 +31,10 @@ struct ReportInputs {
   /// Pre-built serving section (the serve library owns the conversion);
   /// copied verbatim when non-null and present.
   const obs::ServeSection* serve = nullptr;
+  /// Solver portfolio race (DESIGN.md §17); non-null when --solver was
+  /// given, along with the requested solver id for the section header.
+  const SolverOutcome* solver = nullptr;
+  std::string solver_id;
   const obs::MetricsRegistry* metrics = nullptr;  ///< registry snapshot
 };
 

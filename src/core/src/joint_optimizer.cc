@@ -232,7 +232,9 @@ JointResult JointOptimizer::run_impl(const SystemModel& model,
   obs::count("core.joint.runs");
   model.validate();
   const auto placer =
-      placement::make_placement_algorithm(config_.placement_algorithm);
+      config_.placement_factory
+          ? config_.placement_factory()
+          : placement::make_placement_algorithm(config_.placement_algorithm);
   NFV_REQUIRE(placer != nullptr);
   const auto scheduler =
       sched::make_scheduling_algorithm(config_.scheduling_algorithm);
@@ -306,7 +308,9 @@ JointResult JointOptimizer::run_sharded(const SystemModel& model,
   obs::count("core.joint.shard.shards", plan.shard_count());
   obs::count("core.joint.shard.splits", plan.splits);
   const auto placer =
-      placement::make_placement_algorithm(config_.placement_algorithm);
+      config_.placement_factory
+          ? config_.placement_factory()
+          : placement::make_placement_algorithm(config_.placement_algorithm);
   NFV_REQUIRE(placer != nullptr);
   const auto scheduler =
       sched::make_scheduling_algorithm(config_.scheduling_algorithm);

@@ -136,6 +136,26 @@ void fill_shard(const ReportInputs& in, obs::ShardSection& out) {
   out.migrations = s.migrations;
 }
 
+void fill_solver(const ReportInputs& in, obs::SolverSection& out) {
+  const SolverOutcome& s = *in.solver;
+  out.present = true;
+  out.solver = in.solver_id;
+  out.winner = s.winner;
+  out.deterministic = s.deterministic;
+  out.budget_work = s.budget_work;
+  out.budget_ms = s.budget_ms;
+  out.backends.reserve(s.backends.size());
+  for (const BackendRun& b : s.backends) {
+    obs::SolverBackendEntry e;
+    e.id = b.id;
+    e.feasible = b.feasible;
+    e.rejected = b.rejected;
+    e.objective = b.objective;
+    e.work = b.work;
+    out.backends.push_back(std::move(e));
+  }
+}
+
 }  // namespace
 
 obs::RunReport build_run_report(const ReportInputs& inputs) {
@@ -154,6 +174,7 @@ obs::RunReport build_run_report(const ReportInputs& inputs) {
     fill_resilience(inputs, report.resilience);
   }
   if (inputs.serve != nullptr) report.serve = *inputs.serve;
+  if (inputs.solver != nullptr) fill_solver(inputs, report.solver);
   if (inputs.metrics != nullptr) {
     report.metrics.present = true;
     report.metrics.snapshot = inputs.metrics->snapshot();

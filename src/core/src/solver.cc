@@ -1,0 +1,347 @@
+#include "nfv/core/solver.h"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+
+#include "nfv/common/error.h"
+#include "nfv/obs/metrics.h"
+#include "nfv/placement/lp_round.h"
+#include "nfv/placement/metrics.h"
+#include "nfv/placement/pso.h"
+
+namespace nfv::core {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("solver spec: " + what);
+}
+
+std::uint64_t parse_u64(std::string_view key, std::string_view value) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    bad("invalid integer for '" + std::string(key) + "': '" +
+        std::string(value) + "'");
+  }
+  return out;
+}
+
+double parse_double(std::string_view key, std::string_view value) {
+  // from_chars for double is not universally available; use strtod on a
+  // NUL-terminated copy (the CliParser does the same).
+  const std::string copy(value);
+  char* end = nullptr;
+  const double out = std::strtod(copy.c_str(), &end);
+  if (copy.empty() || end != copy.c_str() + copy.size()) {
+    bad("invalid number for '" + std::string(key) + "': '" +
+        std::string(value) + "'");
+  }
+  return out;
+}
+
+std::uint32_t checked_u32(std::string_view key, std::uint64_t v) {
+  if (v > 0xffffffffULL) {
+    bad("'" + std::string(key) + "' out of range");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+/// Maps the shared work budget W to backend-local effort.  Every backend
+/// receives its units through Placement::iterations-compatible knobs so
+/// the race depends only on W, never on the clock.
+struct Effort {
+  placement::PsoPlacement::Options pso;
+  placement::LpRoundPlacement::Options lp;
+  placement::BfdsuPlacement::Options bfdsu;
+};
+
+Effort effort_for(
+    const SolverConfig& cfg,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  Effort e;
+  e.pso.swarm = cfg.pso_swarm;
+  e.pso.iterations = cfg.pso_iterations;
+  e.lp.iterations = cfg.lp_iterations;
+  if (cfg.work_budget > 0) {
+    const std::uint64_t w = cfg.work_budget;
+    // PSO charges swarm evaluations per sweep; LP one step per unit; BFDSU
+    // one pass per unit (its own stall logic may stop earlier).
+    e.pso.iterations = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+        w / std::max<std::uint64_t>(1, e.pso.swarm), 1, 10'000'000));
+    e.lp.iterations = static_cast<std::uint32_t>(
+        std::clamp<std::uint64_t>(w, 1, 10'000'000));
+    e.bfdsu.max_passes =
+        static_cast<std::uint32_t>(std::clamp<std::uint64_t>(w, 1, 60));
+    e.bfdsu.stall_limit = std::min(e.bfdsu.stall_limit, e.bfdsu.max_passes);
+  }
+  e.pso.deadline = deadline;
+  e.lp.deadline = deadline;
+  return e;
+}
+
+std::unique_ptr<placement::PlacementAlgorithm> make_backend(
+    std::string_view id, const Effort& effort) {
+  if (id == "bfdsu") {
+    return std::make_unique<placement::BfdsuPlacement>(effort.bfdsu);
+  }
+  if (id == "pso") {
+    return std::make_unique<placement::PsoPlacement>(effort.pso);
+  }
+  NFV_CHECK(id == "lp");  // backend_ids() only yields the three
+  return std::make_unique<placement::LpRoundPlacement>(effort.lp);
+}
+
+std::optional<std::chrono::steady_clock::time_point> race_deadline(
+    const SolverConfig& cfg) {
+  if (cfg.deterministic_budget || cfg.budget_ms <= 0.0) return std::nullopt;
+  const auto budget = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(cfg.budget_ms));
+  return std::chrono::steady_clock::now() + budget;
+}
+
+std::uint64_t count_rejected(const JointResult& result) {
+  std::uint64_t rejected = 0;
+  for (const auto& r : result.requests) {
+    if (!r.admitted) ++rejected;
+  }
+  return rejected;
+}
+
+/// Total order over full-pipeline runs: feasible first, then fewest
+/// rejections, then lowest Eq. 16 objective, then backend id — every
+/// comparison is exact, so the argmin is unique and thread-count free.
+bool run_better(const BackendRun& a, const BackendRun& b) {
+  if (a.feasible != b.feasible) return a.feasible;
+  if (a.rejected != b.rejected) return a.rejected < b.rejected;
+  if (a.objective != b.objective) return a.objective < b.objective;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+void SolverConfig::validate() const {
+  if (!known_solver(solver)) {
+    bad("unknown solver '" + solver + "'");
+  }
+  if (!std::isfinite(budget_ms) || budget_ms < 0.0 || budget_ms > 1e9) {
+    bad("'budget-ms' must be finite, >= 0 and <= 1e9");
+  }
+  if (work_budget > 1'000'000'000'000ULL) {
+    bad("'work' must be <= 1e12");
+  }
+  if (pso_swarm < 1 || pso_swarm > 4096) {
+    bad("'pso-swarm' must be in [1, 4096]");
+  }
+  if (pso_iterations < 1 || pso_iterations > 10'000'000) {
+    bad("'pso-iters' must be in [1, 1e7]");
+  }
+  if (lp_iterations < 1 || lp_iterations > 10'000'000) {
+    bad("'lp-iters' must be in [1, 1e7]");
+  }
+}
+
+const std::vector<std::string>& SolverConfig::solver_ids() {
+  static const std::vector<std::string> kIds = {"bfdsu", "lp", "portfolio",
+                                                "pso"};
+  return kIds;
+}
+
+bool SolverConfig::known_solver(std::string_view id) {
+  const auto& ids = solver_ids();
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+SolverConfig parse_solver_spec(std::string_view spec) {
+  SolverConfig cfg;
+  const std::size_t colon = spec.find(':');
+  const std::string_view id =
+      colon == std::string_view::npos ? spec : spec.substr(0, colon);
+  if (id.empty()) bad("empty solver id");
+  cfg.solver = std::string(id);
+  if (colon != std::string_view::npos) {
+    std::string_view rest = spec.substr(colon + 1);
+    if (rest.empty()) bad("empty option list after ':'");
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      const std::string_view item =
+          comma == std::string_view::npos ? rest : rest.substr(0, comma);
+      rest = comma == std::string_view::npos ? std::string_view{}
+                                             : rest.substr(comma + 1);
+      const std::size_t eq = item.find('=');
+      if (eq == std::string_view::npos) {
+        bad("expected key=value, got '" + std::string(item) + "'");
+      }
+      const std::string_view key = item.substr(0, eq);
+      const std::string_view value = item.substr(eq + 1);
+      if (value.empty()) {
+        bad("empty value for '" + std::string(key) + "'");
+      }
+      if (key == "pso-swarm") {
+        cfg.pso_swarm = checked_u32(key, parse_u64(key, value));
+      } else if (key == "pso-iters") {
+        cfg.pso_iterations = checked_u32(key, parse_u64(key, value));
+      } else if (key == "lp-iters") {
+        cfg.lp_iterations = checked_u32(key, parse_u64(key, value));
+      } else if (key == "work") {
+        cfg.work_budget = parse_u64(key, value);
+      } else if (key == "budget-ms") {
+        cfg.budget_ms = parse_double(key, value);
+      } else if (key == "det") {
+        const std::uint64_t v = parse_u64(key, value);
+        if (v > 1) bad("'det' must be 0 or 1");
+        cfg.deterministic_budget = v == 1;
+      } else {
+        bad("unknown option '" + std::string(key) + "'");
+      }
+    }
+  }
+  cfg.validate();
+  return cfg;
+}
+
+PortfolioDriver::PortfolioDriver(JointConfig base, SolverConfig solver)
+    : base_(std::move(base)), solver_(std::move(solver)) {
+  solver_.validate();
+  base_.exec.validate();
+}
+
+std::vector<std::string> PortfolioDriver::backend_ids() const {
+  if (solver_.solver == "portfolio") return {"bfdsu", "lp", "pso"};
+  return {solver_.solver};
+}
+
+std::string PortfolioDriver::backend_algorithm(std::string_view id) {
+  if (id == "bfdsu") return "BFDSU";
+  if (id == "pso") return "PSO";
+  NFV_CHECK(id == "lp");
+  return "LP";
+}
+
+SolverOutcome PortfolioDriver::run(const SystemModel& model,
+                                   std::uint64_t seed) const {
+  const std::vector<std::string> ids = backend_ids();
+  const auto deadline = race_deadline(solver_);
+  const Effort effort = effort_for(solver_, deadline);
+
+  // Race on the installed pool; install one for the scope when the exec
+  // config asks for threads and none is active (mirrors JointOptimizer).
+  std::optional<exec::ThreadPool> local;
+  std::optional<exec::ScopedPool> scope;
+  if (base_.exec.threads > 1 && exec::pool() == nullptr &&
+      !exec::ThreadPool::on_worker_thread()) {
+    local.emplace(base_.exec.threads);
+    scope.emplace(*local);
+  }
+
+  // Every backend gets the SAME user seed: a single-backend race is the
+  // identity, and adding a backend never perturbs another's stream.
+  std::vector<JointResult> results =
+      exec::parallel_map(ids.size(), [&](std::size_t i) {
+        JointConfig cfg = base_;
+        cfg.placement_algorithm = backend_algorithm(ids[i]);
+        cfg.placement_factory = [&effort, id = ids[i]] {
+          return make_backend(id, effort);
+        };
+        return JointOptimizer(cfg).run(model, seed);
+      });
+
+  SolverOutcome outcome;
+  outcome.deterministic = solver_.deterministic_budget;
+  outcome.budget_work = solver_.work_budget;
+  outcome.budget_ms = solver_.budget_ms;
+  outcome.backends.reserve(ids.size());
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    BackendRun entry;
+    entry.id = ids[i];
+    entry.feasible = results[i].feasible;
+    entry.rejected = count_rejected(results[i]);
+    entry.objective = results[i].total_latency;
+    entry.work = results[i].placement.iterations;
+    outcome.backends.push_back(std::move(entry));
+    if (run_better(outcome.backends[i], outcome.backends[best])) best = i;
+    obs::count("core.solver.backend_runs");
+  }
+  outcome.winner = ids[best];
+  outcome.result = std::move(results[best]);
+  obs::count("core.solver.races");
+  obs::count("core.solver.work", outcome.backends[best].work);
+  return outcome;
+}
+
+PlacementOutcome PortfolioDriver::place(
+    const placement::PlacementProblem& problem, std::uint64_t seed) const {
+  problem.validate();
+  const std::vector<std::string> ids = backend_ids();
+  const auto deadline = race_deadline(solver_);
+  const Effort effort = effort_for(solver_, deadline);
+
+  std::optional<exec::ThreadPool> local;
+  std::optional<exec::ScopedPool> scope;
+  if (base_.exec.threads > 1 && exec::pool() == nullptr &&
+      !exec::ThreadPool::on_worker_thread()) {
+    local.emplace(base_.exec.threads);
+    scope.emplace(*local);
+  }
+
+  struct Entry {
+    placement::Placement placement;
+    placement::PlacementMetrics metrics;
+  };
+  std::vector<Entry> entries =
+      exec::parallel_map(ids.size(), [&](std::size_t i) {
+        const auto backend = make_backend(ids[i], effort);
+        Rng rng(seed);  // same seed per backend, as cmd_place runs directly
+        Entry entry;
+        entry.placement = backend->place(problem, rng);
+        entry.metrics = placement::evaluate(problem, entry.placement);
+        return entry;
+      });
+
+  PlacementOutcome outcome;
+  outcome.backends.reserve(ids.size());
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    std::uint64_t unplaced = 0;
+    for (const auto& a : entries[i].placement.assignment) {
+      if (!a.has_value()) ++unplaced;
+    }
+    BackendRun entry;
+    entry.id = ids[i];
+    entry.feasible = entries[i].placement.feasible;
+    entry.rejected = unplaced;
+    // Placement objective is Eq. 14's node count; resource occupation
+    // breaks exact ties below (it is not folded into `objective`).
+    entry.objective = static_cast<double>(entries[i].metrics.nodes_in_service);
+    entry.work = entries[i].placement.iterations;
+    outcome.backends.push_back(std::move(entry));
+    const auto& a = outcome.backends[i];
+    const auto& b = outcome.backends[best];
+    const bool better =
+        a.feasible != b.feasible ? a.feasible
+        : a.rejected != b.rejected ? a.rejected < b.rejected
+        : a.objective != b.objective ? a.objective < b.objective
+        : entries[i].metrics.resource_occupation !=
+                entries[best].metrics.resource_occupation
+            ? entries[i].metrics.resource_occupation <
+                  entries[best].metrics.resource_occupation
+            : a.id < b.id;
+    if (i != best && better) best = i;
+    obs::count("core.solver.backend_runs");
+  }
+  outcome.winner = ids[best];
+  outcome.placement = std::move(entries[best].placement);
+  outcome.metrics = std::move(entries[best].metrics);
+  obs::count("core.solver.races");
+  return outcome;
+}
+
+}  // namespace nfv::core

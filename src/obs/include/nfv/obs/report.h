@@ -227,6 +227,26 @@ struct ShardSection {
   std::uint64_t migrations = 0;
 };
 
+/// One backend's line in a solver portfolio race (DESIGN.md §17).
+struct SolverBackendEntry {
+  std::string id;  ///< "bfdsu" | "lp" | "pso"
+  bool feasible = false;
+  std::uint64_t rejected = 0;
+  double objective = 0.0;  ///< Eq. 16 latency (node count for place races)
+  std::uint64_t work = 0;  ///< placement iterations consumed
+};
+
+/// Outcome of a --solver portfolio race (DESIGN.md §17).
+struct SolverSection {
+  bool present = false;
+  std::string solver;  ///< requested id ("portfolio" or a single backend)
+  std::string winner;  ///< backend the reported result came from
+  bool deterministic = false;  ///< work-budget race (clock ignored)
+  std::uint64_t budget_work = 0;
+  double budget_ms = 0.0;
+  std::vector<SolverBackendEntry> backends;  ///< in backend-id order
+};
+
 struct RunReport {
   std::string command;
   std::uint64_t seed = 0;
@@ -237,6 +257,7 @@ struct RunReport {
   ResilienceSection resilience;
   ServeSection serve;
   ShardSection shard;
+  SolverSection solver;
   MetricsSection metrics;
 };
 

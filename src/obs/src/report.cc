@@ -284,6 +284,30 @@ void write_run_report(const RunReport& report, std::ostream& os) {
     w.end_object();
   }
 
+  if (report.solver.present) {
+    const SolverSection& s = report.solver;
+    w.key("solver");
+    w.begin_object();
+    w.kv("solver", s.solver);
+    w.kv("winner", s.winner);
+    w.kv("deterministic", s.deterministic);
+    w.kv("budget", s.budget_work);
+    w.kv("budget_ms", s.budget_ms);
+    w.key("backends");
+    w.begin_array();
+    for (const SolverBackendEntry& b : s.backends) {
+      w.begin_object();
+      w.kv("id", b.id);
+      w.kv("feasible", b.feasible);
+      w.kv("rejected", b.rejected);
+      w.kv("objective", b.objective);
+      w.kv("work", b.work);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
   if (report.metrics.present) {
     w.key("metrics");
     write_metrics_snapshot(w, report.metrics.snapshot);
@@ -518,6 +542,34 @@ std::string pretty_print_report(const JsonValue& report) {
        << format_number(s->number_or("migrations")) << " migrations)\n";
   }
 
+  if (const JsonValue* s = report.find("solver")) {
+    os << "\nsolver race (" << s->string_or("solver", "?") << ")\n";
+    os << "  winner            : " << s->string_or("winner", "?") << "\n";
+    const JsonValue* det = s->find("deterministic");
+    os << "  budget            : "
+       << format_number(s->number_or("budget")) << " work units, "
+       << format_number(s->number_or("budget_ms")) << " ms"
+       << ((det != nullptr && det->is_bool() && det->as_bool())
+               ? " (deterministic)"
+               : "")
+       << "\n";
+    if (const JsonValue* backends = s->find("backends");
+        backends != nullptr && backends->is_array()) {
+      for (const JsonValue& b : backends->as_array()) {
+        const JsonValue* feasible = b.find("feasible");
+        os << "  " << b.string_or("id", "?") << ": "
+           << ((feasible != nullptr && feasible->is_bool() &&
+                feasible->as_bool())
+                   ? "feasible"
+                   : "infeasible")
+           << ", objective " << format_number(b.number_or("objective"))
+           << ", " << format_number(b.number_or("rejected"))
+           << " rejected, " << format_number(b.number_or("work"))
+           << " work\n";
+      }
+    }
+  }
+
   if (const JsonValue* m = report.find("metrics")) {
     std::size_t counters = 0;
     std::size_t gauges = 0;
@@ -561,7 +613,7 @@ constexpr std::string_view kHigherWorse[] = {
     "downtime", "retransmission", "failure",        "occupation",
     "nodes_in_service", "queue_depth", "imbalance", "wall",     "work",
     "gap", "repair_moves", "unaccounted", "queued", "retrying",
-    "flaps", "instance_seconds",
+    "flaps", "instance_seconds", "objective",
 };
 
 /// Metrics where a larger value signals a better run.

@@ -144,7 +144,8 @@ class ExactPlacement final : public PlacementAlgorithm {
 };
 
 /// Returns the algorithm instance registered under `name` ("BFDSU", "FFD",
-/// "NAH", "BFD", "WFD", "FF", "NFD", "Exact"); nullptr if unknown.
+/// "NAH", "BFD", "WFD", "FF", "NFD", "PSO", "LP", "Exact"); nullptr if
+/// unknown — callers surface that as a usage error, never fall back.
 [[nodiscard]] std::unique_ptr<PlacementAlgorithm> make_placement_algorithm(
     std::string_view name);
 

@@ -1,0 +1,50 @@
+// LP-relaxation placement with deterministic rounding (ROADMAP O5,
+// DESIGN.md §17).
+//
+// The fractional placement LP assigns each VNF a distribution x_{f,v} over
+// nodes (Σ_v x_{f,v} = 1, x ≥ 0) and is solved dependency-free by projected
+// subgradient descent on a concentration objective with a growing capacity
+// penalty.  Rounding is deterministic largest-fraction: VNFs in descending
+// demand order each take the highest-mass node among those with remaining
+// capacity (lowest index on ties), which repairs fractional choices the
+// earlier, larger VNFs have already filled.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+#include "nfv/placement/algorithm.h"
+
+namespace nfv::placement {
+
+/// Projected-subgradient solver for the fractional placement LP plus
+/// largest-fraction rounding.  Fully deterministic — the Rng argument is
+/// never drawn from.  `iterations` of the returned Placement counts
+/// subgradient steps, the work unit the portfolio budget is charged in.
+class LpRoundPlacement final : public PlacementAlgorithm {
+ public:
+  struct Options {
+    std::uint32_t iterations = 240;  ///< projected-subgradient steps
+    double step = 0.5;               ///< base step size η (decays as η/√t)
+    double penalty = 8.0;            ///< final capacity-overload weight β
+    /// Anytime wall-clock cutoff: checked once per step; rounding uses
+    /// the fractional solution reached so far.  Unset in deterministic
+    /// (work-budget) mode — see DESIGN.md §17.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+  };
+
+  LpRoundPlacement() = default;
+  explicit LpRoundPlacement(Options options);
+
+  [[nodiscard]] Placement place(const PlacementProblem& problem,
+                                Rng& rng) const override;
+  [[nodiscard]] std::string_view name() const override { return "LP"; }
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  Options options_{};
+};
+
+}  // namespace nfv::placement

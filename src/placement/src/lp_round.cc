@@ -1,0 +1,132 @@
+#include "nfv/placement/lp_round.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "nfv/common/error.h"
+#include "nfv/obs/metrics.h"
+#include "fit_util.h"
+
+namespace nfv::placement {
+
+namespace {
+
+/// Euclidean projection of one row onto the probability simplex
+/// (Duchi et al. 2008): sort descending, find the pivot, shift and clip.
+/// O(V log V), deterministic.
+void project_to_simplex(std::vector<double>& row,
+                        std::vector<double>& sorted) {
+  sorted = row;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double cumulative = 0.0;
+  double theta = 0.0;
+  std::size_t pivot = 0;
+  for (std::size_t j = 0; j < sorted.size(); ++j) {
+    cumulative += sorted[j];
+    const double candidate =
+        (cumulative - 1.0) / static_cast<double>(j + 1);
+    if (sorted[j] - candidate > 0.0) {
+      theta = candidate;
+      pivot = j + 1;
+    }
+  }
+  NFV_CHECK(pivot >= 1);
+  for (double& x : row) x = std::max(0.0, x - theta);
+}
+
+}  // namespace
+
+LpRoundPlacement::LpRoundPlacement(Options options) : options_(options) {
+  NFV_REQUIRE(options_.iterations >= 1);
+  NFV_REQUIRE(options_.step > 0.0);
+  NFV_REQUIRE(options_.penalty >= 0.0);
+}
+
+Placement LpRoundPlacement::place(const PlacementProblem& problem,
+                                  Rng& /*rng*/) const {
+  problem.validate();
+  const std::size_t vnfs = problem.vnf_count();
+  const std::size_t nodes = problem.node_count();
+
+  // x[f*nodes + v]: fractional assignment rows, each on the simplex.
+  std::vector<double> x(vnfs * nodes,
+                        1.0 / static_cast<double>(nodes));
+  std::vector<double> load(nodes);
+  std::vector<double> score(nodes);
+  std::vector<double> sorted_scratch(nodes);
+  const double max_capacity =
+      *std::max_element(problem.capacities.begin(), problem.capacities.end());
+
+  std::uint64_t steps = 0;
+  for (std::uint32_t t = 1; t <= options_.iterations; ++t) {
+    if (options_.deadline &&
+        std::chrono::steady_clock::now() >= *options_.deadline) {
+      break;  // anytime: round the fractional point reached so far
+    }
+    ++steps;
+    std::fill(load.begin(), load.end(), 0.0);
+    for (std::size_t f = 0; f < vnfs; ++f) {
+      for (std::size_t v = 0; v < nodes; ++v) {
+        load[v] += problem.demands[f] * x[f * nodes + v];
+      }
+    }
+    // Per-node subgradient: concentrate onto large nodes (capacity cost)
+    // while a growing penalty β_t prices fractional overload.  The demand
+    // factor d_f scales a whole row uniformly, so it cancels against the
+    // row-wise simplex projection and is dropped.
+    const double beta =
+        options_.penalty * static_cast<double>(t) /
+        static_cast<double>(options_.iterations);
+    for (std::size_t v = 0; v < nodes; ++v) {
+      const double capacity = problem.capacities[v];
+      const double overload = std::max(0.0, load[v] - capacity) / capacity;
+      score[v] = max_capacity / capacity - 1.0 + beta * overload;
+    }
+    const double eta = options_.step / std::sqrt(static_cast<double>(t));
+    for (std::size_t f = 0; f < vnfs; ++f) {
+      std::vector<double> row(x.begin() +
+                                  static_cast<std::ptrdiff_t>(f * nodes),
+                              x.begin() +
+                                  static_cast<std::ptrdiff_t>((f + 1) * nodes));
+      for (std::size_t v = 0; v < nodes; ++v) row[v] -= eta * score[v];
+      project_to_simplex(row, sorted_scratch);
+      std::copy(row.begin(), row.end(),
+                x.begin() + static_cast<std::ptrdiff_t>(f * nodes));
+    }
+  }
+
+  // Deterministic largest-fraction rounding with best-fit capacity repair:
+  // descending-demand VNFs take their highest-mass node that still fits
+  // (lowest index on ties), falling back to the tightest feasible node.
+  Placement result;
+  result.assignment.assign(vnfs, std::nullopt);
+  result.iterations = steps;
+  std::vector<double> residual = problem.capacities;
+  bool feasible = true;
+  for (const std::uint32_t f : detail::demand_order_desc(problem)) {
+    const double demand = problem.demands[f];
+    std::uint32_t chosen = 0xffffffffu;
+    double best_mass = -1.0;
+    for (std::uint32_t v = 0; v < nodes; ++v) {
+      if (!detail::fits(residual[v], demand)) continue;
+      const double mass = x[f * nodes + v];
+      if (mass > best_mass) {
+        best_mass = mass;
+        chosen = v;
+      }
+    }
+    if (chosen == 0xffffffffu) {
+      // No feasible node at all for this VNF: the rounded solution is
+      // infeasible (best-fit would scan the same empty candidate set).
+      feasible = false;
+      continue;
+    }
+    detail::assign(result, residual, f, chosen, demand);
+  }
+  result.feasible = feasible;
+  obs::count("placement.lp.steps", steps);
+  return result;
+}
+
+}  // namespace nfv::placement

@@ -1,6 +1,8 @@
 #include "nfv/placement/algorithm.h"
 #include "nfv/placement/annealing.h"
 #include "nfv/placement/cabp.h"
+#include "nfv/placement/lp_round.h"
+#include "nfv/placement/pso.h"
 
 namespace nfv::placement {
 
@@ -15,13 +17,15 @@ std::unique_ptr<PlacementAlgorithm> make_placement_algorithm(
   if (name == "NFD") return std::make_unique<NfdPlacement>();
   if (name == "CABP") return std::make_unique<CabpPlacement>();
   if (name == "SA") return std::make_unique<AnnealingPlacement>();
+  if (name == "PSO") return std::make_unique<PsoPlacement>();
+  if (name == "LP") return std::make_unique<LpRoundPlacement>();
   if (name == "Exact") return std::make_unique<ExactPlacement>();
   return nullptr;
 }
 
 std::vector<std::string> placement_algorithm_names() {
-  return {"BFDSU", "CABP", "SA", "FFD", "NAH", "BFD", "WFD", "FF", "NFD",
-          "Exact"};
+  return {"BFDSU", "CABP", "SA",  "PSO", "LP", "FFD",
+          "NAH",   "BFD",  "WFD", "FF",  "NFD", "Exact"};
 }
 
 }  // namespace nfv::placement

@@ -1,0 +1,183 @@
+// Differential/oracle harness for the solver portfolio (DESIGN.md §17):
+// on randomized small instances every backend must produce a feasible,
+// fully admitted solution within a bounded factor of the exact oracle
+// (Exact placement + DP2 scheduling), and the portfolio must match the
+// best single backend bit-for-bit — racing never costs quality.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "nfv/core/joint_optimizer.h"
+#include "nfv/core/solver.h"
+#include "nfv/topology/builders.h"
+
+namespace nfv::core {
+namespace {
+
+/// Documented worst-case objective ratio vs. the exact oracle on these
+/// instances.  Scheduling is identical (DP2 everywhere), so the gap is
+/// purely placement-driven link latency; 2.0 is deliberately loose.
+constexpr double kOracleGapFactor = 2.0;
+constexpr std::uint64_t kSeeds = 30;
+constexpr std::uint64_t kWorkBudget = 64;
+
+/// Small randomized instance: <= 8 nodes, <= 12 requests, comfortable
+/// capacity slack (every backend must place it) and light per-instance
+/// load (every request must admit).
+SystemModel make_small_model(std::uint64_t seed) {
+  Rng rng(seed * 977 + 13);
+  const std::size_t nodes = 4 + seed % 5;  // 4..8
+  const auto vnf_count = static_cast<std::uint32_t>(4 + seed % 3);      // 4..6
+  const auto request_count = static_cast<std::uint32_t>(8 + seed % 5);  // 8..12
+  SystemModel model;
+  model.topology = topo::make_star(
+      nodes, topo::CapacitySpec{500.0, 500.0}, topo::LinkSpec{1e-4}, rng);
+  for (std::uint32_t f = 0; f < vnf_count; ++f) {
+    workload::Vnf v;
+    v.id = VnfId{f};
+    v.name = "vnf" + std::to_string(f);
+    v.catalog_index = f;
+    v.demand_per_instance =
+        40.0 + static_cast<double>((seed * 31 + f * 17) % 80);  // 40..119
+    v.instance_count = 2;
+    v.service_rate = 50.0;
+    model.workload.vnfs.push_back(std::move(v));
+  }
+  for (std::uint32_t r = 0; r < request_count; ++r) {
+    workload::Request req;
+    req.id = RequestId{r};
+    // start walks r itself so every VNF heads some chain (each VNF needs
+    // at least one member request for its scheduling problem).
+    const std::uint32_t start =
+        static_cast<std::uint32_t>((r + seed) % vnf_count);
+    const std::uint32_t len = 2 + (r + seed) % 2;  // 2..3 distinct VNFs
+    for (std::uint32_t k = 0; k < len; ++k) {
+      req.chain.push_back(VnfId{(start + k) % vnf_count});
+    }
+    req.arrival_rate = 1.0 + static_cast<double>((r * 5 + seed) % 3);
+    req.delivery_prob = 0.95;
+    model.workload.requests.push_back(std::move(req));
+  }
+  return model;
+}
+
+/// Every race below schedules with the exact DP2 oracle and a link
+/// latency large enough that placement spread shows in Eq. 16.
+JointConfig base_config() {
+  JointConfig cfg;
+  cfg.scheduling_algorithm = "DP2";
+  cfg.link_latency = 0.005;
+  return cfg;
+}
+
+SolverConfig budgeted(const std::string& solver) {
+  SolverConfig cfg;
+  cfg.solver = solver;
+  cfg.work_budget = kWorkBudget;
+  cfg.deterministic_budget = true;
+  return cfg;
+}
+
+std::uint64_t rejected_count(const JointResult& r) {
+  std::uint64_t rejected = 0;
+  for (const auto& o : r.requests) {
+    if (!o.admitted) ++rejected;
+  }
+  return rejected;
+}
+
+TEST(SolverDifferential, EveryBackendFeasibleAndWithinOracleGap) {
+  const std::vector<std::string> backends = {"bfdsu", "lp", "pso"};
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const SystemModel model = make_small_model(seed);
+    JointConfig oracle_cfg = base_config();
+    oracle_cfg.placement_algorithm = "Exact";
+    const JointResult oracle = JointOptimizer(oracle_cfg).run(model, seed);
+    ASSERT_TRUE(oracle.feasible) << "seed " << seed;
+    ASSERT_EQ(rejected_count(oracle), 0u) << "seed " << seed;
+    ASSERT_GT(oracle.total_latency, 0.0) << "seed " << seed;
+
+    for (const std::string& backend : backends) {
+      const PortfolioDriver driver(base_config(), budgeted(backend));
+      const SolverOutcome outcome = driver.run(model, seed);
+      EXPECT_EQ(outcome.winner, backend);
+      ASSERT_TRUE(outcome.result.feasible)
+          << backend << " infeasible on seed " << seed;
+      EXPECT_EQ(rejected_count(outcome.result), 0u)
+          << backend << " rejected requests on seed " << seed;
+      EXPECT_LE(outcome.result.total_latency,
+                kOracleGapFactor * oracle.total_latency)
+          << backend << " beyond the oracle gap on seed " << seed;
+    }
+  }
+}
+
+TEST(SolverDifferential, PortfolioMatchesBestSingleBackendExactly) {
+  const std::vector<std::string> backends = {"bfdsu", "lp", "pso"};
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const SystemModel model = make_small_model(seed);
+
+    // The same total order the driver uses: feasible desc, rejected asc,
+    // objective asc, backend id asc (the vector is already id-sorted).
+    std::string best_id;
+    const JointResult* best = nullptr;
+    std::vector<SolverOutcome> singles;
+    singles.reserve(backends.size());
+    for (const std::string& backend : backends) {
+      singles.push_back(
+          PortfolioDriver(base_config(), budgeted(backend)).run(model, seed));
+      const JointResult& r = singles.back().result;
+      const bool better =
+          best == nullptr ? true
+          : r.feasible != best->feasible ? r.feasible
+          : rejected_count(r) != rejected_count(*best)
+              ? rejected_count(r) < rejected_count(*best)
+              : r.total_latency < best->total_latency;
+      if (better) {
+        best = &r;
+        best_id = backend;
+      }
+    }
+    ASSERT_NE(best, nullptr);
+
+    const SolverOutcome portfolio =
+        PortfolioDriver(base_config(), budgeted("portfolio")).run(model, seed);
+    ASSERT_EQ(portfolio.backends.size(), backends.size());
+    EXPECT_EQ(portfolio.winner, best_id) << "seed " << seed;
+    // Exact equality, not tolerance: the portfolio returns the winning
+    // backend's result verbatim, so matching the best single backend is a
+    // bitwise property.
+    EXPECT_EQ(portfolio.result.total_latency, best->total_latency)
+        << "seed " << seed;
+    EXPECT_EQ(portfolio.result.feasible, best->feasible);
+    EXPECT_EQ(portfolio.result.placement.assignment,
+              best->placement.assignment)
+        << "seed " << seed;
+    // And it never loses to ANY single backend.
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+      if (!singles[i].result.feasible) continue;
+      EXPECT_LE(portfolio.result.total_latency,
+                singles[i].result.total_latency)
+          << "portfolio lost to " << backends[i] << " on seed " << seed;
+    }
+  }
+}
+
+TEST(SolverDifferential, BackendWorkRespectsDeterministicBudget) {
+  const SystemModel model = make_small_model(7);
+  const SolverOutcome outcome =
+      PortfolioDriver(base_config(), budgeted("portfolio")).run(model, 7);
+  ASSERT_EQ(outcome.backends.size(), 3u);
+  EXPECT_TRUE(outcome.deterministic);
+  EXPECT_EQ(outcome.budget_work, kWorkBudget);
+  for (const BackendRun& b : outcome.backends) {
+    EXPECT_GE(b.work, 1u) << b.id;
+    // The budget maps to backend-local effort; no backend may exceed it
+    // by more than one PSO sweep's rounding.
+    EXPECT_LE(b.work, kWorkBudget + 16) << b.id;
+  }
+}
+
+}  // namespace
+}  // namespace nfv::core

@@ -1,0 +1,25 @@
+// libFuzzer target for the --solver spec parser (DESIGN.md §17): any byte
+// string must either parse into a validated SolverConfig or throw the
+// documented std::invalid_argument — NaN/negative budgets, zero swarms,
+// overflowing work budgets and malformed key=value lists all land on the
+// same usage-error path (CLI exit 2), never on a crash or NFV_CHECK.
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "nfv/core/solver.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view spec(reinterpret_cast<const char*>(data), size);
+  try {
+    const nfv::core::SolverConfig cfg = nfv::core::parse_solver_spec(spec);
+    // A parsed config is a validated config: re-validating must hold, and
+    // every accepted id must be a known solver.
+    cfg.validate();
+    if (!nfv::core::SolverConfig::known_solver(cfg.solver)) __builtin_trap();
+  } catch (const std::invalid_argument&) {
+    // The documented failure mode.
+  }
+  return 0;
+}

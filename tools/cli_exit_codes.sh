@@ -151,6 +151,56 @@ else
   failures=$((failures + 1))
 fi
 
+# --- solver portfolio (DESIGN.md §17) --------------------------------------
+# Unknown algorithm names and solver ids are usage errors, not runtime
+# failures.
+expect_exit 2 "place unknown --algorithm exits 2" \
+  "$NFVPR" place -t "$WORK/dc.topo" -w "$WORK/peak.wl" --algorithm NOPE
+expect_exit 2 "schedule unknown --algorithm exits 2" \
+  "$NFVPR" schedule -w "$WORK/peak.wl" --algorithm NOPE
+expect_exit 2 "pipeline unknown placement algorithm exits 2" \
+  "$NFVPR" pipeline -t "$WORK/dc.topo" -w "$WORK/peak.wl" -p NOPE
+expect_exit 2 "pipeline unknown scheduling algorithm exits 2" \
+  "$NFVPR" pipeline -t "$WORK/dc.topo" -w "$WORK/peak.wl" -q NOPE
+for sub in place pipeline serve; do
+  expect_exit 2 "$sub unknown --solver exits 2" \
+    "$NFVPR" "$sub" -t "$WORK/dc.topo" -w "$WORK/peak.wl" --solver bogus
+done
+expect_exit 2 "--pso-swarm 0 exits 2" \
+  "$NFVPR" pipeline -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  --solver pso --pso-swarm 0
+expect_exit 2 "negative --budget-ms exits 2" \
+  "$NFVPR" pipeline -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  --solver portfolio --budget-ms=-1
+expect_exit 2 "place --solver with --shards exits 2" \
+  "$NFVPR" place -t "$WORK/dc.topo" -w "$WORK/peak.wl" \
+  --solver portfolio --shards 2
+
+# Under --deterministic-budget the race is thread-count free: stdout and
+# the report are byte-identical for any -j.
+expect_exit 0 "portfolio pipeline, serial" \
+  sh -c "'$NFVPR' pipeline -t '$WORK/dc.topo' -w '$WORK/peak.wl' --seed 7 \
+         --solver portfolio --deterministic-budget --work-budget 32 \
+         --report-out '$WORK/race1.json' -j 1 > '$WORK/race1.txt'"
+expect_exit 0 "portfolio pipeline, 8 threads" \
+  sh -c "'$NFVPR' pipeline -t '$WORK/dc.topo' -w '$WORK/peak.wl' --seed 7 \
+         --solver portfolio --deterministic-budget --work-budget 32 \
+         --report-out '$WORK/race8.json' -j 8 > '$WORK/race8.txt'"
+for pair in "race1.txt race8.txt stdout" "race1.json race8.json report"; do
+  set -- $pair
+  if cmp -s "$WORK/$1" "$WORK/$2"; then
+    echo "ok: --solver portfolio $3 is byte-identical across -j1/-j8"
+  else
+    echo "FAIL: --solver portfolio $3 differs between -j1 and -j8" >&2
+    diff "$WORK/$1" "$WORK/$2" | sed 's/^/  /' >&2
+    failures=$((failures + 1))
+  fi
+done
+expect_contains "$WORK/race1.txt" 'solver race' \
+  "pipeline prints the race summary"
+expect_contains "$WORK/race1.json" '"solver"' \
+  "race report carries the solver section"
+
 # --- serve: trace validation and deterministic replay ---------------------
 expect_exit 0 "serve --help exits 0" "$NFVPR" serve --help
 expect_exit 2 "serve without --trace is a usage error" \

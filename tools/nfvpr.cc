@@ -28,6 +28,7 @@
 #include "nfv/core/report_builder.h"
 #include "nfv/core/resilience.h"
 #include "nfv/core/sim_builder.h"
+#include "nfv/core/solver.h"
 #include "nfv/core/tail_prediction.h"
 #include "nfv/exec/thread_pool.h"
 #include "nfv/obs/flight_recorder.h"
@@ -88,6 +89,10 @@ int usage() {
       "place/schedule/pipeline/serve also accept --shards K (sharded solve:\n"
       "canonical partition, K sub-solves in flight; results are identical\n"
       "for any K — see DESIGN.md §12).\n"
+      "place/pipeline/serve also accept --solver bfdsu|pso|lp|portfolio\n"
+      "(race placement backends under --budget-ms / --work-budget; with\n"
+      "--deterministic-budget results are bit-identical for any --threads\n"
+      "— see DESIGN.md §17).\n"
       "\n"
       "run 'nfvpr <subcommand> --help' for flags.\n"
       "\n"
@@ -218,6 +223,97 @@ void print_shard_stats(const nfv::shard::ShardStats& s,
       s.fallback_monolithic ? " — FELL BACK to monolithic" : "");
 }
 
+/// Registers the --solver flag family (DESIGN.md §17) on a subcommand.
+/// Off when --solver is omitted — the command keeps its legacy path and
+/// byte-identical output.  The knobs are validated even when off, so a
+/// nonsense value never silently rides along.
+class SolverFlags {
+ public:
+  explicit SolverFlags(nfv::CliParser& cli)
+      : solver_(cli.add_string(
+            "solver", '\0',
+            "race placement backends: bfdsu|pso|lp|portfolio (races all "
+            "three; off when omitted)",
+            "")),
+        budget_ms_(cli.add_double(
+            "budget-ms", '\0',
+            "wall-clock budget for the race in ms (0 = none; anytime "
+            "backends stop at the deadline)",
+            0.0)),
+        work_budget_(cli.add_int(
+            "work-budget", '\0',
+            "work units (placement iterations) per backend (0 = backend "
+            "defaults)",
+            0)),
+        deterministic_(cli.add_flag(
+            "deterministic-budget", '\0',
+            "ignore the clock: effort derives from --work-budget only, so "
+            "results are bit-identical for any --threads/--shards")),
+        pso_swarm_(cli.add_int("pso-swarm", '\0', "PSO particles", 16)),
+        pso_iters_(cli.add_int("pso-iters", '\0', "PSO sweeps", 48)),
+        lp_iters_(cli.add_int("lp-iters", '\0', "LP subgradient steps", 240)) {
+  }
+
+  [[nodiscard]] bool enabled() const { return !solver_.empty(); }
+
+  /// Returns false (callers exit 2: usage error) on an unknown solver id
+  /// or an out-of-range knob.
+  [[nodiscard]] bool validate() const {
+    try {
+      (void)config();
+      return true;
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return false;
+    }
+  }
+
+  [[nodiscard]] nfv::core::SolverConfig config() const {
+    nfv::core::SolverConfig cfg;
+    if (enabled()) cfg.solver = solver_;
+    cfg.budget_ms = budget_ms_;
+    // Negative values wrap to huge unsigned ones, which the range checks
+    // in SolverConfig::validate reject.
+    cfg.work_budget = static_cast<std::uint64_t>(work_budget_);
+    cfg.deterministic_budget = deterministic_;
+    cfg.pso_swarm = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(pso_swarm_));
+    cfg.pso_iterations = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(pso_iters_));
+    cfg.lp_iterations = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(lp_iters_));
+    if (pso_swarm_ < 0 || pso_iters_ < 0 || lp_iters_ < 0 ||
+        work_budget_ < 0) {
+      throw std::invalid_argument("solver spec: knobs must be >= 0");
+    }
+    cfg.validate();
+    return cfg;
+  }
+
+ private:
+  const std::string& solver_;
+  const double& budget_ms_;
+  const std::int64_t& work_budget_;
+  const bool& deterministic_;
+  const std::int64_t& pso_swarm_;
+  const std::int64_t& pso_iters_;
+  const std::int64_t& lp_iters_;
+};
+
+/// One human-readable line for a finished race.
+void print_solver_outcome(const nfv::core::SolverOutcome& outcome,
+                          std::FILE* out = stdout) {
+  std::string detail;
+  for (const nfv::core::BackendRun& b : outcome.backends) {
+    if (!detail.empty()) detail += ", ";
+    detail += b.id;
+    detail += b.feasible ? "" : " (infeasible)";
+  }
+  std::fprintf(out, "solver race           : %s wins [%s]%s\n",
+               outcome.winner.c_str(), detail.c_str(),
+               outcome.deterministic ? " (deterministic budget)" : "");
+}
+
 /// Registers --metrics-out / --trace-out on a subcommand and owns the
 /// telemetry sinks.  activate() installs them globally after parse();
 /// finish() uninstalls them and writes the files.  Commands call finish()
@@ -335,30 +431,56 @@ int cmd_place(int argc, const char* const* argv) {
   nfv::CliParser cli("nfvpr place", "run a placement algorithm");
   const auto& topology_file = cli.add_string("topology", 't', "topology file", "");
   const auto& workload_file = cli.add_string("workload", 'w', "workload file", "");
-  const auto& algorithm =
-      cli.add_string("algorithm", 'a', "BFDSU|CABP|FFD|NAH|BFD|WFD|FF|NFD|Exact",
-                     "BFDSU");
+  const auto& algorithm = cli.add_string(
+      "algorithm", 'a', "BFDSU|CABP|SA|PSO|LP|FFD|NAH|BFD|WFD|FF|NFD|Exact",
+      "BFDSU");
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
   ThreadsFlag threads(cli);
   ShardsFlag shards(cli);
+  SolverFlags solver(cli);
   Telemetry tele(cli);
   if (!cli.parse(argc, argv)) return parse_exit(cli);
   if (!threads.install()) return 2;
   if (!shards.validate()) return 2;
+  if (!solver.validate()) return 2;
+  if (solver.enabled() && shards.enabled()) {
+    std::fputs("nfvpr place: --solver and --shards are mutually exclusive\n",
+               stderr);
+    return 2;
+  }
+  std::unique_ptr<nfv::placement::PlacementAlgorithm> algo;
+  if (!solver.enabled()) {
+    // --solver overrides --algorithm, so the name is only resolved (and
+    // rejected) on the legacy path.
+    algo = nfv::placement::make_placement_algorithm(algorithm);
+    if (!algo) {
+      std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
+      return 2;
+    }
+  }
   nfv::core::SystemModel model;
   model.topology = read_topology(topology_file);
   model.workload = read_workload(workload_file);
   const auto problem =
       nfv::placement::make_problem(model.topology, model.workload);
-  const auto algo = nfv::placement::make_placement_algorithm(algorithm);
-  if (!algo) {
-    std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
-    return 1;
-  }
   tele.activate();
   nfv::shard::ShardStats shard_stats;
   nfv::placement::Placement placement;
-  if (shards.enabled()) {
+  nfv::core::SolverOutcome race;  // report/summary shell for --solver
+  if (solver.enabled()) {
+    nfv::core::JointConfig jcfg;
+    jcfg.exec.threads = threads.count();
+    const nfv::core::SolverConfig scfg = solver.config();
+    const nfv::core::PortfolioDriver driver(jcfg, scfg);
+    nfv::core::PlacementOutcome raced =
+        driver.place(problem, static_cast<std::uint64_t>(seed));
+    placement = std::move(raced.placement);
+    race.winner = raced.winner;
+    race.deterministic = scfg.deterministic_budget;
+    race.budget_work = scfg.work_budget;
+    race.budget_ms = scfg.budget_ms;
+    race.backends = std::move(raced.backends);
+  } else if (shards.enabled()) {
     placement = nfv::shard::place_sharded(problem, *algo, shards.config(),
                                           static_cast<std::uint64_t>(seed),
                                           &shard_stats);
@@ -378,9 +500,16 @@ int cmd_place(int argc, const char* const* argv) {
   nfv::core::ReportInputs inputs;
   inputs.command = "place";
   inputs.seed = static_cast<std::uint64_t>(seed);
-  inputs.placement_algorithm = algorithm;
+  inputs.placement_algorithm =
+      solver.enabled() ? nfv::core::PortfolioDriver::backend_algorithm(
+                             race.winner)
+                       : algorithm;
   inputs.model = &model;
   inputs.result = &partial;
+  if (solver.enabled()) {
+    inputs.solver = &race;
+    inputs.solver_id = solver.config().solver;
+  }
   tele.finish(inputs);
 
   if (!placement.feasible) {
@@ -403,6 +532,7 @@ int cmd_place(int argc, const char* const* argv) {
       100.0 * metrics.avg_utilization_of_used, metrics.resource_occupation,
       static_cast<unsigned long long>(placement.iterations));
   print_shard_stats(shard_stats);
+  if (solver.enabled()) print_solver_outcome(race);
   return 0;
 }
 
@@ -432,7 +562,7 @@ int cmd_schedule(int argc, const char* const* argv) {
   const auto algo = nfv::sched::make_scheduling_algorithm(algorithm);
   if (!algo) {
     std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
-    return 1;
+    return 2;
   }
   tele.activate();
   nfv::Rng rng(static_cast<std::uint64_t>(seed));
@@ -488,12 +618,29 @@ int cmd_pipeline(int argc, const char* const* argv) {
       "--metrics-out is set)",
       20.0);
   const auto& seed = cli.add_int("seed", 's', "RNG seed", 1);
+  const auto& report_out = cli.add_string(
+      "report-out", '\0',
+      "write the run report here (deterministic: no registry snapshot, "
+      "byte-identical for any --threads/--shards)", "");
   ThreadsFlag threads(cli);
   ShardsFlag shards(cli);
+  SolverFlags solver(cli);
   Telemetry tele(cli);
   if (!cli.parse(argc, argv)) return parse_exit(cli);
   if (!threads.install()) return 2;
   if (!shards.validate()) return 2;
+  if (!solver.validate()) return 2;
+  // Unknown algorithm names are usage errors, surfaced before any file is
+  // read (--solver supplies its own placement backends).
+  if (!solver.enabled() &&
+      nfv::placement::make_placement_algorithm(placer) == nullptr) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", placer.c_str());
+    return 2;
+  }
+  if (nfv::sched::make_scheduling_algorithm(scheduler) == nullptr) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", scheduler.c_str());
+    return 2;
+  }
   nfv::core::SystemModel model;
   model.topology = read_topology(topology_file);
   model.workload = read_workload(workload_file);
@@ -504,16 +651,41 @@ int cmd_pipeline(int argc, const char* const* argv) {
   cfg.exec.threads = threads.count();
   cfg.shard = shards.config();
   tele.activate();
-  const auto result = nfv::core::JointOptimizer(cfg).run(
-      model, static_cast<std::uint64_t>(seed));
+  nfv::core::SolverOutcome race;  // populated only with --solver
+  nfv::core::JointResult result;
+  if (solver.enabled()) {
+    race = nfv::core::PortfolioDriver(cfg, solver.config())
+               .run(model, static_cast<std::uint64_t>(seed));
+    result = std::move(race.result);
+  } else {
+    result = nfv::core::JointOptimizer(cfg).run(
+        model, static_cast<std::uint64_t>(seed));
+  }
 
   nfv::core::ReportInputs inputs;
   inputs.command = "pipeline";
   inputs.seed = static_cast<std::uint64_t>(seed);
-  inputs.placement_algorithm = placer;
+  inputs.placement_algorithm =
+      solver.enabled() ? nfv::core::PortfolioDriver::backend_algorithm(
+                             race.winner)
+                       : placer;
   inputs.scheduling_algorithm = scheduler;
   inputs.model = &model;
   inputs.result = &result;
+  if (solver.enabled()) {
+    inputs.solver = &race;
+    inputs.solver_id = solver.config().solver;
+  }
+
+  if (!report_out.empty()) {
+    // The deterministic report: structured sections only, no
+    // metrics-registry snapshot (exec counters vary with --threads; this
+    // file must not).  Written on infeasible runs too.
+    const nfv::obs::RunReport report = nfv::core::build_run_report(inputs);
+    std::ofstream os(report_out);
+    if (!os) throw std::runtime_error("cannot open " + report_out);
+    nfv::obs::write_run_report(report, os);
+  }
 
   if (!result.feasible) {
     tele.finish(inputs);
@@ -547,6 +719,7 @@ int cmd_pipeline(int argc, const char* const* argv) {
   std::printf("job rejection rate    : %.2f%%\n",
               100.0 * result.job_rejection_rate);
   print_shard_stats(result.shard_stats);
+  if (solver.enabled()) print_solver_outcome(race);
   if (sim) {
     std::printf("DES replay events     : %llu (%.0f s)\n",
                 static_cast<unsigned long long>(sim->events_processed),
@@ -990,12 +1163,15 @@ int cmd_serve(int argc, const char* const* argv) {
   ThreadsFlag threads(cli);
   // --shards runs an offline sharded re-solve of the live state after the
   // replay — the consolidation gap between online serving and a
-  // from-scratch sharded optimum.
+  // from-scratch sharded optimum.  --solver races placement backends in
+  // that same offline re-solve (DESIGN.md §17).
   ShardsFlag shards(cli);
+  SolverFlags solver(cli);
   Telemetry tele(cli);
   if (!cli.parse(argc, argv)) return parse_exit(cli);
   if (!threads.install()) return 2;
   if (!shards.validate()) return 2;
+  if (!solver.validate()) return 2;
   if (topology_file.empty() || workload_file.empty() || trace_file.empty()) {
     std::fputs("nfvpr serve: --topology, --workload and --trace are required\n",
                stderr);
@@ -1316,9 +1492,11 @@ int cmd_serve(int argc, const char* const* argv) {
     std::fprintf(hout, "predicted latency     : mean %.5f s, p99 %.5f s (Eq. 16)\n",
                 summary.mean_predicted_latency,
                 summary.p99_predicted_latency);
-    if (shards.enabled() && summary.live_requests > 0) {
+    if ((shards.enabled() || solver.enabled()) &&
+        summary.live_requests > 0) {
       // Offline sharded re-solve of the live state: the consolidation gap
-      // between the online deployment and a from-scratch optimum.
+      // between the online deployment and a from-scratch optimum.  With
+      // --solver the re-solve races placement backends (DESIGN.md §17).
       try {
         nfv::core::SystemModel live_model;
         live_model.topology = topology;
@@ -1326,8 +1504,16 @@ int cmd_serve(int argc, const char* const* argv) {
         nfv::core::JointConfig jcfg;
         jcfg.shard = shards.config();
         if (link >= 0.0) jcfg.link_latency = link;
-        const auto offline = nfv::core::JointOptimizer(jcfg).run(
-            live_model, static_cast<std::uint64_t>(seed));
+        nfv::core::SolverOutcome race;
+        nfv::core::JointResult offline;
+        if (solver.enabled()) {
+          race = nfv::core::PortfolioDriver(jcfg, solver.config())
+                     .run(live_model, static_cast<std::uint64_t>(seed));
+          offline = std::move(race.result);
+        } else {
+          offline = nfv::core::JointOptimizer(jcfg).run(
+              live_model, static_cast<std::uint64_t>(seed));
+        }
         if (offline.feasible) {
           std::fprintf(
               hout,
@@ -1337,6 +1523,7 @@ int cmd_serve(int argc, const char* const* argv) {
               static_cast<unsigned long long>(summary.nodes_in_service),
               offline.avg_total_latency);
           print_shard_stats(offline.shard_stats, hout);
+          if (solver.enabled()) print_solver_outcome(race, hout);
         } else {
           std::fprintf(hout, "%s\n", "offline sharded solve : infeasible");
         }
